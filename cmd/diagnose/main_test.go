@@ -1,0 +1,58 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hpcfail"
+)
+
+func writeTestLogs(t *testing.T) string {
+	t.Helper()
+	p, err := hpcfail.SystemProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec.Nodes = 384
+	p.Spec.CabinetCols = 2
+	p.FloodBladeIdx = nil
+	p.FloodStopIdx = -1
+	p.Workload.MeanInterarrival = 30 * time.Minute
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scn, err := hpcfail.Simulate(p, start, start.AddDate(0, 0, 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := hpcfail.WriteLogs(dir, scn); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunDiagnose(t *testing.T) {
+	dir := writeTestLogs(t)
+	if err := run(dir, "slurm", false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run(dir, "slurm", true); err != nil {
+		t.Fatalf("run -full: %v", err)
+	}
+}
+
+func TestRunDiagnoseErrors(t *testing.T) {
+	if err := run(t.TempDir(), "slurm", false); err == nil {
+		t.Error("empty directory should error")
+	}
+	if err := run(writeTestLogs(t), "pbspro", false); err == nil {
+		t.Error("unknown scheduler should error")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := writeTestLogs(t)
+	if err := runJSON(dir, "slurm"); err != nil {
+		t.Fatalf("runJSON: %v", err)
+	}
+}

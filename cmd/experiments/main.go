@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments -all                  # every artifact
+//	experiments -id fig13             # one artifact
+//	experiments -list                 # list artifacts and paper targets
+//	experiments -id fig3 -scale 0.5   # larger (slower) clusters
+//
+// Each experiment simulates the relevant system(s), runs the diagnosis
+// pipeline, and prints the same rows/series the paper reports together
+// with the paper's target numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcfail/internal/experiments"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "", "experiment to run (e.g. fig3, table5)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list available experiments")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		scale  = flag.Float64("scale", 0.25, "cluster scale factor (1.0 = paper node counts)")
+		quick  = flag.Bool("quick", false, "shorten simulated durations")
+		format = flag.String("format", "text", "output format: text, markdown or csv")
+	)
+	flag.Parse()
+
+	if *format != "text" && *format != "markdown" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Quick: *quick}
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n%-12s   paper: %s\n", e.ID, e.Title, "", e.Paper)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			run(e, cfg, *format)
+		}
+	case *id != "":
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *id)
+			os.Exit(1)
+		}
+		run(e, cfg, *format)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(e experiments.Experiment, cfg experiments.Config, format string) {
+	res, err := e.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	switch format {
+	case "markdown":
+		fmt.Print(res.Markdown())
+	case "csv":
+		fmt.Print(res.CSV())
+	default:
+		fmt.Println(res.String())
+	}
+}

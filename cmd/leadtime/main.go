@@ -1,0 +1,69 @@
+// Command leadtime performs the focused Fig 13 analysis over a log
+// directory: for every detected failure it reports the internal
+// precursor lead, the external early-indicator lead, and the
+// enhancement factor, then the aggregate.
+//
+//	leadtime -logs ./logs -scheduler slurm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hpcfail"
+	"hpcfail/internal/core"
+	"hpcfail/internal/report"
+	"hpcfail/internal/topology"
+)
+
+func main() {
+	var (
+		logs  = flag.String("logs", "logs", "log directory")
+		sched = flag.String("scheduler", "slurm", "scheduler dialect: slurm or torque")
+	)
+	flag.Parse()
+	if err := run(*logs, *sched); err != nil {
+		fmt.Fprintln(os.Stderr, "leadtime:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, sched string) error {
+	st := topology.SchedulerSlurm
+	if sched == "torque" {
+		st = topology.SchedulerTorque
+	}
+	store, _, err := hpcfail.LoadLogs(dir, st)
+	if err != nil {
+		return err
+	}
+	res := hpcfail.Diagnose(store)
+	tbl := report.NewTable("Per-failure lead times",
+		"time", "node", "cause", "internal", "external", "factor")
+	for _, d := range res.Diagnoses {
+		lt := core.ComputeLeadTime(d)
+		ext, factor := "-", "-"
+		if lt.External > 0 {
+			ext = lt.External.Round(time.Second).String()
+		}
+		if lt.Enhanced {
+			factor = fmt.Sprintf("%.1fx", lt.Factor())
+		}
+		intl := "-"
+		if lt.Internal > 0 {
+			intl = lt.Internal.Round(time.Second).String()
+		}
+		tbl.AddRow(d.Detection.Time.Format("01-02 15:04"), d.Detection.Node.String(),
+			d.Cause.String(), intl, ext, factor)
+	}
+	fmt.Print(tbl.String())
+	sum := hpcfail.SummarizeLeadTimes(res.Diagnoses)
+	fmt.Printf("\n%d/%d failures enhanceable (%s); mean internal %.1f min -> mean external %.1f min (%.1fx)\n",
+		sum.Enhanceable, sum.Total, report.Pct(sum.EnhanceableFraction()),
+		sum.MeanInternalMin, sum.MeanExternalMin, sum.MeanFactor)
+	fmt.Println("paper: ~5x enhancement for the 10-28% of failures with external indicators;")
+	fmt.Println("       application-triggered failures have none (Observation 5).")
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hpcfail"
+)
+
+func TestRunLeadtime(t *testing.T) {
+	p, err := hpcfail.SystemProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec.Nodes = 384
+	p.Spec.CabinetCols = 2
+	p.FloodBladeIdx = nil
+	p.FloodStopIdx = -1
+	p.Workload.MeanInterarrival = 30 * time.Minute
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scn, err := hpcfail.Simulate(p, start, start.AddDate(0, 0, 3), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := hpcfail.WriteLogs(dir, scn); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "slurm"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Torque path selects the other dialect (and finds no records in a
+	// Slurm-format dir's scheduler log — parse errors tolerated).
+	if err := run(dir, "torque"); err != nil {
+		t.Fatalf("run torque: %v", err)
+	}
+}

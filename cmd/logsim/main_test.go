@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLogsim(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := run("S1", "", 1, 7, dir, 384, "2015-03-02"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"console.log", "scheduler.log", "erd.log", "ground-truth.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s missing: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s empty", f)
+		}
+	}
+	gt, _ := os.ReadFile(filepath.Join(dir, "ground-truth.csv"))
+	if !strings.HasPrefix(string(gt), "node,time,cause") {
+		t.Error("ground truth header missing")
+	}
+}
+
+func TestRunLogsimErrors(t *testing.T) {
+	if err := run("S9", "", 1, 7, t.TempDir(), 0, "2015-03-02"); err == nil {
+		t.Error("unknown system should error")
+	}
+	if err := run("S1", "", 1, 7, t.TempDir(), 0, "not-a-date"); err == nil {
+		t.Error("bad start date should error")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	// Dump the built-in profile, reload it through -profile, simulate.
+	p, err := loadProfile("S1", "", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, err := loadProfile("", path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Spec.Nodes != 256 || q.Spec.ID != p.Spec.ID || q.EpisodesPerDay != p.EpisodesPerDay {
+		t.Errorf("profile round trip mismatch: %+v", q.Spec)
+	}
+	out := filepath.Join(t.TempDir(), "logs")
+	if err := run("", path, 1, 3, out, 0, "2015-03-02"); err != nil {
+		t.Fatalf("run with JSON profile: %v", err)
+	}
+	if err := run("", filepath.Join(t.TempDir(), "missing.json"), 1, 3, out, 0, "2015-03-02"); err == nil {
+		t.Error("missing profile file should error")
+	}
+}

@@ -1,0 +1,66 @@
+package hpcfail_test
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail"
+)
+
+// testProfile builds a small deterministic system for the examples.
+func exampleProfile() hpcfail.Profile {
+	p, err := hpcfail.SystemProfile("S1")
+	if err != nil {
+		panic(err)
+	}
+	p.Spec.Nodes = 384
+	p.Spec.CabinetCols = 2
+	p.FloodBladeIdx = nil
+	p.FloodStopIdx = -1
+	p.Workload.MeanInterarrival = time.Hour
+	return p
+}
+
+// ExampleSimulate shows the minimal simulate→diagnose round trip.
+func ExampleSimulate() {
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scenario, err := hpcfail.Simulate(exampleProfile(), start, start.AddDate(0, 0, 2), 42)
+	if err != nil {
+		panic(err)
+	}
+	result := hpcfail.Diagnose(hpcfail.StoreRecords(scenario.Records))
+	fmt.Println("detected == ground truth:", len(result.Detections) == len(scenario.Failures))
+	// Output:
+	// detected == ground truth: true
+}
+
+// ExampleSummarizeLeadTimes shows the Fig 13 aggregate over a scenario.
+func ExampleSummarizeLeadTimes() {
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scenario, err := hpcfail.Simulate(exampleProfile(), start, start.AddDate(0, 0, 14), 7)
+	if err != nil {
+		panic(err)
+	}
+	result := hpcfail.Diagnose(hpcfail.StoreRecords(scenario.Records))
+	sum := hpcfail.SummarizeLeadTimes(result.Diagnoses)
+	fmt.Println("some failures enhanceable:", sum.Enhanceable > 0)
+	fmt.Println("factor near 5x:", sum.MeanFactor > 3 && sum.MeanFactor < 8)
+	// Output:
+	// some failures enhanceable: true
+	// factor near 5x: true
+}
+
+// ExampleNewWatcher shows online detection from a record stream.
+func ExampleNewWatcher() {
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scenario, err := hpcfail.Simulate(exampleProfile(), start, start.AddDate(0, 0, 2), 42)
+	if err != nil {
+		panic(err)
+	}
+	count := 0
+	w := hpcfail.NewWatcher(func(hpcfail.Detection) { count++ })
+	w.FeedAll(scenario.Records)
+	fmt.Println("streamed detections match ground truth:", count == len(scenario.Failures))
+	// Output:
+	// streamed detections match ground truth: true
+}

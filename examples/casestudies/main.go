@@ -1,0 +1,41 @@
+// Case studies: replay the paper's five Table V failure cases through
+// the diagnosis pipeline and compare the inferred root causes with the
+// paper's conclusions.
+//
+//	go run ./examples/casestudies
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail"
+	"hpcfail/internal/core"
+	"hpcfail/internal/faultsim"
+)
+
+func main() {
+	at := time.Date(2015, 3, 2, 12, 0, 0, 0, time.UTC)
+	for _, cs := range faultsim.BuildCaseStudies(at, 2021) {
+		result := hpcfail.Diagnose(hpcfail.StoreRecords(cs.Scenario.Records))
+		fmt.Printf("%s\n", cs.Name)
+		fmt.Printf("  paper's inference: %s\n", cs.Notes)
+		fmt.Printf("  failures detected: %d (planted %d)\n", len(result.Detections), cs.FailureCount)
+		for _, d := range result.Diagnoses {
+			lt := core.ComputeLeadTime(d)
+			ext := "no external indicators"
+			if len(d.ExternalIndicators) > 0 {
+				ext = fmt.Sprintf("%d external indicators, lead %s",
+					len(d.ExternalIndicators), lt.External.Round(time.Second))
+			}
+			fmt.Printf("  %s %-12s -> %-14s app-triggered=%-5v (%s)\n",
+				d.Detection.Time.Format("15:04:05"), d.Detection.Node,
+				d.Cause, d.AppTriggered, ext)
+		}
+		verdict := "MATCH"
+		if len(result.Diagnoses) == 0 || result.Diagnoses[0].Cause != cs.ExpectedCause {
+			verdict = "DIVERGES"
+		}
+		fmt.Printf("  expected cause %s -> %s\n\n", cs.ExpectedCause, verdict)
+	}
+}

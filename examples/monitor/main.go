@@ -1,0 +1,66 @@
+// Online monitoring: stream a simulated day's log records through the
+// Watcher and show alarms preceding their failures — the production
+// deployment shape of the paper's prediction-with-external-correlation
+// recommendation.
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hpcfail"
+	"hpcfail/internal/core"
+)
+
+func main() {
+	profile, err := hpcfail.SystemProfile("S1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile.Spec.Nodes = 768
+	profile.Spec.CabinetCols = 2
+	profile.FloodBladeIdx = nil
+	profile.FloodStopIdx = -1
+
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scenario, err := hpcfail.Simulate(profile, start, start.AddDate(0, 0, 3), 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Track which alarmed nodes later fail (and how much warning the
+	// alarm gave).
+	alarmAt := map[string]time.Time{}
+	alarmExt := map[string]bool{}
+	covered, total := 0, 0
+
+	w := core.NewWatcher(core.DefaultConfig(), func(d core.Detection) {
+		total++
+		node := d.Node.String()
+		if at, ok := alarmAt[node]; ok && d.Time.Sub(at) <= 30*time.Minute {
+			covered++
+			ext := ""
+			if alarmExt[node] {
+				ext = " (externally corroborated)"
+			}
+			fmt.Printf("%s  FAILURE %-12s — alarmed %s earlier%s\n",
+				d.Time.Format("01-02 15:04:05"), node, d.Time.Sub(at).Round(time.Second), ext)
+			return
+		}
+		fmt.Printf("%s  FAILURE %-12s — no early warning (terminal %s)\n",
+			d.Time.Format("01-02 15:04:05"), node, d.Terminal)
+	})
+	w.OnAlarm = func(a core.Alarm) {
+		alarmAt[a.Node.String()] = a.Time
+		alarmExt[a.Node.String()] = a.HasExternal
+	}
+
+	w.FeedAll(scenario.Records)
+
+	fmt.Printf("\n%d/%d failures had an online early warning.\n", covered, total)
+	fmt.Println("Application-triggered failures (OOM, abnormal exits) give no precursor bursts —")
+	fmt.Println("prediction cannot cover them (Observation 5); see examples/jobtriggered for the remedy.")
+}

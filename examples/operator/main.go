@@ -1,0 +1,74 @@
+// Operator playbook: the end-to-end decision loop the paper's Table VI
+// recommends — diagnose a simulated month, derive the recommendations,
+// flag the buggy APIDs, and compare checkpoint strategies under the
+// measured failure behaviour.
+//
+//	go run ./examples/operator
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hpcfail"
+	"hpcfail/internal/checkpoint"
+	"hpcfail/internal/core"
+)
+
+func main() {
+	profile, err := hpcfail.SystemProfile("S1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile.Spec.Nodes = 768
+	profile.Spec.CabinetCols = 2
+	profile.FloodBladeIdx = nil
+	profile.FloodStopIdx = -1
+
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	span := 30 * 24 * time.Hour
+	scenario, err := hpcfail.Simulate(profile, start, start.Add(span), 2021)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result := hpcfail.Diagnose(hpcfail.StoreRecords(scenario.Records))
+	fmt.Printf("one month on %d nodes: %d failures diagnosed\n\n",
+		scenario.Cluster.NumNodes(), len(result.Detections))
+
+	// 1. Findings → recommendations (Table VI).
+	fmt.Println("== Recommendations ==")
+	for _, r := range hpcfail.Recommend(result) {
+		fmt.Printf("[sev %d] %s\n        -> %s\n", r.Severity, r.Finding, r.Action)
+	}
+
+	// 2. Buggy APIDs for the NHC to track.
+	fmt.Println("\n== Buggy jobs (NHC tracking candidates) ==")
+	for _, b := range result.JobAnalyzer().BuggyJobs(3) {
+		fmt.Printf("job %d (%s): %d node failures\n", b.JobID, b.App, b.Failures)
+	}
+
+	// 3. Checkpoint economics under the measured failure trace.
+	mtbf := result.MTBF()
+	params := checkpoint.DefaultParams(time.Duration(mtbf.Mean * float64(time.Minute)))
+	var failures []checkpoint.Failure
+	for _, d := range result.Diagnoses {
+		lt := core.ComputeLeadTime(d)
+		failures = append(failures, checkpoint.Failure{
+			Time: d.Detection.Time, InternalLead: lt.Internal, ExternalLead: lt.External,
+		})
+	}
+	outs, err := checkpoint.Compare(params, failures, span, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== Checkpoint strategies (Daly interval %s) ==\n",
+		checkpoint.DalyInterval(params).Round(time.Minute))
+	for _, o := range outs {
+		fmt.Printf("%-20s waste %6s (%5.2f%%)  covered %d/%d failures\n",
+			o.Strategy, o.TotalWaste().Round(time.Minute),
+			o.WasteFraction(span)*100, o.Covered, o.Covered+o.Missed)
+	}
+	fmt.Println("\nexternal-lead-aware proactive checkpointing converts the paper's ~5x lead")
+	fmt.Println("enhancement into avoided recomputation (Table VI, rows 1 and 3).")
+}

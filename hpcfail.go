@@ -1,0 +1,153 @@
+// Package hpcfail is the public API of the hpcfail library — a
+// reproduction of "Systemic Assessment of Node Failures in HPC
+// Production Platforms" (Das, Mueller, Rountree; IPDPS 2021).
+//
+// The library has three layers:
+//
+//   - a deterministic cluster fault simulator that models the paper's
+//     five systems (Table I) and emits raw text logs in the production
+//     formats (Cray console/messages, blade/cabinet controller, ERD/SEDC
+//     and Slurm/Torque scheduler logs);
+//   - parsers and an indexed event store for those formats;
+//   - the holistic diagnosis pipeline: failure detection, internal ↔
+//     external correlation, stack-trace root-cause inference, job
+//     attribution, lead-time and false-positive analysis.
+//
+// Quick start:
+//
+//	profile, _ := hpcfail.SystemProfile("S1")
+//	scenario, _ := hpcfail.Simulate(profile, start, start.AddDate(0, 0, 7), 42)
+//	result := hpcfail.Diagnose(hpcfail.StoreRecords(scenario.Records))
+//	for _, d := range result.Diagnoses {
+//		fmt.Println(d.Detection.Node, d.Cause, d.AppTriggered)
+//	}
+//
+// See examples/ for runnable programs and cmd/experiments for the
+// harness that regenerates every table and figure of the paper.
+package hpcfail
+
+import (
+	"time"
+
+	"hpcfail/internal/core"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/topology"
+)
+
+// Re-exported core types. The aliases are the stable public names; the
+// internal packages carry the implementations.
+type (
+	// SystemSpec describes one studied system (Table I row).
+	SystemSpec = topology.Spec
+	// Profile holds a system's calibrated fault-generation rates.
+	Profile = faultsim.Profile
+	// Scenario is a simulated system history: jobs, log records and
+	// ground truth.
+	Scenario = faultsim.Scenario
+	// Failure is one ground-truth node failure.
+	Failure = faultsim.Failure
+	// Record is one structured log event.
+	Record = events.Record
+	// Store is the indexed event store the pipeline queries.
+	Store = logstore.Store
+	// PipelineConfig holds the diagnosis pipeline's windows.
+	PipelineConfig = core.Config
+	// Result is the pipeline output: detections and diagnoses.
+	Result = core.Result
+	// Detection is one confirmed node failure.
+	Detection = core.Detection
+	// Diagnosis is one failure's inferred root cause with evidence.
+	Diagnosis = core.Diagnosis
+	// Cause is a root-cause bucket.
+	Cause = faults.Cause
+	// Class is a coarse system layer.
+	Class = faults.Class
+	// LeadTimeSummary aggregates lead-time enhancement (Fig 13).
+	LeadTimeSummary = core.LeadTimeSummary
+)
+
+// Root-cause buckets (see faults.Cause for documentation).
+const (
+	CauseUnknown       = faults.CauseUnknown
+	CauseMCE           = faults.CauseMCE
+	CauseCPUCorruption = faults.CauseCPUCorruption
+	CauseHardwareOther = faults.CauseHardwareOther
+	CauseKernelBug     = faults.CauseKernelBug
+	CauseCPUStall      = faults.CauseCPUStall
+	CauseFilesystemBug = faults.CauseFilesystemBug
+	CauseOOM           = faults.CauseOOM
+	CauseAppExit       = faults.CauseAppExit
+	CauseSegFault      = faults.CauseSegFault
+	CauseHungTask      = faults.CauseHungTask
+)
+
+// Systems lists the five studied system specs (Table I).
+func Systems() []SystemSpec { return topology.Profiles() }
+
+// SystemProfile returns the calibrated simulation profile for a system
+// ("S1" … "S5").
+func SystemProfile(id string) (Profile, error) { return faultsim.DefaultProfile(id) }
+
+// Simulate runs the fault simulator over [start, end) with the given
+// seed. Same inputs, same output — always.
+func Simulate(p Profile, start, end time.Time, seed uint64) (*Scenario, error) {
+	return faultsim.Generate(p, start, end, seed)
+}
+
+// StoreRecords builds an indexed store over in-memory records.
+func StoreRecords(recs []Record) *Store { return logstore.New(recs) }
+
+// WriteLogs renders a scenario's records into raw log files under dir
+// (one file per stream, in the system's scheduler dialect).
+func WriteLogs(dir string, scn *Scenario) error {
+	return logstore.WriteDir(dir, scn.Records, scn.Profile.Spec.Scheduler)
+}
+
+// LoadLogs parses a log directory back into a store. Parse errors are
+// returned alongside the (partial) store.
+func LoadLogs(dir string, sched topology.SchedulerType) (*Store, []error, error) {
+	return logstore.LoadDir(dir, sched)
+}
+
+// DefaultPipelineConfig returns the evaluation's correlation windows.
+func DefaultPipelineConfig() PipelineConfig { return core.DefaultConfig() }
+
+// Diagnose runs the full methodology — detect, correlate, attribute,
+// classify — over a store with default windows.
+func Diagnose(store *Store) *Result { return core.Run(store, core.DefaultConfig()) }
+
+// DiagnoseWith runs the pipeline with custom windows.
+func DiagnoseWith(store *Store, cfg PipelineConfig) *Result { return core.Run(store, cfg) }
+
+// SummarizeLeadTimes aggregates lead-time enhancement over diagnoses
+// (Fig 13).
+func SummarizeLeadTimes(diags []Diagnosis) LeadTimeSummary {
+	return core.SummarizeLeadTimes(diags)
+}
+
+// DiagnoseParallel runs the pipeline with per-failure diagnosis fanned
+// out over a worker pool (workers <= 0 selects GOMAXPROCS). Output is
+// identical to Diagnose.
+func DiagnoseParallel(store *Store, workers int) *Result {
+	return core.RunParallel(store, core.DefaultConfig(), workers)
+}
+
+// Recommendation is one Table VI-style operator action derived from
+// measured behaviour.
+type Recommendation = core.Recommendation
+
+// Recommend derives the paper's findings → recommendations from a
+// pipeline result.
+func Recommend(res *Result) []Recommendation { return core.Recommend(res) }
+
+// Watcher is the online (streaming) detector; see core.NewWatcher.
+type Watcher = core.Watcher
+
+// NewWatcher builds a streaming detector that invokes onDetection for
+// each confirmed failure as its log records arrive.
+func NewWatcher(onDetection func(Detection)) *Watcher {
+	return core.NewWatcher(core.DefaultConfig(), onDetection)
+}

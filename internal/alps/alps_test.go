@@ -1,0 +1,77 @@
+package alps
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+)
+
+func testLaunch() Launch {
+	return Launch{
+		Apid:  ApidBase + 1,
+		JobID: 397,
+		Nodes: []cname.Name{cname.MustParse("c0-0c0s0n0"), cname.MustParse("c0-0c0s0n1")},
+		Start: time.Date(2015, 3, 2, 10, 0, 0, 0, time.UTC),
+		End:   time.Date(2015, 3, 2, 11, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestPlacementEvent(t *testing.T) {
+	r := PlacementEvent(testLaunch())
+	if r.Stream != events.StreamALPS || r.Category != "apid_place" {
+		t.Errorf("placement record: %+v", r)
+	}
+	if r.JobID != 397 || Apid(&r) != ApidBase+1 {
+		t.Errorf("ids: job=%d apid=%d", r.JobID, Apid(&r))
+	}
+	if !strings.Contains(r.Field("nodes"), "c0-0c0s0n[0-1]") {
+		t.Errorf("nodes field: %q", r.Field("nodes"))
+	}
+}
+
+func TestExitEventSeverity(t *testing.T) {
+	ok := ExitEvent(testLaunch(), 0)
+	if ok.Severity != events.SevInfo || ok.Field("status") != "0" {
+		t.Errorf("clean exit: %+v", ok)
+	}
+	bad := ExitEvent(testLaunch(), 137)
+	if bad.Severity != events.SevWarning || bad.Field("status") != "137" {
+		t.Errorf("non-zero exit: %+v", bad)
+	}
+}
+
+func TestApidInvalid(t *testing.T) {
+	r := events.Record{}
+	if Apid(&r) != 0 {
+		t.Error("missing apid field should read 0")
+	}
+	r.SetField("apid", "xyz")
+	if Apid(&r) != 0 {
+		t.Error("garbage apid should read 0")
+	}
+}
+
+func TestIndexAndResolve(t *testing.T) {
+	l := testLaunch()
+	recs := []events.Record{
+		PlacementEvent(l),
+		ExitEvent(l, 0),
+		{Stream: events.StreamConsole, JobID: 5}, // ignored: not ALPS
+	}
+	idx := IndexFromRecords(recs)
+	if len(idx) != 1 || idx[l.Apid] != l.JobID {
+		t.Fatalf("index = %v", idx)
+	}
+	if Resolve(l.Apid, idx) != l.JobID {
+		t.Error("apid should resolve to job")
+	}
+	if Resolve(42, idx) != 42 {
+		t.Error("unknown id should pass through")
+	}
+	if Resolve(l.Apid, nil) != l.Apid {
+		t.Error("nil index should pass through")
+	}
+}

@@ -1,0 +1,188 @@
+package checkpoint
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+
+func params() Params {
+	return Params{CheckpointCost: 10 * time.Minute, RestartCost: 5 * time.Minute, MTBF: 6 * time.Hour}
+}
+
+func TestDalyInterval(t *testing.T) {
+	p := params()
+	got := DalyInterval(p)
+	// sqrt(2 * 10min * 360min) = sqrt(7200) min ≈ 84.85 min.
+	want := 84.85
+	if m := got.Minutes(); m < want-0.1 || m > want+0.1 {
+		t.Errorf("Daly interval = %.2f min, want ~%.2f", m, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (Params{}).Validate() == nil {
+		t.Error("zero params should be invalid")
+	}
+	if params().Validate() != nil {
+		t.Error("sane params should validate")
+	}
+	if _, err := Evaluate(Periodic, Params{}, nil, time.Hour, 0); err == nil {
+		t.Error("Evaluate should propagate invalid params")
+	}
+	if _, err := Evaluate(Periodic, params(), nil, 0, 0); err == nil {
+		t.Error("Evaluate should reject non-positive span")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if Periodic.String() != "periodic" || ProactiveInternal.String() != "proactive-internal" ||
+		ProactiveExternal.String() != "proactive-external" || Strategy(9).String() == "" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestPeriodicLosesHalfInterval(t *testing.T) {
+	p := params()
+	span := 30 * 24 * time.Hour
+	failures := []Failure{{Time: t0.Add(24 * time.Hour)}, {Time: t0.Add(48 * time.Hour)}}
+	out, err := Evaluate(Periodic, p, failures, span, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Covered != 0 || out.Missed != 2 {
+		t.Errorf("periodic coverage: %+v", out)
+	}
+	wantLost := DalyInterval(p) // two halves (± integer-division nanoseconds)
+	if diff := out.LostWork - wantLost; diff < -2 || diff > 2 {
+		t.Errorf("lost work = %v, want ~%v", out.LostWork, wantLost)
+	}
+	if out.RestartTime != 10*time.Minute {
+		t.Errorf("restart time = %v", out.RestartTime)
+	}
+	if out.FalseAlarms != 0 {
+		t.Error("periodic has no proactive alarms")
+	}
+}
+
+func TestProactiveCoversWhenLeadExceedsCost(t *testing.T) {
+	p := params()
+	span := 7 * 24 * time.Hour
+	failures := []Failure{
+		{Time: t0, InternalLead: 4 * time.Minute, ExternalLead: 20 * time.Minute},  // only external covers
+		{Time: t0, InternalLead: 12 * time.Minute, ExternalLead: 60 * time.Minute}, // both cover
+		{Time: t0}, // silent: neither
+	}
+	internal, err := Evaluate(ProactiveInternal, p, failures, span, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if internal.Covered != 1 || internal.Missed != 2 {
+		t.Errorf("internal coverage: %+v", internal)
+	}
+	external, err := Evaluate(ProactiveExternal, p, failures, span, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if external.Covered != 2 || external.Missed != 1 {
+		t.Errorf("external coverage: %+v", external)
+	}
+	// External strategy wastes less overall.
+	if external.TotalWaste() >= internal.TotalWaste() {
+		t.Errorf("external waste %v should beat internal %v",
+			external.TotalWaste(), internal.TotalWaste())
+	}
+}
+
+func TestExternalFallsBackToInternal(t *testing.T) {
+	p := params()
+	failures := []Failure{{Time: t0, InternalLead: 30 * time.Minute}} // no external lead
+	out, err := Evaluate(ProactiveExternal, p, failures, 24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Covered != 1 {
+		t.Errorf("external strategy should fall back to internal lead: %+v", out)
+	}
+}
+
+func TestFalseAlarmCost(t *testing.T) {
+	p := params()
+	a, _ := Evaluate(ProactiveExternal, p, nil, 24*time.Hour, 0)
+	b, _ := Evaluate(ProactiveExternal, p, nil, 24*time.Hour, 6)
+	if b.CheckpointOverhead-a.CheckpointOverhead != 6*p.CheckpointCost {
+		t.Errorf("false alarms should cost one checkpoint each: %v vs %v",
+			a.CheckpointOverhead, b.CheckpointOverhead)
+	}
+	if c, _ := Evaluate(Periodic, p, nil, 24*time.Hour, 6); c.FalseAlarms != 0 {
+		t.Error("periodic ignores false alarms")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	p := params()
+	span := 30 * 24 * time.Hour
+	// A failure population resembling the paper: ~25% with 5x external
+	// leads, the rest internal-only with short leads.
+	var failures []Failure
+	for i := 0; i < 40; i++ {
+		f := Failure{Time: t0.Add(time.Duration(i) * 12 * time.Hour), InternalLead: 4 * time.Minute}
+		if i%4 == 0 {
+			f.ExternalLead = 22 * time.Minute
+		}
+		failures = append(failures, f)
+	}
+	outs, err := Compare(p, failures, span, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	// With 4-minute internal leads (< 10-minute checkpoint cost) the
+	// internal strategy covers nothing; external covers the 25%.
+	if outs[1].Covered != 0 {
+		t.Errorf("internal should cover 0 with 4-min leads: %+v", outs[1])
+	}
+	if outs[2].Covered != 10 {
+		t.Errorf("external should cover 10: %+v", outs[2])
+	}
+	if outs[2].TotalWaste() >= outs[0].TotalWaste() {
+		t.Errorf("proactive-external (%v) should beat periodic (%v)",
+			outs[2].TotalWaste(), outs[0].TotalWaste())
+	}
+	if outs[0].WasteFraction(span) <= 0 {
+		t.Error("waste fraction should be positive")
+	}
+}
+
+// Property: waste is never negative and covered+missed == len(failures).
+func TestQuickConservation(t *testing.T) {
+	p := params()
+	f := func(nFail uint8, leadMin uint8, extMul uint8) bool {
+		var failures []Failure
+		for i := 0; i < int(nFail%30); i++ {
+			lead := time.Duration(leadMin%60) * time.Minute
+			failures = append(failures, Failure{
+				Time:         t0,
+				InternalLead: lead,
+				ExternalLead: lead * time.Duration(extMul%8),
+			})
+		}
+		for _, s := range []Strategy{Periodic, ProactiveInternal, ProactiveExternal} {
+			out, err := Evaluate(s, p, failures, 7*24*time.Hour, 3)
+			if err != nil {
+				return false
+			}
+			if out.TotalWaste() < 0 || out.Covered+out.Missed != len(failures) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

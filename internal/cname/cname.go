@@ -1,0 +1,382 @@
+// Package cname implements the Cray component-name ("cname") algebra used
+// by the Hardware Supervisory System to address physical components.
+//
+// A cname identifies a position in the physical hierarchy:
+//
+//	c X - Y            cabinet in column X, row Y
+//	c X - Y c C        chassis C (0-2) within the cabinet
+//	c X - Y c C s S    slot/blade S (0-15) within the chassis
+//	c X - Y c C s S n N node N (0-3) on the blade
+//
+// For example c1-0c2s7n3 is node 3 on blade 7 of chassis 2 in the cabinet
+// at column 1, row 0. The paper's correlation methodology (Fig 2) walks
+// this hierarchy — node → blade → cabinet — to join node-internal failures
+// with blade-controller and cabinet-controller health events, so the
+// containment relations here underpin the whole analysis pipeline.
+package cname
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Level identifies the granularity of a component name.
+type Level int
+
+const (
+	// LevelInvalid marks the zero Name.
+	LevelInvalid Level = iota
+	// LevelCabinet addresses a whole cabinet (cX-Y).
+	LevelCabinet
+	// LevelChassis addresses a chassis within a cabinet (cX-YcC).
+	LevelChassis
+	// LevelBlade addresses a blade/slot within a chassis (cX-YcCsS).
+	LevelBlade
+	// LevelNode addresses a compute node on a blade (cX-YcCsSnN).
+	LevelNode
+)
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	switch l {
+	case LevelCabinet:
+		return "cabinet"
+	case LevelChassis:
+		return "chassis"
+	case LevelBlade:
+		return "blade"
+	case LevelNode:
+		return "node"
+	default:
+		return "invalid"
+	}
+}
+
+// Standard geometry of a Cray XC/XE cabinet. These are constants of the
+// hardware platform, not tunables: 3 chassis per cabinet, 16 blade slots
+// per chassis, 4 nodes per blade.
+const (
+	ChassisPerCabinet = 3
+	SlotsPerChassis   = 16
+	NodesPerBlade     = 4
+	NodesPerChassis   = SlotsPerChassis * NodesPerBlade
+	NodesPerCabinet   = ChassisPerCabinet * NodesPerChassis
+)
+
+// Name is a parsed component name. The zero value is invalid.
+type Name struct {
+	level   Level
+	col     int // cabinet column (X)
+	row     int // cabinet row (Y)
+	chassis int // 0..2, valid for LevelChassis and finer
+	slot    int // 0..15, valid for LevelBlade and finer
+	node    int // 0..3, valid for LevelNode
+}
+
+// Cabinet constructs a cabinet-level name.
+func Cabinet(col, row int) Name {
+	return Name{level: LevelCabinet, col: col, row: row}
+}
+
+// Chassis constructs a chassis-level name.
+func Chassis(col, row, chassis int) Name {
+	return Name{level: LevelChassis, col: col, row: row, chassis: chassis}
+}
+
+// Blade constructs a blade-level name.
+func Blade(col, row, chassis, slot int) Name {
+	return Name{level: LevelBlade, col: col, row: row, chassis: chassis, slot: slot}
+}
+
+// Node constructs a node-level name.
+func Node(col, row, chassis, slot, node int) Name {
+	return Name{level: LevelNode, col: col, row: row, chassis: chassis, slot: slot, node: node}
+}
+
+// Level reports the granularity of the name.
+func (n Name) Level() Level { return n.level }
+
+// IsValid reports whether the name addresses a component.
+func (n Name) IsValid() bool { return n.level != LevelInvalid }
+
+// Col returns the cabinet column.
+func (n Name) Col() int { return n.col }
+
+// Row returns the cabinet row.
+func (n Name) Row() int { return n.row }
+
+// ChassisIndex returns the chassis number within the cabinet. Valid for
+// chassis-level names and finer.
+func (n Name) ChassisIndex() int { return n.chassis }
+
+// SlotIndex returns the blade slot within the chassis. Valid for
+// blade-level names and finer.
+func (n Name) SlotIndex() int { return n.slot }
+
+// NodeIndex returns the node number on the blade. Valid for node-level
+// names only.
+func (n Name) NodeIndex() int { return n.node }
+
+// String renders the canonical cname form.
+func (n Name) String() string {
+	var b strings.Builder
+	if n.level == LevelInvalid {
+		return "<invalid cname>"
+	}
+	fmt.Fprintf(&b, "c%d-%d", n.col, n.row)
+	if n.level >= LevelChassis {
+		fmt.Fprintf(&b, "c%d", n.chassis)
+	}
+	if n.level >= LevelBlade {
+		fmt.Fprintf(&b, "s%d", n.slot)
+	}
+	if n.level >= LevelNode {
+		fmt.Fprintf(&b, "n%d", n.node)
+	}
+	return b.String()
+}
+
+// CabinetName returns the enclosing cabinet.
+func (n Name) CabinetName() Name {
+	if n.level == LevelInvalid {
+		return Name{}
+	}
+	return Cabinet(n.col, n.row)
+}
+
+// ChassisName returns the enclosing chassis, or an invalid Name for
+// cabinet-level input.
+func (n Name) ChassisName() Name {
+	if n.level < LevelChassis {
+		return Name{}
+	}
+	return Chassis(n.col, n.row, n.chassis)
+}
+
+// BladeName returns the enclosing blade, or an invalid Name for input
+// coarser than a blade.
+func (n Name) BladeName() Name {
+	if n.level < LevelBlade {
+		return Name{}
+	}
+	return Blade(n.col, n.row, n.chassis, n.slot)
+}
+
+// Contains reports whether n encloses (or equals) other in the physical
+// hierarchy. A cabinet contains its chassis, blades and nodes; a blade
+// contains its nodes; every component contains itself.
+func (n Name) Contains(other Name) bool {
+	if n.level == LevelInvalid || other.level == LevelInvalid || n.level > other.level {
+		return false
+	}
+	if n.col != other.col || n.row != other.row {
+		return false
+	}
+	if n.level >= LevelChassis && n.chassis != other.chassis {
+		return false
+	}
+	if n.level >= LevelBlade && n.slot != other.slot {
+		return false
+	}
+	if n.level >= LevelNode && n.node != other.node {
+		return false
+	}
+	return true
+}
+
+// SameBlade reports whether two node- or blade-level names share a blade.
+// The paper's spatial-correlation step asks exactly this question: did
+// the other nodes of the failed node's blade show health faults?
+func SameBlade(a, b Name) bool {
+	ab, bb := a.BladeName(), b.BladeName()
+	return ab.IsValid() && ab == bb
+}
+
+// SameCabinet reports whether two names share a cabinet.
+func SameCabinet(a, b Name) bool {
+	return a.IsValid() && b.IsValid() && a.col == b.col && a.row == b.row
+}
+
+// Siblings returns the other nodes on the same blade as the given
+// node-level name. Returns nil for non-node input.
+func (n Name) Siblings() []Name {
+	if n.level != LevelNode {
+		return nil
+	}
+	out := make([]Name, 0, NodesPerBlade-1)
+	for i := 0; i < NodesPerBlade; i++ {
+		if i == n.node {
+			continue
+		}
+		out = append(out, Node(n.col, n.row, n.chassis, n.slot, i))
+	}
+	return out
+}
+
+// NID returns a dense non-negative node identifier for a node-level name
+// within a machine laid out as rows × cols cabinets. Cray systems expose
+// a similar "nid" integer (e.g. nid00042) alongside the cname. The
+// mapping enumerates cabinets row-major, then chassis, slot, node.
+func (n Name) NID(cols int) int {
+	if n.level != LevelNode || cols <= 0 {
+		return -1
+	}
+	cab := n.row*cols + n.col
+	return ((cab*ChassisPerCabinet+n.chassis)*SlotsPerChassis+n.slot)*NodesPerBlade + n.node
+}
+
+// FromNID inverts NID for a machine with the given cabinet column count.
+func FromNID(nid, cols int) Name {
+	if nid < 0 || cols <= 0 {
+		return Name{}
+	}
+	node := nid % NodesPerBlade
+	nid /= NodesPerBlade
+	slot := nid % SlotsPerChassis
+	nid /= SlotsPerChassis
+	chassis := nid % ChassisPerCabinet
+	cab := nid / ChassisPerCabinet
+	return Node(cab%cols, cab/cols, chassis, slot, node)
+}
+
+// NIDString renders the Cray-style zero-padded node id, e.g. "nid00042".
+func NIDString(nid int) string {
+	return fmt.Sprintf("nid%05d", nid)
+}
+
+// ParseNID parses a "nidNNNNN" string.
+func ParseNID(s string) (int, error) {
+	if !strings.HasPrefix(s, "nid") {
+		return 0, fmt.Errorf("cname: %q is not a nid", s)
+	}
+	v, err := strconv.Atoi(strings.TrimPrefix(s, "nid"))
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("cname: bad nid %q", s)
+	}
+	return v, nil
+}
+
+// Parse parses a cname of any level. It accepts the canonical forms
+// produced by String: cX-Y, cX-YcC, cX-YcCsS, cX-YcCsSnN.
+func Parse(s string) (Name, error) {
+	orig := s
+	fail := func() (Name, error) {
+		return Name{}, fmt.Errorf("cname: cannot parse %q", orig)
+	}
+	if len(s) < 4 || s[0] != 'c' {
+		return fail()
+	}
+	s = s[1:]
+	dash := strings.IndexByte(s, '-')
+	if dash <= 0 {
+		return fail()
+	}
+	col, err := strconv.Atoi(s[:dash])
+	if err != nil || col < 0 {
+		return fail()
+	}
+	s = s[dash+1:]
+	// Row digits run until the next letter or end of string.
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return fail()
+	}
+	row, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return fail()
+	}
+	s = s[i:]
+	name := Cabinet(col, row)
+	for _, part := range []struct {
+		tag   byte
+		set   func(int)
+		lvl   Level
+		bound int
+	}{
+		{'c', func(v int) { name.chassis = v }, LevelChassis, ChassisPerCabinet},
+		{'s', func(v int) { name.slot = v }, LevelBlade, SlotsPerChassis},
+		{'n', func(v int) { name.node = v }, LevelNode, NodesPerBlade},
+	} {
+		if len(s) == 0 {
+			return name, nil
+		}
+		if s[0] != part.tag {
+			return fail()
+		}
+		s = s[1:]
+		j := 0
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == 0 {
+			return fail()
+		}
+		v, err := strconv.Atoi(s[:j])
+		if err != nil || v < 0 || v >= part.bound {
+			return fail()
+		}
+		part.set(v)
+		name.level = part.lvl
+		s = s[j:]
+	}
+	if len(s) != 0 {
+		return fail()
+	}
+	return name, nil
+}
+
+// MustParse is Parse that panics on error; for constants in tests and
+// examples.
+func MustParse(s string) Name {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MarshalText implements encoding.TextMarshaler (JSON object keys and
+// values render as the canonical cname).
+func (n Name) MarshalText() ([]byte, error) {
+	if !n.IsValid() {
+		return []byte(""), nil
+	}
+	return []byte(n.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; empty text yields
+// the invalid zero Name.
+func (n *Name) UnmarshalText(text []byte) error {
+	if len(text) == 0 {
+		*n = Name{}
+		return nil
+	}
+	parsed, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*n = parsed
+	return nil
+}
+
+// Compare orders names hierarchically (row, col, chassis, slot, node,
+// level). Suitable for sorting event listings into physical order.
+func Compare(a, b Name) int {
+	key := func(n Name) [6]int {
+		return [6]int{n.row, n.col, n.chassis, n.slot, n.node, int(n.level)}
+	}
+	ka, kb := key(a), key(b)
+	for i := range ka {
+		switch {
+		case ka[i] < kb[i]:
+			return -1
+		case ka[i] > kb[i]:
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package cname
+
+import "testing"
+
+// Fuzz targets: identifier parsing must never panic, and anything that
+// parses must re-render to an equivalent value.
+
+func FuzzParse(f *testing.F) {
+	f.Add("c0-0")
+	f.Add("c1-0c2s7n3")
+	f.Add("c12-3c2s15n0")
+	f.Add("")
+	f.Add("c-")
+	f.Add("c0-0c9s99n9")
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err2 := Parse(n.String())
+		if err2 != nil || back != n {
+			t.Fatalf("re-parse of %q -> %v failed: %v %v", s, n, back, err2)
+		}
+	})
+}
+
+func FuzzExpandNodeList(f *testing.F) {
+	f.Add("c0-0c0s0n[0-3],c1-0c2s7n3")
+	f.Add("c0-0c0s0n[0,2]")
+	f.Add("[[[]]]")
+	f.Add("c0-0c0s0n[0-")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, s string) {
+		nodes, err := ExpandNodeList(s)
+		if err != nil {
+			return
+		}
+		// Everything expanded must survive a compress/expand cycle.
+		back, err2 := ExpandNodeList(CompressNodeList(nodes))
+		if err2 != nil {
+			t.Fatalf("re-expand failed for %q: %v", s, err2)
+		}
+		want := map[Name]bool{}
+		for _, n := range nodes {
+			if n.Level() == LevelNode {
+				want[n] = true
+			}
+		}
+		for _, n := range back {
+			if !want[n] {
+				t.Fatalf("round trip invented node %v from %q", n, s)
+			}
+		}
+	})
+}
+
+func FuzzParseNID(f *testing.F) {
+	f.Add("nid00042")
+	f.Add("nid")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, s string) {
+		if v, err := ParseNID(s); err == nil {
+			if NIDString(v) == "" {
+				t.Fatal("render of parsed nid empty")
+			}
+		}
+	})
+}

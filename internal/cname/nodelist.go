@@ -1,0 +1,167 @@
+package cname
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node-list compression. Schedulers never log thousand-node allocations
+// as comma lists; they compress consecutive indices into bracketed
+// ranges ("nid[00001-00012]" in Slurm). This file implements the
+// analogous compression over cnames, grouping nodes by blade:
+//
+//	c0-0c0s0n[0-3],c0-0c0s1n[0,2],c0-0c1s4n2
+//
+// Compression is exact: Expand(Compress(nodes)) returns the same set.
+
+// CompressNodeList renders a set of node-level names compactly. The
+// input is deduplicated and sorted; non-node names are ignored.
+func CompressNodeList(nodes []Name) string {
+	byBlade := map[Name][]int{}
+	var blades []Name
+	for _, n := range nodes {
+		if n.Level() != LevelNode {
+			continue
+		}
+		b := n.BladeName()
+		if _, seen := byBlade[b]; !seen {
+			blades = append(blades, b)
+		}
+		byBlade[b] = append(byBlade[b], n.NodeIndex())
+	}
+	sort.Slice(blades, func(i, j int) bool { return Compare(blades[i], blades[j]) < 0 })
+	var parts []string
+	for _, b := range blades {
+		idx := dedupeInts(byBlade[b])
+		if len(idx) == 1 {
+			parts = append(parts, fmt.Sprintf("%sn%d", b, idx[0]))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%sn[%s]", b, compressInts(idx)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// dedupeInts sorts and deduplicates.
+func dedupeInts(in []int) []int {
+	sort.Ints(in)
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// compressInts renders sorted distinct ints as "0-2,5".
+func compressInts(idx []int) string {
+	var b strings.Builder
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && idx[j+1] == idx[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", idx[i], idx[j])
+		} else {
+			fmt.Fprintf(&b, "%d", idx[i])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// ExpandNodeList inverts CompressNodeList. It also accepts plain
+// comma-separated cnames (the uncompressed legacy form).
+func ExpandNodeList(s string) ([]Name, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Name
+	for _, part := range splitTopLevel(s) {
+		if part == "" {
+			continue
+		}
+		br := strings.IndexByte(part, '[')
+		if br < 0 {
+			n, err := Parse(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+			continue
+		}
+		if !strings.HasSuffix(part, "]") || !strings.HasSuffix(part[:br], "n") {
+			return nil, fmt.Errorf("cname: bad node list part %q", part)
+		}
+		blade, err := Parse(part[:br-1])
+		if err != nil {
+			return nil, err
+		}
+		if blade.Level() != LevelBlade {
+			return nil, fmt.Errorf("cname: node list prefix %q is not a blade", part[:br-1])
+		}
+		idx, err := expandInts(part[br+1 : len(part)-1])
+		if err != nil {
+			return nil, fmt.Errorf("cname: %v in %q", err, part)
+		}
+		for _, i := range idx {
+			if i < 0 || i >= NodesPerBlade {
+				return nil, fmt.Errorf("cname: node index %d out of range in %q", i, part)
+			}
+			out = append(out, Node(blade.Col(), blade.Row(), blade.ChassisIndex(), blade.SlotIndex(), i))
+		}
+	}
+	return out, nil
+}
+
+// splitTopLevel splits on commas outside brackets.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// expandInts parses "0-2,5" into [0 1 2 5].
+func expandInts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		if dash := strings.IndexByte(tok, '-'); dash > 0 {
+			lo, err1 := strconv.Atoi(tok[:dash])
+			hi, err2 := strconv.Atoi(tok[dash+1:])
+			if err1 != nil || err2 != nil || hi < lo {
+				return nil, fmt.Errorf("bad range %q", tok)
+			}
+			for v := lo; v <= hi; v++ {
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad index %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package cname
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpcfail/internal/rng"
+)
+
+func TestCompressNodeListForms(t *testing.T) {
+	cases := []struct {
+		nodes []Name
+		want  string
+	}{
+		{nil, ""},
+		{[]Name{Node(0, 0, 0, 0, 2)}, "c0-0c0s0n2"},
+		{
+			[]Name{Node(0, 0, 0, 0, 0), Node(0, 0, 0, 0, 1), Node(0, 0, 0, 0, 2), Node(0, 0, 0, 0, 3)},
+			"c0-0c0s0n[0-3]",
+		},
+		{
+			[]Name{Node(0, 0, 0, 0, 0), Node(0, 0, 0, 0, 2)},
+			"c0-0c0s0n[0,2]",
+		},
+		{
+			[]Name{Node(0, 0, 0, 1, 0), Node(0, 0, 0, 0, 3), Node(0, 0, 0, 1, 1)},
+			"c0-0c0s0n3,c0-0c0s1n[0-1]",
+		},
+		// Duplicates collapse; blade-level names ignored.
+		{
+			[]Name{Node(0, 0, 0, 0, 1), Node(0, 0, 0, 0, 1), Blade(0, 0, 0, 0)},
+			"c0-0c0s0n1",
+		},
+	}
+	for _, c := range cases {
+		if got := CompressNodeList(c.nodes); got != c.want {
+			t.Errorf("Compress(%v) = %q, want %q", c.nodes, got, c.want)
+		}
+	}
+}
+
+func TestExpandNodeList(t *testing.T) {
+	got, err := ExpandNodeList("c0-0c0s0n[0-2],c1-0c2s7n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3] != Node(1, 0, 2, 7, 3) {
+		t.Fatalf("Expand = %v", got)
+	}
+	// Legacy plain form still parses.
+	got, err = ExpandNodeList("c0-0c0s0n0,c0-0c0s0n1")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("legacy expand: %v %v", got, err)
+	}
+	if ns, err := ExpandNodeList(""); err != nil || ns != nil {
+		t.Error("empty list should expand to nil")
+	}
+}
+
+func TestExpandNodeListErrors(t *testing.T) {
+	bad := []string{
+		"c0-0c0s0n[0-",     // unterminated
+		"c0-0c0s0n[9]",     // index out of range
+		"c0-0c0s0n[2-1]",   // inverted range
+		"c0-0c0s0n[x]",     // garbage index
+		"c0-0c0n[0]",       // prefix not a blade
+		"c0-0c0s0x[0]",     // missing n
+		"garbage",          // not a cname
+		"c0-0c0s0n[0],bad", // trailing garbage
+	}
+	for _, s := range bad {
+		if _, err := ExpandNodeList(s); err == nil {
+			t.Errorf("ExpandNodeList(%q) should fail", s)
+		}
+	}
+}
+
+// Property: Expand inverts Compress for arbitrary node sets.
+func TestQuickCompressRoundTrip(t *testing.T) {
+	f := func(seed uint64, count uint8) bool {
+		r := rng.New(seed)
+		n := int(count)%100 + 1
+		seen := map[Name]bool{}
+		var nodes []Name
+		for i := 0; i < n; i++ {
+			nd := Node(r.Intn(3), r.Intn(2), r.Intn(ChassisPerCabinet),
+				r.Intn(SlotsPerChassis), r.Intn(NodesPerBlade))
+			if !seen[nd] {
+				seen[nd] = true
+				nodes = append(nodes, nd)
+			}
+		}
+		got, err := ExpandNodeList(CompressNodeList(nodes))
+		if err != nil || len(got) != len(nodes) {
+			return false
+		}
+		for _, g := range got {
+			if !seen[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionShrinksLargeAllocations(t *testing.T) {
+	var nodes []Name
+	var plain []string
+	for s := 0; s < SlotsPerChassis; s++ {
+		for nd := 0; nd < NodesPerBlade; nd++ {
+			n := Node(0, 0, 0, s, nd)
+			nodes = append(nodes, n)
+			plain = append(plain, n.String())
+		}
+	}
+	compressed := CompressNodeList(nodes)
+	if len(compressed) >= len(strings.Join(plain, ","))/2 {
+		t.Errorf("compression too weak: %d vs %d bytes", len(compressed), len(strings.Join(plain, ",")))
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/topology"
+)
+
+var simStart = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+
+// buildScenario generates a small scenario and the store built from its
+// rendered-then-parsed logs, so every test exercises the full text
+// round trip the real pipeline would see.
+func buildScenario(t *testing.T, days int, seed uint64) (*faultsim.Scenario, *logstore.Store) {
+	t.Helper()
+	p, err := faultsim.DefaultProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec = topology.Spec{ID: "S1", Nodes: 768, CabinetCols: 2,
+		Scheduler: topology.SchedulerSlurm, Cray: true}
+	p.Workload.MeanInterarrival = 20 * time.Minute
+	scn, err := faultsim.Generate(p, simStart, simStart.Add(time.Duration(days)*24*time.Hour), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn, storeFromScenario(t, scn)
+}
+
+func storeFromScenario(t *testing.T, scn *faultsim.Scenario) *logstore.Store {
+	t.Helper()
+	sched := scn.Profile.Spec.Scheduler
+	var parsed []events.Record
+	for stream, lines := range loggen.RenderAll(scn.Records, sched) {
+		_ = stream
+		_ = lines
+	}
+	// RenderAll groups by file name; re-parse per stream.
+	byStream := map[events.Stream][]string{}
+	for _, r := range scn.Records {
+		byStream[r.Stream] = append(byStream[r.Stream], loggen.Render(r, sched)...)
+	}
+	for stream, lines := range byStream {
+		got, errs := logparse.ParseLines(stream, sched, lines)
+		if len(errs) > 0 {
+			t.Fatalf("parse errors on %v: %v", stream, errs[0])
+		}
+		parsed = append(parsed, got...)
+	}
+	return logstore.New(parsed)
+}
+
+// matchDetections aligns detections with ground truth by node and ±30 s.
+func matchDetections(scn *faultsim.Scenario, dets []Detection) (matched map[int]int, extra []Detection) {
+	matched = map[int]int{} // detection index -> failure index
+	used := map[int]bool{}
+	for di, d := range dets {
+		found := false
+		for fi, f := range scn.Failures {
+			if used[fi] || f.Node != d.Node {
+				continue
+			}
+			gap := f.Time.Sub(d.Time)
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap <= 30*time.Second {
+				matched[di] = fi
+				used[fi] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, d)
+		}
+	}
+	return matched, extra
+}
+
+func TestDetectRecoversGroundTruth(t *testing.T) {
+	scn, store := buildScenario(t, 7, 101)
+	dets := Detect(store.All(), DefaultConfig())
+	matched, extra := matchDetections(scn, dets)
+	if len(extra) > 0 {
+		t.Errorf("%d spurious detections, e.g. %+v", len(extra), extra[0])
+	}
+	recall := float64(len(matched)) / float64(len(scn.Failures))
+	if recall < 0.99 {
+		t.Errorf("detection recall = %.3f (found %d of %d)", recall, len(matched), len(scn.Failures))
+	}
+}
+
+func TestDetectExcludesScheduledShutdowns(t *testing.T) {
+	recs := []events.Record{
+		func() events.Record {
+			r := events.Record{Time: simStart, Stream: events.StreamConsole,
+				Component: cname.MustParse("c0-0c0s0n0"),
+				Category:  faults.NodeShutdown.Category(), Severity: events.SevInfo}
+			r.SetField("intent", "scheduled")
+			return r
+		}(),
+	}
+	if dets := Detect(recs, DefaultConfig()); len(dets) != 0 {
+		t.Errorf("scheduled shutdown detected as failure: %+v", dets)
+	}
+}
+
+func TestDetectRefractoryMerging(t *testing.T) {
+	node := cname.MustParse("c0-0c0s0n0")
+	mk := func(offset time.Duration) events.Record {
+		return events.Record{Time: simStart.Add(offset), Stream: events.StreamConsole,
+			Component: node, Category: faults.NodeShutdown.Category(), Severity: events.SevCritical}
+	}
+	recs := []events.Record{mk(0), mk(2 * time.Minute), mk(40 * time.Minute)}
+	dets := Detect(recs, DefaultConfig())
+	if len(dets) != 2 {
+		t.Errorf("got %d detections, want 2 (refractory merge)", len(dets))
+	}
+}
+
+func TestRootCauseAccuracy(t *testing.T) {
+	scn, store := buildScenario(t, 14, 103)
+	res := Run(store, DefaultConfig())
+	matched, _ := matchDetections(scn, res.Detections)
+	if len(matched) < 20 {
+		t.Fatalf("too few matched failures (%d) to assess accuracy", len(matched))
+	}
+	causeHits, classHits := 0, 0
+	for di, fi := range matched {
+		truth := scn.Failures[fi]
+		diag := res.Diagnoses[di]
+		if diag.Cause == truth.Cause {
+			causeHits++
+		}
+		if diag.Class == truth.Cause.Class() {
+			classHits++
+		}
+	}
+	causeAcc := float64(causeHits) / float64(len(matched))
+	classAcc := float64(classHits) / float64(len(matched))
+	if causeAcc < 0.9 {
+		t.Errorf("cause-level accuracy = %.3f, want >= 0.9", causeAcc)
+	}
+	if classAcc < 0.9 {
+		t.Errorf("class-level accuracy = %.3f, want >= 0.9", classAcc)
+	}
+}
+
+func TestJobAttribution(t *testing.T) {
+	scn, store := buildScenario(t, 7, 107)
+	res := Run(store, DefaultConfig())
+	matched, _ := matchDetections(scn, res.Detections)
+	attributed, truthJob := 0, 0
+	for di, fi := range matched {
+		truth := scn.Failures[fi]
+		if truth.JobID == 0 {
+			continue
+		}
+		truthJob++
+		if res.Diagnoses[di].JobID == truth.JobID {
+			attributed++
+		}
+	}
+	if truthJob == 0 {
+		t.Fatal("no job-linked failures in scenario")
+	}
+	frac := float64(attributed) / float64(truthJob)
+	if frac < 0.9 {
+		t.Errorf("job attribution rate = %.3f (%d/%d)", frac, attributed, truthJob)
+	}
+}
+
+func TestLeadTimeRecovery(t *testing.T) {
+	scn, store := buildScenario(t, 14, 109)
+	res := Run(store, DefaultConfig())
+	matched, _ := matchDetections(scn, res.Detections)
+	sum := SummarizeLeadTimes(res.Diagnoses)
+	if sum.Enhanceable == 0 {
+		t.Fatal("no enhanceable failures found")
+	}
+	// The generator plants external leads at ~5× internal; the pipeline
+	// should measure a factor in [3, 8].
+	if sum.MeanFactor < 3 || sum.MeanFactor > 8 {
+		t.Errorf("mean enhancement factor = %.2f, want ~5", sum.MeanFactor)
+	}
+	// Enhanceable fraction should roughly match ground truth.
+	truthEnh := 0
+	for _, fi := range matched {
+		if scn.Failures[fi].HasExternalIndicator {
+			truthEnh++
+		}
+	}
+	gotFrac := sum.EnhanceableFraction()
+	wantFrac := float64(truthEnh) / float64(len(matched))
+	if gotFrac < wantFrac*0.6 || gotFrac > wantFrac*1.6+0.05 {
+		t.Errorf("enhanceable fraction = %.3f, ground truth %.3f", gotFrac, wantFrac)
+	}
+}
+
+func TestNHFOutcomesMatchTruth(t *testing.T) {
+	scn, store := buildScenario(t, 7, 113)
+	res := Run(store, DefaultConfig())
+	corr := res.Correlator(DefaultConfig())
+	analyses := corr.AnalyzeNHFs()
+	if len(analyses) != len(scn.NHFs) {
+		t.Fatalf("analyzed %d NHFs, ground truth has %d", len(analyses), len(scn.NHFs))
+	}
+	// Align by (node, time).
+	truth := map[string]faultsim.NHFKind{}
+	for _, n := range scn.NHFs {
+		truth[n.Node.String()+n.Time.UTC().Format(time.RFC3339Nano)] = n.Kind
+	}
+	hits := 0
+	for _, a := range analyses {
+		k, ok := truth[a.Node.String()+a.Time.UTC().Format(time.RFC3339Nano)]
+		if !ok {
+			t.Fatalf("NHF %v@%v not in ground truth", a.Node, a.Time)
+		}
+		want := map[faultsim.NHFKind]NHFOutcome{
+			faultsim.NHFFailed:   NHFOutcomeFailed,
+			faultsim.NHFPowerOff: NHFOutcomePowerOff,
+			faultsim.NHFSkipped:  NHFOutcomeSkipped,
+		}[k]
+		if a.Outcome == want {
+			hits++
+		}
+	}
+	acc := float64(hits) / float64(len(analyses))
+	if acc < 0.9 {
+		t.Errorf("NHF outcome accuracy = %.3f", acc)
+	}
+}
+
+func TestNVFCorrespondenceHigh(t *testing.T) {
+	scn, store := buildScenario(t, 28, 127)
+	res := Run(store, DefaultConfig())
+	corr := res.Correlator(DefaultConfig())
+	nvfs := corr.AnalyzeNVFs()
+	if len(nvfs) < 3 {
+		t.Skipf("only %d NVFs generated; need more for a rate", len(nvfs))
+	}
+	failed := 0
+	for _, a := range nvfs {
+		if a.Failed {
+			failed++
+		}
+	}
+	frac := FaultCorrespondence(failed, len(nvfs))
+	// Fig 5: NVFs correspond to failures 67–97 % of the time.
+	if frac < 0.5 {
+		t.Errorf("NVF failure correspondence = %.2f (%d/%d), want high", frac, failed, len(nvfs))
+	}
+	_ = scn
+}
+
+func TestBladeCabinetCorrelationWeak(t *testing.T) {
+	_, store := buildScenario(t, 14, 131)
+	res := Run(store, DefaultConfig())
+	corr := res.Correlator(DefaultConfig())
+	blade, cab := corr.BladeCabinetCorrelation()
+	// Fig 7 envelope: blades 23–59 %, cabinets 19–58 %. Allow slack.
+	if blade < 0.15 || blade > 0.75 {
+		t.Errorf("blade fault correlation = %.2f, want 0.23-0.59 ballpark", blade)
+	}
+	if cab < 0.1 || cab > 0.85 {
+		t.Errorf("cabinet fault correlation = %.2f, want 0.19-0.58 ballpark", cab)
+	}
+}
+
+func TestFPRDropsWithExternalCorrelation(t *testing.T) {
+	_, store := buildScenario(t, 14, 137)
+	res := Run(store, DefaultConfig())
+	pred := NewPredictor(store, DefaultConfig())
+	cmp := CompareFPR(pred, res.Detections)
+	without := cmp.WithoutExternal.FalsePositiveRate()
+	with := cmp.WithExternal.FalsePositiveRate()
+	if cmp.WithoutExternal.TP == 0 {
+		t.Fatal("predictor found no true positives")
+	}
+	if with >= without {
+		t.Errorf("FPR with external (%.3f) should be below without (%.3f)", with, without)
+	}
+}
+
+func TestDominantDailyCauses(t *testing.T) {
+	_, store := buildScenario(t, 14, 139)
+	res := Run(store, DefaultConfig())
+	days := res.DominantDailyCauses(3)
+	if len(days) == 0 {
+		t.Fatal("no qualifying days")
+	}
+	for _, d := range days {
+		if d.Share <= 0 || d.Share > 1 {
+			t.Errorf("share out of range: %+v", d)
+		}
+		if d.Failures < 3 {
+			t.Errorf("minFailures not honoured: %+v", d)
+		}
+	}
+}
+
+func TestExitStats(t *testing.T) {
+	scn, store := buildScenario(t, 7, 149)
+	res := Run(store, DefaultConfig())
+	ja := res.JobAnalyzer()
+	es := ja.ExitStatsBetween(simStart, simStart.Add(7*24*time.Hour))
+	if es.Total == 0 {
+		t.Fatal("no jobs in window")
+	}
+	if f := es.SuccessFraction(); f < 0.80 || f > 0.99 {
+		t.Errorf("success fraction = %.3f", f)
+	}
+	if f := es.AppFailedFraction(); f > 0.08 {
+		t.Errorf("app-failed fraction = %.3f", f)
+	}
+	_ = scn
+}
+
+func TestSharedJobGroups(t *testing.T) {
+	_, store := buildScenario(t, 14, 151)
+	res := Run(store, DefaultConfig())
+	groups := res.JobAnalyzer().SharedJobGroups()
+	if len(groups) == 0 {
+		t.Fatal("no shared-job failure groups over 2 weeks")
+	}
+	g := groups[0]
+	if len(g.Failures) < 2 {
+		t.Fatalf("first group has %d failures", len(g.Failures))
+	}
+	// Observation 8: groups span multiple blades.
+	multi := false
+	for _, gr := range groups {
+		if gr.SpanBlade > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Error("no group spans multiple blades")
+	}
+}
+
+func TestNHFOutcomeString(t *testing.T) {
+	if NHFOutcomeFailed.String() != "failed" || NHFOutcomePowerOff.String() != "poweroff" ||
+		NHFOutcomeSkipped.String() != "skipped" {
+		t.Error("outcome names wrong")
+	}
+}
+
+func TestLeadTimeFactorEdgeCases(t *testing.T) {
+	if (LeadTime{}).Factor() != 0 {
+		t.Error("zero lead time factor should be 0")
+	}
+	lt := LeadTime{Internal: time.Minute, External: 5 * time.Minute, Enhanced: true}
+	if f := lt.Factor(); f != 5 {
+		t.Errorf("factor = %v", f)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"hpcfail/internal/stats"
+	"hpcfail/internal/workload"
+)
+
+// JobAnalyzer answers the application-side questions: exit-status mixes
+// (Fig 12), failures sharing jobs (Observation 8, Fig 19), and memory
+// overallocation (Fig 17).
+type JobAnalyzer struct {
+	Jobs      []workload.Job
+	Diagnoses []Diagnosis
+}
+
+// ExitStats is the Fig 12 breakdown for one window.
+type ExitStats struct {
+	Total, Success, AppFailed, ConfigError, NodeFail int
+}
+
+// SuccessFraction returns the clean-completion share (the paper's
+// 90.43–95.71 %).
+func (s ExitStats) SuccessFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Success) / float64(s.Total)
+}
+
+// AppFailedFraction returns the non-zero application-exit share (the
+// paper's 0.06–6.02 %).
+func (s ExitStats) AppFailedFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.AppFailed) / float64(s.Total)
+}
+
+// ExitStatsBetween tallies jobs ending in [from, to).
+func (a *JobAnalyzer) ExitStatsBetween(from, to time.Time) ExitStats {
+	var out ExitStats
+	for i := range a.Jobs {
+		j := &a.Jobs[i]
+		if j.End.Before(from) || !j.End.Before(to) {
+			continue
+		}
+		out.Total++
+		switch {
+		case j.State.Successful():
+			out.Success++
+		case j.State == workload.StateFailed:
+			out.AppFailed++
+		case j.State == workload.StateNodeFail:
+			out.NodeFail++
+		case j.State.ConfigError():
+			out.ConfigError++
+		}
+	}
+	return out
+}
+
+// SharedJobGroup is a set of failures attributed to one job.
+type SharedJobGroup struct {
+	JobID     int64
+	App       string
+	Failures  []Diagnosis
+	SpanBlade int // distinct blades involved
+}
+
+// SharedJobGroups returns multi-failure job groups, largest first — the
+// spatially-distant, temporally-local failure clusters of Observation 8.
+func (a *JobAnalyzer) SharedJobGroups() []SharedJobGroup {
+	byJob := map[int64][]Diagnosis{}
+	for _, d := range a.Diagnoses {
+		if d.JobID != 0 {
+			byJob[d.JobID] = append(byJob[d.JobID], d)
+		}
+	}
+	apps := map[int64]string{}
+	for i := range a.Jobs {
+		apps[a.Jobs[i].ID] = a.Jobs[i].App
+	}
+	var out []SharedJobGroup
+	for id, ds := range byJob {
+		if len(ds) < 2 {
+			continue
+		}
+		blades := map[string]bool{}
+		for _, d := range ds {
+			blades[d.Detection.Node.BladeName().String()] = true
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Detection.Time.Before(ds[j].Detection.Time) })
+		out = append(out, SharedJobGroup{JobID: id, App: apps[id], Failures: ds, SpanBlade: len(blades)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Failures) != len(out[j].Failures) {
+			return len(out[i].Failures) > len(out[j].Failures)
+		}
+		return out[i].JobID < out[j].JobID
+	})
+	return out
+}
+
+// JobTriggeredMTBF computes the Fig 19 statistic: the inter-failure
+// time distribution restricted to job-attributed failures.
+func (a *JobAnalyzer) JobTriggeredMTBF() stats.Summary {
+	var ts []time.Time
+	for _, d := range a.Diagnoses {
+		if d.AppTriggered {
+			ts = append(ts, d.Detection.Time)
+		}
+	}
+	return stats.MTBF(ts)
+}
+
+// OverallocationReport is one job's Fig 17 row.
+type OverallocationReport struct {
+	JobID         int64
+	App           string
+	Overallocated int // nodes granted more memory than physical
+	Failed        int // of those, how many failed
+}
+
+// Overallocations reports jobs whose memory request exceeded the node
+// capacity, with the count of their nodes that subsequently failed.
+func (a *JobAnalyzer) Overallocations(nodeMemMB int) []OverallocationReport {
+	failedNodes := map[string]map[int64]bool{}
+	for _, d := range a.Diagnoses {
+		key := d.Detection.Node.String()
+		if failedNodes[key] == nil {
+			failedNodes[key] = map[int64]bool{}
+		}
+		failedNodes[key][d.JobID] = true
+	}
+	var out []OverallocationReport
+	for i := range a.Jobs {
+		j := &a.Jobs[i]
+		if j.ReqMemMB <= nodeMemMB {
+			continue
+		}
+		rep := OverallocationReport{JobID: j.ID, App: j.App, Overallocated: len(j.Nodes)}
+		for _, n := range j.Nodes {
+			if m, ok := failedNodes[n.String()]; ok && (m[j.ID] || m[0]) {
+				rep.Failed++
+			}
+		}
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}

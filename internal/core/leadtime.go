@@ -1,0 +1,96 @@
+package core
+
+import (
+	"time"
+
+	"hpcfail/internal/stats"
+)
+
+// LeadTime is the precursor-window analysis for one diagnosis (Fig 13).
+type LeadTime struct {
+	// Internal is the gap between the earliest indicative internal
+	// precursor and the failure (0 when none was found).
+	Internal time.Duration
+	// External is the gap between the earliest external indicator and
+	// the failure (0 when none exists).
+	External time.Duration
+	// Enhanced reports whether external indicators extend the warning
+	// horizon beyond the internal one.
+	Enhanced bool
+}
+
+// Factor returns External/Internal, the paper's lead-time enhancement
+// multiple (0 when not enhanced).
+func (lt LeadTime) Factor() float64 {
+	if !lt.Enhanced || lt.Internal <= 0 {
+		return 0
+	}
+	return float64(lt.External) / float64(lt.Internal)
+}
+
+// ComputeLeadTime derives the lead times from a diagnosis' evidence.
+func ComputeLeadTime(d Diagnosis) LeadTime {
+	var lt LeadTime
+	if len(d.InternalEvidence) > 0 {
+		lt.Internal = d.Detection.Time.Sub(d.InternalEvidence[0].Time)
+	}
+	if len(d.ExternalIndicators) > 0 {
+		lt.External = d.Detection.Time.Sub(d.ExternalIndicators[0].Time)
+	}
+	lt.Enhanced = lt.External > lt.Internal && lt.Internal > 0
+	return lt
+}
+
+// LeadTimeSummary aggregates Fig 13 across a diagnosis set.
+type LeadTimeSummary struct {
+	// Total is the number of failures considered.
+	Total int
+	// Enhanceable is the number with external indicators extending the
+	// lead.
+	Enhanceable int
+	// MeanInternalMin and MeanExternalMin are the mean leads in minutes
+	// over the enhanceable population.
+	MeanInternalMin, MeanExternalMin float64
+	// MeanFactor is the mean enhancement multiple over the enhanceable
+	// population (the paper's ≈ 5×).
+	MeanFactor float64
+	// InternalAllMin summarises internal leads over ALL failures with
+	// internal precursors.
+	InternalAllMin stats.Summary
+}
+
+// EnhanceableFraction returns the share of failures whose lead times can
+// be extended (the paper's 10–28 %).
+func (s LeadTimeSummary) EnhanceableFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Enhanceable) / float64(s.Total)
+}
+
+// SummarizeLeadTimes computes the Fig 13 aggregate.
+func SummarizeLeadTimes(diags []Diagnosis) LeadTimeSummary {
+	out := LeadTimeSummary{Total: len(diags)}
+	var facSum, intSum, extSum float64
+	var allInternal []float64
+	for _, d := range diags {
+		lt := ComputeLeadTime(d)
+		if lt.Internal > 0 {
+			allInternal = append(allInternal, lt.Internal.Minutes())
+		}
+		if lt.Enhanced {
+			out.Enhanceable++
+			facSum += lt.Factor()
+			intSum += lt.Internal.Minutes()
+			extSum += lt.External.Minutes()
+		}
+	}
+	if out.Enhanceable > 0 {
+		n := float64(out.Enhanceable)
+		out.MeanFactor = facSum / n
+		out.MeanInternalMin = intSum / n
+		out.MeanExternalMin = extSum / n
+	}
+	out.InternalAllMin = stats.Summarize(allInternal)
+	return out
+}

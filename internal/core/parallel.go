@@ -1,0 +1,56 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"hpcfail/internal/alps"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/logstore"
+)
+
+// RunParallel is Run with the per-failure diagnosis fanned out across
+// a worker pool. The store is immutable after construction and
+// Diagnose only reads it, so workers share it without locking. Output
+// is identical to Run — diagnoses stay aligned with detections.
+//
+// workers <= 0 selects GOMAXPROCS. For month-scale corpora with
+// hundreds of failures the speedup approaches the core count; for small
+// inputs the fan-out overhead makes Run the better choice.
+func RunParallel(store *logstore.Store, cfg Config, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := logparse.JobsFromRecords(store.All())
+	rc := &RootCauser{Store: store, Jobs: jobs, Cfg: cfg, Apids: alps.IndexFromRecords(store.All())}
+	dets := Detect(store.All(), cfg)
+	diags := make([]Diagnosis, len(dets))
+
+	if workers > len(dets) {
+		workers = len(dets)
+	}
+	if workers <= 1 {
+		for i, d := range dets {
+			diags[i] = rc.Diagnose(d)
+		}
+		return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags}
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				diags[i] = rc.Diagnose(dets[i])
+			}
+		}()
+	}
+	for i := range dets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags}
+}

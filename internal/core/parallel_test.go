@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	_, store := buildScenario(t, 7, 401)
+	serial := Run(store, DefaultConfig())
+	for _, workers := range []int{0, 1, 2, 8, 1000} {
+		parallel := RunParallel(store, DefaultConfig(), workers)
+		if len(parallel.Diagnoses) != len(serial.Diagnoses) {
+			t.Fatalf("workers=%d: %d diagnoses vs %d", workers,
+				len(parallel.Diagnoses), len(serial.Diagnoses))
+		}
+		for i := range serial.Diagnoses {
+			a, b := serial.Diagnoses[i], parallel.Diagnoses[i]
+			if a.Detection != b.Detection || a.Cause != b.Cause ||
+				a.Class != b.Class || a.AppTriggered != b.AppTriggered ||
+				a.JobID != b.JobID || a.KeySymbol != b.KeySymbol {
+				t.Fatalf("workers=%d diagnosis %d differs:\n%+v\n%+v", workers, i, a, b)
+			}
+		}
+	}
+}
+
+func TestRunParallelRace(t *testing.T) {
+	// Exercised under -race by the normal test run: many workers over a
+	// shared store.
+	_, store := buildScenario(t, 5, 403)
+	res := RunParallel(store, DefaultConfig(), 16)
+	if len(res.Detections) == 0 {
+		t.Fatal("no detections")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecommendEmpty(t *testing.T) {
+	if recs := Recommend(&Result{}); recs != nil {
+		t.Errorf("empty result should yield no recommendations, got %v", recs)
+	}
+}
+
+func TestRecommendFromScenario(t *testing.T) {
+	_, store := buildScenario(t, 14, 211)
+	res := Run(store, DefaultConfig())
+	recs := Recommend(res)
+	if len(recs) < 3 {
+		t.Fatalf("expected several recommendations, got %d", len(recs))
+	}
+	// Sorted by severity descending.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Severity > recs[i-1].Severity {
+			t.Error("recommendations not sorted by severity")
+		}
+	}
+	// The app-triggered and lead-time rules must fire on a standard S1
+	// scenario.
+	var joined strings.Builder
+	for _, r := range recs {
+		if r.Finding == "" || r.Action == "" {
+			t.Errorf("empty recommendation field: %+v", r)
+		}
+		joined.WriteString(r.Finding)
+		joined.WriteString(r.Action)
+	}
+	text := joined.String()
+	for _, want := range []string{"application-triggered", "external"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("recommendations missing %q topic:\n%s", want, text)
+		}
+	}
+}
+
+func TestBuggyJobs(t *testing.T) {
+	_, store := buildScenario(t, 14, 223)
+	res := Run(store, DefaultConfig())
+	buggy := res.JobAnalyzer().BuggyJobs(3)
+	if len(buggy) == 0 {
+		t.Fatal("two weeks of app episodes should implicate at least one job")
+	}
+	prev := 1 << 30
+	for _, b := range buggy {
+		if b.Failures < 3 {
+			t.Errorf("job %d below threshold: %d", b.JobID, b.Failures)
+		}
+		if b.Failures > prev {
+			t.Error("buggy jobs not sorted by failures desc")
+		}
+		prev = b.Failures
+		if b.JobID == 0 {
+			t.Error("buggy job without ID")
+		}
+	}
+	// Threshold respected: raising it shrinks the list.
+	if len(res.JobAnalyzer().BuggyJobs(1<<20)) != 0 {
+		t.Error("absurd threshold should return nothing")
+	}
+}

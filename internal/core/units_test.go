@@ -1,0 +1,287 @@
+package core
+
+// Unit tests for the analysis components on hand-built inputs, in
+// contrast to core_test.go's scenario-driven integration tests.
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/workload"
+)
+
+var (
+	unitStart = time.Date(2015, 5, 4, 0, 0, 0, 0, time.UTC)
+	nodeA     = cname.MustParse("c0-0c0s0n0")
+	nodeB     = cname.MustParse("c0-0c0s0n1")
+)
+
+func consoleRec(at time.Time, node cname.Name, cat string, sev events.Severity) events.Record {
+	return events.Record{Time: at, Stream: events.StreamConsole, Component: node,
+		Category: cat, Severity: sev, Msg: cat}
+}
+
+func erdRec(at time.Time, node cname.Name, cat string) events.Record {
+	return events.Record{Time: at, Stream: events.StreamERD, Component: node,
+		Category: cat, Severity: events.SevWarning, Msg: cat}
+}
+
+func TestDiagnoseMCEFromCategories(t *testing.T) {
+	fail := unitStart.Add(time.Hour)
+	recs := []events.Record{
+		consoleRec(fail.Add(-5*time.Minute), nodeA, "mem_err_correctable", events.SevWarning),
+		consoleRec(fail.Add(-3*time.Minute), nodeA, "mce", events.SevError),
+		consoleRec(fail.Add(-5*time.Second), nodeA, "kernel_panic", events.SevCritical),
+		consoleRec(fail, nodeA, "node_shutdown", events.SevCritical),
+	}
+	store := logstore.New(recs)
+	rc := &RootCauser{Store: store, Cfg: DefaultConfig()}
+	dets := Detect(store.All(), DefaultConfig())
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d (panic+shutdown should merge)", len(dets))
+	}
+	diag := rc.Diagnose(dets[0])
+	if diag.Cause != faults.CauseMCE || diag.Class != faults.ClassHardware {
+		t.Errorf("diagnosis = %v/%v", diag.Cause, diag.Class)
+	}
+	if diag.AppTriggered {
+		t.Error("hardware failure misattributed to application")
+	}
+	if len(diag.InternalEvidence) < 2 {
+		t.Errorf("evidence too thin: %d", len(diag.InternalEvidence))
+	}
+}
+
+func TestDiagnoseTraceOnlyFilesystemBug(t *testing.T) {
+	fail := unitStart.Add(time.Hour)
+	oops := consoleRec(fail.Add(-2*time.Minute), nodeA, "kernel_oops", events.SevError)
+	oops.SetField("trace", "ldlm_bl_thread_main@lustre|kthread")
+	recs := []events.Record{
+		oops,
+		consoleRec(fail, nodeA, "node_shutdown", events.SevCritical),
+	}
+	store := logstore.New(recs)
+	rc := &RootCauser{Store: store, Cfg: DefaultConfig()}
+	diag := rc.Diagnose(Detect(store.All(), DefaultConfig())[0])
+	if diag.Cause != faults.CauseFilesystemBug {
+		t.Errorf("trace-only FS bug diagnosed as %v", diag.Cause)
+	}
+	if diag.KeySymbol != "ldlm_bl_thread_main" {
+		t.Errorf("key symbol = %q", diag.KeySymbol)
+	}
+}
+
+func TestDiagnoseUnknownWithoutEvidence(t *testing.T) {
+	fail := unitStart.Add(time.Hour)
+	recs := []events.Record{
+		consoleRec(fail, nodeA, "silent_shutdown", events.SevCritical),
+	}
+	store := logstore.New(recs)
+	rc := &RootCauser{Store: store, Cfg: DefaultConfig()}
+	diag := rc.Diagnose(Detect(store.All(), DefaultConfig())[0])
+	if diag.Cause != faults.CauseUnknown || diag.Confidence > 0.3 {
+		t.Errorf("silent shutdown: %v conf=%v", diag.Cause, diag.Confidence)
+	}
+}
+
+func TestDiagnoseAdminDownDefaultsToAppExit(t *testing.T) {
+	fail := unitStart.Add(time.Hour)
+	adm := consoleRec(fail, nodeA, "nhc_admindown", events.SevCritical)
+	adm.Stream = events.StreamMessages
+	adm.JobID = 99
+	store := logstore.New([]events.Record{adm})
+	rc := &RootCauser{Store: store, Cfg: DefaultConfig()}
+	diag := rc.Diagnose(Detect(store.All(), DefaultConfig())[0])
+	if diag.Cause != faults.CauseAppExit {
+		t.Errorf("bare admindown diagnosed as %v", diag.Cause)
+	}
+	if diag.JobID != 99 || !diag.AppTriggered {
+		t.Errorf("job attribution lost: %+v", diag)
+	}
+}
+
+func TestExternalIndicatorsCollected(t *testing.T) {
+	fail := unitStart.Add(2 * time.Hour)
+	recs := []events.Record{
+		erdRec(fail.Add(-50*time.Minute), nodeA, "ec_hw_errors"),
+		erdRec(fail.Add(-30*time.Minute), nodeA, "ec_hw_errors"),
+		// SEDC chatter must NOT count as an indicator (Observation 3).
+		erdRec(fail.Add(-40*time.Minute), nodeA, "sedc_temp_warning"),
+		consoleRec(fail.Add(-5*time.Minute), nodeA, "mce", events.SevError),
+		consoleRec(fail, nodeA, "node_shutdown", events.SevCritical),
+	}
+	store := logstore.New(recs)
+	rc := &RootCauser{Store: store, Cfg: DefaultConfig()}
+	diag := rc.Diagnose(Detect(store.All(), DefaultConfig())[0])
+	if len(diag.ExternalIndicators) != 2 {
+		t.Fatalf("external indicators = %d, want 2", len(diag.ExternalIndicators))
+	}
+	lt := ComputeLeadTime(diag)
+	if !lt.Enhanced {
+		t.Fatal("lead time should be enhanced")
+	}
+	if lt.Internal != 5*time.Minute || lt.External != 50*time.Minute {
+		t.Errorf("leads = %v/%v", lt.Internal, lt.External)
+	}
+	if lt.Factor() != 10 {
+		t.Errorf("factor = %v", lt.Factor())
+	}
+}
+
+func TestPredictorAlarmsOnBursts(t *testing.T) {
+	// Two distinct indicative categories within the burst window on
+	// nodeA (should alarm); a single category on nodeB (should not).
+	recs := []events.Record{
+		consoleRec(unitStart, nodeA, "mem_err_correctable", events.SevWarning),
+		consoleRec(unitStart.Add(2*time.Minute), nodeA, "mce", events.SevError),
+		consoleRec(unitStart, nodeB, "mce", events.SevError),
+		consoleRec(unitStart.Add(3*time.Minute), nodeB, "mce", events.SevError),
+	}
+	store := logstore.New(recs)
+	p := NewPredictor(store, DefaultConfig())
+	alarms := p.Alarms(nil)
+	if len(alarms) != 1 || alarms[0].Node != nodeA {
+		t.Fatalf("alarms = %+v", alarms)
+	}
+	if alarms[0].Hit || alarms[0].HasExternal {
+		t.Error("alarm should be a plain false positive")
+	}
+}
+
+func TestPredictorIgnoresApplicationPatterns(t *testing.T) {
+	recs := []events.Record{
+		consoleRec(unitStart, nodeA, "oom_killer", events.SevError),
+		consoleRec(unitStart.Add(time.Minute), nodeA, "page_alloc_failure", events.SevWarning),
+		consoleRec(unitStart.Add(2*time.Minute), nodeA, "app_exit_abnormal", events.SevError),
+	}
+	store := logstore.New(recs)
+	p := NewPredictor(store, DefaultConfig())
+	if alarms := p.Alarms(nil); len(alarms) != 0 {
+		t.Errorf("application patterns should not alarm: %+v", alarms)
+	}
+}
+
+func TestPredictorHitAndExternal(t *testing.T) {
+	fail := unitStart.Add(20 * time.Minute)
+	recs := []events.Record{
+		erdRec(unitStart.Add(-5*time.Minute), nodeA, "ec_hw_errors"),
+		consoleRec(unitStart, nodeA, "mem_err_correctable", events.SevWarning),
+		consoleRec(unitStart.Add(2*time.Minute), nodeA, "mce", events.SevError),
+		consoleRec(fail, nodeA, "node_shutdown", events.SevCritical),
+	}
+	store := logstore.New(recs)
+	p := NewPredictor(store, DefaultConfig())
+	dets := Detect(store.All(), DefaultConfig())
+	alarms := p.Alarms(dets)
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d", len(alarms))
+	}
+	if !alarms[0].Hit || !alarms[0].HasExternal {
+		t.Errorf("alarm should be TP with external: %+v", alarms[0])
+	}
+	cmp := CompareFPR(p, dets)
+	if cmp.WithoutExternal.TP != 1 || cmp.WithExternal.TP != 1 {
+		t.Errorf("FPR comparison: %+v", cmp)
+	}
+}
+
+func TestExitStatsCounting(t *testing.T) {
+	mk := func(state workload.State, endOffset time.Duration) workload.Job {
+		return workload.Job{State: state, Start: unitStart, End: unitStart.Add(endOffset)}
+	}
+	ja := &JobAnalyzer{Jobs: []workload.Job{
+		mk(workload.StateCompleted, time.Hour),
+		mk(workload.StateCompleted, 2*time.Hour),
+		mk(workload.StateFailed, 3*time.Hour),
+		mk(workload.StateTimeout, 4*time.Hour),
+		mk(workload.StateNodeFail, 5*time.Hour),
+		mk(workload.StateCompleted, 48*time.Hour), // outside window
+	}}
+	es := ja.ExitStatsBetween(unitStart, unitStart.Add(24*time.Hour))
+	if es.Total != 5 || es.Success != 2 || es.AppFailed != 1 || es.ConfigError != 1 || es.NodeFail != 1 {
+		t.Errorf("exit stats = %+v", es)
+	}
+	if es.SuccessFraction() != 0.4 {
+		t.Errorf("success fraction = %v", es.SuccessFraction())
+	}
+	var empty ExitStats
+	if empty.SuccessFraction() != 0 || empty.AppFailedFraction() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}
+
+func TestOverallocationsUnit(t *testing.T) {
+	job := workload.Job{ID: 5, App: "x", ReqMemMB: 100_000,
+		Nodes: []cname.Name{nodeA, nodeB}, Start: unitStart, End: unitStart.Add(time.Hour)}
+	small := workload.Job{ID: 6, App: "y", ReqMemMB: 1000,
+		Nodes: []cname.Name{nodeA}, Start: unitStart, End: unitStart.Add(time.Hour)}
+	diag := Diagnosis{Detection: Detection{Node: nodeA, Time: unitStart.Add(30 * time.Minute)}, JobID: 5}
+	ja := &JobAnalyzer{Jobs: []workload.Job{job, small}, Diagnoses: []Diagnosis{diag}}
+	reps := ja.Overallocations(64 * 1024)
+	if len(reps) != 1 {
+		t.Fatalf("reports = %+v", reps)
+	}
+	if reps[0].JobID != 5 || reps[0].Overallocated != 2 || reps[0].Failed != 1 {
+		t.Errorf("report = %+v", reps[0])
+	}
+}
+
+func TestSummarizeLeadTimesEmpty(t *testing.T) {
+	sum := SummarizeLeadTimes(nil)
+	if sum.Total != 0 || sum.EnhanceableFraction() != 0 || sum.MeanFactor != 0 {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+func TestDowntime(t *testing.T) {
+	fail := unitStart.Add(time.Hour)
+	recs := []events.Record{
+		consoleRec(fail, nodeA, "node_shutdown", events.SevCritical),
+		{Time: fail.Add(45 * time.Minute), Stream: events.StreamConsole,
+			Component: nodeA, Category: "node_boot", Severity: events.SevInfo},
+		// A second failure with no boot in the window.
+		consoleRec(fail.Add(2*time.Hour), nodeB, "node_shutdown", events.SevCritical),
+	}
+	res := Run(logstore.New(recs), DefaultConfig())
+	ds := res.Downtime()
+	if len(ds) != 1 || ds[0] != 45*time.Minute {
+		t.Fatalf("Downtime = %v", ds)
+	}
+	sum := res.DowntimeSummary()
+	if sum.N != 1 || sum.Mean != 45 {
+		t.Errorf("DowntimeSummary = %+v", sum)
+	}
+	empty := Run(logstore.New(nil), DefaultConfig())
+	if empty.Downtime() != nil {
+		t.Error("empty result should have no downtime")
+	}
+}
+
+func TestDowntimeScenario(t *testing.T) {
+	_, store := buildScenario(t, 5, 503)
+	res := Run(store, DefaultConfig())
+	sum := res.DowntimeSummary()
+	if sum.N == 0 {
+		t.Fatal("no rebooted failures in 5 days")
+	}
+	// The generator reboots failed nodes 20-90 minutes later.
+	if sum.Mean < 15 || sum.Mean > 120 {
+		t.Errorf("mean downtime = %.1f min, want ~20-90", sum.Mean)
+	}
+}
+
+func TestUniqueWarningComponents(t *testing.T) {
+	recs := []events.Record{
+		erdRec(unitStart, nodeA.BladeName(), "sedc_temp_warning"),
+		erdRec(unitStart.Add(time.Minute), nodeA.BladeName(), "sedc_temp_warning"),
+		erdRec(unitStart.Add(2*time.Minute), cname.MustParse("c0-0c1s3"), "sedc_temp_warning"),
+	}
+	store := logstore.New(recs)
+	if n := UniqueWarningComponents(store, "sedc_temp_warning", unitStart, unitStart.Add(time.Hour)); n != 2 {
+		t.Errorf("unique components = %d", n)
+	}
+}

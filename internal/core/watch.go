@@ -1,0 +1,137 @@
+package core
+
+import (
+	"time"
+
+	"hpcfail/internal/alps"
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+)
+
+// Watcher is the online form of the detector: it consumes log records
+// in arrival order and emits confirmed failures and early-warning
+// alarms as they happen — the shape a production health monitor needs,
+// in contrast to the batch Detect/Diagnose path.
+//
+// The watcher applies the same rules as the batch pipeline: terminal
+// internal events (minus scheduled shutdowns) confirm failures with a
+// per-node refractory merge; bursts of two distinct predictable
+// precursor categories raise alarms, optionally corroborated by
+// external indicators.
+type Watcher struct {
+	cfg Config
+	// OnDetection is invoked for each confirmed failure. Required.
+	OnDetection func(Detection)
+	// OnAlarm, when set, is invoked for each early-warning burst.
+	OnAlarm func(Alarm)
+	// BurstWindow groups precursor events (default 10 minutes).
+	BurstWindow time.Duration
+
+	lastTerminal map[cname.Name]time.Time
+	// recent precursor categories per node (pruned by BurstWindow).
+	recent map[cname.Name][]watchEvent
+	// lastExternal remembers the latest external indicator per node.
+	lastExternal map[cname.Name]time.Time
+	// lastAlarm suppresses alarm repeats.
+	lastAlarm map[cname.Name]time.Time
+	// apids accumulates the ALPS apid → job resolution as placement
+	// records stream in, so detections report scheduler job ids.
+	apids map[int64]int64
+}
+
+type watchEvent struct {
+	t   time.Time
+	cat string
+}
+
+// NewWatcher constructs a watcher with the given pipeline windows.
+func NewWatcher(cfg Config, onDetection func(Detection)) *Watcher {
+	return &Watcher{
+		cfg:          cfg,
+		OnDetection:  onDetection,
+		BurstWindow:  10 * time.Minute,
+		lastTerminal: make(map[cname.Name]time.Time),
+		recent:       make(map[cname.Name][]watchEvent),
+		lastExternal: make(map[cname.Name]time.Time),
+		lastAlarm:    make(map[cname.Name]time.Time),
+		apids:        make(map[int64]int64),
+	}
+}
+
+// Feed processes one record. Records must arrive in non-decreasing time
+// order (per real log tailing); out-of-order records are still handled
+// but may miss burst pairings.
+func (w *Watcher) Feed(r events.Record) {
+	// ALPS placements feed the online apid → job resolution.
+	if r.Stream == events.StreamALPS {
+		if apid := alps.Apid(&r); apid != 0 && r.JobID != 0 {
+			w.apids[apid] = r.JobID
+		}
+		return
+	}
+	// External indicators refresh the node's corroboration timestamp.
+	if r.Stream.External() && externalIndicatorCategories[r.Category] && r.Component.IsValid() {
+		node := r.Component
+		if node.Level() == cname.LevelNode {
+			w.lastExternal[node] = r.Time
+		}
+		return
+	}
+	if !r.Stream.Internal() || !r.Component.IsValid() {
+		return
+	}
+	node := r.Component
+
+	// Terminal events: confirm failures with refractory merging.
+	if IsTerminal(&r) {
+		if prev, ok := w.lastTerminal[node]; ok && r.Time.Sub(prev) < w.cfg.RefractoryGap {
+			w.lastTerminal[node] = r.Time
+			return
+		}
+		w.lastTerminal[node] = r.Time
+		w.OnDetection(Detection{Node: node, Time: r.Time, Terminal: r.Category,
+			JobID: alps.Resolve(r.JobID, w.apids)})
+		return
+	}
+
+	// Precursor bursts: alarm on two distinct predictable categories
+	// within the burst window.
+	if w.OnAlarm == nil || r.Severity < events.SevWarning || !alarmEligible(r.Category) {
+		return
+	}
+	evs := w.recent[node]
+	// Prune the window.
+	keep := evs[:0]
+	for _, e := range evs {
+		if r.Time.Sub(e.t) <= w.BurstWindow {
+			keep = append(keep, e)
+		}
+	}
+	evs = append(keep, watchEvent{r.Time, r.Category})
+	w.recent[node] = evs
+	distinct := map[string]bool{}
+	for _, e := range evs {
+		distinct[e.cat] = true
+	}
+	if len(distinct) < 2 {
+		return
+	}
+	// Suppress repeats within the refractory gap.
+	if prev, ok := w.lastAlarm[node]; ok && r.Time.Sub(prev) < w.cfg.RefractoryGap {
+		return
+	}
+	w.lastAlarm[node] = r.Time
+	ext, sawExt := w.lastExternal[node]
+	w.OnAlarm(Alarm{
+		Node:        node,
+		Time:        r.Time,
+		HasExternal: sawExt && r.Time.Sub(ext) <= w.cfg.ExternalWindow,
+	})
+}
+
+// FeedAll streams a batch through the watcher in order.
+func (w *Watcher) FeedAll(recs []events.Record) {
+	for i := range recs {
+		w.Feed(recs[i])
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/events"
+)
+
+func TestWatcherMatchesBatchDetection(t *testing.T) {
+	_, store := buildScenario(t, 7, 307)
+	batch := Detect(store.All(), DefaultConfig())
+
+	var streamed []Detection
+	w := NewWatcher(DefaultConfig(), func(d Detection) { streamed = append(streamed, d) })
+	w.FeedAll(store.All())
+
+	if len(streamed) != len(batch) {
+		t.Fatalf("watcher found %d failures, batch found %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i].Node != batch[i].Node || !streamed[i].Time.Equal(batch[i].Time) {
+			t.Fatalf("detection %d differs: %+v vs %+v", i, streamed[i], batch[i])
+		}
+	}
+}
+
+func TestWatcherRefractory(t *testing.T) {
+	var dets []Detection
+	w := NewWatcher(DefaultConfig(), func(d Detection) { dets = append(dets, d) })
+	mk := func(offset time.Duration, cat string) events.Record {
+		return consoleRec(unitStart.Add(offset), nodeA, cat, events.SevCritical)
+	}
+	w.Feed(mk(0, "kernel_panic"))
+	w.Feed(mk(5*time.Second, "node_shutdown"))  // merged
+	w.Feed(mk(40*time.Minute, "node_shutdown")) // new failure
+	if len(dets) != 2 {
+		t.Fatalf("detections = %d, want 2", len(dets))
+	}
+}
+
+func TestWatcherIgnoresScheduled(t *testing.T) {
+	var dets []Detection
+	w := NewWatcher(DefaultConfig(), func(d Detection) { dets = append(dets, d) })
+	r := consoleRec(unitStart, nodeA, "node_shutdown", events.SevInfo)
+	r.SetField("intent", "scheduled")
+	w.Feed(r)
+	if len(dets) != 0 {
+		t.Error("scheduled shutdown should not detect")
+	}
+}
+
+func TestWatcherAlarms(t *testing.T) {
+	var alarms []Alarm
+	w := NewWatcher(DefaultConfig(), func(Detection) {})
+	w.OnAlarm = func(a Alarm) { alarms = append(alarms, a) }
+
+	// External indicator arrives first, then a two-category burst.
+	w.Feed(erdRec(unitStart, nodeA, "ec_hw_errors"))
+	w.Feed(consoleRec(unitStart.Add(5*time.Minute), nodeA, "mem_err_correctable", events.SevWarning))
+	w.Feed(consoleRec(unitStart.Add(7*time.Minute), nodeA, "mce", events.SevError))
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(alarms))
+	}
+	if !alarms[0].HasExternal {
+		t.Error("alarm should carry external corroboration")
+	}
+	// Repeat within refractory: suppressed.
+	w.Feed(consoleRec(unitStart.Add(8*time.Minute), nodeA, "mce", events.SevError))
+	if len(alarms) != 1 {
+		t.Error("repeat alarm not suppressed")
+	}
+	// Single-category chatter on another node: no alarm.
+	w.Feed(consoleRec(unitStart, nodeB, "mce", events.SevError))
+	w.Feed(consoleRec(unitStart.Add(time.Minute), nodeB, "mce", events.SevError))
+	if len(alarms) != 1 {
+		t.Error("single-category burst should not alarm")
+	}
+}
+
+func TestWatcherAlarmWithoutExternal(t *testing.T) {
+	var alarms []Alarm
+	w := NewWatcher(DefaultConfig(), func(Detection) {})
+	w.OnAlarm = func(a Alarm) { alarms = append(alarms, a) }
+	w.Feed(consoleRec(unitStart, nodeA, "lustre_bug", events.SevError))
+	w.Feed(consoleRec(unitStart.Add(time.Minute), nodeA, "dvs_error", events.SevError))
+	if len(alarms) != 1 || alarms[0].HasExternal {
+		t.Fatalf("alarms = %+v", alarms)
+	}
+	// Application patterns never alarm.
+	w.Feed(consoleRec(unitStart.Add(time.Hour), nodeB, "oom_killer", events.SevError))
+	w.Feed(consoleRec(unitStart.Add(time.Hour+time.Minute), nodeB, "app_exit_abnormal", events.SevError))
+	if len(alarms) != 1 {
+		t.Error("application burst should not alarm")
+	}
+}
+
+func TestWatcherBurstWindowPruning(t *testing.T) {
+	var alarms []Alarm
+	w := NewWatcher(DefaultConfig(), func(Detection) {})
+	w.OnAlarm = func(a Alarm) { alarms = append(alarms, a) }
+	// Two categories but 11 minutes apart: outside the burst window.
+	w.Feed(consoleRec(unitStart, nodeA, "mem_err_correctable", events.SevWarning))
+	w.Feed(consoleRec(unitStart.Add(11*time.Minute), nodeA, "mce", events.SevError))
+	if len(alarms) != 0 {
+		t.Errorf("distant events should not pair: %+v", alarms)
+	}
+}

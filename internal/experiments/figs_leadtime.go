@@ -1,0 +1,115 @@
+package experiments
+
+// Lead-time and false-positive experiments: Figs 13 and 14.
+
+import (
+	"fmt"
+
+	"hpcfail/internal/core"
+	"hpcfail/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Lead-time enhancement from external indicators (4 weeks)",
+		Paper: "mean lead times ~5x longer with external faults; 10-28% of failures enhanceable",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "False-positive rate with vs without external correlation",
+		Paper: "FPR drops with external correlation (e.g. 30.77% -> 21.43%)",
+		Run:   runFig14,
+	})
+}
+
+func runFig13(cfg Config) (*Result, error) {
+	p, err := profileFor("S1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	nWeeks := 4
+	if cfg.Quick {
+		nWeeks = 2
+	}
+	_, res, err := simulate(p, nWeeks*7, cfg.Seed+47)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("Fig 13 — weekly lead-time enhancement",
+		"week", "failures", "enhanceable", "fraction", "mean internal (min)", "mean external (min)", "factor")
+	perWeek := make([][]core.Diagnosis, nWeeks)
+	for _, d := range res.Diagnoses {
+		if w := weekOf(d.Detection.Time); w >= 0 && w < nWeeks {
+			perWeek[w] = append(perWeek[w], d)
+		}
+	}
+	minFrac, maxFrac := 1.0, 0.0
+	for w, diags := range perWeek {
+		s := core.SummarizeLeadTimes(diags)
+		frac := s.EnhanceableFraction()
+		if frac < minFrac {
+			minFrac = frac
+		}
+		if frac > maxFrac {
+			maxFrac = frac
+		}
+		tbl.AddRow(fmt.Sprintf("W%d", w+1), s.Total, s.Enhanceable, pct(frac),
+			fmt.Sprintf("%.1f", s.MeanInternalMin), fmt.Sprintf("%.1f", s.MeanExternalMin),
+			fmt.Sprintf("%.1fx", s.MeanFactor))
+	}
+	all := core.SummarizeLeadTimes(res.Diagnoses)
+	return &Result{ID: "fig13", Title: "Lead-time enhancement", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: external indicators extend mean lead time ~5x for the 10-28% of failures that have them;",
+			"  the remaining 72-90% (application-triggered) show no external precursors",
+			fmt.Sprintf("measured overall: factor %.1fx, enhanceable %s (weekly range %s-%s)",
+				all.MeanFactor, pct(all.EnhanceableFraction()), pct(minFrac), pct(maxFrac)),
+		}}, nil
+}
+
+func runFig14(cfg Config) (*Result, error) {
+	p, err := profileFor("S1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	nDays := days(cfg, 21)
+	// External-corroborated true positives are a small population per
+	// window; aggregate the confusion counts over several independent
+	// periods to keep the comparison out of sampling noise.
+	seeds := []uint64{cfg.Seed + 53, cfg.Seed + 54, cfg.Seed + 55}
+	if cfg.Quick {
+		seeds = seeds[:1]
+	}
+	var cmp core.FPRComparison
+	for _, seed := range seeds {
+		_, res, err := simulate(p, nDays, seed)
+		if err != nil {
+			return nil, err
+		}
+		pred := core.NewPredictor(res.Store, core.DefaultConfig())
+		c := core.CompareFPR(pred, res.Detections)
+		cmp.WithoutExternal.TP += c.WithoutExternal.TP
+		cmp.WithoutExternal.FP += c.WithoutExternal.FP
+		cmp.WithoutExternal.FN += c.WithoutExternal.FN
+		cmp.WithExternal.TP += c.WithExternal.TP
+		cmp.WithExternal.FP += c.WithExternal.FP
+		cmp.WithExternal.FN += c.WithExternal.FN
+	}
+	tbl := report.NewTable("Fig 14 — predictor false-positive rate",
+		"mode", "TP", "FP", "FN", "FPR", "precision")
+	tbl.AddRow("internal only", cmp.WithoutExternal.TP, cmp.WithoutExternal.FP,
+		cmp.WithoutExternal.FN, pct(cmp.WithoutExternal.FalsePositiveRate()),
+		pct(cmp.WithoutExternal.Precision()))
+	tbl.AddRow("with external correlation", cmp.WithExternal.TP, cmp.WithExternal.FP,
+		cmp.WithExternal.FN, pct(cmp.WithExternal.FalsePositiveRate()),
+		pct(cmp.WithExternal.Precision()))
+	return &Result{ID: "fig14", Title: "False positives", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: requiring external correlation lowers the FPR (30.77% -> 21.43% in the reported sample)",
+			fmt.Sprintf("measured over %d periods: %s -> %s", len(seeds),
+				pct(cmp.WithoutExternal.FalsePositiveRate()),
+				pct(cmp.WithExternal.FalsePositiveRate())),
+		}}, nil
+}

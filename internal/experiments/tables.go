@@ -1,0 +1,305 @@
+package experiments
+
+// Table reproductions and the extra §III analyses: Tables I, III, IV, V,
+// the S3 class breakdown and the SWO share.
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/core"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/report"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/stacktrace"
+	"hpcfail/internal/topology"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "HPC system details",
+		Paper: "five systems: four Cray production machines plus one institutional cluster",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Log sources consulted (streams and volumes)",
+		Paper: "console/consumer/messages (node internal), controller and ERD (external), scheduler logs",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Fault breakdown: health faults and SEDC warnings",
+		Paper: "NHF/NVF/BCHF, heartbeat stops, sensor failures vs temperature/voltage/velocity warnings",
+		Run:   runTable3,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Failure causes and stack trace modules",
+		Paper: "sleep_on_page, ldlm_bl, dvs_ipc_msg, mce_log, rwsem_down_failed identify origins",
+		Run:   runTable4,
+	})
+	register(Experiment{
+		ID:    "table5",
+		Title: "Five failure case studies through the pipeline",
+		Paper: "root-cause inferences from combined internal+external+job evidence",
+		Run:   runTable5,
+	})
+	register(Experiment{
+		ID:    "s3breakdown",
+		Title: "S3 failure class shares over 4 months",
+		Paper: "hardware 37%, software (kernel+Lustre) 32%, application 31%; 27% memory exhaustion",
+		Run:   runS3Breakdown,
+	})
+	register(Experiment{
+		ID:    "swo",
+		Title: "System-wide outages vs anomalous node failures",
+		Paper: "SWOs contribute < 3% of anomalous failures and are mostly intended/service-related",
+		Run:   runSWO,
+	})
+}
+
+func runTable1(Config) (*Result, error) {
+	tbl := report.NewTable("Table I — HPC system details",
+		"system", "months", "log GB", "nodes", "type", "interconnect", "scheduler", "fs/os", "processors", "extras")
+	for _, p := range topology.Profiles() {
+		extras := "-"
+		switch {
+		case p.HasGPUs:
+			extras = "GPUs"
+		case p.HasBurstBuffer:
+			extras = "Burst Buffer"
+		}
+		tbl.AddRow(p.ID, p.LogMonths, p.LogSizeGB, p.Nodes, p.Machine,
+			p.Fabric.String(), p.Scheduler.String(),
+			p.FileSystem+"/"+p.OS, p.Processors, extras)
+	}
+	return &Result{ID: "table1", Title: "System details", Tables: []*report.Table{tbl},
+		Notes: []string{"static reproduction of the study's Table I"}}, nil
+}
+
+func runTable2(cfg Config) (*Result, error) {
+	p, err := profileFor("S1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	scn, _, err := simulate(p, 7, cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	// Count records and rendered bytes per stream for one simulated
+	// week — the shape of the paper's Table II inventory.
+	type agg struct {
+		records int
+		bytes   int
+	}
+	per := map[events.Stream]*agg{}
+	for _, r := range scn.Records {
+		a := per[r.Stream]
+		if a == nil {
+			a = &agg{}
+			per[r.Stream] = a
+		}
+		a.records++
+		for _, line := range loggen.Render(r, p.Spec.Scheduler) {
+			a.bytes += len(line) + 1
+		}
+	}
+	family := func(s events.Stream) string {
+		switch {
+		case s.Internal():
+			return "node internal (p0 directories)"
+		case s.External():
+			return "external (controller/ERD)"
+		default:
+			return "service node (scheduler/ALPS)"
+		}
+	}
+	tbl := report.NewTable("Table II — log sources for one simulated S1 week",
+		"log file", "family", "records", "approx size")
+	for _, s := range loggen.AllStreams() {
+		a := per[s]
+		if a == nil {
+			continue
+		}
+		tbl.AddRow(loggen.FileName(s), family(s), a.records, fmt.Sprintf("%.1f KiB", float64(a.bytes)/1024))
+	}
+	return &Result{ID: "table2", Title: "Log sources", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: console/consumer/messages give node-internal events; controller and ERD logs carry blade/cabinet health and SEDC data; Slurm/Torque logs give job events",
+			"the paper's systems produced 3.1-150 GB over months; the simulator reproduces the same streams at reduced volume",
+		}}, nil
+}
+
+func runTable3(Config) (*Result, error) {
+	tbl := report.NewTable("Table III — fault breakdown", "health faults", "SEDC warnings")
+	hf := faults.HealthFaultTypes()
+	sw := faults.SEDCWarningTypes()
+	n := len(hf)
+	if len(sw) > n {
+		n = len(sw)
+	}
+	for i := 0; i < n; i++ {
+		a, b := "", ""
+		if i < len(hf) {
+			a = hf[i].Category()
+		}
+		if i < len(sw) {
+			b = sw[i].Category()
+		}
+		tbl.AddRow(a, b)
+	}
+	return &Result{ID: "table3", Title: "Fault taxonomy", Tables: []*report.Table{tbl},
+		Notes: []string{"controller health faults (column 1) vs SEDC sensor warnings (column 2)"}}, nil
+}
+
+func runTable4(cfg Config) (*Result, error) {
+	tbl := report.NewTable("Table IV — failure causes and stack modules",
+		"cause", "origin layer", "diagnostic symbol", "example trace head")
+	r := rng.New(cfg.Seed)
+	for _, c := range []faults.Cause{
+		faults.CauseSegFault, faults.CauseOOM, faults.CauseMCE,
+		faults.CauseFilesystemBug, faults.CauseKernelBug,
+		faults.CauseHungTask, faults.CauseCPUStall,
+	} {
+		tr := stacktrace.Synthesize(c, r)
+		cl := stacktrace.Classify(tr)
+		head := ""
+		for i, f := range tr.Frames {
+			if i >= 3 {
+				break
+			}
+			if i > 0 {
+				head += " <- "
+			}
+			head += f.Function
+		}
+		tbl.AddRow(c.String(), cl.Origin.String(), cl.KeySymbol, head)
+	}
+	return &Result{ID: "table4", Title: "Stack modules", Tables: []*report.Table{tbl},
+		Notes: []string{"sleep_on_page and ldlm_bl are job-triggered; dvs_ipc modules indicate an application-affected file system"}}, nil
+}
+
+func runTable5(cfg Config) (*Result, error) {
+	cases := faultsim.BuildCaseStudies(simStart.Add(12*time.Hour), cfg.Seed+59)
+	tbl := report.NewTable("Table V — case studies through the pipeline",
+		"case", "failures", "expected cause", "inferred cause", "app-triggered", "ext. indicators", "verdict")
+	var notes []string
+	for _, cs := range cases {
+		res := core.Run(logstore.New(cs.Scenario.Records), core.DefaultConfig())
+		inferred := faults.CauseUnknown
+		app := false
+		ext := false
+		if len(res.Diagnoses) > 0 {
+			// Majority cause across the case's failures.
+			counts := map[faults.Cause]int{}
+			for _, d := range res.Diagnoses {
+				counts[d.Cause]++
+				if d.AppTriggered {
+					app = true
+				}
+				if len(d.ExternalIndicators) > 0 {
+					ext = true
+				}
+			}
+			best := -1
+			for c, n := range counts {
+				if n > best || (n == best && c < inferred) {
+					best, inferred = n, c
+				}
+			}
+		}
+		verdict := "MATCH"
+		if inferred != cs.ExpectedCause || app != cs.ExpectAppTriggered || ext != cs.ExpectExternalIndicators {
+			verdict = "MISMATCH"
+		}
+		tbl.AddRow(cs.Name, len(res.Detections), cs.ExpectedCause.String(), inferred.String(),
+			app, ext, verdict)
+		notes = append(notes, fmt.Sprintf("%s: %s", cs.Name, cs.Notes))
+	}
+	return &Result{ID: "table5", Title: "Case studies", Tables: []*report.Table{tbl}, Notes: notes}, nil
+}
+
+func runS3Breakdown(cfg Config) (*Result, error) {
+	p, err := profileFor("S3", cfg)
+	if err != nil {
+		return nil, err
+	}
+	nDays := days(cfg, 120)
+	// Large application episodes make single-window class shares noisy
+	// (few episodes dominate); average over several seeds, as the
+	// paper's 4-month aggregation effectively does.
+	seeds := []uint64{cfg.Seed + 61, cfg.Seed + 62, cfg.Seed + 63, cfg.Seed + 64}
+	if cfg.Quick {
+		seeds = seeds[:2]
+	}
+	shares := map[string]float64{}
+	memExhaustion, total := 0, 0
+	for _, seed := range seeds {
+		_, res, err := simulate(p, nDays, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range res.Diagnoses {
+			total++
+			// The paper counts Lustre bugs with software.
+			switch d.Class {
+			case faults.ClassHardware:
+				shares["hardware"]++
+			case faults.ClassSoftware, faults.ClassFilesystem:
+				shares["software (incl. Lustre)"]++
+			case faults.ClassApplication:
+				shares["application"]++
+			default:
+				shares["unknown"]++
+			}
+			if d.Cause == faults.CauseOOM {
+				memExhaustion++
+			}
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("experiments: no failures diagnosed for s3breakdown")
+	}
+	for k := range shares {
+		shares[k] = shares[k] / float64(total) * 100
+	}
+	tbl := report.Bars("S3 — failure class shares over 4 months (%)", shares, "% failures")
+	return &Result{ID: "s3breakdown", Title: "S3 class shares", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: hardware 37%, software 32%, application 31%; 27% involve memory exhaustion",
+			fmt.Sprintf("measured: memory-exhaustion share %s over %d failures",
+				pct(float64(memExhaustion)/float64(total)), total),
+		}}, nil
+}
+
+func runSWO(cfg Config) (*Result, error) {
+	p, err := profileFor("S1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.SWOsPerMonth = 0.5
+	nDays := days(cfg, 180)
+	scn, res, err := simulate(p, nDays, cfg.Seed+67)
+	if err != nil {
+		return nil, err
+	}
+	anomalous := len(res.Detections)
+	share := 0.0
+	if anomalous+scn.SWOCount > 0 {
+		share = float64(scn.SWOCount) / float64(anomalous+scn.SWOCount)
+	}
+	tbl := report.NewTable("System-wide outages vs anomalous failures",
+		"months", "SWOs", "anomalous node failures", "SWO share")
+	tbl.AddRow(nDays/30, scn.SWOCount, anomalous, pct(share))
+	return &Result{ID: "swo", Title: "SWO share", Tables: []*report.Table{tbl},
+		Notes: []string{
+			"paper: SWOs are <3% of anomalous failures and mostly intended/service-related — the pipeline excludes them via the scheduled-shutdown intent",
+			fmt.Sprintf("measured share: %s", pct(share)),
+		}}, nil
+}

@@ -1,0 +1,142 @@
+package faults
+
+import "fmt"
+
+// Cause is a root-cause category for a node failure — the buckets of the
+// paper's evaluation figures (Fig 15 for S5, Fig 16 for S2, the §III-F
+// S3 breakdown) and of Observations 6–9.
+type Cause int
+
+const (
+	// CauseUnknown covers the Observation 9 patterns: BIOS class errors,
+	// L0_sysd_mce, silent shutdowns, suspected operator error.
+	CauseUnknown Cause = iota
+	// CauseMCE is a hardware machine check exception failure.
+	CauseMCE
+	// CauseCPUCorruption is processor corruption leading to panic.
+	CauseCPUCorruption
+	// CauseHardwareOther covers BIOS/disk/GPU hardware failures.
+	CauseHardwareOther
+	// CauseKernelBug is a critical kernel bug (e.g. invalid opcode).
+	CauseKernelBug
+	// CauseCPUStall covers CPU stalls plus driver and firmware bugs —
+	// the "Others" slice of Fig 16.
+	CauseCPUStall
+	// CauseFilesystemBug is a file-system (Lustre/DVS) bug, frequently
+	// application-prompted.
+	CauseFilesystemBug
+	// CauseOOM is memory resource exhaustion (oom-killer, allocation
+	// failures, scheduler overallocation).
+	CauseOOM
+	// CauseAppExit is an abnormal application exit failing NHC tests and
+	// turning the node admindown.
+	CauseAppExit
+	// CauseSegFault covers application software errors (segmentation
+	// faults, page allocation faults) — the "software errors" slice of
+	// Fig 15.
+	CauseSegFault
+	// CauseHungTask is a hung-task timeout (observed on S5 only; does
+	// not fail nodes there).
+	CauseHungTask
+
+	numCauses
+)
+
+var causeNames = [...]string{
+	"unknown", "mce", "cpu-corruption", "hardware-other", "kernel-bug",
+	"cpu-stall", "filesystem-bug", "oom", "app-exit", "segfault",
+	"hung-task",
+}
+
+// String returns the kebab-case cause name.
+func (c Cause) String() string {
+	if c >= 0 && int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// ParseCause inverts String.
+func ParseCause(s string) (Cause, error) {
+	for i, n := range causeNames {
+		if n == s {
+			return Cause(i), nil
+		}
+	}
+	return CauseUnknown, fmt.Errorf("faults: unknown cause %q", s)
+}
+
+// AllCauses returns every cause in declaration order.
+func AllCauses() []Cause {
+	out := make([]Cause, 0, int(numCauses))
+	for c := Cause(0); c < numCauses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Class maps the cause to the coarse layer used by the §III-F S3
+// breakdown (hardware 37 %, software 32 %, application 31 %).
+func (c Cause) Class() Class {
+	switch c {
+	case CauseMCE, CauseCPUCorruption, CauseHardwareOther:
+		return ClassHardware
+	case CauseKernelBug, CauseCPUStall, CauseHungTask:
+		return ClassSoftware
+	case CauseFilesystemBug:
+		return ClassFilesystem
+	case CauseOOM, CauseAppExit, CauseSegFault:
+		return ClassApplication
+	default:
+		return ClassUnknown
+	}
+}
+
+// ApplicationTriggered reports whether the paper attributes the cause's
+// origin to the running application even when the failure manifests in
+// the OS or file system (Observations 6–7: FS bugs, OOM and abnormal
+// app exits propagate from jobs).
+func (c Cause) ApplicationTriggered() bool {
+	switch c {
+	case CauseFilesystemBug, CauseOOM, CauseAppExit, CauseSegFault, CauseHungTask:
+		return true
+	}
+	return false
+}
+
+// HasExternalIndicators reports whether failures of this cause tend to
+// show early external (HSS) indicators — the fail-slow population whose
+// lead times the paper enhances ~5×. Application-triggered failures lack
+// external precursors (Observation 5).
+func (c Cause) HasExternalIndicators() bool {
+	switch c {
+	case CauseMCE, CauseCPUCorruption, CauseHardwareOther:
+		return true
+	case CauseFilesystemBug:
+		// Only the non-application-prompted minority; the simulator
+		// decides per-failure. Treat the category as "possible".
+		return true
+	}
+	return false
+}
+
+// Mode is the failure manifestation dynamics.
+type Mode int
+
+const (
+	// FailStop failures manifest abruptly with no meaningful precursor
+	// window.
+	FailStop Mode = iota
+	// FailSlow failures degrade over time, leaving early indicators —
+	// the behaviour of Gunawi et al.'s fail-slow hardware that the paper
+	// exploits for lead-time enhancement.
+	FailSlow
+)
+
+// String returns "fail-stop" or "fail-slow".
+func (m Mode) String() string {
+	if m == FailSlow {
+		return "fail-slow"
+	}
+	return "fail-stop"
+}

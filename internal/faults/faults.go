@@ -1,0 +1,351 @@
+// Package faults defines the fault and failure taxonomy of the study:
+// the concrete fault/event types observed in the logs (Table III of the
+// paper), the root-cause categories used in the evaluation figures
+// (Figs 15, 16; §III-F), the coarse layer classes (hardware / software /
+// application / filesystem / environment / unknown), and the fail-stop
+// vs fail-slow failure modes.
+//
+// The taxonomy is deliberately shared between the simulator (which emits
+// faults) and the diagnosis pipeline (which infers causes), but the
+// pipeline never reads simulator ground truth — it re-derives causes from
+// parsed log text, and integration tests compare the two.
+package faults
+
+import "fmt"
+
+// Class is the coarse system layer a fault belongs to.
+type Class int
+
+const (
+	// ClassUnknown marks faults whose layer cannot be determined (the
+	// paper's Observation 9 cases).
+	ClassUnknown Class = iota
+	// ClassHardware covers MCEs, memory/CPU/disk/BIOS/GPU faults.
+	ClassHardware
+	// ClassSoftware covers kernel, driver and firmware bugs.
+	ClassSoftware
+	// ClassApplication covers faults originating in user jobs.
+	ClassApplication
+	// ClassFilesystem covers Lustre/DVS and other I/O stack faults.
+	ClassFilesystem
+	// ClassEnvironment covers blade/cabinet sensor and power faults.
+	ClassEnvironment
+	// ClassNetwork covers interconnect link errors.
+	ClassNetwork
+)
+
+var classNames = [...]string{
+	"unknown", "hardware", "software", "application",
+	"filesystem", "environment", "network",
+}
+
+// String returns the lower-case class name.
+func (c Class) String() string {
+	if c >= 0 && int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ParseClass inverts String.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if n == s {
+			return Class(i), nil
+		}
+	}
+	return ClassUnknown, fmt.Errorf("faults: unknown class %q", s)
+}
+
+// Type is a concrete fault/event type. Each type carries a stable log
+// category string (used as the Category of emitted/parsed records), a
+// class, and flags describing where it appears and what it means.
+type Type int
+
+const (
+	// TypeNone is the zero Type.
+	TypeNone Type = iota
+
+	// Hardware faults (internal logs).
+
+	// MCE is a hardware machine check exception logged when the error
+	// count crosses the platform threshold (page/cache/DIMM).
+	MCE
+	// CorrectableMemErr is a corrected DIMM error.
+	CorrectableMemErr
+	// UncorrectableMemErr is an uncorrected memory error.
+	UncorrectableMemErr
+	// CPUCorruption is a processor state corruption.
+	CPUCorruption
+	// BIOSError is a BIOS-reported error.
+	BIOSError
+	// DiskError is a local disk error.
+	DiskError
+	// GPUError is a GPU fault (S5 only in the study).
+	GPUError
+
+	// Software faults (internal logs).
+
+	// KernelBug is a critical kernel bug such as an invalid opcode.
+	KernelBug
+	// KernelOops is a kernel oops with a call trace.
+	KernelOops
+	// KernelPanic is a fatal kernel panic.
+	KernelPanic
+	// CPUStall is a detected CPU soft lockup/stall.
+	CPUStall
+	// DriverBug is a device-driver fault.
+	DriverBug
+	// FirmwareBug is a firmware fault surfacing in the kernel log.
+	FirmwareBug
+	// HungTask is a hung-task timeout (blocked > 120 s) with call trace.
+	HungTask
+	// PageAllocFailure is a failed page allocation.
+	PageAllocFailure
+	// SegFault is an application segmentation fault.
+	SegFault
+	// SoftwareTrap is a trapped exception such as invalid opcode in user
+	// context that the kernel survives.
+	SoftwareTrap
+
+	// Filesystem faults (internal logs).
+
+	// LustreBug is a Lustre software bug (e.g. thread race).
+	LustreBug
+	// LustreIOError is a Lustre I/O error (deadlocks, page-fault locks).
+	LustreIOError
+	// InodeError is a disk/job-induced inode inconsistency.
+	InodeError
+	// PageFaultLock is a page-fault lock stall signalling I/O problems.
+	PageFaultLock
+	// DVSError is a Cray DVS (data virtualisation service) fault.
+	DVSError
+
+	// Application events (internal + scheduler logs).
+
+	// OOMKiller is an out-of-memory kill.
+	OOMKiller
+	// AppExit is an abnormal application exit detected by NHC.
+	AppExit
+	// UserKilled is a process killed at user request.
+	UserKilled
+	// WallTimeExceeded is a scheduler wall-limit kill.
+	WallTimeExceeded
+	// JobCanceled is an interactive job cancellation.
+	JobCanceled
+	// MemOverallocation is a scheduler memory overallocation beyond the
+	// node's capacity (the Fig 17 scenario).
+	MemOverallocation
+
+	// Environmental / HSS faults (external logs).
+
+	// NHF is a node heartbeat fault (ec_node_heartbeat_fault).
+	NHF
+	// NVF is a node voltage fault (ec_node_voltage_fault).
+	NVF
+	// BCHF is a blade-controller heartbeat fault.
+	BCHF
+	// HeartbeatStop is ec_heartbeat_stop: the HSS declares the heartbeat
+	// gone (node suspected dead).
+	HeartbeatStop
+	// ECLinkFailed is ec_l0_failed / link failure at the blade
+	// controller.
+	ECLinkFailed
+	// SensorReadFailed is a failed sensor read on a controller.
+	SensorReadFailed
+	// CabinetPowerFault is a cabinet power or micro-controller fault.
+	CabinetPowerFault
+	// CommFault is a controller communication fault.
+	CommFault
+	// ModuleHealthFault is a module health or RPM fault.
+	ModuleHealthFault
+	// ECBFault is an electronic circuit breaker trip.
+	ECBFault
+	// SEDCTemp is a temperature threshold SEDC warning.
+	SEDCTemp
+	// SEDCVoltage is a voltage threshold SEDC warning.
+	SEDCVoltage
+	// SEDCAirVelocity is an air-velocity SEDC warning.
+	SEDCAirVelocity
+	// SEDCFanSpeed is a fan-speed/air-flow ec_environment warning.
+	SEDCFanSpeed
+	// CabinetSensorCheck is a cabinet sensor check warning.
+	CabinetSensorCheck
+	// ECHwError is ec_hw_errors: an external hardware-malfunction alert,
+	// the paper's principal early indicator for fail-slow failures.
+	ECHwError
+	// LinkError is an interconnect (Aries/Gemini) link error.
+	LinkError
+
+	// Unknown-cause patterns (Observation 9).
+
+	// BIOSClassError is the opaque "type:2; severity:80; class:3;
+	// subclass:D; operation:2" pattern, common in benign periods too.
+	BIOSClassError
+	// L0SysdMCE is the blade-controller-reported memory MCE pattern with
+	// insufficient context.
+	L0SysdMCE
+	// SilentShutdown is a shutdown with no prior anomaly symptom
+	// (suspected operator action or radiation-induced).
+	SilentShutdown
+
+	// NodeShutdown is the terminal internal event of a failed node.
+	NodeShutdown
+	// NodeHealthCheck marks NHC activity (suspect mode, admindown).
+	NodeHealthCheck
+
+	numTypes
+)
+
+// info carries per-Type metadata.
+type info struct {
+	name     string // enum-ish name for debugging
+	category string // stable log category tag
+	class    Class
+	external bool // appears in the external (HSS) log family
+	benign   bool // never by itself a failure indication
+}
+
+var typeInfos = map[Type]info{
+	MCE:                 {"MCE", "mce", ClassHardware, false, false},
+	CorrectableMemErr:   {"CorrectableMemErr", "mem_err_correctable", ClassHardware, false, true},
+	UncorrectableMemErr: {"UncorrectableMemErr", "mem_err_uncorrectable", ClassHardware, false, false},
+	CPUCorruption:       {"CPUCorruption", "cpu_corruption", ClassHardware, false, false},
+	BIOSError:           {"BIOSError", "bios_error", ClassHardware, false, false},
+	DiskError:           {"DiskError", "disk_error", ClassHardware, false, false},
+	GPUError:            {"GPUError", "gpu_error", ClassHardware, false, false},
+
+	KernelBug:        {"KernelBug", "kernel_bug", ClassSoftware, false, false},
+	KernelOops:       {"KernelOops", "kernel_oops", ClassSoftware, false, false},
+	KernelPanic:      {"KernelPanic", "kernel_panic", ClassSoftware, false, false},
+	CPUStall:         {"CPUStall", "cpu_stall", ClassSoftware, false, false},
+	DriverBug:        {"DriverBug", "driver_bug", ClassSoftware, false, false},
+	FirmwareBug:      {"FirmwareBug", "firmware_bug", ClassSoftware, false, false},
+	HungTask:         {"HungTask", "hung_task_timeout", ClassSoftware, false, true},
+	PageAllocFailure: {"PageAllocFailure", "page_alloc_failure", ClassSoftware, false, false},
+	SegFault:         {"SegFault", "segfault", ClassApplication, false, false},
+	SoftwareTrap:     {"SoftwareTrap", "software_trap", ClassSoftware, false, true},
+
+	LustreBug:     {"LustreBug", "lustre_bug", ClassFilesystem, false, false},
+	LustreIOError: {"LustreIOError", "lustre_io_error", ClassFilesystem, false, true},
+	InodeError:    {"InodeError", "inode_error", ClassFilesystem, false, false},
+	PageFaultLock: {"PageFaultLock", "page_fault_lock", ClassFilesystem, false, true},
+	DVSError:      {"DVSError", "dvs_error", ClassFilesystem, false, false},
+
+	OOMKiller:         {"OOMKiller", "oom_killer", ClassApplication, false, false},
+	AppExit:           {"AppExit", "app_exit_abnormal", ClassApplication, false, false},
+	UserKilled:        {"UserKilled", "user_killed", ClassApplication, false, true},
+	WallTimeExceeded:  {"WallTimeExceeded", "walltime_exceeded", ClassApplication, false, true},
+	JobCanceled:       {"JobCanceled", "job_canceled", ClassApplication, false, true},
+	MemOverallocation: {"MemOverallocation", "mem_overallocation", ClassApplication, false, false},
+
+	NHF:                {"NHF", "ec_node_heartbeat_fault", ClassEnvironment, true, false},
+	NVF:                {"NVF", "ec_node_voltage_fault", ClassEnvironment, true, false},
+	BCHF:               {"BCHF", "ec_bc_heartbeat_fault", ClassEnvironment, true, false},
+	HeartbeatStop:      {"HeartbeatStop", "ec_heartbeat_stop", ClassEnvironment, true, false},
+	ECLinkFailed:       {"ECLinkFailed", "ec_l0_failed", ClassEnvironment, true, false},
+	SensorReadFailed:   {"SensorReadFailed", "sensor_read_failed", ClassEnvironment, true, true},
+	CabinetPowerFault:  {"CabinetPowerFault", "cabinet_power_fault", ClassEnvironment, true, false},
+	CommFault:          {"CommFault", "comm_fault", ClassEnvironment, true, true},
+	ModuleHealthFault:  {"ModuleHealthFault", "module_health_fault", ClassEnvironment, true, true},
+	ECBFault:           {"ECBFault", "ecb_fault", ClassEnvironment, true, false},
+	SEDCTemp:           {"SEDCTemp", "sedc_temp_warning", ClassEnvironment, true, true},
+	SEDCVoltage:        {"SEDCVoltage", "sedc_voltage_warning", ClassEnvironment, true, true},
+	SEDCAirVelocity:    {"SEDCAirVelocity", "sedc_air_velocity_warning", ClassEnvironment, true, true},
+	SEDCFanSpeed:       {"SEDCFanSpeed", "ec_environment_warning", ClassEnvironment, true, true},
+	CabinetSensorCheck: {"CabinetSensorCheck", "cabinet_sensor_check", ClassEnvironment, true, true},
+	ECHwError:          {"ECHwError", "ec_hw_errors", ClassHardware, true, false},
+	LinkError:          {"LinkError", "link_error", ClassNetwork, true, true},
+
+	BIOSClassError: {"BIOSClassError", "bios_class_error", ClassUnknown, false, true},
+	L0SysdMCE:      {"L0SysdMCE", "l0_sysd_mce", ClassUnknown, true, false},
+	SilentShutdown: {"SilentShutdown", "silent_shutdown", ClassUnknown, false, false},
+
+	NodeShutdown:    {"NodeShutdown", "node_shutdown", ClassSoftware, false, false},
+	NodeHealthCheck: {"NodeHealthCheck", "nhc", ClassApplication, false, true},
+}
+
+// byCategory inverts the category tags; built at init.
+var byCategory = func() map[string]Type {
+	m := make(map[string]Type, len(typeInfos))
+	for t, inf := range typeInfos {
+		if prev, dup := m[inf.category]; dup {
+			panic(fmt.Sprintf("faults: duplicate category %q for %v and %v", inf.category, prev, t))
+		}
+		m[inf.category] = t
+	}
+	return m
+}()
+
+// String returns the Go-style type name.
+func (t Type) String() string {
+	if inf, ok := typeInfos[t]; ok {
+		return inf.name
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Category returns the stable log category tag emitted by the generators
+// and matched by the parsers.
+func (t Type) Category() string {
+	if inf, ok := typeInfos[t]; ok {
+		return inf.category
+	}
+	return ""
+}
+
+// Class returns the fault's layer.
+func (t Type) Class() Class {
+	if inf, ok := typeInfos[t]; ok {
+		return inf.class
+	}
+	return ClassUnknown
+}
+
+// External reports whether the type appears in the HSS/ERD (external)
+// log family.
+func (t Type) External() bool {
+	if inf, ok := typeInfos[t]; ok {
+		return inf.external
+	}
+	return false
+}
+
+// Benign reports whether the type, on its own, never indicates a node
+// failure (Observation 3/4 faults).
+func (t Type) Benign() bool {
+	if inf, ok := typeInfos[t]; ok {
+		return inf.benign
+	}
+	return false
+}
+
+// TypeByCategory maps a log category tag back to its Type.
+func TypeByCategory(cat string) (Type, bool) {
+	t, ok := byCategory[cat]
+	return t, ok
+}
+
+// AllTypes returns every defined Type, in declaration order.
+func AllTypes() []Type {
+	out := make([]Type, 0, len(typeInfos))
+	for t := Type(1); t < numTypes; t++ {
+		if _, ok := typeInfos[t]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SEDCWarningTypes returns the SEDC sensor warning types (column 2 of
+// Table III).
+func SEDCWarningTypes() []Type {
+	return []Type{SEDCTemp, SEDCVoltage, SEDCAirVelocity, SEDCFanSpeed, ECBFault, CabinetSensorCheck}
+}
+
+// HealthFaultTypes returns the controller health fault types (column 1
+// of Table III).
+func HealthFaultTypes() []Type {
+	return []Type{NHF, NVF, BCHF, HeartbeatStop, ECLinkFailed, SensorReadFailed,
+		CabinetPowerFault, CommFault, ModuleHealthFault}
+}

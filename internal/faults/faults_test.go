@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestCategoryUniqueAndInvertible(t *testing.T) {
+	seen := map[string]Type{}
+	for _, typ := range AllTypes() {
+		cat := typ.Category()
+		if cat == "" {
+			t.Errorf("%v has empty category", typ)
+			continue
+		}
+		if prev, dup := seen[cat]; dup {
+			t.Errorf("category %q shared by %v and %v", cat, prev, typ)
+		}
+		seen[cat] = typ
+		back, ok := TypeByCategory(cat)
+		if !ok || back != typ {
+			t.Errorf("TypeByCategory(%q) = %v, %v", cat, back, ok)
+		}
+	}
+}
+
+func TestTypeByCategoryUnknown(t *testing.T) {
+	if _, ok := TypeByCategory("no_such_category"); ok {
+		t.Error("unknown category should not resolve")
+	}
+}
+
+func TestExternalTypesAreHSS(t *testing.T) {
+	// All health faults and SEDC warnings are external.
+	for _, typ := range append(HealthFaultTypes(), SEDCWarningTypes()...) {
+		if !typ.External() {
+			t.Errorf("%v should be external", typ)
+		}
+	}
+	// Core internal failure signals are not external.
+	for _, typ := range []Type{MCE, KernelOops, KernelPanic, LustreBug, OOMKiller, NodeShutdown} {
+		if typ.External() {
+			t.Errorf("%v should be internal", typ)
+		}
+	}
+	// ec_hw_errors is the external hardware early indicator.
+	if !ECHwError.External() || ECHwError.Class() != ClassHardware {
+		t.Error("ECHwError should be an external hardware alert")
+	}
+}
+
+func TestBenignTypes(t *testing.T) {
+	// Observation 3: SEDC threshold warnings are benign.
+	for _, typ := range []Type{SEDCTemp, SEDCVoltage, SEDCAirVelocity, SEDCFanSpeed, CorrectableMemErr, LustreIOError, PageFaultLock} {
+		if !typ.Benign() {
+			t.Errorf("%v should be benign", typ)
+		}
+	}
+	for _, typ := range []Type{KernelPanic, NodeShutdown, MCE, NVF, NHF} {
+		if typ.Benign() {
+			t.Errorf("%v should not be benign", typ)
+		}
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	for c := ClassUnknown; c <= ClassNetwork; c++ {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("class round trip %v: got %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass should reject unknown")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class should stringify")
+	}
+}
+
+func TestCauseRoundTrip(t *testing.T) {
+	for _, c := range AllCauses() {
+		got, err := ParseCause(c.String())
+		if err != nil || got != c {
+			t.Errorf("cause round trip %v: got %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseCause("bogus"); err == nil {
+		t.Error("ParseCause should reject unknown")
+	}
+}
+
+func TestCauseClasses(t *testing.T) {
+	cases := map[Cause]Class{
+		CauseMCE:           ClassHardware,
+		CauseCPUCorruption: ClassHardware,
+		CauseHardwareOther: ClassHardware,
+		CauseKernelBug:     ClassSoftware,
+		CauseCPUStall:      ClassSoftware,
+		CauseHungTask:      ClassSoftware,
+		CauseFilesystemBug: ClassFilesystem,
+		CauseOOM:           ClassApplication,
+		CauseAppExit:       ClassApplication,
+		CauseSegFault:      ClassApplication,
+		CauseUnknown:       ClassUnknown,
+	}
+	for c, want := range cases {
+		if got := c.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestApplicationTriggered(t *testing.T) {
+	// Observation 6/7: FS bugs, OOM, app exits propagate from jobs.
+	for _, c := range []Cause{CauseFilesystemBug, CauseOOM, CauseAppExit, CauseSegFault} {
+		if !c.ApplicationTriggered() {
+			t.Errorf("%v should be application triggered", c)
+		}
+	}
+	for _, c := range []Cause{CauseMCE, CauseCPUCorruption, CauseKernelBug, CauseUnknown} {
+		if c.ApplicationTriggered() {
+			t.Errorf("%v should not be application triggered", c)
+		}
+	}
+}
+
+func TestExternalIndicatorCauses(t *testing.T) {
+	// Observation 5: hardware-caused failures have external indicators;
+	// pure application failures do not.
+	for _, c := range []Cause{CauseMCE, CauseCPUCorruption, CauseHardwareOther} {
+		if !c.HasExternalIndicators() {
+			t.Errorf("%v should have external indicators", c)
+		}
+	}
+	for _, c := range []Cause{CauseAppExit, CauseOOM, CauseSegFault, CauseHungTask} {
+		if c.HasExternalIndicators() {
+			t.Errorf("%v should lack external indicators", c)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FailStop.String() != "fail-stop" || FailSlow.String() != "fail-slow" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestTableIIIEnumerations(t *testing.T) {
+	if len(SEDCWarningTypes()) < 5 {
+		t.Error("Table III column 2 underspecified")
+	}
+	if len(HealthFaultTypes()) < 7 {
+		t.Error("Table III column 1 underspecified")
+	}
+}

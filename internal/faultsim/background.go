@@ -1,0 +1,261 @@
+package faultsim
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/hss"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/sedc"
+	"hpcfail/internal/stacktrace"
+)
+
+// synthTraceField synthesizes and encodes a call trace for a record
+// field.
+func synthTraceField(cause faults.Cause, r *rng.Rand) string {
+	return stacktrace.Synthesize(cause, r).Encode()
+}
+
+// genBackground emits the benign noise floor: non-failing heartbeat and
+// voltage faults, the Fig 10 erroring-but-healthy node populations, SEDC
+// warning scatter and floods, blade/cabinet health-fault chatter, and
+// the Fig 14 near-miss sequences.
+func (g *generator) genBackground(r *rng.Rand) {
+	days := int(g.scn.End.Sub(g.scn.Start).Hours() / 24)
+	if days == 0 {
+		days = 1
+	}
+	for day := 0; day < days; day++ {
+		dayStart := g.scn.Start.Add(time.Duration(day) * 24 * time.Hour)
+		g.genBenignHeartbeats(dayStart, r)
+		g.genErrorNodes(dayStart, r)
+		g.genSEDCScatter(dayStart, r)
+		g.genHealthFaultChatter(dayStart, r)
+		g.genLaneChatter(dayStart, r)
+		g.genNearMisses(dayStart, r)
+	}
+	g.genSEDCFloods(r)
+}
+
+// genLaneChatter emits benign HSN lane degradations across the fabric:
+// failovers succeed, traffic re-routes, nothing fails — network noise a
+// prediction scheme must not mistake for node trouble.
+func (g *generator) genLaneChatter(dayStart time.Time, r *rng.Rand) {
+	if g.fabric == nil || g.p.LaneEventsPerDay <= 0 {
+		return
+	}
+	blades := g.scn.Cluster.Blades()
+	for i := 0; i < r.Poisson(g.p.LaneEventsPerDay); i++ {
+		blade := blades[r.Intn(len(blades))]
+		if rec, ok := g.fabric.RandomLaneEvent(randTimeIn(dayStart, r), blade, g.p.PFailoverOK, g.r); ok {
+			g.add(rec)
+		}
+	}
+}
+
+// randTimeIn returns a uniform instant within the day.
+func randTimeIn(dayStart time.Time, r *rng.Rand) time.Time {
+	return dayStart.Add(time.Duration(r.Float64() * float64(24*time.Hour)))
+}
+
+// genBenignHeartbeats emits the NHFs that do not correspond to failures
+// (Fig 6's power-off and skipped-beat populations) and the rare benign
+// NVFs.
+func (g *generator) genBenignHeartbeats(dayStart time.Time, r *rng.Rand) {
+	p := g.p
+	// Power-offs: a scheduled shutdown precedes the NHF; the node boots
+	// back hours later.
+	for i := 0; i < r.Poisson(p.BenignNHFPoweroffPerDay); i++ {
+		node := g.scn.Cluster.Node(r.Intn(g.scn.Cluster.NumNodes()))
+		at := randTimeIn(dayStart, r)
+		g.scheduledShutdown(at, node)
+		g.nhfAt(at.Add(time.Duration(30+r.Intn(60))*time.Second), node, NHFPowerOff)
+		g.boot(at.Add(time.Duration(2+r.Intn(8))*time.Hour), node)
+	}
+	// Skipped beats: an NHF followed by recovery chatter.
+	for i := 0; i < r.Poisson(p.BenignNHFSkippedPerDay); i++ {
+		node := g.scn.Cluster.Node(r.Intn(g.scn.Cluster.NumNodes()))
+		at := randTimeIn(dayStart, r)
+		g.nhfAt(at, node, NHFSkipped)
+		g.add(events.Record{
+			Time:   at.Add(time.Duration(60+r.Intn(120)) * time.Second),
+			Stream: events.StreamERD, Component: node,
+			Severity: events.SevInfo, Category: "ec_heartbeat_ok",
+			Msg: fmt.Sprintf("heartbeat from %s resumed", node),
+		})
+	}
+	// Benign NVFs.
+	for i := 0; i < r.Poisson(p.BenignNVFPerDay); i++ {
+		node := g.scn.Cluster.Node(r.Intn(g.scn.Cluster.NumNodes()))
+		at := randTimeIn(dayStart, r)
+		g.add(hss.NVFEvent(at, node, "VCC", 0.90+0.03*r.Float64()))
+		g.scn.NVFs = append(g.scn.NVFs, NVFTruth{Node: node, Time: at, Failed: false})
+	}
+}
+
+// genErrorNodes emits the Fig 10 populations: many nodes log hardware
+// errors, MCE triggers, Lustre I/O errors and page-fault locks each day
+// without failing.
+func (g *generator) genErrorNodes(dayStart time.Time, r *rng.Rand) {
+	emit := func(rate float64, f func(t time.Time, n cname.Name)) {
+		count := r.Poisson(rate)
+		if count > g.scn.Cluster.NumNodes() {
+			count = g.scn.Cluster.NumNodes()
+		}
+		for _, nid := range r.SampleInts(g.scn.Cluster.NumNodes(), count) {
+			node := g.scn.Cluster.Node(nid)
+			for e, n := 0, 1+r.Intn(5); e < n; e++ {
+				f(randTimeIn(dayStart, r), node)
+			}
+		}
+	}
+	emit(g.p.HwErrNodesPerDay, func(t time.Time, n cname.Name) {
+		g.console(t, n, faults.CorrectableMemErr, events.SevWarning,
+			"EDAC MC0: corrected memory error on DIMM (benign burst)")
+	})
+	emit(g.p.MCENodesPerDay, func(t time.Time, n cname.Name) {
+		g.console(t, n, faults.MCE, events.SevError,
+			"mcelog: corrected error threshold exceeded (page offlined)")
+	})
+	emit(g.p.LustreIONodesPerDay, func(t time.Time, n cname.Name) {
+		g.console(t, n, faults.LustreIOError, events.SevWarning,
+			"LustreError: 30-3: slow I/O on OST (deadlock retry)")
+	})
+	emit(g.p.PageFaultLockNodesPerDay, func(t time.Time, n cname.Name) {
+		g.console(t, n, faults.PageFaultLock, events.SevWarning,
+			"page fault lock contention: I/O stall signalled")
+	})
+}
+
+// genSEDCScatter emits a few benign threshold warnings on random blades
+// (the Fig 8 unique-blade populations), weighted toward temperature and
+// dominated by "below minimum" readings.
+func (g *generator) genSEDCScatter(dayStart time.Time, r *rng.Rand) {
+	blades := g.scn.Cluster.Blades()
+	kinds := []struct {
+		typ    faults.Type
+		sensor string
+		weight float64
+	}{
+		{faults.SEDCTemp, "temperature", 5},
+		{faults.SEDCFanSpeed, "fan_speed", 3},
+		{faults.SEDCAirVelocity, "air_velocity", 2},
+		{faults.SEDCVoltage, "voltage", 1},
+		{faults.ECBFault, "ecb", 0.5},
+	}
+	weights := make([]float64, len(kinds))
+	for i, k := range kinds {
+		weights[i] = k.weight
+	}
+	n := r.Poisson(g.p.SEDCScatterBladesPerDay)
+	if n > len(blades) {
+		n = len(blades)
+	}
+	for _, bi := range r.SampleInts(len(blades), n) {
+		blade := blades[bi]
+		for e, m := 0, 1+r.Intn(6); e < m; e++ {
+			k := kinds[r.Categorical(weights)]
+			below := r.Bool(0.85)
+			th := sedc.DefaultThreshold(sedcKindFor(k.typ))
+			val := th.Min - 0.1*th.Min*r.Float64()
+			if !below {
+				val = th.Max + 0.1*th.Max*r.Float64()
+			}
+			g.add(hss.SEDCWarningEvent(randTimeIn(dayStart, r), blade, k.typ, k.sensor, val, below))
+		}
+	}
+}
+
+// sedcKindFor maps warning fault types onto sensor kinds for threshold
+// lookups.
+func sedcKindFor(t faults.Type) sedc.Kind {
+	switch t {
+	case faults.SEDCVoltage, faults.ECBFault:
+		return sedc.Voltage
+	case faults.SEDCAirVelocity:
+		return sedc.AirVelocity
+	case faults.SEDCFanSpeed:
+		return sedc.FanSpeed
+	default:
+		return sedc.Temperature
+	}
+}
+
+// genSEDCFloods drives the miscalibrated flood blades: a warning on
+// nearly every controller scan (Fig 9's > 1400 daily warnings), with the
+// FloodStopIdx blade going quiet at StopsAtHour each day.
+func (g *generator) genSEDCFloods(r *rng.Rand) {
+	blades := g.scn.Cluster.Blades()
+	flood := append([]int{}, g.p.FloodBladeIdx...)
+	if g.p.FloodStopIdx >= 0 {
+		flood = append(flood, g.p.FloodStopIdx)
+	}
+	interval := g.p.SEDCScanInterval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	for _, bi := range flood {
+		if bi < 0 || bi >= len(blades) {
+			continue
+		}
+		blade := blades[bi]
+		sensor := sedc.New(blade, sedc.Voltage, uint64(bi)+77)
+		sensor.Miscalibrate(0.03 + 0.02*r.Float64())
+		stops := bi == g.p.FloodStopIdx
+		for t := g.scn.Start; t.Before(g.scn.End); t = t.Add(interval) {
+			if stops && t.UTC().Hour() >= g.p.StopsAtHour {
+				continue
+			}
+			violated, below, val := sensor.Violates(t)
+			if !violated {
+				continue
+			}
+			g.add(hss.SEDCWarningEvent(t, blade, faults.SEDCVoltage, "voltage", val, below))
+		}
+	}
+}
+
+// genHealthFaultChatter emits the frequent blade/cabinet controller
+// health faults that correlate only weakly with failures (Observation
+// 2/3): a few distinct components per day, cabinets far chattier than
+// blades.
+func (g *generator) genHealthFaultChatter(dayStart time.Time, r *rng.Rand) {
+	cabs := g.scn.Cluster.Cabinets()
+	blades := g.scn.Cluster.Blades()
+	cabTypes := []faults.Type{faults.CabinetPowerFault, faults.CabinetSensorCheck, faults.CommFault}
+	bladeTypes := []faults.Type{faults.BCHF, faults.ModuleHealthFault, faults.SensorReadFailed, faults.ECLinkFailed}
+
+	nCabs := r.Poisson(g.p.FaultyCabinetFrac * float64(len(cabs)))
+	if nCabs > len(cabs) {
+		nCabs = len(cabs)
+	}
+	for _, ci := range r.SampleInts(len(cabs), nCabs) {
+		for e, m := 0, r.Poisson(g.p.CabinetFaultEventsMean); e < m; e++ {
+			typ := cabTypes[r.Intn(len(cabTypes))]
+			g.add(hss.HealthFaultEvent(randTimeIn(dayStart, r), cabs[ci], typ))
+		}
+	}
+	nBlades := r.Poisson(g.p.FaultyBladeFrac * float64(len(blades)))
+	if nBlades > len(blades) {
+		nBlades = len(blades)
+	}
+	for _, bi := range r.SampleInts(len(blades), nBlades) {
+		for e, m := 0, 1+r.Poisson(g.p.BladeFaultEventsMean); e < m; e++ {
+			typ := bladeTypes[r.Intn(len(bladeTypes))]
+			g.add(hss.HealthFaultEvent(randTimeIn(dayStart, r), blades[bi], typ))
+		}
+	}
+}
+
+// genNearMisses emits failure-like internal sequences on healthy nodes —
+// the false-positive raw material for Fig 14.
+func (g *generator) genNearMisses(dayStart time.Time, r *rng.Rand) {
+	for i := 0; i < r.Poisson(g.p.NearMissPerDay); i++ {
+		node := g.scn.Cluster.Node(r.Intn(g.scn.Cluster.NumNodes()))
+		at := randTimeIn(dayStart, r)
+		g.emitNearMiss(at, node, r.Bool(g.p.PNearMissExternal))
+	}
+}

@@ -1,0 +1,358 @@
+package faultsim
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/alps"
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/hss"
+	"hpcfail/internal/interconnect"
+	"hpcfail/internal/nhc"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/stacktrace"
+)
+
+// generator carries the mutable generation state.
+type generator struct {
+	p       Profile
+	scn     *Scenario
+	r       *rng.Rand
+	nextJob int64
+	episode int
+	// apids maps scheduler job ids to ALPS apids on Cray systems;
+	// compute-node log lines reference the apid, and the ALPS log
+	// provides the resolution (Observation 8's APID tracking).
+	apids map[int64]int64
+	// fabric is the HSN model (nil for non-Cray systems).
+	fabric *interconnect.Fabric
+}
+
+// linkError emits an HSN lane event attributed to the blade: through
+// the fabric model when available, as a bare link_error otherwise.
+func (g *generator) linkError(t time.Time, blade cname.Name, pFailoverOK float64) {
+	if g.fabric != nil {
+		if rec, ok := g.fabric.RandomLaneEvent(t, blade, pFailoverOK, g.r); ok {
+			g.add(rec)
+			return
+		}
+	}
+	g.add(hss.LinkErrorEvent(t, blade, g.r.Intn(interconnect.LanesPerLink)))
+}
+
+// apidFor returns the id compute-node logs use for a job: the ALPS apid
+// on Cray systems, the job id itself elsewhere (S5 has no ALPS).
+func (g *generator) apidFor(jobID int64) int64 {
+	if jobID == 0 || !g.p.Spec.Cray {
+		return jobID
+	}
+	if g.apids == nil {
+		g.apids = map[int64]int64{}
+	}
+	if a, ok := g.apids[jobID]; ok {
+		return a
+	}
+	a := alps.ApidBase + int64(len(g.apids)) + 1
+	g.apids[jobID] = a
+	return a
+}
+
+// add appends a record to the scenario. Times are truncated to
+// microseconds — the resolution of the rendered log formats — so that
+// text round trips are lossless.
+func (g *generator) add(r events.Record) {
+	r.Time = r.Time.Truncate(time.Microsecond)
+	g.scn.Records = append(g.scn.Records, r)
+}
+
+// console emits an internal console-stream record.
+func (g *generator) console(t time.Time, node cname.Name, typ faults.Type, sev events.Severity, msg string) events.Record {
+	r := events.Record{
+		Time: t, Stream: events.StreamConsole, Component: node,
+		Severity: sev, Category: typ.Category(), Msg: msg,
+	}
+	g.add(r)
+	return r
+}
+
+// oops emits a kernel oops console record carrying a synthesized call
+// trace for the cause; the trace rides in the "trace" field (the text
+// renderer expands it to real Call Trace lines).
+func (g *generator) oops(t time.Time, node cname.Name, cause faults.Cause, jobID int64) {
+	tr := stacktrace.Synthesize(cause, g.r)
+	r := events.Record{
+		Time: t, Stream: events.StreamConsole, Component: node,
+		Severity: events.SevError, Category: faults.KernelOops.Category(),
+		JobID: jobID,
+		Msg:   "BUG: unable to handle kernel paging request",
+	}
+	r.SetField("trace", tr.Encode())
+	g.add(r)
+}
+
+// shutdown emits the terminal unscheduled shutdown record.
+func (g *generator) shutdown(t time.Time, node cname.Name) {
+	g.console(t, node, faults.NodeShutdown, events.SevCritical,
+		fmt.Sprintf("node %s halting: system shutdown", node))
+}
+
+// scheduledShutdown emits an intended (operator/service) shutdown, which
+// the pipeline must exclude from anomalous failures.
+func (g *generator) scheduledShutdown(t time.Time, node cname.Name) {
+	r := events.Record{
+		Time: t, Stream: events.StreamConsole, Component: node,
+		Severity: events.SevInfo, Category: faults.NodeShutdown.Category(),
+		Msg: fmt.Sprintf("node %s shutdown: scheduled by operator", node),
+	}
+	r.SetField("intent", "scheduled")
+	g.add(r)
+}
+
+// boot emits the node return-to-service record plus the consumer-log
+// state transition.
+func (g *generator) boot(t time.Time, node cname.Name) {
+	g.add(events.Record{
+		Time: t, Stream: events.StreamConsole, Component: node,
+		Severity: events.SevInfo, Category: "node_boot",
+		Msg: fmt.Sprintf("node %s boot: kernel up", node),
+	})
+	g.nodeState(t.Add(5*time.Second), node, "up")
+}
+
+// nodeState emits a consumer-log state transition. The event consumer
+// mirrors HSS state changes (up/down/admindown) into the third internal
+// log family the paper consults.
+func (g *generator) nodeState(t time.Time, node cname.Name, state string) {
+	r := events.Record{
+		Time: t, Stream: events.StreamConsumer, Component: node,
+		Severity: events.SevInfo, Category: "node_state",
+		Msg: fmt.Sprintf("node state transition for %s", node),
+	}
+	r.SetField("state", state)
+	g.add(r)
+}
+
+// nhfAt emits the external heartbeat-fault pair for a dead node and
+// records ground truth.
+func (g *generator) nhfAt(t time.Time, node cname.Name, kind NHFKind) {
+	t = t.Truncate(time.Microsecond)
+	g.add(hss.NHFEvent(t, node))
+	g.scn.NHFs = append(g.scn.NHFs, NHFTruth{Node: node, Time: t, Kind: kind})
+	if kind == NHFFailed {
+		g.add(hss.HeartbeatStopEvent(t.Add(90*time.Second), node))
+	}
+}
+
+// emitFailure renders one ground-truth failure into its full log
+// signature: internal precursors, the terminal event, external
+// indicators, heartbeat faults, and nearby blade/cabinet health faults.
+// app names the application for job-linked causes.
+func (g *generator) emitFailure(f *Failure, app string) {
+	lead := f.InternalLead
+	tp := f.Time.Add(-lead) // first internal precursor
+	node := f.Node
+
+	// Early external indicators for fail-slow failures.
+	if f.HasExternalIndicator {
+		t0 := f.Time.Add(-f.ExternalLead)
+		n := 2 + g.r.Intn(3)
+		span := f.ExternalLead - lead
+		if span <= 0 {
+			span = time.Minute
+		}
+		for i := 0; i < n; i++ {
+			at := t0.Add(time.Duration(float64(span) * float64(i) / float64(n)))
+			g.add(hss.HwErrorEvent(at, node, "correctable error burst"))
+		}
+		if g.r.Bool(0.5) {
+			// Degrading hardware shows on the fabric too — and near a
+			// failure the failover is likelier to struggle.
+			g.linkError(t0.Add(time.Minute), node.BladeName(), 0.5)
+		}
+	}
+
+	crash := true // whether the node dies by crash (NHF path) vs admindown
+	switch f.Cause {
+	case faults.CauseMCE:
+		for i, n := 0, 2+g.r.Intn(3); i < n; i++ {
+			g.console(tp.Add(time.Duration(i)*lead/6), node, faults.CorrectableMemErr,
+				events.SevWarning, "EDAC MC0: corrected memory error on DIMM")
+		}
+		g.console(f.Time.Add(-lead/2), node, faults.MCE, events.SevError,
+			"Machine Check Exception: bank 4 status uncorrected error")
+		g.oops(f.Time.Add(-15*time.Second), node, faults.CauseMCE, 0)
+		g.console(f.Time.Add(-5*time.Second), node, faults.KernelPanic,
+			events.SevCritical, "Kernel panic - not syncing: Fatal machine check")
+		g.shutdown(f.Time, node)
+
+	case faults.CauseCPUCorruption:
+		g.console(tp, node, faults.CPUCorruption, events.SevError,
+			"CPU7: processor context corrupt")
+		g.console(f.Time.Add(-lead/2), node, faults.MCE, events.SevError,
+			"Machine Check Exception: CPU context corrupt")
+		g.oops(f.Time.Add(-20*time.Second), node, faults.CauseCPUCorruption, 0)
+		g.console(f.Time.Add(-5*time.Second), node, faults.KernelPanic,
+			events.SevCritical, "Kernel panic - not syncing: CPU corruption")
+		g.shutdown(f.Time, node)
+
+	case faults.CauseHardwareOther:
+		typ := faults.BIOSError
+		msg := "BIOS reported platform error"
+		if g.r.Bool(0.5) {
+			typ, msg = faults.DiskError, "blk_update_request: I/O error, dev sda"
+		}
+		g.console(tp, node, typ, events.SevError, msg)
+		g.oops(f.Time.Add(-20*time.Second), node, faults.CauseHardwareOther, 0)
+		g.console(f.Time.Add(-5*time.Second), node, faults.KernelPanic,
+			events.SevCritical, "Kernel panic - not syncing: hardware error")
+		g.shutdown(f.Time, node)
+
+	case faults.CauseKernelBug:
+		g.console(tp, node, faults.KernelBug, events.SevError,
+			"kernel BUG: invalid opcode: 0000 [#1] SMP")
+		g.oops(f.Time.Add(-30*time.Second), node, faults.CauseKernelBug, 0)
+		g.console(f.Time.Add(-5*time.Second), node, faults.KernelPanic,
+			events.SevCritical, "Kernel panic - not syncing: Fatal exception")
+		g.shutdown(f.Time, node)
+
+	case faults.CauseCPUStall:
+		for i := 0; i < 2; i++ {
+			g.console(tp.Add(time.Duration(i)*lead/3), node, faults.CPUStall,
+				events.SevError, "INFO: rcu_sched self-detected stall on CPU")
+		}
+		if g.r.Bool(0.4) {
+			g.console(f.Time.Add(-lead/3), node, faults.FirmwareBug,
+				events.SevError, "firmware: watchdog handshake lost")
+		}
+		g.oops(f.Time.Add(-20*time.Second), node, faults.CauseCPUStall, 0)
+		g.shutdown(f.Time, node)
+
+	case faults.CauseFilesystemBug:
+		// Roughly half of filesystem bugs announce themselves with
+		// LustreError/DVS messages; the rest manifest directly as a
+		// kernel oops whose ONLY cause evidence is the stack trace's
+		// filesystem modules — the paper's Table IV analysis is what
+		// recovers those.
+		if g.r.Bool(0.55) {
+			g.console(tp, node, faults.LustreBug, events.SevError,
+				"LustreError: 11-0: lock callback timer expired, evicting client")
+			if g.r.Bool(0.4) {
+				g.console(tp.Add(lead/4), node, faults.DVSError, events.SevError,
+					"DVS: file system request hang detected")
+			}
+		}
+		g.oops(f.Time.Add(-30*time.Second), node, faults.CauseFilesystemBug, g.apidFor(f.JobID))
+		g.console(f.Time.Add(-5*time.Second), node, faults.KernelPanic,
+			events.SevCritical, "Kernel panic - not syncing: LBUG")
+		g.shutdown(f.Time, node)
+
+	case faults.CauseOOM:
+		crash = false
+		g.console(tp, node, faults.PageAllocFailure, events.SevWarning,
+			fmt.Sprintf("%s: page allocation failure: order:4", app))
+		r := g.console(f.Time.Add(-lead/2), node, faults.OOMKiller, events.SevError,
+			fmt.Sprintf("Out of memory: Kill process (%s) score 987", app))
+		_ = r
+		g.oops(f.Time.Add(-lead/3), node, faults.CauseOOM, g.apidFor(f.JobID))
+		g.add(nhc.SuspectEvent(f.Time.Add(-time.Minute), node))
+		g.add(nhc.TestFailEvent(f.Time.Add(-30*time.Second), node, nhc.TestMemory))
+		g.add(nhc.AdminDownEvent(f.Time, node, g.apidFor(f.JobID)))
+
+	case faults.CauseAppExit:
+		crash = false
+		g.add(nhc.AppExitEvent(tp, node, g.apidFor(f.JobID), app))
+		g.add(nhc.SuspectEvent(tp.Add(30*time.Second), node))
+		g.add(nhc.TestFailEvent(f.Time.Add(-30*time.Second), node, nhc.TestAppExit))
+		g.add(nhc.AdminDownEvent(f.Time, node, g.apidFor(f.JobID)))
+
+	case faults.CauseSegFault:
+		g.console(tp, node, faults.SegFault, events.SevError,
+			fmt.Sprintf("%s[%d]: segfault at 0 ip 00000000 sp 00000000 error 4",
+				app, 10000+g.r.Intn(50000)))
+		g.console(tp.Add(lead/3), node, faults.PageAllocFailure, events.SevWarning,
+			fmt.Sprintf("%s: page allocation failure: order:2", app))
+		g.oops(f.Time.Add(-20*time.Second), node, faults.CauseSegFault, g.apidFor(f.JobID))
+		g.shutdown(f.Time, node)
+
+	case faults.CauseUnknown:
+		switch g.r.Intn(3) {
+		case 0: // opaque BIOS class pattern
+			g.console(tp, node, faults.BIOSClassError, events.SevWarning,
+				"type:2; severity:80; class:3; subclass:D; operation:2")
+			g.shutdown(f.Time, node)
+		case 1: // blade-controller MCE pattern, external only
+			g.add(events.Record{
+				Time: tp, Stream: events.StreamERD, Component: node,
+				Severity: events.SevError, Category: faults.L0SysdMCE.Category(),
+				Msg: "L0_sysd_mce: memory error reported by blade controller",
+			})
+			g.shutdown(f.Time, node)
+		default: // silent shutdown
+			g.console(f.Time, node, faults.SilentShutdown, events.SevCritical,
+				fmt.Sprintf("node %s halting: no prior symptoms", node))
+		}
+
+	default:
+		// Defensive: unknown causes die silently.
+		g.shutdown(f.Time, node)
+	}
+
+	// Crash deaths stop heartbeats; admindown nodes keep beating. The
+	// consumer log mirrors the resulting state transition either way.
+	if crash {
+		g.nhfAt(f.Time.Add(time.Duration(20+g.r.Intn(40))*time.Second), node, NHFFailed)
+		g.nodeState(f.Time.Add(2*time.Minute), node, "down")
+	} else {
+		g.nodeState(f.Time.Add(30*time.Second), node, "admindown")
+	}
+	// Occasional NVF on hardware failures (Fig 5's strongly-predictive
+	// voltage faults).
+	if f.Cause.Class() == faults.ClassHardware && g.r.Bool(g.p.PFailureNVF) {
+		at := f.Time.Add(-time.Duration(1+g.r.Intn(4)) * time.Minute)
+		g.add(hss.NVFEvent(at, node, "VDD", 0.80+0.05*g.r.Float64()))
+		g.scn.NVFs = append(g.scn.NVFs, NVFTruth{Node: node, Time: at, Failed: true})
+	}
+	// Weakly-correlated blade/cabinet health faults (Fig 7).
+	if g.r.Bool(g.p.PBladeFaultNearFailure) {
+		at := f.Time.Add(time.Duration(g.r.Intn(600)-300) * time.Second)
+		typs := []faults.Type{faults.BCHF, faults.ModuleHealthFault, faults.SensorReadFailed}
+		g.add(hss.HealthFaultEvent(at, node.BladeName(), typs[g.r.Intn(len(typs))]))
+	}
+	if g.r.Bool(g.p.PCabFaultNearFailure) {
+		at := f.Time.Add(time.Duration(g.r.Intn(900)-450) * time.Second)
+		typs := []faults.Type{faults.CabinetPowerFault, faults.CabinetSensorCheck, faults.CommFault}
+		g.add(hss.HealthFaultEvent(at, node.CabinetName(), typs[g.r.Intn(len(typs))]))
+	}
+	// The node reboots 20–90 minutes later.
+	g.boot(f.Time.Add(time.Duration(20+g.r.Intn(70))*time.Minute), node)
+}
+
+// emitNearMiss renders a healthy node's failure-like internal sequence
+// that never terminates in a failure.
+func (g *generator) emitNearMiss(t time.Time, node cname.Name, hasExternal bool) {
+	// Each near miss pairs two distinct indicative categories — the
+	// multi-signal internal patterns a prediction scheme alarms on.
+	switch g.r.Intn(3) {
+	case 0:
+		g.console(t, node, faults.CorrectableMemErr, events.SevWarning,
+			"EDAC MC0: corrected memory error on DIMM")
+		g.console(t.Add(2*time.Minute), node, faults.MCE, events.SevError,
+			"Machine Check Exception: bank 2 corrected error threshold")
+	case 1:
+		g.console(t, node, faults.LustreBug, events.SevError,
+			"LustreError: 11-0: lock callback timer expired (recovered)")
+		g.console(t.Add(time.Minute), node, faults.DVSError, events.SevError,
+			"DVS: file system request hang detected (recovered)")
+	default:
+		g.console(t, node, faults.KernelBug, events.SevError,
+			"kernel BUG: soft lockup recovered")
+		g.console(t.Add(time.Minute), node, faults.CPUStall, events.SevError,
+			"INFO: rcu_sched self-detected stall on CPU (recovered)")
+	}
+	if hasExternal {
+		g.add(hss.HwErrorEvent(t.Add(-3*time.Minute), node, "transient sensor burst"))
+	}
+	g.scn.NearMisses = append(g.scn.NearMisses, NearMiss{Node: node, Time: t, HasExternal: hasExternal})
+}

@@ -1,0 +1,481 @@
+package faultsim
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/workload"
+)
+
+var simStart = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+
+// smallProfile returns a downsized S1-like profile for fast tests.
+func smallProfile(t *testing.T) Profile {
+	t.Helper()
+	p, err := DefaultProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec = topology.Spec{ID: "S1", Machine: "Cray XC30", Nodes: 768, CabinetCols: 2,
+		Scheduler: topology.SchedulerSlurm, Cray: true}
+	p.Workload.MeanInterarrival = 20 * time.Minute
+	return p
+}
+
+func genSmall(t *testing.T, days int, seed uint64) *Scenario {
+	t.Helper()
+	p := smallProfile(t)
+	scn, err := Generate(p, simStart, simStart.Add(time.Duration(days)*24*time.Hour), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+func TestDefaultProfilesValid(t *testing.T) {
+	for _, id := range []string{"S1", "S2", "S3", "S4", "S5"} {
+		p, err := DefaultProfile(id)
+		if err != nil {
+			t.Fatalf("DefaultProfile(%s): %v", id, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s profile invalid: %v", id, err)
+		}
+	}
+	if _, err := DefaultProfile("S9"); err == nil {
+		t.Error("unknown system should error")
+	}
+}
+
+func TestProfileValidateRejectsBad(t *testing.T) {
+	p, _ := DefaultProfile("S1")
+	p.CauseMix = nil
+	if p.Validate() == nil {
+		t.Error("empty cause mix should fail validation")
+	}
+	p, _ = DefaultProfile("S1")
+	p.ExternalLeadFactor = 0.5
+	if p.Validate() == nil {
+		t.Error("lead factor < 1 should fail validation")
+	}
+	p, _ = DefaultProfile("S1")
+	p.Spec.Nodes = 0
+	if p.Validate() == nil {
+		t.Error("no nodes should fail validation")
+	}
+}
+
+func TestGenerateRejectsEmptyWindow(t *testing.T) {
+	p := smallProfile(t)
+	if _, err := Generate(p, simStart, simStart, 1); err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genSmall(t, 3, 42)
+	b := genSmall(t, 3, 42)
+	if len(a.Records) != len(b.Records) || len(a.Failures) != len(b.Failures) {
+		t.Fatalf("sizes differ: %d/%d records, %d/%d failures",
+			len(a.Records), len(b.Records), len(a.Failures), len(b.Failures))
+	}
+	for i := range a.Failures {
+		if a.Failures[i] != b.Failures[i] {
+			t.Fatalf("failure %d differs", i)
+		}
+	}
+	for i := range a.Records {
+		if a.Records[i].Msg != b.Records[i].Msg || !a.Records[i].Time.Equal(b.Records[i].Time) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestRecordsSortedAndInWindow(t *testing.T) {
+	scn := genSmall(t, 3, 7)
+	if !sort.SliceIsSorted(scn.Records, func(i, j int) bool {
+		return scn.Records[i].Time.Before(scn.Records[j].Time)
+	}) {
+		// SortByTime is stable with tie-breaks; Before-based check is
+		// sufficient for monotonicity.
+		t.Fatal("records not time-sorted")
+	}
+	// Most records fall inside the window (boots/epilogues may trail
+	// slightly past the end).
+	for _, r := range scn.Records[:100] {
+		if r.Time.Before(scn.Start.Add(-24 * time.Hour)) {
+			t.Fatalf("record far before window: %v", r.Time)
+		}
+	}
+}
+
+func TestFailuresHaveSignatures(t *testing.T) {
+	scn := genSmall(t, 5, 11)
+	if len(scn.Failures) < 10 {
+		t.Fatalf("only %d failures over 5 days", len(scn.Failures))
+	}
+	// Every failure must have a terminal internal event at its time:
+	// either an unscheduled shutdown, a silent shutdown, or an NHC
+	// admindown.
+	for _, f := range scn.Failures {
+		found := false
+		for _, r := range scn.RecordsBetween(f.Time.Add(-time.Second), f.Time.Add(time.Second)) {
+			if r.Component != f.Node {
+				continue
+			}
+			switch r.Category {
+			case faults.NodeShutdown.Category(), faults.SilentShutdown.Category(), "nhc_admindown":
+				if r.Field("intent") != "scheduled" {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("failure %v at %v has no terminal event", f.Node, f.Time)
+		}
+	}
+}
+
+func TestAppTriggeredFailuresShareJobs(t *testing.T) {
+	scn := genSmall(t, 7, 13)
+	// Collect episodes with application-triggered causes.
+	byEpisode := map[int][]Failure{}
+	for _, f := range scn.Failures {
+		if f.Episode != 0 && f.Cause.ApplicationTriggered() {
+			byEpisode[f.Episode] = append(byEpisode[f.Episode], f)
+		}
+	}
+	checked := 0
+	for ep, fs := range byEpisode {
+		if len(fs) < 2 {
+			continue
+		}
+		checked++
+		job := fs[0].JobID
+		if job == 0 {
+			t.Fatalf("episode %d app-triggered failure lacks job", ep)
+		}
+		for _, f := range fs {
+			if f.JobID != job {
+				t.Fatalf("episode %d mixes jobs %d and %d", ep, job, f.JobID)
+			}
+		}
+		// The job must exist and cover the failing nodes.
+		var found *workload.Job
+		for i := range scn.Jobs {
+			if scn.Jobs[i].ID == job {
+				found = &scn.Jobs[i]
+			}
+		}
+		if found == nil {
+			t.Fatalf("episode %d job %d missing from scenario", ep, job)
+		}
+		for _, f := range fs {
+			covered := false
+			for _, n := range found.Nodes {
+				if n == f.Node {
+					covered = true
+				}
+			}
+			if !covered {
+				t.Fatalf("job %d does not cover failed node %v", job, f.Node)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no multi-node app-triggered episodes in 7 days")
+	}
+}
+
+func TestNHFGroundTruthConsistency(t *testing.T) {
+	scn := genSmall(t, 7, 17)
+	if len(scn.NHFs) == 0 {
+		t.Fatal("no NHFs generated")
+	}
+	kinds := map[NHFKind]int{}
+	for _, n := range scn.NHFs {
+		kinds[n.Kind]++
+	}
+	for _, k := range []NHFKind{NHFFailed, NHFPowerOff, NHFSkipped} {
+		if kinds[k] == 0 {
+			t.Errorf("no NHFs of kind %v over a week", k)
+		}
+	}
+	// Failed-kind fraction should be in the paper's broad band
+	// (21–64 %); allow slack for one small week.
+	frac := float64(kinds[NHFFailed]) / float64(len(scn.NHFs))
+	if frac < 0.10 || frac > 0.80 {
+		t.Errorf("NHF failed fraction = %.2f, expected ~0.2-0.7", frac)
+	}
+}
+
+func TestExternalIndicatorsOnlyForEligibleCauses(t *testing.T) {
+	scn := genSmall(t, 7, 19)
+	for _, f := range scn.Failures {
+		if f.HasExternalIndicator {
+			if f.Mode != faults.FailSlow {
+				t.Errorf("indicator-bearing failure not fail-slow: %+v", f)
+			}
+			if f.ExternalLead <= f.InternalLead {
+				t.Errorf("external lead %v <= internal %v", f.ExternalLead, f.InternalLead)
+			}
+			if f.JobID != 0 && f.Cause.ApplicationTriggered() {
+				t.Errorf("app-triggered failure has external indicator: %+v", f)
+			}
+		} else if f.Mode != faults.FailStop {
+			t.Errorf("non-indicator failure should be fail-stop: %+v", f)
+		}
+	}
+}
+
+func TestLeadTimeFactorAroundFive(t *testing.T) {
+	scn := genSmall(t, 14, 23)
+	n, sum := 0, 0.0
+	for _, f := range scn.Failures {
+		if f.HasExternalIndicator {
+			n++
+			sum += float64(f.ExternalLead) / float64(f.InternalLead)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no fail-slow failures in 2 weeks")
+	}
+	mean := sum / float64(n)
+	if mean < 4 || mean > 6 {
+		t.Errorf("mean lead enhancement factor = %.2f, want ~5", mean)
+	}
+}
+
+func TestBenignErrorNodesOutnumberFailures(t *testing.T) {
+	scn := genSmall(t, 5, 29)
+	// Count nodes/day with MCE or Lustre errors that never fail that
+	// day (Fig 10's population).
+	mceNodes := map[string]bool{}
+	for _, r := range scn.Records {
+		if r.Category == faults.MCE.Category() {
+			mceNodes[r.Component.String()+r.Time.Format("2006-01-02")] = true
+		}
+	}
+	if len(mceNodes) <= len(scn.Failures) {
+		t.Errorf("MCE-logging node-days (%d) should outnumber failures (%d)",
+			len(mceNodes), len(scn.Failures))
+	}
+}
+
+func TestS5ScenarioConditions(t *testing.T) {
+	p, err := DefaultProfile("S5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workload.MeanInterarrival = 30 * time.Minute
+	scn, err := Generate(p, simStart, simStart.Add(7*24*time.Hour), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hung-task events must dominate (Fig 15: 80.57 % of nodes).
+	counts := map[string]int{}
+	for _, r := range scn.Records {
+		if r.Stream == events.StreamConsole {
+			counts[r.Category]++
+		}
+	}
+	if counts[faults.HungTask.Category()] == 0 {
+		t.Fatal("no hung-task events on S5")
+	}
+	if counts[faults.HungTask.Category()] < counts[faults.OOMKiller.Category()] {
+		t.Error("hung tasks should dominate OOM on S5")
+	}
+	// No Cray external machinery on S5.
+	for _, r := range scn.Records {
+		if r.Stream == events.StreamControllerBC || r.Stream == events.StreamControllerCC {
+			t.Fatalf("S5 emitted controller record: %+v", r)
+		}
+	}
+}
+
+func TestSWOsAreScheduled(t *testing.T) {
+	p := smallProfile(t)
+	p.SWOsPerMonth = 30 // force one nearly every day
+	scn, err := Generate(p, simStart, simStart.Add(3*24*time.Hour), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.SWOCount == 0 {
+		t.Fatal("no SWOs at forced rate")
+	}
+	scheduled := 0
+	for _, r := range scn.Records {
+		if r.Category == faults.NodeShutdown.Category() && r.Field("intent") == "scheduled" {
+			scheduled++
+		}
+	}
+	if scheduled < scn.SWOCount*scn.Cluster.NumNodes()/2 {
+		t.Errorf("SWO shutdowns = %d, expected ~%d", scheduled, scn.SWOCount*scn.Cluster.NumNodes())
+	}
+}
+
+func TestFloodBladesWarnHeavily(t *testing.T) {
+	scn := genSmall(t, 2, 41)
+	perBlade := map[string]int{}
+	for _, r := range scn.Records {
+		if r.Category == faults.SEDCVoltage.Category() {
+			perBlade[r.Component.String()]++
+		}
+	}
+	// At least one blade must flood (> 1400/day → > 2800 over 2 days;
+	// allow slack for the miscalibration noise).
+	max := 0
+	for _, c := range perBlade {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2000 {
+		t.Errorf("max per-blade SEDC warnings over 2 days = %d, want > 2000", max)
+	}
+}
+
+func TestScenarioHelpers(t *testing.T) {
+	scn := genSmall(t, 3, 43)
+	if scn.Days() != 3 {
+		t.Errorf("Days = %d", scn.Days())
+	}
+	mid := simStart.Add(24 * time.Hour)
+	fs := scn.FailuresBetween(simStart, mid)
+	for _, f := range fs {
+		if f.Time.Before(simStart) || !f.Time.Before(mid) {
+			t.Errorf("FailuresBetween out of range: %v", f.Time)
+		}
+	}
+	rs := scn.RecordsBetween(mid, mid.Add(time.Hour))
+	for _, r := range rs {
+		if r.Time.Before(mid) || !r.Time.Before(mid.Add(time.Hour)) {
+			t.Errorf("RecordsBetween out of range: %v", r.Time)
+		}
+	}
+}
+
+func TestApidIndirection(t *testing.T) {
+	scn := genSmall(t, 7, 53)
+	// Cray systems: internal records reference ALPS apids, never raw
+	// job ids; every apid resolves to a scenario job via the launches.
+	launchJob := map[int64]int64{}
+	for _, l := range scn.Launches {
+		launchJob[l.Apid] = l.JobID
+	}
+	if len(launchJob) == 0 {
+		t.Fatal("no ALPS launches on a Cray scenario")
+	}
+	jobs := map[int64]bool{}
+	for _, j := range scn.Jobs {
+		jobs[j.ID] = true
+	}
+	checked := 0
+	for _, r := range scn.Records {
+		if !r.Stream.Internal() || r.JobID == 0 {
+			continue
+		}
+		checked++
+		job, ok := launchJob[r.JobID]
+		if !ok {
+			t.Fatalf("internal record references id %d which is not an apid", r.JobID)
+		}
+		if !jobs[job] {
+			t.Fatalf("apid %d resolves to unknown job %d", r.JobID, job)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no job-referencing internal records")
+	}
+	// Every job has exactly one launch.
+	if len(scn.Launches) != len(scn.Jobs) {
+		t.Errorf("launches %d != jobs %d", len(scn.Launches), len(scn.Jobs))
+	}
+}
+
+func TestS5HasNoALPS(t *testing.T) {
+	p, err := DefaultProfile("S5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workload.MeanInterarrival = time.Hour
+	scn, err := Generate(p, simStart, simStart.Add(3*24*time.Hour), 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scn.Launches) != 0 {
+		t.Error("institutional cluster should have no ALPS launches")
+	}
+	for _, r := range scn.Records {
+		if r.Stream == events.StreamALPS {
+			t.Fatal("S5 emitted an ALPS record")
+		}
+	}
+}
+
+// TestFailureMixMatchesWeights checks the generator's failure-level
+// cause calibration: aggregated over several independent periods, each
+// cause's share must sit near its profile weight. (A chi-square test
+// would be wrong here — episode members are perfectly correlated, so
+// the effective sample is the episode count, not the failure count.)
+func TestFailureMixMatchesWeights(t *testing.T) {
+	p := smallProfile(t)
+	counts := map[faults.Cause]int{}
+	total := 0
+	for seed := uint64(300); seed < 304; seed++ {
+		scn, err := Generate(p, simStart, simStart.Add(30*24*time.Hour), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range scn.Failures {
+			counts[f.Cause]++
+			total++
+		}
+	}
+	if total < 500 {
+		t.Fatalf("only %d failures aggregated", total)
+	}
+	for _, cw := range p.CauseMix {
+		got := float64(counts[cw.Cause]) / float64(total)
+		if diff := got - cw.Weight; diff < -0.07 || diff > 0.07 {
+			t.Errorf("%v share %.3f deviates from weight %.3f beyond ±0.07", cw.Cause, got, cw.Weight)
+		}
+	}
+}
+
+func TestLaneChatterUsesRealFabricLinks(t *testing.T) {
+	scn := genSmall(t, 5, 61)
+	lane := 0
+	for _, r := range scn.Records {
+		if r.Category != "link_error" {
+			continue
+		}
+		lane++
+		// Fabric-backed events carry a real peer blade.
+		peer := r.Field("peer")
+		if peer == "" {
+			t.Fatalf("link_error without peer: %+v", r)
+		}
+		if _, err := cname.Parse(peer); err != nil {
+			t.Fatalf("bad peer %q: %v", peer, err)
+		}
+		if out := r.Field("outcome"); out != "failover_ok" && out != "failover_failed" {
+			t.Fatalf("bad outcome %q", out)
+		}
+	}
+	if lane == 0 {
+		t.Fatal("no lane events over 5 days")
+	}
+}
+
+func TestNHFKindString(t *testing.T) {
+	if NHFFailed.String() != "failed" || NHFPowerOff.String() != "poweroff" ||
+		NHFSkipped.String() != "skipped" || NHFKind(9).String() != "unknown" {
+		t.Error("NHFKind names wrong")
+	}
+}

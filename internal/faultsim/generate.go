@@ -1,0 +1,435 @@
+package faultsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hpcfail/internal/alps"
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/interconnect"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/workload"
+)
+
+// synthJobBase separates synthesized failure-linked job IDs from the
+// background workload's.
+const synthJobBase = 1_000_000
+
+// Generate simulates the system described by the profile over
+// [start, end) and returns the complete scenario. The same (profile,
+// window, seed) always produces bit-identical output.
+func Generate(p Profile, start, end time.Time, seed uint64) (*Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !start.Before(end) {
+		return nil, fmt.Errorf("faultsim: empty window [%v, %v)", start, end)
+	}
+	cluster := topology.New(p.Spec)
+	scn := &Scenario{Profile: p, Cluster: cluster, Start: start, End: end}
+	root := rng.New(seed)
+	g := &generator{p: p, scn: scn, r: root.Split("emit"), nextJob: synthJobBase}
+	if kind, ok := interconnect.KindFor(p.Spec.Fabric); ok {
+		g.fabric = interconnect.New(cluster, kind)
+	}
+
+	// 1. Background workload.
+	scn.Jobs = workload.Generate(cluster, p.Workload, start, end, 1, root.Split("workload"))
+
+	// 2. Failures: episodes and singles, day by day.
+	g.genFailures(root.Split("failures"))
+
+	// 3. Benign background noise.
+	g.genBackground(root.Split("background"))
+
+	// 4. S5-style per-node conditions.
+	if p.S5ConditionMix != nil {
+		g.genConditions(root.Split("conditions"))
+	}
+
+	// 5. System-wide outages.
+	g.genSWOs(root.Split("swo"))
+
+	// 6. Scheduler events for every job.
+	g.genSchedulerEvents(root.Split("sched"))
+
+	events.SortByTime(scn.Records)
+	sort.Slice(scn.Failures, func(i, j int) bool { return scn.Failures[i].Time.Before(scn.Failures[j].Time) })
+	return scn, nil
+}
+
+// drawCause samples the profile's failure-level cause mix.
+func drawCause(mix []CauseWeight, r *rng.Rand) faults.Cause {
+	weights := make([]float64, len(mix))
+	for i, cw := range mix {
+		weights[i] = cw.Weight
+	}
+	return mix[r.Categorical(weights)].Cause
+}
+
+// genFailures produces the ground-truth failures and their log
+// signatures.
+func (g *generator) genFailures(r *rng.Rand) {
+	p := g.p
+	days := int(g.scn.End.Sub(g.scn.Start).Hours() / 24)
+	if days == 0 {
+		days = 1
+	}
+	weekMult := 1.0
+	for day := 0; day < days; day++ {
+		if day%7 == 0 {
+			// Per-week burst tightness: sweeps the Fig 3 MTBF range
+			// (1.5–12 minutes) across weeks.
+			weekMult = r.LogNormal(0, 0.9)
+			if weekMult < 0.3 {
+				weekMult = 0.3
+			}
+			if weekMult > 5 {
+				weekMult = 5
+			}
+		}
+		dayStart := g.scn.Start.Add(time.Duration(day) * 24 * time.Hour)
+		usedToday := map[cname.Name]bool{}
+
+		// Clustered episodes.
+		for e := 0; e < r.Poisson(p.EpisodesPerDay); e++ {
+			g.genEpisode(dayStart, weekMult, usedToday, r)
+		}
+		// Isolated singles.
+		for s := 0; s < r.Poisson(p.SinglesPerDay); s++ {
+			at := dayStart.Add(time.Duration(r.Float64() * float64(24*time.Hour)))
+			node := g.pickNode(usedToday, r)
+			if !node.IsValid() {
+				continue
+			}
+			cause := drawCause(p.CauseMix, r)
+			g.emitOne(node, at, cause, 0, 0, r)
+		}
+	}
+}
+
+// episodeCauseMix reweights the failure-level cause mix for per-episode
+// drawing: application-triggered episodes span ~AppEpisodeMeanNodes
+// nodes while hardware/software episodes stay blade-local (~3 nodes),
+// so each weight is divided by its expected episode size to keep the
+// FAILURE-level mix equal to the profile's weights.
+func episodeCauseMix(p Profile) []CauseWeight {
+	hwSize := 2 + float64(p.HwEpisodeMaxNodes-2)/2
+	if hwSize < 2 {
+		hwSize = 2
+	}
+	out := make([]CauseWeight, len(p.CauseMix))
+	for i, cw := range p.CauseMix {
+		size := hwSize
+		if cw.Cause.ApplicationTriggered() {
+			size = p.AppEpisodeMeanNodes
+			if size < 2 {
+				size = 2
+			}
+		}
+		out[i] = CauseWeight{Cause: cw.Cause, Weight: cw.Weight / size}
+	}
+	return out
+}
+
+// genEpisode produces one clustered multi-node failure: either an
+// application-triggered scatter (same job, distant blades) or a
+// hardware/software blade-local cluster.
+func (g *generator) genEpisode(dayStart time.Time, weekMult float64, used map[cname.Name]bool, r *rng.Rand) {
+	p := g.p
+	g.episode++
+	cause := drawCause(episodeCauseMix(p), r)
+	at := dayStart.Add(time.Duration(r.Float64() * float64(22*time.Hour)))
+	gapMean := p.BurstGapMeanMin * weekMult
+
+	var nodes []cname.Name
+	if cause.ApplicationTriggered() {
+		size := 2 + r.Poisson(p.AppEpisodeMeanNodes-2)
+		if size > g.scn.Cluster.NumNodes()/2 {
+			size = g.scn.Cluster.NumNodes() / 2
+		}
+		for _, nid := range r.SampleInts(g.scn.Cluster.NumNodes(), size) {
+			n := g.scn.Cluster.Node(nid)
+			if !used[n] {
+				nodes = append(nodes, n)
+			}
+		}
+	} else {
+		// Blade-local cluster: 2..4 nodes of one blade share the fault
+		// (Fig 18's same-reason blade failures).
+		blades := g.scn.Cluster.Blades()
+		blade := blades[r.Intn(len(blades))]
+		bn := g.scn.Cluster.BladeNodes(blade)
+		size := 2 + r.Intn(p.HwEpisodeMaxNodes-1)
+		if size > len(bn) {
+			size = len(bn)
+		}
+		for _, i := range r.SampleInts(len(bn), size) {
+			if !used[bn[i]] {
+				nodes = append(nodes, bn[i])
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		return
+	}
+
+	// Application-triggered episodes share a synthesized job covering
+	// the failing nodes (Observation 8's temporal locality under one
+	// job ID).
+	var jobID int64
+	var app string
+	if cause.ApplicationTriggered() {
+		jobID, app = g.synthJob(nodes, at, r)
+	}
+
+	t := at
+	for _, n := range nodes {
+		used[n] = true
+		g.emitOne(n, t, cause, jobID, g.episode, r)
+		gap := r.Exp(gapMean * float64(time.Minute))
+		if gap < float64(10*time.Second) {
+			gap = float64(10 * time.Second)
+		}
+		t = t.Add(time.Duration(gap))
+	}
+	_ = app
+}
+
+// emitOne creates the ground-truth failure entry and its log signature.
+// episode is 0 for isolated singles.
+func (g *generator) emitOne(node cname.Name, at time.Time, cause faults.Cause, jobID int64, episode int, r *rng.Rand) {
+	p := g.p
+	at = at.Truncate(time.Microsecond) // match the log formats' resolution
+	f := Failure{
+		Node:    node,
+		Time:    at,
+		Cause:   cause,
+		JobID:   jobID,
+		Episode: episode,
+	}
+	// A minority of filesystem bugs are NOT application-prompted
+	// (Observation 5): they skip job attribution and show external
+	// indicators instead.
+	fsExternal := jobID == 0 && cause == faults.CauseFilesystemBug && r.Bool(p.PFilesystemExternal)
+	// Application-linked singles attach to whatever job holds the node.
+	if jobID == 0 && !fsExternal && cause.ApplicationTriggered() {
+		if j := workload.JobOnNode(g.scn.Jobs, node, at); j != nil {
+			f.JobID = j.ID
+		} else {
+			f.JobID, _ = g.synthJob([]cname.Name{node}, at, r)
+		}
+	}
+	// Internal precursor lead.
+	leadMin := r.Exp(p.InternalLeadMeanMin)
+	if leadMin < 0.5 {
+		leadMin = 0.5
+	}
+	if leadMin > 15 {
+		leadMin = 15
+	}
+	f.InternalLead = time.Duration(leadMin * float64(time.Minute))
+	// External early indicators: hardware-rooted fail-slow failures and
+	// the non-application filesystem minority. Application-triggered
+	// (job-linked) failures get none.
+	hasExt := false
+	switch {
+	case f.JobID != 0:
+		hasExt = false
+	case cause == faults.CauseFilesystemBug:
+		hasExt = fsExternal
+	default:
+		hasExt = cause.HasExternalIndicators()
+	}
+	if hasExt {
+		f.HasExternalIndicator = true
+		f.Mode = faults.FailSlow
+		factor := p.ExternalLeadFactor * (0.8 + 0.4*r.Float64())
+		f.ExternalLead = time.Duration(float64(f.InternalLead) * factor)
+	} else {
+		f.Mode = faults.FailStop
+	}
+	app := g.appForJob(f.JobID)
+	g.scn.Failures = append(g.scn.Failures, f)
+	g.emitFailure(&f, app)
+}
+
+// synthJob creates a job that covers the given failing nodes (plus extra
+// healthy ones) and returns its ID and application name.
+func (g *generator) synthJob(failing []cname.Name, at time.Time, r *rng.Rand) (int64, string) {
+	apps := workload.DefaultApps()
+	app := apps[r.Intn(len(apps))]
+	extra := r.Intn(2 * len(failing))
+	nodes := append([]cname.Name{}, failing...)
+	for _, nid := range r.SampleInts(g.scn.Cluster.NumNodes(), extra) {
+		nodes = append(nodes, g.scn.Cluster.Node(nid))
+	}
+	g.nextJob++
+	j := workload.Job{
+		ID:       g.nextJob,
+		App:      app.Name,
+		User:     fmt.Sprintf("user%02d", r.Intn(40)),
+		Nodes:    dedupeNodes(nodes),
+		Submit:   at.Add(-time.Duration(1+r.Intn(3)) * time.Hour),
+		Start:    at.Add(-time.Duration(30+r.Intn(90)) * time.Minute),
+		End:      at.Add(time.Duration(5+r.Intn(20)) * time.Minute),
+		State:    workload.StateNodeFail,
+		ExitCode: 1,
+		ReqMemMB: 16 * 1024,
+	}
+	g.scn.Jobs = append(g.scn.Jobs, j)
+	return j.ID, app.Name
+}
+
+// appForJob resolves a job ID to its application name ("" when jobID is
+// zero or unknown).
+func (g *generator) appForJob(jobID int64) string {
+	if jobID == 0 {
+		return "app"
+	}
+	for i := range g.scn.Jobs {
+		if g.scn.Jobs[i].ID == jobID {
+			return g.scn.Jobs[i].App
+		}
+	}
+	return "app"
+}
+
+func dedupeNodes(in []cname.Name) []cname.Name {
+	seen := make(map[cname.Name]bool, len(in))
+	out := in[:0]
+	for _, n := range in {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return cname.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// pickNode selects a random node not yet failed today.
+func (g *generator) pickNode(used map[cname.Name]bool, r *rng.Rand) cname.Name {
+	for attempt := 0; attempt < 20; attempt++ {
+		n := g.scn.Cluster.Node(r.Intn(g.scn.Cluster.NumNodes()))
+		if !used[n] {
+			used[n] = true
+			return n
+		}
+	}
+	return cname.Name{}
+}
+
+// genSWOs emits the rare system-wide outages: service-related intended
+// shutdowns of the whole machine (excluded from anomalous failures).
+func (g *generator) genSWOs(r *rng.Rand) {
+	months := g.scn.End.Sub(g.scn.Start).Hours() / (24 * 30)
+	n := r.Poisson(g.p.SWOsPerMonth * months)
+	for i := 0; i < n; i++ {
+		at := g.scn.Start.Add(time.Duration(r.Float64() * float64(g.scn.End.Sub(g.scn.Start))))
+		g.scn.SWOCount++
+		for _, node := range g.scn.Cluster.Nodes() {
+			g.scheduledShutdown(at.Add(time.Duration(r.Intn(600))*time.Second), node)
+		}
+	}
+}
+
+// genSchedulerEvents renders every job's scheduler log records, plus
+// the ALPS placement/exit records that map apids to jobs on Cray
+// systems.
+func (g *generator) genSchedulerEvents(r *rng.Rand) {
+	for i := range g.scn.Jobs {
+		j := &g.scn.Jobs[i]
+		g.add(workload.StartEvent(j))
+		g.add(workload.EndEvent(j))
+		if g.p.Spec.Cray {
+			l := alps.Launch{
+				Apid:  g.apidFor(j.ID),
+				JobID: j.ID,
+				Nodes: j.Nodes,
+				Start: j.Start.Add(time.Duration(1+r.Intn(20)) * time.Second),
+				End:   j.End,
+			}
+			g.scn.Launches = append(g.scn.Launches, l)
+			g.add(alps.PlacementEvent(l))
+			g.add(alps.ExitEvent(l, j.ExitCode))
+		}
+		// Epilogue on a sample of the allocation.
+		n := len(j.Nodes)
+		if n > 3 {
+			n = 3
+		}
+		for _, idx := range r.SampleInts(len(j.Nodes), n) {
+			g.add(workload.EpilogueEvent(j.End.Add(time.Duration(5+r.Intn(30))*time.Second), j.Nodes[idx], j.ID))
+		}
+	}
+}
+
+// genConditions drives the S5 per-node condition mix (Fig 15): each node
+// is assigned one dominant condition class and emits matching internal
+// events over the window, without failing.
+func (g *generator) genConditions(r *rng.Rand) {
+	mix := g.p.S5ConditionMix
+	weights := make([]float64, len(mix))
+	for i, cw := range mix {
+		weights[i] = cw.Weight
+	}
+	span := g.scn.End.Sub(g.scn.Start)
+	for _, node := range g.scn.Cluster.Nodes() {
+		cond := mix[r.Categorical(weights)].Cause
+		nEvents := 1 + r.Intn(4)
+		for e := 0; e < nEvents; e++ {
+			at := g.scn.Start.Add(time.Duration(r.Float64() * float64(span)))
+			g.emitCondition(node, at, cond, r)
+		}
+	}
+}
+
+// emitCondition renders one benign node condition event.
+func (g *generator) emitCondition(node cname.Name, at time.Time, cond faults.Cause, r *rng.Rand) {
+	switch cond {
+	case faults.CauseHungTask:
+		rec := events.Record{
+			Time: at, Stream: events.StreamConsole, Component: node,
+			Severity: events.SevError, Category: faults.HungTask.Category(),
+			Msg: "INFO: task flush-0:23 blocked for more than 120 seconds",
+		}
+		rec.SetField("trace", synthTraceField(faults.CauseHungTask, g.r))
+		g.add(rec)
+	case faults.CauseOOM:
+		rec := events.Record{
+			Time: at, Stream: events.StreamConsole, Component: node,
+			Severity: events.SevError, Category: faults.OOMKiller.Category(),
+			Msg: "Out of memory: Kill process (batch) score 901",
+		}
+		rec.SetField("trace", synthTraceField(faults.CauseOOM, g.r))
+		g.add(rec)
+	case faults.CauseFilesystemBug:
+		// S5's Lustre errors come without call traces (Fig 15).
+		g.console(at, node, faults.LustreIOError, events.SevError,
+			"LustreError: 30-3: I/O error on client")
+	case faults.CauseSegFault:
+		if r.Bool(0.5) {
+			g.console(at, node, faults.SegFault, events.SevError,
+				"batch[2231]: segfault at 8 ip 00400f2c sp 7ffd error 6")
+		} else {
+			g.console(at, node, faults.PageAllocFailure, events.SevWarning,
+				"batch: page allocation failure: order:3")
+		}
+	case faults.CauseHardwareOther:
+		if r.Bool(0.5) {
+			g.console(at, node, faults.GPUError, events.SevError,
+				"NVRM: Xid (PCI:0000:08:00): 48, GPU memory page fault")
+		} else {
+			g.console(at, node, faults.DiskError, events.SevError,
+				"blk_update_request: I/O error, dev sdb, sector 102400")
+		}
+	default:
+		g.console(at, node, faults.SoftwareTrap, events.SevWarning,
+			"trap invalid opcode in user context (handled)")
+	}
+}

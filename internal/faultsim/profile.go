@@ -1,0 +1,294 @@
+// Package faultsim is the discrete-event scenario generator: it drives
+// the topology, workload, HSS, SEDC, NHC and stack-trace models to
+// produce (a) a ground-truth failure timeline and (b) the full multi-
+// stream event log a production system of the paper's era would have
+// recorded.
+//
+// The per-system profiles are calibrated so that the analysis pipeline,
+// run over the *logs alone*, reproduces the paper's reported statistics:
+// failure burst tightness (Fig 3), dominant daily causes (Fig 4), NHF/NVF
+// failure correspondence (Figs 5–6), weak blade/cabinet correlation
+// (Figs 7–9), benign error floods (Fig 10), job exit mixes (Fig 12),
+// lead-time enhancement (Fig 13), false-positive rates (Fig 14), and the
+// per-system root-cause mixes (Figs 15–16, §III-F).
+package faultsim
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/faults"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/workload"
+)
+
+// CauseWeight pairs a root cause with its share of failures. A slice
+// (not a map) keeps iteration deterministic.
+type CauseWeight struct {
+	Cause  faults.Cause
+	Weight float64
+}
+
+// Profile holds the per-system generation rates. All "per day" rates are
+// Poisson means.
+type Profile struct {
+	// Spec is the Table I system description.
+	Spec topology.Spec
+
+	// EpisodesPerDay is the rate of clustered-failure episodes (several
+	// nodes failing minutes apart from one malfunction — the paper's
+	// dominant daily cause).
+	EpisodesPerDay float64
+	// SinglesPerDay is the rate of isolated single-node failures.
+	SinglesPerDay float64
+	// AppEpisodeMeanNodes is the mean size of an application-triggered
+	// episode (same job, spatially scattered nodes).
+	AppEpisodeMeanNodes float64
+	// HwEpisodeMaxNodes caps hardware episodes (same blade; at most a
+	// blade's worth).
+	HwEpisodeMaxNodes int
+	// BurstGapMeanMin is the base within-episode inter-failure gap in
+	// minutes; per-week multipliers sweep it across the paper's 1.5–12.1
+	// minute MTBF range.
+	BurstGapMeanMin float64
+
+	// CauseMix is the failure-level root-cause distribution.
+	CauseMix []CauseWeight
+
+	// InternalLeadMeanMin is the mean minutes between the first internal
+	// precursor message and the failure.
+	InternalLeadMeanMin float64
+	// ExternalLeadFactor multiplies the internal lead to place early
+	// external indicators (the paper's ~5× enhancement).
+	ExternalLeadFactor float64
+	// PFilesystemExternal is the chance a filesystem-bug failure gets
+	// external indicators (only the non-application-prompted minority).
+	PFilesystemExternal float64
+
+	// Benign background rates.
+
+	// BenignNHFPoweroffPerDay: nodes powered off (operator), raising
+	// NHFs that are not failures.
+	BenignNHFPoweroffPerDay float64
+	// BenignNHFSkippedPerDay: transient heartbeat skips.
+	BenignNHFSkippedPerDay float64
+	// BenignNVFPerDay: voltage faults on nodes that do not fail (rare).
+	BenignNVFPerDay float64
+	// PFailureNVF is the chance a hardware-caused failure logs an NVF.
+	PFailureNVF float64
+
+	// HwErrNodesPerDay, MCENodesPerDay, LustreIONodesPerDay and
+	// PageFaultLockNodesPerDay size the Fig 10 populations: nodes that
+	// log errors without failing.
+	HwErrNodesPerDay, MCENodesPerDay, LustreIONodesPerDay, PageFaultLockNodesPerDay float64
+
+	// SEDCScatterBladesPerDay: blades emitting a handful of benign SEDC
+	// warnings per day.
+	SEDCScatterBladesPerDay float64
+	// FloodBladeIdx are blade indices (into cluster.Blades()) with
+	// miscalibrated sensors warning on nearly every scan (Fig 9 blades
+	// 1, 5, 8).
+	FloodBladeIdx []int
+	// FloodStopHour, if >= 0, names a flood blade index whose flood
+	// stops at StopsAtHour on each day (Fig 9 blade 7).
+	FloodStopIdx int
+	// StopsAtHour is the hour of day the FloodStopIdx blade goes quiet.
+	StopsAtHour int
+	// SEDCScanInterval is the controller scan period for flood blades.
+	SEDCScanInterval time.Duration
+
+	// FaultyCabinetFrac: the fraction of cabinets logging health faults
+	// on any given day; each emits CabinetFaultEventsMean events (the
+	// paper's "> 1400 mean daily counts" concentrated on a few
+	// cabinets).
+	FaultyCabinetFrac, CabinetFaultEventsMean float64
+	// FaultyBladeFrac: the per-day fraction of blades logging health
+	// faults, each with BladeFaultEventsMean events.
+	FaultyBladeFrac, BladeFaultEventsMean float64
+	// PBladeFaultNearFailure / PCabFaultNearFailure: chance a failure's
+	// own blade/cabinet logs a health fault in its unhealthy window
+	// (Fig 7's 23–59 % / 19–58 %).
+	PBladeFaultNearFailure, PCabFaultNearFailure float64
+
+	// LaneEventsPerDay: benign HSN lane degradations across the fabric
+	// (failovers almost always succeed — network chatter, not failure
+	// prediction signal).
+	LaneEventsPerDay float64
+	// PFailoverOK is the lane failover success probability.
+	PFailoverOK float64
+
+	// NearMissPerDay: healthy nodes emitting failure-like internal
+	// sequences that never terminate in a failure (the Fig 14 false-
+	// positive source).
+	NearMissPerDay float64
+	// PNearMissExternal: fraction of near-misses that also show nearby
+	// external warnings (lower than for true failures, which is why
+	// external correlation cuts the FPR).
+	PNearMissExternal float64
+
+	// SWOsPerMonth: system-wide outages (service-related intended
+	// shutdowns), excluded from anomalous failures.
+	SWOsPerMonth float64
+
+	// Workload is the background job mix.
+	Workload workload.Config
+
+	// S5ConditionMix, when non-nil, drives the institutional-cluster
+	// per-node condition breakdown (Fig 15) instead of the Cray external
+	// machinery.
+	S5ConditionMix []CauseWeight
+}
+
+// Validate checks internal consistency.
+func (p *Profile) Validate() error {
+	if p.Spec.Nodes <= 0 {
+		return fmt.Errorf("faultsim: profile %q has no nodes", p.Spec.ID)
+	}
+	if len(p.CauseMix) == 0 {
+		return fmt.Errorf("faultsim: profile %q has empty cause mix", p.Spec.ID)
+	}
+	total := 0.0
+	for _, cw := range p.CauseMix {
+		if cw.Weight < 0 {
+			return fmt.Errorf("faultsim: negative weight for %v", cw.Cause)
+		}
+		total += cw.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("faultsim: cause mix sums to %v", total)
+	}
+	if p.ExternalLeadFactor < 1 {
+		return fmt.Errorf("faultsim: external lead factor %v < 1", p.ExternalLeadFactor)
+	}
+	return nil
+}
+
+// DefaultProfile returns the calibrated profile for a Table I system
+// ("S1".."S5").
+func DefaultProfile(systemID string) (Profile, error) {
+	spec, err := topology.ProfileByID(systemID)
+	if err != nil {
+		return Profile{}, err
+	}
+	p := Profile{
+		Spec:                spec,
+		EpisodesPerDay:      1.2,
+		SinglesPerDay:       1.5,
+		AppEpisodeMeanNodes: 12,
+		HwEpisodeMaxNodes:   4,
+		BurstGapMeanMin:     3.0,
+		InternalLeadMeanMin: 4.0,
+		ExternalLeadFactor:  5.0,
+		PFilesystemExternal: 0.10,
+
+		BenignNHFPoweroffPerDay: 4.0,
+		BenignNHFSkippedPerDay:  4.5,
+		BenignNVFPerDay:         0.05,
+		PFailureNVF:             0.18,
+
+		HwErrNodesPerDay:         18,
+		MCENodesPerDay:           10,
+		LustreIONodesPerDay:      26,
+		PageFaultLockNodesPerDay: 34,
+
+		SEDCScatterBladesPerDay: 55,
+		FloodBladeIdx:           []int{1, 5, 8},
+		FloodStopIdx:            7,
+		StopsAtHour:             14,
+		SEDCScanInterval:        time.Minute,
+
+		FaultyCabinetFrac:      0.33,
+		CabinetFaultEventsMean: 140,
+		FaultyBladeFrac:        0.015,
+		BladeFaultEventsMean:   4,
+		PBladeFaultNearFailure: 0.40,
+		PCabFaultNearFailure:   0.25,
+
+		LaneEventsPerDay: 8,
+		PFailoverOK:      0.95,
+
+		NearMissPerDay:    3.0,
+		PNearMissExternal: 0.20,
+
+		SWOsPerMonth: 0.4,
+
+		Workload: workload.DefaultConfig(),
+	}
+	switch systemID {
+	case "S1":
+		p.CauseMix = []CauseWeight{
+			{faults.CauseMCE, 0.14}, {faults.CauseCPUCorruption, 0.05},
+			{faults.CauseHardwareOther, 0.06}, {faults.CauseKernelBug, 0.08},
+			{faults.CauseCPUStall, 0.09}, {faults.CauseFilesystemBug, 0.24},
+			{faults.CauseOOM, 0.12}, {faults.CauseAppExit, 0.17},
+			{faults.CauseSegFault, 0.03}, {faults.CauseUnknown, 0.02},
+		}
+	case "S2":
+		// Fig 16: app-exit 37.5 %, FS bugs 26.78 %, OOM 16.07 %,
+		// kernel bugs 7.14 %, CPU stalls & driver/firmware 12.5 %.
+		p.CauseMix = []CauseWeight{
+			{faults.CauseAppExit, 0.375}, {faults.CauseFilesystemBug, 0.2678},
+			{faults.CauseOOM, 0.1607}, {faults.CauseKernelBug, 0.0714},
+			{faults.CauseCPUStall, 0.125},
+		}
+		p.EpisodesPerDay = 1.3
+	case "S3":
+		// §III-F: hardware 37 %, software+Lustre 32 %, application 31 %,
+		// with memory exhaustion at 27 % overall.
+		p.CauseMix = []CauseWeight{
+			{faults.CauseMCE, 0.22}, {faults.CauseCPUCorruption, 0.06},
+			{faults.CauseHardwareOther, 0.09}, {faults.CauseKernelBug, 0.10},
+			{faults.CauseCPUStall, 0.06}, {faults.CauseFilesystemBug, 0.15},
+			{faults.CauseOOM, 0.24}, {faults.CauseAppExit, 0.06},
+			{faults.CauseSegFault, 0.02},
+		}
+		p.BurstGapMeanMin = 4.0
+	case "S4":
+		p.CauseMix = []CauseWeight{
+			{faults.CauseMCE, 0.12}, {faults.CauseCPUCorruption, 0.04},
+			{faults.CauseHardwareOther, 0.07}, {faults.CauseKernelBug, 0.09},
+			{faults.CauseCPUStall, 0.10}, {faults.CauseFilesystemBug, 0.22},
+			{faults.CauseOOM, 0.14}, {faults.CauseAppExit, 0.16},
+			{faults.CauseSegFault, 0.04}, {faults.CauseUnknown, 0.02},
+		}
+	case "S5":
+		// Institutional cluster: failures are rare; the interesting
+		// signal is the per-node condition mix (Fig 15).
+		p.CauseMix = []CauseWeight{
+			{faults.CauseOOM, 0.35}, {faults.CauseSegFault, 0.20},
+			{faults.CauseFilesystemBug, 0.25}, {faults.CauseHardwareOther, 0.20},
+		}
+		p.EpisodesPerDay = 0.1
+		p.SinglesPerDay = 0.8
+		// No Cray HSS: suppress external machinery.
+		p.BenignNHFPoweroffPerDay = 0
+		p.BenignNHFSkippedPerDay = 0
+		p.BenignNVFPerDay = 0
+		p.PFailureNVF = 0
+		// A 520-node institutional cluster has a far smaller benign
+		// error floor than the petascale Crays; the Fig 15 condition
+		// mix (genConditions) dominates the S5 internal logs.
+		p.HwErrNodesPerDay = 1
+		p.MCENodesPerDay = 0.5
+		p.LustreIONodesPerDay = 1.5
+		p.PageFaultLockNodesPerDay = 3
+		p.SEDCScatterBladesPerDay = 0
+		p.FloodBladeIdx = nil
+		p.FloodStopIdx = -1
+		p.FaultyCabinetFrac = 0
+		p.FaultyBladeFrac = 0
+		p.LaneEventsPerDay = 0 // Infiniband fabric is not modelled
+		p.PBladeFaultNearFailure = 0
+		p.PCabFaultNearFailure = 0
+		// Fig 15 condition mix: hung-task 80.57 %, OOM 10.59 %, Lustre
+		// 5.04 %, software 2.16 %, hardware 1.43 %.
+		p.S5ConditionMix = []CauseWeight{
+			{faults.CauseHungTask, 0.8057}, {faults.CauseOOM, 0.1059},
+			{faults.CauseFilesystemBug, 0.0504}, {faults.CauseSegFault, 0.0216},
+			{faults.CauseHardwareOther, 0.0143},
+		}
+	default:
+		return Profile{}, fmt.Errorf("faultsim: no default profile for %q", systemID)
+	}
+	return p, nil
+}

@@ -1,0 +1,148 @@
+package faultsim
+
+import (
+	"time"
+
+	"hpcfail/internal/alps"
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/workload"
+)
+
+// Failure is one ground-truth node failure.
+type Failure struct {
+	// Node is the failed node.
+	Node cname.Name
+	// Time is the failure manifestation instant (terminal internal log
+	// event).
+	Time time.Time
+	// Cause is the true root cause.
+	Cause faults.Cause
+	// Mode is fail-stop or fail-slow.
+	Mode faults.Mode
+	// JobID links application-triggered failures to their job (0
+	// otherwise).
+	JobID int64
+	// Episode groups failures born from the same malfunction; 0 marks
+	// singletons.
+	Episode int
+	// HasExternalIndicator marks fail-slow failures whose external logs
+	// carry early warnings.
+	HasExternalIndicator bool
+	// InternalLead is the gap between the first internal precursor and
+	// the failure.
+	InternalLead time.Duration
+	// ExternalLead is the gap between the earliest external indicator
+	// and the failure (0 when none).
+	ExternalLead time.Duration
+}
+
+// NHFKind is the ground truth behind a node-heartbeat-fault event.
+type NHFKind int
+
+const (
+	// NHFFailed: the NHF belongs to a node that really failed.
+	NHFFailed NHFKind = iota
+	// NHFPowerOff: the node was intentionally powered off.
+	NHFPowerOff
+	// NHFSkipped: a transient heartbeat skip; the node kept running.
+	NHFSkipped
+)
+
+// String returns the kind name.
+func (k NHFKind) String() string {
+	switch k {
+	case NHFFailed:
+		return "failed"
+	case NHFPowerOff:
+		return "poweroff"
+	case NHFSkipped:
+		return "skipped"
+	default:
+		return "unknown"
+	}
+}
+
+// NHFTruth records one NHF event's ground truth for Fig 6 validation.
+type NHFTruth struct {
+	Node cname.Name
+	Time time.Time
+	Kind NHFKind
+}
+
+// NVFTruth records one NVF event's ground truth (failure-linked or
+// benign) for Fig 5 validation.
+type NVFTruth struct {
+	Node   cname.Name
+	Time   time.Time
+	Failed bool
+}
+
+// NearMiss records a healthy node that emitted a failure-like internal
+// sequence (Fig 14 false-positive source).
+type NearMiss struct {
+	Node        cname.Name
+	Time        time.Time
+	HasExternal bool
+}
+
+// Scenario is a complete simulated system history.
+type Scenario struct {
+	// Profile is the generating profile.
+	Profile Profile
+	// Cluster is the instantiated topology.
+	Cluster *topology.Cluster
+	// Start and End bound the simulated window.
+	Start, End time.Time
+	// Jobs is the full job stream (background + failure-linked).
+	Jobs []workload.Job
+	// Launches maps ALPS apids to jobs on Cray systems (empty for S5).
+	Launches []alps.Launch
+	// Records is every log event of every stream, sorted by time.
+	Records []events.Record
+	// Failures is the ground-truth failure list, sorted by time.
+	Failures []Failure
+	// NHFs is the ground truth for every emitted NHF.
+	NHFs []NHFTruth
+	// NVFs is the ground truth for every emitted NVF.
+	NVFs []NVFTruth
+	// NearMisses lists the healthy failure-like sequences.
+	NearMisses []NearMiss
+	// SWOCount is the number of system-wide outages in the window.
+	SWOCount int
+}
+
+// Days returns the simulated whole-day count.
+func (s *Scenario) Days() int {
+	return int(s.End.Sub(s.Start) / (24 * time.Hour))
+}
+
+// FailuresBetween returns ground-truth failures in [from, to).
+func (s *Scenario) FailuresBetween(from, to time.Time) []Failure {
+	var out []Failure
+	for _, f := range s.Failures {
+		if !f.Time.Before(from) && f.Time.Before(to) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RecordsBetween returns records in [from, to). Records are sorted, so
+// this is a binary-searchable slice; for simplicity it scans (call sites
+// are experiment setup, not hot paths).
+func (s *Scenario) RecordsBetween(from, to time.Time) []events.Record {
+	var out []events.Record
+	for _, r := range s.Records {
+		if r.Time.Before(from) {
+			continue
+		}
+		if !r.Time.Before(to) {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}

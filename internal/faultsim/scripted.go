@@ -1,0 +1,265 @@
+package faultsim
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+	"hpcfail/internal/hss"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/workload"
+)
+
+// OverallocSpec is one Fig 17 job: how many of its nodes were granted
+// more memory than physically available, and how many of those failed.
+type OverallocSpec struct {
+	JobID         int64
+	Overallocated int
+	Failed        int
+}
+
+// fig17Jobs reproduces the paper's Fig 17 day: 53 failures over 16
+// jobs; J5 and J8 lose every overallocated node, J1 and J16 lose 1 and
+// 6 of 600 and 683.
+var fig17Jobs = []struct{ over, failed int }{
+	{600, 1}, {24, 2}, {36, 3}, {48, 3}, {8, 8}, {30, 4}, {16, 2}, {5, 5},
+	{22, 1}, {28, 2}, {34, 3}, {18, 4}, {26, 2}, {30, 4}, {64, 3}, {683, 6},
+}
+
+// OverallocationDay builds the scripted Fig 17 scenario: one day on an
+// S4-sized cluster during which the scheduler overallocates memory for
+// 16 jobs and a subset of the overallocated nodes fail with memory
+// exhaustion.
+func OverallocationDay(day time.Time, seed uint64) (*Scenario, []OverallocSpec, error) {
+	spec, err := topology.ProfileByID("S3")
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := DefaultProfile("S3")
+	if err != nil {
+		return nil, nil, err
+	}
+	// The scripted day provides all failures itself.
+	p.EpisodesPerDay = 0
+	p.SinglesPerDay = 0
+	p.FloodBladeIdx = nil
+	p.FloodStopIdx = -1
+	p.Spec = spec
+
+	cluster := topology.New(spec)
+	scn := &Scenario{Profile: p, Cluster: cluster, Start: day, End: day.Add(24 * time.Hour)}
+	root := rng.New(seed)
+	g := &generator{p: p, scn: scn, r: root.Split("emit"), nextJob: synthJobBase}
+	r := root.Split("script")
+
+	const nodeMemMB = 64 * 1024
+	var specs []OverallocSpec
+	nextNID := 0
+	for i, jf := range fig17Jobs {
+		// Allocate a contiguous block so jobs do not overlap.
+		nodes := make([]cname.Name, 0, jf.over)
+		for k := 0; k < jf.over && nextNID < cluster.NumNodes(); k++ {
+			nodes = append(nodes, cluster.Node(nextNID))
+			nextNID++
+		}
+		if len(nodes) < jf.failed {
+			return nil, nil, fmt.Errorf("faultsim: cluster too small for fig17 job %d", i+1)
+		}
+		start := day.Add(time.Duration(1+i) * 30 * time.Minute)
+		g.nextJob++
+		j := workload.Job{
+			ID:            g.nextJob,
+			App:           "genomics_pipe",
+			User:          fmt.Sprintf("user%02d", r.Intn(40)),
+			Nodes:         nodes,
+			Submit:        start.Add(-20 * time.Minute),
+			Start:         start,
+			End:           start.Add(time.Duration(60+r.Intn(120)) * time.Minute),
+			State:         workload.StateNodeFail,
+			ExitCode:      1,
+			ReqMemMB:      nodeMemMB + 16*1024,
+			Overallocated: true,
+		}
+		if jf.failed == 0 {
+			j.State = workload.StateCompleted
+			j.ExitCode = 0
+		}
+		scn.Jobs = append(scn.Jobs, j)
+		specs = append(specs, OverallocSpec{JobID: j.ID, Overallocated: len(nodes), Failed: jf.failed})
+		// The failing subset dies of memory exhaustion spread across the
+		// job's run.
+		for _, idx := range r.SampleInts(len(nodes), jf.failed) {
+			at := j.Start.Add(time.Duration(10+r.Intn(45)) * time.Minute)
+			g.emitOne(nodes[idx], at, faults.CauseOOM, j.ID, i+1, r)
+		}
+	}
+	g.genSchedulerEvents(root.Split("sched"))
+	events.SortByTime(scn.Records)
+	return scn, specs, nil
+}
+
+// CaseStudy is one Table V scenario with the expected diagnosis.
+type CaseStudy struct {
+	// Name summarises the case.
+	Name string
+	// Scenario holds the scripted logs.
+	Scenario *Scenario
+	// FailureCount is the number of planted failures.
+	FailureCount int
+	// ExpectedCause is the root cause the pipeline should infer.
+	ExpectedCause faults.Cause
+	// ExpectAppTriggered marks cases whose origin is the application.
+	ExpectAppTriggered bool
+	// ExpectExternalIndicators marks fail-slow cases with early
+	// external evidence.
+	ExpectExternalIndicators bool
+	// Notes quotes the paper's inference.
+	Notes string
+}
+
+// caseBuilder carries shared scripted-scenario plumbing.
+type caseBuilder struct {
+	g *generator
+	r *rng.Rand
+}
+
+func newCase(at time.Time, seed uint64) *caseBuilder {
+	spec := topology.Spec{ID: "CS", Machine: "Cray XC40", Nodes: 192, CabinetCols: 1,
+		Scheduler: topology.SchedulerSlurm, Fabric: topology.AriesDragonfly, Cray: true}
+	p, _ := DefaultProfile("S3")
+	p.Spec = spec
+	p.EpisodesPerDay = 0
+	p.SinglesPerDay = 0
+	cluster := topology.New(spec)
+	scn := &Scenario{Profile: p, Cluster: cluster, Start: at.Add(-12 * time.Hour), End: at.Add(12 * time.Hour)}
+	root := rng.New(seed)
+	return &caseBuilder{
+		g: &generator{p: p, scn: scn, r: root.Split("emit"), nextJob: synthJobBase},
+		r: root.Split("script"),
+	}
+}
+
+func (b *caseBuilder) finish() *Scenario {
+	b.g.genSchedulerEvents(b.r.Split("sched"))
+	events.SortByTime(b.g.scn.Records)
+	return b.g.scn
+}
+
+// BuildCaseStudies constructs the five Table V cases around the given
+// reference time.
+func BuildCaseStudies(at time.Time, seed uint64) []CaseStudy {
+	var out []CaseStudy
+
+	// Case 1: L0_sysd_MCE followed by NHC warnings; siblings log benign
+	// correctable errors; no environmental or job indications. The
+	// paper could not deduce a root cause.
+	{
+		b := newCase(at, seed+1)
+		node := b.g.scn.Cluster.Node(10)
+		b.g.add(events.Record{
+			Time: at.Add(-6 * time.Minute), Stream: events.StreamERD, Component: node,
+			Severity: events.SevError, Category: faults.L0SysdMCE.Category(),
+			Msg: "L0_sysd_mce: memory error reported by blade controller",
+		})
+		for _, sib := range node.Siblings() {
+			if b.g.scn.Cluster.Contains(sib) {
+				b.g.console(at.Add(-4*time.Minute), sib, faults.CorrectableMemErr,
+					events.SevWarning, "EDAC MC0: corrected memory error on DIMM")
+			}
+		}
+		b.g.shutdown(at, node)
+		b.g.nhfAt(at.Add(30*time.Second), node, NHFFailed)
+		b.g.scn.Failures = append(b.g.scn.Failures, Failure{Node: node, Time: at, Cause: faults.CauseUnknown})
+		out = append(out, CaseStudy{
+			Name: "case1-l0-sysd-mce", Scenario: b.finish(), FailureCount: 1,
+			ExpectedCause: faults.CauseUnknown,
+			// The L0_sysd_mce record is an external (blade controller)
+			// event preceding the failure, so the pipeline surfaces it
+			// as an indicator — but the cause stays undeducible.
+			ExpectExternalIndicators: true,
+			Notes:                    "Potential root cause could not be deduced",
+		})
+	}
+
+	// Case 2: three failures, neither spatially nor temporally close,
+	// sharing the H/W error → MCE → kernel oops pattern; link errors
+	// and temperature violations distant from the failure times.
+	{
+		b := newCase(at, seed+2)
+		times := []time.Duration{-8 * time.Hour, -3 * time.Hour, 0}
+		for i, dt := range times {
+			node := b.g.scn.Cluster.Node(20 + 40*i)
+			b.g.emitOne(node, at.Add(dt), faults.CauseMCE, 0, 0, b.r)
+		}
+		// Distant, uncorrelated environmental chatter.
+		blade := b.g.scn.Cluster.Blades()[30]
+		b.g.add(hss.LinkErrorEvent(at.Add(-11*time.Hour), blade, 3))
+		b.g.add(hss.SEDCWarningEvent(at.Add(-10*time.Hour), blade, faults.SEDCTemp, "temperature", 8.2, true))
+		out = append(out, CaseStudy{
+			Name: "case2-mce-chain", Scenario: b.finish(), FailureCount: 3,
+			ExpectedCause: faults.CauseMCE, ExpectExternalIndicators: true,
+			Notes: "CPU corruptions and MCEs affecting the file system causing failure",
+		})
+	}
+
+	// Case 3: six failures at similar times, all running the same
+	// application; user-killed then OOM call traces; no external
+	// indications. Application-caused memory exhaustion.
+	{
+		b := newCase(at, seed+3)
+		var nodes []cname.Name
+		for i := 0; i < 6; i++ {
+			nodes = append(nodes, b.g.scn.Cluster.Node(5+17*i))
+		}
+		jobID, _ := b.g.synthJob(nodes, at, b.r)
+		for i, n := range nodes {
+			b.g.console(at.Add(time.Duration(i)*time.Minute-5*time.Minute), n, faults.UserKilled,
+				events.SevWarning, "slurmstepd: user-killed process group")
+			b.g.emitOne(n, at.Add(time.Duration(i)*time.Minute), faults.CauseOOM, jobID, 1, b.r)
+		}
+		out = append(out, CaseStudy{
+			Name: "case3-app-oom", Scenario: b.finish(), FailureCount: 6,
+			ExpectedCause: faults.CauseOOM, ExpectAppTriggered: true,
+			Notes: "Application-caused memory exhaustion; nodes fail NHC tests",
+		})
+	}
+
+	// Case 4: one failure: LustreErrors then a kernel paging-request
+	// oops; blade siblings fine; the scheduled job aborted.
+	{
+		b := newCase(at, seed+4)
+		node := b.g.scn.Cluster.Node(77)
+		jobID, _ := b.g.synthJob([]cname.Name{node}, at, b.r)
+		b.g.emitOne(node, at, faults.CauseFilesystemBug, jobID, 0, b.r)
+		out = append(out, CaseStudy{
+			Name: "case4-app-fs-bug", Scenario: b.finish(), FailureCount: 1,
+			ExpectedCause: faults.CauseFilesystemBug, ExpectAppTriggered: true,
+			Notes: "Application-triggered file system bug causing failure",
+		})
+	}
+
+	// Case 5: one failure with early ec_hw_errors and link errors well
+	// before the internal MCE chain — fail-slow memory degradation.
+	{
+		b := newCase(at, seed+5)
+		node := b.g.scn.Cluster.Node(120)
+		// emitOne gives MCE failures external indicators automatically;
+		// sibling benign events round out the picture.
+		for _, sib := range node.Siblings() {
+			if b.g.scn.Cluster.Contains(sib) {
+				b.g.console(at.Add(-30*time.Minute), sib, faults.CorrectableMemErr,
+					events.SevWarning, "EDAC MC0: corrected memory error on DIMM")
+			}
+		}
+		b.g.emitOne(node, at, faults.CauseMCE, 0, 0, b.r)
+		out = append(out, CaseStudy{
+			Name: "case5-fail-slow", Scenario: b.finish(), FailureCount: 1,
+			ExpectedCause: faults.CauseMCE, ExpectExternalIndicators: true,
+			Notes: "Fail-slow symptoms of memory failing the node (degraded h/w)",
+		})
+	}
+	return out
+}

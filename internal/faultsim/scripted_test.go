@@ -1,0 +1,112 @@
+package faultsim
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+)
+
+func TestOverallocationDayStructure(t *testing.T) {
+	day := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	scn, specs, err := OverallocationDay(day, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 16 {
+		t.Fatalf("got %d job specs, want 16", len(specs))
+	}
+	totalPlanted := 0
+	for _, s := range specs {
+		totalPlanted += s.Failed
+		if s.Failed > s.Overallocated {
+			t.Errorf("job %d fails more nodes than it overallocated", s.JobID)
+		}
+	}
+	if totalPlanted != 53 {
+		t.Errorf("planted failures = %d, want 53", totalPlanted)
+	}
+	if len(scn.Failures) != 53 {
+		t.Errorf("scenario failures = %d, want 53", len(scn.Failures))
+	}
+	// All failures are OOM, job-linked, within the day.
+	for _, f := range scn.Failures {
+		if f.Cause != faults.CauseOOM || f.JobID == 0 {
+			t.Errorf("fig17 failure not job-linked OOM: %+v", f)
+		}
+		if f.Time.Before(day) || !f.Time.Before(day.Add(24*time.Hour)) {
+			t.Errorf("failure outside the day: %v", f.Time)
+		}
+	}
+	// Jobs J5 (index 4) and J8 (index 7) lose everything.
+	if specs[4].Overallocated != specs[4].Failed || specs[7].Overallocated != specs[7].Failed {
+		t.Error("J5/J8 should lose every overallocated node")
+	}
+	// Jobs do not overlap nodes (contiguous block allocation).
+	seen := map[string]int64{}
+	for _, j := range scn.Jobs {
+		for _, n := range j.Nodes {
+			if prev, dup := seen[n.String()]; dup {
+				t.Fatalf("node %v allocated to jobs %d and %d", n, prev, j.ID)
+			}
+			seen[n.String()] = j.ID
+		}
+	}
+	// Deterministic.
+	scn2, _, err := OverallocationDay(day, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scn2.Records) != len(scn.Records) {
+		t.Error("OverallocationDay not deterministic")
+	}
+}
+
+func TestBuildCaseStudiesStructure(t *testing.T) {
+	at := time.Date(2015, 3, 2, 12, 0, 0, 0, time.UTC)
+	cases := BuildCaseStudies(at, 7)
+	if len(cases) != 5 {
+		t.Fatalf("got %d cases, want 5", len(cases))
+	}
+	wantFailures := []int{1, 3, 6, 1, 1}
+	for i, cs := range cases {
+		if cs.Name == "" || cs.Notes == "" {
+			t.Errorf("case %d missing metadata", i)
+		}
+		if cs.FailureCount != wantFailures[i] {
+			t.Errorf("%s failure count = %d, want %d", cs.Name, cs.FailureCount, wantFailures[i])
+		}
+		if len(cs.Scenario.Records) == 0 {
+			t.Errorf("%s has no records", cs.Name)
+		}
+		// Records sorted.
+		for j := 1; j < len(cs.Scenario.Records); j++ {
+			if cs.Scenario.Records[j].Time.Before(cs.Scenario.Records[j-1].Time) {
+				t.Fatalf("%s records unsorted", cs.Name)
+			}
+		}
+	}
+	// Case 3 is the application-OOM cluster: all failures share a job.
+	c3 := cases[2]
+	jobs := map[int64]bool{}
+	for _, r := range c3.Scenario.Records {
+		if r.Category == "nhc_admindown" && r.JobID != 0 {
+			jobs[r.JobID] = true
+		}
+	}
+	if len(jobs) != 1 {
+		t.Errorf("case 3 should share one job, got %v", jobs)
+	}
+	// Case 5 carries early external hardware indicators.
+	c5 := cases[4]
+	ext := 0
+	for _, r := range c5.Scenario.Records {
+		if r.Stream == events.StreamERD && r.Category == faults.ECHwError.Category() {
+			ext++
+		}
+	}
+	if ext == 0 {
+		t.Error("case 5 should include ec_hw_errors indicators")
+	}
+}

@@ -1,0 +1,282 @@
+// Package hss models the Cray Hardware Supervisory System view of node
+// health: the heartbeat protocol between nodes and their blade
+// controllers, the node state machine (up → suspect → down/admindown),
+// and constructors for the external health-fault events (NHF, NVF, BCHF,
+// ec_hw_errors, …) that the event-router stream carries.
+//
+// The semantics matter for reproducing Figs 5 and 6: a node heartbeat
+// fault (NHF) means the HSS *suspects* the node is dead, but empirically
+// only ~43 % of NHFs correspond to real failures — the rest are nodes
+// that were powered off or that merely skipped a beat. The heartbeat
+// Tracker distinguishes those outcomes, and the simulator uses the event
+// constructors here so generation and parsing agree on categories and
+// fields.
+package hss
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+)
+
+// NodeState is the HSS view of a node.
+type NodeState int
+
+const (
+	// StateUp is a healthy, responding node.
+	StateUp NodeState = iota
+	// StateSuspect marks a node that failed a health test or skipped a
+	// heartbeat; the NHC runs in suspect mode.
+	StateSuspect
+	// StateAdminDown is a node taken out of service by the NHC after
+	// failed tests (the paper's job-caused admindown path).
+	StateAdminDown
+	// StateDown is a dead node (crash, panic, hardware failure).
+	StateDown
+	// StatePowerOff is an intentionally powered-off node.
+	StatePowerOff
+)
+
+var stateNames = [...]string{"up", "suspect", "admindown", "down", "poweroff"}
+
+// String returns the lower-case state name.
+func (s NodeState) String() string {
+	if s >= 0 && int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// CanTransition reports whether the HSS permits moving from s to next.
+// Any state can power off (operator action); powered-off and down nodes
+// must come back through up (reboot).
+func (s NodeState) CanTransition(next NodeState) bool {
+	if s == next {
+		return true
+	}
+	switch s {
+	case StateUp:
+		return true // up can go anywhere
+	case StateSuspect:
+		return next == StateUp || next == StateAdminDown || next == StateDown || next == StatePowerOff
+	case StateAdminDown, StateDown, StatePowerOff:
+		return next == StateUp
+	default:
+		return false
+	}
+}
+
+// Alive reports whether the node is expected to emit heartbeats.
+func (s NodeState) Alive() bool { return s == StateUp || s == StateSuspect }
+
+// BeatOutcome classifies a heartbeat check.
+type BeatOutcome int
+
+const (
+	// BeatOK: heartbeat arrived within the window.
+	BeatOK BeatOutcome = iota
+	// BeatSkipped: one window missed; HSS raises an NHF but the node may
+	// recover.
+	BeatSkipped
+	// BeatStopped: enough consecutive misses that the HSS declares
+	// ec_heartbeat_stop and suspects the node dead.
+	BeatStopped
+)
+
+// String returns the outcome name.
+func (o BeatOutcome) String() string {
+	switch o {
+	case BeatOK:
+		return "ok"
+	case BeatSkipped:
+		return "skipped"
+	case BeatStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Tracker implements the blade controller's heartbeat bookkeeping for
+// one node.
+type Tracker struct {
+	// Interval is the expected beat period.
+	Interval time.Duration
+	// StopAfter is the number of consecutive missed windows after which
+	// the heartbeat is declared stopped.
+	StopAfter int
+
+	lastBeat time.Time
+	started  bool
+}
+
+// NewTracker returns a tracker with the platform-typical 3-miss stop
+// rule.
+func NewTracker(interval time.Duration) *Tracker {
+	return &Tracker{Interval: interval, StopAfter: 3}
+}
+
+// Beat records a heartbeat arrival at t.
+func (tr *Tracker) Beat(t time.Time) {
+	tr.lastBeat = t
+	tr.started = true
+}
+
+// CheckAt evaluates the heartbeat state at time t: OK if the last beat is
+// within one interval (plus slack), Skipped if within the stop budget,
+// Stopped beyond it. Before any beat is seen the tracker reports OK
+// (nodes boot quiet).
+func (tr *Tracker) CheckAt(t time.Time) BeatOutcome {
+	if !tr.started {
+		return BeatOK
+	}
+	gap := t.Sub(tr.lastBeat)
+	switch {
+	case gap <= tr.Interval+tr.Interval/2:
+		return BeatOK
+	case gap <= tr.Interval*time.Duration(tr.StopAfter):
+		return BeatSkipped
+	default:
+		return BeatStopped
+	}
+}
+
+// MissedWindows returns how many full beat intervals have elapsed since
+// the last beat.
+func (tr *Tracker) MissedWindows(t time.Time) int {
+	if !tr.started || tr.Interval <= 0 {
+		return 0
+	}
+	gap := t.Sub(tr.lastBeat)
+	if gap <= 0 {
+		return 0
+	}
+	return int(gap / tr.Interval)
+}
+
+// Event constructors. These are the single source of truth for the
+// external health-fault record shapes: the simulator emits them and the
+// log generator/parser round-trips them.
+
+// nodeEvent builds an external record for a node-scoped HSS fault.
+func nodeEvent(t time.Time, node cname.Name, typ faults.Type, sev events.Severity, msg string) events.Record {
+	return events.Record{
+		Time:      t,
+		Stream:    events.StreamERD,
+		Component: node,
+		Severity:  sev,
+		Category:  typ.Category(),
+		Msg:       msg,
+	}
+}
+
+// NHFEvent is a node heartbeat fault: the HSS missed beats from the
+// node. The record does not say why — distinguishing dead nodes from
+// power-offs and skipped beats is the analysis pipeline's job (Fig 6).
+func NHFEvent(t time.Time, node cname.Name) events.Record {
+	return nodeEvent(t, node, faults.NHF, events.SevError,
+		fmt.Sprintf("ec_node_heartbeat_fault: node %s missed heartbeat", node))
+}
+
+// HeartbeatStopEvent is the HSS declaring the node's heartbeat stopped
+// (suspected dead) after consecutive misses.
+func HeartbeatStopEvent(t time.Time, node cname.Name) events.Record {
+	return nodeEvent(t, node, faults.HeartbeatStop, events.SevCritical,
+		fmt.Sprintf("ec_heartbeat_stop: heartbeat from %s stopped", node))
+}
+
+// NVFEvent is a node voltage fault — rare, and when present strongly
+// associated with real failures (Fig 5: 67–97 %).
+func NVFEvent(t time.Time, node cname.Name, rail string, volts float64) events.Record {
+	r := nodeEvent(t, node, faults.NVF, events.SevError,
+		fmt.Sprintf("ec_node_voltage_fault: node %s rail %s at %.3fV", node, rail, volts))
+	r.SetField("rail", rail)
+	r.SetField("volts", fmt.Sprintf("%.3f", volts))
+	return r
+}
+
+// BCHFEvent is a blade-controller heartbeat fault, scoped to the blade.
+func BCHFEvent(t time.Time, blade cname.Name) events.Record {
+	return events.Record{
+		Time:      t,
+		Stream:    events.StreamControllerBC,
+		Component: blade,
+		Severity:  events.SevError,
+		Category:  faults.BCHF.Category(),
+		Msg:       fmt.Sprintf("ec_bc_heartbeat_fault: blade controller %s heartbeat fault", blade),
+	}
+}
+
+// HwErrorEvent is ec_hw_errors — the external hardware-malfunction alert
+// that serves as the paper's early indicator for fail-slow failures
+// (Observation 5).
+func HwErrorEvent(t time.Time, node cname.Name, detail string) events.Record {
+	r := nodeEvent(t, node, faults.ECHwError, events.SevWarning,
+		fmt.Sprintf("ec_hw_errors: hardware malfunction reported for %s: %s", node, detail))
+	r.SetField("detail", detail)
+	return r
+}
+
+// LinkErrorEvent is an interconnect link error scoped to a blade.
+func LinkErrorEvent(t time.Time, blade cname.Name, lane int) events.Record {
+	r := events.Record{
+		Time:      t,
+		Stream:    events.StreamERD,
+		Component: blade,
+		Severity:  events.SevWarning,
+		Category:  faults.LinkError.Category(),
+		Msg:       fmt.Sprintf("link_error: HSN lane %d degraded on %s", lane, blade),
+	}
+	r.SetField("lane", fmt.Sprintf("%d", lane))
+	return r
+}
+
+// HealthFaultEvent builds a generic blade/cabinet controller health
+// fault (cabinet power faults, comm faults, module health, sensor read
+// failures, ECB trips, l0 failures).
+func HealthFaultEvent(t time.Time, comp cname.Name, typ faults.Type) events.Record {
+	stream := events.StreamControllerBC
+	if comp.Level() <= cname.LevelCabinet {
+		stream = events.StreamControllerCC
+	}
+	return events.Record{
+		Time:      t,
+		Stream:    stream,
+		Component: comp,
+		Severity:  events.SevError,
+		Category:  typ.Category(),
+		Msg:       fmt.Sprintf("%s: health fault on %s", typ.Category(), comp),
+	}
+}
+
+// SEDCWarningEvent builds an ec_sedc_warning for a threshold violation.
+// below reports the dominant "value under minimum allowed" case.
+func SEDCWarningEvent(t time.Time, comp cname.Name, typ faults.Type, sensor string, value float64, below bool) events.Record {
+	dir := "above maximum"
+	if below {
+		dir = "below minimum"
+	}
+	stream := events.StreamControllerBC
+	if comp.Level() <= cname.LevelCabinet {
+		stream = events.StreamControllerCC
+	}
+	r := events.Record{
+		Time:      t,
+		Stream:    stream,
+		Component: comp,
+		Severity:  events.SevWarning,
+		Category:  typ.Category(),
+		Msg:       fmt.Sprintf("ec_sedc_warning: %s on %s reads %.3f (%s allowed)", sensor, comp, value, dir),
+	}
+	r.SetField("sensor", sensor)
+	r.SetField("value", fmt.Sprintf("%.3f", value))
+	if below {
+		r.SetField("direction", "below")
+	} else {
+		r.SetField("direction", "above")
+	}
+	return r
+}

@@ -1,0 +1,187 @@
+package hss
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faults"
+)
+
+var node = cname.MustParse("c1-0c2s7n3")
+
+func TestStateTransitions(t *testing.T) {
+	cases := []struct {
+		from, to NodeState
+		ok       bool
+	}{
+		{StateUp, StateSuspect, true},
+		{StateUp, StateDown, true},
+		{StateUp, StatePowerOff, true},
+		{StateSuspect, StateAdminDown, true},
+		{StateSuspect, StateUp, true},
+		{StateSuspect, StateDown, true},
+		{StateDown, StateUp, true},
+		{StateDown, StateSuspect, false},
+		{StateAdminDown, StateDown, false},
+		{StatePowerOff, StateSuspect, false},
+		{StateDown, StateDown, true},
+	}
+	for _, c := range cases {
+		if got := c.from.CanTransition(c.to); got != c.ok {
+			t.Errorf("%v -> %v = %v, want %v", c.from, c.to, got, c.ok)
+		}
+	}
+}
+
+func TestStateAlive(t *testing.T) {
+	if !StateUp.Alive() || !StateSuspect.Alive() {
+		t.Error("up/suspect should be alive")
+	}
+	for _, s := range []NodeState{StateDown, StateAdminDown, StatePowerOff} {
+		if s.Alive() {
+			t.Errorf("%v should not be alive", s)
+		}
+	}
+}
+
+func TestStateNames(t *testing.T) {
+	if StateAdminDown.String() != "admindown" || NodeState(99).String() == "" {
+		t.Error("state names wrong")
+	}
+	if BeatOK.String() != "ok" || BeatSkipped.String() != "skipped" ||
+		BeatStopped.String() != "stopped" || BeatOutcome(99).String() == "" {
+		t.Error("outcome names wrong")
+	}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracker(10 * time.Second)
+	// Quiet before first beat.
+	if got := tr.CheckAt(t0.Add(time.Hour)); got != BeatOK {
+		t.Errorf("pre-first-beat check = %v", got)
+	}
+	tr.Beat(t0)
+	if got := tr.CheckAt(t0.Add(10 * time.Second)); got != BeatOK {
+		t.Errorf("on-time check = %v", got)
+	}
+	// Within 1.5 intervals: still OK (slack).
+	if got := tr.CheckAt(t0.Add(14 * time.Second)); got != BeatOK {
+		t.Errorf("slack check = %v", got)
+	}
+	// One or two missed windows: skipped.
+	if got := tr.CheckAt(t0.Add(20 * time.Second)); got != BeatSkipped {
+		t.Errorf("one-miss check = %v", got)
+	}
+	if got := tr.CheckAt(t0.Add(30 * time.Second)); got != BeatSkipped {
+		t.Errorf("two-miss check = %v", got)
+	}
+	// Past the stop budget: stopped.
+	if got := tr.CheckAt(t0.Add(45 * time.Second)); got != BeatStopped {
+		t.Errorf("stopped check = %v", got)
+	}
+	// Recovery: a new beat resets.
+	tr.Beat(t0.Add(60 * time.Second))
+	if got := tr.CheckAt(t0.Add(61 * time.Second)); got != BeatOK {
+		t.Errorf("post-recovery check = %v", got)
+	}
+}
+
+func TestMissedWindows(t *testing.T) {
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracker(10 * time.Second)
+	if tr.MissedWindows(t0) != 0 {
+		t.Error("no beats yet: 0 windows")
+	}
+	tr.Beat(t0)
+	if got := tr.MissedWindows(t0.Add(35 * time.Second)); got != 3 {
+		t.Errorf("MissedWindows = %d, want 3", got)
+	}
+	if got := tr.MissedWindows(t0.Add(-time.Second)); got != 0 {
+		t.Errorf("negative gap MissedWindows = %d", got)
+	}
+}
+
+func TestNHFEventShape(t *testing.T) {
+	at := time.Date(2015, 4, 1, 3, 0, 0, 0, time.UTC)
+	r := NHFEvent(at, node)
+	if r.Category != faults.NHF.Category() {
+		t.Errorf("category = %q", r.Category)
+	}
+	if !r.Stream.External() {
+		t.Error("NHF must be external")
+	}
+	if r.Component != node || !r.Time.Equal(at) {
+		t.Error("metadata wrong")
+	}
+	// NHF must NOT leak the reason — Fig 6 requires the pipeline to
+	// infer it.
+	if r.Field("reason") != "" {
+		t.Error("NHF event leaks ground truth")
+	}
+}
+
+func TestNVFEventFields(t *testing.T) {
+	r := NVFEvent(time.Now(), node, "VDD", 0.82)
+	if r.Field("rail") != "VDD" || r.Field("volts") != "0.820" {
+		t.Errorf("fields = %v", r.Fields)
+	}
+	if r.Severity != events.SevError {
+		t.Error("NVF severity")
+	}
+}
+
+func TestBladeAndCabinetEventStreams(t *testing.T) {
+	blade := node.BladeName()
+	cab := node.CabinetName()
+	if got := BCHFEvent(time.Now(), blade).Stream; got != events.StreamControllerBC {
+		t.Errorf("BCHF stream = %v", got)
+	}
+	if got := HealthFaultEvent(time.Now(), blade, faults.ModuleHealthFault).Stream; got != events.StreamControllerBC {
+		t.Errorf("blade health fault stream = %v", got)
+	}
+	if got := HealthFaultEvent(time.Now(), cab, faults.CabinetPowerFault).Stream; got != events.StreamControllerCC {
+		t.Errorf("cabinet health fault stream = %v", got)
+	}
+}
+
+func TestSEDCWarningEvent(t *testing.T) {
+	blade := node.BladeName()
+	r := SEDCWarningEvent(time.Now(), blade, faults.SEDCVoltage, "voltage", 0.91, true)
+	if r.Field("direction") != "below" || r.Field("sensor") != "voltage" {
+		t.Errorf("fields = %v", r.Fields)
+	}
+	if r.Severity != events.SevWarning {
+		t.Error("SEDC warnings are warnings")
+	}
+	r2 := SEDCWarningEvent(time.Now(), node.CabinetName(), faults.SEDCTemp, "temperature", 80.1, false)
+	if r2.Field("direction") != "above" {
+		t.Error("above direction missing")
+	}
+	if r2.Stream != events.StreamControllerCC {
+		t.Error("cabinet warning should come from CC")
+	}
+}
+
+func TestHwErrorAndLinkEvents(t *testing.T) {
+	r := HwErrorEvent(time.Now(), node, "dimm correctable burst")
+	if r.Category != faults.ECHwError.Category() || r.Field("detail") == "" {
+		t.Errorf("hw error event: %+v", r)
+	}
+	l := LinkErrorEvent(time.Now(), node.BladeName(), 2)
+	if l.Field("lane") != "2" || l.Category != faults.LinkError.Category() {
+		t.Errorf("link event: %+v", l)
+	}
+}
+
+func TestHeartbeatStopEvent(t *testing.T) {
+	r := HeartbeatStopEvent(time.Now(), node)
+	if r.Severity != events.SevCritical {
+		t.Error("heartbeat stop should be critical")
+	}
+	if r.Category != faults.HeartbeatStop.Category() {
+		t.Error("category wrong")
+	}
+}

@@ -1,0 +1,270 @@
+// Package interconnect models the high-speed network fabrics of the
+// studied systems (Table I): the Aries dragonfly of the XC machines
+// (S1, S3, S4) and the Gemini 3-D torus of S2. Blades host the router
+// ASICs, so links connect blades; lanes within a link degrade and fail
+// over independently — the "lane degrades" and "failed failovers" the
+// paper's related work discusses, and the source of the HSN link errors
+// that appear among the external early indicators (case studies 2, 4,
+// 5).
+//
+// The model is structural: enough fabric to give every link error a
+// real endpoint pair, a lane number, and a failover outcome, plus the
+// benign lane-recovery chatter that floods production event logs
+// without predicting node failures.
+package interconnect
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/topology"
+)
+
+// Kind selects the fabric model.
+type Kind int
+
+const (
+	// Dragonfly is the Aries topology: all-to-all among a chassis'
+	// blades (green links), all-to-all among a cabinet's chassis (black
+	// links), and global links between cabinets (blue links).
+	Dragonfly Kind = iota
+	// Torus3D is the Gemini topology: each blade links to its ±1
+	// neighbours along three axes (slot, chassis, cabinet).
+	Torus3D
+)
+
+// String names the fabric kind.
+func (k Kind) String() string {
+	switch k {
+	case Dragonfly:
+		return "dragonfly"
+	case Torus3D:
+		return "torus-3d"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindFor maps a Table I interconnect onto a fabric model.
+func KindFor(ic topology.Interconnect) (Kind, bool) {
+	switch ic {
+	case topology.AriesDragonfly:
+		return Dragonfly, true
+	case topology.GeminiTorus:
+		return Torus3D, true
+	default:
+		return 0, false // Infiniband (S5) is not modelled
+	}
+}
+
+// LanesPerLink is the per-link lane count (Aries and Gemini both gang
+// multiple SerDes lanes per link).
+const LanesPerLink = 4
+
+// Link is one bidirectional blade-to-blade connection.
+type Link struct {
+	A, B cname.Name // blade endpoints, A < B in cname order
+}
+
+// String renders "c0-0c0s0 <-> c0-0c0s1".
+func (l Link) String() string { return l.A.String() + " <-> " + l.B.String() }
+
+// Fabric is the instantiated network.
+type Fabric struct {
+	kind    Kind
+	links   []Link
+	byBlade map[cname.Name][]int // blade -> indexes into links
+}
+
+// New builds the fabric for a cluster.
+func New(cluster *topology.Cluster, kind Kind) *Fabric {
+	f := &Fabric{kind: kind, byBlade: map[cname.Name][]int{}}
+	blades := cluster.Blades()
+	addLink := func(a, b cname.Name) {
+		if cname.Compare(b, a) < 0 {
+			a, b = b, a
+		}
+		f.byBlade[a] = append(f.byBlade[a], len(f.links))
+		f.byBlade[b] = append(f.byBlade[b], len(f.links))
+		f.links = append(f.links, Link{A: a, B: b})
+	}
+	switch kind {
+	case Dragonfly:
+		f.buildDragonfly(blades, addLink)
+	case Torus3D:
+		f.buildTorus(blades, addLink)
+	}
+	return f
+}
+
+// buildDragonfly wires green links (all-to-all within a chassis),
+// black links (chassis leaders within a cabinet) and blue links
+// (cabinet leaders globally).
+func (f *Fabric) buildDragonfly(blades []cname.Name, addLink func(a, b cname.Name)) {
+	byChassis := map[cname.Name][]cname.Name{}
+	var chassisOrder []cname.Name
+	for _, b := range blades {
+		ch := b.ChassisName()
+		if _, ok := byChassis[ch]; !ok {
+			chassisOrder = append(chassisOrder, ch)
+		}
+		byChassis[ch] = append(byChassis[ch], b)
+	}
+	// Green: all-to-all within each chassis.
+	for _, ch := range chassisOrder {
+		bs := byChassis[ch]
+		for i := 0; i < len(bs); i++ {
+			for j := i + 1; j < len(bs); j++ {
+				addLink(bs[i], bs[j])
+			}
+		}
+	}
+	// Black: first blade of each chassis pair-wise within a cabinet.
+	byCabinet := map[cname.Name][]cname.Name{}
+	var cabinetOrder []cname.Name
+	for _, ch := range chassisOrder {
+		cab := ch.CabinetName()
+		if _, ok := byCabinet[cab]; !ok {
+			cabinetOrder = append(cabinetOrder, cab)
+		}
+		byCabinet[cab] = append(byCabinet[cab], byChassis[ch][0])
+	}
+	for _, cab := range cabinetOrder {
+		leaders := byCabinet[cab]
+		for i := 0; i < len(leaders); i++ {
+			for j := i + 1; j < len(leaders); j++ {
+				addLink(leaders[i], leaders[j])
+			}
+		}
+	}
+	// Blue: ring over cabinet leader blades (a single link for the
+	// two-cabinet case, where the ring would double up).
+	switch n := len(cabinetOrder); {
+	case n == 2:
+		addLink(byCabinet[cabinetOrder[0]][0], byCabinet[cabinetOrder[1]][0])
+	case n > 2:
+		for i := range cabinetOrder {
+			a := byCabinet[cabinetOrder[i]][0]
+			b := byCabinet[cabinetOrder[(i+1)%n]][0]
+			if a != b {
+				addLink(a, b)
+			}
+		}
+	}
+}
+
+// buildTorus wires each blade to its +1 neighbour along the slot,
+// chassis and cabinet axes (with wraparound), giving every interior
+// blade six neighbours as in a 3-D torus.
+func (f *Fabric) buildTorus(blades []cname.Name, addLink func(a, b cname.Name)) {
+	index := map[cname.Name]bool{}
+	for _, b := range blades {
+		index[b] = true
+	}
+	// Dense axes derived from the blade coordinates.
+	for _, b := range blades {
+		// +slot neighbour (wrap within chassis).
+		sn := cname.Blade(b.Col(), b.Row(), b.ChassisIndex(), (b.SlotIndex()+1)%cname.SlotsPerChassis)
+		if index[sn] && sn != b {
+			addLink(b, sn)
+		}
+		// +chassis neighbour (wrap within cabinet).
+		ch := cname.Blade(b.Col(), b.Row(), (b.ChassisIndex()+1)%cname.ChassisPerCabinet, b.SlotIndex())
+		if index[ch] && ch != b {
+			addLink(b, ch)
+		}
+		// +cabinet-column neighbour (no wrap; rows chain columns).
+		cb := cname.Blade(b.Col()+1, b.Row(), b.ChassisIndex(), b.SlotIndex())
+		if index[cb] {
+			addLink(b, cb)
+		}
+	}
+}
+
+// Kind returns the fabric model.
+func (f *Fabric) Kind() Kind { return f.kind }
+
+// NumLinks returns the link count.
+func (f *Fabric) NumLinks() int { return len(f.links) }
+
+// Links returns all links (shared slice; do not modify).
+func (f *Fabric) Links() []Link { return f.links }
+
+// BladeLinks returns the links incident to a blade.
+func (f *Fabric) BladeLinks(blade cname.Name) []Link {
+	idx := f.byBlade[blade]
+	out := make([]Link, len(idx))
+	for i, j := range idx {
+		out[i] = f.links[j]
+	}
+	return out
+}
+
+// Degree returns a blade's link count.
+func (f *Fabric) Degree(blade cname.Name) int { return len(f.byBlade[blade]) }
+
+// FailoverOutcome is the result of a lane failure.
+type FailoverOutcome int
+
+const (
+	// FailoverOK: traffic re-routed onto the surviving lanes.
+	FailoverOK FailoverOutcome = iota
+	// FailoverFailed: the re-route failed; the link is degraded until
+	// maintenance (the "failed interconnect failovers" of the related
+	// work).
+	FailoverFailed
+)
+
+// String names the outcome.
+func (o FailoverOutcome) String() string {
+	if o == FailoverFailed {
+		return "failover_failed"
+	}
+	return "failover_ok"
+}
+
+// LaneEvent builds the ERD record for a lane degradation on a link,
+// attributed to one endpoint blade (the one whose controller reported
+// it) with the peer, lane and failover outcome as structured fields.
+func LaneEvent(t time.Time, reporter cname.Name, l Link, lane int, outcome FailoverOutcome) events.Record {
+	peer := l.A
+	if peer == reporter {
+		peer = l.B
+	}
+	sev := events.SevWarning
+	if outcome == FailoverFailed {
+		sev = events.SevError
+	}
+	r := events.Record{
+		Time:      t,
+		Stream:    events.StreamERD,
+		Component: reporter,
+		Severity:  sev,
+		Category:  "link_error",
+		Msg: fmt.Sprintf("link_error: HSN lane %d degraded on %s (peer %s, %s)",
+			lane, reporter, peer, outcome),
+	}
+	r.SetField("lane", fmt.Sprintf("%d", lane))
+	r.SetField("peer", peer.String())
+	r.SetField("outcome", outcome.String())
+	return r
+}
+
+// RandomLaneEvent degrades a random lane on a random link of the blade
+// (or, if the blade has no links, returns ok=false). Failovers succeed
+// with probability pFailoverOK.
+func (f *Fabric) RandomLaneEvent(t time.Time, blade cname.Name, pFailoverOK float64, r *rng.Rand) (events.Record, bool) {
+	links := f.byBlade[blade]
+	if len(links) == 0 {
+		return events.Record{}, false
+	}
+	l := f.links[links[r.Intn(len(links))]]
+	outcome := FailoverOK
+	if !r.Bool(pFailoverOK) {
+		outcome = FailoverFailed
+	}
+	return LaneEvent(t, blade, l, r.Intn(LanesPerLink), outcome), true
+}

@@ -1,0 +1,142 @@
+package interconnect
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/topology"
+)
+
+func cluster(nodes int) *topology.Cluster {
+	return topology.New(topology.Spec{ID: "T", Nodes: nodes, CabinetCols: 2})
+}
+
+func TestKindFor(t *testing.T) {
+	if k, ok := KindFor(topology.AriesDragonfly); !ok || k != Dragonfly {
+		t.Error("Aries should map to dragonfly")
+	}
+	if k, ok := KindFor(topology.GeminiTorus); !ok || k != Torus3D {
+		t.Error("Gemini should map to torus")
+	}
+	if _, ok := KindFor(topology.Infiniband); ok {
+		t.Error("Infiniband is not modelled")
+	}
+	if Dragonfly.String() != "dragonfly" || Torus3D.String() != "torus-3d" || Kind(9).String() == "" {
+		t.Error("kind names")
+	}
+}
+
+// linkInvariants checks symmetric indexing and canonical endpoint order.
+func linkInvariants(t *testing.T, f *Fabric, c *topology.Cluster) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, l := range f.Links() {
+		if cname.Compare(l.A, l.B) >= 0 {
+			t.Fatalf("link endpoints not canonical: %v", l)
+		}
+		if seen[l.String()] {
+			t.Fatalf("duplicate link %v", l)
+		}
+		seen[l.String()] = true
+		// Both endpoints index the link.
+		found := 0
+		for _, bl := range f.BladeLinks(l.A) {
+			if bl == l {
+				found++
+			}
+		}
+		for _, bl := range f.BladeLinks(l.B) {
+			if bl == l {
+				found++
+			}
+		}
+		if found != 2 {
+			t.Fatalf("link %v not indexed by both endpoints", l)
+		}
+	}
+	// Every blade with nodes participates in the fabric.
+	for _, b := range c.Blades() {
+		if f.Degree(b) == 0 {
+			t.Fatalf("blade %v isolated", b)
+		}
+	}
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	c := cluster(2 * cname.NodesPerCabinet) // two full cabinets
+	f := New(c, Dragonfly)
+	linkInvariants(t, f, c)
+	// Green links alone: 3 chassis/cabinet * C(16,2)=120 → 360/cabinet.
+	minGreen := 2 * 3 * 120
+	if f.NumLinks() < minGreen {
+		t.Errorf("links = %d, want >= %d green links", f.NumLinks(), minGreen)
+	}
+	// Within one chassis every blade pair is connected (all-to-all).
+	b0 := cname.Blade(0, 0, 0, 0)
+	if f.Degree(b0) < cname.SlotsPerChassis-1 {
+		t.Errorf("chassis leader degree %d too small", f.Degree(b0))
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	c := cluster(2 * cname.NodesPerCabinet)
+	f := New(c, Torus3D)
+	linkInvariants(t, f, c)
+	// Interior blade: ±slot (2 via wrap), ±chassis (2 via wrap), ±cab.
+	b := cname.Blade(0, 0, 1, 5)
+	if d := f.Degree(b); d < 4 {
+		t.Errorf("torus degree = %d, want >= 4", d)
+	}
+}
+
+func TestLaneEventShape(t *testing.T) {
+	l := Link{A: cname.MustParse("c0-0c0s0"), B: cname.MustParse("c0-0c0s1")}
+	at := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	r := LaneEvent(at, l.B, l, 2, FailoverOK)
+	if r.Category != "link_error" || !r.Stream.External() {
+		t.Errorf("lane event: %+v", r)
+	}
+	if r.Field("peer") != "c0-0c0s0" || r.Field("lane") != "2" || r.Field("outcome") != "failover_ok" {
+		t.Errorf("fields: %v", r.Fields)
+	}
+	if r.Severity != events.SevWarning {
+		t.Error("successful failover should be a warning")
+	}
+	bad := LaneEvent(at, l.A, l, 0, FailoverFailed)
+	if bad.Severity != events.SevError || bad.Field("peer") != "c0-0c0s1" {
+		t.Errorf("failed failover: %+v", bad)
+	}
+}
+
+func TestRandomLaneEvent(t *testing.T) {
+	c := cluster(192)
+	f := New(c, Dragonfly)
+	r := rng.New(1)
+	at := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	blade := c.Blades()[3]
+	okCount, failCount := 0, 0
+	for i := 0; i < 200; i++ {
+		rec, ok := f.RandomLaneEvent(at, blade, 0.9, r)
+		if !ok {
+			t.Fatal("blade with links returned no event")
+		}
+		if rec.Component != blade {
+			t.Fatalf("reporter mismatch: %v", rec.Component)
+		}
+		if rec.Field("outcome") == "failover_failed" {
+			failCount++
+		} else {
+			okCount++
+		}
+	}
+	if failCount == 0 || okCount == 0 {
+		t.Errorf("outcome mix degenerate: ok=%d fail=%d", okCount, failCount)
+	}
+	// Unknown blade: no event.
+	if _, ok := f.RandomLaneEvent(at, cname.MustParse("c9-9c0s0"), 0.9, r); ok {
+		t.Error("foreign blade should have no links")
+	}
+}

@@ -1,0 +1,307 @@
+// Package loggen renders structured events into raw text logs in the
+// formats the paper's pipeline consumed: Cray console/messages streams,
+// blade/cabinet controller logs, the ERD event stream, and Slurm or
+// Torque scheduler logs.
+//
+// Rendering is deliberately lossy in the same ways production logs are:
+// console lines carry no machine-readable category (the parser must
+// pattern-match kernel message text, exactly as real log miners do), and
+// kernel oops records expand into multi-line "Call Trace:" dumps that
+// the parser has to reassemble. External HSS streams carry their event
+// names explicitly (ec_node_heartbeat_fault, …), as the real ERD does.
+package loggen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hpcfail/internal/events"
+	"hpcfail/internal/stacktrace"
+	"hpcfail/internal/topology"
+)
+
+// tsFormat is the microsecond ISO timestamp used across streams.
+const tsFormat = "2006-01-02T15:04:05.000000Z07:00"
+
+// torqueTSFormat is the Torque accounting timestamp (extended with
+// microseconds to keep rendering lossless).
+const torqueTSFormat = "01/02/2006 15:04:05.000000"
+
+// Render renders one record into its raw log line(s) for its stream.
+// sched selects the scheduler dialect for StreamScheduler records.
+func Render(r events.Record, sched topology.SchedulerType) []string {
+	switch r.Stream {
+	case events.StreamConsole, events.StreamMessages, events.StreamConsumer:
+		return renderInternal(r)
+	case events.StreamControllerBC, events.StreamControllerCC:
+		return []string{renderController(r)}
+	case events.StreamERD:
+		return []string{renderERD(r)}
+	case events.StreamScheduler:
+		if sched == topology.SchedulerTorque {
+			return []string{renderTorque(r)}
+		}
+		return []string{renderSlurm(r)}
+	case events.StreamALPS:
+		return []string{renderALPS(r)}
+	default:
+		return []string{fmt.Sprintf("%s unknown-stream %s", r.Time.UTC().Format(tsFormat), r.Msg)}
+	}
+}
+
+// printkLevel maps severities onto kernel printk levels, which the
+// console renderer embeds as the conventional "<N>" prefix.
+func printkLevel(s events.Severity) int {
+	switch s {
+	case events.SevCritical:
+		return 2
+	case events.SevError:
+		return 3
+	case events.SevWarning:
+		return 4
+	default:
+		return 6
+	}
+}
+
+// SeverityFromPrintk inverts printkLevel, mapping any kernel level onto
+// the nearest Severity.
+func SeverityFromPrintk(level int) events.Severity {
+	switch {
+	case level <= 2:
+		return events.SevCritical
+	case level == 3:
+		return events.SevError
+	case level <= 5:
+		return events.SevWarning
+	default:
+		return events.SevInfo
+	}
+}
+
+// renderInternal renders console/messages/consumer lines:
+//
+//	2015-03-02T10:15:30.000000Z c0-0c0s1n2 kernel: <3> Machine Check Exception ... apid=397
+//
+// followed by Call Trace lines when the record carries a trace. The
+// category is NOT written — recovering it from message text is the
+// parser's job.
+func renderInternal(r events.Record) []string {
+	daemon := "kernel"
+	switch r.Stream {
+	case events.StreamMessages:
+		daemon = "system"
+		if strings.HasPrefix(r.Msg, "NHC:") {
+			daemon = "nhc"
+		}
+	case events.StreamConsumer:
+		daemon = "consumer"
+	}
+	comp := "-"
+	if r.Component.IsValid() {
+		comp = r.Component.String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s: <%d> %s", r.Time.UTC().Format(tsFormat), comp, daemon, printkLevel(r.Severity), r.Msg)
+	// Structured attributes (except the trace, which expands to Call
+	// Trace lines below) ride as trailing k=v tokens, then the apid.
+	for _, kv := range strings.Split(r.FieldsString(), " ") {
+		if kv == "" || strings.HasPrefix(kv, "trace=") {
+			continue
+		}
+		b.WriteByte(' ')
+		b.WriteString(kv)
+	}
+	if r.JobID != 0 {
+		fmt.Fprintf(&b, " apid=%d", r.JobID)
+	}
+	lines := []string{b.String()}
+	if enc := r.Field("trace"); enc != "" {
+		tr := stacktrace.Decode(enc)
+		// Trace lines carry the timestamp+component prefix too, as real
+		// consoles interleave them.
+		prefix := fmt.Sprintf("%s %s %s:", r.Time.UTC().Format(tsFormat), comp, daemon)
+		for _, tl := range tr.Render() {
+			lines = append(lines, prefix+" "+tl)
+		}
+	}
+	return lines
+}
+
+// renderController renders BC/CC controller lines:
+//
+//	2015-03-02T10:15:30.000000Z c0-0c0s1 bcsysd: ec_bc_heartbeat_fault WARNING msg |k=v k=v
+func renderController(r events.Record) string {
+	daemon := "bcsysd"
+	if r.Stream == events.StreamControllerCC {
+		daemon = "ccsysd"
+	}
+	return renderTagged(r, daemon)
+}
+
+// renderERD renders event-router lines with the same tagged shape under
+// the "erd" daemon.
+func renderERD(r events.Record) string {
+	return renderTagged(r, "erd")
+}
+
+// renderTagged is the shared external format: explicit category token,
+// severity, message, then structured fields after " |".
+func renderTagged(r events.Record, daemon string) string {
+	comp := "-"
+	if r.Component.IsValid() {
+		comp = r.Component.String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s: %s %s %s",
+		r.Time.UTC().Format(tsFormat), comp, daemon, r.Category, r.Severity, r.Msg)
+	if fs := r.FieldsString(); fs != "" {
+		b.WriteString(" |")
+		b.WriteString(fs)
+	}
+	return b.String()
+}
+
+// renderALPS renders apsched/apshepherd-style placement lines:
+//
+//	2015-03-02T10:15:30.000000Z apsched: apid_place apid=7000001 jobid=397 nodes=c0-0c0s0n[0-3]
+func renderALPS(r events.Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s apsched: %s jobid=%d", r.Time.UTC().Format(tsFormat), r.Category, r.JobID)
+	if v := r.Field("apid"); v != "" {
+		fmt.Fprintf(&b, " apid=%s", v)
+	}
+	if v := r.Field("status"); v != "" {
+		fmt.Fprintf(&b, " status=%s", v)
+	}
+	if v := r.Field("nodes"); v != "" {
+		fmt.Fprintf(&b, " nodes=%s", v)
+	}
+	return b.String()
+}
+
+// renderSlurm renders slurmctld-style lines:
+//
+//	2015-03-02T10:15:30.000000Z slurmctld: JobId=397 Action=job_end State=COMPLETED ExitCode=0 App=cfd NodeList=...
+func renderSlurm(r events.Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s slurmctld: JobId=%d Action=%s", r.Time.UTC().Format(tsFormat), r.JobID, r.Category)
+	writeSchedulerKVs(&b, r, "NodeList")
+	return b.String()
+}
+
+// renderTorque renders Torque accounting-style lines:
+//
+//	03/02/2015 10:15:30.000000;E;397.sdb;Action=job_end State=... exec_host=...
+func renderTorque(r events.Record) string {
+	code := "S"
+	switch r.Category {
+	case "job_end":
+		code = "E"
+	case "job_epilogue":
+		code = "P"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s;%s;%d.sdb;Action=%s", r.Time.UTC().Format(torqueTSFormat), code, r.JobID, r.Category)
+	writeSchedulerKVs(&b, r, "exec_host")
+	return b.String()
+}
+
+// writeSchedulerKVs appends the scheduler record payload in a stable
+// order. nodesKey names the dialect's node-list attribute.
+func writeSchedulerKVs(b *strings.Builder, r events.Record, nodesKey string) {
+	if v := r.Field("app"); v != "" {
+		fmt.Fprintf(b, " App=%s", v)
+	}
+	if v := r.Field("user"); v != "" {
+		fmt.Fprintf(b, " User=%s", v)
+	}
+	if v := r.Field("state"); v != "" {
+		fmt.Fprintf(b, " State=%s", v)
+	}
+	if v := r.Field("exit_code"); v != "" {
+		fmt.Fprintf(b, " ExitCode=%s", v)
+	}
+	if v := r.Field("req_mem_mb"); v != "" {
+		fmt.Fprintf(b, " ReqMem=%sM", v)
+	}
+	if r.Component.IsValid() {
+		fmt.Fprintf(b, " Node=%s", r.Component)
+	}
+	if v := r.Field("nodes"); v != "" {
+		fmt.Fprintf(b, " %s=%s", nodesKey, v)
+	}
+}
+
+// FileName maps a stream to its conventional log file name.
+func FileName(s events.Stream) string {
+	switch s {
+	case events.StreamConsole:
+		return "console.log"
+	case events.StreamMessages:
+		return "messages.log"
+	case events.StreamConsumer:
+		return "consumer.log"
+	case events.StreamControllerBC:
+		return "controller-bc.log"
+	case events.StreamControllerCC:
+		return "controller-cc.log"
+	case events.StreamERD:
+		return "erd.log"
+	case events.StreamScheduler:
+		return "scheduler.log"
+	case events.StreamALPS:
+		return "alps.log"
+	default:
+		return "unknown.log"
+	}
+}
+
+// AllStreams lists the streams that map to log files.
+func AllStreams() []events.Stream {
+	return []events.Stream{
+		events.StreamConsole, events.StreamMessages, events.StreamConsumer,
+		events.StreamControllerBC, events.StreamControllerCC,
+		events.StreamERD, events.StreamScheduler, events.StreamALPS,
+	}
+}
+
+// RenderAll renders a record batch grouped by stream file name. Records
+// should be pre-sorted by time (the generator guarantees it).
+func RenderAll(recs []events.Record, sched topology.SchedulerType) map[string][]string {
+	out := make(map[string][]string)
+	for _, r := range recs {
+		name := FileName(r.Stream)
+		out[name] = append(out[name], Render(r, sched)...)
+	}
+	return out
+}
+
+// Corrupt applies production logging discrepancies for robustness
+// testing (the paper's challenge #1: missing and partial information):
+// dropP removes whole lines, truncP truncates lines at a random point.
+// The decision function keeps this deterministic for callers that pass a
+// seeded generator; see tests.
+func Corrupt(lines []string, dropEvery, truncEvery int) []string {
+	out := make([]string, 0, len(lines))
+	for i, l := range lines {
+		if dropEvery > 0 && (i+1)%dropEvery == 0 {
+			continue
+		}
+		if truncEvery > 0 && (i+1)%truncEvery == 0 && len(l) > 10 {
+			l = l[:len(l)/2]
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// timeMustParse guards the package's own format constants at init.
+var _ = func() time.Time {
+	t, err := time.Parse(tsFormat, "2015-03-02T10:15:30.000000Z")
+	if err != nil {
+		panic(err)
+	}
+	return t
+}()

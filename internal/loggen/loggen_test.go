@@ -1,0 +1,183 @@
+package loggen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/topology"
+)
+
+var at = time.Date(2015, 3, 2, 10, 15, 30, 123456000, time.UTC)
+var node = cname.MustParse("c0-0c0s1n2")
+
+func TestRenderInternalShape(t *testing.T) {
+	r := events.Record{
+		Time: at, Stream: events.StreamConsole, Component: node,
+		Severity: events.SevCritical, Category: "kernel_panic",
+		Msg: "Kernel panic - not syncing: Fatal machine check",
+	}
+	lines := Render(r, topology.SchedulerSlurm)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	l := lines[0]
+	for _, want := range []string{"2015-03-02T10:15:30.123456Z", "c0-0c0s1n2", "kernel:", "<2>", "Kernel panic"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("line %q missing %q", l, want)
+		}
+	}
+}
+
+func TestRenderInternalWithTraceAndJob(t *testing.T) {
+	r := events.Record{
+		Time: at, Stream: events.StreamConsole, Component: node,
+		Severity: events.SevError, Category: "kernel_oops",
+		JobID: 397, Msg: "BUG: unable to handle kernel paging request",
+	}
+	r.SetField("trace", "oom_kill_process|xpmem_fault_handler@xpmem")
+	lines := Render(r, topology.SchedulerSlurm)
+	if len(lines) != 4 { // record + "Call Trace:" + 2 frames
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "apid=397") {
+		t.Errorf("missing apid: %q", lines[0])
+	}
+	if strings.Contains(lines[0], "trace=") {
+		t.Errorf("trace must not render inline: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Call Trace:") {
+		t.Errorf("missing trace header: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "oom_kill_process") {
+		t.Errorf("missing frame: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "[xpmem]") {
+		t.Errorf("missing module: %q", lines[3])
+	}
+}
+
+func TestRenderMessagesDaemonTag(t *testing.T) {
+	r := events.Record{
+		Time: at, Stream: events.StreamMessages, Component: node,
+		Severity: events.SevWarning, Category: "nhc",
+		Msg: "NHC: node c0-0c0s1n2 placed in suspect mode",
+	}
+	l := Render(r, topology.SchedulerSlurm)[0]
+	if !strings.Contains(l, " nhc: ") {
+		t.Errorf("NHC messages should use the nhc daemon tag: %q", l)
+	}
+}
+
+func TestRenderTagged(t *testing.T) {
+	r := events.Record{
+		Time: at, Stream: events.StreamERD, Component: node,
+		Severity: events.SevError, Category: "ec_node_heartbeat_fault",
+		Msg: "ec_node_heartbeat_fault: node missed heartbeat",
+	}
+	r.SetField("detail", "two words")
+	l := Render(r, topology.SchedulerSlurm)[0]
+	for _, want := range []string{"erd:", "ec_node_heartbeat_fault ERROR", "|detail=two words"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("line %q missing %q", l, want)
+		}
+	}
+	bc := events.Record{Time: at, Stream: events.StreamControllerBC,
+		Component: node.BladeName(), Severity: events.SevWarning, Category: "x", Msg: "m"}
+	if !strings.Contains(Render(bc, topology.SchedulerSlurm)[0], "bcsysd:") {
+		t.Error("BC stream should use bcsysd")
+	}
+	cc := events.Record{Time: at, Stream: events.StreamControllerCC,
+		Component: node.CabinetName(), Severity: events.SevWarning, Category: "x", Msg: "m"}
+	if !strings.Contains(Render(cc, topology.SchedulerSlurm)[0], "ccsysd:") {
+		t.Error("CC stream should use ccsysd")
+	}
+}
+
+func TestRenderSchedulerDialects(t *testing.T) {
+	r := events.Record{
+		Time: at, Stream: events.StreamScheduler, Severity: events.SevInfo,
+		Category: "job_end", JobID: 397,
+	}
+	r.SetField("app", "cfd_solver")
+	r.SetField("state", "COMPLETED")
+	r.SetField("exit_code", "0")
+	r.SetField("nodes", "c0-0c0s0n0,c0-0c0s0n1")
+
+	slurm := Render(r, topology.SchedulerSlurm)[0]
+	for _, want := range []string{"slurmctld:", "JobId=397", "Action=job_end", "State=COMPLETED", "NodeList=c0-0c0s0n0"} {
+		if !strings.Contains(slurm, want) {
+			t.Errorf("slurm line %q missing %q", slurm, want)
+		}
+	}
+	torque := Render(r, topology.SchedulerTorque)[0]
+	for _, want := range []string{";E;397.sdb;", "Action=job_end", "exec_host=c0-0c0s0n0"} {
+		if !strings.Contains(torque, want) {
+			t.Errorf("torque line %q missing %q", torque, want)
+		}
+	}
+	// Start and epilogue codes.
+	r.Category = "job_start"
+	if !strings.Contains(Render(r, topology.SchedulerTorque)[0], ";S;") {
+		t.Error("torque start should use S code")
+	}
+	r.Category = "job_epilogue"
+	if !strings.Contains(Render(r, topology.SchedulerTorque)[0], ";P;") {
+		t.Error("torque epilogue should use P code")
+	}
+}
+
+func TestFileNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range AllStreams() {
+		name := FileName(s)
+		if name == "unknown.log" || seen[name] {
+			t.Errorf("bad or duplicate file name %q for %v", name, s)
+		}
+		seen[name] = true
+	}
+	if FileName(events.Stream(99)) != "unknown.log" {
+		t.Error("unknown stream file name")
+	}
+}
+
+func TestRenderAllGroupsByStream(t *testing.T) {
+	recs := []events.Record{
+		{Time: at, Stream: events.StreamConsole, Component: node, Msg: "a", Category: "x"},
+		{Time: at, Stream: events.StreamERD, Component: node, Msg: "b", Category: "y"},
+		{Time: at, Stream: events.StreamScheduler, JobID: 1, Category: "job_start"},
+	}
+	m := RenderAll(recs, topology.SchedulerSlurm)
+	if len(m["console.log"]) != 1 || len(m["erd.log"]) != 1 || len(m["scheduler.log"]) != 1 {
+		t.Errorf("RenderAll grouping wrong: %v", m)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	lines := []string{"aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb", "cccccccccccccccc", "dddddddddddddddd"}
+	dropped := Corrupt(lines, 2, 0)
+	if len(dropped) != 2 {
+		t.Errorf("dropEvery=2 kept %d lines", len(dropped))
+	}
+	truncated := Corrupt(lines, 0, 2)
+	if len(truncated) != 4 || len(truncated[1]) >= len(lines[1]) {
+		t.Errorf("truncEvery=2 did not truncate: %v", truncated)
+	}
+	if got := Corrupt(lines, 0, 0); len(got) != 4 {
+		t.Error("no-op corruption changed lines")
+	}
+}
+
+func TestSeverityFromPrintk(t *testing.T) {
+	cases := map[int]events.Severity{
+		0: events.SevCritical, 2: events.SevCritical, 3: events.SevError,
+		4: events.SevWarning, 5: events.SevWarning, 6: events.SevInfo, 7: events.SevInfo,
+	}
+	for lvl, want := range cases {
+		if got := SeverityFromPrintk(lvl); got != want {
+			t.Errorf("SeverityFromPrintk(%d) = %v, want %v", lvl, got, want)
+		}
+	}
+}

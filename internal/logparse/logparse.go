@@ -1,0 +1,582 @@
+// Package logparse parses raw text logs back into structured events —
+// the inverse of loggen, and the first stage of the diagnosis pipeline.
+//
+// Internal (console/messages/consumer) lines carry no category tag, so
+// the parser classifies kernel message text against a pattern table,
+// the same way production log miners recognise "Kernel panic", MCE dumps
+// or LustreError lines. Multi-line "Call Trace:" dumps are reassembled
+// onto their owning record. Parsing is tolerant: unrecognisable lines
+// are reported, not fatal (production logs have missing and partial
+// information — the paper's challenge #1).
+package logparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/stacktrace"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/workload"
+)
+
+// tsFormat mirrors loggen's timestamp format.
+const tsFormat = "2006-01-02T15:04:05.000000Z07:00"
+const torqueTSFormat = "01/02/2006 15:04:05.000000"
+
+// categoryPattern classifies internal log messages. Checked in order;
+// first match wins, so more specific substrings come first.
+var categoryPatterns = []struct {
+	sub string
+	cat string
+}{
+	{"shutdown: scheduled by operator", "node_shutdown"},
+	{"halting: system shutdown", "node_shutdown"},
+	{"halting: no prior symptoms", "silent_shutdown"},
+	{"boot: kernel up", "node_boot"},
+	{"Kernel panic - not syncing", "kernel_panic"},
+	{"BUG: unable to handle kernel paging request", "kernel_oops"},
+	{"kernel BUG:", "kernel_bug"},
+	{"Machine Check Exception", "mce"},
+	{"mcelog:", "mce"},
+	{"EDAC MC0: corrected memory error", "mem_err_correctable"},
+	{"processor context corrupt", "cpu_corruption"},
+	{"BIOS reported platform error", "bios_error"},
+	{"blk_update_request: I/O error", "disk_error"},
+	{"rcu_sched self-detected stall", "cpu_stall"},
+	{"firmware: watchdog handshake lost", "firmware_bug"},
+	{"LustreError: 11-0", "lustre_bug"},
+	{"LustreError: 30-3", "lustre_io_error"},
+	{"DVS: file system request hang", "dvs_error"},
+	{"page allocation failure", "page_alloc_failure"},
+	{"page fault lock contention", "page_fault_lock"},
+	{"Out of memory: Kill process", "oom_killer"},
+	{"segfault at", "segfault"},
+	{"blocked for more than 120 seconds", "hung_task_timeout"},
+	{"type:2; severity:80", "bios_class_error"},
+	{"NVRM: Xid", "gpu_error"},
+	{"trap invalid opcode", "software_trap"},
+	{"NHC: abnormal application exit", "app_exit_abnormal"},
+	{"set to admindown", "nhc_admindown"},
+	{"NHC:", "nhc"},
+	{"node state transition", "node_state"},
+	{"slurmstepd: user-killed", "user_killed"},
+}
+
+// classify maps an internal message onto its event category;
+// "unclassified" when no pattern matches.
+func classify(msg string) string {
+	for _, p := range categoryPatterns {
+		if strings.Contains(msg, p.sub) {
+			return p.cat
+		}
+	}
+	return "unclassified"
+}
+
+// ParseError reports one unparseable line.
+type ParseError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("logparse: line %d: %v: %q", e.Line, e.Err, truncate(e.Text, 80))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// ParseLines parses one stream's raw lines. The stream selects the
+// format; sched selects the scheduler dialect. Unparseable lines produce
+// ParseErrors and are skipped.
+func ParseLines(stream events.Stream, sched topology.SchedulerType, lines []string) ([]events.Record, []error) {
+	switch stream {
+	case events.StreamConsole, events.StreamMessages, events.StreamConsumer:
+		return parseInternal(stream, lines)
+	case events.StreamControllerBC, events.StreamControllerCC, events.StreamERD:
+		return parseTagged(stream, lines)
+	case events.StreamScheduler:
+		if sched == topology.SchedulerTorque {
+			return parseTorque(lines)
+		}
+		return parseSlurm(lines)
+	case events.StreamALPS:
+		return parseALPS(lines)
+	default:
+		return nil, []error{fmt.Errorf("logparse: unknown stream %v", stream)}
+	}
+}
+
+// splitPrefix splits "{ts} {comp} {daemon}: {rest}" and returns the
+// parsed pieces.
+func splitPrefix(line string) (ts time.Time, comp cname.Name, daemon, rest string, err error) {
+	sp1 := strings.IndexByte(line, ' ')
+	if sp1 < 0 {
+		return ts, comp, "", "", fmt.Errorf("no timestamp")
+	}
+	ts, err = time.Parse(tsFormat, line[:sp1])
+	if err != nil {
+		return ts, comp, "", "", err
+	}
+	line = line[sp1+1:]
+	sp2 := strings.IndexByte(line, ' ')
+	if sp2 < 0 {
+		return ts, comp, "", "", fmt.Errorf("no component")
+	}
+	compStr := line[:sp2]
+	if compStr != "-" {
+		comp, err = cname.Parse(compStr)
+		if err != nil {
+			return ts, comp, "", "", err
+		}
+	}
+	line = line[sp2+1:]
+	colon := strings.Index(line, ": ")
+	if colon < 0 {
+		return ts, comp, "", "", fmt.Errorf("no daemon tag")
+	}
+	return ts, comp, line[:colon], line[colon+2:], nil
+}
+
+// parseInternal handles console/messages/consumer lines including
+// multi-line call traces.
+func parseInternal(stream events.Stream, lines []string) ([]events.Record, []error) {
+	var recs []events.Record
+	var errs []error
+	var traceLines []string // pending raw trace lines for the last record
+	flushTrace := func() {
+		if len(traceLines) == 0 || len(recs) == 0 {
+			traceLines = nil
+			return
+		}
+		tr, _ := stacktrace.ParseTrace(traceLines)
+		if len(tr.Frames) > 0 {
+			recs[len(recs)-1].SetField("trace", tr.Encode())
+		}
+		traceLines = nil
+	}
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		ts, comp, _, rest, err := splitPrefix(line)
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: err})
+			continue
+		}
+		// Trace continuation?
+		trimmed := strings.TrimSpace(rest)
+		if strings.HasPrefix(trimmed, "Call Trace:") {
+			flushTrace()
+			traceLines = append(traceLines, "Call Trace:")
+			continue
+		}
+		if len(traceLines) > 0 {
+			if _, ok := stacktrace.ParseFrame(trimmed); ok {
+				traceLines = append(traceLines, trimmed)
+				continue
+			}
+			flushTrace()
+		}
+		// A record line: "<N> msg [apid=K]".
+		sev := events.SevInfo
+		if strings.HasPrefix(rest, "<") {
+			if end := strings.Index(rest, "> "); end > 0 {
+				if lvl, err := strconv.Atoi(rest[1:end]); err == nil {
+					sev = loggen.SeverityFromPrintk(lvl)
+					rest = rest[end+2:]
+				}
+			}
+		}
+		var jobID int64
+		if idx := strings.LastIndex(rest, " apid="); idx >= 0 {
+			if v, err := strconv.ParseInt(rest[idx+6:], 10, 64); err == nil {
+				jobID = v
+				rest = rest[:idx]
+			}
+		}
+		// Strip trailing structured k=v tokens back into fields.
+		var kvs []string
+		for {
+			sp := strings.LastIndexByte(rest, ' ')
+			if sp < 0 {
+				break
+			}
+			tok := rest[sp+1:]
+			if !isKVToken(tok) {
+				break
+			}
+			kvs = append(kvs, tok)
+			rest = rest[:sp]
+		}
+		r := events.Record{
+			Time: ts, Stream: stream, Component: comp,
+			Severity: sev, Category: classify(rest), Msg: rest, JobID: jobID,
+		}
+		for _, kv := range kvs {
+			eq := strings.IndexByte(kv, '=')
+			r.SetField(kv[:eq], kv[eq+1:])
+		}
+		if strings.Contains(rest, "scheduled by operator") {
+			r.SetField("intent", "scheduled")
+		}
+		recs = append(recs, r)
+	}
+	flushTrace()
+	return recs, errs
+}
+
+// parseTagged handles controller and ERD lines:
+// "{ts} {comp} {daemon}: {category} {SEV} {msg} |k=v k=v".
+func parseTagged(stream events.Stream, lines []string) ([]events.Record, []error) {
+	var recs []events.Record
+	var errs []error
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		ts, comp, _, rest, err := splitPrefix(line)
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: err})
+			continue
+		}
+		var fieldsPart string
+		if idx := strings.Index(rest, " |"); idx >= 0 {
+			fieldsPart = rest[idx+2:]
+			rest = rest[:idx]
+		}
+		parts := strings.SplitN(rest, " ", 3)
+		if len(parts) < 2 {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: fmt.Errorf("missing category/severity")})
+			continue
+		}
+		sev, err := events.ParseSeverity(parts[1])
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: err})
+			continue
+		}
+		msg := ""
+		if len(parts) == 3 {
+			msg = parts[2]
+		}
+		r := events.Record{
+			Time: ts, Stream: stream, Component: comp,
+			Severity: sev, Category: parts[0], Msg: msg,
+		}
+		parseFieldsInto(&r, fieldsPart)
+		recs = append(recs, r)
+	}
+	return recs, errs
+}
+
+// isKVToken reports whether tok looks like a structured "key=value"
+// suffix: a lowercase snake_case key, '=', and a non-empty space-free
+// value.
+func isKVToken(tok string) bool {
+	eq := strings.IndexByte(tok, '=')
+	if eq <= 0 || eq == len(tok)-1 {
+		return false
+	}
+	for _, c := range tok[:eq] {
+		if (c < 'a' || c > 'z') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseFieldsInto parses "k=v k2=v2" where values may contain spaces
+// (a token without '=' continues the previous value).
+func parseFieldsInto(r *events.Record, s string) {
+	if s == "" {
+		return
+	}
+	var key, val string
+	flush := func() {
+		if key != "" {
+			r.SetField(key, val)
+		}
+	}
+	for _, tok := range strings.Split(s, " ") {
+		if eq := strings.IndexByte(tok, '='); eq > 0 {
+			flush()
+			key, val = tok[:eq], tok[eq+1:]
+		} else if key != "" {
+			val += " " + tok
+		}
+	}
+	flush()
+}
+
+// parseALPS handles "ts apsched: CATEGORY jobid=N apid=M [status=S] [nodes=...]".
+func parseALPS(lines []string) ([]events.Record, []error) {
+	var recs []events.Record
+	var errs []error
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: fmt.Errorf("no timestamp")})
+			continue
+		}
+		ts, err := time.Parse(tsFormat, line[:sp])
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: err})
+			continue
+		}
+		rest := strings.TrimPrefix(line[sp+1:], "apsched: ")
+		toks := strings.Split(rest, " ")
+		if len(toks) == 0 || toks[0] == "" {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: fmt.Errorf("missing category")})
+			continue
+		}
+		r := events.Record{Time: ts, Stream: events.StreamALPS, Severity: events.SevInfo, Category: toks[0]}
+		ok := true
+		for _, tok := range toks[1:] {
+			eq := strings.IndexByte(tok, '=')
+			if eq <= 0 {
+				continue
+			}
+			k, v := tok[:eq], tok[eq+1:]
+			switch k {
+			case "jobid":
+				id, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: fmt.Errorf("bad jobid %q", v)})
+					ok = false
+				}
+				r.JobID = id
+			case "apid", "status", "nodes":
+				r.SetField(k, v)
+			}
+		}
+		if !ok {
+			continue
+		}
+		if r.Field("status") != "" && r.Field("status") != "0" {
+			r.Severity = events.SevWarning
+		}
+		r.Msg = fmt.Sprintf("apsched: %s apid %s (job %d)", r.Category, r.Field("apid"), r.JobID)
+		recs = append(recs, r)
+	}
+	return recs, errs
+}
+
+// parseSlurm handles "ts slurmctld: JobId=N Action=... K=V ...".
+func parseSlurm(lines []string) ([]events.Record, []error) {
+	var recs []events.Record
+	var errs []error
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: fmt.Errorf("no timestamp")})
+			continue
+		}
+		ts, err := time.Parse(tsFormat, line[:sp])
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: err})
+			continue
+		}
+		rest := strings.TrimPrefix(line[sp+1:], "slurmctld: ")
+		r, err := parseSchedulerKVs(ts, rest, "NodeList")
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: err})
+			continue
+		}
+		recs = append(recs, r)
+	}
+	return recs, errs
+}
+
+// parseTorque handles "ts;CODE;N.sdb;Action=... K=V ...".
+func parseTorque(lines []string) ([]events.Record, []error) {
+	var recs []events.Record
+	var errs []error
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.SplitN(line, ";", 4)
+		if len(parts) != 4 {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: fmt.Errorf("not a torque record")})
+			continue
+		}
+		ts, err := time.Parse(torqueTSFormat, parts[0])
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: err})
+			continue
+		}
+		r, err := parseSchedulerKVs(ts, parts[3], "exec_host")
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: err})
+			continue
+		}
+		// The job id lives in the record key "N.sdb".
+		idStr := strings.TrimSuffix(parts[2], ".sdb")
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: fmt.Errorf("bad job key %q", parts[2])})
+			continue
+		}
+		r.JobID = id
+		r.Severity = schedulerSeverity(r)
+		r.Msg = schedulerMsg(r)
+		recs = append(recs, r)
+	}
+	return recs, errs
+}
+
+// parseSchedulerKVs parses the shared scheduler payload.
+func parseSchedulerKVs(ts time.Time, s, nodesKey string) (events.Record, error) {
+	r := events.Record{Time: ts, Stream: events.StreamScheduler}
+	for _, tok := range strings.Split(s, " ") {
+		eq := strings.IndexByte(tok, '=')
+		if eq <= 0 {
+			continue
+		}
+		k, v := tok[:eq], tok[eq+1:]
+		switch k {
+		case "JobId":
+			id, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return r, fmt.Errorf("bad JobId %q", v)
+			}
+			r.JobID = id
+		case "Action":
+			r.Category = v
+		case "App":
+			r.SetField("app", v)
+		case "User":
+			r.SetField("user", v)
+		case "State":
+			r.SetField("state", v)
+		case "ExitCode":
+			r.SetField("exit_code", v)
+		case "ReqMem":
+			r.SetField("req_mem_mb", strings.TrimSuffix(v, "M"))
+		case "Node":
+			n, err := cname.Parse(v)
+			if err != nil {
+				return r, err
+			}
+			r.Component = n
+		case "NodeList", "exec_host":
+			_ = nodesKey
+			r.SetField("nodes", v)
+		}
+	}
+	if r.Category == "" {
+		return r, fmt.Errorf("missing Action")
+	}
+	// Torque lines carry the job id in the record key too; the KV wins.
+	r.Severity = schedulerSeverity(r)
+	r.Msg = schedulerMsg(r)
+	return r, nil
+}
+
+// schedulerSeverity reconstructs the severity convention of
+// workload.EndEvent.
+func schedulerSeverity(r events.Record) events.Severity {
+	if r.Category != "job_end" {
+		return events.SevInfo
+	}
+	st, err := workload.ParseState(r.Field("state"))
+	if err != nil {
+		return events.SevWarning
+	}
+	switch {
+	case st == workload.StateCompleted:
+		return events.SevInfo
+	case st == workload.StateNodeFail:
+		return events.SevError
+	default:
+		return events.SevWarning
+	}
+}
+
+// schedulerMsg renders a canonical message for parsed scheduler records
+// (the raw formats carry no free-text message).
+func schedulerMsg(r events.Record) string {
+	switch r.Category {
+	case "job_start":
+		return fmt.Sprintf("job %d (%s) started", r.JobID, r.Field("app"))
+	case "job_end":
+		return fmt.Sprintf("job %d (%s) ended state=%s exit=%s",
+			r.JobID, r.Field("app"), r.Field("state"), r.Field("exit_code"))
+	case "job_epilogue":
+		return fmt.Sprintf("epilogue: cleaning job %d", r.JobID)
+	default:
+		return r.Category
+	}
+}
+
+// JobsFromRecords reconstructs the job table from parsed scheduler
+// records — the pipeline's substitute for scheduler accounting access.
+// Jobs missing an end record are dropped (still running at window end).
+func JobsFromRecords(recs []events.Record) []workload.Job {
+	byID := map[int64]*workload.Job{}
+	var order []int64
+	for _, r := range recs {
+		if r.Stream != events.StreamScheduler || r.JobID == 0 {
+			continue
+		}
+		j, ok := byID[r.JobID]
+		if !ok {
+			j = &workload.Job{ID: r.JobID}
+			byID[r.JobID] = j
+			order = append(order, r.JobID)
+		}
+		switch r.Category {
+		case "job_start":
+			j.Start = r.Time
+			j.App = r.Field("app")
+			j.User = r.Field("user")
+			if nodes, err := workload.ParseNodesString(r.Field("nodes")); err == nil {
+				j.Nodes = nodes
+			}
+			if v, err := strconv.Atoi(r.Field("req_mem_mb")); err == nil {
+				j.ReqMemMB = v
+			}
+		case "job_end":
+			j.End = r.Time
+			if st, err := workload.ParseState(r.Field("state")); err == nil {
+				j.State = st
+			}
+			if v, err := strconv.Atoi(r.Field("exit_code")); err == nil {
+				j.ExitCode = v
+			}
+			if len(j.Nodes) == 0 {
+				if nodes, err := workload.ParseNodesString(r.Field("nodes")); err == nil {
+					j.Nodes = nodes
+				}
+			}
+			if j.App == "" {
+				j.App = r.Field("app")
+			}
+		}
+	}
+	var out []workload.Job
+	for _, id := range order {
+		j := byID[id]
+		if !j.Start.IsZero() && !j.End.IsZero() {
+			out = append(out, *j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package logstore provides the indexed event store the diagnosis
+// pipeline queries: time-ordered storage with per-node, per-blade,
+// per-cabinet, per-category and per-job indexes, windowed range queries,
+// and a loader that ingests a directory of raw log files through the
+// parser.
+//
+// The paper's correlation methodology is window-joins keyed by physical
+// containment ("inspect the logs around the failure time" for the failed
+// node's blade and cabinet); BladeWindow and CabinetWindow are exactly
+// those queries.
+package logstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/topology"
+)
+
+// Store is an immutable, time-sorted event collection with secondary
+// indexes. Build one with New; the zero value is an empty store.
+type Store struct {
+	recs []events.Record
+
+	byNode     map[cname.Name][]int
+	byBlade    map[cname.Name][]int
+	byCabinet  map[cname.Name][]int
+	byCategory map[string][]int
+	byJob      map[int64][]int
+}
+
+// New builds a store over the records (copied and sorted by time).
+func New(recs []events.Record) *Store {
+	s := &Store{
+		recs:       make([]events.Record, len(recs)),
+		byNode:     make(map[cname.Name][]int),
+		byBlade:    make(map[cname.Name][]int),
+		byCabinet:  make(map[cname.Name][]int),
+		byCategory: make(map[string][]int),
+		byJob:      make(map[int64][]int),
+	}
+	copy(s.recs, recs)
+	events.SortByTime(s.recs)
+	for i, r := range s.recs {
+		if r.Component.IsValid() {
+			if r.Component.Level() == cname.LevelNode {
+				s.byNode[r.Component] = append(s.byNode[r.Component], i)
+			}
+			if b := r.Component.BladeName(); b.IsValid() {
+				s.byBlade[b] = append(s.byBlade[b], i)
+			}
+			s.byCabinet[r.Component.CabinetName()] = append(s.byCabinet[r.Component.CabinetName()], i)
+		}
+		s.byCategory[r.Category] = append(s.byCategory[r.Category], i)
+		if r.JobID != 0 {
+			s.byJob[r.JobID] = append(s.byJob[r.JobID], i)
+		}
+	}
+	return s
+}
+
+// Len returns the record count.
+func (s *Store) Len() int { return len(s.recs) }
+
+// All returns the sorted records. Shared slice — callers must not
+// modify.
+func (s *Store) All() []events.Record { return s.recs }
+
+// At returns record i.
+func (s *Store) At(i int) events.Record { return s.recs[i] }
+
+// Window returns all records with Time in [from, to).
+func (s *Store) Window(from, to time.Time) []events.Record {
+	lo := sort.Search(len(s.recs), func(i int) bool { return !s.recs[i].Time.Before(from) })
+	hi := sort.Search(len(s.recs), func(i int) bool { return !s.recs[i].Time.Before(to) })
+	return s.recs[lo:hi]
+}
+
+// selectWindow filters an index list down to [from, to) by binary
+// search (index lists are time-ascending because they were built from
+// the sorted slice).
+func (s *Store) selectWindow(idx []int, from, to time.Time) []events.Record {
+	lo := sort.Search(len(idx), func(i int) bool { return !s.recs[idx[i]].Time.Before(from) })
+	hi := sort.Search(len(idx), func(i int) bool { return !s.recs[idx[i]].Time.Before(to) })
+	out := make([]events.Record, 0, hi-lo)
+	for _, j := range idx[lo:hi] {
+		out = append(out, s.recs[j])
+	}
+	return out
+}
+
+// NodeWindow returns the node's records in [from, to). Only node-level
+// components match; blade/cabinet records do not.
+func (s *Store) NodeWindow(node cname.Name, from, to time.Time) []events.Record {
+	return s.selectWindow(s.byNode[node], from, to)
+}
+
+// BladeWindow returns records of the blade and everything on it
+// (including its nodes) in [from, to).
+func (s *Store) BladeWindow(blade cname.Name, from, to time.Time) []events.Record {
+	return s.selectWindow(s.byBlade[blade], from, to)
+}
+
+// CabinetWindow returns records of the cabinet and everything in it in
+// [from, to).
+func (s *Store) CabinetWindow(cab cname.Name, from, to time.Time) []events.Record {
+	return s.selectWindow(s.byCabinet[cab], from, to)
+}
+
+// Category returns all records with the given category, time-ascending.
+func (s *Store) Category(cat string) []events.Record {
+	idx := s.byCategory[cat]
+	out := make([]events.Record, len(idx))
+	for i, j := range idx {
+		out[i] = s.recs[j]
+	}
+	return out
+}
+
+// CategoryWindow returns the category's records in [from, to).
+func (s *Store) CategoryWindow(cat string, from, to time.Time) []events.Record {
+	return s.selectWindow(s.byCategory[cat], from, to)
+}
+
+// Job returns all records tagged with the job id.
+func (s *Store) Job(id int64) []events.Record {
+	idx := s.byJob[id]
+	out := make([]events.Record, len(idx))
+	for i, j := range idx {
+		out[i] = s.recs[j]
+	}
+	return out
+}
+
+// Nodes returns every node that has at least one record, unordered.
+func (s *Store) Nodes() []cname.Name {
+	out := make([]cname.Name, 0, len(s.byNode))
+	for n := range s.byNode {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return cname.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Span returns the first and last record times; ok is false for an
+// empty store.
+func (s *Store) Span() (first, last time.Time, ok bool) {
+	if len(s.recs) == 0 {
+		return first, last, false
+	}
+	return s.recs[0].Time, s.recs[len(s.recs)-1].Time, true
+}
+
+// WriteDir renders records into raw log files under dir, one file per
+// stream, using the scheduler dialect.
+func WriteDir(dir string, recs []events.Record, sched topology.SchedulerType) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("logstore: %w", err)
+	}
+	grouped := loggen.RenderAll(recs, sched)
+	for name, lines := range grouped {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			return fmt.Errorf("logstore: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadDir ingests a directory previously produced by WriteDir (or by a
+// compatible external tool): each recognised file name is parsed with
+// its stream's format. Parse errors are returned alongside the store;
+// the store contains everything that did parse.
+func LoadDir(dir string, sched topology.SchedulerType) (*Store, []error, error) {
+	var recs []events.Record
+	var parseErrs []error
+	for _, stream := range loggen.AllStreams() {
+		path := filepath.Join(dir, loggen.FileName(stream))
+		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, parseErrs, fmt.Errorf("logstore: %w", err)
+		}
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		got, errs := logparse.ParseLines(stream, sched, lines)
+		recs = append(recs, got...)
+		parseErrs = append(parseErrs, errs...)
+	}
+	return New(recs), parseErrs, nil
+}

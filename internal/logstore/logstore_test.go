@@ -1,0 +1,239 @@
+package logstore
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/topology"
+)
+
+var t0 = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+
+func rec(offset time.Duration, comp string, cat string) events.Record {
+	var c cname.Name
+	if comp != "" {
+		c = cname.MustParse(comp)
+	}
+	return events.Record{Time: t0.Add(offset), Stream: events.StreamConsole, Component: c, Category: cat, Msg: cat}
+}
+
+func testStore() *Store {
+	return New([]events.Record{
+		rec(3*time.Minute, "c0-0c0s1n2", "mce"),
+		rec(1*time.Minute, "c0-0c0s1n0", "kernel_panic"),
+		rec(2*time.Minute, "c0-0c0s1", "ec_bc_heartbeat_fault"), // blade-level
+		rec(4*time.Minute, "c0-0", "cabinet_power_fault"),       // cabinet-level
+		rec(5*time.Minute, "c1-0c2s7n3", "mce"),
+		{Time: t0.Add(6 * time.Minute), Stream: events.StreamScheduler, Category: "job_start", JobID: 42},
+	})
+}
+
+func TestSortedAndLen(t *testing.T) {
+	s := testStore()
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	prev := time.Time{}
+	for _, r := range s.All() {
+		if r.Time.Before(prev) {
+			t.Fatal("not sorted")
+		}
+		prev = r.Time
+	}
+	if s.At(0).Category != "kernel_panic" {
+		t.Errorf("At(0) = %+v", s.At(0))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := testStore()
+	got := s.Window(t0.Add(2*time.Minute), t0.Add(5*time.Minute))
+	if len(got) != 3 {
+		t.Fatalf("Window returned %d records", len(got))
+	}
+	for _, r := range got {
+		if r.Time.Before(t0.Add(2*time.Minute)) || !r.Time.Before(t0.Add(5*time.Minute)) {
+			t.Errorf("out of window: %v", r.Time)
+		}
+	}
+	if len(s.Window(t0.Add(time.Hour), t0.Add(2*time.Hour))) != 0 {
+		t.Error("empty window should be empty")
+	}
+}
+
+func TestNodeWindow(t *testing.T) {
+	s := testStore()
+	node := cname.MustParse("c0-0c0s1n2")
+	got := s.NodeWindow(node, t0, t0.Add(time.Hour))
+	if len(got) != 1 || got[0].Category != "mce" {
+		t.Fatalf("NodeWindow = %v", got)
+	}
+	// Blade-level record must NOT appear under a node query.
+	if len(s.NodeWindow(cname.MustParse("c0-0c0s1n1"), t0, t0.Add(time.Hour))) != 0 {
+		t.Error("node query leaked other records")
+	}
+}
+
+func TestBladeWindowIncludesNodesAndBlade(t *testing.T) {
+	s := testStore()
+	blade := cname.MustParse("c0-0c0s1")
+	got := s.BladeWindow(blade, t0, t0.Add(time.Hour))
+	// Two node records on the blade + the blade-level BCHF.
+	if len(got) != 3 {
+		t.Fatalf("BladeWindow = %d records: %v", len(got), got)
+	}
+}
+
+func TestCabinetWindow(t *testing.T) {
+	s := testStore()
+	cab := cname.MustParse("c0-0")
+	got := s.CabinetWindow(cab, t0, t0.Add(time.Hour))
+	// Everything in cabinet c0-0: 2 node records + blade record +
+	// cabinet record = 4.
+	if len(got) != 4 {
+		t.Fatalf("CabinetWindow = %d records", len(got))
+	}
+}
+
+func TestCategoryQueries(t *testing.T) {
+	s := testStore()
+	if got := s.Category("mce"); len(got) != 2 {
+		t.Fatalf("Category(mce) = %d", len(got))
+	}
+	if got := s.CategoryWindow("mce", t0, t0.Add(4*time.Minute)); len(got) != 1 {
+		t.Fatalf("CategoryWindow = %d", len(got))
+	}
+	if len(s.Category("nope")) != 0 {
+		t.Error("unknown category should be empty")
+	}
+}
+
+func TestJobIndex(t *testing.T) {
+	s := testStore()
+	if got := s.Job(42); len(got) != 1 || got[0].Category != "job_start" {
+		t.Fatalf("Job(42) = %v", got)
+	}
+	if len(s.Job(7)) != 0 {
+		t.Error("unknown job should be empty")
+	}
+}
+
+func TestNodesAndSpan(t *testing.T) {
+	s := testStore()
+	nodes := s.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	first, last, ok := s.Span()
+	if !ok || !first.Equal(t0.Add(time.Minute)) || !last.Equal(t0.Add(6*time.Minute)) {
+		t.Errorf("Span = %v %v %v", first, last, ok)
+	}
+	var empty Store
+	if _, _, ok := empty.Span(); ok {
+		t.Error("empty store span should report !ok")
+	}
+}
+
+func TestWriteLoadDirRoundTrip(t *testing.T) {
+	p, err := faultsim.DefaultProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec = topology.Spec{ID: "S1", Nodes: 192, CabinetCols: 2, Scheduler: topology.SchedulerSlurm, Cray: true}
+	p.Workload.MeanInterarrival = time.Hour
+	scn, err := faultsim.Generate(p, t0, t0.Add(24*time.Hour), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := WriteDir(dir, scn.Records, topology.SchedulerSlurm); err != nil {
+		t.Fatal(err)
+	}
+	store, parseErrs, err := LoadDir(dir, topology.SchedulerSlurm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parseErrs) != 0 {
+		t.Fatalf("parse errors: %v", parseErrs[:min(3, len(parseErrs))])
+	}
+	if store.Len() != len(scn.Records) {
+		t.Fatalf("loaded %d of %d records", store.Len(), len(scn.Records))
+	}
+	// Spot-check a category survives the disk round trip.
+	if len(store.Category("ec_node_heartbeat_fault")) == 0 && len(scn.NHFs) > 0 {
+		t.Error("NHF records lost on disk round trip")
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	store, errs, err := LoadDir(filepath.Join(t.TempDir(), "empty"), topology.SchedulerSlurm)
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("LoadDir on missing dir: %v %v", errs, err)
+	}
+	if store.Len() != 0 {
+		t.Error("missing dir should load empty store")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestWindowQueriesMatchLinearScan checks the indexed queries against a
+// brute-force filter over a realistic scenario.
+func TestWindowQueriesMatchLinearScan(t *testing.T) {
+	p, err := faultsim.DefaultProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec = topology.Spec{ID: "S1", Nodes: 384, CabinetCols: 2,
+		Scheduler: topology.SchedulerSlurm, Fabric: topology.AriesDragonfly, Cray: true}
+	p.Workload.MeanInterarrival = time.Hour
+	scn, err := faultsim.Generate(p, t0, t0.Add(2*24*time.Hour), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(scn.Records)
+	from, to := t0.Add(6*time.Hour), t0.Add(30*time.Hour)
+
+	linear := func(keep func(r *events.Record) bool) int {
+		n := 0
+		for i := range scn.Records {
+			r := &scn.Records[i]
+			if !r.Time.Before(from) && r.Time.Before(to) && keep(r) {
+				n++
+			}
+		}
+		return n
+	}
+
+	if got, want := len(s.Window(from, to)), linear(func(*events.Record) bool { return true }); got != want {
+		t.Errorf("Window = %d, linear = %d", got, want)
+	}
+	node := scn.Cluster.Node(7)
+	if got, want := len(s.NodeWindow(node, from, to)),
+		linear(func(r *events.Record) bool { return r.Component == node }); got != want {
+		t.Errorf("NodeWindow = %d, linear = %d", got, want)
+	}
+	blade := node.BladeName()
+	if got, want := len(s.BladeWindow(blade, from, to)),
+		linear(func(r *events.Record) bool { return blade.Contains(r.Component) }); got != want {
+		t.Errorf("BladeWindow = %d, linear = %d", got, want)
+	}
+	cab := node.CabinetName()
+	if got, want := len(s.CabinetWindow(cab, from, to)),
+		linear(func(r *events.Record) bool { return cab.Contains(r.Component) }); got != want {
+		t.Errorf("CabinetWindow = %d, linear = %d", got, want)
+	}
+	if got, want := len(s.CategoryWindow("mce", from, to)),
+		linear(func(r *events.Record) bool { return r.Category == "mce" }); got != want {
+		t.Errorf("CategoryWindow = %d, linear = %d", got, want)
+	}
+}

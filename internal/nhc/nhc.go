@@ -1,0 +1,223 @@
+// Package nhc models the Node Health Checker: the test battery Cray
+// systems run against compute nodes after job anomalies, its suspect
+// mode, and the admindown decision.
+//
+// The NHC is central to the paper's application-triggered failure story
+// (Fig 16: 37.5 % of S2 failures are abnormal app-exits "failing NHC
+// tests turning the node down"): a node can pass communication-level
+// health checks (so no heartbeat fault is ever logged) and still be
+// taken out of service when a job's malfunctioning trips the NHC in
+// suspect mode.
+package nhc
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+)
+
+// Test identifies one NHC health test.
+type Test int
+
+const (
+	// TestFilesystem checks that required file systems are mounted and
+	// responsive.
+	TestFilesystem Test = iota
+	// TestMemory checks free-memory and allocator health.
+	TestMemory
+	// TestProcess checks for leftover or zombie application processes.
+	TestProcess
+	// TestAppExit checks the last application's exit status (abnormal
+	// exits fail it).
+	TestAppExit
+	// TestNetwork checks interconnect reachability.
+	TestNetwork
+
+	numTests
+)
+
+var testNames = [...]string{"filesystem", "memory", "process", "app_exit", "network"}
+
+// String returns the test's snake_case name.
+func (t Test) String() string {
+	if t >= 0 && int(t) < len(testNames) {
+		return testNames[t]
+	}
+	return fmt.Sprintf("test(%d)", int(t))
+}
+
+// ParseTest inverts String.
+func ParseTest(s string) (Test, error) {
+	for i, n := range testNames {
+		if n == s {
+			return Test(i), nil
+		}
+	}
+	return 0, fmt.Errorf("nhc: unknown test %q", s)
+}
+
+// AllTests returns the battery in execution order.
+func AllTests() []Test {
+	out := make([]Test, numTests)
+	for i := range out {
+		out[i] = Test(i)
+	}
+	return out
+}
+
+// Critical reports whether failing the test alone justifies admindown.
+func (t Test) Critical() bool {
+	switch t {
+	case TestFilesystem, TestMemory, TestAppExit:
+		return true
+	}
+	return false
+}
+
+// Condition describes the node's actual trouble when the NHC runs; the
+// simulator fills it from ground truth, the checker maps it to test
+// results.
+type Condition struct {
+	// FilesystemError: Lustre/DVS trouble on the node.
+	FilesystemError bool
+	// MemoryExhausted: allocation failures or OOM activity.
+	MemoryExhausted bool
+	// StaleProcesses: application processes survived the epilogue.
+	StaleProcesses bool
+	// AbnormalAppExit: the last job step exited abnormally.
+	AbnormalAppExit bool
+	// NetworkDegraded: interconnect trouble.
+	NetworkDegraded bool
+}
+
+// Action is the NHC's decision.
+type Action int
+
+const (
+	// ActionNone: all tests passed.
+	ActionNone Action = iota
+	// ActionSuspect: non-critical failures; re-test later.
+	ActionSuspect
+	// ActionAdminDown: critical failure; remove the node from service.
+	ActionAdminDown
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionSuspect:
+		return "suspect"
+	case ActionAdminDown:
+		return "admindown"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Outcome is one NHC evaluation.
+type Outcome struct {
+	// Failed lists the failing tests in battery order.
+	Failed []Test
+	// Action is the resulting decision.
+	Action Action
+}
+
+// Evaluate runs the battery against a condition. In suspect mode any
+// critical test failure turns the node admindown (the paper's "NHC,
+// when in suspect mode, may turn the node to admindown based on failed
+// tests"); outside suspect mode a critical failure first moves the node
+// to suspect.
+func Evaluate(c Condition, suspectMode bool) Outcome {
+	var out Outcome
+	fails := map[Test]bool{
+		TestFilesystem: c.FilesystemError,
+		TestMemory:     c.MemoryExhausted,
+		TestProcess:    c.StaleProcesses,
+		TestAppExit:    c.AbnormalAppExit,
+		TestNetwork:    c.NetworkDegraded,
+	}
+	critical := false
+	for _, t := range AllTests() {
+		if fails[t] {
+			out.Failed = append(out.Failed, t)
+			if t.Critical() {
+				critical = true
+			}
+		}
+	}
+	switch {
+	case len(out.Failed) == 0:
+		out.Action = ActionNone
+	case critical && suspectMode:
+		out.Action = ActionAdminDown
+	default:
+		out.Action = ActionSuspect
+	}
+	return out
+}
+
+// Event constructors — NHC activity appears in the node's messages log
+// (internal stream).
+
+// SuspectEvent marks the NHC entering suspect mode for the node.
+func SuspectEvent(t time.Time, node cname.Name) events.Record {
+	return events.Record{
+		Time:      t,
+		Stream:    events.StreamMessages,
+		Component: node,
+		Severity:  events.SevWarning,
+		Category:  "nhc",
+		Msg:       fmt.Sprintf("NHC: node %s placed in suspect mode", node),
+	}
+}
+
+// TestFailEvent records one failing test.
+func TestFailEvent(t time.Time, node cname.Name, test Test) events.Record {
+	r := events.Record{
+		Time:      t,
+		Stream:    events.StreamMessages,
+		Component: node,
+		Severity:  events.SevWarning,
+		Category:  "nhc",
+		Msg:       fmt.Sprintf("NHC: test %s FAILED on %s", test, node),
+	}
+	r.SetField("test", test.String())
+	r.SetField("result", "fail")
+	return r
+}
+
+// AdminDownEvent records the admindown decision; jobID links it to the
+// triggering job when known (0 otherwise).
+func AdminDownEvent(t time.Time, node cname.Name, jobID int64) events.Record {
+	r := events.Record{
+		Time:      t,
+		Stream:    events.StreamMessages,
+		Component: node,
+		Severity:  events.SevCritical,
+		Category:  "nhc_admindown",
+		JobID:     jobID,
+		Msg:       fmt.Sprintf("NHC: node %s set to admindown", node),
+	}
+	r.SetField("action", ActionAdminDown.String())
+	return r
+}
+
+// AppExitEvent records the abnormal application exit the NHC observed —
+// the internal precursor of the paper's app-exit failure class.
+func AppExitEvent(t time.Time, node cname.Name, jobID int64, app string) events.Record {
+	r := events.Record{
+		Time:      t,
+		Stream:    events.StreamMessages,
+		Component: node,
+		Severity:  events.SevError,
+		Category:  "app_exit_abnormal",
+		JobID:     jobID,
+		Msg:       fmt.Sprintf("NHC: abnormal application exit (%s) detected on %s", app, node),
+	}
+	r.SetField("app", app)
+	return r
+}

@@ -1,0 +1,113 @@
+package nhc
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+)
+
+var node = cname.MustParse("c0-0c1s3n2")
+
+func TestTestNamesRoundTrip(t *testing.T) {
+	for _, tt := range AllTests() {
+		got, err := ParseTest(tt.String())
+		if err != nil || got != tt {
+			t.Errorf("test round trip %v: %v %v", tt, got, err)
+		}
+	}
+	if _, err := ParseTest("bogus"); err == nil {
+		t.Error("ParseTest should reject unknown")
+	}
+	if Test(99).String() == "" || Action(99).String() == "" {
+		t.Error("unknown enums should stringify")
+	}
+}
+
+func TestCriticalTests(t *testing.T) {
+	crit := map[Test]bool{TestFilesystem: true, TestMemory: true, TestAppExit: true}
+	for _, tt := range AllTests() {
+		if tt.Critical() != crit[tt] {
+			t.Errorf("%v critical = %v, want %v", tt, tt.Critical(), crit[tt])
+		}
+	}
+}
+
+func TestEvaluateHealthy(t *testing.T) {
+	out := Evaluate(Condition{}, false)
+	if out.Action != ActionNone || len(out.Failed) != 0 {
+		t.Errorf("healthy node: %+v", out)
+	}
+	out = Evaluate(Condition{}, true)
+	if out.Action != ActionNone {
+		t.Errorf("healthy node in suspect mode: %+v", out)
+	}
+}
+
+func TestEvaluateCriticalPath(t *testing.T) {
+	cond := Condition{AbnormalAppExit: true}
+	// Outside suspect mode: critical failure first suspends.
+	out := Evaluate(cond, false)
+	if out.Action != ActionSuspect {
+		t.Errorf("first evaluation: %v, want suspect", out.Action)
+	}
+	// In suspect mode: admindown (the paper's app-exit path).
+	out = Evaluate(cond, true)
+	if out.Action != ActionAdminDown {
+		t.Errorf("suspect-mode evaluation: %v, want admindown", out.Action)
+	}
+	if len(out.Failed) != 1 || out.Failed[0] != TestAppExit {
+		t.Errorf("failed tests: %v", out.Failed)
+	}
+}
+
+func TestEvaluateNonCriticalNeverAdminDown(t *testing.T) {
+	cond := Condition{StaleProcesses: true, NetworkDegraded: true}
+	for _, suspect := range []bool{false, true} {
+		out := Evaluate(cond, suspect)
+		if out.Action != ActionSuspect {
+			t.Errorf("non-critical (suspect=%v): %v", suspect, out.Action)
+		}
+		if len(out.Failed) != 2 {
+			t.Errorf("failed = %v", out.Failed)
+		}
+	}
+}
+
+func TestEvaluateMultipleFailuresOrdered(t *testing.T) {
+	cond := Condition{FilesystemError: true, MemoryExhausted: true, AbnormalAppExit: true}
+	out := Evaluate(cond, true)
+	want := []Test{TestFilesystem, TestMemory, TestAppExit}
+	if len(out.Failed) != len(want) {
+		t.Fatalf("failed = %v", out.Failed)
+	}
+	for i := range want {
+		if out.Failed[i] != want[i] {
+			t.Errorf("battery order: %v", out.Failed)
+		}
+	}
+	if out.Action != ActionAdminDown {
+		t.Error("multi-critical should admindown in suspect mode")
+	}
+}
+
+func TestEventShapes(t *testing.T) {
+	at := time.Date(2015, 2, 1, 5, 0, 0, 0, time.UTC)
+	s := SuspectEvent(at, node)
+	if s.Stream != events.StreamMessages || !s.Stream.Internal() {
+		t.Error("NHC events are internal messages")
+	}
+	f := TestFailEvent(at, node, TestMemory)
+	if f.Field("test") != "memory" || f.Field("result") != "fail" {
+		t.Errorf("fail event fields: %v", f.Fields)
+	}
+	a := AdminDownEvent(at, node, 42)
+	if a.Severity != events.SevCritical || a.JobID != 42 || a.Category != "nhc_admindown" {
+		t.Errorf("admindown event: %+v", a)
+	}
+	e := AppExitEvent(at, node, 42, "cfd_solver")
+	if e.Category != "app_exit_abnormal" || e.Field("app") != "cfd_solver" {
+		t.Errorf("app exit event: %+v", e)
+	}
+}

@@ -1,0 +1,221 @@
+// Package report renders experiment output: aligned ASCII tables,
+// labelled series (the textual form of the paper's figures), and CSV
+// export. Every experiment in cmd/experiments prints through this
+// package so the regenerated tables and figures share one look.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals,
+// otherwise 2–3 significant decimals.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e9 && v > -1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	write := func(s string) error {
+		n, err := io.WriteString(w, s)
+		total += int64(n)
+		return err
+	}
+	if t.Title != "" {
+		if err := write(t.Title + "\n"); err != nil {
+			return total, err
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+		return b.String()
+	}
+	if err := write(line(t.Headers)); err != nil {
+		return total, err
+	}
+	sepCells := make([]string, len(t.Headers))
+	for i := range sepCells {
+		sepCells[i] = strings.Repeat("-", widths[i])
+	}
+	if err := write(line(sepCells)); err != nil {
+		return total, err
+	}
+	for _, row := range t.Rows {
+		if err := write(line(row)); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoted when needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	if t.Title != "" {
+		b.WriteString("**" + t.Title + "**\n\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a labelled (x, y) sequence — the textual form of a figure
+// curve.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table converts the series into a two-column table.
+func (s *Series) Table() *Table {
+	t := NewTable(s.Name, s.XLabel, s.YLabel)
+	for i := range s.X {
+		t.AddRow(s.X[i], s.Y[i])
+	}
+	return t
+}
+
+// String renders the series as its table.
+func (s *Series) String() string { return s.Table().String() }
+
+// Bars renders a map of label→value as a sorted two-column table with a
+// crude ASCII bar, for breakdown figures.
+func Bars(title string, values map[string]float64, unit string) *Table {
+	t := NewTable(title, "label", unit, "")
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if values[keys[i]] != values[keys[j]] {
+			return values[keys[i]] > values[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	for _, k := range keys {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(values[k]/max*30+0.5))
+		}
+		t.AddRow(k, values[k], bar)
+	}
+	return t
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Fig X", "name", "value")
+	tbl.AddRow("alpha", 1.0)
+	tbl.AddRow("beta-longer", 2.5)
+	s := tbl.String()
+	if !strings.Contains(s, "Fig X") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[2], "---") {
+		t.Errorf("header/separator malformed: %q %q", lines[1], lines[2])
+	}
+	if !strings.Contains(s, "beta-longer") || !strings.Contains(s, "2.500") {
+		t.Errorf("rows malformed: %q", s)
+	}
+	// Integer floats render without decimals.
+	if !strings.Contains(s, "alpha") || strings.Contains(s, "1.000") {
+		t.Errorf("integer float formatting: %q", s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x", "y")
+	tbl.AddRow("longvalue", "z")
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	// Column b should start at the same offset on every data line.
+	off1 := strings.Index(lines[2], "y")
+	off2 := strings.Index(lines[3], "z")
+	if off1 != off2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", off1, off2, tbl.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow(`has,comma`, `has"quote`)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"has,comma"`) || !strings.Contains(csv, `"has""quote"`) {
+		t.Errorf("CSV quoting wrong: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "cdf", XLabel: "minutes", YLabel: "fraction"}
+	s.Add(1, 0.5)
+	s.Add(2, 1.0)
+	out := s.String()
+	if !strings.Contains(out, "minutes") || !strings.Contains(out, "0.500") {
+		t.Errorf("series table: %q", out)
+	}
+	if len(s.X) != 2 || s.Y[1] != 1.0 {
+		t.Error("Add broken")
+	}
+}
+
+func TestBars(t *testing.T) {
+	tbl := Bars("breakdown", map[string]float64{"a": 10, "b": 30, "c": 0}, "count")
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Sorted descending: b first.
+	if !strings.Contains(lines[3], "b") {
+		t.Errorf("rows not sorted: %q", s)
+	}
+	if !strings.Contains(s, "##") {
+		t.Errorf("no bars rendered: %q", s)
+	}
+}
+
+func TestBarsEmptyAndTies(t *testing.T) {
+	if s := Bars("x", map[string]float64{}, "n").String(); !strings.Contains(s, "label") {
+		t.Error("empty bars should still render headers")
+	}
+	tbl := Bars("t", map[string]float64{"b": 1, "a": 1}, "n")
+	if tbl.Rows[0][0] != "a" {
+		t.Error("ties should sort by label")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.9231) != "92.31%" {
+		t.Errorf("Pct = %q", Pct(0.9231))
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := NewTable("Fig X", "a", "b")
+	tbl.AddRow("v1", "has|pipe")
+	md := tbl.Markdown()
+	for _, want := range []string{"**Fig X**", "| a | b |", "| --- | --- |", `has\|pipe`} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Untitled tables skip the bold header.
+	if strings.Contains(NewTable("", "a").Markdown(), "**") {
+		t.Error("untitled markdown should have no bold title")
+	}
+}
+
+func TestFormatFloatLargeValues(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(2.5e12) // beyond the integer fast path
+	if !strings.Contains(tbl.String(), "2500000000000.000") {
+		t.Errorf("large float rendering: %q", tbl.String())
+	}
+}

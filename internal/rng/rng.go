@@ -1,0 +1,283 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the sampling distributions used throughout the fault
+// simulator.
+//
+// Determinism matters here: every figure and table in the experiment
+// harness must regenerate bit-identically for a given seed, across runs
+// and across machines. The package therefore implements its own generator
+// (xoshiro256** seeded via splitmix64) instead of relying on math/rand,
+// whose stream is not guaranteed stable across Go releases.
+//
+// Generators are splittable: Split derives an independent child stream
+// from a parent, which lets each simulated subsystem (sensors, jobs,
+// faults, per-node noise) own its own stream so that adding draws in one
+// subsystem does not perturb another.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is a deterministic random number generator. It is NOT safe for
+// concurrent use; use Split to derive per-goroutine streams.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the seed and returns the next seeding value.
+// Used only to expand a single 64-bit seed into generator state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state; splitmix64 of any
+	// seed cannot produce four zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Uint64 returns the next value of the xoshiro256** stream.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split derives an independent child generator. The child's state is a
+// hash of the parent's next outputs, so parent and child streams do not
+// overlap in practice. A label distinguishes children split at the same
+// point.
+func (r *Rand) Split(label string) *Rand {
+	h := r.Uint64()
+	for _, b := range []byte(label) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return New(h)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(r.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method.
+func (r *Rand) boundedUint64(n uint64) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// Exponential inter-arrival times model Poisson event processes (fault
+// arrivals, job submissions).
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns a log-normally distributed value where the underlying
+// normal has parameters mu and sigma. Job runtimes and failure cascade
+// sizes are heavy-tailed; log-normal matches production job-length
+// distributions well.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Weibull returns a Weibull-distributed value with the given scale
+// (lambda) and shape (k). Weibull models component lifetimes: k < 1 gives
+// infant mortality, k > 1 wear-out.
+func (r *Rand) Weibull(scale, shape float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// Pareto returns a Pareto-distributed value with the given minimum xm and
+// tail index alpha. Used for heavy-tailed burst sizes.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method for small means and normal approximation for large ones.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		// Normal approximation with continuity correction.
+		n := int(math.Round(r.Norm(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Categorical draws an index from the (unnormalised) weights. It panics
+// if weights is empty or sums to a non-positive value.
+func (r *Rand) Categorical(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Categorical with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("rng: Categorical with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the slice in place (Fisher-Yates).
+func (r *Rand) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// SampleInts returns k distinct values drawn uniformly from [0, n)
+// without replacement, in random order. It panics if k > n or k < 0.
+func (r *Rand) SampleInts(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleInts with k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	// For small k relative to n use a set-based draw; otherwise shuffle.
+	if k*4 < n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			v := r.Intn(n)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}
+	p := r.Perm(n)
+	return p[:k]
+}
+
+// Jitter returns v scaled by a uniform factor in [1-f, 1+f]. Used to
+// de-synchronise per-entity parameters around a profile mean.
+func (r *Rand) Jitter(v, f float64) float64 {
+	return v * (1 + f*(2*r.Float64()-1))
+}

@@ -1,0 +1,269 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("sensors")
+	c2 := parent.Split("jobs")
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("children with different labels produced the same first draw")
+	}
+	// Same parent state + same label sequence must reproduce.
+	p2 := New(7)
+	d1 := p2.Split("sensors")
+	d2 := p2.Split("jobs")
+	if got, want := d1.Uint64(), New(7).Split("sensors").Uint64(); got != want {
+		t.Fatalf("split not deterministic: %d vs %d", got, want)
+	}
+	_ = d2
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(4)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("bucket %d has %d draws, want ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(5)
+	const mean = 12.5
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.15 {
+		t.Fatalf("Exp mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(6)
+	const mu, sigma = 40.0, 3.0
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(mu, sigma)
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sumsq/n - m*m)
+	if math.Abs(m-mu) > 0.05 {
+		t.Errorf("Norm mean = %v, want ~%v", m, mu)
+	}
+	if math.Abs(sd-sigma) > 0.05 {
+		t.Errorf("Norm stddev = %v, want ~%v", sd, sigma)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(8)
+	for _, mean := range []float64{0.5, 3, 20, 100} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	r := New(9)
+	const scale = 5.0
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Weibull(scale, 1)
+	}
+	got := sum / n
+	if math.Abs(got-scale) > 0.15 {
+		t.Fatalf("Weibull(scale,1) mean = %v, want ~%v", got, scale)
+	}
+}
+
+func TestCategoricalWeights(t *testing.T) {
+	r := New(10)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Categorical(nil) did not panic")
+		}
+	}()
+	New(1).Categorical(nil)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleIntsDistinct(t *testing.T) {
+	r := New(12)
+	for _, k := range []int{0, 1, 5, 50, 100} {
+		s := r.SampleInts(100, k)
+		if len(s) != k {
+			t.Fatalf("SampleInts(100,%d) returned %d values", k, len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 100 || seen[v] {
+				t.Fatalf("SampleInts produced duplicate or out-of-range %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+// Property: Float64 always in [0,1) regardless of seed.
+func TestQuickFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Exp never negative; Weibull never negative.
+func TestQuickNonNegativeSamplers(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			if r.Exp(10) < 0 || r.Weibull(3, 2) < 0 || r.Pareto(1, 2) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Jitter with factor f stays within [v(1-f), v(1+f)].
+func TestQuickJitterBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		v := r.Jitter(100, 0.25)
+		return v >= 74.999 && v <= 125.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm(0, 1)
+	}
+}

@@ -1,0 +1,247 @@
+// Package sedc simulates the Cray System Environmental Data Collections:
+// the blade- and cabinet-controller sensor scans (temperature, voltage,
+// fan speed, air velocity) whose threshold violations surface as
+// ec_sedc_warnings in the event-router stream.
+//
+// The paper's Observation 3 hinges on the *statistics* of this signal:
+// SEDC warnings are frequent, recur in floods on a few miscalibrated
+// blades (Fig 9: > 1400 mean daily warnings), mostly report values
+// falling below the minimum allowed threshold, and are overwhelmingly
+// benign — healthy blades warn as often as blades that later host
+// failures. The simulator reproduces those statistics; healthy CPU
+// temperatures sit near 40 °C (Fig 11) with powered-off nodes reading
+// 0 °C.
+//
+// Readings are deterministic in (sensor, time): the noise term is drawn
+// from a generator seeded by a hash of the component name, sensor kind
+// and timestamp, so any reading can be recomputed independently of scan
+// order.
+package sedc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/rng"
+)
+
+// Kind identifies a sensor type.
+type Kind int
+
+const (
+	// Temperature is a CPU/board temperature sensor (°C).
+	Temperature Kind = iota
+	// Voltage is a rail voltage sensor (V).
+	Voltage
+	// FanSpeed is a fan tachometer (RPM).
+	FanSpeed
+	// AirVelocity is a cabinet airflow sensor (m/s).
+	AirVelocity
+)
+
+var kindNames = [...]string{"temperature", "voltage", "fan_speed", "air_velocity"}
+var kindUnits = [...]string{"C", "V", "RPM", "m/s"}
+
+// String returns the snake_case sensor kind name.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Unit returns the measurement unit.
+func (k Kind) Unit() string {
+	if k >= 0 && int(k) < len(kindUnits) {
+		return kindUnits[k]
+	}
+	return "?"
+}
+
+// ParseKind inverts String.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return Temperature, fmt.Errorf("sedc: unknown sensor kind %q", s)
+}
+
+// AllKinds returns the sensor kinds in declaration order.
+func AllKinds() []Kind {
+	return []Kind{Temperature, Voltage, FanSpeed, AirVelocity}
+}
+
+// Threshold is the allowed operating band; readings outside it raise
+// SEDC warnings.
+type Threshold struct {
+	Min, Max float64
+}
+
+// Contains reports whether v lies inside the band.
+func (t Threshold) Contains(v float64) bool { return v >= t.Min && v <= t.Max }
+
+// DefaultThreshold returns the platform operating band per sensor kind.
+func DefaultThreshold(k Kind) Threshold {
+	switch k {
+	case Temperature:
+		return Threshold{Min: 10, Max: 75}
+	case Voltage:
+		return Threshold{Min: 0.95, Max: 1.30}
+	case FanSpeed:
+		return Threshold{Min: 2000, Max: 9000}
+	case AirVelocity:
+		return Threshold{Min: 1.0, Max: 12.0}
+	default:
+		return Threshold{}
+	}
+}
+
+// DefaultBaseline returns the healthy operating point per sensor kind
+// (Fig 11: CPU temperature ≈ 40 °C).
+func DefaultBaseline(k Kind) (baseline, noise float64) {
+	switch k {
+	case Temperature:
+		return 40, 1.2
+	case Voltage:
+		return 1.10, 0.01
+	case FanSpeed:
+		return 4500, 150
+	case AirVelocity:
+		return 6.0, 0.4
+	default:
+		return 0, 0
+	}
+}
+
+// Profile parameterises one sensor's behaviour.
+type Profile struct {
+	// Baseline is the mean reading.
+	Baseline float64
+	// Noise is the Gaussian noise standard deviation.
+	Noise float64
+	// DiurnalAmp adds a sinusoidal daily swing of this amplitude
+	// (machine-room load cycle).
+	DiurnalAmp float64
+	// PoweredOff forces readings to exactly zero (the Fig 11 B2 node).
+	PoweredOff bool
+}
+
+// Sensor is one physical sensor on a component.
+type Sensor struct {
+	// Component is the blade or cabinet (or node, for CPU temperature)
+	// carrying the sensor.
+	Component cname.Name
+	// Kind is the sensor type.
+	Kind Kind
+	// Profile describes its behaviour.
+	Profile Profile
+	// Threshold is its warning band.
+	Threshold Threshold
+	// Seed decorrelates sensors with identical profiles.
+	Seed uint64
+}
+
+// New returns a healthy sensor for the component with platform-default
+// profile and thresholds.
+func New(comp cname.Name, k Kind, seed uint64) *Sensor {
+	b, n := DefaultBaseline(k)
+	return &Sensor{
+		Component: comp,
+		Kind:      k,
+		Profile:   Profile{Baseline: b, Noise: n, DiurnalAmp: n / 2},
+		Threshold: DefaultThreshold(k),
+		Seed:      seed,
+	}
+}
+
+// hashReading derives a deterministic per-(sensor, time) seed.
+func (s *Sensor) hashReading(t time.Time) uint64 {
+	h := s.Seed ^ 0xcbf29ce484222325
+	for _, b := range []byte(s.Component.String()) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	h = (h ^ uint64(s.Kind)) * 0x100000001b3
+	h = (h ^ uint64(t.Unix())) * 0x100000001b3
+	return h
+}
+
+// ReadingAt returns the sensor value at time t. Deterministic in
+// (sensor identity, t).
+func (s *Sensor) ReadingAt(t time.Time) float64 {
+	if s.Profile.PoweredOff {
+		return 0
+	}
+	r := rng.New(s.hashReading(t))
+	v := s.Profile.Baseline + r.Norm(0, s.Profile.Noise)
+	if s.Profile.DiurnalAmp != 0 {
+		dayFrac := float64(t.UTC().Hour()*3600+t.UTC().Minute()*60+t.UTC().Second()) / 86400
+		v += s.Profile.DiurnalAmp * math.Sin(2*math.Pi*dayFrac)
+	}
+	return v
+}
+
+// Violates reports whether the reading at t falls outside the threshold
+// band, and in which direction ("below" carries the paper's dominant
+// case of readings under the minimum allowed value).
+func (s *Sensor) Violates(t time.Time) (violated, below bool, value float64) {
+	v := s.ReadingAt(t)
+	if v < s.Threshold.Min {
+		return true, true, v
+	}
+	if v > s.Threshold.Max {
+		return true, false, v
+	}
+	return false, false, v
+}
+
+// Reading is one timestamped sensor measurement.
+type Reading struct {
+	Time      time.Time
+	Component cname.Name
+	Kind      Kind
+	Value     float64
+}
+
+// Series samples the sensor over [start, end) at the given interval.
+func (s *Sensor) Series(start, end time.Time, interval time.Duration) []Reading {
+	if interval <= 0 || !start.Before(end) {
+		return nil
+	}
+	var out []Reading
+	for t := start; t.Before(end); t = t.Add(interval) {
+		out = append(out, Reading{Time: t, Component: s.Component, Kind: s.Kind, Value: s.ReadingAt(t)})
+	}
+	return out
+}
+
+// MeanOver returns the mean reading over [start, end) sampled at the
+// interval — the Fig 11 per-node daily mean CPU temperature.
+func (s *Sensor) MeanOver(start, end time.Time, interval time.Duration) float64 {
+	series := s.Series(start, end, interval)
+	if len(series) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range series {
+		sum += r.Value
+	}
+	return sum / float64(len(series))
+}
+
+// Miscalibrate shifts the sensor so its baseline sits below the minimum
+// threshold by the given margin, producing the paper's incessant benign
+// "below minimum allowed" warning floods (Fig 9 blades 1, 5, 8).
+func (s *Sensor) Miscalibrate(margin float64) {
+	s.Profile.Baseline = s.Threshold.Min - margin
+	s.Profile.DiurnalAmp = 0
+}
+
+// IsFlooding reports whether the sensor's baseline is outside its
+// threshold band, i.e. nearly every scan warns.
+func (s *Sensor) IsFlooding() bool {
+	return !s.Threshold.Contains(s.Profile.Baseline)
+}

@@ -1,0 +1,187 @@
+package sedc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpcfail/internal/cname"
+)
+
+var testComp = cname.MustParse("c0-0c0s1n2")
+
+func TestKindNames(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("kind round trip %v: %v, %v", k, got, err)
+		}
+		if k.Unit() == "?" {
+			t.Errorf("%v has no unit", k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind should reject unknown")
+	}
+	if Kind(99).String() == "" || Kind(99).Unit() != "?" {
+		t.Error("unknown kind rendering")
+	}
+}
+
+func TestThresholdContains(t *testing.T) {
+	th := Threshold{Min: 10, Max: 75}
+	if !th.Contains(40) || th.Contains(9.9) || th.Contains(75.1) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestDefaultTemperatureNear40(t *testing.T) {
+	s := New(testComp, Temperature, 1)
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	mean := s.MeanOver(start, start.Add(24*time.Hour), time.Minute)
+	if math.Abs(mean-40) > 1 {
+		t.Errorf("daily mean temperature = %v, want ~40", mean)
+	}
+}
+
+func TestPoweredOffReadsZero(t *testing.T) {
+	s := New(testComp, Temperature, 1)
+	s.Profile.PoweredOff = true
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	if got := s.ReadingAt(start); got != 0 {
+		t.Errorf("powered-off reading = %v", got)
+	}
+	if got := s.MeanOver(start, start.Add(time.Hour), time.Minute); got != 0 {
+		t.Errorf("powered-off mean = %v", got)
+	}
+}
+
+func TestDeterministicReadings(t *testing.T) {
+	s1 := New(testComp, Temperature, 7)
+	s2 := New(testComp, Temperature, 7)
+	at := time.Date(2015, 5, 1, 12, 34, 56, 0, time.UTC)
+	if s1.ReadingAt(at) != s2.ReadingAt(at) {
+		t.Error("identical sensors disagree")
+	}
+	// Different seeds decorrelate.
+	s3 := New(testComp, Temperature, 8)
+	if s1.ReadingAt(at) == s3.ReadingAt(at) {
+		t.Error("different seeds should differ")
+	}
+	// Reading is independent of call order.
+	a := s1.ReadingAt(at.Add(time.Minute))
+	b := s1.ReadingAt(at)
+	if b != s2.ReadingAt(at) {
+		t.Error("call order changed a reading")
+	}
+	_ = a
+}
+
+func TestHealthySensorRarelyViolates(t *testing.T) {
+	s := New(testComp, Temperature, 2)
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	violations := 0
+	const n = 1440
+	for i := 0; i < n; i++ {
+		if v, _, _ := s.Violates(start.Add(time.Duration(i) * time.Minute)); v {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Errorf("healthy sensor violated %d/%d scans", violations, n)
+	}
+}
+
+func TestMiscalibratedSensorFloods(t *testing.T) {
+	s := New(testComp, Voltage, 3)
+	s.Miscalibrate(0.05)
+	if !s.IsFlooding() {
+		t.Fatal("miscalibrated sensor should flood")
+	}
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	below := 0
+	const n = 1440
+	for i := 0; i < n; i++ {
+		v, b, _ := s.Violates(start.Add(time.Duration(i) * time.Minute))
+		if v && b {
+			below++
+		}
+	}
+	// The paper: flooding blades see >1400 warnings/day, dominated by
+	// "below minimum" readings.
+	if below < 1400 {
+		t.Errorf("flooding sensor produced only %d below-min warnings/day", below)
+	}
+}
+
+func TestViolatesDirection(t *testing.T) {
+	s := New(testComp, Temperature, 4)
+	s.Profile.Baseline = 100
+	s.Profile.Noise = 0.1
+	s.Profile.DiurnalAmp = 0
+	v, below, val := s.Violates(time.Unix(1000, 0))
+	if !v || below || val < 99 {
+		t.Errorf("hot sensor: v=%v below=%v val=%v", v, below, val)
+	}
+}
+
+func TestSeriesShape(t *testing.T) {
+	s := New(testComp, FanSpeed, 5)
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	series := s.Series(start, start.Add(time.Hour), 10*time.Minute)
+	if len(series) != 6 {
+		t.Fatalf("series length = %d, want 6", len(series))
+	}
+	for i, r := range series {
+		if r.Kind != FanSpeed || r.Component != testComp {
+			t.Errorf("series[%d] metadata wrong: %+v", i, r)
+		}
+	}
+	if s.Series(start, start, time.Minute) != nil {
+		t.Error("empty range should give nil")
+	}
+	if s.Series(start, start.Add(time.Hour), 0) != nil {
+		t.Error("zero interval should give nil")
+	}
+}
+
+func TestDefaultsPerKind(t *testing.T) {
+	for _, k := range AllKinds() {
+		th := DefaultThreshold(k)
+		b, n := DefaultBaseline(k)
+		if !th.Contains(b) {
+			t.Errorf("%v baseline %v outside default band %+v", k, b, th)
+		}
+		if n <= 0 {
+			t.Errorf("%v noise = %v", k, n)
+		}
+		// Healthy baseline should sit well inside the band (> 3 sigma
+		// from both edges) so violations are rare.
+		if b-3*n < th.Min || b+3*n > th.Max {
+			t.Errorf("%v baseline too close to band edge", k)
+		}
+	}
+}
+
+// Property: readings are reproducible and violations consistent with the
+// reported value for arbitrary timestamps.
+func TestQuickViolationConsistent(t *testing.T) {
+	s := New(testComp, AirVelocity, 11)
+	f := func(unix int32) bool {
+		at := time.Unix(int64(unix), 0)
+		v, below, val := s.Violates(at)
+		switch {
+		case below && val >= s.Threshold.Min:
+			return false
+		case v && !below && val <= s.Threshold.Max:
+			return false
+		case !v && !s.Threshold.Contains(val):
+			return false
+		}
+		return val == s.ReadingAt(at)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package stacktrace
+
+import (
+	"math"
+	"sort"
+
+	"hpcfail/internal/faults"
+)
+
+// The paper's Table VI recommends "a machine learning guided study of
+// call traces ... to narrow down the buggy code or function emanating
+// from the application or file system". This file implements that
+// study's baseline model: a multinomial naive-Bayes classifier over
+// trace symbols. Unlike the hand-written rule table (Classify), the
+// learned model degrades gracefully when the diagnostic lead frames are
+// missing from a truncated trace, because it also absorbs the
+// distributional signal of the filler frames.
+
+// Example is one labelled trace.
+type Example struct {
+	Trace Trace
+	Cause faults.Cause
+}
+
+// NaiveBayes is a multinomial naive-Bayes model over trace symbols
+// (function names, plus module-qualified forms).
+type NaiveBayes struct {
+	classCount map[faults.Cause]int
+	symCount   map[faults.Cause]map[string]int
+	symTotal   map[faults.Cause]int
+	vocab      map[string]struct{}
+	total      int
+}
+
+// features extracts the symbol tokens of a trace.
+func features(t Trace) []string {
+	out := make([]string, 0, 2*len(t.Frames))
+	for _, f := range t.Frames {
+		out = append(out, f.Function)
+		if f.Module != "" {
+			out = append(out, f.Function+"@"+f.Module)
+		}
+	}
+	return out
+}
+
+// Train fits the model on labelled traces. Empty input yields a model
+// that always predicts CauseUnknown.
+func Train(examples []Example) *NaiveBayes {
+	nb := &NaiveBayes{
+		classCount: map[faults.Cause]int{},
+		symCount:   map[faults.Cause]map[string]int{},
+		symTotal:   map[faults.Cause]int{},
+		vocab:      map[string]struct{}{},
+	}
+	for _, ex := range examples {
+		nb.classCount[ex.Cause]++
+		nb.total++
+		if nb.symCount[ex.Cause] == nil {
+			nb.symCount[ex.Cause] = map[string]int{}
+		}
+		for _, s := range features(ex.Trace) {
+			nb.symCount[ex.Cause][s]++
+			nb.symTotal[ex.Cause]++
+			nb.vocab[s] = struct{}{}
+		}
+	}
+	return nb
+}
+
+// Classes returns the trained classes in a stable order.
+func (nb *NaiveBayes) Classes() []faults.Cause {
+	out := make([]faults.Cause, 0, len(nb.classCount))
+	for c := range nb.classCount {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Predict returns the most probable cause for a trace and its
+// posterior probability. An empty trace or untrained model predicts
+// CauseUnknown with zero confidence.
+func (nb *NaiveBayes) Predict(t Trace) (faults.Cause, float64) {
+	if nb.total == 0 || len(t.Frames) == 0 {
+		return faults.CauseUnknown, 0
+	}
+	feats := features(t)
+	v := float64(len(nb.vocab) + 1)
+	classes := nb.Classes()
+	logs := make([]float64, len(classes))
+	for i, c := range classes {
+		// Log prior with Laplace smoothing.
+		lp := math.Log(float64(nb.classCount[c]+1) / float64(nb.total+len(classes)))
+		denom := float64(nb.symTotal[c]) + v
+		for _, s := range feats {
+			lp += math.Log((float64(nb.symCount[c][s]) + 1) / denom)
+		}
+		logs[i] = lp
+	}
+	// Softmax for the posterior of the argmax.
+	maxLog := logs[0]
+	best := 0
+	for i, l := range logs {
+		if l > maxLog {
+			maxLog, best = l, i
+		}
+	}
+	var z float64
+	for _, l := range logs {
+		z += math.Exp(l - maxLog)
+	}
+	return classes[best], 1 / z
+}
+
+// Truncate returns a copy of the trace with its first n (innermost)
+// frames removed — modelling partially captured console dumps, the
+// regime where rule-based classification loses its diagnostic lead
+// frames.
+func Truncate(t Trace, n int) Trace {
+	if n <= 0 {
+		return t
+	}
+	if n >= len(t.Frames) {
+		return Trace{}
+	}
+	out := Trace{Frames: make([]Frame, len(t.Frames)-n)}
+	copy(out.Frames, t.Frames[n:])
+	return out
+}

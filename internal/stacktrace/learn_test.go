@@ -1,0 +1,137 @@
+package stacktrace
+
+import (
+	"testing"
+
+	"hpcfail/internal/faults"
+	"hpcfail/internal/rng"
+)
+
+// trainedCauses are the causes with distinctive signatures.
+func trainedCauses() []faults.Cause {
+	var out []faults.Cause
+	for _, c := range faults.AllCauses() {
+		if c != faults.CauseUnknown {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func trainingSet(seed uint64, perCause int) []Example {
+	r := rng.New(seed)
+	var out []Example
+	for _, c := range trainedCauses() {
+		for i := 0; i < perCause; i++ {
+			out = append(out, Example{Trace: Synthesize(c, r), Cause: c})
+		}
+	}
+	return out
+}
+
+func TestNaiveBayesLearnsAllCauses(t *testing.T) {
+	nb := Train(trainingSet(1, 30))
+	r := rng.New(99)
+	for _, c := range trainedCauses() {
+		hits := 0
+		const trials = 25
+		for i := 0; i < trials; i++ {
+			got, conf := nb.Predict(Synthesize(c, r))
+			if got == c {
+				hits++
+			}
+			if conf < 0 || conf > 1 {
+				t.Fatalf("posterior out of range: %v", conf)
+			}
+		}
+		if hits < trials*9/10 {
+			t.Errorf("cause %v: NB accuracy %d/%d", c, hits, trials)
+		}
+	}
+}
+
+func TestNaiveBayesEmptyInputs(t *testing.T) {
+	nb := Train(nil)
+	if c, conf := nb.Predict(Trace{Frames: []Frame{fr("x", "")}}); c != faults.CauseUnknown || conf != 0 {
+		t.Errorf("untrained predict = %v %v", c, conf)
+	}
+	nb = Train(trainingSet(1, 5))
+	if c, conf := nb.Predict(Trace{}); c != faults.CauseUnknown || conf != 0 {
+		t.Errorf("empty trace predict = %v %v", c, conf)
+	}
+	if len(nb.Classes()) != len(trainedCauses()) {
+		t.Errorf("classes = %v", nb.Classes())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tr := Trace{Frames: []Frame{fr("a", ""), fr("b", ""), fr("c", "")}}
+	if got := Truncate(tr, 0); len(got.Frames) != 3 {
+		t.Error("truncate 0 should be identity")
+	}
+	if got := Truncate(tr, 2); len(got.Frames) != 1 || got.Frames[0].Function != "c" {
+		t.Errorf("truncate 2 = %v", got.Functions())
+	}
+	if got := Truncate(tr, 5); len(got.Frames) != 0 {
+		t.Error("over-truncation should empty the trace")
+	}
+	// Original untouched.
+	if len(tr.Frames) != 3 {
+		t.Error("Truncate mutated its input")
+	}
+}
+
+// TestNBBeatsRulesOnTruncatedTraces demonstrates the Table VI claim:
+// the learned model keeps classifying when the diagnostic lead frames
+// are gone, where the rule table cannot.
+func TestNBBeatsRulesOnTruncatedTraces(t *testing.T) {
+	nb := Train(trainingSet(7, 40))
+	r := rng.New(123)
+	const drop = 3 // remove the innermost (diagnostic) frames
+	var nbHits, ruleHits, total int
+	for _, c := range trainedCauses() {
+		for i := 0; i < 30; i++ {
+			tr := Truncate(Synthesize(c, r), drop)
+			if len(tr.Frames) == 0 {
+				continue
+			}
+			total++
+			if got, _ := nb.Predict(tr); got == c {
+				nbHits++
+			}
+			if got := Classify(tr); got.Cause == c {
+				ruleHits++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no truncated traces to score")
+	}
+	nbAcc := float64(nbHits) / float64(total)
+	ruleAcc := float64(ruleHits) / float64(total)
+	if nbAcc <= ruleAcc {
+		t.Errorf("NB accuracy %.2f should beat rules %.2f on truncated traces", nbAcc, ruleAcc)
+	}
+	if nbAcc < 0.5 {
+		t.Errorf("NB accuracy %.2f too low on truncated traces", nbAcc)
+	}
+}
+
+func BenchmarkNBTrain(b *testing.B) {
+	set := trainingSet(1, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(set)
+	}
+}
+
+func BenchmarkNBPredict(b *testing.B) {
+	nb := Train(trainingSet(1, 30))
+	tr := Synthesize(faults.CauseFilesystemBug, rng.New(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb.Predict(tr)
+	}
+}

@@ -1,0 +1,343 @@
+// Package stacktrace models kernel oops call traces: synthesis of
+// realistic traces for the simulator, text rendering/parsing in the
+// kernel's "Call Trace:" format, and classification of a trace back to
+// its originating layer.
+//
+// The paper's §III-F analysis examines "the beginning of the stack
+// traces" and the kernel modules they name (Table IV: sleep_on_page,
+// ldlm_bl, dvs_ipc_mesg, mce_log, rwsem_down_failed, ...) to decide
+// whether a failure that manifests inside the OS actually originated in
+// the application or the file system. Classify implements that module-
+// signature analysis; the diagnosis pipeline relies on it to attribute
+// application-triggered failures.
+package stacktrace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hpcfail/internal/faults"
+	"hpcfail/internal/rng"
+)
+
+// Frame is one call-trace entry.
+type Frame struct {
+	// Addr is the (synthetic) kernel text address.
+	Addr uint64
+	// Function is the symbol name.
+	Function string
+	// Offset and Size position the address within the symbol.
+	Offset, Size uint32
+	// Module is the owning kernel module; empty for core kernel symbols.
+	Module string
+}
+
+// Render produces the kernel log form, e.g.
+//
+//	[<ffffffff810a1b2c>] dvs_ipc_mesg+0x12c/0x340 [dvsipc]
+func (f Frame) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, " [<%016x>] %s+0x%x/0x%x", f.Addr, f.Function, f.Offset, f.Size)
+	if f.Module != "" {
+		fmt.Fprintf(&b, " [%s]", f.Module)
+	}
+	return b.String()
+}
+
+// ParseFrame parses a rendered frame line. The boolean is false for
+// lines that are not call-trace frames.
+func ParseFrame(line string) (Frame, bool) {
+	s := strings.TrimSpace(line)
+	if !strings.HasPrefix(s, "[<") {
+		return Frame{}, false
+	}
+	end := strings.Index(s, ">]")
+	if end < 0 {
+		return Frame{}, false
+	}
+	addr, err := strconv.ParseUint(s[2:end], 16, 64)
+	if err != nil {
+		return Frame{}, false
+	}
+	rest := strings.TrimSpace(s[end+2:])
+	var module string
+	if i := strings.LastIndex(rest, " ["); i >= 0 && strings.HasSuffix(rest, "]") {
+		module = rest[i+2 : len(rest)-1]
+		rest = rest[:i]
+	}
+	plus := strings.LastIndexByte(rest, '+')
+	if plus < 0 {
+		return Frame{}, false
+	}
+	fn := rest[:plus]
+	offs := rest[plus+1:]
+	slash := strings.IndexByte(offs, '/')
+	if slash < 0 || !strings.HasPrefix(offs, "0x") || !strings.HasPrefix(offs[slash+1:], "0x") {
+		return Frame{}, false
+	}
+	off, err1 := strconv.ParseUint(offs[2:slash], 16, 32)
+	size, err2 := strconv.ParseUint(offs[slash+3:], 16, 32)
+	if err1 != nil || err2 != nil || fn == "" {
+		return Frame{}, false
+	}
+	return Frame{Addr: addr, Function: fn, Offset: uint32(off), Size: uint32(size), Module: module}, true
+}
+
+// Trace is an ordered call trace, innermost frame first (as the kernel
+// prints it).
+type Trace struct {
+	Frames []Frame
+}
+
+// Render produces the kernel log lines including the "Call Trace:"
+// header.
+func (t Trace) Render() []string {
+	out := make([]string, 0, len(t.Frames)+1)
+	out = append(out, "Call Trace:")
+	for _, f := range t.Frames {
+		out = append(out, f.Render())
+	}
+	return out
+}
+
+// Functions returns the symbol names in order.
+func (t Trace) Functions() []string {
+	out := make([]string, len(t.Frames))
+	for i, f := range t.Frames {
+		out[i] = f.Function
+	}
+	return out
+}
+
+// Encode packs the trace into a single-line field value
+// ("fn1@mod1|fn2|fn3@mod3") so it can travel inside a structured log
+// field; Decode inverts it. Offsets are not preserved — classification
+// needs only symbols and modules.
+func (t Trace) Encode() string {
+	parts := make([]string, len(t.Frames))
+	for i, f := range t.Frames {
+		if f.Module != "" {
+			parts[i] = f.Function + "@" + f.Module
+		} else {
+			parts[i] = f.Function
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Decode parses an Encode'd trace.
+func Decode(s string) Trace {
+	if s == "" {
+		return Trace{}
+	}
+	parts := strings.Split(s, "|")
+	fr := make([]Frame, 0, len(parts))
+	for _, p := range parts {
+		fn, mod := p, ""
+		if i := strings.IndexByte(p, '@'); i >= 0 {
+			fn, mod = p[:i], p[i+1:]
+		}
+		if fn == "" {
+			continue
+		}
+		fr = append(fr, Frame{Function: fn, Module: mod})
+	}
+	return Trace{Frames: fr}
+}
+
+// signature describes the trace recipe for one root cause: the leading
+// (diagnostic) symbols the paper's analysis keys on, and filler symbols
+// for depth.
+type signature struct {
+	lead   []Frame // innermost diagnostic frames, in order
+	filler []Frame // generic scheduler/syscall frames appended below
+}
+
+// fr is a terse Frame constructor for the corpus tables.
+func fr(fn, mod string) Frame { return Frame{Function: fn, Module: mod} }
+
+// commonTail frames appear at the bottom of nearly every kernel trace.
+var commonTail = []Frame{
+	fr("system_call_fastpath", ""),
+	fr("do_syscall_64", ""),
+	fr("entry_SYSCALL_64_after_hwframe", ""),
+}
+
+// signatures maps each cause to its trace recipe. The lead frames encode
+// Table IV: mce_log for MCEs, dvs_ipc_msg/ldlm_bl/sleep_on_page for
+// file-system and job-triggered failures, rwsem_down_failed for
+// concurrency hangs, oom killer symbols for memory exhaustion.
+var signatures = map[faults.Cause]signature{
+	faults.CauseMCE: {
+		lead:   []Frame{fr("mce_log", ""), fr("do_machine_check", ""), fr("mce_panic", "")},
+		filler: []Frame{fr("machine_check", ""), fr("mce_timer_fn", "")},
+	},
+	faults.CauseCPUCorruption: {
+		lead:   []Frame{fr("do_general_protection", ""), fr("fixup_exception", ""), fr("native_smp_send_stop", "")},
+		filler: []Frame{fr("panic", ""), fr("smp_call_function", "")},
+	},
+	faults.CauseHardwareOther: {
+		lead:   []Frame{fr("ghes_do_proc", ""), fr("ghes_proc", ""), fr("acpi_hed_notify", "")},
+		filler: []Frame{fr("nmi_handle", ""), fr("default_do_nmi", "")},
+	},
+	faults.CauseKernelBug: {
+		lead:   []Frame{fr("invalid_op", ""), fr("do_invalid_op", ""), fr("die", "")},
+		filler: []Frame{fr("exception_exit", ""), fr("error_entry", "")},
+	},
+	faults.CauseCPUStall: {
+		lead:   []Frame{fr("rcu_check_callbacks", ""), fr("rcu_sched_clock_irq", ""), fr("watchdog_timer_fn", "")},
+		filler: []Frame{fr("update_process_times", ""), fr("tick_sched_timer", "")},
+	},
+	faults.CauseFilesystemBug: {
+		lead: []Frame{fr("ldlm_bl_thread_main", "lustre"), fr("dvs_ipc_mesg", "dvsipc"),
+			fr("ptlrpc_main", "ptlrpc"), fr("cl_lock_enqueue_wait", "obdclass")},
+		filler: []Frame{fr("rwsem_down_failed_common", ""), fr("kthread", "")},
+	},
+	faults.CauseOOM: {
+		lead: []Frame{fr("oom_kill_process", ""), fr("out_of_memory", ""),
+			fr("__alloc_pages_slowpath", ""), fr("xpmem_fault_handler", "xpmem")},
+		filler: []Frame{fr("__alloc_pages_nodemask", ""), fr("handle_mm_fault", "")},
+	},
+	faults.CauseAppExit: {
+		lead:   []Frame{fr("do_exit", ""), fr("do_group_exit", ""), fr("get_signal", "")},
+		filler: []Frame{fr("do_signal", ""), fr("exit_to_usermode_loop", "")},
+	},
+	faults.CauseSegFault: {
+		lead:   []Frame{fr("__do_page_fault", ""), fr("bad_area_nosemaphore", ""), fr("force_sig_info", "")},
+		filler: []Frame{fr("page_fault", ""), fr("do_page_fault", "")},
+	},
+	faults.CauseHungTask: {
+		lead: []Frame{fr("sleep_on_page", ""), fr("io_schedule", ""),
+			fr("wait_on_page_bit", ""), fr("rwsem_down_failed_common", "")},
+		filler: []Frame{fr("schedule", ""), fr("schedule_timeout", "")},
+	},
+	faults.CauseUnknown: {
+		lead:   []Frame{fr("do_IRQ", ""), fr("irq_exit", "")},
+		filler: []Frame{fr("common_interrupt", ""), fr("ret_from_intr", "")},
+	},
+}
+
+// Synthesize generates a realistic trace for the given cause. The lead
+// diagnostic frames always appear (innermost first); filler and tail
+// frames pad the trace to a plausible depth with randomised addresses.
+func Synthesize(cause faults.Cause, r *rng.Rand) Trace {
+	sig, ok := signatures[cause]
+	if !ok {
+		sig = signatures[faults.CauseUnknown]
+	}
+	frames := make([]Frame, 0, len(sig.lead)+len(sig.filler)+len(commonTail))
+	frames = append(frames, sig.lead...)
+	// Shuffle a subset of filler in for variety.
+	for _, f := range sig.filler {
+		if r.Bool(0.8) {
+			frames = append(frames, f)
+		}
+	}
+	frames = append(frames, commonTail[:1+r.Intn(len(commonTail))]...)
+	for i := range frames {
+		frames[i].Addr = 0xffffffff81000000 + r.Uint64()%0x7fffff
+		frames[i].Size = 0x100 + uint32(r.Intn(0x500))
+		frames[i].Offset = uint32(r.Intn(int(frames[i].Size)))
+	}
+	return Trace{Frames: frames}
+}
+
+// Classification is the outcome of module-signature analysis on a trace.
+type Classification struct {
+	// Cause is the inferred root-cause bucket.
+	Cause faults.Cause
+	// Origin is the inferred originating layer; for application-
+	// triggered file-system failures this is ClassApplication even
+	// though the trace names filesystem modules (the paper's key
+	// distinction).
+	Origin faults.Class
+	// KeySymbol is the diagnostic symbol that decided the
+	// classification.
+	KeySymbol string
+	// Confidence is a heuristic weight in (0, 1]: 1.0 for an exact lead-
+	// frame match near the top of the trace, lower for deeper matches.
+	Confidence float64
+}
+
+// classRule maps a diagnostic symbol to its classification. Order
+// matters: the first rule whose symbol appears earliest in the trace
+// wins, mirroring the paper's focus on "the beginning of the stack
+// traces".
+var classRules = []struct {
+	symbol string
+	cause  faults.Cause
+	origin faults.Class
+}{
+	{"mce_log", faults.CauseMCE, faults.ClassHardware},
+	{"do_machine_check", faults.CauseMCE, faults.ClassHardware},
+	{"do_general_protection", faults.CauseCPUCorruption, faults.ClassHardware},
+	{"ghes_do_proc", faults.CauseHardwareOther, faults.ClassHardware},
+	{"oom_kill_process", faults.CauseOOM, faults.ClassApplication},
+	{"out_of_memory", faults.CauseOOM, faults.ClassApplication},
+	{"xpmem_fault_handler", faults.CauseOOM, faults.ClassApplication},
+	{"ldlm_bl_thread_main", faults.CauseFilesystemBug, faults.ClassApplication},
+	{"dvs_ipc_mesg", faults.CauseFilesystemBug, faults.ClassApplication},
+	{"ptlrpc_main", faults.CauseFilesystemBug, faults.ClassFilesystem},
+	{"cl_lock_enqueue_wait", faults.CauseFilesystemBug, faults.ClassFilesystem},
+	{"sleep_on_page", faults.CauseHungTask, faults.ClassSoftware},
+	{"io_schedule", faults.CauseHungTask, faults.ClassSoftware},
+	{"rwsem_down_failed_common", faults.CauseHungTask, faults.ClassSoftware},
+	{"invalid_op", faults.CauseKernelBug, faults.ClassSoftware},
+	{"do_invalid_op", faults.CauseKernelBug, faults.ClassSoftware},
+	{"rcu_check_callbacks", faults.CauseCPUStall, faults.ClassSoftware},
+	{"watchdog_timer_fn", faults.CauseCPUStall, faults.ClassSoftware},
+	{"__do_page_fault", faults.CauseSegFault, faults.ClassApplication},
+	{"bad_area_nosemaphore", faults.CauseSegFault, faults.ClassApplication},
+	{"do_exit", faults.CauseAppExit, faults.ClassApplication},
+	{"do_group_exit", faults.CauseAppExit, faults.ClassApplication},
+}
+
+// Classify infers the root-cause bucket of a trace from its diagnostic
+// symbols. An empty or unrecognised trace classifies as CauseUnknown
+// with zero confidence.
+func Classify(t Trace) Classification {
+	bestIdx := len(t.Frames)
+	var best Classification
+	for _, rule := range classRules {
+		for i, f := range t.Frames {
+			if f.Function != rule.symbol {
+				continue
+			}
+			if i < bestIdx {
+				bestIdx = i
+				conf := 1.0 - float64(i)/float64(len(t.Frames)+1)
+				best = Classification{
+					Cause: rule.cause, Origin: rule.origin,
+					KeySymbol: rule.symbol, Confidence: conf,
+				}
+			}
+			break
+		}
+	}
+	if best.KeySymbol == "" {
+		return Classification{Cause: faults.CauseUnknown, Origin: faults.ClassUnknown}
+	}
+	return best
+}
+
+// ParseTrace extracts the trace from consecutive rendered lines starting
+// after a "Call Trace:" header. It stops at the first non-frame line and
+// returns the trace together with the number of lines consumed
+// (including the header).
+func ParseTrace(lines []string) (Trace, int) {
+	if len(lines) == 0 || !strings.Contains(lines[0], "Call Trace:") {
+		return Trace{}, 0
+	}
+	var t Trace
+	n := 1
+	for n < len(lines) {
+		f, ok := ParseFrame(lines[n])
+		if !ok {
+			break
+		}
+		t.Frames = append(t.Frames, f)
+		n++
+	}
+	return t, n
+}

@@ -1,0 +1,210 @@
+package stacktrace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpcfail/internal/faults"
+	"hpcfail/internal/rng"
+)
+
+func TestFrameRenderParseRoundTrip(t *testing.T) {
+	f := Frame{Addr: 0xffffffff810a1b2c, Function: "dvs_ipc_mesg", Offset: 0x12c, Size: 0x340, Module: "dvsipc"}
+	line := f.Render()
+	if !strings.Contains(line, "dvs_ipc_mesg+0x12c/0x340 [dvsipc]") {
+		t.Fatalf("Render = %q", line)
+	}
+	back, ok := ParseFrame(line)
+	if !ok || back != f {
+		t.Fatalf("ParseFrame(%q) = %+v, %v", line, back, ok)
+	}
+	// Core-kernel symbol without module.
+	g := Frame{Addr: 1, Function: "schedule", Offset: 0, Size: 0x10}
+	back2, ok := ParseFrame(g.Render())
+	if !ok || back2 != g {
+		t.Fatalf("round trip without module failed: %+v", back2)
+	}
+}
+
+func TestParseFrameRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"", "hello", "[<zzzz>] fn+0x1/0x2", "[<12>] noplus",
+		"[<12>] fn+1/2", "[<12>] fn+0x1:0x2", "[<12",
+		"[<12>] +0x1/0x2",
+	}
+	for _, s := range bad {
+		if _, ok := ParseFrame(s); ok {
+			t.Errorf("ParseFrame(%q) accepted garbage", s)
+		}
+	}
+}
+
+func TestSynthesizeHasLeadFrames(t *testing.T) {
+	r := rng.New(1)
+	tr := Synthesize(faults.CauseOOM, r)
+	fns := strings.Join(tr.Functions(), " ")
+	if !strings.Contains(fns, "oom_kill_process") || !strings.Contains(fns, "out_of_memory") {
+		t.Errorf("OOM trace missing diagnostic frames: %v", fns)
+	}
+	if len(tr.Frames) < 4 {
+		t.Errorf("trace too shallow: %d frames", len(tr.Frames))
+	}
+	for _, f := range tr.Frames {
+		if f.Addr == 0 || f.Size == 0 || f.Offset >= f.Size {
+			t.Errorf("implausible frame %+v", f)
+		}
+	}
+}
+
+func TestSynthesizeUnknownCauseFallsBack(t *testing.T) {
+	tr := Synthesize(faults.Cause(99), rng.New(1))
+	if len(tr.Frames) == 0 {
+		t.Fatal("fallback trace empty")
+	}
+}
+
+func TestClassifyRoundTripAllCauses(t *testing.T) {
+	// Synthesize→Classify must recover the cause for every cause with a
+	// distinctive signature (CauseUnknown legitimately classifies as
+	// unknown).
+	r := rng.New(7)
+	for _, c := range faults.AllCauses() {
+		for trial := 0; trial < 20; trial++ {
+			tr := Synthesize(c, r)
+			got := Classify(tr)
+			want := c
+			if c == faults.CauseUnknown {
+				if got.Cause != faults.CauseUnknown {
+					t.Errorf("unknown trace classified as %v", got.Cause)
+				}
+				continue
+			}
+			if got.Cause != want {
+				t.Errorf("cause %v classified as %v (trace %v)", c, got.Cause, tr.Functions())
+			}
+			if got.Confidence <= 0 || got.Confidence > 1 {
+				t.Errorf("confidence out of range: %v", got.Confidence)
+			}
+		}
+	}
+}
+
+func TestClassifyTableIVApplicationOrigin(t *testing.T) {
+	// Table IV / Observation 7: dvs_ipc_mesg and ldlm_bl traces indicate
+	// application-triggered file-system failures.
+	tr := Trace{Frames: []Frame{fr("ldlm_bl_thread_main", "lustre"), fr("kthread", "")}}
+	got := Classify(tr)
+	if got.Cause != faults.CauseFilesystemBug || got.Origin != faults.ClassApplication {
+		t.Errorf("ldlm_bl trace: %+v", got)
+	}
+	tr2 := Trace{Frames: []Frame{fr("mce_log", ""), fr("panic", "")}}
+	got2 := Classify(tr2)
+	if got2.Cause != faults.CauseMCE || got2.Origin != faults.ClassHardware {
+		t.Errorf("mce trace: %+v", got2)
+	}
+}
+
+func TestClassifyPrefersEarliestFrame(t *testing.T) {
+	// An OOM symbol above a filesystem symbol should win (innermost
+	// frame decides, per the paper's "beginning of the stack traces").
+	tr := Trace{Frames: []Frame{
+		fr("oom_kill_process", ""),
+		fr("dvs_ipc_mesg", "dvsipc"),
+	}}
+	got := Classify(tr)
+	if got.Cause != faults.CauseOOM {
+		t.Errorf("expected OOM to win, got %v", got.Cause)
+	}
+}
+
+func TestClassifyEmptyTrace(t *testing.T) {
+	got := Classify(Trace{})
+	if got.Cause != faults.CauseUnknown || got.Confidence != 0 {
+		t.Errorf("empty trace: %+v", got)
+	}
+}
+
+func TestRenderParseTraceRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	tr := Synthesize(faults.CauseFilesystemBug, r)
+	lines := tr.Render()
+	if lines[0] != "Call Trace:" {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	back, n := ParseTrace(lines)
+	if n != len(lines) {
+		t.Fatalf("consumed %d of %d lines", n, len(lines))
+	}
+	if len(back.Frames) != len(tr.Frames) {
+		t.Fatalf("frame count %d != %d", len(back.Frames), len(tr.Frames))
+	}
+	for i := range back.Frames {
+		if back.Frames[i] != tr.Frames[i] {
+			t.Errorf("frame %d: %+v != %+v", i, back.Frames[i], tr.Frames[i])
+		}
+	}
+}
+
+func TestParseTraceStopsAtNonFrame(t *testing.T) {
+	lines := []string{
+		"Call Trace:",
+		Frame{Addr: 1, Function: "a", Size: 2}.Render(),
+		"some other log line",
+	}
+	tr, n := ParseTrace(lines)
+	if n != 2 || len(tr.Frames) != 1 {
+		t.Errorf("n=%d frames=%d", n, len(tr.Frames))
+	}
+	if _, n := ParseTrace([]string{"no header"}); n != 0 {
+		t.Error("ParseTrace should not consume without header")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := Trace{Frames: []Frame{
+		fr("oom_kill_process", ""),
+		fr("xpmem_fault_handler", "xpmem"),
+	}}
+	enc := tr.Encode()
+	if enc != "oom_kill_process|xpmem_fault_handler@xpmem" {
+		t.Fatalf("Encode = %q", enc)
+	}
+	back := Decode(enc)
+	if len(back.Frames) != 2 || back.Frames[1].Module != "xpmem" {
+		t.Fatalf("Decode = %+v", back)
+	}
+	if len(Decode("").Frames) != 0 {
+		t.Error("Decode of empty should be empty")
+	}
+}
+
+// Property: Encode/Decode preserves classification for synthesized
+// traces of any cause.
+func TestQuickEncodePreservesClassification(t *testing.T) {
+	f := func(seed uint64, rawCause uint8) bool {
+		c := faults.AllCauses()[int(rawCause)%len(faults.AllCauses())]
+		tr := Synthesize(c, rng.New(seed))
+		a := Classify(tr)
+		b := Classify(Decode(tr.Encode()))
+		return a.Cause == b.Cause && a.Origin == b.Origin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every rendered frame line re-parses.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(addr uint64, off, size uint16) bool {
+		if size == 0 {
+			size = 1
+		}
+		fm := Frame{Addr: addr, Function: "sym_x", Offset: uint32(off), Size: uint32(size), Module: "m"}
+		back, ok := ParseFrame(fm.Render())
+		return ok && back == fm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

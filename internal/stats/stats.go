@@ -1,0 +1,439 @@
+// Package stats is the statistical toolkit behind the measurement study:
+// descriptive statistics, empirical CDFs, histograms, mean-time-between-
+// failure estimation with error bars, correlation coefficients, bootstrap
+// confidence intervals, and classifier rates.
+//
+// The reproduction bands for this paper note that HPC log-mining lacks
+// canonical statistical tooling; this package is the reusable core a
+// downstream failure-analysis project would adopt. Everything is
+// stdlib-only and deterministic (bootstrap takes an explicit generator).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hpcfail/internal/rng"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// String renders "mean ± stddev (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3g ± %.2g (n=%d)", s.Mean, s.Stddev, s.N)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. The input need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from a sample (copied and sorted).
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns F(x) = P(X <= x), the fraction of the sample at or below x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile of the sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return quantileSorted(e.sorted, q)
+}
+
+// Points returns (x, F(x)) pairs at each distinct sample value, suitable
+// for plotting the CDF as a step series.
+func (e *ECDF) Points() (xs, fs []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; i++ {
+		if i+1 < n && e.sorted[i+1] == e.sorted[i] {
+			continue
+		}
+		xs = append(xs, e.sorted[i])
+		fs = append(fs, float64(i+1)/float64(n))
+	}
+	return xs, fs
+}
+
+// Histogram counts sample values into uniform-width bins over [lo, hi).
+// Values outside the range land in the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram bins xs into n uniform bins over [lo, hi). It panics if
+// n <= 0 or hi <= lo (programmer error).
+func NewHistogram(xs []float64, lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram spec")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// BinCenter returns the centre of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Total returns the total count.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// InterArrival converts sorted event timestamps into successive gaps.
+// Unsorted input is sorted first; fewer than two events yield nil.
+func InterArrival(ts []time.Time) []time.Duration {
+	if len(ts) < 2 {
+		return nil
+	}
+	sorted := make([]time.Time, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Before(sorted[j]) })
+	out := make([]time.Duration, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		out = append(out, sorted[i].Sub(sorted[i-1]))
+	}
+	return out
+}
+
+// MTBF summarises inter-arrival gaps of failure timestamps: the paper's
+// mean time between successive failures with a stddev error bar
+// (e.g. Fig 3: 1.5 ± 0.56 minutes for S1/W1).
+func MTBF(ts []time.Time) Summary {
+	gaps := InterArrival(ts)
+	xs := make([]float64, len(gaps))
+	for i, g := range gaps {
+		xs[i] = g.Minutes()
+	}
+	return Summarize(xs)
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples, or 0 if undefined (length < 2 or zero variance).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Phi returns the phi coefficient of association for a 2×2 contingency
+// table — the natural measure for "did an external fault co-occur with a
+// node failure". Cells: a = both, b = x only, c = y only, d = neither.
+// Returns 0 when any margin is empty.
+func Phi(a, b, c, d int) float64 {
+	af, bf, cf, df := float64(a), float64(b), float64(c), float64(d)
+	denom := math.Sqrt((af + bf) * (cf + df) * (af + cf) * (bf + df))
+	if denom == 0 {
+		return 0
+	}
+	return (af*df - bf*cf) / denom
+}
+
+// BootstrapMeanCI returns a two-sided percentile bootstrap confidence
+// interval for the mean at the given confidence level (e.g. 0.95), using
+// iters resamples drawn from r. An empty sample yields (0, 0).
+func BootstrapMeanCI(xs []float64, level float64, iters int, r *rng.Rand) (lo, hi float64) {
+	if len(xs) == 0 || iters <= 0 {
+		return 0, 0
+	}
+	means := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		sum := 0.0
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	alpha := (1 - level) / 2
+	return Quantile(means, alpha), Quantile(means, 1-alpha)
+}
+
+// Rates are binary-classifier quality measures, used for the Fig 14
+// false-positive analysis and for validating the diagnosis pipeline
+// against simulator ground truth.
+type Rates struct {
+	TP, FP, TN, FN int
+}
+
+// Precision returns TP / (TP + FP), or 0 when no positives predicted.
+func (r Rates) Precision() float64 {
+	if r.TP+r.FP == 0 {
+		return 0
+	}
+	return float64(r.TP) / float64(r.TP+r.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when there are no actual positives.
+func (r Rates) Recall() float64 {
+	if r.TP+r.FN == 0 {
+		return 0
+	}
+	return float64(r.TP) / float64(r.TP+r.FN)
+}
+
+// FalsePositiveRate returns FP / (TP + FP): of everything flagged, the
+// fraction that was wrong. This matches the paper's use in Fig 14
+// (false positives among raised correlations).
+func (r Rates) FalsePositiveRate() float64 {
+	if r.TP+r.FP == 0 {
+		return 0
+	}
+	return float64(r.FP) / float64(r.TP+r.FP)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (r Rates) F1() float64 {
+	p, q := r.Precision(), r.Recall()
+	if p+q == 0 {
+		return 0
+	}
+	return 2 * p * q / (p + q)
+}
+
+// String renders the confusion counts and derived rates.
+func (r Rates) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d precision=%.3f recall=%.3f fpr=%.3f",
+		r.TP, r.FP, r.TN, r.FN, r.Precision(), r.Recall(), r.FalsePositiveRate())
+}
+
+// ChiSquareGOF returns the chi-square goodness-of-fit statistic for
+// observed category counts against expected probabilities (which are
+// normalised internally). Categories with zero expected probability
+// must have zero observations, otherwise +Inf is returned.
+func ChiSquareGOF(observed []int, expectedProb []float64) float64 {
+	if len(observed) != len(expectedProb) || len(observed) == 0 {
+		return math.Inf(1)
+	}
+	n := 0
+	for _, o := range observed {
+		n += o
+	}
+	if n == 0 {
+		return 0
+	}
+	totalP := 0.0
+	for _, p := range expectedProb {
+		if p < 0 {
+			return math.Inf(1)
+		}
+		totalP += p
+	}
+	if totalP <= 0 {
+		return math.Inf(1)
+	}
+	stat := 0.0
+	for i, o := range observed {
+		e := float64(n) * expectedProb[i] / totalP
+		if e == 0 {
+			if o != 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	return stat
+}
+
+// chiSquareCrit99 holds the 99th-percentile chi-square critical values
+// for 1..20 degrees of freedom.
+var chiSquareCrit99 = []float64{
+	6.63, 9.21, 11.34, 13.28, 15.09, 16.81, 18.48, 20.09, 21.67, 23.21,
+	24.73, 26.22, 27.69, 29.14, 30.58, 32.00, 33.41, 34.81, 36.19, 37.57,
+}
+
+// ChiSquareFits reports whether the observed counts are consistent with
+// the expected probabilities at the 1 % significance level (i.e. the
+// statistic does not exceed the df = k-1 critical value). Degrees of
+// freedom beyond 20 use a normal approximation.
+func ChiSquareFits(observed []int, expectedProb []float64) bool {
+	stat := ChiSquareGOF(observed, expectedProb)
+	df := len(observed) - 1
+	if df < 1 {
+		return stat == 0
+	}
+	if df <= len(chiSquareCrit99) {
+		return stat <= chiSquareCrit99[df-1]
+	}
+	// Wilson-Hilferty approximation for large df.
+	z := 2.326 // 99th percentile of the standard normal
+	d := float64(df)
+	crit := d * math.Pow(1-2/(9*d)+z*math.Sqrt(2/(9*d)), 3)
+	return stat <= crit
+}
+
+// BucketByDay groups timestamps into UTC calendar days and returns the
+// per-day counts keyed by day start. Used for the "failures per day"
+// analyses (Figs 4, 10).
+func BucketByDay(ts []time.Time) map[time.Time]int {
+	out := make(map[time.Time]int)
+	for _, t := range ts {
+		day := t.UTC().Truncate(24 * time.Hour)
+		out[day]++
+	}
+	return out
+}
+
+// BucketByHour groups timestamps into hour-of-day (0..23) counts — the
+// Fig 9 view of warning frequency across the day.
+func BucketByHour(ts []time.Time) [24]int {
+	var out [24]int
+	for _, t := range ts {
+		out[t.UTC().Hour()]++
+	}
+	return out
+}
+
+// SortedDays returns the keys of a per-day bucket map in ascending order.
+func SortedDays(m map[time.Time]int) []time.Time {
+	out := make([]time.Time, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// FractionWithin returns the fraction of durations at or below the limit
+// — e.g. "92.3 % of node failures happen within 1–16 minutes of each
+// other" style statements.
+func FractionWithin(ds []time.Duration, limit time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range ds {
+		if d <= limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ds))
+}

@@ -1,0 +1,340 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpcfail/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almostEq(s.Mean, 5, 1e-9) {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if !almostEq(s.Stddev, 2.138, 0.001) {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEq(s.Median, 4.5, 1e-9) {
+		t.Errorf("median = %v", s.Median)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Error("empty sample should yield zero Summary")
+	}
+	if Summarize([]float64{3}).Stddev != 0 {
+		t.Error("single sample stddev should be 0")
+	}
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	xs, fs := e.Points()
+	if len(xs) != 3 || fs[len(fs)-1] != 1 {
+		t.Errorf("Points = %v %v", xs, fs)
+	}
+	if e.N() != 4 {
+		t.Error("N wrong")
+	}
+	if NewECDF(nil).At(5) != 0 {
+		t.Error("empty ECDF should be 0 everywhere")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{-1, 0, 0.5, 1.5, 2.5, 99}, 0, 3, 3)
+	want := []int{3, 1, 2} // -1 clamps to bin 0, 99 clamps to bin 2
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if !almostEq(h.BinCenter(0), 0.5, 1e-9) {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram spec did not panic")
+		}
+	}()
+	NewHistogram(nil, 1, 0, 3)
+}
+
+func TestInterArrivalAndMTBF(t *testing.T) {
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Deliberately unsorted.
+	ts := []time.Time{t0.Add(3 * time.Minute), t0, t0.Add(1 * time.Minute)}
+	gaps := InterArrival(ts)
+	if len(gaps) != 2 || gaps[0] != time.Minute || gaps[1] != 2*time.Minute {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	m := MTBF(ts)
+	if !almostEq(m.Mean, 1.5, 1e-9) {
+		t.Errorf("MTBF mean = %v", m.Mean)
+	}
+	if InterArrival(ts[:1]) != nil {
+		t.Error("single event should have no gaps")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-9) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-9) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if Pearson(xs, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Error("zero variance should give 0")
+	}
+	if Pearson(xs, ys[:3]) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+}
+
+func TestPhi(t *testing.T) {
+	// Perfect association.
+	if got := Phi(10, 0, 0, 10); !almostEq(got, 1, 1e-9) {
+		t.Errorf("phi perfect = %v", got)
+	}
+	// Independence: all cells equal.
+	if got := Phi(5, 5, 5, 5); !almostEq(got, 0, 1e-9) {
+		t.Errorf("phi independent = %v", got)
+	}
+	if Phi(0, 0, 5, 5) != 0 {
+		t.Error("empty margin should give 0")
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Norm(10, 2)
+	}
+	lo, hi := BootstrapMeanCI(xs, 0.95, 500, rng.New(2))
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("CI [%v, %v] should cover the true mean 10", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Errorf("CI too wide: [%v, %v]", lo, hi)
+	}
+	if l, h := BootstrapMeanCI(nil, 0.95, 100, rng.New(1)); l != 0 || h != 0 {
+		t.Error("empty sample CI should be (0,0)")
+	}
+}
+
+func TestRates(t *testing.T) {
+	r := Rates{TP: 9, FP: 3, TN: 80, FN: 1}
+	if !almostEq(r.Precision(), 0.75, 1e-9) {
+		t.Errorf("precision = %v", r.Precision())
+	}
+	if !almostEq(r.Recall(), 0.9, 1e-9) {
+		t.Errorf("recall = %v", r.Recall())
+	}
+	if !almostEq(r.FalsePositiveRate(), 0.25, 1e-9) {
+		t.Errorf("fpr = %v", r.FalsePositiveRate())
+	}
+	if r.F1() <= 0 || r.F1() > 1 {
+		t.Errorf("f1 = %v", r.F1())
+	}
+	var zero Rates
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.FalsePositiveRate() != 0 || zero.F1() != 0 {
+		t.Error("zero Rates should produce zero metrics")
+	}
+	if r.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestBucketByDayAndHour(t *testing.T) {
+	t0 := time.Date(2015, 6, 1, 10, 30, 0, 0, time.UTC)
+	ts := []time.Time{t0, t0.Add(time.Hour), t0.Add(25 * time.Hour)}
+	days := BucketByDay(ts)
+	if len(days) != 2 {
+		t.Fatalf("got %d days", len(days))
+	}
+	sorted := SortedDays(days)
+	if len(sorted) != 2 || !sorted[0].Before(sorted[1]) {
+		t.Error("SortedDays not ascending")
+	}
+	if days[sorted[0]] != 2 || days[sorted[1]] != 1 {
+		t.Errorf("day counts = %v", days)
+	}
+	hours := BucketByHour(ts)
+	if hours[10] != 1 || hours[11] != 2 {
+		t.Errorf("hour counts = %v", hours)
+	}
+}
+
+func TestFractionWithin(t *testing.T) {
+	ds := []time.Duration{time.Minute, 5 * time.Minute, time.Hour}
+	if got := FractionWithin(ds, 10*time.Minute); !almostEq(got, 2.0/3, 1e-9) {
+		t.Errorf("FractionWithin = %v", got)
+	}
+	if FractionWithin(nil, time.Minute) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestChiSquareGOF(t *testing.T) {
+	// Perfect fit: statistic 0.
+	if got := ChiSquareGOF([]int{50, 50}, []float64{0.5, 0.5}); got != 0 {
+		t.Errorf("perfect fit statistic = %v", got)
+	}
+	// Known value: observed 60/40 vs 50/50 -> (10^2/50)*2 = 4.
+	if got := ChiSquareGOF([]int{60, 40}, []float64{0.5, 0.5}); !almostEq(got, 4, 1e-9) {
+		t.Errorf("statistic = %v, want 4", got)
+	}
+	// Unnormalised probabilities behave the same.
+	if got := ChiSquareGOF([]int{60, 40}, []float64{5, 5}); !almostEq(got, 4, 1e-9) {
+		t.Errorf("unnormalised statistic = %v", got)
+	}
+	// Invalid shapes.
+	if got := ChiSquareGOF([]int{1}, []float64{0.5, 0.5}); !math.IsInf(got, 1) {
+		t.Error("mismatched lengths should be +Inf")
+	}
+	if got := ChiSquareGOF([]int{1, 0}, []float64{0, 1}); !math.IsInf(got, 1) {
+		t.Error("observation in zero-probability bucket should be +Inf")
+	}
+	if ChiSquareGOF([]int{0, 0}, []float64{0.5, 0.5}) != 0 {
+		t.Error("no observations should be 0")
+	}
+}
+
+func TestChiSquareFits(t *testing.T) {
+	// A true multinomial sample should fit its own distribution.
+	r := rng.New(5)
+	probs := []float64{0.5, 0.3, 0.2}
+	counts := make([]int, 3)
+	for i := 0; i < 5000; i++ {
+		counts[r.Categorical(probs)]++
+	}
+	if !ChiSquareFits(counts, probs) {
+		t.Errorf("true sample rejected: %v", counts)
+	}
+	// A grossly wrong distribution should be rejected.
+	if ChiSquareFits(counts, []float64{0.05, 0.05, 0.9}) {
+		t.Error("wrong distribution accepted")
+	}
+	// Large-df branch exercises the approximation.
+	bigProbs := make([]float64, 30)
+	bigCounts := make([]int, 30)
+	for i := range bigProbs {
+		bigProbs[i] = 1.0 / 30
+	}
+	for i := 0; i < 30000; i++ {
+		bigCounts[r.Categorical(bigProbs)]++
+	}
+	if !ChiSquareFits(bigCounts, bigProbs) {
+		t.Error("large-df true sample rejected")
+	}
+}
+
+// Property: ECDF is monotone non-decreasing and bounded in [0,1].
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Norm(0, 10)
+		}
+		e := NewECDF(xs)
+		prev := 0.0
+		for x := -30.0; x <= 30; x += 0.5 {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MTBF of an exponential process with mean m is ≈ m.
+func TestQuickMTBFEstimatesRate(t *testing.T) {
+	r := rng.New(99)
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	const meanMin = 7.0
+	ts := []time.Time{t0}
+	cur := t0
+	for i := 0; i < 5000; i++ {
+		cur = cur.Add(time.Duration(r.Exp(meanMin) * float64(time.Minute)))
+		ts = append(ts, cur)
+	}
+	m := MTBF(ts)
+	if !almostEq(m.Mean, meanMin, 0.5) {
+		t.Errorf("MTBF mean = %v, want ~%v", m.Mean, meanMin)
+	}
+}
+
+// Property: Pearson is symmetric and bounded.
+func TestQuickPearsonBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 30)
+		ys := make([]float64, 30)
+		for i := range xs {
+			xs[i] = r.Float64()
+			ys[i] = r.Float64()
+		}
+		p := Pearson(xs, ys)
+		q := Pearson(ys, xs)
+		return math.Abs(p) <= 1+1e-12 && almostEq(p, q, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package topology models the five HPC systems of the study (Table I of
+// the paper) as physical hierarchies of cabinets, chassis, blades and
+// nodes addressable by Cray component names.
+//
+// Four of the systems are Cray machines with the standard XC/XE geometry
+// (3 chassis per cabinet, 16 blade slots per chassis, 4 nodes per blade).
+// S5 is an institutional Infiniband cluster; the paper's blade/cabinet
+// correlation steps do not apply to it, but for uniform addressing we map
+// its racks onto the same naming scheme (a rack behaves like a cabinet)
+// — only node-level analyses are performed on S5, so the mapping is
+// purely an identifier choice.
+package topology
+
+import (
+	"fmt"
+
+	"hpcfail/internal/cname"
+)
+
+// SchedulerType identifies the workload manager of a system.
+type SchedulerType int
+
+const (
+	// SchedulerSlurm is the Slurm workload manager (S1, S3, S5).
+	SchedulerSlurm SchedulerType = iota
+	// SchedulerTorque is the Torque/PBS resource manager (S2, S4).
+	SchedulerTorque
+)
+
+// String returns the scheduler's conventional name.
+func (s SchedulerType) String() string {
+	switch s {
+	case SchedulerSlurm:
+		return "Slurm"
+	case SchedulerTorque:
+		return "Torque"
+	default:
+		return fmt.Sprintf("scheduler(%d)", int(s))
+	}
+}
+
+// Interconnect identifies the network fabric.
+type Interconnect int
+
+const (
+	// AriesDragonfly is the Cray Aries network in a dragonfly topology
+	// (XC30/XC40 systems).
+	AriesDragonfly Interconnect = iota
+	// GeminiTorus is the Cray Gemini network in a 3D torus (XK6/XE6 era).
+	GeminiTorus
+	// Infiniband is a commodity Infiniband fabric (institutional
+	// clusters).
+	Infiniband
+)
+
+// String returns the fabric name.
+func (ic Interconnect) String() string {
+	switch ic {
+	case AriesDragonfly:
+		return "Aries Dragonfly"
+	case GeminiTorus:
+		return "Gemini Torus"
+	case Infiniband:
+		return "Infiniband"
+	default:
+		return fmt.Sprintf("interconnect(%d)", int(ic))
+	}
+}
+
+// Spec describes one studied system, mirroring a row of Table I.
+type Spec struct {
+	// ID is the paper's system label: "S1" … "S5".
+	ID string
+	// Machine is the platform description, e.g. "Cray XC30".
+	Machine string
+	// Nodes is the compute-node count.
+	Nodes int
+	// CabinetCols is the number of cabinet columns in the floor layout;
+	// rows follow from the node count.
+	CabinetCols int
+	// Scheduler is the workload manager.
+	Scheduler SchedulerType
+	// Fabric is the interconnect.
+	Fabric Interconnect
+	// FileSystem names the parallel (or local) file system.
+	FileSystem string
+	// OS names the node operating system.
+	OS string
+	// Processors names the CPU generation(s).
+	Processors string
+	// HasGPUs reports GPU presence (only S5 in the study).
+	HasGPUs bool
+	// HasBurstBuffer reports burst-buffer presence (S3, S4).
+	HasBurstBuffer bool
+	// LogMonths is the duration of the analysed logs in months.
+	LogMonths int
+	// LogSizeGB is the raw log volume analysed by the paper, for
+	// documentation.
+	LogSizeGB float64
+	// Cray reports whether the platform has the HSS external log family
+	// (blade/cabinet controllers, ERD). S5 does not.
+	Cray bool
+}
+
+// CabinetCount returns the number of cabinets needed to house Nodes.
+func (s Spec) CabinetCount() int {
+	return (s.Nodes + cname.NodesPerCabinet - 1) / cname.NodesPerCabinet
+}
+
+// profiles holds the Table I systems. Node counts, durations and
+// configuration come straight from the paper; cabinet columns are chosen
+// to give plausible floor layouts.
+var profiles = []Spec{
+	{
+		ID: "S1", Machine: "Cray XC30", Nodes: 5600, CabinetCols: 6,
+		Scheduler: SchedulerSlurm, Fabric: AriesDragonfly,
+		FileSystem: "Lustre", OS: "SuSE", Processors: "IvyBridge",
+		LogMonths: 10, LogSizeGB: 37.3, Cray: true,
+	},
+	{
+		ID: "S2", Machine: "Cray XK6", Nodes: 6400, CabinetCols: 6,
+		Scheduler: SchedulerTorque, Fabric: GeminiTorus,
+		FileSystem: "Lustre", OS: "CLE", Processors: "IvyBridge",
+		LogMonths: 12, LogSizeGB: 150, Cray: true,
+	},
+	{
+		ID: "S3", Machine: "Cray XC40", Nodes: 2100, CabinetCols: 4,
+		Scheduler: SchedulerSlurm, Fabric: AriesDragonfly,
+		FileSystem: "Lustre", OS: "SuSE", Processors: "Haswell",
+		HasBurstBuffer: true, LogMonths: 8, LogSizeGB: 39.6, Cray: true,
+	},
+	{
+		ID: "S4", Machine: "Cray XC40/XC30", Nodes: 1872, CabinetCols: 4,
+		Scheduler: SchedulerTorque, Fabric: AriesDragonfly,
+		FileSystem: "Lustre", OS: "CLE", Processors: "Haswell/IvyBridge",
+		HasBurstBuffer: true, LogMonths: 10, LogSizeGB: 22.8, Cray: true,
+	},
+	{
+		ID: "S5", Machine: "Institutional", Nodes: 520, CabinetCols: 2,
+		Scheduler: SchedulerSlurm, Fabric: Infiniband,
+		FileSystem: "local", OS: "RedHat", Processors: "Haswell",
+		HasGPUs: true, LogMonths: 1, LogSizeGB: 3.1, Cray: false,
+	},
+}
+
+// Profiles returns the Table I system specs in order S1..S5. The slice
+// is a copy; callers may modify it freely.
+func Profiles() []Spec {
+	out := make([]Spec, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ProfileByID returns the spec with the given paper label ("S1".."S5").
+func ProfileByID(id string) (Spec, error) {
+	for _, p := range profiles {
+		if p.ID == id {
+			return p, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("topology: unknown system %q", id)
+}
+
+// Cluster is an instantiated system: the spec plus the enumerated node
+// population. Node identity is dense: node i has NID i and the cname
+// cname.FromNID(i, spec.CabinetCols).
+type Cluster struct {
+	spec   Spec
+	nodes  []cname.Name
+	byName map[cname.Name]int
+}
+
+// New instantiates the cluster for a spec. It panics if the spec is
+// degenerate (no nodes or no cabinet columns) since specs are
+// programmer-provided configuration.
+func New(spec Spec) *Cluster {
+	if spec.Nodes <= 0 || spec.CabinetCols <= 0 {
+		panic(fmt.Sprintf("topology: degenerate spec %+v", spec))
+	}
+	c := &Cluster{
+		spec:   spec,
+		nodes:  make([]cname.Name, spec.Nodes),
+		byName: make(map[cname.Name]int, spec.Nodes),
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		n := cname.FromNID(i, spec.CabinetCols)
+		c.nodes[i] = n
+		c.byName[n] = i
+	}
+	return c
+}
+
+// Spec returns the cluster's system spec.
+func (c *Cluster) Spec() Spec { return c.spec }
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns the cname of node nid. It panics on out-of-range nid.
+func (c *Cluster) Node(nid int) cname.Name {
+	return c.nodes[nid]
+}
+
+// NID returns the dense id of a node cname, or -1 if the node is not part
+// of this cluster.
+func (c *Cluster) NID(n cname.Name) int {
+	if i, ok := c.byName[n]; ok {
+		return i
+	}
+	return -1
+}
+
+// Nodes returns all node cnames in NID order. The returned slice is
+// shared; callers must not modify it.
+func (c *Cluster) Nodes() []cname.Name { return c.nodes }
+
+// Blades returns the distinct blades that contain at least one node, in
+// NID order.
+func (c *Cluster) Blades() []cname.Name {
+	var out []cname.Name
+	var last cname.Name
+	for _, n := range c.nodes {
+		b := n.BladeName()
+		if b != last {
+			out = append(out, b)
+			last = b
+		}
+	}
+	return out
+}
+
+// Cabinets returns the distinct cabinets that contain at least one node,
+// in NID order.
+func (c *Cluster) Cabinets() []cname.Name {
+	var out []cname.Name
+	var last cname.Name
+	for _, n := range c.nodes {
+		cb := n.CabinetName()
+		if cb != last {
+			out = append(out, cb)
+			last = cb
+		}
+	}
+	return out
+}
+
+// BladeNodes returns the nodes of the given blade that exist in this
+// cluster (the last blade of a partially populated system may hold fewer
+// than 4).
+func (c *Cluster) BladeNodes(blade cname.Name) []cname.Name {
+	var out []cname.Name
+	for i := 0; i < cname.NodesPerBlade; i++ {
+		n := cname.Node(blade.Col(), blade.Row(), blade.ChassisIndex(), blade.SlotIndex(), i)
+		if _, ok := c.byName[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the node is part of this cluster.
+func (c *Cluster) Contains(n cname.Name) bool {
+	_, ok := c.byName[n]
+	return ok
+}

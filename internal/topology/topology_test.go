@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpcfail/internal/cname"
+)
+
+func TestProfilesMatchTable1(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("got %d profiles, want 5", len(ps))
+	}
+	wantNodes := map[string]int{"S1": 5600, "S2": 6400, "S3": 2100, "S4": 1872, "S5": 520}
+	wantSched := map[string]SchedulerType{
+		"S1": SchedulerSlurm, "S2": SchedulerTorque, "S3": SchedulerSlurm,
+		"S4": SchedulerTorque, "S5": SchedulerSlurm,
+	}
+	for _, p := range ps {
+		if p.Nodes != wantNodes[p.ID] {
+			t.Errorf("%s nodes = %d, want %d", p.ID, p.Nodes, wantNodes[p.ID])
+		}
+		if p.Scheduler != wantSched[p.ID] {
+			t.Errorf("%s scheduler = %v, want %v", p.ID, p.Scheduler, wantSched[p.ID])
+		}
+	}
+	// Only S2 uses Gemini; only S5 is non-Cray with GPUs.
+	for _, p := range ps {
+		switch p.ID {
+		case "S2":
+			if p.Fabric != GeminiTorus {
+				t.Error("S2 should use Gemini Torus")
+			}
+		case "S5":
+			if p.Cray || !p.HasGPUs || p.Fabric != Infiniband {
+				t.Error("S5 should be non-Cray, GPU, Infiniband")
+			}
+		default:
+			if p.Fabric != AriesDragonfly || !p.Cray {
+				t.Errorf("%s should be Cray Aries", p.ID)
+			}
+		}
+	}
+	// Burst buffers on S3 and S4 only.
+	for _, p := range ps {
+		want := p.ID == "S3" || p.ID == "S4"
+		if p.HasBurstBuffer != want {
+			t.Errorf("%s burst buffer = %v, want %v", p.ID, p.HasBurstBuffer, want)
+		}
+	}
+}
+
+func TestProfileByID(t *testing.T) {
+	p, err := ProfileByID("S3")
+	if err != nil || p.ID != "S3" {
+		t.Fatalf("ProfileByID(S3) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByID("S9"); err == nil {
+		t.Error("ProfileByID should reject unknown ids")
+	}
+}
+
+func TestProfilesReturnsCopy(t *testing.T) {
+	ps := Profiles()
+	ps[0].Nodes = 1
+	ps2 := Profiles()
+	if ps2[0].Nodes == 1 {
+		t.Error("Profiles() leaked internal state")
+	}
+}
+
+func TestCabinetCount(t *testing.T) {
+	s := Spec{Nodes: 5600, CabinetCols: 6}
+	// 5600 / 192 = 29.17 -> 30 cabinets.
+	if got := s.CabinetCount(); got != 30 {
+		t.Errorf("CabinetCount = %d, want 30", got)
+	}
+	if got := (Spec{Nodes: 192}).CabinetCount(); got != 1 {
+		t.Errorf("full cabinet count = %d, want 1", got)
+	}
+}
+
+func TestClusterEnumeration(t *testing.T) {
+	spec, _ := ProfileByID("S5")
+	c := New(spec)
+	if c.NumNodes() != 520 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	seen := map[cname.Name]bool{}
+	for i := 0; i < c.NumNodes(); i++ {
+		n := c.Node(i)
+		if seen[n] {
+			t.Fatalf("duplicate node %v", n)
+		}
+		seen[n] = true
+		if c.NID(n) != i {
+			t.Fatalf("NID(%v) = %d, want %d", n, c.NID(n), i)
+		}
+		if !c.Contains(n) {
+			t.Fatalf("cluster should contain %v", n)
+		}
+	}
+	if c.NID(cname.Node(99, 99, 0, 0, 0)) != -1 {
+		t.Error("NID of foreign node should be -1")
+	}
+}
+
+func TestBladesAndCabinets(t *testing.T) {
+	c := New(Spec{ID: "T", Nodes: 200, CabinetCols: 2})
+	blades := c.Blades()
+	// 200 nodes = 50 blades exactly.
+	if len(blades) != 50 {
+		t.Fatalf("got %d blades, want 50", len(blades))
+	}
+	for _, b := range blades {
+		if b.Level() != cname.LevelBlade {
+			t.Fatalf("Blades() returned non-blade %v", b)
+		}
+	}
+	cabs := c.Cabinets()
+	// 200 nodes span 2 cabinets (192 + 8).
+	if len(cabs) != 2 {
+		t.Fatalf("got %d cabinets, want 2", len(cabs))
+	}
+}
+
+func TestBladeNodesPartialBlade(t *testing.T) {
+	// 198 nodes: last blade holds only 2 nodes.
+	c := New(Spec{ID: "T", Nodes: 198, CabinetCols: 2})
+	blades := c.Blades()
+	last := blades[len(blades)-1]
+	nodes := c.BladeNodes(last)
+	if len(nodes) != 2 {
+		t.Fatalf("last blade has %d nodes, want 2", len(nodes))
+	}
+	full := c.BladeNodes(blades[0])
+	if len(full) != 4 {
+		t.Fatalf("first blade has %d nodes, want 4", len(full))
+	}
+}
+
+func TestNewPanicsOnDegenerateSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero nodes did not panic")
+		}
+	}()
+	New(Spec{})
+}
+
+func TestStringers(t *testing.T) {
+	if SchedulerSlurm.String() != "Slurm" || SchedulerTorque.String() != "Torque" {
+		t.Error("scheduler names wrong")
+	}
+	if AriesDragonfly.String() != "Aries Dragonfly" || Infiniband.String() != "Infiniband" {
+		t.Error("fabric names wrong")
+	}
+	if SchedulerType(9).String() == "" || Interconnect(9).String() == "" {
+		t.Error("unknown enums should still stringify")
+	}
+}
+
+// Property: every node's blade is reported by Blades() exactly once and
+// BladeNodes inverts node→blade membership.
+func TestQuickBladeMembership(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)%3000 + 1
+		c := New(Spec{ID: "Q", Nodes: n, CabinetCols: 3})
+		count := 0
+		for _, b := range c.Blades() {
+			count += len(c.BladeNodes(b))
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

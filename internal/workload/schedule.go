@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/topology"
+)
+
+// Scheduler simulation. The generator produces a submission stream;
+// this file places it the way a space-sharing scheduler does: each job
+// waits until enough nodes are free, allocations never overlap, and
+// preference goes to nodes that free earliest (FCFS). Jobs whose queue
+// wait would exceed MaxQueueWait are dropped, modelling submission
+// back-pressure when the machine saturates.
+
+// MaxQueueWait bounds how long a simulated job may sit in the queue
+// before the submission is abandoned.
+const MaxQueueWait = 12 * time.Hour
+
+// scheduler tracks per-node availability.
+type scheduler struct {
+	cluster *topology.Cluster
+	// freeAt[i] is when node nid i next becomes free.
+	freeAt []time.Time
+}
+
+func newScheduler(cluster *topology.Cluster, epoch time.Time) *scheduler {
+	s := &scheduler{cluster: cluster, freeAt: make([]time.Time, cluster.NumNodes())}
+	for i := range s.freeAt {
+		s.freeAt[i] = epoch
+	}
+	return s
+}
+
+// place selects n nodes for a job submitted at submit with the given
+// runtime. It returns the start time and the allocation, or ok=false
+// when the queue wait would exceed MaxQueueWait. Nodes freeing earliest
+// win, with NID order as the tiebreak (which keeps allocations roughly
+// contiguous on an idle machine).
+func (s *scheduler) place(submit time.Time, n int, runtime time.Duration) (time.Time, []cname.Name, bool) {
+	if n > len(s.freeAt) {
+		n = len(s.freeAt)
+	}
+	type cand struct {
+		nid  int
+		free time.Time
+	}
+	cands := make([]cand, len(s.freeAt))
+	for i, f := range s.freeAt {
+		cands[i] = cand{i, f}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].free.Equal(cands[j].free) {
+			return cands[i].free.Before(cands[j].free)
+		}
+		return cands[i].nid < cands[j].nid
+	})
+	chosen := cands[:n]
+	start := submit
+	for _, c := range chosen {
+		if c.free.After(start) {
+			start = c.free
+		}
+	}
+	if start.Sub(submit) > MaxQueueWait {
+		return time.Time{}, nil, false
+	}
+	nodes := make([]cname.Name, n)
+	for i, c := range chosen {
+		nodes[i] = s.cluster.Node(c.nid)
+		s.freeAt[c.nid] = start.Add(runtime)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return cname.Compare(nodes[i], nodes[j]) < 0 })
+	return start, nodes, true
+}
+
+// utilizationAt returns the fraction of nodes busy at t (for tests and
+// capacity diagnostics).
+func (s *scheduler) utilizationAt(t time.Time) float64 {
+	busy := 0
+	for _, f := range s.freeAt {
+		if f.After(t) {
+			busy++
+		}
+	}
+	return float64(busy) / float64(len(s.freeAt))
+}

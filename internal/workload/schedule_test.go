@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/topology"
+)
+
+func schedCluster(nodes int) *topology.Cluster {
+	return topology.New(topology.Spec{ID: "T", Nodes: nodes, CabinetCols: 1})
+}
+
+func TestPlaceIdleMachineStartsImmediately(t *testing.T) {
+	c := schedCluster(16)
+	s := newScheduler(c, start)
+	at := start.Add(time.Hour)
+	got, nodes, ok := s.place(at, 4, time.Hour)
+	if !ok || !got.Equal(at) {
+		t.Fatalf("idle placement: %v %v", got, ok)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("allocation size %d", len(nodes))
+	}
+	// NID-ordered contiguous prefix on an idle machine.
+	for i, n := range nodes {
+		if c.NID(n) != i {
+			t.Errorf("node %d = %v (nid %d)", i, n, c.NID(n))
+		}
+	}
+}
+
+func TestPlaceQueuesWhenBusy(t *testing.T) {
+	c := schedCluster(4)
+	s := newScheduler(c, start)
+	// Fill the whole machine for 2 hours.
+	st1, _, ok := s.place(start, 4, 2*time.Hour)
+	if !ok || !st1.Equal(start) {
+		t.Fatal("first placement failed")
+	}
+	// Next job must wait for the machine to drain.
+	st2, _, ok := s.place(start.Add(10*time.Minute), 2, time.Hour)
+	if !ok {
+		t.Fatal("second placement dropped")
+	}
+	if !st2.Equal(start.Add(2 * time.Hour)) {
+		t.Errorf("queued start = %v, want %v", st2, start.Add(2*time.Hour))
+	}
+}
+
+func TestPlaceDropsBeyondMaxQueueWait(t *testing.T) {
+	c := schedCluster(2)
+	s := newScheduler(c, start)
+	if _, _, ok := s.place(start, 2, 2*MaxQueueWait); !ok {
+		t.Fatal("long job placement failed")
+	}
+	if _, _, ok := s.place(start.Add(time.Minute), 1, time.Hour); ok {
+		t.Error("placement should be dropped when wait exceeds MaxQueueWait")
+	}
+}
+
+func TestPlaceClampsOversizedRequest(t *testing.T) {
+	c := schedCluster(8)
+	s := newScheduler(c, start)
+	_, nodes, ok := s.place(start, 100, time.Hour)
+	if !ok || len(nodes) != 8 {
+		t.Errorf("oversized request: %d nodes, ok=%v", len(nodes), ok)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := schedCluster(10)
+	s := newScheduler(c, start)
+	s.place(start, 5, time.Hour)
+	if u := s.utilizationAt(start.Add(time.Minute)); u != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if u := s.utilizationAt(start.Add(2 * time.Hour)); u != 0 {
+		t.Errorf("post-drain utilization = %v", u)
+	}
+}
+
+// Property: generated allocations never overlap in (node, time).
+func TestQuickNoOverlappingAllocations(t *testing.T) {
+	cluster := schedCluster(64)
+	f := func(seed uint64) bool {
+		cfg := DefaultConfig()
+		cfg.MeanInterarrival = 5 * time.Minute
+		jobs := Generate(cluster, cfg, start, start.Add(24*time.Hour), 1, rng.New(seed))
+		type iv struct{ s, e time.Time }
+		perNode := map[cname.Name][]iv{}
+		for i := range jobs {
+			j := &jobs[i]
+			for _, n := range j.Nodes {
+				for _, other := range perNode[n] {
+					if j.Start.Before(other.e) && other.s.Before(j.End) {
+						return false
+					}
+				}
+				perNode[n] = append(perNode[n], iv{j.Start, j.End})
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateStartNeverBeforeSubmit(t *testing.T) {
+	cluster := schedCluster(32)
+	cfg := DefaultConfig()
+	cfg.MeanInterarrival = 2 * time.Minute // saturating load on 32 nodes
+	jobs := Generate(cluster, cfg, start, start.Add(24*time.Hour), 1, rng.New(3))
+	queued := 0
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Start.Before(j.Submit) {
+			t.Fatalf("job %d starts before submission", j.ID)
+		}
+		if j.Start.Sub(j.Submit) > MaxQueueWait {
+			t.Fatalf("job %d waited beyond MaxQueueWait", j.ID)
+		}
+		if j.Start.After(j.Submit) {
+			queued++
+		}
+	}
+	if queued == 0 {
+		t.Error("a saturating load should queue some jobs")
+	}
+}

@@ -1,0 +1,374 @@
+// Package workload models the job mix on the studied systems: job
+// arrival, node allocation, runtimes, exit dispositions, and the
+// scheduler-log events (Slurm or Torque) they produce.
+//
+// The paper's application analysis rests on a handful of job-level
+// behaviours this package reproduces:
+//
+//   - Most jobs succeed: 90.43–95.71 % complete with exit code 0, only
+//     0.06–6.02 % finish with non-zero exits (Fig 12), and of those many
+//     are configuration errors (wall-time/memory-limit kills, user
+//     kills) rather than node problems.
+//   - Jobs span multiple nodes, so one buggy application takes down
+//     spatially distant nodes at nearly the same instant (Observation 8).
+//   - Schedulers can overallocate memory relative to node capacity; a
+//     subset of the overallocated nodes then fail (Fig 17).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/topology"
+)
+
+// State is a job's final disposition.
+type State int
+
+const (
+	// StateCompleted: exit code 0.
+	StateCompleted State = iota
+	// StateFailed: non-zero exit from an application error.
+	StateFailed
+	// StateCancelled: user or interactive-session cancellation.
+	StateCancelled
+	// StateTimeout: killed at the wall-time limit.
+	StateTimeout
+	// StateNodeFail: aborted because an allocated node failed.
+	StateNodeFail
+	// StateOOM: killed for exceeding its memory limit.
+	StateOOM
+)
+
+var stateNames = [...]string{
+	"COMPLETED", "FAILED", "CANCELLED", "TIMEOUT", "NODE_FAIL", "OUT_OF_MEMORY",
+}
+
+// String returns the Slurm-style state label.
+func (s State) String() string {
+	if s >= 0 && int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ParseState inverts String.
+func ParseState(v string) (State, error) {
+	for i, n := range stateNames {
+		if n == v {
+			return State(i), nil
+		}
+	}
+	return StateCompleted, fmt.Errorf("workload: unknown job state %q", v)
+}
+
+// Successful reports whether the disposition is a clean completion.
+func (s State) Successful() bool { return s == StateCompleted }
+
+// ConfigError reports whether the disposition is a user/configuration
+// problem rather than a system fault (the Fig 12 "configuration errors"
+// slice: wall-time, memory limit, user kill).
+func (s State) ConfigError() bool {
+	return s == StateCancelled || s == StateTimeout || s == StateOOM
+}
+
+// Job is one scheduled job.
+type Job struct {
+	// ID is the scheduler job id.
+	ID int64
+	// App is the application executable name.
+	App string
+	// User is the submitting user.
+	User string
+	// Nodes is the allocation, in NID order.
+	Nodes []cname.Name
+	// Submit, Start and End bound the job's life.
+	Submit, Start, End time.Time
+	// State is the final disposition.
+	State State
+	// ExitCode is the process exit code (0 for success; schedulers
+	// report 137/143-style signal codes for kills).
+	ExitCode int
+	// ReqMemMB is the requested memory per node.
+	ReqMemMB int
+	// Overallocated marks jobs granted more memory than the node
+	// physically has (the Fig 17 scenario).
+	Overallocated bool
+}
+
+// Runtime returns the executed wall time.
+func (j *Job) Runtime() time.Duration { return j.End.Sub(j.Start) }
+
+// NodesString renders the allocation in the scheduler's compressed
+// node-list form (consecutive node indices fold into bracketed ranges,
+// as Slurm's NodeList does).
+func (j *Job) NodesString() string {
+	return cname.CompressNodeList(j.Nodes)
+}
+
+// ParseNodesString inverts NodesString; it also accepts plain
+// comma-separated cnames.
+func ParseNodesString(s string) ([]cname.Name, error) {
+	return cname.ExpandNodeList(strings.TrimSpace(s))
+}
+
+// AppProfile describes one application in the mix.
+type AppProfile struct {
+	// Name is the executable name.
+	Name string
+	// Weight is the relative submission frequency.
+	Weight float64
+	// MeanNodes is the typical allocation size.
+	MeanNodes int
+	// MemHungry applications drive the OOM/overallocation scenarios.
+	MemHungry bool
+}
+
+// DefaultApps returns a representative scientific application mix. Names
+// are generic stand-ins for the production codes the paper could not
+// disclose.
+func DefaultApps() []AppProfile {
+	return []AppProfile{
+		{Name: "cfd_solver", Weight: 3, MeanNodes: 64},
+		{Name: "md_engine", Weight: 3, MeanNodes: 32},
+		{Name: "climate_sim", Weight: 2, MeanNodes: 128},
+		{Name: "qcd_lattice", Weight: 1.5, MeanNodes: 256},
+		{Name: "genomics_pipe", Weight: 2, MeanNodes: 8, MemHungry: true},
+		{Name: "matlab_batch", Weight: 1, MeanNodes: 1, MemHungry: true},
+		{Name: "vis_render", Weight: 0.8, MeanNodes: 16},
+	}
+}
+
+// Config parameterises the job generator.
+type Config struct {
+	// MeanInterarrival is the mean time between job submissions.
+	MeanInterarrival time.Duration
+	// MeanRuntime is the mean job runtime (log-normal tailed).
+	MeanRuntime time.Duration
+	// Apps is the application mix; nil selects DefaultApps.
+	Apps []AppProfile
+	// Dispositions sets the non-success probabilities; fractions of all
+	// jobs. The remainder complete successfully.
+	PFailed, PCancelled, PTimeout, POOM float64
+	// NodeMemMB is the physical node memory; requests above it mark the
+	// job Overallocated.
+	NodeMemMB int
+	// POverallocate is the chance a memory-hungry job requests more
+	// memory than the node has.
+	POverallocate float64
+}
+
+// DefaultConfig returns rates matching the paper's Fig 12 envelope
+// (~93 % success, ~2 % failed, remainder config errors).
+func DefaultConfig() Config {
+	return Config{
+		MeanInterarrival: 4 * time.Minute,
+		MeanRuntime:      90 * time.Minute,
+		PFailed:          0.02,
+		PCancelled:       0.025,
+		PTimeout:         0.015,
+		POOM:             0.01,
+		NodeMemMB:        64 * 1024,
+		POverallocate:    0.04,
+	}
+}
+
+// Generate produces the job stream for [start, end) on the cluster.
+// Submissions arrive as a Poisson process and are placed by a
+// space-sharing FCFS scheduler: allocations never overlap, jobs wait
+// for free nodes, and submissions whose queue wait would exceed
+// MaxQueueWait are abandoned. Jobs are returned in submit order with
+// ascending IDs starting at firstID.
+func Generate(cluster *topology.Cluster, cfg Config, start, end time.Time, firstID int64, r *rng.Rand) []Job {
+	if cfg.Apps == nil {
+		cfg.Apps = DefaultApps()
+	}
+	weights := make([]float64, len(cfg.Apps))
+	for i, a := range cfg.Apps {
+		weights[i] = a.Weight
+	}
+	sched := newScheduler(cluster, start)
+	var jobs []Job
+	id := firstID
+	for t := start; t.Before(end); {
+		t = t.Add(time.Duration(r.Exp(float64(cfg.MeanInterarrival))))
+		if !t.Before(end) {
+			break
+		}
+		app := cfg.Apps[r.Categorical(weights)]
+		// Allocation size: log-normal around the app's mean, at least 1,
+		// at most the cluster.
+		nn := int(r.LogNormal(logMean(float64(app.MeanNodes)), 0.6))
+		if nn < 1 {
+			nn = 1
+		}
+		if nn > cluster.NumNodes() {
+			nn = cluster.NumNodes()
+		}
+		// Runtime.
+		rt := time.Duration(r.LogNormal(logMean(float64(cfg.MeanRuntime)), 0.8))
+		if rt < time.Minute {
+			rt = time.Minute
+		}
+		startAt, nodes, ok := sched.place(t, nn, rt)
+		if !ok {
+			continue // machine saturated; submission abandoned
+		}
+		j := Job{
+			ID:     id,
+			App:    app.Name,
+			User:   fmt.Sprintf("user%02d", r.Intn(40)),
+			Submit: t,
+			Start:  startAt,
+			End:    startAt.Add(rt),
+			Nodes:  nodes,
+		}
+		id++
+		// Disposition.
+		j.State, j.ExitCode = drawDisposition(cfg, r)
+		// Memory request.
+		j.ReqMemMB = 4*1024 + r.Intn(40*1024)
+		if app.MemHungry {
+			j.ReqMemMB = 32*1024 + r.Intn(64*1024)
+			if r.Bool(cfg.POverallocate) {
+				j.ReqMemMB = cfg.NodeMemMB + 8*1024 + r.Intn(32*1024)
+			}
+		}
+		j.Overallocated = j.ReqMemMB > cfg.NodeMemMB
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// logMean converts a desired log-normal scale into the underlying mu
+// (median parameterisation: exp(mu) = mean; the sigma²/2 mean correction
+// is deliberately ignored — the heavy tail, not the exact mean, is what
+// the workload needs).
+func logMean(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return math.Log(mean)
+}
+
+// drawDisposition assigns the final state and exit code.
+func drawDisposition(cfg Config, r *rng.Rand) (State, int) {
+	x := r.Float64()
+	switch {
+	case x < cfg.PFailed:
+		// Application error: small positive exit codes.
+		return StateFailed, 1 + r.Intn(125)
+	case x < cfg.PFailed+cfg.PCancelled:
+		return StateCancelled, 130 // SIGINT-style
+	case x < cfg.PFailed+cfg.PCancelled+cfg.PTimeout:
+		return StateTimeout, 143 // SIGTERM at the limit
+	case x < cfg.PFailed+cfg.PCancelled+cfg.PTimeout+cfg.POOM:
+		return StateOOM, 137 // SIGKILL by the OOM killer
+	default:
+		return StateCompleted, 0
+	}
+}
+
+// Event constructors — the scheduler-log record shapes.
+
+// StartEvent is the allocation/start record.
+func StartEvent(j *Job) events.Record {
+	r := events.Record{
+		Time:     j.Start,
+		Stream:   events.StreamScheduler,
+		Severity: events.SevInfo,
+		Category: "job_start",
+		JobID:    j.ID,
+		Msg:      fmt.Sprintf("job %d (%s) started for %s on %d nodes", j.ID, j.App, j.User, len(j.Nodes)),
+	}
+	r.SetField("app", j.App)
+	r.SetField("user", j.User)
+	r.SetField("nodes", j.NodesString())
+	r.SetField("req_mem_mb", fmt.Sprintf("%d", j.ReqMemMB))
+	return r
+}
+
+// EndEvent is the completion record carrying state and exit code.
+func EndEvent(j *Job) events.Record {
+	r := events.Record{
+		Time:     j.End,
+		Stream:   events.StreamScheduler,
+		Severity: endSeverity(j.State),
+		Category: "job_end",
+		JobID:    j.ID,
+		Msg: fmt.Sprintf("job %d (%s) ended state=%s exit=%d runtime=%s",
+			j.ID, j.App, j.State, j.ExitCode, j.Runtime().Round(time.Second)),
+	}
+	r.SetField("app", j.App)
+	r.SetField("state", j.State.String())
+	r.SetField("exit_code", fmt.Sprintf("%d", j.ExitCode))
+	r.SetField("nodes", j.NodesString())
+	return r
+}
+
+func endSeverity(s State) events.Severity {
+	switch s {
+	case StateCompleted:
+		return events.SevInfo
+	case StateNodeFail:
+		return events.SevError
+	default:
+		return events.SevWarning
+	}
+}
+
+// EpilogueEvent is the per-node cleanup record: the scheduler epilogue
+// removing user processes before reallocation (the paper notes epilogue
+// kills in the OOM stack traces).
+func EpilogueEvent(t time.Time, node cname.Name, jobID int64) events.Record {
+	return events.Record{
+		Time:      t,
+		Stream:    events.StreamScheduler,
+		Component: node,
+		Severity:  events.SevInfo,
+		Category:  "job_epilogue",
+		JobID:     jobID,
+		Msg:       fmt.Sprintf("epilogue: cleaning job %d processes on %s", jobID, node),
+	}
+}
+
+// JobsAt returns the jobs from the slice running at time t. Jobs are
+// half-open [Start, End).
+func JobsAt(jobs []Job, t time.Time) []*Job {
+	var out []*Job
+	for i := range jobs {
+		j := &jobs[i]
+		if !t.Before(j.Start) && t.Before(j.End) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// JobOnNode returns the job running on the node at time t, or nil.
+// Space-sharing is exclusive in the studied systems, so at most one job
+// holds a node at a time; the generator does not enforce this globally
+// (real logs overlap too), so the most recently started match wins.
+func JobOnNode(jobs []Job, node cname.Name, t time.Time) *Job {
+	var best *Job
+	for i := range jobs {
+		j := &jobs[i]
+		if t.Before(j.Start) || !t.Before(j.End) {
+			continue
+		}
+		for _, n := range j.Nodes {
+			if n == node {
+				if best == nil || j.Start.After(best.Start) {
+					best = j
+				}
+				break
+			}
+		}
+	}
+	return best
+}

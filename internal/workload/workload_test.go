@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/rng"
+	"hpcfail/internal/topology"
+)
+
+func testCluster() *topology.Cluster {
+	return topology.New(topology.Spec{ID: "T", Nodes: 400, CabinetCols: 2})
+}
+
+var (
+	start = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	end   = start.Add(3 * 24 * time.Hour)
+)
+
+func genJobs(t *testing.T, seed uint64) []Job {
+	t.Helper()
+	jobs := Generate(testCluster(), DefaultConfig(), start, end, 1000, rng.New(seed))
+	if len(jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	return jobs
+}
+
+func TestStateRoundTripAndPredicates(t *testing.T) {
+	for s := StateCompleted; s <= StateOOM; s++ {
+		got, err := ParseState(s.String())
+		if err != nil || got != s {
+			t.Errorf("state round trip %v: %v %v", s, got, err)
+		}
+	}
+	if _, err := ParseState("WEIRD"); err == nil {
+		t.Error("ParseState should reject unknown")
+	}
+	if !StateCompleted.Successful() || StateFailed.Successful() {
+		t.Error("Successful wrong")
+	}
+	for _, s := range []State{StateCancelled, StateTimeout, StateOOM} {
+		if !s.ConfigError() {
+			t.Errorf("%v should be config error", s)
+		}
+	}
+	if StateFailed.ConfigError() || StateNodeFail.ConfigError() {
+		t.Error("failed/node-fail are not config errors")
+	}
+	if State(99).String() == "" {
+		t.Error("unknown state should stringify")
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	jobs := genJobs(t, 1)
+	cluster := testCluster()
+	var lastID int64
+	for i := range jobs {
+		j := &jobs[i]
+		if j.ID <= lastID {
+			t.Fatalf("IDs not strictly ascending at %d", j.ID)
+		}
+		lastID = j.ID
+		if len(j.Nodes) == 0 || len(j.Nodes) > cluster.NumNodes() {
+			t.Fatalf("job %d allocation size %d", j.ID, len(j.Nodes))
+		}
+		for _, n := range j.Nodes {
+			if !cluster.Contains(n) {
+				t.Fatalf("job %d allocated foreign node %v", j.ID, n)
+			}
+		}
+		if !j.Start.After(j.Submit) && !j.Start.Equal(j.Submit) {
+			t.Fatalf("job %d starts before submit", j.ID)
+		}
+		if !j.End.After(j.Start) {
+			t.Fatalf("job %d non-positive runtime", j.ID)
+		}
+		if j.State == StateCompleted && j.ExitCode != 0 {
+			t.Fatalf("completed job %d has exit %d", j.ID, j.ExitCode)
+		}
+		if j.State == StateFailed && j.ExitCode == 0 {
+			t.Fatalf("failed job %d has exit 0", j.ID)
+		}
+		if j.Overallocated != (j.ReqMemMB > DefaultConfig().NodeMemMB) {
+			t.Fatalf("job %d overallocation flag inconsistent", j.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genJobs(t, 7)
+	b := genJobs(t, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].App != b[i].App || !a[i].Start.Equal(b[i].Start) ||
+			a[i].State != b[i].State || len(a[i].Nodes) != len(b[i].Nodes) {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSuccessRateMatchesFig12(t *testing.T) {
+	jobs := genJobs(t, 3)
+	success, failed := 0, 0
+	for _, j := range jobs {
+		switch {
+		case j.State.Successful():
+			success++
+		case j.State == StateFailed:
+			failed++
+		}
+	}
+	sRate := float64(success) / float64(len(jobs))
+	fRate := float64(failed) / float64(len(jobs))
+	// Fig 12 envelope: 90.43–95.71 % success, 0.06–6.02 % non-zero app
+	// exits. Allow the simulator a slightly wider band for small n.
+	if sRate < 0.88 || sRate > 0.97 {
+		t.Errorf("success rate %.3f outside Fig 12 envelope", sRate)
+	}
+	if fRate > 0.07 {
+		t.Errorf("failure rate %.3f above Fig 12 envelope", fRate)
+	}
+}
+
+func TestMemHungryOverallocation(t *testing.T) {
+	jobs := genJobs(t, 5)
+	over := 0
+	for _, j := range jobs {
+		if j.Overallocated {
+			over++
+			if j.ReqMemMB <= DefaultConfig().NodeMemMB {
+				t.Fatal("overallocated job within node memory")
+			}
+		}
+	}
+	if over == 0 {
+		t.Error("no overallocated jobs generated over 3 days")
+	}
+}
+
+func TestNodesStringRoundTrip(t *testing.T) {
+	jobs := genJobs(t, 9)
+	j := &jobs[0]
+	back, err := ParseNodesString(j.NodesString())
+	if err != nil {
+		t.Fatalf("ParseNodesString: %v", err)
+	}
+	if len(back) != len(j.Nodes) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range back {
+		if back[i] != j.Nodes[i] {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	if ns, err := ParseNodesString(""); err != nil || ns != nil {
+		t.Error("empty nodes string should parse to nil")
+	}
+	if _, err := ParseNodesString("c0-0,garbage"); err == nil {
+		t.Error("garbage should not parse")
+	}
+}
+
+func TestEventShapes(t *testing.T) {
+	jobs := genJobs(t, 11)
+	j := &jobs[0]
+	s := StartEvent(j)
+	if s.Stream != events.StreamScheduler || s.JobID != j.ID || s.Category != "job_start" {
+		t.Errorf("start event: %+v", s)
+	}
+	if s.Field("nodes") == "" || s.Field("app") != j.App {
+		t.Error("start event missing fields")
+	}
+	e := EndEvent(j)
+	if e.Category != "job_end" || e.Field("state") != j.State.String() {
+		t.Errorf("end event: %+v", e)
+	}
+	ep := EpilogueEvent(j.End, j.Nodes[0], j.ID)
+	if ep.Component != j.Nodes[0] || ep.Category != "job_epilogue" {
+		t.Errorf("epilogue event: %+v", ep)
+	}
+}
+
+func TestEndSeverities(t *testing.T) {
+	j := Job{ID: 1, State: StateCompleted, Start: start, End: start.Add(time.Hour)}
+	if EndEvent(&j).Severity != events.SevInfo {
+		t.Error("completed jobs end at info")
+	}
+	j.State = StateNodeFail
+	if EndEvent(&j).Severity != events.SevError {
+		t.Error("node-fail jobs end at error")
+	}
+	j.State = StateTimeout
+	if EndEvent(&j).Severity != events.SevWarning {
+		t.Error("timeout jobs end at warning")
+	}
+}
+
+func TestJobsAtAndJobOnNode(t *testing.T) {
+	jobs := genJobs(t, 13)
+	j := &jobs[len(jobs)/2]
+	mid := j.Start.Add(j.Runtime() / 2)
+	running := JobsAt(jobs, mid)
+	found := false
+	for _, r := range running {
+		if r.ID == j.ID {
+			found = true
+		}
+		if mid.Before(r.Start) || !mid.Before(r.End) {
+			t.Fatalf("JobsAt returned non-running job %d", r.ID)
+		}
+	}
+	if !found {
+		t.Fatal("JobsAt missed a running job")
+	}
+	got := JobOnNode(jobs, j.Nodes[0], mid)
+	if got == nil {
+		t.Fatal("JobOnNode found nothing")
+	}
+	// The returned job must actually hold the node at mid.
+	holds := false
+	for _, n := range got.Nodes {
+		if n == j.Nodes[0] {
+			holds = true
+		}
+	}
+	if !holds {
+		t.Error("JobOnNode returned a job not on the node")
+	}
+	// Before all jobs: nothing runs.
+	if JobOnNode(jobs, j.Nodes[0], start.Add(-time.Hour)) != nil {
+		t.Error("JobOnNode before time range should be nil")
+	}
+}
+
+func TestDefaultApps(t *testing.T) {
+	apps := DefaultApps()
+	if len(apps) < 5 {
+		t.Fatal("app mix too small")
+	}
+	hungry := 0
+	for _, a := range apps {
+		if a.Weight <= 0 || a.MeanNodes <= 0 || a.Name == "" {
+			t.Errorf("bad app profile %+v", a)
+		}
+		if a.MemHungry {
+			hungry++
+		}
+	}
+	if hungry == 0 {
+		t.Error("need at least one memory-hungry app for the OOM scenarios")
+	}
+}
+
+// Property: allocations never contain duplicates.
+func TestQuickAllocationsDistinct(t *testing.T) {
+	cluster := testCluster()
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		jobs := Generate(cluster, DefaultConfig(), start, start.Add(6*time.Hour), 1, r)
+		for _, j := range jobs {
+			seen := map[cname.Name]bool{}
+			for _, n := range j.Nodes {
+				if seen[n] {
+					return false
+				}
+				seen[n] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
