@@ -46,9 +46,12 @@ func runJSON(dir, sched string) error {
 	if sched == "torque" {
 		st = topology.SchedulerTorque
 	}
-	store, _, err := hpcfail.LoadLogs(dir, st)
+	store, rep, err := hpcfail.LoadLogsReport(dir, st)
 	if err != nil {
 		return err
+	}
+	for _, w := range rep.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
 	}
 	res := hpcfail.Diagnose(store)
 	enc := json.NewEncoder(os.Stdout)
@@ -64,6 +67,8 @@ func runJSON(dir, sched string) error {
 			JobID        int64     `json:"job_id,omitempty"`
 			KeySymbol    string    `json:"key_symbol,omitempty"`
 			Confidence   float64   `json:"confidence"`
+			Degraded     bool      `json:"degraded,omitempty"`
+			Note         string    `json:"note,omitempty"`
 			InternalLead float64   `json:"internal_lead_sec,omitempty"`
 			ExternalLead float64   `json:"external_lead_sec,omitempty"`
 		}{
@@ -71,6 +76,7 @@ func runJSON(dir, sched string) error {
 			Terminal: d.Detection.Terminal, Cause: d.Cause.String(),
 			Class: d.Class.String(), AppTriggered: d.AppTriggered,
 			JobID: d.JobID, KeySymbol: d.KeySymbol, Confidence: d.Confidence,
+			Degraded: d.Degraded, Note: d.Note,
 			InternalLead: lt.Internal.Seconds(), ExternalLead: lt.External.Seconds(),
 		}
 		if err := enc.Encode(out); err != nil {
@@ -90,25 +96,29 @@ func run(dir, sched string, full bool) error {
 	default:
 		return fmt.Errorf("unknown scheduler %q (want slurm or torque)", sched)
 	}
-	store, parseErrs, err := hpcfail.LoadLogs(dir, st)
+	store, rep, err := hpcfail.LoadLogsReport(dir, st)
 	if err != nil {
 		return err
 	}
-	for i, e := range parseErrs {
+	for i, w := range rep.Warnings() {
 		if i >= 5 {
-			fmt.Fprintf(os.Stderr, "... and %d more parse errors\n", len(parseErrs)-5)
+			fmt.Fprintf(os.Stderr, "... and %d more ingest warnings\n", len(rep.Warnings())-5)
 			break
 		}
-		fmt.Fprintln(os.Stderr, "warning:", e)
+		fmt.Fprintln(os.Stderr, "warning:", w)
 	}
 	first, last, ok := store.Span()
 	if !ok {
 		return fmt.Errorf("no records found under %s", dir)
 	}
-	fmt.Printf("loaded %d records spanning %s .. %s\n\n",
-		store.Len(), first.Format(time.RFC3339), last.Format(time.RFC3339))
+	fmt.Printf("loaded %d records spanning %s .. %s\n", store.Len(), first.Format(time.RFC3339), last.Format(time.RFC3339))
+	fmt.Println(rep.String())
 
 	res := hpcfail.Diagnose(store)
+	if res.Degradation.Degraded() {
+		fmt.Printf("DEGRADED: %s (confidence scaled by %.2f)\n", res.Degradation.Note(), res.Degradation.Factor())
+	}
+	fmt.Println()
 
 	tbl := report.NewTable("Detected node failures",
 		"time", "node", "terminal", "cause", "class", "app-triggered", "job", "int lead", "ext lead")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -54,5 +55,24 @@ func TestRunJSON(t *testing.T) {
 	dir := writeTestLogs(t)
 	if err := runJSON(dir, "slurm"); err != nil {
 		t.Fatalf("runJSON: %v", err)
+	}
+}
+
+func TestRunDiagnoseDegraded(t *testing.T) {
+	dir := writeTestLogs(t)
+	// Kill the external and scheduler voices; diagnosis must degrade, not die.
+	for _, f := range []string{"erd.log", "controller-bc.log", "controller-cc.log"} {
+		if err := os.Remove(filepath.Join(dir, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scheduler.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "slurm", false); err != nil {
+		t.Fatalf("degraded run: %v", err)
+	}
+	if err := runJSON(dir, "slurm"); err != nil {
+		t.Fatalf("degraded runJSON: %v", err)
 	}
 }

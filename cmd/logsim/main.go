@@ -32,6 +32,7 @@ func main() {
 		start   = flag.String("start", "2015-03-02", "simulation start date (YYYY-MM-DD)")
 		profile = flag.String("profile", "", "JSON profile file overriding -system (see -dump-profile)")
 		dump    = flag.Bool("dump-profile", false, "print the selected profile as JSON and exit")
+		chaos   = flag.String("chaos", "", `corrupt rendered logs, e.g. "mode=garble,intensity=0.2" or "drop=0.1,shuffle=0.3,seed=7"`)
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "logsim:", err)
 		os.Exit(1)
 	}
-	if err := run(*system, *profile, *days, *seed, *out, *nodes, *start); err != nil {
+	if err := run(*system, *profile, *days, *seed, *out, *nodes, *start, *chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "logsim:", err)
 		os.Exit(1)
 	}
@@ -80,7 +81,7 @@ func loadProfile(system, profilePath string, nodes int) (hpcfail.Profile, error)
 	return p, nil
 }
 
-func run(system, profilePath string, days int, seed uint64, out string, nodes int, startStr string) error {
+func run(system, profilePath string, days int, seed uint64, out string, nodes int, startStr, chaosSpec string) error {
 	p, err := loadProfile(system, profilePath, nodes)
 	if err != nil {
 		return err
@@ -95,7 +96,20 @@ func run(system, profilePath string, days int, seed uint64, out string, nodes in
 	if err != nil {
 		return err
 	}
-	if err := hpcfail.WriteLogs(out, scn); err != nil {
+	if chaosSpec != "" {
+		ccfg, err := hpcfail.ParseChaosSpec(chaosSpec)
+		if err != nil {
+			return fmt.Errorf("bad -chaos: %w", err)
+		}
+		if ccfg.Seed == 0 {
+			ccfg.Seed = seed
+		}
+		rep, err := hpcfail.WriteLogsChaos(out, scn, ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.String())
+	} else if err := hpcfail.WriteLogs(out, scn); err != nil {
 		return err
 	}
 	// Ground truth for validation.

@@ -10,7 +10,7 @@ import (
 
 func TestRunLogsim(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "out")
-	if err := run("S1", "", 1, 7, dir, 384, "2015-03-02"); err != nil {
+	if err := run("S1", "", 1, 7, dir, 384, "2015-03-02", ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"console.log", "scheduler.log", "erd.log", "ground-truth.csv"} {
@@ -29,10 +29,10 @@ func TestRunLogsim(t *testing.T) {
 }
 
 func TestRunLogsimErrors(t *testing.T) {
-	if err := run("S9", "", 1, 7, t.TempDir(), 0, "2015-03-02"); err == nil {
+	if err := run("S9", "", 1, 7, t.TempDir(), 0, "2015-03-02", ""); err == nil {
 		t.Error("unknown system should error")
 	}
-	if err := run("S1", "", 1, 7, t.TempDir(), 0, "not-a-date"); err == nil {
+	if err := run("S1", "", 1, 7, t.TempDir(), 0, "not-a-date", ""); err == nil {
 		t.Error("bad start date should error")
 	}
 }
@@ -59,10 +59,43 @@ func TestProfileJSONRoundTrip(t *testing.T) {
 		t.Errorf("profile round trip mismatch: %+v", q.Spec)
 	}
 	out := filepath.Join(t.TempDir(), "logs")
-	if err := run("", path, 1, 3, out, 0, "2015-03-02"); err != nil {
+	if err := run("", path, 1, 3, out, 0, "2015-03-02", ""); err != nil {
 		t.Fatalf("run with JSON profile: %v", err)
 	}
-	if err := run("", filepath.Join(t.TempDir(), "missing.json"), 1, 3, out, 0, "2015-03-02"); err == nil {
+	if err := run("", filepath.Join(t.TempDir(), "missing.json"), 1, 3, out, 0, "2015-03-02", ""); err == nil {
 		t.Error("missing profile file should error")
+	}
+}
+
+func TestRunLogsimChaos(t *testing.T) {
+	// Chaos corpora must be deterministic per seed and still ingestible.
+	dirA := filepath.Join(t.TempDir(), "a")
+	dirB := filepath.Join(t.TempDir(), "b")
+	for _, dir := range []string{dirA, dirB} {
+		if err := run("S1", "", 1, 7, dir, 384, "2015-03-02", "mode=garble,intensity=0.2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(filepath.Join(dirA, "console.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dirB, "console.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("chaos output differs across identical runs")
+	}
+	clean := filepath.Join(t.TempDir(), "clean")
+	if err := run("S1", "", 1, 7, clean, 384, "2015-03-02", ""); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := os.ReadFile(filepath.Join(clean, "console.log"))
+	if string(a) == string(c) {
+		t.Error("chaos output identical to clean render")
+	}
+	if err := run("S1", "", 1, 7, t.TempDir(), 0, "2015-03-02", "mode=bogus,intensity=2"); err == nil {
+		t.Error("bad chaos spec should error")
 	}
 }

@@ -5,6 +5,12 @@
 // production health monitor would take.
 //
 //	watch -logs ./logs -scheduler slurm
+//
+// The ingestion layer is damage-tolerant: unreadable or empty files are
+// skipped with a warning, malformed lines are quarantined, and the
+// replay reports what was lost. -chaos injects record-level faults into
+// the replay itself (shuffled delivery, drops, clock skew …) and
+// -reorder sizes the watcher's re-sequencing buffer that absorbs them.
 package main
 
 import (
@@ -20,29 +26,46 @@ import (
 
 func main() {
 	var (
-		logs   = flag.String("logs", "logs", "log directory")
-		sched  = flag.String("scheduler", "slurm", "scheduler dialect: slurm or torque")
-		alarms = flag.Bool("alarms", true, "emit early-warning alarms")
+		logs    = flag.String("logs", "logs", "log directory")
+		sched   = flag.String("scheduler", "slurm", "scheduler dialect: slurm or torque")
+		alarms  = flag.Bool("alarms", true, "emit early-warning alarms")
+		reorder = flag.Duration("reorder", 0, "reorder-buffer window (0 = feed in arrival order)")
+		chaos   = flag.String("chaos", "", `inject record-level faults into the replay, e.g. "mode=shuffle,intensity=0.2"`)
 	)
 	flag.Parse()
-	if err := run(*logs, *sched, *alarms); err != nil {
+	if err := run(*logs, *sched, *alarms, *reorder, *chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "watch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, sched string, wantAlarms bool) error {
+func run(dir, sched string, wantAlarms bool, reorder time.Duration, chaosSpec string) error {
 	st := topology.SchedulerSlurm
 	if sched == "torque" {
 		st = topology.SchedulerTorque
 	}
-	store, _, err := hpcfail.LoadLogs(dir, st)
+	store, rep, err := hpcfail.LoadLogsReport(dir, st)
 	if err != nil {
 		return err
+	}
+	for _, w := range rep.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
 	}
 	if store.Len() == 0 {
 		return fmt.Errorf("no records under %s", dir)
 	}
+
+	recs := store.All()
+	if chaosSpec != "" {
+		ccfg, err := hpcfail.ParseChaosSpec(chaosSpec)
+		if err != nil {
+			return fmt.Errorf("bad -chaos: %w", err)
+		}
+		inj := hpcfail.NewChaosInjector(ccfg)
+		recs = inj.CorruptRecords(recs)
+		fmt.Fprintln(os.Stderr, inj.Report.String())
+	}
+
 	detections, alarms := 0, 0
 	w := core.NewWatcher(core.DefaultConfig(), func(d core.Detection) {
 		detections++
@@ -52,6 +75,7 @@ func run(dir, sched string, wantAlarms bool) error {
 		}
 		fmt.Println()
 	})
+	w.ReorderWindow = reorder
 	if wantAlarms {
 		w.OnAlarm = func(a core.Alarm) {
 			alarms++
@@ -62,7 +86,15 @@ func run(dir, sched string, wantAlarms bool) error {
 			fmt.Printf("%s ALARM    %-12s precursor burst%s\n", a.Time.Format(time.RFC3339), a.Node, ext)
 		}
 	}
-	w.FeedAll(store.All())
-	fmt.Printf("\nreplayed %d records: %d alarms, %d confirmed failures\n", store.Len(), alarms, detections)
+	w.FeedAll(recs)
+
+	fmt.Printf("\nreplayed %d records: %d alarms, %d confirmed failures\n", len(recs), alarms, detections)
+	fmt.Println(rep.String())
+	ws := w.Stats()
+	fmt.Printf("watcher: %d out-of-order arrivals, %d state entries evicted\n", ws.Reordered, ws.Evicted)
+	if rep.Degraded() || len(rep.Missing) > 0 {
+		fmt.Printf("degraded ingest: %d files skipped, %d streams missing, %d lines quarantined\n",
+			len(rep.Skipped), len(rep.Missing), rep.TotalQuarantined())
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -33,13 +34,44 @@ func writeTestLogs(t *testing.T) string {
 
 func TestRunWatch(t *testing.T) {
 	dir := writeTestLogs(t)
-	if err := run(dir, "slurm", true); err != nil {
+	if err := run(dir, "slurm", true, 0, ""); err != nil {
 		t.Fatalf("run with alarms: %v", err)
 	}
-	if err := run(dir, "slurm", false); err != nil {
+	if err := run(dir, "slurm", false, 0, ""); err != nil {
 		t.Fatalf("run without alarms: %v", err)
 	}
-	if err := run(t.TempDir(), "slurm", true); err == nil {
+	if err := run(t.TempDir(), "slurm", true, 0, ""); err == nil {
 		t.Error("empty directory should error")
+	}
+}
+
+func TestRunWatchChaosReplay(t *testing.T) {
+	dir := writeTestLogs(t)
+	// Shuffled delivery absorbed by the reorder buffer.
+	if err := run(dir, "slurm", true, time.Hour, "mode=shuffle,intensity=0.5,seed=3"); err != nil {
+		t.Fatalf("chaos replay: %v", err)
+	}
+	// Every mode at 20% intensity must survive without error.
+	for _, mode := range []string{"drop", "truncate", "garble", "duplicate", "shuffle", "clockskew", "interleave"} {
+		if err := run(dir, "slurm", true, time.Minute, "mode="+mode+",intensity=0.2,seed=9"); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	if err := run(dir, "slurm", true, 0, "mode=nope,intensity=0.2"); err == nil {
+		t.Error("bad chaos spec should error")
+	}
+}
+
+func TestRunWatchSurvivesDamagedDir(t *testing.T) {
+	dir := writeTestLogs(t)
+	// Empty one stream, delete another: the replay must still run.
+	if err := os.WriteFile(filepath.Join(dir, "erd.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "controller-bc.log")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "slurm", true, 0, ""); err != nil {
+		t.Fatalf("damaged dir: %v", err)
 	}
 }

@@ -29,6 +29,7 @@ package hpcfail
 import (
 	"time"
 
+	"hpcfail/internal/chaos"
 	"hpcfail/internal/core"
 	"hpcfail/internal/events"
 	"hpcfail/internal/faults"
@@ -107,9 +108,52 @@ func WriteLogs(dir string, scn *Scenario) error {
 }
 
 // LoadLogs parses a log directory back into a store. Parse errors are
-// returned alongside the (partial) store.
+// returned alongside the (partial) store. Unreadable or empty files are
+// skipped, never fatal; use LoadLogsReport for the full ingest ledger.
 func LoadLogs(dir string, sched topology.SchedulerType) (*Store, []error, error) {
 	return logstore.LoadDir(dir, sched)
+}
+
+// IngestReport is the per-stream ingestion ledger LoadLogsReport
+// returns: records parsed, lines quarantined, out-of-order arrivals,
+// files skipped with warnings, streams missing.
+type IngestReport = logstore.IngestReport
+
+// LoadLogsReport parses a log directory into a (possibly partial) store
+// plus an IngestReport quantifying everything that was skipped,
+// quarantined or reordered. Ingestion degrades gracefully: one bad file
+// never aborts the load.
+func LoadLogsReport(dir string, sched topology.SchedulerType) (*Store, *IngestReport, error) {
+	return logstore.LoadDirReport(dir, sched)
+}
+
+// Chaos-harness surface: deterministic log fault injection for
+// robustness testing. See internal/chaos for the fault model.
+type (
+	// ChaosConfig selects corruption modes and intensities.
+	ChaosConfig = chaos.Config
+	// ChaosReport is the injector's ground-truth corruption ledger.
+	ChaosReport = chaos.Report
+	// ChaosInjector applies a ChaosConfig to lines or records.
+	ChaosInjector = chaos.Injector
+	// Degradation names the stream families a corpus is missing.
+	Degradation = core.Degradation
+)
+
+// ParseChaosSpec parses a -chaos flag value: either
+// "mode=<name>,intensity=<0..1>[,seed=N]" or explicit per-fault keys
+// ("drop=0.1,garble=0.05,seed=7").
+func ParseChaosSpec(spec string) (ChaosConfig, error) { return chaos.ParseSpec(spec) }
+
+// NewChaosInjector builds a deterministic fault injector: same config,
+// same input, same corruption — always.
+func NewChaosInjector(cfg ChaosConfig) *ChaosInjector { return chaos.New(cfg) }
+
+// WriteLogsChaos renders a scenario's logs like WriteLogs but corrupts
+// every stream at render time per cfg. The returned report is the
+// injected ground truth, for checking ingestion accounting against.
+func WriteLogsChaos(dir string, scn *Scenario, cfg ChaosConfig) (ChaosReport, error) {
+	return logstore.WriteDirChaos(dir, scn.Records, scn.Profile.Spec.Scheduler, cfg)
 }
 
 // DefaultPipelineConfig returns the evaluation's correlation windows.

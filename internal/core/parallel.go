@@ -29,11 +29,13 @@ func RunParallel(store *logstore.Store, cfg Config, workers int) *Result {
 	if workers > len(dets) {
 		workers = len(dets)
 	}
+	deg := AssessDegradation(store)
 	if workers <= 1 {
 		for i, d := range dets {
 			diags[i] = rc.Diagnose(d)
 		}
-		return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags}
+		applyDegradation(diags, deg)
+		return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}
 	}
 
 	var wg sync.WaitGroup
@@ -52,5 +54,6 @@ func RunParallel(store *logstore.Store, cfg Config, workers int) *Result {
 	}
 	close(next)
 	wg.Wait()
-	return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags}
+	applyDegradation(diags, deg)
+	return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}
 }

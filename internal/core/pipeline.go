@@ -22,6 +22,10 @@ type Result struct {
 	// Diagnoses carry per-failure root-cause verdicts, aligned with
 	// Detections.
 	Diagnoses []Diagnosis
+	// Degradation records which stream families the corpus was missing;
+	// when any are, every diagnosis carries lowered confidence and a
+	// note (the zero value means a complete corpus).
+	Degradation Degradation
 }
 
 // Run executes the full methodology over a store: detect failures,
@@ -35,7 +39,9 @@ func Run(store *logstore.Store, cfg Config) *Result {
 	for i, d := range dets {
 		diags[i] = rc.Diagnose(d)
 	}
-	return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags}
+	deg := AssessDegradation(store)
+	applyDegradation(diags, deg)
+	return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}
 }
 
 // CauseBreakdown tallies diagnoses per root cause — the Fig 15/16 view.

@@ -29,8 +29,13 @@ type Diagnosis struct {
 	// KeySymbol is the stack-trace symbol that drove the
 	// classification, when trace analysis was used.
 	KeySymbol string
-	// Confidence is a heuristic in (0, 1].
+	// Confidence is a heuristic in (0, 1]. Pipelines running on a
+	// degraded corpus (missing stream families) scale it down.
 	Confidence float64
+	// Degraded marks a verdict made from an incomplete corpus.
+	Degraded bool
+	// Note carries the degradation evidence note ("" when clean).
+	Note string
 	// InternalEvidence holds the precursor records that supported the
 	// verdict, time-ascending.
 	InternalEvidence []events.Record

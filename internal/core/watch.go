@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"time"
 
 	"hpcfail/internal/alps"
@@ -18,6 +19,17 @@ import (
 // per-node refractory merge; bursts of two distinct predictable
 // precursor categories raise alarms, optionally corroborated by
 // external indicators.
+//
+// Two production-hardening mechanisms keep a long-running watch healthy
+// on imperfect input:
+//
+//   - a bounded reorder buffer (ReorderWindow/ReorderLimit) absorbs
+//     out-of-order arrival — records are released in time order once
+//     the watermark has moved past them, so bursts still pair and
+//     refractory merges still collapse under shuffled delivery;
+//   - horizon-based eviction (EvictionHorizon) prunes per-node and
+//     per-apid state older than the horizon, so memory stays O(nodes
+//     active within the horizon) instead of O(all-time).
 type Watcher struct {
 	cfg Config
 	// OnDetection is invoked for each confirmed failure. Required.
@@ -26,6 +38,17 @@ type Watcher struct {
 	OnAlarm func(Alarm)
 	// BurstWindow groups precursor events (default 10 minutes).
 	BurstWindow time.Duration
+	// ReorderWindow, when positive, buffers arrivals and releases them
+	// in time order once the high-water mark has advanced past a
+	// record's time by this much. Zero (the default) feeds records
+	// through immediately, preserving strict arrival-order semantics.
+	ReorderWindow time.Duration
+	// ReorderLimit bounds the reorder buffer; when full, the oldest
+	// buffered record is released immediately (default 1024).
+	ReorderLimit int
+	// EvictionHorizon bounds per-node and per-apid state age (default
+	// 24h; set negative to disable eviction entirely).
+	EvictionHorizon time.Duration
 
 	lastTerminal map[cname.Name]time.Time
 	// recent precursor categories per node (pruned by BurstWindow).
@@ -37,6 +60,16 @@ type Watcher struct {
 	// apids accumulates the ALPS apid → job resolution as placement
 	// records stream in, so detections report scheduler job ids.
 	apids map[int64]int64
+	// apidSeen timestamps each apid's last use for eviction.
+	apidSeen map[int64]time.Time
+
+	buf recordHeap
+	// watermark is the maximum record time observed.
+	watermark time.Time
+	// lastEvict is the watermark at the previous eviction sweep.
+	lastEvict time.Time
+
+	stats WatcherStats
 }
 
 type watchEvent struct {
@@ -44,28 +77,130 @@ type watchEvent struct {
 	cat string
 }
 
+// WatcherStats counts the hardening mechanisms' activity.
+type WatcherStats struct {
+	// Fed is the total number of records consumed.
+	Fed int
+	// Reordered counts records that arrived behind the watermark (and
+	// were re-sequenced by the buffer when one is configured).
+	Reordered int
+	// Evicted counts state entries pruned by the horizon.
+	Evicted int
+	// Buffered is the current reorder-buffer occupancy.
+	Buffered int
+}
+
+// WatcherState reports current state-map sizes, for bounded-memory
+// assertions and operator stats.
+type WatcherState struct {
+	// Nodes is the number of distinct nodes with any retained state.
+	Nodes int
+	// Apids is the retained apid→job resolution count.
+	Apids int
+	// Buffered is the reorder-buffer occupancy.
+	Buffered int
+}
+
+// defaultEvictionHorizon keeps a day of per-node state — generous
+// against every correlation window while bounding a long-running watch.
+const defaultEvictionHorizon = 24 * time.Hour
+
 // NewWatcher constructs a watcher with the given pipeline windows.
 func NewWatcher(cfg Config, onDetection func(Detection)) *Watcher {
 	return &Watcher{
-		cfg:          cfg,
-		OnDetection:  onDetection,
-		BurstWindow:  10 * time.Minute,
-		lastTerminal: make(map[cname.Name]time.Time),
-		recent:       make(map[cname.Name][]watchEvent),
-		lastExternal: make(map[cname.Name]time.Time),
-		lastAlarm:    make(map[cname.Name]time.Time),
-		apids:        make(map[int64]int64),
+		cfg:             cfg,
+		OnDetection:     onDetection,
+		BurstWindow:     10 * time.Minute,
+		ReorderLimit:    1024,
+		EvictionHorizon: defaultEvictionHorizon,
+		lastTerminal:    make(map[cname.Name]time.Time),
+		recent:          make(map[cname.Name][]watchEvent),
+		lastExternal:    make(map[cname.Name]time.Time),
+		lastAlarm:       make(map[cname.Name]time.Time),
+		apids:           make(map[int64]int64),
+		apidSeen:        make(map[int64]time.Time),
 	}
 }
 
-// Feed processes one record. Records must arrive in non-decreasing time
-// order (per real log tailing); out-of-order records are still handled
-// but may miss burst pairings.
+// Stats returns the hardening counters.
+func (w *Watcher) Stats() WatcherStats {
+	s := w.stats
+	s.Buffered = len(w.buf)
+	return s
+}
+
+// StateSize reports current state-map sizes.
+func (w *Watcher) StateSize() WatcherState {
+	nodes := make(map[cname.Name]bool, len(w.lastTerminal))
+	for n := range w.lastTerminal {
+		nodes[n] = true
+	}
+	for n := range w.recent {
+		nodes[n] = true
+	}
+	for n := range w.lastExternal {
+		nodes[n] = true
+	}
+	for n := range w.lastAlarm {
+		nodes[n] = true
+	}
+	return WatcherState{Nodes: len(nodes), Apids: len(w.apids), Buffered: len(w.buf)}
+}
+
+// Feed processes one record. With ReorderWindow unset, records should
+// arrive in non-decreasing time order (per real log tailing); stragglers
+// are still handled but may miss burst pairings. With ReorderWindow set,
+// arrivals are buffered and re-sequenced before processing — call Flush
+// (or FeedAll, which flushes) to drain the tail.
 func (w *Watcher) Feed(r events.Record) {
+	w.stats.Fed++
+	if r.Time.Before(w.watermark) {
+		w.stats.Reordered++
+	}
+	if r.Time.After(w.watermark) {
+		w.watermark = r.Time
+	}
+	if w.ReorderWindow <= 0 {
+		w.process(r)
+		w.maybeEvict()
+		return
+	}
+	heap.Push(&w.buf, r)
+	limit := w.ReorderLimit
+	if limit <= 0 {
+		limit = 1024
+	}
+	release := w.watermark.Add(-w.ReorderWindow)
+	for len(w.buf) > 0 && (len(w.buf) > limit || !w.buf[0].Time.After(release)) {
+		w.process(heap.Pop(&w.buf).(events.Record))
+	}
+	w.maybeEvict()
+}
+
+// Flush drains the reorder buffer, processing everything still held, in
+// time order. Call at end of stream.
+func (w *Watcher) Flush() {
+	for len(w.buf) > 0 {
+		w.process(heap.Pop(&w.buf).(events.Record))
+	}
+}
+
+// FeedAll streams a batch through the watcher and flushes the reorder
+// buffer.
+func (w *Watcher) FeedAll(recs []events.Record) {
+	for i := range recs {
+		w.Feed(recs[i])
+	}
+	w.Flush()
+}
+
+// process applies the detection/alarm rules to one record, post-reorder.
+func (w *Watcher) process(r events.Record) {
 	// ALPS placements feed the online apid → job resolution.
 	if r.Stream == events.StreamALPS {
 		if apid := alps.Apid(&r); apid != 0 && r.JobID != 0 {
 			w.apids[apid] = r.JobID
+			w.apidSeen[apid] = r.Time
 		}
 		return
 	}
@@ -129,9 +264,62 @@ func (w *Watcher) Feed(r events.Record) {
 	})
 }
 
-// FeedAll streams a batch through the watcher in order.
-func (w *Watcher) FeedAll(recs []events.Record) {
-	for i := range recs {
-		w.Feed(recs[i])
+// maybeEvict prunes state older than the horizon. Sweeps run as the
+// watermark advances a quarter-horizon past the previous sweep, so the
+// amortised cost is O(1) per record.
+func (w *Watcher) maybeEvict() {
+	if w.EvictionHorizon <= 0 {
+		return
 	}
+	if w.watermark.Sub(w.lastEvict) < w.EvictionHorizon/4 {
+		return
+	}
+	w.lastEvict = w.watermark
+	cutoff := w.watermark.Add(-w.EvictionHorizon)
+	for n, t := range w.lastTerminal {
+		if t.Before(cutoff) {
+			delete(w.lastTerminal, n)
+			w.stats.Evicted++
+		}
+	}
+	for n, t := range w.lastExternal {
+		if t.Before(cutoff) {
+			delete(w.lastExternal, n)
+			w.stats.Evicted++
+		}
+	}
+	for n, t := range w.lastAlarm {
+		if t.Before(cutoff) {
+			delete(w.lastAlarm, n)
+			w.stats.Evicted++
+		}
+	}
+	for n, evs := range w.recent {
+		if len(evs) == 0 || evs[len(evs)-1].t.Before(cutoff) {
+			delete(w.recent, n)
+			w.stats.Evicted++
+		}
+	}
+	for apid, t := range w.apidSeen {
+		if t.Before(cutoff) {
+			delete(w.apidSeen, apid)
+			delete(w.apids, apid)
+			w.stats.Evicted++
+		}
+	}
+}
+
+// recordHeap is a min-heap on record time — the reorder buffer.
+type recordHeap []events.Record
+
+func (h recordHeap) Len() int            { return len(h) }
+func (h recordHeap) Less(i, j int) bool  { return h[i].Time.Before(h[j].Time) }
+func (h recordHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *recordHeap) Push(x interface{}) { *h = append(*h, x.(events.Record)) }
+func (h *recordHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }

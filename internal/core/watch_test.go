@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"hpcfail/internal/chaos"
+	"hpcfail/internal/cname"
 	"hpcfail/internal/events"
 )
 
@@ -104,5 +107,152 @@ func TestWatcherBurstWindowPruning(t *testing.T) {
 	w.Feed(consoleRec(unitStart.Add(11*time.Minute), nodeA, "mce", events.SevError))
 	if len(alarms) != 0 {
 		t.Errorf("distant events should not pair: %+v", alarms)
+	}
+}
+
+func TestWatcherReorderBufferMatchesBatchUnderShuffle(t *testing.T) {
+	_, store := buildScenario(t, 7, 307)
+	batch := Detect(store.All(), DefaultConfig())
+
+	inj := chaos.New(chaos.Config{Seed: 9, Shuffle: 1, ShuffleWindow: 8})
+	shuffled := inj.CorruptRecords(store.All())
+	if inj.Report.Shuffled == 0 {
+		t.Fatal("chaos shuffle did not move anything")
+	}
+
+	var streamed []Detection
+	w := NewWatcher(DefaultConfig(), func(d Detection) { streamed = append(streamed, d) })
+	w.ReorderWindow = time.Hour
+	w.ReorderLimit = len(shuffled)
+	w.FeedAll(shuffled)
+
+	if w.Stats().Reordered == 0 {
+		t.Error("watcher saw no out-of-order arrivals despite shuffle")
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("reordered watcher found %d failures, batch found %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i].Node != batch[i].Node || !streamed[i].Time.Equal(batch[i].Time) {
+			t.Fatalf("detection %d differs under shuffle: %+v vs %+v", i, streamed[i], batch[i])
+		}
+	}
+	if got, want := w.StateSize().Nodes, len(store.Nodes()); got > want {
+		t.Errorf("watcher retains %d nodes, store only has %d", got, want)
+	}
+}
+
+func TestWatcherReorderRestoresRefractoryMerge(t *testing.T) {
+	mk := func(offset time.Duration, cat string) events.Record {
+		return consoleRec(unitStart.Add(offset), nodeA, cat, events.SevCritical)
+	}
+	// Arrival order inverts time order: the 5s follow-up lands first.
+	arrivals := []events.Record{mk(5*time.Second, "node_shutdown"), mk(0, "kernel_panic")}
+
+	var plain []Detection
+	w := NewWatcher(DefaultConfig(), func(d Detection) { plain = append(plain, d) })
+	w.FeedAll(arrivals)
+	if len(plain) != 1 || !plain[0].Time.Equal(unitStart.Add(5*time.Second)) {
+		t.Fatalf("passthrough watcher detections = %+v", plain)
+	}
+
+	var buffered []Detection
+	w = NewWatcher(DefaultConfig(), func(d Detection) { buffered = append(buffered, d) })
+	w.ReorderWindow = 10 * time.Minute
+	w.FeedAll(arrivals)
+	if len(buffered) != 1 {
+		t.Fatalf("buffered watcher detections = %d, want 1", len(buffered))
+	}
+	// Re-sequenced, the merge anchors on the true first terminal event.
+	if !buffered[0].Time.Equal(unitStart) || buffered[0].Terminal != "kernel_panic" {
+		t.Errorf("buffered detection = %+v, want kernel_panic at t0", buffered[0])
+	}
+}
+
+func TestWatcherReorderRestoresBurstCorroboration(t *testing.T) {
+	// The external indicator is earliest in time but arrives last.
+	arrivals := []events.Record{
+		consoleRec(unitStart.Add(7*time.Minute), nodeA, "mce", events.SevError),
+		consoleRec(unitStart.Add(5*time.Minute), nodeA, "mem_err_correctable", events.SevWarning),
+		erdRec(unitStart, nodeA, "ec_hw_errors"),
+	}
+
+	var plain []Alarm
+	w := NewWatcher(DefaultConfig(), func(Detection) {})
+	w.OnAlarm = func(a Alarm) { plain = append(plain, a) }
+	w.FeedAll(arrivals)
+	if len(plain) != 1 || plain[0].HasExternal {
+		t.Fatalf("passthrough alarms = %+v, want one uncorroborated", plain)
+	}
+
+	var buffered []Alarm
+	w = NewWatcher(DefaultConfig(), func(Detection) {})
+	w.OnAlarm = func(a Alarm) { buffered = append(buffered, a) }
+	w.ReorderWindow = 15 * time.Minute
+	w.FeedAll(arrivals)
+	if len(buffered) != 1 {
+		t.Fatalf("buffered alarms = %d, want 1", len(buffered))
+	}
+	if !buffered[0].HasExternal {
+		t.Error("re-sequenced burst should see the earlier external indicator")
+	}
+}
+
+func TestWatcherEvictionBoundsState(t *testing.T) {
+	// A week of hourly terminal + precursor + external events, each hour
+	// on a node never seen again: unbounded state would grow to 168
+	// nodes, the 24h horizon must keep roughly a day's worth.
+	var recs []events.Record
+	for h := 0; h < 7*24; h++ {
+		node := cname.MustParse(fmt.Sprintf("c%d-0c0s0n0", h))
+		at := unitStart.Add(time.Duration(h) * time.Hour)
+		recs = append(recs,
+			erdRec(at, node, "ec_hw_errors"),
+			consoleRec(at.Add(time.Minute), node, "mce", events.SevError),
+			consoleRec(at.Add(2*time.Minute), node, "kernel_panic", events.SevCritical))
+	}
+
+	unbounded := NewWatcher(DefaultConfig(), func(Detection) {})
+	unbounded.OnAlarm = func(Alarm) {}
+	unbounded.EvictionHorizon = -1
+	unbounded.FeedAll(recs)
+	if got := unbounded.StateSize().Nodes; got != 7*24 {
+		t.Fatalf("unbounded watcher retains %d nodes, want %d", got, 7*24)
+	}
+
+	w := NewWatcher(DefaultConfig(), func(Detection) {})
+	w.OnAlarm = func(Alarm) {}
+	w.FeedAll(recs)
+	// Horizon 24h plus up to a quarter-horizon of sweep lag: at most
+	// ~31 hourly nodes may legitimately survive.
+	if got := w.StateSize().Nodes; got > 32 {
+		t.Errorf("evicting watcher retains %d nodes, want <= 32", got)
+	}
+	if got := w.Stats().Evicted; got < 100 {
+		t.Errorf("evicted = %d, want >= 100 over a week of one-shot nodes", got)
+	}
+	// Same detections either way: eviction never changes what is found.
+	var a, b int
+	wa := NewWatcher(DefaultConfig(), func(Detection) { a++ })
+	wa.EvictionHorizon = -1
+	wa.FeedAll(recs)
+	wb := NewWatcher(DefaultConfig(), func(Detection) { b++ })
+	wb.FeedAll(recs)
+	if a != b {
+		t.Errorf("eviction changed detection count: %d vs %d", b, a)
+	}
+}
+
+func TestWatcherApidEviction(t *testing.T) {
+	w := NewWatcher(DefaultConfig(), func(Detection) {})
+	for h := 0; h < 7*24; h++ {
+		r := events.Record{Time: unitStart.Add(time.Duration(h) * time.Hour),
+			Stream: events.StreamALPS, Category: "alps_launch", JobID: int64(1000 + h),
+			Msg: "launched"}
+		r.SetField("apid", fmt.Sprintf("%d", 5000+h))
+		w.Feed(r)
+	}
+	if got := w.StateSize().Apids; got > 32 {
+		t.Errorf("apid map retains %d entries after a week, want <= 32", got)
 	}
 }

@@ -1,0 +1,125 @@
+package experiments
+
+// extension-chaos-matrix: the robustness harness's headline study. The
+// same ground-truth scenario is rendered to text logs, damaged by every
+// chaos mode at increasing intensity, re-ingested through the
+// quarantining parser and scored against the simulator's planted
+// failures — measuring how gracefully the holistic pipeline degrades
+// under the paper's challenge #1 (noisy, incomplete production logs).
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/chaos"
+	"hpcfail/internal/core"
+	"hpcfail/internal/events"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/report"
+	"hpcfail/internal/topology"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "extension-chaos-matrix",
+		Title: "Chaos matrix: corruption mode × intensity vs pipeline quality",
+		Paper: "(extension) graceful degradation under injected log faults — challenge #1 quantified",
+		Run:   runChaosMatrix,
+	})
+}
+
+func runChaosMatrix(cfg Config) (*Result, error) {
+	scn, err := ablationScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched := topology.SchedulerSlurm
+	rendered := loggen.RenderAll(scn.Records, sched)
+
+	intensities := []float64{0.05, 0.2}
+	if cfg.Quick {
+		intensities = intensities[1:]
+	}
+
+	tbl := report.NewTable("Chaos matrix — corruption mode × intensity",
+		"mode", "intensity", "injected", "quarantined", "parsed", "streams lost",
+		"detections", "recall", "precision", "cause acc")
+
+	// score ingests one damaged corpus and matches detections to truth.
+	score := func(files map[string][]string, tolerance time.Duration) (parsed, quarantined, lost int, res *core.Result, recall, precision, causeAcc float64) {
+		var recs []events.Record
+		for _, stream := range loggen.AllStreams() {
+			lines, ok := files[loggen.FileName(stream)]
+			if !ok {
+				lost++
+				continue
+			}
+			got, srep := logparse.ParseLinesReport(stream, sched, lines)
+			recs = append(recs, got...)
+			parsed += srep.Parsed
+			quarantined += srep.Quarantined
+		}
+		res = core.Run(logstore.New(recs), core.DefaultConfig())
+		matched, causeHits := 0, 0
+		for _, f := range scn.Failures {
+			for _, d := range res.Diagnoses {
+				if d.Detection.Node == f.Node && absDur(d.Detection.Time.Sub(f.Time)) <= tolerance {
+					matched++
+					if d.Cause == f.Cause {
+						causeHits++
+					}
+					break
+				}
+			}
+		}
+		if n := len(scn.Failures); n > 0 {
+			recall = float64(matched) / float64(n)
+		}
+		if n := len(res.Detections); n > 0 {
+			precision = float64(matched) / float64(n)
+		}
+		if matched > 0 {
+			causeAcc = float64(causeHits) / float64(matched)
+		}
+		return
+	}
+
+	// Baseline row: the undamaged round trip.
+	parsed, quar, lost, _, recall, prec, cause := score(rendered, 30*time.Second)
+	tbl.AddRow("none", "-", 0, quar, parsed, lost, "-", pct(recall), pct(prec), pct(cause))
+	baseRecall := recall
+
+	var worst20 float64 = 1
+	for _, mode := range chaos.AllModes() {
+		for _, x := range intensities {
+			ccfg := chaos.ForMode(mode, x, cfg.Seed+13)
+			inj := chaos.New(ccfg)
+			files := inj.CorruptAll(rendered)
+			// Clock skew legitimately moves event (and so detection)
+			// timestamps: widen the truth-matching tolerance by the skew
+			// bound rather than penalising the pipeline for the fault.
+			tol := 30 * time.Second
+			if mode == chaos.ModeClockSkew {
+				tol += ccfg.MaxSkew
+			}
+			parsed, quar, lost, res, recall, prec, cause := score(files, tol)
+			tbl.AddRow(string(mode), fmt.Sprintf("%.0f%%", x*100),
+				inj.Report.Corruptions(), quar, parsed, lost,
+				len(res.Detections), pct(recall), pct(prec), pct(cause))
+			if x == 0.2 && recall < worst20 {
+				worst20 = recall
+			}
+		}
+	}
+
+	return &Result{ID: "extension-chaos-matrix", Title: "Chaos robustness matrix",
+		Tables: []*report.Table{tbl},
+		Notes: []string{
+			fmt.Sprintf("ground truth: %d planted failures over the scenario; clean round-trip recall %s", len(scn.Failures), pct(baseRecall)),
+			fmt.Sprintf("worst-case recall across all modes at 20%% intensity: %s (stream-loss can silence the internal logs entirely)", pct(worst20)),
+			"every cell ran to completion: corruption quarantines lines and lowers confidence, it never crashes the pipeline",
+			"fully deterministic: corruption derives from a per-stream seeded generator, so identical seeds reproduce every cell",
+		}}, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"hpcfail/internal/chaos"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/topology"
+)
+
+// TestChaosMatrixDeterministic re-runs the whole matrix and demands
+// byte-identical output — the acceptance criterion for the harness.
+func TestChaosMatrixDeterministic(t *testing.T) {
+	e, ok := ByID("extension-chaos-matrix")
+	if !ok {
+		t.Fatal("extension-chaos-matrix not registered")
+	}
+	a, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("chaos matrix not deterministic for a fixed seed")
+	}
+}
+
+// TestChaosAccountingReconciles checks the ingest ledger against the
+// injector's ground truth: under pure drop, every missing line is a
+// dropped line, none quarantined; under pure truncation, quarantines
+// never exceed the truncation count.
+func TestChaosAccountingReconciles(t *testing.T) {
+	scn, err := ablationScenario(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := topology.SchedulerSlurm
+	rendered := loggen.RenderAll(scn.Records, sched)
+	baseLines := 0
+	for _, lines := range rendered {
+		baseLines += len(lines)
+	}
+
+	dropInj := chaos.New(chaos.Config{Seed: 5, Drop: 0.2})
+	dropped := dropInj.CorruptAll(rendered)
+	gotLines, quarantined := 0, 0
+	for _, stream := range loggen.AllStreams() {
+		lines, ok := dropped[loggen.FileName(stream)]
+		if !ok {
+			t.Fatalf("drop-only chaos lost stream %s entirely", stream)
+		}
+		_, srep := logparse.ParseLinesReport(stream, sched, lines)
+		gotLines += srep.Lines
+		quarantined += srep.Quarantined
+	}
+	if quarantined != 0 {
+		t.Errorf("drop-only corpus quarantined %d lines, want 0", quarantined)
+	}
+	if baseLines-gotLines != dropInj.Report.Dropped {
+		t.Errorf("missing lines %d != injector's dropped %d", baseLines-gotLines, dropInj.Report.Dropped)
+	}
+
+	truncInj := chaos.New(chaos.Config{Seed: 5, Truncate: 0.2})
+	truncated := truncInj.CorruptAll(rendered)
+	quarantined = 0
+	for _, stream := range loggen.AllStreams() {
+		_, srep := logparse.ParseLinesReport(stream, sched, truncated[loggen.FileName(stream)])
+		quarantined += srep.Quarantined
+	}
+	if truncInj.Report.Truncated == 0 {
+		t.Fatal("truncation injected nothing")
+	}
+	if quarantined > truncInj.Report.Truncated {
+		t.Errorf("quarantined %d > truncated %d: parser rejected untouched lines",
+			quarantined, truncInj.Report.Truncated)
+	}
+}
+
+// TestChaosMatrixSurvivesAllModesAt20 is the robustness acceptance
+// check, independent of the table: every mode at 20% intensity parses
+// and diagnoses without error.
+func TestChaosMatrixSurvivesAllModesAt20(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix covered by TestEveryExperimentRuns")
+	}
+	scn, err := ablationScenario(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := topology.SchedulerSlurm
+	rendered := loggen.RenderAll(scn.Records, sched)
+	for _, mode := range chaos.AllModes() {
+		inj := chaos.New(chaos.ForMode(mode, 0.2, 99))
+		files := inj.CorruptAll(rendered)
+		for _, stream := range loggen.AllStreams() {
+			lines, ok := files[loggen.FileName(stream)]
+			if !ok {
+				continue
+			}
+			recs, srep := logparse.ParseLinesReport(stream, sched, lines)
+			if srep.Parsed != len(recs) {
+				t.Fatalf("mode %s stream %s: ledger parsed=%d, records=%d", mode, stream, srep.Parsed, len(recs))
+			}
+		}
+	}
+}

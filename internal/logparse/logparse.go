@@ -97,6 +97,62 @@ func truncate(s string, n int) string {
 	return s[:n] + "..."
 }
 
+// StreamReport accounts one stream's parse outcome — the per-stream
+// quarantine ledger the ingestion layer surfaces instead of failing on
+// malformed input. Counts plus a few samples, never a hard error.
+type StreamReport struct {
+	// Stream is the parsed stream.
+	Stream events.Stream
+	// Lines is the number of non-blank input lines.
+	Lines int
+	// Parsed is the number of records produced. For internal streams
+	// this is below Lines even on clean input: Call Trace continuation
+	// lines fold into their owning record.
+	Parsed int
+	// Quarantined is the number of lines rejected as malformed.
+	Quarantined int
+	// Reordered counts records whose timestamp precedes the previous
+	// record's — out-of-order arrival within the stream.
+	Reordered int
+	// Samples holds up to maxQuarantineSamples quarantined lines for
+	// operator triage.
+	Samples []string
+	// Errs retains the full ParseError list for callers that need it.
+	Errs []error
+}
+
+// maxQuarantineSamples bounds the raw lines retained per stream.
+const maxQuarantineSamples = 3
+
+// ParseLinesReport is ParseLines with per-stream error accounting: the
+// records that parsed plus a StreamReport quantifying what did not.
+func ParseLinesReport(stream events.Stream, sched topology.SchedulerType, lines []string) ([]events.Record, StreamReport) {
+	rep := StreamReport{Stream: stream}
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			rep.Lines++
+		}
+	}
+	recs, errs := ParseLines(stream, sched, lines)
+	rep.Parsed = len(recs)
+	rep.Quarantined = len(errs)
+	rep.Errs = errs
+	for _, e := range errs {
+		if len(rep.Samples) >= maxQuarantineSamples {
+			break
+		}
+		if pe, ok := e.(*ParseError); ok {
+			rep.Samples = append(rep.Samples, truncate(pe.Text, 120))
+		}
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			rep.Reordered++
+		}
+	}
+	return recs, rep
+}
+
 // ParseLines parses one stream's raw lines. The stream selects the
 // format; sched selects the scheduler dialect. Unparseable lines produce
 // ParseErrors and are skipped.

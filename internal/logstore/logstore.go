@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"hpcfail/internal/chaos"
 	"hpcfail/internal/cname"
 	"hpcfail/internal/events"
 	"hpcfail/internal/loggen"
@@ -162,11 +163,26 @@ func (s *Store) Span() (first, last time.Time, ok bool) {
 // WriteDir renders records into raw log files under dir, one file per
 // stream, using the scheduler dialect.
 func WriteDir(dir string, recs []events.Record, sched topology.SchedulerType) error {
+	grouped := loggen.RenderAll(recs, sched)
+	return writeFiles(dir, grouped)
+}
+
+// WriteDirChaos renders records like WriteDir but pushes every stream's
+// lines through a chaos injector first — the render-time fault path the
+// robustness harness uses to produce damaged corpora. The returned
+// report is the injected-corruption ground truth.
+func WriteDirChaos(dir string, recs []events.Record, sched topology.SchedulerType, cfg chaos.Config) (chaos.Report, error) {
+	grouped := loggen.RenderAll(recs, sched)
+	inj := chaos.New(cfg)
+	corrupted := inj.CorruptAll(grouped)
+	return inj.Report, writeFiles(dir, corrupted)
+}
+
+func writeFiles(dir string, files map[string][]string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("logstore: %w", err)
 	}
-	grouped := loggen.RenderAll(recs, sched)
-	for name, lines := range grouped {
+	for name, lines := range files {
 		path := filepath.Join(dir, name)
 		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			return fmt.Errorf("logstore: %w", err)
@@ -175,26 +191,150 @@ func WriteDir(dir string, recs []events.Record, sched topology.SchedulerType) er
 	return nil
 }
 
-// LoadDir ingests a directory previously produced by WriteDir (or by a
-// compatible external tool): each recognised file name is parsed with
-// its stream's format. Parse errors are returned alongside the store;
-// the store contains everything that did parse.
-func LoadDir(dir string, sched topology.SchedulerType) (*Store, []error, error) {
+// FileWarning records one ingestion problem that was survived rather
+// than fatal: an unreadable or empty log file skipped from the load.
+type FileWarning struct {
+	// File is the log file name (relative to the load directory).
+	File string
+	// Err describes why the file was skipped.
+	Err string
+}
+
+// String renders the warning for operator output.
+func (w FileWarning) String() string {
+	return fmt.Sprintf("logstore: skipped %s: %s", w.File, w.Err)
+}
+
+// IngestReport accounts a directory load: per-stream parse ledgers,
+// files skipped with warnings, and streams that were absent entirely.
+// It is the ingestion layer's answer to noisy, incomplete, partially
+// missing production logs — quantify the damage, never refuse the load.
+type IngestReport struct {
+	// Streams holds one parse ledger per file that was read, in
+	// loggen.AllStreams order.
+	Streams []logparse.StreamReport
+	// Skipped lists files that existed but could not be used
+	// (unreadable, empty); the load continued without them.
+	Skipped []FileWarning
+	// Missing names streams whose log file was absent from the
+	// directory (a normal condition for systems that lack the stream,
+	// but the pipeline's degraded-mode input).
+	Missing []string
+}
+
+// TotalParsed sums records parsed across streams.
+func (r *IngestReport) TotalParsed() int {
+	n := 0
+	for _, s := range r.Streams {
+		n += s.Parsed
+	}
+	return n
+}
+
+// TotalQuarantined sums malformed lines across streams.
+func (r *IngestReport) TotalQuarantined() int {
+	n := 0
+	for _, s := range r.Streams {
+		n += s.Quarantined
+	}
+	return n
+}
+
+// TotalReordered sums out-of-order arrivals across streams.
+func (r *IngestReport) TotalReordered() int {
+	n := 0
+	for _, s := range r.Streams {
+		n += s.Reordered
+	}
+	return n
+}
+
+// Degraded reports whether the load was anything less than clean.
+func (r *IngestReport) Degraded() bool {
+	return len(r.Skipped) > 0 || r.TotalQuarantined() > 0
+}
+
+// ParseErrors flattens every stream's retained errors, for callers of
+// the legacy LoadDir shape.
+func (r *IngestReport) ParseErrors() []error {
+	var out []error
+	for _, s := range r.Streams {
+		out = append(out, s.Errs...)
+	}
+	return out
+}
+
+// Warnings renders the report as operator-facing warning lines: skipped
+// files first, then per-stream quarantine summaries with samples.
+func (r *IngestReport) Warnings() []string {
+	var out []string
+	for _, w := range r.Skipped {
+		out = append(out, w.String())
+	}
+	for _, s := range r.Streams {
+		if s.Quarantined == 0 {
+			continue
+		}
+		msg := fmt.Sprintf("logstore: %s: quarantined %d of %d lines (%d parsed, %d reordered)",
+			s.Stream, s.Quarantined, s.Lines, s.Parsed, s.Reordered)
+		for _, sample := range s.Samples {
+			msg += fmt.Sprintf("\n  e.g. %q", sample)
+		}
+		out = append(out, msg)
+	}
+	return out
+}
+
+// String renders a one-line ingest summary.
+func (r *IngestReport) String() string {
+	return fmt.Sprintf("ingest: %d records parsed, %d lines quarantined, %d reordered, %d files skipped, %d streams missing",
+		r.TotalParsed(), r.TotalQuarantined(), r.TotalReordered(), len(r.Skipped), len(r.Missing))
+}
+
+// LoadDirReport ingests a directory previously produced by WriteDir (or
+// by a compatible external tool): each recognised file name is parsed
+// with its stream's format. Ingestion never hard-fails on a bad file —
+// unreadable or empty files are skipped with a warning in the report,
+// malformed lines are quarantined per stream, and the returned store
+// holds everything that did parse. The error is reserved for callers
+// passing a path that exists but is not a directory.
+func LoadDirReport(dir string, sched topology.SchedulerType) (*Store, *IngestReport, error) {
+	if fi, err := os.Stat(dir); err == nil && !fi.IsDir() {
+		return nil, nil, fmt.Errorf("logstore: %s is not a directory", dir)
+	}
 	var recs []events.Record
-	var parseErrs []error
+	rep := &IngestReport{}
 	for _, stream := range loggen.AllStreams() {
-		path := filepath.Join(dir, loggen.FileName(stream))
-		data, err := os.ReadFile(path)
+		name := loggen.FileName(stream)
+		data, err := os.ReadFile(filepath.Join(dir, name))
 		if os.IsNotExist(err) {
+			rep.Missing = append(rep.Missing, stream.String())
 			continue
 		}
 		if err != nil {
-			return nil, parseErrs, fmt.Errorf("logstore: %w", err)
+			rep.Skipped = append(rep.Skipped, FileWarning{File: name, Err: err.Error()})
+			continue
+		}
+		if strings.TrimSpace(string(data)) == "" {
+			rep.Skipped = append(rep.Skipped, FileWarning{File: name, Err: "empty file"})
+			continue
 		}
 		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
-		got, errs := logparse.ParseLines(stream, sched, lines)
+		got, srep := logparse.ParseLinesReport(stream, sched, lines)
 		recs = append(recs, got...)
-		parseErrs = append(parseErrs, errs...)
+		rep.Streams = append(rep.Streams, srep)
 	}
-	return New(recs), parseErrs, nil
+	return New(recs), rep, nil
+}
+
+// LoadDir is the legacy load shape: the store plus a flat parse-error
+// list. It survives unreadable and empty files the same way
+// LoadDirReport does; callers wanting the per-stream ledger and skip
+// warnings should use LoadDirReport.
+func LoadDir(dir string, sched topology.SchedulerType) (*Store, []error, error) {
+	store, rep, err := LoadDirReport(dir, sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, rep.ParseErrors(), nil
 }

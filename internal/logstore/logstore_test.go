@@ -1,13 +1,16 @@
 package logstore
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"hpcfail/internal/cname"
 	"hpcfail/internal/events"
 	"hpcfail/internal/faultsim"
+	"hpcfail/internal/logparse"
 	"hpcfail/internal/topology"
 )
 
@@ -184,6 +187,157 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// writeScenarioDir renders a small scenario to disk for ingest tests.
+func writeScenarioDir(t *testing.T) (string, int) {
+	t.Helper()
+	p, err := faultsim.DefaultProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec = topology.Spec{ID: "S1", Nodes: 192, CabinetCols: 2, Scheduler: topology.SchedulerSlurm, Cray: true}
+	p.Workload.MeanInterarrival = time.Hour
+	scn, err := faultsim.Generate(p, t0, t0.Add(24*time.Hour), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := WriteDir(dir, scn.Records, topology.SchedulerSlurm); err != nil {
+		t.Fatal(err)
+	}
+	return dir, len(scn.Records)
+}
+
+func TestLoadDirReportClean(t *testing.T) {
+	dir, want := writeScenarioDir(t)
+	store, rep, err := LoadDirReport(dir, topology.SchedulerSlurm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != want || rep.TotalParsed() != want {
+		t.Fatalf("parsed %d (report %d), want %d", store.Len(), rep.TotalParsed(), want)
+	}
+	if rep.Degraded() || rep.TotalQuarantined() != 0 || len(rep.Skipped) != 0 {
+		t.Fatalf("clean load reported degradation: %s", rep)
+	}
+	if rep.TotalReordered() != 0 {
+		t.Errorf("clean load reported %d reordered", rep.TotalReordered())
+	}
+}
+
+func TestLoadDirReportSkipsEmptyAndUnreadable(t *testing.T) {
+	dir, _ := writeScenarioDir(t)
+	// Empty out one file and make another unreadable.
+	if err := os.WriteFile(filepath.Join(dir, "erd.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(filepath.Join(dir, "console.log"), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chmod(filepath.Join(dir, "console.log"), 0o644) })
+	store, rep, err := LoadDirReport(dir, topology.SchedulerSlurm)
+	if err != nil {
+		t.Fatalf("load must survive bad files: %v", err)
+	}
+	if os.Getuid() == 0 {
+		// Root reads through file modes; only the empty-file skip fires.
+		if len(rep.Skipped) < 1 {
+			t.Fatalf("skipped = %+v, want at least the empty file", rep.Skipped)
+		}
+	} else if len(rep.Skipped) != 2 {
+		t.Fatalf("skipped = %+v, want empty + unreadable", rep.Skipped)
+	}
+	if store.Len() == 0 {
+		t.Error("partial store should retain the readable streams")
+	}
+	if !rep.Degraded() {
+		t.Error("skips must mark the load degraded")
+	}
+	if len(rep.Warnings()) == 0 {
+		t.Error("warnings should surface skipped files")
+	}
+}
+
+func TestLoadDirReportQuarantinesMalformedLines(t *testing.T) {
+	dir, _ := writeScenarioDir(t)
+	path := filepath.Join(dir, "messages.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := "not a log line at all\n@@@###\n" + string(data)
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, rep, err := LoadDirReport(dir, topology.SchedulerSlurm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalQuarantined() != 2 {
+		t.Fatalf("quarantined %d, want 2", rep.TotalQuarantined())
+	}
+	var msgs *logparse.StreamReport
+	for i := range rep.Streams {
+		if rep.Streams[i].Stream == events.StreamMessages {
+			msgs = &rep.Streams[i]
+		}
+	}
+	if msgs == nil || msgs.Quarantined != 2 || len(msgs.Samples) != 2 {
+		t.Fatalf("messages stream report = %+v", msgs)
+	}
+	if store.Len() == 0 {
+		t.Error("quarantine must not drop the parseable remainder")
+	}
+	if errs := rep.ParseErrors(); len(errs) != 2 {
+		t.Errorf("ParseErrors = %d, want 2", len(errs))
+	}
+}
+
+func TestLoadDirReportCountsReordered(t *testing.T) {
+	recs := []events.Record{
+		rec(1*time.Minute, "c0-0c0s1n0", "mce"),
+		rec(2*time.Minute, "c0-0c0s1n0", "mce"),
+		rec(3*time.Minute, "c0-0c0s1n0", "mce"),
+	}
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := WriteDir(dir, recs, topology.SchedulerSlurm); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "console.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	lines[0], lines[2] = lines[2], lines[0]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, rep, err := LoadDirReport(dir, topology.SchedulerSlurm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalReordered() == 0 {
+		t.Error("swapped lines should count as reordered")
+	}
+	// The store still sorts them.
+	if store.At(0).Time.After(store.At(1).Time) {
+		t.Error("store must re-sort out-of-order input")
+	}
+}
+
+func TestLoadDirReportNotADirectory(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadDirReport(f, topology.SchedulerSlurm); err == nil {
+		t.Error("loading a plain file as a directory should error")
+	}
 }
 
 // TestWindowQueriesMatchLinearScan checks the indexed queries against a
