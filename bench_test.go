@@ -13,6 +13,8 @@ package hpcfail
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -228,3 +230,103 @@ func BenchmarkWindowQuery(b *testing.B) {
 }
 
 func BenchmarkAblationPredictor(b *testing.B) { benchExperiment(b, "ablation-predictor") }
+
+// Sharded streaming-ingestion benchmarks. The regression gate compares
+// BenchmarkLoadDir (sequential, whole-corpus slurp) against
+// BenchmarkStreamLoadDir (chunked parallel parse into a ShardedStore):
+// at GOMAXPROCS >= 8 the streamed loader is expected to run >= 2x
+// faster with no increase in allocations per parsed line (divide
+// allocs/op by lines/op, or diff the two with benchstat — see README).
+// BENCH_pr2.json records a reference -benchtime=1x run.
+
+// benchCorpusDir renders a cluster-week to disk once and counts its
+// log lines for the per-line metrics.
+func benchCorpusDir(b *testing.B) (string, int) {
+	b.Helper()
+	scn := benchScenario(b)
+	dir := filepath.Join(b.TempDir(), "logs")
+	if err := logstore.WriteDir(dir, scn.Records, topology.SchedulerSlurm); err != nil {
+		b.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := 0
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lines += logparse.NewLineScanner(string(data)).CountLines()
+	}
+	return dir, lines
+}
+
+// BenchmarkLoadDir measures the sequential directory loader end to end
+// (read, parse, index).
+func BenchmarkLoadDir(b *testing.B) {
+	dir, lines := benchCorpusDir(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, _, err := logstore.LoadDirReport(dir, topology.SchedulerSlurm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if store.Len() == 0 {
+			b.Fatal("empty store")
+		}
+	}
+	b.ReportMetric(float64(lines), "lines/op")
+}
+
+// BenchmarkStreamLoadDir measures the sharded streaming loader on the
+// same corpus (bounded worker pool, per-shard indexing, background
+// merge). The timed region includes waiting for the merged view so the
+// comparison against BenchmarkLoadDir is end-to-end fair.
+func BenchmarkStreamLoadDir(b *testing.B) {
+	dir, lines := benchCorpusDir(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss, _, err := logstore.StreamLoadDir(dir, topology.SchedulerSlurm, logstore.StreamOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ss.Merged().Len() == 0 {
+			b.Fatal("empty store")
+		}
+	}
+	b.ReportMetric(float64(lines), "lines/op")
+}
+
+// BenchmarkShardedStoreBuild measures sharding + per-shard indexing +
+// k-way merge of an in-memory cluster-week (counterpart of
+// BenchmarkStoreBuild).
+func BenchmarkShardedStoreBuild(b *testing.B) {
+	scn := benchScenario(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss := logstore.NewShardedFromRecords(scn.Records, 0)
+		if ss.Merged().Len() == 0 {
+			b.Fatal("empty store")
+		}
+	}
+}
+
+// BenchmarkRunSharded measures the shard-consuming pipeline over a
+// sealed sharded store (compare with BenchmarkDiagnoseWeekParallel).
+func BenchmarkRunSharded(b *testing.B) {
+	scn := benchScenario(b)
+	ss := logstore.NewShardedFromRecords(scn.Records, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.RunSharded(ss, core.DefaultConfig(), 0)
+		if len(res.Detections) == 0 {
+			b.Fatal("no detections")
+		}
+	}
+}

@@ -5,12 +5,15 @@
 //
 // It prints every detected node failure with its inferred root cause,
 // job attribution and lead times, followed by summary breakdowns.
+// -stream switches ingestion to the sharded streaming loader (bounded
+// memory, parallel parse); output is identical either way.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,19 +23,34 @@ import (
 	"hpcfail/internal/topology"
 )
 
+// options carries the parsed command line.
+type options struct {
+	logs    string
+	sched   string
+	full    bool
+	stream  bool
+	workers int
+	shards  int
+}
+
 func main() {
 	var (
-		logs     = flag.String("logs", "logs", "log directory")
-		sched    = flag.String("scheduler", "slurm", "scheduler dialect: slurm or torque")
-		full     = flag.Bool("full", false, "print per-failure evidence")
-		jsonMode = flag.Bool("json", false, "emit one JSON object per diagnosis instead of tables")
+		o        options
+		jsonMode bool
 	)
+	flag.StringVar(&o.logs, "logs", "logs", "log directory")
+	flag.StringVar(&o.sched, "scheduler", "slurm", "scheduler dialect: slurm or torque")
+	flag.BoolVar(&o.full, "full", false, "print per-failure evidence")
+	flag.BoolVar(&jsonMode, "json", false, "emit one JSON object per diagnosis instead of tables")
+	flag.BoolVar(&o.stream, "stream", false, "use the sharded streaming loader (same output, bounded memory)")
+	flag.IntVar(&o.workers, "workers", 0, "streaming parse/diagnosis workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.shards, "shards", 0, "store shard count (0 = default)")
 	flag.Parse()
 	var err error
-	if *jsonMode {
-		err = runJSON(*logs, *sched)
+	if jsonMode {
+		err = runJSON(o, os.Stdout, os.Stderr)
 	} else {
-		err = run(*logs, *sched, *full)
+		err = run(o, os.Stdout, os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diagnose:", err)
@@ -40,21 +58,40 @@ func main() {
 	}
 }
 
+// load ingests the corpus via the loader the options select and runs
+// the matching pipeline. The streaming path produces identical results
+// to the sequential one — equivalence the test suite enforces.
+func load(o options, st topology.SchedulerType) (*hpcfail.Store, *hpcfail.IngestReport, *hpcfail.Result, error) {
+	if o.stream {
+		ss, rep, err := hpcfail.LoadLogsStream(o.logs, st,
+			hpcfail.StreamOptions{Workers: o.workers, Shards: o.shards})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		res := hpcfail.DiagnoseSharded(ss, o.workers)
+		return res.Store, rep, res, nil
+	}
+	store, rep, err := hpcfail.LoadLogsReport(o.logs, st)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return store, rep, hpcfail.Diagnose(store), nil
+}
+
 // runJSON emits machine-readable diagnoses, one JSON object per line.
-func runJSON(dir, sched string) error {
+func runJSON(o options, stdout, stderr io.Writer) error {
 	st := topology.SchedulerSlurm
-	if sched == "torque" {
+	if o.sched == "torque" {
 		st = topology.SchedulerTorque
 	}
-	store, rep, err := hpcfail.LoadLogsReport(dir, st)
+	_, rep, res, err := load(o, st)
 	if err != nil {
 		return err
 	}
 	for _, w := range rep.Warnings() {
-		fmt.Fprintln(os.Stderr, "warning:", w)
+		fmt.Fprintln(stderr, "warning:", w)
 	}
-	res := hpcfail.Diagnose(store)
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	for _, d := range res.Diagnoses {
 		lt := core.ComputeLeadTime(d)
 		out := struct {
@@ -86,39 +123,38 @@ func runJSON(dir, sched string) error {
 	return nil
 }
 
-func run(dir, sched string, full bool) error {
+func run(o options, stdout, stderr io.Writer) error {
 	var st topology.SchedulerType
-	switch sched {
+	switch o.sched {
 	case "slurm":
 		st = topology.SchedulerSlurm
 	case "torque":
 		st = topology.SchedulerTorque
 	default:
-		return fmt.Errorf("unknown scheduler %q (want slurm or torque)", sched)
+		return fmt.Errorf("unknown scheduler %q (want slurm or torque)", o.sched)
 	}
-	store, rep, err := hpcfail.LoadLogsReport(dir, st)
+	store, rep, res, err := load(o, st)
 	if err != nil {
 		return err
 	}
 	for i, w := range rep.Warnings() {
 		if i >= 5 {
-			fmt.Fprintf(os.Stderr, "... and %d more ingest warnings\n", len(rep.Warnings())-5)
+			fmt.Fprintf(stderr, "... and %d more ingest warnings\n", len(rep.Warnings())-5)
 			break
 		}
-		fmt.Fprintln(os.Stderr, "warning:", w)
+		fmt.Fprintln(stderr, "warning:", w)
 	}
 	first, last, ok := store.Span()
 	if !ok {
-		return fmt.Errorf("no records found under %s", dir)
+		return fmt.Errorf("no records found under %s", o.logs)
 	}
-	fmt.Printf("loaded %d records spanning %s .. %s\n", store.Len(), first.Format(time.RFC3339), last.Format(time.RFC3339))
-	fmt.Println(rep.String())
+	fmt.Fprintf(stdout, "loaded %d records spanning %s .. %s\n", store.Len(), first.Format(time.RFC3339), last.Format(time.RFC3339))
+	fmt.Fprintln(stdout, rep.String())
 
-	res := hpcfail.Diagnose(store)
 	if res.Degradation.Degraded() {
-		fmt.Printf("DEGRADED: %s (confidence scaled by %.2f)\n", res.Degradation.Note(), res.Degradation.Factor())
+		fmt.Fprintf(stdout, "DEGRADED: %s (confidence scaled by %.2f)\n", res.Degradation.Note(), res.Degradation.Factor())
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	tbl := report.NewTable("Detected node failures",
 		"time", "node", "terminal", "cause", "class", "app-triggered", "job", "int lead", "ext lead")
@@ -139,17 +175,17 @@ func run(dir, sched string, full bool) error {
 		tbl.AddRow(d.Detection.Time.Format("01-02 15:04:05"), d.Detection.Node.String(),
 			d.Detection.Terminal, d.Cause.String(), d.Class.String(), d.AppTriggered, job, intl, ext)
 	}
-	fmt.Print(tbl.String())
+	fmt.Fprint(stdout, tbl.String())
 
-	if full {
+	if o.full {
 		for _, d := range res.Diagnoses {
-			fmt.Printf("\n%s %s — %s (confidence %.2f, key symbol %q)\n",
+			fmt.Fprintf(stdout, "\n%s %s — %s (confidence %.2f, key symbol %q)\n",
 				d.Detection.Time.Format(time.RFC3339), d.Detection.Node, d.Cause, d.Confidence, d.KeySymbol)
 			for _, ev := range d.InternalEvidence {
-				fmt.Printf("  internal: %s\n", ev.String())
+				fmt.Fprintf(stdout, "  internal: %s\n", ev.String())
 			}
 			for _, ev := range d.ExternalIndicators {
-				fmt.Printf("  external: %s\n", ev.String())
+				fmt.Fprintf(stdout, "  external: %s\n", ev.String())
 			}
 		}
 	}
@@ -159,35 +195,35 @@ func run(dir, sched string, full bool) error {
 	for c, n := range res.CauseBreakdown() {
 		causes[c.String()] = float64(n)
 	}
-	fmt.Println()
-	fmt.Print(report.Bars("Root-cause breakdown", causes, "failures").String())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.Bars("Root-cause breakdown", causes, "failures").String())
 
 	classes := map[string]float64{}
 	for c, n := range res.ClassBreakdown() {
 		classes[c.String()] = float64(n)
 	}
-	fmt.Println()
-	fmt.Print(report.Bars("Layer breakdown", classes, "failures").String())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.Bars("Layer breakdown", classes, "failures").String())
 
 	sum := hpcfail.SummarizeLeadTimes(res.Diagnoses)
-	fmt.Printf("\nlead times: %d/%d failures enhanceable (%s), mean factor %.1fx\n",
+	fmt.Fprintf(stdout, "\nlead times: %d/%d failures enhanceable (%s), mean factor %.1fx\n",
 		sum.Enhanceable, sum.Total, report.Pct(sum.EnhanceableFraction()), sum.MeanFactor)
 
 	mtbf := res.MTBF()
 	if mtbf.N > 0 {
-		fmt.Printf("MTBF: %.1f ± %.1f minutes over %d gaps\n", mtbf.Mean, mtbf.Stddev, mtbf.N)
+		fmt.Fprintf(stdout, "MTBF: %.1f ± %.1f minutes over %d gaps\n", mtbf.Mean, mtbf.Stddev, mtbf.N)
 	}
 	if dt := res.DowntimeSummary(); dt.N > 0 {
-		fmt.Printf("downtime: %.0f ± %.0f minutes per failure (%d rebooted in window; %.0f node-minutes lost)\n",
+		fmt.Fprintf(stdout, "downtime: %.0f ± %.0f minutes per failure (%d rebooted in window; %.0f node-minutes lost)\n",
 			dt.Mean, dt.Stddev, dt.N, dt.Mean*float64(dt.N))
 	}
 
 	// Table VI: findings -> recommendations, derived from the measured
 	// behaviour of this log corpus.
 	if recs := core.Recommend(res); len(recs) > 0 {
-		fmt.Println("\nRecommendations (Table VI):")
+		fmt.Fprintln(stdout, "\nRecommendations (Table VI):")
 		for _, r := range recs {
-			fmt.Printf("  [%d] %s\n      -> %s\n", r.Severity, r.Finding, r.Action)
+			fmt.Fprintf(stdout, "  [%d] %s\n      -> %s\n", r.Severity, r.Finding, r.Action)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -32,28 +33,40 @@ func writeTestLogs(t *testing.T) string {
 	return dir
 }
 
+func opts(dir string) options { return options{logs: dir, sched: "slurm"} }
+
 func TestRunDiagnose(t *testing.T) {
 	dir := writeTestLogs(t)
-	if err := run(dir, "slurm", false); err != nil {
+	if err := run(opts(dir), io.Discard, io.Discard); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run(dir, "slurm", true); err != nil {
+	o := opts(dir)
+	o.full = true
+	if err := run(o, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run -full: %v", err)
+	}
+	o = opts(dir)
+	o.stream = true
+	o.workers = 3
+	if err := run(o, io.Discard, io.Discard); err != nil {
+		t.Fatalf("run -stream: %v", err)
 	}
 }
 
 func TestRunDiagnoseErrors(t *testing.T) {
-	if err := run(t.TempDir(), "slurm", false); err == nil {
+	if err := run(opts(t.TempDir()), io.Discard, io.Discard); err == nil {
 		t.Error("empty directory should error")
 	}
-	if err := run(writeTestLogs(t), "pbspro", false); err == nil {
+	o := opts(writeTestLogs(t))
+	o.sched = "pbspro"
+	if err := run(o, io.Discard, io.Discard); err == nil {
 		t.Error("unknown scheduler should error")
 	}
 }
 
 func TestRunJSON(t *testing.T) {
 	dir := writeTestLogs(t)
-	if err := runJSON(dir, "slurm"); err != nil {
+	if err := runJSON(opts(dir), io.Discard, io.Discard); err != nil {
 		t.Fatalf("runJSON: %v", err)
 	}
 }
@@ -69,10 +82,10 @@ func TestRunDiagnoseDegraded(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "scheduler.log"), nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "slurm", false); err != nil {
+	if err := run(opts(dir), io.Discard, io.Discard); err != nil {
 		t.Fatalf("degraded run: %v", err)
 	}
-	if err := runJSON(dir, "slurm"); err != nil {
+	if err := runJSON(opts(dir), io.Discard, io.Discard); err != nil {
 		t.Fatalf("degraded runJSON: %v", err)
 	}
 }

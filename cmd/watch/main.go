@@ -11,11 +11,14 @@
 // replay reports what was lost. -chaos injects record-level faults into
 // the replay itself (shuffled delivery, drops, clock skew …) and
 // -reorder sizes the watcher's re-sequencing buffer that absorbs them.
+// -stream ingests through the sharded streaming loader; the replayed
+// record sequence is identical either way.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,76 +27,104 @@ import (
 	"hpcfail/internal/topology"
 )
 
+// options carries the parsed command line.
+type options struct {
+	logs    string
+	sched   string
+	alarms  bool
+	reorder time.Duration
+	chaos   string
+	stream  bool
+	workers int
+	shards  int
+}
+
 func main() {
-	var (
-		logs    = flag.String("logs", "logs", "log directory")
-		sched   = flag.String("scheduler", "slurm", "scheduler dialect: slurm or torque")
-		alarms  = flag.Bool("alarms", true, "emit early-warning alarms")
-		reorder = flag.Duration("reorder", 0, "reorder-buffer window (0 = feed in arrival order)")
-		chaos   = flag.String("chaos", "", `inject record-level faults into the replay, e.g. "mode=shuffle,intensity=0.2"`)
-	)
+	var o options
+	flag.StringVar(&o.logs, "logs", "logs", "log directory")
+	flag.StringVar(&o.sched, "scheduler", "slurm", "scheduler dialect: slurm or torque")
+	flag.BoolVar(&o.alarms, "alarms", true, "emit early-warning alarms")
+	flag.DurationVar(&o.reorder, "reorder", 0, "reorder-buffer window (0 = feed in arrival order)")
+	flag.StringVar(&o.chaos, "chaos", "", `inject record-level faults into the replay, e.g. "mode=shuffle,intensity=0.2"`)
+	flag.BoolVar(&o.stream, "stream", false, "use the sharded streaming loader (same replay, bounded memory)")
+	flag.IntVar(&o.workers, "workers", 0, "streaming parse workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.shards, "shards", 0, "store shard count (0 = default)")
 	flag.Parse()
-	if err := run(*logs, *sched, *alarms, *reorder, *chaos); err != nil {
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "watch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, sched string, wantAlarms bool, reorder time.Duration, chaosSpec string) error {
+func run(o options, stdout, stderr io.Writer) error {
 	st := topology.SchedulerSlurm
-	if sched == "torque" {
+	if o.sched == "torque" {
 		st = topology.SchedulerTorque
 	}
-	store, rep, err := hpcfail.LoadLogsReport(dir, st)
+	var (
+		store *hpcfail.Store
+		rep   *hpcfail.IngestReport
+		err   error
+	)
+	if o.stream {
+		var ss *hpcfail.ShardedStore
+		ss, rep, err = hpcfail.LoadLogsStream(o.logs, st,
+			hpcfail.StreamOptions{Workers: o.workers, Shards: o.shards})
+		if err == nil {
+			store = ss.Merged()
+		}
+	} else {
+		store, rep, err = hpcfail.LoadLogsReport(o.logs, st)
+	}
 	if err != nil {
 		return err
 	}
 	for _, w := range rep.Warnings() {
-		fmt.Fprintln(os.Stderr, "warning:", w)
+		fmt.Fprintln(stderr, "warning:", w)
 	}
 	if store.Len() == 0 {
-		return fmt.Errorf("no records under %s", dir)
+		return fmt.Errorf("no records under %s", o.logs)
 	}
 
 	recs := store.All()
-	if chaosSpec != "" {
-		ccfg, err := hpcfail.ParseChaosSpec(chaosSpec)
+	if o.chaos != "" {
+		ccfg, err := hpcfail.ParseChaosSpec(o.chaos)
 		if err != nil {
 			return fmt.Errorf("bad -chaos: %w", err)
 		}
 		inj := hpcfail.NewChaosInjector(ccfg)
 		recs = inj.CorruptRecords(recs)
-		fmt.Fprintln(os.Stderr, inj.Report.String())
+		fmt.Fprintln(stderr, inj.Report.String())
 	}
 
 	detections, alarms := 0, 0
 	w := core.NewWatcher(core.DefaultConfig(), func(d core.Detection) {
 		detections++
-		fmt.Printf("%s FAILURE  %-12s terminal=%s", d.Time.Format(time.RFC3339), d.Node, d.Terminal)
+		fmt.Fprintf(stdout, "%s FAILURE  %-12s terminal=%s", d.Time.Format(time.RFC3339), d.Node, d.Terminal)
 		if d.JobID != 0 {
-			fmt.Printf(" job=%d", d.JobID)
+			fmt.Fprintf(stdout, " job=%d", d.JobID)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	})
-	w.ReorderWindow = reorder
-	if wantAlarms {
+	w.ReorderWindow = o.reorder
+	if o.alarms {
 		w.OnAlarm = func(a core.Alarm) {
 			alarms++
 			ext := ""
 			if a.HasExternal {
 				ext = " +external"
 			}
-			fmt.Printf("%s ALARM    %-12s precursor burst%s\n", a.Time.Format(time.RFC3339), a.Node, ext)
+			fmt.Fprintf(stdout, "%s ALARM    %-12s precursor burst%s\n", a.Time.Format(time.RFC3339), a.Node, ext)
 		}
 	}
 	w.FeedAll(recs)
 
-	fmt.Printf("\nreplayed %d records: %d alarms, %d confirmed failures\n", len(recs), alarms, detections)
-	fmt.Println(rep.String())
+	fmt.Fprintf(stdout, "\nreplayed %d records: %d alarms, %d confirmed failures\n", len(recs), alarms, detections)
+	fmt.Fprintln(stdout, rep.String())
 	ws := w.Stats()
-	fmt.Printf("watcher: %d out-of-order arrivals, %d state entries evicted\n", ws.Reordered, ws.Evicted)
+	fmt.Fprintf(stdout, "watcher: %d out-of-order arrivals, %d state entries evicted\n", ws.Reordered, ws.Evicted)
 	if rep.Degraded() || len(rep.Missing) > 0 {
-		fmt.Printf("degraded ingest: %d files skipped, %d streams missing, %d lines quarantined\n",
+		fmt.Fprintf(stdout, "degraded ingest: %d files skipped, %d streams missing, %d lines quarantined\n",
 			len(rep.Skipped), len(rep.Missing), rep.TotalQuarantined())
 	}
 	return nil

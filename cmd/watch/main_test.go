@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -32,15 +33,27 @@ func writeTestLogs(t *testing.T) string {
 	return dir
 }
 
+func watchOpts(dir string) options {
+	return options{logs: dir, sched: "slurm", alarms: true}
+}
+
 func TestRunWatch(t *testing.T) {
 	dir := writeTestLogs(t)
-	if err := run(dir, "slurm", true, 0, ""); err != nil {
+	if err := run(watchOpts(dir), io.Discard, io.Discard); err != nil {
 		t.Fatalf("run with alarms: %v", err)
 	}
-	if err := run(dir, "slurm", false, 0, ""); err != nil {
+	o := watchOpts(dir)
+	o.alarms = false
+	if err := run(o, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run without alarms: %v", err)
 	}
-	if err := run(t.TempDir(), "slurm", true, 0, ""); err == nil {
+	o = watchOpts(dir)
+	o.stream = true
+	o.workers = 2
+	if err := run(o, io.Discard, io.Discard); err != nil {
+		t.Fatalf("run -stream: %v", err)
+	}
+	if err := run(watchOpts(t.TempDir()), io.Discard, io.Discard); err == nil {
 		t.Error("empty directory should error")
 	}
 }
@@ -48,16 +61,24 @@ func TestRunWatch(t *testing.T) {
 func TestRunWatchChaosReplay(t *testing.T) {
 	dir := writeTestLogs(t)
 	// Shuffled delivery absorbed by the reorder buffer.
-	if err := run(dir, "slurm", true, time.Hour, "mode=shuffle,intensity=0.5,seed=3"); err != nil {
+	o := watchOpts(dir)
+	o.reorder = time.Hour
+	o.chaos = "mode=shuffle,intensity=0.5,seed=3"
+	if err := run(o, io.Discard, io.Discard); err != nil {
 		t.Fatalf("chaos replay: %v", err)
 	}
 	// Every mode at 20% intensity must survive without error.
 	for _, mode := range []string{"drop", "truncate", "garble", "duplicate", "shuffle", "clockskew", "interleave"} {
-		if err := run(dir, "slurm", true, time.Minute, "mode="+mode+",intensity=0.2,seed=9"); err != nil {
+		o := watchOpts(dir)
+		o.reorder = time.Minute
+		o.chaos = "mode=" + mode + ",intensity=0.2,seed=9"
+		if err := run(o, io.Discard, io.Discard); err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
 	}
-	if err := run(dir, "slurm", true, 0, "mode=nope,intensity=0.2"); err == nil {
+	o = watchOpts(dir)
+	o.chaos = "mode=nope,intensity=0.2"
+	if err := run(o, io.Discard, io.Discard); err == nil {
 		t.Error("bad chaos spec should error")
 	}
 }
@@ -71,7 +92,7 @@ func TestRunWatchSurvivesDamagedDir(t *testing.T) {
 	if err := os.Remove(filepath.Join(dir, "controller-bc.log")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "slurm", true, 0, ""); err != nil {
+	if err := run(watchOpts(dir), io.Discard, io.Discard); err != nil {
 		t.Fatalf("damaged dir: %v", err)
 	}
 }

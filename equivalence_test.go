@@ -1,0 +1,188 @@
+package hpcfail
+
+// Sequential-equivalence property suite for the sharded streaming
+// ingestion path: over seeded corpora, chaos damage modes and
+// GOMAXPROCS settings, LoadLogsStream + DiagnoseSharded must produce
+// byte-identical results to LoadLogsReport + Diagnose — same store
+// contents, same ingest ledgers, same detections, same diagnoses, same
+// degradation verdicts. Run with -race; the acceptance gate is
+//
+//	go test -run TestShardedEquivalence -race ./...
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"hpcfail/internal/events"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/topology"
+)
+
+// equivScenario simulates a small but failure-bearing S1 corpus.
+func equivScenario(t testing.TB, seed uint64) *Scenario {
+	t.Helper()
+	p, err := SystemProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec.Nodes = 384
+	p.Spec.CabinetCols = 2
+	p.Workload.MeanInterarrival = 30 * time.Minute
+	p.FloodBladeIdx = nil
+	p.FloodStopIdx = -1
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scn, err := Simulate(p, start, start.Add(2*24*time.Hour), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+// equivCorpus writes one corpus variant to disk and returns its dir.
+type equivCorpus struct {
+	name string
+	// chaos is applied at render time (zero value = clean corpus).
+	chaos ChaosConfig
+	// removeStreams deletes these streams' files after writing, to
+	// exercise degraded-mode parity.
+	removeStreams []events.Stream
+}
+
+func (c equivCorpus) write(t *testing.T, scn *Scenario) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "logs")
+	if c.chaos == (ChaosConfig{}) {
+		if err := WriteLogs(dir, scn); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := WriteLogsChaos(dir, scn, c.chaos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range c.removeStreams {
+		if err := os.Remove(filepath.Join(dir, loggen.FileName(s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// sameIngestReports asserts ledger equality, rendering errors to
+// strings (error values don't DeepEqual across construction sites).
+func sameIngestReports(t *testing.T, got, want *IngestReport) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Skipped, want.Skipped) {
+		t.Fatalf("Skipped diverges: %v vs %v", got.Skipped, want.Skipped)
+	}
+	if !reflect.DeepEqual(got.Missing, want.Missing) {
+		t.Fatalf("Missing diverges: %v vs %v", got.Missing, want.Missing)
+	}
+	if got.TotalParsed() != want.TotalParsed() ||
+		got.TotalQuarantined() != want.TotalQuarantined() ||
+		got.TotalReordered() != want.TotalReordered() {
+		t.Fatalf("ingest totals diverge: %s vs %s", got, want)
+	}
+	if len(got.Streams) != len(want.Streams) {
+		t.Fatalf("stream ledger count %d vs %d", len(got.Streams), len(want.Streams))
+	}
+	for i := range got.Streams {
+		g, w := got.Streams[i], want.Streams[i]
+		if g.Stream != w.Stream || g.Lines != w.Lines || g.Parsed != w.Parsed ||
+			g.Quarantined != w.Quarantined || g.Reordered != w.Reordered ||
+			!reflect.DeepEqual(g.Samples, w.Samples) {
+			t.Fatalf("stream %v ledger diverges:\n got %+v\nwant %+v", g.Stream, g, w)
+		}
+		if len(g.Errs) != len(w.Errs) {
+			t.Fatalf("stream %v err count %d vs %d", g.Stream, len(g.Errs), len(w.Errs))
+		}
+		for j := range g.Errs {
+			if g.Errs[j].Error() != w.Errs[j].Error() {
+				t.Fatalf("stream %v err %d: %v vs %v", g.Stream, j, g.Errs[j], w.Errs[j])
+			}
+		}
+	}
+}
+
+// sameResults asserts full pipeline-output equality.
+func sameResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Detections, want.Detections) {
+		t.Fatalf("detections diverge: %d vs %d", len(got.Detections), len(want.Detections))
+	}
+	if !reflect.DeepEqual(got.Diagnoses, want.Diagnoses) {
+		for i := range got.Diagnoses {
+			if !reflect.DeepEqual(got.Diagnoses[i], want.Diagnoses[i]) {
+				t.Fatalf("diagnosis %d diverges:\n got %+v\nwant %+v", i, got.Diagnoses[i], want.Diagnoses[i])
+			}
+		}
+		t.Fatalf("diagnoses diverge: %d vs %d", len(got.Diagnoses), len(want.Diagnoses))
+	}
+	if !reflect.DeepEqual(got.Jobs, want.Jobs) {
+		t.Fatalf("job tables diverge: %d vs %d jobs", len(got.Jobs), len(want.Jobs))
+	}
+	if got.Degradation != want.Degradation {
+		t.Fatalf("degradation diverges: %+v vs %+v", got.Degradation, want.Degradation)
+	}
+	if !reflect.DeepEqual(got.Store.All(), want.Store.All()) {
+		t.Fatalf("store contents diverge: %d vs %d records", got.Store.Len(), want.Store.Len())
+	}
+}
+
+func TestShardedEquivalence(t *testing.T) {
+	corpora := []equivCorpus{
+		{name: "clean"},
+		{name: "chaos-mixed", chaos: ChaosConfig{
+			Drop: 0.05, Garble: 0.05, Truncate: 0.05, Duplicate: 0.05, Seed: 17}},
+		{name: "chaos-garble", chaos: ChaosConfig{Garble: 0.15, Seed: 99}},
+		{name: "degraded-no-scheduler", removeStreams: []events.Stream{events.StreamScheduler}},
+	}
+	streamOpts := []StreamOptions{
+		{},
+		{Workers: 3, Shards: 5, ChunkLines: 777, Queue: 2},
+	}
+	for _, seed := range []uint64{5, 23} {
+		scn := equivScenario(t, seed)
+		for _, c := range corpora {
+			dir := c.write(t, scn)
+			wantStore, wantRep, err := LoadLogsReport(dir, topology.SchedulerSlurm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRes := Diagnose(wantStore)
+			if c.name == "clean" && len(wantRes.Detections) == 0 {
+				t.Fatalf("seed %d: clean corpus yields no detections — property vacuous", seed)
+			}
+			for _, gmp := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("seed%d/%s/gomaxprocs%d", seed, c.name, gmp), func(t *testing.T) {
+					old := runtime.GOMAXPROCS(gmp)
+					defer runtime.GOMAXPROCS(old)
+					for _, opts := range streamOpts {
+						ss, rep, err := LoadLogsStream(dir, topology.SchedulerSlurm, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameIngestReports(t, rep, wantRep)
+						sameResults(t, DiagnoseSharded(ss, 0), wantRes)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedEquivalenceInMemory covers the in-memory construction
+// path: ShardRecords + DiagnoseSharded vs StoreRecords + Diagnose.
+func TestShardedEquivalenceInMemory(t *testing.T) {
+	scn := equivScenario(t, 42)
+	want := Diagnose(StoreRecords(scn.Records))
+	for _, shards := range []int{1, 4, 16} {
+		got := DiagnoseSharded(ShardRecords(scn.Records, shards), 0)
+		sameResults(t, got, want)
+	}
+}

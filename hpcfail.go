@@ -127,6 +127,33 @@ func LoadLogsReport(dir string, sched topology.SchedulerType) (*Store, *IngestRe
 	return logstore.LoadDirReport(dir, sched)
 }
 
+// Sharded streaming-ingestion surface.
+type (
+	// ShardedStore is the node-hash-sharded store the streaming loader
+	// fills; reads are lock-free after sealing and its merged view is
+	// byte-identical to the sequential store.
+	ShardedStore = logstore.ShardedStore
+	// StreamOptions tunes the streaming loader's worker pool,
+	// backpressure bounds, shard count and chunk size.
+	StreamOptions = logstore.StreamOptions
+)
+
+// LoadLogsStream is the sharded, memory-bounded counterpart of
+// LoadLogsReport: files are read one at a time, parsed in chunks by a
+// bounded worker pool and routed into a ShardedStore. Store contents
+// and IngestReport are identical to LoadLogsReport over the same
+// directory.
+func LoadLogsStream(dir string, sched topology.SchedulerType, opts StreamOptions) (*ShardedStore, *IngestReport, error) {
+	return logstore.StreamLoadDir(dir, sched, opts)
+}
+
+// ShardRecords builds a sealed sharded store over in-memory records —
+// the sharded counterpart of StoreRecords (shards <= 0 selects the
+// default shard count).
+func ShardRecords(recs []Record, shards int) *ShardedStore {
+	return logstore.NewShardedFromRecords(recs, shards)
+}
+
 // Chaos-harness surface: deterministic log fault injection for
 // robustness testing. See internal/chaos for the fault model.
 type (
@@ -177,6 +204,19 @@ func SummarizeLeadTimes(diags []Diagnosis) LeadTimeSummary {
 // identical to Diagnose.
 func DiagnoseParallel(store *Store, workers int) *Result {
 	return core.RunParallel(store, core.DefaultConfig(), workers)
+}
+
+// DiagnoseSharded runs the pipeline over a sharded store: detection
+// per shard, diagnosis from shard-local windows, and the merged store
+// built concurrently in the background. Output is identical to
+// Diagnose over the equivalent sequential store.
+func DiagnoseSharded(ss *ShardedStore, workers int) *Result {
+	return core.RunSharded(ss, core.DefaultConfig(), workers)
+}
+
+// DiagnoseShardedWith is DiagnoseSharded with custom windows.
+func DiagnoseShardedWith(ss *ShardedStore, cfg PipelineConfig, workers int) *Result {
+	return core.RunSharded(ss, cfg, workers)
 }
 
 // Recommendation is one Table VI-style operator action derived from

@@ -97,10 +97,14 @@ func IsTerminal(r *events.Record) bool {
 	return r.Field("intent") != "scheduled"
 }
 
-// Detect scans time-sorted records for confirmed failures, merging
-// terminal events on one node within the refractory gap.
-func Detect(recs []events.Record, cfg Config) []Detection {
-	var out []Detection
+// detectIndices returns the indices of terminal records that survive
+// refractory merging — the records Detect turns into Detections. The
+// refractory state is per-node, so the result over any record subset
+// that keeps each node's records together and in order (e.g. one shard
+// of a ShardedStore) equals the global result restricted to that
+// subset.
+func detectIndices(recs []events.Record, cfg Config) []int {
+	var out []int
 	last := map[cname.Name]time.Time{}
 	for i := range recs {
 		r := &recs[i]
@@ -112,6 +116,17 @@ func Detect(recs []events.Record, cfg Config) []Detection {
 			continue
 		}
 		last[r.Component] = r.Time
+		out = append(out, i)
+	}
+	return out
+}
+
+// Detect scans time-sorted records for confirmed failures, merging
+// terminal events on one node within the refractory gap.
+func Detect(recs []events.Record, cfg Config) []Detection {
+	var out []Detection
+	for _, i := range detectIndices(recs, cfg) {
+		r := &recs[i]
 		out = append(out, Detection{
 			Node:     r.Component,
 			Time:     r.Time,

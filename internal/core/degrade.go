@@ -101,6 +101,25 @@ func AssessDegradation(store *logstore.Store) Degradation {
 	}
 }
 
+// AssessShardedDegradation combines per-shard assessments without
+// waiting for the merged view: a stream family is missing only when it
+// is missing from every shard (presence ORs, absence ANDs). Equivalent
+// to AssessDegradation over the merged store.
+func AssessShardedDegradation(ss *logstore.ShardedStore) Degradation {
+	g := Degradation{MissingInternal: true, MissingExternal: true, MissingScheduler: true, MissingALPS: true}
+	for i := 0; i < ss.NumShards(); i++ {
+		sg := AssessDegradation(ss.Shard(i))
+		g.MissingInternal = g.MissingInternal && sg.MissingInternal
+		g.MissingExternal = g.MissingExternal && sg.MissingExternal
+		g.MissingScheduler = g.MissingScheduler && sg.MissingScheduler
+		g.MissingALPS = g.MissingALPS && sg.MissingALPS
+		if !g.Degraded() {
+			break
+		}
+	}
+	return g
+}
+
 // applyDegradation stamps a degraded corpus's weaker confidence and the
 // evidence note onto every diagnosis.
 func applyDegradation(diags []Diagnosis, g Degradation) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"hpcfail/internal/alps"
@@ -9,35 +10,20 @@ import (
 	"hpcfail/internal/logstore"
 )
 
-// RunParallel is Run with the per-failure diagnosis fanned out across
-// a worker pool. The store is immutable after construction and
-// Diagnose only reads it, so workers share it without locking. Output
-// is identical to Run — diagnoses stay aligned with detections.
-//
-// workers <= 0 selects GOMAXPROCS. For month-scale corpora with
-// hundreds of failures the speedup approaches the core count; for small
-// inputs the fan-out overhead makes Run the better choice.
-func RunParallel(store *logstore.Store, cfg Config, workers int) *Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobs := logparse.JobsFromRecords(store.All())
-	rc := &RootCauser{Store: store, Jobs: jobs, Cfg: cfg, Apids: alps.IndexFromRecords(store.All())}
-	dets := Detect(store.All(), cfg)
+// diagnosePool fans per-failure diagnosis across a worker pool. The
+// store behind rc is immutable and Diagnose only reads it, so workers
+// share it without locking; diagnoses stay aligned with detections.
+func diagnosePool(rc *RootCauser, dets []Detection, workers int) []Diagnosis {
 	diags := make([]Diagnosis, len(dets))
-
 	if workers > len(dets) {
 		workers = len(dets)
 	}
-	deg := AssessDegradation(store)
 	if workers <= 1 {
 		for i, d := range dets {
 			diags[i] = rc.Diagnose(d)
 		}
-		applyDegradation(diags, deg)
-		return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}
+		return diags
 	}
-
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -54,6 +40,117 @@ func RunParallel(store *logstore.Store, cfg Config, workers int) *Result {
 	}
 	close(next)
 	wg.Wait()
+	return diags
+}
+
+// RunParallel is Run with the per-failure diagnosis fanned out across
+// a worker pool. Output is identical to Run.
+//
+// workers <= 0 selects GOMAXPROCS. For month-scale corpora with
+// hundreds of failures the speedup approaches the core count; for small
+// inputs the fan-out overhead makes Run the better choice.
+func RunParallel(store *logstore.Store, cfg Config, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := logparse.JobsFromRecords(store.All())
+	rc := &RootCauser{Store: store, Jobs: jobs, Cfg: cfg, Apids: alps.IndexFromRecords(store.All())}
+	dets := Detect(store.All(), cfg)
+	deg := AssessDegradation(store)
+	diags := diagnosePool(rc, dets, workers)
 	applyDegradation(diags, deg)
 	return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}
+}
+
+// DetectSharded runs failure detection shard-locally (in parallel) and
+// merges the per-shard detections back into the sequential order.
+//
+// Correctness: the refractory state in Detect is keyed by node, and the
+// shard key keeps every record of a node in one shard in merged-order
+// relative order — so per-shard detection finds exactly the detections
+// sequential Detect would emit for that shard's nodes. Sequential
+// Detect emits in merged record order, which is (time, arrival-seq)
+// lexicographic; sorting the tagged per-shard detections by that key
+// reproduces it exactly.
+func DetectSharded(ss *logstore.ShardedStore, cfg Config, workers int) []Detection {
+	n := ss.NumShards()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	type tagged struct {
+		det Detection
+		seq int64
+	}
+	perShard := make([][]tagged, n)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				recs := ss.Shard(i).All()
+				seqs := ss.ShardSeq(i)
+				for _, idx := range detectIndices(recs, cfg) {
+					r := &recs[idx]
+					perShard[i] = append(perShard[i], tagged{
+						det: Detection{Node: r.Component, Time: r.Time, Terminal: r.Category, JobID: r.JobID},
+						seq: seqs[idx],
+					})
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var all []tagged
+	for _, ts := range perShard {
+		all = append(all, ts...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].det.Time.Equal(all[j].det.Time) {
+			return all[i].seq < all[j].seq
+		}
+		return all[i].det.Time.Before(all[j].det.Time)
+	})
+	out := make([]Detection, len(all))
+	for i, t := range all {
+		out[i] = t.det
+	}
+	return out
+}
+
+// RunSharded executes the full methodology over a sharded store without
+// ever touching its merged view on the hot path: detection runs
+// per-shard, the job table and apid index come from the store's
+// scheduler/ALPS side-channels, and diagnosis windows resolve inside
+// each node's own shard. The merged global store builds in the
+// background (kicked off by Seal) and is only awaited at the very end
+// to fill Result.Store — so diagnosis overlaps the merge instead of
+// waiting behind it.
+//
+// Output is identical to Run over logstore.New of the same records in
+// the same arrival order — the sequential-equivalence invariant the
+// TestShardedEquivalence harness enforces.
+func RunSharded(ss *logstore.ShardedStore, cfg Config, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := logparse.JobsFromRecords(ss.SchedulerRecords())
+	rc := &RootCauser{Store: ss, Jobs: jobs, Cfg: cfg, Apids: alps.IndexFromRecords(ss.ALPSRecords())}
+	dets := DetectSharded(ss, cfg, workers)
+	deg := AssessShardedDegradation(ss)
+	diags := diagnosePool(rc, dets, workers)
+	applyDegradation(diags, deg)
+	return &Result{Store: ss.Merged(), Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}
 }

@@ -4,9 +4,9 @@ import (
 	"time"
 
 	"hpcfail/internal/alps"
+	"hpcfail/internal/cname"
 	"hpcfail/internal/events"
 	"hpcfail/internal/faults"
-	"hpcfail/internal/logstore"
 	"hpcfail/internal/stacktrace"
 	"hpcfail/internal/workload"
 )
@@ -96,9 +96,18 @@ var externalIndicatorCategories = map[string]bool{
 	faults.L0SysdMCE.Category(): true,
 }
 
+// StoreView is the read surface diagnosis needs from a record store.
+// Both the flat *logstore.Store and the sharded *logstore.ShardedStore
+// satisfy it; the sharded form answers NodeWindow from the node's own
+// shard, lock-free and without waiting for the merged global view.
+type StoreView interface {
+	All() []events.Record
+	NodeWindow(node cname.Name, from, to time.Time) []events.Record
+}
+
 // RootCauser classifies detected failures against a log store.
 type RootCauser struct {
-	Store *logstore.Store
+	Store StoreView
 	Jobs  []workload.Job
 	Cfg   Config
 	// Apids resolves ALPS application ids (which compute-node logs

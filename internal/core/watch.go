@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"sync"
 	"time"
 
 	"hpcfail/internal/alps"
@@ -30,7 +31,17 @@ import (
 //   - horizon-based eviction (EvictionHorizon) prunes per-node and
 //     per-apid state older than the horizon, so memory stays O(nodes
 //     active within the horizon) instead of O(all-time).
+//
+// A Watcher is safe for concurrent use: Feed, FeedAll, Flush, Stats and
+// StateSize serialise on an internal mutex, so multiple ingestion
+// goroutines (e.g. per-stream tailers) can share one watcher. The
+// OnDetection and OnAlarm callbacks run with that mutex held — they
+// must not call back into the watcher, and arbitrary interleavings of
+// concurrent feeders make delivery order theirs to define. Configure
+// the public fields before the first Feed; they are not synchronised.
 type Watcher struct {
+	// mu serialises all state access below.
+	mu  sync.Mutex
 	cfg Config
 	// OnDetection is invoked for each confirmed failure. Required.
 	OnDetection func(Detection)
@@ -124,6 +135,8 @@ func NewWatcher(cfg Config, onDetection func(Detection)) *Watcher {
 
 // Stats returns the hardening counters.
 func (w *Watcher) Stats() WatcherStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	s := w.stats
 	s.Buffered = len(w.buf)
 	return s
@@ -131,6 +144,8 @@ func (w *Watcher) Stats() WatcherStats {
 
 // StateSize reports current state-map sizes.
 func (w *Watcher) StateSize() WatcherState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	nodes := make(map[cname.Name]bool, len(w.lastTerminal))
 	for n := range w.lastTerminal {
 		nodes[n] = true
@@ -153,6 +168,12 @@ func (w *Watcher) StateSize() WatcherState {
 // arrivals are buffered and re-sequenced before processing — call Flush
 // (or FeedAll, which flushes) to drain the tail.
 func (w *Watcher) Feed(r events.Record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.feedLocked(r)
+}
+
+func (w *Watcher) feedLocked(r events.Record) {
 	w.stats.Fed++
 	if r.Time.Before(w.watermark) {
 		w.stats.Reordered++
@@ -180,18 +201,27 @@ func (w *Watcher) Feed(r events.Record) {
 // Flush drains the reorder buffer, processing everything still held, in
 // time order. Call at end of stream.
 func (w *Watcher) Flush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushLocked()
+}
+
+func (w *Watcher) flushLocked() {
 	for len(w.buf) > 0 {
 		w.process(heap.Pop(&w.buf).(events.Record))
 	}
 }
 
 // FeedAll streams a batch through the watcher and flushes the reorder
-// buffer.
+// buffer. The batch is processed atomically with respect to concurrent
+// feeders.
 func (w *Watcher) FeedAll(recs []events.Record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for i := range recs {
-		w.Feed(recs[i])
+		w.feedLocked(recs[i])
 	}
-	w.Flush()
+	w.flushLocked()
 }
 
 // process applies the detection/alarm rules to one record, post-reorder.

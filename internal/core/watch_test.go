@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -254,5 +255,123 @@ func TestWatcherApidEviction(t *testing.T) {
 	}
 	if got := w.StateSize().Apids; got > 32 {
 		t.Errorf("apid map retains %d entries after a week, want <= 32", got)
+	}
+}
+
+// TestWatcherConcurrentFeedMatchesBatch feeds the corpus from several
+// goroutines partitioned by node (so each node's records keep their
+// time order) and checks the detection count against batch Detect.
+// Per-node refractory state is independent across nodes, so the
+// node-partitioned concurrent feed must find exactly the batch result.
+func TestWatcherConcurrentFeedMatchesBatch(t *testing.T) {
+	_, store := buildScenario(t, 7, 307)
+	recs := store.All()
+	batch := Detect(recs, DefaultConfig())
+
+	var mu sync.Mutex
+	var dets []Detection
+	w := NewWatcher(DefaultConfig(), func(d Detection) {
+		mu.Lock()
+		dets = append(dets, d)
+		mu.Unlock()
+	})
+	// Disable eviction: extreme inter-feeder skew could otherwise push
+	// the watermark a full horizon past a lagging feeder's refractory
+	// state.
+	w.EvictionHorizon = -1
+
+	const feeders = 4
+	parts := make([][]events.Record, feeders)
+	for _, r := range recs {
+		var h uint64
+		for _, b := range []byte(r.Component.String()) {
+			h = h*131 + uint64(b)
+		}
+		parts[h%feeders] = append(parts[h%feeders], r)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func(part []events.Record) {
+			defer wg.Done()
+			for i := range part {
+				w.Feed(part[i])
+			}
+		}(parts[g])
+	}
+	wg.Wait()
+	w.Flush()
+
+	if len(dets) != len(batch) {
+		t.Fatalf("concurrent feed found %d detections, batch %d", len(dets), len(batch))
+	}
+	if got := w.Stats().Fed; got != len(recs) {
+		t.Fatalf("Fed = %d, want %d", got, len(recs))
+	}
+}
+
+// TestWatcherConcurrentFeedFlush hammers Feed, Flush, Stats and
+// StateSize from concurrent goroutines with the reorder buffer and an
+// aggressive eviction horizon both active — the -race gate for the
+// watcher's internal mutex. Interleaving makes exact output
+// unspecified; the test asserts the accounting invariants that must
+// hold under any schedule.
+func TestWatcherConcurrentFeedFlush(t *testing.T) {
+	_, store := buildScenario(t, 7, 307)
+	recs := store.All()
+
+	var mu sync.Mutex
+	dets := 0
+	w := NewWatcher(DefaultConfig(), func(Detection) {
+		mu.Lock()
+		dets++
+		mu.Unlock()
+	})
+	w.OnAlarm = func(Alarm) {}
+	w.ReorderWindow = 30 * time.Minute
+	w.ReorderLimit = 64
+	w.EvictionHorizon = 2 * time.Hour
+
+	const feeders = 4
+	var wg sync.WaitGroup
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(recs); i += feeders {
+				w.Feed(recs[i])
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Flush()
+				_ = w.Stats()
+				_ = w.StateSize()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	w.Flush()
+
+	s := w.Stats()
+	if s.Fed != len(recs) {
+		t.Fatalf("Fed = %d, want %d", s.Fed, len(recs))
+	}
+	if s.Buffered != 0 {
+		t.Fatalf("reorder buffer not drained: %d", s.Buffered)
+	}
+	if dets == 0 {
+		t.Fatal("no detections under concurrent feed")
 	}
 }

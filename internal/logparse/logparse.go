@@ -127,13 +127,23 @@ const maxQuarantineSamples = 3
 // ParseLinesReport is ParseLines with per-stream error accounting: the
 // records that parsed plus a StreamReport quantifying what did not.
 func ParseLinesReport(stream events.Stream, sched topology.SchedulerType, lines []string) ([]events.Record, StreamReport) {
-	rep := StreamReport{Stream: stream}
+	nonBlank := 0
 	for _, l := range lines {
 		if strings.TrimSpace(l) != "" {
-			rep.Lines++
+			nonBlank++
 		}
 	}
 	recs, errs := ParseLines(stream, sched, lines)
+	return recs, BuildStreamReport(stream, nonBlank, recs, errs)
+}
+
+// BuildStreamReport assembles the per-stream quarantine ledger from a
+// parse outcome. It is shared by the sequential loader and the sharded
+// streaming loader so both produce identical accounting: nonBlank is the
+// stream's non-blank line count, recs and errs the (re)assembled parse
+// output in file order.
+func BuildStreamReport(stream events.Stream, nonBlank int, recs []events.Record, errs []error) StreamReport {
+	rep := StreamReport{Stream: stream, Lines: nonBlank}
 	rep.Parsed = len(recs)
 	rep.Quarantined = len(errs)
 	rep.Errs = errs
@@ -150,7 +160,7 @@ func ParseLinesReport(stream events.Stream, sched topology.SchedulerType, lines 
 			rep.Reordered++
 		}
 	}
-	return recs, rep
+	return rep
 }
 
 // ParseLines parses one stream's raw lines. The stream selects the
@@ -282,7 +292,7 @@ func parseInternal(stream events.Stream, lines []string) ([]events.Record, []err
 		}
 		for _, kv := range kvs {
 			eq := strings.IndexByte(kv, '=')
-			r.SetField(kv[:eq], kv[eq+1:])
+			r.SetField(intern(kv[:eq]), intern(kv[eq+1:]))
 		}
 		if strings.Contains(rest, "scheduled by operator") {
 			r.SetField("intent", "scheduled")
@@ -328,7 +338,7 @@ func parseTagged(stream events.Stream, lines []string) ([]events.Record, []error
 		}
 		r := events.Record{
 			Time: ts, Stream: stream, Component: comp,
-			Severity: sev, Category: parts[0], Msg: msg,
+			Severity: sev, Category: intern(parts[0]), Msg: msg,
 		}
 		parseFieldsInto(&r, fieldsPart)
 		recs = append(recs, r)
@@ -361,7 +371,7 @@ func parseFieldsInto(r *events.Record, s string) {
 	var key, val string
 	flush := func() {
 		if key != "" {
-			r.SetField(key, val)
+			r.SetField(intern(key), intern(val))
 		}
 	}
 	for _, tok := range strings.Split(s, " ") {
@@ -399,7 +409,7 @@ func parseALPS(lines []string) ([]events.Record, []error) {
 			errs = append(errs, &ParseError{Line: i + 1, Text: line, Err: fmt.Errorf("missing category")})
 			continue
 		}
-		r := events.Record{Time: ts, Stream: events.StreamALPS, Severity: events.SevInfo, Category: toks[0]}
+		r := events.Record{Time: ts, Stream: events.StreamALPS, Severity: events.SevInfo, Category: intern(toks[0])}
 		ok := true
 		for _, tok := range toks[1:] {
 			eq := strings.IndexByte(tok, '=')
@@ -416,7 +426,7 @@ func parseALPS(lines []string) ([]events.Record, []error) {
 				}
 				r.JobID = id
 			case "apid", "status", "nodes":
-				r.SetField(k, v)
+				r.SetField(intern(k), intern(v))
 			}
 		}
 		if !ok {
@@ -515,17 +525,17 @@ func parseSchedulerKVs(ts time.Time, s, nodesKey string) (events.Record, error) 
 			}
 			r.JobID = id
 		case "Action":
-			r.Category = v
+			r.Category = intern(v)
 		case "App":
-			r.SetField("app", v)
+			r.SetField("app", intern(v))
 		case "User":
-			r.SetField("user", v)
+			r.SetField("user", intern(v))
 		case "State":
-			r.SetField("state", v)
+			r.SetField("state", intern(v))
 		case "ExitCode":
-			r.SetField("exit_code", v)
+			r.SetField("exit_code", intern(v))
 		case "ReqMem":
-			r.SetField("req_mem_mb", strings.TrimSuffix(v, "M"))
+			r.SetField("req_mem_mb", intern(strings.TrimSuffix(v, "M")))
 		case "Node":
 			n, err := cname.Parse(v)
 			if err != nil {

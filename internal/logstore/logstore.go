@@ -40,16 +40,25 @@ type Store struct {
 
 // New builds a store over the records (copied and sorted by time).
 func New(recs []events.Record) *Store {
+	cp := make([]events.Record, len(recs))
+	copy(cp, recs)
+	events.SortByTime(cp)
+	return newFromSorted(cp)
+}
+
+// newFromSorted builds the secondary indexes over records that are
+// already time-sorted. The slice is adopted, not copied — callers hand
+// over ownership (the sharded loader uses this to index each sealed
+// shard and the merged view without duplicating the corpus).
+func newFromSorted(recs []events.Record) *Store {
 	s := &Store{
-		recs:       make([]events.Record, len(recs)),
+		recs:       recs,
 		byNode:     make(map[cname.Name][]int),
 		byBlade:    make(map[cname.Name][]int),
 		byCabinet:  make(map[cname.Name][]int),
 		byCategory: make(map[string][]int),
 		byJob:      make(map[int64][]int),
 	}
-	copy(s.recs, recs)
-	events.SortByTime(s.recs)
 	for i, r := range s.recs {
 		if r.Component.IsValid() {
 			if r.Component.Level() == cname.LevelNode {

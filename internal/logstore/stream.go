@@ -1,0 +1,197 @@
+package logstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"hpcfail/internal/events"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/topology"
+)
+
+// StreamOptions tunes the sharded streaming loader. The zero value
+// selects sensible defaults everywhere.
+type StreamOptions struct {
+	// Workers is the parse worker-pool size (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Shards is the ShardedStore shard count (<= 0 selects
+	// DefaultShards).
+	Shards int
+	// ChunkLines is the per-task chunk size in lines (<= 0 selects
+	// 4096). Internal-stream chunk boundaries are nudged forward to
+	// trace-safe split points.
+	ChunkLines int
+	// Queue bounds the in-flight task and result channels — the
+	// backpressure knob. At most Queue+Workers chunks are parsed or
+	// awaiting collection at once, which bounds transient memory to
+	// O(Queue × ChunkLines) parsed records beyond the store itself
+	// (<= 0 selects 2 × Workers).
+	Queue int
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.ChunkLines <= 0 {
+		o.ChunkLines = 4096
+	}
+	if o.Queue <= 0 {
+		o.Queue = 2 * o.Workers
+	}
+	return o
+}
+
+// streamMeta is what the producer learned about one stream's file
+// before enqueueing its chunks.
+type streamMeta struct {
+	missing  bool
+	skipped  *FileWarning
+	chunks   int
+	nonBlank int
+}
+
+type chunkTask struct {
+	si     int
+	ci     int
+	stream events.Stream
+	chunk  logparse.Chunk
+}
+
+type chunkResult struct {
+	si   int
+	ci   int
+	recs []events.Record
+	errs []error
+}
+
+// StreamLoadDir is the sharded, memory-bounded counterpart of
+// LoadDirReport: log files are read one at a time, split into
+// trace-safe chunks, parsed by a bounded worker pool with backpressure,
+// and routed into a ShardedStore in arrival order. The returned store's
+// merged view, and the IngestReport (per-stream ledgers, skip warnings,
+// missing streams, quarantine samples), are identical to what
+// LoadDirReport produces for the same directory — the
+// sequential-equivalence invariant the determinism harness enforces.
+//
+// The error is reserved for a path that exists but is not a directory,
+// exactly like LoadDirReport; all file-level damage is survived and
+// accounted in the report.
+func StreamLoadDir(dir string, sched topology.SchedulerType, opts StreamOptions) (*ShardedStore, *IngestReport, error) {
+	if fi, err := os.Stat(dir); err == nil && !fi.IsDir() {
+		return nil, nil, fmt.Errorf("logstore: %s is not a directory", dir)
+	}
+	opts = opts.withDefaults()
+	streams := loggen.AllStreams()
+
+	metas := make([]streamMeta, len(streams))
+	metaReady := make([]chan struct{}, len(streams))
+	for i := range metaReady {
+		metaReady[i] = make(chan struct{})
+	}
+	tasks := make(chan chunkTask, opts.Queue)
+	results := make(chan chunkResult, opts.Queue)
+
+	// Producer: one file at a time. Enqueueing blocks when the pool is
+	// saturated, so at most the current file's text plus the bounded
+	// in-flight chunks are resident beyond the records already stored.
+	go func() {
+		defer close(tasks)
+		for si, stream := range streams {
+			m := &metas[si]
+			data, err := os.ReadFile(filepath.Join(dir, loggen.FileName(stream)))
+			switch {
+			case os.IsNotExist(err):
+				m.missing = true
+			case err != nil:
+				m.skipped = &FileWarning{File: loggen.FileName(stream), Err: err.Error()}
+			case strings.TrimSpace(string(data)) == "":
+				m.skipped = &FileWarning{File: loggen.FileName(stream), Err: "empty file"}
+			}
+			if m.missing || m.skipped != nil {
+				close(metaReady[si])
+				continue
+			}
+			lines := logparse.SplitLines(string(data))
+			for _, l := range lines {
+				if strings.TrimSpace(l) != "" {
+					m.nonBlank++
+				}
+			}
+			chunks := logparse.SafeChunks(stream, lines, opts.ChunkLines)
+			m.chunks = len(chunks)
+			close(metaReady[si])
+			for ci, c := range chunks {
+				tasks <- chunkTask{si: si, ci: ci, stream: stream, chunk: c}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				recs, errs := logparse.ParseChunk(t.stream, sched, t.chunk)
+				results <- chunkResult{si: t.si, ci: t.ci, recs: recs, errs: errs}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: assemble streams in loggen.AllStreams order so shard
+	// appends (and therefore sequence numbers) match the sequential
+	// loader's arrival order exactly. Out-of-order chunk results are
+	// parked; their count is bounded by the pool size plus queue depth.
+	ss := NewSharded(opts.Shards)
+	rep := &IngestReport{}
+	pending := map[[2]int]chunkResult{}
+	for si, stream := range streams {
+		<-metaReady[si]
+		m := &metas[si]
+		if m.missing {
+			rep.Missing = append(rep.Missing, stream.String())
+			continue
+		}
+		if m.skipped != nil {
+			rep.Skipped = append(rep.Skipped, *m.skipped)
+			continue
+		}
+		var recs []events.Record
+		var errs []error
+		for ci := 0; ci < m.chunks; ci++ {
+			r, ok := pending[[2]int{si, ci}]
+			for !ok {
+				in, open := <-results
+				if !open {
+					return nil, nil, fmt.Errorf("logstore: result channel closed early (stream %s chunk %d)", stream, ci)
+				}
+				if in.si == si && in.ci == ci {
+					r = in
+					ok = true
+					break
+				}
+				pending[[2]int{in.si, in.ci}] = in
+			}
+			delete(pending, [2]int{si, ci})
+			recs = append(recs, r.recs...)
+			errs = append(errs, r.errs...)
+		}
+		rep.Streams = append(rep.Streams, logparse.BuildStreamReport(stream, m.nonBlank, recs, errs))
+		ss.Append(recs)
+	}
+	ss.Seal()
+	return ss, rep, nil
+}

@@ -1,0 +1,77 @@
+//go:build ignore
+
+// Regenerates the committed fixture corpora used by the cmd golden
+// tests:
+//
+//	go run testdata/gen.go
+//
+// corpus-clean is a small, failure-bearing S1 window; corpus-degraded
+// is the same window with render-time chaos damage plus two stream
+// files removed, so golden output exercises the quarantine ledger and
+// the degradation notes. Both are deterministic — rerunning this
+// program must reproduce the files byte for byte.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hpcfail"
+)
+
+func main() {
+	p, err := hpcfail.SystemProfile("S1")
+	if err != nil {
+		panic(err)
+	}
+	p.Spec.Nodes = 384
+	p.Spec.CabinetCols = 2
+	p.FloodBladeIdx = nil
+	p.FloodStopIdx = -1
+	p.Workload.MeanInterarrival = 45 * time.Minute
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scn, err := hpcfail.Simulate(p, start, start.Add(24*time.Hour), 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scenario: %d records, %d ground-truth failures\n", len(scn.Records), len(scn.Failures))
+
+	clean := filepath.Join("testdata", "corpus-clean")
+	if err := os.RemoveAll(clean); err != nil {
+		panic(err)
+	}
+	if err := hpcfail.WriteLogs(clean, scn); err != nil {
+		panic(err)
+	}
+
+	degraded := filepath.Join("testdata", "corpus-degraded")
+	if err := os.RemoveAll(degraded); err != nil {
+		panic(err)
+	}
+	ccfg := hpcfail.ChaosConfig{Garble: 0.03, Truncate: 0.03, Seed: 7}
+	if _, err := hpcfail.WriteLogsChaos(degraded, scn, ccfg); err != nil {
+		panic(err)
+	}
+	for _, f := range []string{"scheduler.log", "erd.log"} {
+		if err := os.Remove(filepath.Join(degraded, f)); err != nil {
+			panic(err)
+		}
+	}
+	for _, dir := range []string{clean, degraded} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			panic(err)
+		}
+		total := int64(0)
+		for _, e := range entries {
+			fi, err := e.Info()
+			if err != nil {
+				panic(err)
+			}
+			total += fi.Size()
+		}
+		fmt.Printf("%s: %d files, %d bytes\n", dir, len(entries), total)
+	}
+}
