@@ -12,6 +12,8 @@ package hpcfail
 // generation, log rendering/parsing, store indexing and diagnosis.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,6 +28,7 @@ import (
 	"hpcfail/internal/logparse"
 	"hpcfail/internal/logstore"
 	"hpcfail/internal/topology"
+	"hpcfail/internal/wal"
 )
 
 // benchCfg keeps artifact benchmarks fast while exercising the whole
@@ -296,6 +299,87 @@ func BenchmarkStreamLoadDir(b *testing.B) {
 		}
 		if ss.Merged().Len() == 0 {
 			b.Fatal("empty store")
+		}
+	}
+	b.ReportMetric(float64(lines), "lines/op")
+}
+
+// Crash-safety benchmarks. BenchmarkStreamLoadDirWAL prices the
+// checkpoint journal against BenchmarkStreamLoadDir: the journal
+// serialises every parsed record (that is what makes a resumed load
+// byte-identical without re-reading damaged inputs), so expect roughly
+// corpus-proportional overhead — the durability/speed trade-off is the
+// chunk size and Options.Sync, not a constant tax.
+// BenchmarkResumeLoadDir prices picking a half-finished load back up:
+// journal replay for the completed half plus live parsing for the rest.
+// BENCH_pr3.json records a reference -benchtime=1x run of both.
+
+// BenchmarkStreamLoadDirWAL measures the streaming loader with a
+// checkpoint journal attached (fresh WAL per iteration).
+func BenchmarkStreamLoadDirWAL(b *testing.B) {
+	dir, lines := benchCorpusDir(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wdir := filepath.Join(b.TempDir(), fmt.Sprintf("wal-%d", i))
+		b.StartTimer()
+		j, err := wal.Open(wdir, wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, _, err := logstore.StreamLoadDir(dir, topology.SchedulerSlurm,
+			logstore.StreamOptions{Journal: j})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ss.Merged().Len() == 0 {
+			b.Fatal("empty store")
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(lines), "lines/op")
+}
+
+// BenchmarkResumeLoadDir measures resuming a load that was killed about
+// halfway (the kill and journal setup are outside the timed region).
+func BenchmarkResumeLoadDir(b *testing.B) {
+	dir, lines := benchCorpusDir(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wdir := filepath.Join(b.TempDir(), fmt.Sprintf("wal-%d", i))
+		j, err := wal.Open(wdir, wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		kctx, cancel := context.WithCancel(context.Background())
+		chunks := 0
+		_, _, err = logstore.StreamLoadDirContext(kctx, dir, topology.SchedulerSlurm,
+			logstore.StreamOptions{Journal: j, ChunkLines: 512,
+				OnChunk: func(string, int) {
+					if chunks++; chunks == 12 {
+						cancel()
+					}
+				}})
+		cancel()
+		if !errors.Is(err, logstore.ErrInterrupted) {
+			b.Fatalf("setup kill: want ErrInterrupted, got %v", err)
+		}
+		b.StartTimer()
+		ss, _, err := logstore.ResumeLoadDir(context.Background(), dir, topology.SchedulerSlurm,
+			logstore.StreamOptions{Journal: j})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ss.Merged().Len() == 0 {
+			b.Fatal("empty store")
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(lines), "lines/op")

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"io"
 	"os"
@@ -68,9 +69,9 @@ func TestGoldenDiagnose(t *testing.T) {
 				var buf bytes.Buffer
 				var err error
 				if c.json {
-					err = runJSON(o, &buf, io.Discard)
+					err = runJSON(context.Background(), o, &buf, io.Discard)
 				} else {
-					err = run(o, &buf, io.Discard)
+					err = run(context.Background(), o, &buf, io.Discard)
 				}
 				if err != nil {
 					t.Fatal(err)

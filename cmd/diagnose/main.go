@@ -7,14 +7,24 @@
 // job attribution and lead times, followed by summary breakdowns.
 // -stream switches ingestion to the sharded streaming loader (bounded
 // memory, parallel parse); output is identical either way.
+//
+// With -wal the streaming load checkpoints its progress into a
+// write-ahead-logged journal, and SIGINT/SIGTERM stop it cleanly at a
+// chunk boundary (partial ingest ledger on stderr, non-zero exit).
+// A later invocation with -resume picks up from the last checkpoint and
+// produces output identical to an uninterrupted run.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hpcfail"
@@ -31,6 +41,8 @@ type options struct {
 	stream  bool
 	workers int
 	shards  int
+	wal     string
+	resume  bool
 }
 
 func main() {
@@ -45,12 +57,18 @@ func main() {
 	flag.BoolVar(&o.stream, "stream", false, "use the sharded streaming loader (same output, bounded memory)")
 	flag.IntVar(&o.workers, "workers", 0, "streaming parse/diagnosis workers (0 = GOMAXPROCS)")
 	flag.IntVar(&o.shards, "shards", 0, "store shard count (0 = default)")
+	flag.StringVar(&o.wal, "wal", "", "checkpoint-journal directory (implies -stream; makes the load resumable)")
+	flag.BoolVar(&o.resume, "resume", false, "resume an interrupted load from the -wal journal")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	if jsonMode {
-		err = runJSON(o, os.Stdout, os.Stderr)
+		err = runJSON(ctx, o, os.Stdout, os.Stderr)
 	} else {
-		err = run(o, os.Stdout, os.Stderr)
+		err = run(ctx, o, os.Stdout, os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diagnose:", err)
@@ -60,15 +78,37 @@ func main() {
 
 // load ingests the corpus via the loader the options select and runs
 // the matching pipeline. The streaming path produces identical results
-// to the sequential one — equivalence the test suite enforces.
-func load(o options, st topology.SchedulerType) (*hpcfail.Store, *hpcfail.IngestReport, *hpcfail.Result, error) {
-	if o.stream {
-		ss, rep, err := hpcfail.LoadLogsStream(o.logs, st,
-			hpcfail.StreamOptions{Workers: o.workers, Shards: o.shards})
-		if err != nil {
-			return nil, nil, nil, err
+// to the sequential one — equivalence the test suite enforces. On an
+// interrupted journaled load the partial ingest ledger is returned
+// alongside the error so the caller can report progress.
+func load(ctx context.Context, o options, st topology.SchedulerType) (*hpcfail.Store, *hpcfail.IngestReport, *hpcfail.Result, error) {
+	if o.resume && o.wal == "" {
+		return nil, nil, nil, fmt.Errorf("-resume requires -wal (the journal to resume from)")
+	}
+	if o.stream || o.wal != "" {
+		sopts := hpcfail.StreamOptions{Workers: o.workers, Shards: o.shards}
+		if o.wal != "" {
+			j, err := hpcfail.OpenWAL(o.wal, hpcfail.WALOptions{})
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("open -wal journal: %w", err)
+			}
+			defer j.Close()
+			sopts.Journal = j
 		}
-		res := hpcfail.DiagnoseSharded(ss, o.workers)
+		var (
+			ss  *hpcfail.ShardedStore
+			rep *hpcfail.IngestReport
+			err error
+		)
+		if o.resume {
+			ss, rep, err = hpcfail.ResumeLogs(ctx, o.logs, st, sopts)
+		} else {
+			ss, rep, err = hpcfail.LoadLogsStreamContext(ctx, o.logs, st, sopts)
+		}
+		if err != nil {
+			return nil, rep, nil, err
+		}
+		res := hpcfail.DiagnoseShardedReport(ss, rep, o.workers)
 		return res.Store, rep, res, nil
 	}
 	store, rep, err := hpcfail.LoadLogsReport(o.logs, st)
@@ -78,14 +118,32 @@ func load(o options, st topology.SchedulerType) (*hpcfail.Store, *hpcfail.Ingest
 	return store, rep, hpcfail.Diagnose(store), nil
 }
 
+// reportInterrupted prints the partial ingest ledger and the resume
+// hint when a journaled load was stopped by a signal.
+func reportInterrupted(err error, rep *hpcfail.IngestReport, o options, stderr io.Writer) {
+	if !errors.Is(err, hpcfail.ErrInterrupted) {
+		return
+	}
+	if rep != nil {
+		fmt.Fprintln(stderr, "partial ingest at interruption:")
+		fmt.Fprintln(stderr, rep.String())
+	}
+	if o.wal != "" {
+		fmt.Fprintln(stderr, "progress checkpointed; rerun with -resume to continue from the journal")
+	} else {
+		fmt.Fprintln(stderr, "no -wal journal was set; a rerun starts from scratch")
+	}
+}
+
 // runJSON emits machine-readable diagnoses, one JSON object per line.
-func runJSON(o options, stdout, stderr io.Writer) error {
+func runJSON(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	st := topology.SchedulerSlurm
 	if o.sched == "torque" {
 		st = topology.SchedulerTorque
 	}
-	_, rep, res, err := load(o, st)
+	_, rep, res, err := load(ctx, o, st)
 	if err != nil {
+		reportInterrupted(err, rep, o, stderr)
 		return err
 	}
 	for _, w := range rep.Warnings() {
@@ -123,7 +181,7 @@ func runJSON(o options, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func run(o options, stdout, stderr io.Writer) error {
+func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	var st topology.SchedulerType
 	switch o.sched {
 	case "slurm":
@@ -133,8 +191,9 @@ func run(o options, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown scheduler %q (want slurm or torque)", o.sched)
 	}
-	store, rep, res, err := load(o, st)
+	store, rep, res, err := load(ctx, o, st)
 	if err != nil {
+		reportInterrupted(err, rep, o, stderr)
 		return err
 	}
 	for i, w := range rep.Warnings() {

@@ -1,0 +1,63 @@
+package main
+
+// Golden-output tests over the committed fixture corpora in
+// ../../testdata. Regenerate expectations after an intentional output
+// change with:
+//
+//	go test ./cmd/leadtime -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const (
+	fixtureClean    = "../../testdata/corpus-clean"
+	fixtureDegraded = "../../testdata/corpus-degraded"
+)
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output diverges from %s (got %d bytes, want %d)\n--- got ---\n%s",
+			path, len(got), len(want), got)
+	}
+}
+
+func TestGoldenLeadtime(t *testing.T) {
+	cases := []struct {
+		name string
+		o    options
+	}{
+		{name: "leadtime-clean", o: options{logs: fixtureClean, sched: "slurm"}},
+		{name: "leadtime-degraded", o: options{logs: fixtureDegraded, sched: "slurm"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(c.o, &buf); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, c.name, buf.Bytes())
+		})
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,24 +19,29 @@ import (
 	"hpcfail/internal/topology"
 )
 
+// options carries the parsed command line.
+type options struct {
+	logs  string
+	sched string
+}
+
 func main() {
-	var (
-		logs  = flag.String("logs", "logs", "log directory")
-		sched = flag.String("scheduler", "slurm", "scheduler dialect: slurm or torque")
-	)
+	var o options
+	flag.StringVar(&o.logs, "logs", "logs", "log directory")
+	flag.StringVar(&o.sched, "scheduler", "slurm", "scheduler dialect: slurm or torque")
 	flag.Parse()
-	if err := run(*logs, *sched); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "leadtime:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, sched string) error {
+func run(o options, stdout io.Writer) error {
 	st := topology.SchedulerSlurm
-	if sched == "torque" {
+	if o.sched == "torque" {
 		st = topology.SchedulerTorque
 	}
-	store, _, err := hpcfail.LoadLogs(dir, st)
+	store, _, err := hpcfail.LoadLogs(o.logs, st)
 	if err != nil {
 		return err
 	}
@@ -58,12 +64,12 @@ func run(dir, sched string) error {
 		tbl.AddRow(d.Detection.Time.Format("01-02 15:04"), d.Detection.Node.String(),
 			d.Cause.String(), intl, ext, factor)
 	}
-	fmt.Print(tbl.String())
+	fmt.Fprint(stdout, tbl.String())
 	sum := hpcfail.SummarizeLeadTimes(res.Diagnoses)
-	fmt.Printf("\n%d/%d failures enhanceable (%s); mean internal %.1f min -> mean external %.1f min (%.1fx)\n",
+	fmt.Fprintf(stdout, "\n%d/%d failures enhanceable (%s); mean internal %.1f min -> mean external %.1f min (%.1fx)\n",
 		sum.Enhanceable, sum.Total, report.Pct(sum.EnhanceableFraction()),
 		sum.MeanInternalMin, sum.MeanExternalMin, sum.MeanFactor)
-	fmt.Println("paper: ~5x enhancement for the 10-28% of failures with external indicators;")
-	fmt.Println("       application-triggered failures have none (Observation 5).")
+	fmt.Fprintln(stdout, "paper: ~5x enhancement for the 10-28% of failures with external indicators;")
+	fmt.Fprintln(stdout, "       application-triggered failures have none (Observation 5).")
 	return nil
 }

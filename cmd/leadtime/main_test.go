@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"path/filepath"
 	"testing"
 	"time"
@@ -27,12 +28,12 @@ func TestRunLeadtime(t *testing.T) {
 	if err := hpcfail.WriteLogs(dir, scn); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "slurm"); err != nil {
+	if err := run(options{logs: dir, sched: "slurm"}, io.Discard); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// Torque path selects the other dialect (and finds no records in a
 	// Slurm-format dir's scheduler log — parse errors tolerated).
-	if err := run(dir, "torque"); err != nil {
+	if err := run(options{logs: dir, sched: "torque"}, io.Discard); err != nil {
 		t.Fatalf("run torque: %v", err)
 	}
 }

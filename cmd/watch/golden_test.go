@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"io"
 	"os"
@@ -64,7 +65,7 @@ func TestGoldenWatch(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			render := func(o options) []byte {
 				var buf bytes.Buffer
-				if err := run(o, &buf, io.Discard); err != nil {
+				if err := run(context.Background(), o, &buf, io.Discard); err != nil {
 					t.Fatal(err)
 				}
 				return buf.Bytes()

@@ -13,13 +13,24 @@
 // -reorder sizes the watcher's re-sequencing buffer that absorbs them.
 // -stream ingests through the sharded streaming loader; the replayed
 // record sequence is identical either way.
+//
+// The replay is crash-safe end to end: -wal journals the streaming
+// ingestion so an interrupted load resumes at the last chunk boundary,
+// and -checkpoint persists the watcher's detection state every -every
+// interval and on SIGINT/SIGTERM. A later run with -resume restores
+// both and continues with no duplicate and no missed detections.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hpcfail"
@@ -29,14 +40,18 @@ import (
 
 // options carries the parsed command line.
 type options struct {
-	logs    string
-	sched   string
-	alarms  bool
-	reorder time.Duration
-	chaos   string
-	stream  bool
-	workers int
-	shards  int
+	logs       string
+	sched      string
+	alarms     bool
+	reorder    time.Duration
+	chaos      string
+	stream     bool
+	workers    int
+	shards     int
+	wal        string
+	checkpoint string
+	every      time.Duration
+	resume     bool
 }
 
 func main() {
@@ -49,34 +64,104 @@ func main() {
 	flag.BoolVar(&o.stream, "stream", false, "use the sharded streaming loader (same replay, bounded memory)")
 	flag.IntVar(&o.workers, "workers", 0, "streaming parse workers (0 = GOMAXPROCS)")
 	flag.IntVar(&o.shards, "shards", 0, "store shard count (0 = default)")
+	flag.StringVar(&o.wal, "wal", "", "ingestion checkpoint-journal directory (implies -stream)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "watcher snapshot file, written every -every and on shutdown")
+	flag.DurationVar(&o.every, "every", time.Minute, "checkpoint interval for -checkpoint")
+	flag.BoolVar(&o.resume, "resume", false, "resume: replay the -wal journal and restore the -checkpoint snapshot")
+
 	flag.Parse()
-	if err := run(o, os.Stdout, os.Stderr); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "watch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(o options, stdout, stderr io.Writer) error {
+// ingest loads the corpus per the options. On an interrupted journaled
+// load the partial report comes back with the error.
+func ingest(ctx context.Context, o options, st topology.SchedulerType) (*hpcfail.Store, *hpcfail.IngestReport, error) {
+	if o.stream || o.wal != "" {
+		sopts := hpcfail.StreamOptions{Workers: o.workers, Shards: o.shards}
+		if o.wal != "" {
+			j, err := hpcfail.OpenWAL(o.wal, hpcfail.WALOptions{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("open -wal journal: %w", err)
+			}
+			defer j.Close()
+			sopts.Journal = j
+		}
+		var (
+			ss  *hpcfail.ShardedStore
+			rep *hpcfail.IngestReport
+			err error
+		)
+		if o.resume && o.wal != "" {
+			ss, rep, err = hpcfail.ResumeLogs(ctx, o.logs, st, sopts)
+		} else {
+			ss, rep, err = hpcfail.LoadLogsStreamContext(ctx, o.logs, st, sopts)
+		}
+		if err != nil {
+			return nil, rep, err
+		}
+		return ss.Merged(), rep, nil
+	}
+	store, rep, err := hpcfail.LoadLogsReport(o.logs, st)
+	return store, rep, err
+}
+
+// saveSnapshot atomically persists the watcher's state: a crash during
+// the write leaves the previous checkpoint intact.
+func saveSnapshot(path string, w *core.Watcher) error {
+	blob, err := json.Marshal(w.Snapshot())
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadSnapshot restores a prior run's watcher state. A missing file is
+// not an error — the interruption may have hit during ingestion, before
+// the first checkpoint was due.
+func loadSnapshot(path string, w *core.Watcher) (bool, error) {
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var s hpcfail.WatcherSnapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return false, fmt.Errorf("corrupt checkpoint %s: %w", path, err)
+	}
+	w.Restore(s)
+	return true, nil
+}
+
+func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	st := topology.SchedulerSlurm
 	if o.sched == "torque" {
 		st = topology.SchedulerTorque
 	}
-	var (
-		store *hpcfail.Store
-		rep   *hpcfail.IngestReport
-		err   error
-	)
-	if o.stream {
-		var ss *hpcfail.ShardedStore
-		ss, rep, err = hpcfail.LoadLogsStream(o.logs, st,
-			hpcfail.StreamOptions{Workers: o.workers, Shards: o.shards})
-		if err == nil {
-			store = ss.Merged()
-		}
-	} else {
-		store, rep, err = hpcfail.LoadLogsReport(o.logs, st)
+	if o.resume && o.wal == "" && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -wal and/or -checkpoint (the state to resume from)")
 	}
+	store, rep, err := ingest(ctx, o, st)
 	if err != nil {
+		if errors.Is(err, hpcfail.ErrInterrupted) {
+			if rep != nil {
+				fmt.Fprintln(stderr, "partial ingest at interruption:")
+				fmt.Fprintln(stderr, rep.String())
+			}
+			fmt.Fprintln(stderr, "ingestion checkpointed; rerun with -resume to continue")
+		}
 		return err
 	}
 	for _, w := range rep.Warnings() {
@@ -117,11 +202,66 @@ func run(o options, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "%s ALARM    %-12s precursor burst%s\n", a.Time.Format(time.RFC3339), a.Node, ext)
 		}
 	}
-	w.FeedAll(recs)
 
-	fmt.Fprintf(stdout, "\nreplayed %d records: %d alarms, %d confirmed failures\n", len(recs), alarms, detections)
-	fmt.Fprintln(stdout, rep.String())
+	// Resume: the snapshot carries the watcher's complete detection
+	// state plus how far into the (deterministic) record sequence the
+	// previous run got, so the replay re-enters exactly where it left
+	// off — no duplicate and no missed detections.
+	start := 0
+	if o.resume && o.checkpoint != "" {
+		restored, err := loadSnapshot(o.checkpoint, w)
+		if err != nil {
+			return err
+		}
+		if restored {
+			start = w.Stats().Fed
+			if start > len(recs) {
+				return fmt.Errorf("checkpoint is ahead of the corpus (%d fed, %d records) — flags or logs changed since", start, len(recs))
+			}
+			fmt.Fprintf(stderr, "restored watcher checkpoint: skipping %d already-replayed records\n", start)
+		}
+	}
+
+	var tick *time.Ticker
+	if o.checkpoint != "" {
+		every := o.every
+		if every <= 0 {
+			every = time.Minute
+		}
+		tick = time.NewTicker(every)
+		defer tick.Stop()
+	}
+	for i := start; i < len(recs); i++ {
+		if ctx.Err() != nil {
+			if o.checkpoint != "" {
+				if err := saveSnapshot(o.checkpoint, w); err != nil {
+					return fmt.Errorf("write shutdown checkpoint: %w", err)
+				}
+			}
+			fmt.Fprintf(stderr, "interrupted after %d/%d records; rerun with -resume to continue\n", i, len(recs))
+			return fmt.Errorf("replay stopped at record %d/%d: %w", i, len(recs), hpcfail.ErrInterrupted)
+		}
+		if tick != nil {
+			select {
+			case <-tick.C:
+				if err := saveSnapshot(o.checkpoint, w); err != nil {
+					fmt.Fprintln(stderr, "warning: checkpoint write failed:", err)
+				}
+			default:
+			}
+		}
+		w.Feed(recs[i])
+	}
+	w.Flush()
+	if o.checkpoint != "" {
+		if err := saveSnapshot(o.checkpoint, w); err != nil {
+			fmt.Fprintln(stderr, "warning: final checkpoint write failed:", err)
+		}
+	}
+
 	ws := w.Stats()
+	fmt.Fprintf(stdout, "\nreplayed %d records: %d alarms, %d confirmed failures\n", ws.Fed, alarms, detections)
+	fmt.Fprintln(stdout, rep.String())
 	fmt.Fprintf(stdout, "watcher: %d out-of-order arrivals, %d state entries evicted\n", ws.Reordered, ws.Evicted)
 	if rep.Degraded() || len(rep.Missing) > 0 {
 		fmt.Fprintf(stdout, "degraded ingest: %d files skipped, %d streams missing, %d lines quarantined\n",

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"hpcfail"
+	"hpcfail/internal/topology"
 )
 
 func writeTestLogs(t *testing.T) string {
@@ -38,33 +43,41 @@ func watchOpts(dir string) options {
 }
 
 func TestRunWatch(t *testing.T) {
+	ctx := context.Background()
 	dir := writeTestLogs(t)
-	if err := run(watchOpts(dir), io.Discard, io.Discard); err != nil {
+	if err := run(ctx, watchOpts(dir), io.Discard, io.Discard); err != nil {
 		t.Fatalf("run with alarms: %v", err)
 	}
 	o := watchOpts(dir)
 	o.alarms = false
-	if err := run(o, io.Discard, io.Discard); err != nil {
+	if err := run(ctx, o, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run without alarms: %v", err)
 	}
 	o = watchOpts(dir)
 	o.stream = true
 	o.workers = 2
-	if err := run(o, io.Discard, io.Discard); err != nil {
+	if err := run(ctx, o, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run -stream: %v", err)
 	}
-	if err := run(watchOpts(t.TempDir()), io.Discard, io.Discard); err == nil {
+	if err := run(ctx, watchOpts(t.TempDir()), io.Discard, io.Discard); err == nil {
 		t.Error("empty directory should error")
+	}
+	o = watchOpts(dir)
+	o.resume = true
+	if err := run(ctx, o, io.Discard, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-resume requires") {
+		t.Errorf("-resume without state should error, got %v", err)
 	}
 }
 
 func TestRunWatchChaosReplay(t *testing.T) {
+	ctx := context.Background()
 	dir := writeTestLogs(t)
 	// Shuffled delivery absorbed by the reorder buffer.
 	o := watchOpts(dir)
 	o.reorder = time.Hour
 	o.chaos = "mode=shuffle,intensity=0.5,seed=3"
-	if err := run(o, io.Discard, io.Discard); err != nil {
+	if err := run(ctx, o, io.Discard, io.Discard); err != nil {
 		t.Fatalf("chaos replay: %v", err)
 	}
 	// Every mode at 20% intensity must survive without error.
@@ -72,13 +85,13 @@ func TestRunWatchChaosReplay(t *testing.T) {
 		o := watchOpts(dir)
 		o.reorder = time.Minute
 		o.chaos = "mode=" + mode + ",intensity=0.2,seed=9"
-		if err := run(o, io.Discard, io.Discard); err != nil {
+		if err := run(ctx, o, io.Discard, io.Discard); err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
 	}
 	o = watchOpts(dir)
 	o.chaos = "mode=nope,intensity=0.2"
-	if err := run(o, io.Discard, io.Discard); err == nil {
+	if err := run(ctx, o, io.Discard, io.Discard); err == nil {
 		t.Error("bad chaos spec should error")
 	}
 }
@@ -92,7 +105,148 @@ func TestRunWatchSurvivesDamagedDir(t *testing.T) {
 	if err := os.Remove(filepath.Join(dir, "controller-bc.log")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(watchOpts(dir), io.Discard, io.Discard); err != nil {
+	if err := run(context.Background(), watchOpts(dir), io.Discard, io.Discard); err != nil {
 		t.Fatalf("damaged dir: %v", err)
+	}
+}
+
+// cancelAfter cancels a context once n writes have passed through it —
+// the deterministic stand-in for a SIGTERM landing mid-replay.
+type cancelAfter struct {
+	w      io.Writer
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Write(p []byte) (int, error) {
+	if c.n--; c.n == 0 {
+		c.cancel()
+	}
+	return c.w.Write(p)
+}
+
+// eventLines strips the trailing summary so interrupted and resumed
+// transcripts can be compared event for event.
+func eventLines(out string) string {
+	if i := strings.Index(out, "\nreplayed "); i >= 0 {
+		return out[:i]
+	}
+	return out
+}
+
+// TestRunWatchCheckpointResume: interrupt the replay mid-flight, then
+// resume from the snapshot — the concatenated event transcript must be
+// identical to an uninterrupted run, and the final summary must count
+// the whole corpus.
+func TestRunWatchCheckpointResume(t *testing.T) {
+	dir := writeTestLogs(t)
+	for _, reorder := range []time.Duration{0, 10 * time.Minute} {
+		var whole bytes.Buffer
+		o := watchOpts(dir)
+		o.reorder = reorder
+		if err := run(context.Background(), o, &whole, io.Discard); err != nil {
+			t.Fatalf("reference run: %v", err)
+		}
+
+		o.checkpoint = filepath.Join(t.TempDir(), "watch.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var first bytes.Buffer
+		err := run(ctx, o, &cancelAfter{w: &first, n: 12, cancel: cancel}, io.Discard)
+		if !errors.Is(err, hpcfail.ErrInterrupted) {
+			t.Fatalf("interrupted run: want ErrInterrupted, got %v", err)
+		}
+		if _, err := os.Stat(o.checkpoint); err != nil {
+			t.Fatalf("no shutdown checkpoint written: %v", err)
+		}
+
+		o.resume = true
+		var second, notes bytes.Buffer
+		if err := run(context.Background(), o, &second, &notes); err != nil {
+			t.Fatalf("resume run: %v\nstderr: %s", err, notes.String())
+		}
+		if !strings.Contains(notes.String(), "restored watcher checkpoint") {
+			t.Errorf("resume did not restore the checkpoint:\n%s", notes.String())
+		}
+
+		got := eventLines(first.String()) + eventLines(second.String())
+		want := eventLines(whole.String())
+		if got != want {
+			t.Errorf("reorder %v: resumed transcript diverges from uninterrupted run\n--- got ---\n%s\n--- want ---\n%s",
+				reorder, got, want)
+		}
+		// Cumulative accounting: the resumed summary covers the corpus.
+		wantSummary := whole.String()[len(eventLines(whole.String())):]
+		gotSummary := second.String()[len(eventLines(second.String())):]
+		wantReplayed := strings.SplitN(wantSummary, ":", 2)[0]
+		if !strings.HasPrefix(gotSummary, wantReplayed) {
+			t.Errorf("reorder %v: resumed summary %q does not count the whole corpus (%q)",
+				reorder, strings.TrimSpace(gotSummary), strings.TrimSpace(wantReplayed))
+		}
+	}
+}
+
+// TestRunWatchWALResume: kill a journaled ingestion mid-load (library
+// chunk hook as the SIGTERM stand-in), then resume through the command;
+// the replay output must match an uninterrupted run.
+func TestRunWatchWALResume(t *testing.T) {
+	dir := writeTestLogs(t)
+	var want bytes.Buffer
+	o := watchOpts(dir)
+	o.stream = true
+	o.workers = 2
+	if err := run(context.Background(), o, &want, io.Discard); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	walDir := filepath.Join(t.TempDir(), "wal")
+	j, err := hpcfail.OpenWAL(walDir, hpcfail.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chunks := 0
+	_, _, err = hpcfail.LoadLogsStreamContext(kctx, dir, topology.SchedulerSlurm, hpcfail.StreamOptions{
+		Workers: 2, ChunkLines: 100, Journal: j,
+		OnChunk: func(string, int) {
+			if chunks++; chunks == 5 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, hpcfail.ErrInterrupted) {
+		t.Fatalf("kill run: want ErrInterrupted, got %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o.wal = walDir
+	o.resume = true
+	var got bytes.Buffer
+	if err := run(context.Background(), o, &got, io.Discard); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("resumed replay diverges from uninterrupted run (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}
+
+// TestRunWatchIngestInterruptMessaging: a signal during ingestion
+// surfaces the partial ledger and the resume hint.
+func TestRunWatchIngestInterruptMessaging(t *testing.T) {
+	dir := writeTestLogs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := watchOpts(dir)
+	o.wal = filepath.Join(t.TempDir(), "wal")
+	var errOut bytes.Buffer
+	err := run(ctx, o, io.Discard, &errOut)
+	if !errors.Is(err, hpcfail.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if !strings.Contains(errOut.String(), "rerun with -resume") {
+		t.Errorf("stderr lacks resume hint:\n%s", errOut.String())
 	}
 }

@@ -10,11 +10,14 @@ package hpcfail
 //	go test -run TestShardedEquivalence -race ./...
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -87,6 +90,12 @@ func sameIngestReports(t *testing.T, got, want *IngestReport) {
 		got.TotalQuarantined() != want.TotalQuarantined() ||
 		got.TotalReordered() != want.TotalReordered() {
 		t.Fatalf("ingest totals diverge: %s vs %s", got, want)
+	}
+	if !reflect.DeepEqual(got.Poisoned, want.Poisoned) {
+		t.Fatalf("Poisoned diverges:\n got %v\nwant %v", got.Poisoned, want.Poisoned)
+	}
+	if !reflect.DeepEqual(got.Tripped, want.Tripped) {
+		t.Fatalf("Tripped diverges:\n got %v\nwant %v", got.Tripped, want.Tripped)
 	}
 	if len(got.Streams) != len(want.Streams) {
 		t.Fatalf("stream ledger count %d vs %d", len(got.Streams), len(want.Streams))
@@ -172,6 +181,220 @@ func TestShardedEquivalence(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestCrashResumeEquivalence is the crash-safety property: a streaming
+// load killed at an arbitrary point of collector progress and resumed
+// from its WAL journal must be record-for-record identical to an
+// uninterrupted load — same store contents, same ingest ledger
+// (including supervisor poison/breaker verdicts), same diagnoses, same
+// online-watcher detections. The matrix crosses kill points × process
+// chaos modes (none/panic/stall/iofault, all with deterministic
+// stateless verdicts) × GOMAXPROCS; run under -race.
+func TestCrashResumeEquivalence(t *testing.T) {
+	scn := equivScenario(t, 23)
+	dir := equivCorpus{name: "chaos-mixed",
+		chaos: ChaosConfig{Garble: 0.06, Truncate: 0.04, Seed: 17}}.write(t, scn)
+
+	variants := []struct {
+		name string
+		cfg  ChaosConfig // process-fault injection config; zero = none
+	}{
+		{name: "none"},
+		{name: "panic", cfg: ChaosConfig{Seed: 31, Panic: 0.25, Sticky: 1}},
+		{name: "stall", cfg: ChaosConfig{Seed: 31, Stall: 0.25, Sticky: 1}},
+		{name: "iofault", cfg: ChaosConfig{Seed: 31, IOFault: 0.5, Sticky: 0.5}},
+	}
+	base := StreamOptions{Workers: 3, Shards: 4, ChunkLines: 100,
+		BreakerThreshold: 3, CheckpointEvery: 4, BackoffBase: -1}
+
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			opts := base
+			if v.cfg != (ChaosConfig{}) {
+				opts.Chaos = NewChaosInjector(v.cfg)
+			}
+			wantSS, wantRep, err := LoadLogsStream(dir, topology.SchedulerSlurm, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRes := DiagnoseShardedReport(wantSS, wantRep, 0)
+			var wantDets []Detection
+			NewWatcher(func(d Detection) { wantDets = append(wantDets, d) }).FeedAll(wantSS.All())
+
+			if v.name == "panic" || v.name == "stall" {
+				// The supervised degradation contract: faults never fail
+				// the load, they lower confidence and ledger the damage.
+				if len(wantRep.Poisoned) == 0 {
+					t.Fatalf("%s at 0.25 sticky poisoned nothing — matrix vacuous", v.name)
+				}
+				if wantRes.Degradation.LostChunks == 0 || !wantRes.Degradation.Degraded() {
+					t.Fatal("lost chunks not reflected in degradation")
+				}
+			}
+
+			for _, gmp := range []int{1, 2, 8} {
+				for _, kill := range []int{0, 5, 13} {
+					t.Run(fmt.Sprintf("gomaxprocs%d/kill%d", gmp, kill), func(t *testing.T) {
+						old := runtime.GOMAXPROCS(gmp)
+						defer runtime.GOMAXPROCS(old)
+
+						journal, err := OpenWAL(filepath.Join(t.TempDir(), "wal"), WALOptions{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer journal.Close()
+						opts := base
+						opts.Journal = journal
+						if v.cfg != (ChaosConfig{}) {
+							opts.Chaos = NewChaosInjector(v.cfg)
+						}
+						ctx, cancel := context.WithCancel(context.Background())
+						seen := 0
+						opts.OnChunk = func(string, int) {
+							if seen == kill {
+								cancel()
+							}
+							seen++
+						}
+						_, partial, err := LoadLogsStreamContext(ctx, dir, topology.SchedulerSlurm, opts)
+						cancel()
+						if !errors.Is(err, ErrInterrupted) {
+							t.Fatalf("kill@%d: err = %v, want ErrInterrupted", kill, err)
+						}
+						if partial == nil {
+							t.Fatal("interrupted load returned no partial report")
+						}
+						opts.OnChunk = nil
+						ss, rep, err := ResumeLogs(context.Background(), dir, topology.SchedulerSlurm, opts)
+						if err != nil {
+							t.Fatalf("resume: %v", err)
+						}
+						if !reflect.DeepEqual(ss.All(), wantSS.All()) {
+							t.Fatalf("resumed store diverges (%d vs %d records)", ss.Len(), wantSS.Len())
+						}
+						sameIngestReports(t, rep, wantRep)
+						sameResults(t, DiagnoseShardedReport(ss, rep, 0), wantRes)
+
+						// Online-watcher leg: a watcher checkpointed and
+						// restored mid-sequence over the resumed store's
+						// records emits exactly the reference detections.
+						recs := ss.All()
+						cut := len(recs) / 3
+						var dets []Detection
+						w1 := NewWatcher(func(d Detection) { dets = append(dets, d) })
+						w1.FeedAll(recs[:cut])
+						w2 := NewWatcher(func(d Detection) { dets = append(dets, d) })
+						w2.Restore(w1.Snapshot())
+						w2.FeedAll(recs[cut:])
+						if !reflect.DeepEqual(dets, wantDets) {
+							t.Fatalf("watcher detections diverge across snapshot/restore: %d vs %d",
+								len(dets), len(wantDets))
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestCrashResumeDoubleKill exercises a crash of the recovery itself at
+// the top-level API: kill, resume, kill the resume, resume again.
+func TestCrashResumeDoubleKill(t *testing.T) {
+	scn := equivScenario(t, 23)
+	dir := equivCorpus{name: "clean"}.write(t, scn)
+	base := StreamOptions{Workers: 2, Shards: 3, ChunkLines: 100, CheckpointEvery: 2}
+	wantSS, wantRep, err := LoadLogsStream(dir, topology.SchedulerSlurm, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := OpenWAL(filepath.Join(t.TempDir(), "wal"), WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal.Close()
+	opts := base
+	opts.Journal = journal
+	kill := func(n int, resume bool) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		seen := 0
+		opts.OnChunk = func(string, int) {
+			if seen == n {
+				cancel()
+			}
+			seen++
+		}
+		var err error
+		if resume {
+			_, _, err = ResumeLogs(ctx, dir, topology.SchedulerSlurm, opts)
+		} else {
+			_, _, err = LoadLogsStreamContext(ctx, dir, topology.SchedulerSlurm, opts)
+		}
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("kill@%d: err = %v, want ErrInterrupted", n, err)
+		}
+	}
+	kill(3, false)
+	kill(4, true)
+	opts.OnChunk = nil
+	ss, rep, err := ResumeLogs(context.Background(), dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss.All(), wantSS.All()) {
+		t.Fatalf("double-kill resume diverges (%d vs %d records)", ss.Len(), wantSS.Len())
+	}
+	sameIngestReports(t, rep, wantRep)
+}
+
+// TestSupervisedDegradationLowersConfidence pins the acceptance
+// contract: a corpus whose load limped home with poisoned chunks
+// diagnoses with strictly lower confidence and says why.
+func TestSupervisedDegradationLowersConfidence(t *testing.T) {
+	scn := equivScenario(t, 5)
+	dir := equivCorpus{name: "clean"}.write(t, scn)
+	clean, cleanRep, err := LoadLogsStream(dir, topology.SchedulerSlurm, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes := DiagnoseShardedReport(clean, cleanRep, 0)
+	if len(cleanRes.Diagnoses) == 0 {
+		t.Fatal("clean corpus yields no diagnoses — test vacuous")
+	}
+
+	opts := StreamOptions{ChunkLines: 100, BackoffBase: -1,
+		Chaos: NewChaosInjector(ChaosConfig{Seed: 77, Panic: 0.15, Sticky: 1})}
+	ss, rep, err := LoadLogsStream(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatalf("panicking workers must never fail the load: %v", err)
+	}
+	if len(rep.Poisoned) == 0 {
+		t.Fatal("no poisoned chunks at Panic=0.15 sticky — test vacuous")
+	}
+	res := DiagnoseShardedReport(ss, rep, 0)
+	if got, want := res.Degradation.LostChunks, rep.LostChunks(); got != want {
+		t.Fatalf("Degradation.LostChunks = %d, want %d", got, want)
+	}
+	for i, d := range res.Diagnoses {
+		if !d.Degraded {
+			t.Fatalf("diagnosis %d not marked degraded", i)
+		}
+		if !strings.Contains(d.Note, "chunks lost during ingestion") {
+			t.Fatalf("diagnosis %d note %q omits chunk loss", i, d.Note)
+		}
+	}
+	// Confidence strictly lower than the same diagnosis made cleanly
+	// (detection sets can differ when a poisoned chunk held a terminal
+	// event, so compare only as far as both runs detect the same node).
+	for i := 0; i < len(res.Diagnoses) && i < len(cleanRes.Diagnoses); i++ {
+		g, w := res.Diagnoses[i], cleanRes.Diagnoses[i]
+		if g.Detection == w.Detection && g.Confidence >= w.Confidence {
+			t.Fatalf("diagnosis %d confidence %v not lowered (clean %v)", i, g.Confidence, w.Confidence)
 		}
 	}
 }

@@ -27,6 +27,7 @@
 package hpcfail
 
 import (
+	"context"
 	"time"
 
 	"hpcfail/internal/chaos"
@@ -36,6 +37,7 @@ import (
 	"hpcfail/internal/faultsim"
 	"hpcfail/internal/logstore"
 	"hpcfail/internal/topology"
+	"hpcfail/internal/wal"
 )
 
 // Re-exported core types. The aliases are the stable public names; the
@@ -134,9 +136,32 @@ type (
 	// byte-identical to the sequential store.
 	ShardedStore = logstore.ShardedStore
 	// StreamOptions tunes the streaming loader's worker pool,
-	// backpressure bounds, shard count and chunk size.
+	// backpressure bounds, shard count, chunk size and the crash-safety
+	// knobs: checkpoint journal, retry/breaker supervision, stall
+	// watchdog.
 	StreamOptions = logstore.StreamOptions
+	// WAL is the append-only, checksummed, segment-rotated write-ahead
+	// log backing checkpoint journals.
+	WAL = wal.Log
+	// WALOptions tunes a WAL (segment size, fsync policy).
+	WALOptions = wal.Options
+	// PoisonChunk is one chunk the ingestion supervisor quarantined
+	// after exhausting its retry budget.
+	PoisonChunk = logstore.PoisonChunk
+	// BreakerTrip is one stream whose circuit breaker opened after too
+	// many poisoned chunks.
+	BreakerTrip = logstore.BreakerTrip
 )
+
+// ErrInterrupted wraps the error returned when a context-cancelled
+// streaming load stops at a chunk boundary; the partial IngestReport is
+// still returned, and a journaled load resumes with ResumeLogs.
+var ErrInterrupted = logstore.ErrInterrupted
+
+// OpenWAL opens (or creates) a write-ahead log directory, truncating
+// any torn tail from a crashed writer. Pass it as StreamOptions.Journal
+// to make a streaming load resumable.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) { return wal.Open(dir, opts) }
 
 // LoadLogsStream is the sharded, memory-bounded counterpart of
 // LoadLogsReport: files are read one at a time, parsed in chunks by a
@@ -145,6 +170,22 @@ type (
 // directory.
 func LoadLogsStream(dir string, sched topology.SchedulerType, opts StreamOptions) (*ShardedStore, *IngestReport, error) {
 	return logstore.StreamLoadDir(dir, sched, opts)
+}
+
+// LoadLogsStreamContext is LoadLogsStream under a context: cancellation
+// stops the load at the next chunk boundary with ErrInterrupted and the
+// partial report. With StreamOptions.Journal set the progress is
+// checkpointed for ResumeLogs.
+func LoadLogsStreamContext(ctx context.Context, dir string, sched topology.SchedulerType, opts StreamOptions) (*ShardedStore, *IngestReport, error) {
+	return logstore.StreamLoadDirContext(ctx, dir, sched, opts)
+}
+
+// ResumeLogs continues a journaled streaming load that was interrupted
+// or killed: completed work replays from the journal, the stream in
+// flight re-enters the pipeline at the first unjournaled chunk, and the
+// result is record-for-record identical to an uninterrupted load.
+func ResumeLogs(ctx context.Context, dir string, sched topology.SchedulerType, opts StreamOptions) (*ShardedStore, *IngestReport, error) {
+	return logstore.ResumeLoadDir(ctx, dir, sched, opts)
 }
 
 // ShardRecords builds a sealed sharded store over in-memory records —
@@ -219,6 +260,14 @@ func DiagnoseShardedWith(ss *ShardedStore, cfg PipelineConfig, workers int) *Res
 	return core.RunSharded(ss, cfg, workers)
 }
 
+// DiagnoseShardedReport is DiagnoseSharded with the ingestion report's
+// supervisor verdicts folded into the degradation assessment: chunks
+// poisoned or dropped during loading lower every diagnosis's confidence
+// and appear in its evidence note. rep may be nil.
+func DiagnoseShardedReport(ss *ShardedStore, rep *IngestReport, workers int) *Result {
+	return core.RunShardedReport(ss, rep, core.DefaultConfig(), workers)
+}
+
 // Recommendation is one Table VI-style operator action derived from
 // measured behaviour.
 type Recommendation = core.Recommendation
@@ -229,6 +278,11 @@ func Recommend(res *Result) []Recommendation { return core.Recommend(res) }
 
 // Watcher is the online (streaming) detector; see core.NewWatcher.
 type Watcher = core.Watcher
+
+// WatcherSnapshot is a watcher's serialisable detection state: a
+// restored watcher continues with no duplicate and no missed
+// detections. See Watcher.Snapshot / Watcher.Restore.
+type WatcherSnapshot = core.WatcherSnapshot
 
 // NewWatcher builds a streaming detector that invokes onDetection for
 // each confirmed failure as its log records arrive.

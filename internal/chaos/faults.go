@@ -1,0 +1,138 @@
+// Process-fault injection: where chaos.go corrupts the *data* flowing
+// through the pipeline, this file corrupts the *pipeline itself* — I/O
+// errors surfacing from the reader, and worker attempts that panic or
+// stall. These drive the ingestion supervisor (retry, poison-chunk
+// quarantine, circuit breaker) the same way the data operators drive the
+// parser's quarantine path.
+//
+// Fault draws are stateless: each call re-derives its generator from
+// (Seed, stream[, chunk]), so the verdict for a given site is identical
+// no matter how many times it is asked, in what order, or from which
+// goroutine — the property crash-resume equivalence rests on. A site
+// that fires is additionally drawn sticky or transient: a transient
+// fault fails only the first attempt (a retry heals it), a sticky fault
+// fails every attempt (the supervisor must quarantine or trip).
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/rng"
+)
+
+// The process-fault modes.
+const (
+	// ModeIOFault makes whole-file reads fail with an injected error.
+	ModeIOFault Mode = "iofault"
+	// ModeStall makes chunk-parse attempts hang until the watchdog.
+	ModeStall Mode = "stall"
+	// ModePanic makes chunk-parse attempts panic.
+	ModePanic Mode = "panic"
+)
+
+// Fault is the verdict for one worker attempt at one chunk.
+type Fault int
+
+const (
+	// FaultNone lets the attempt run normally.
+	FaultNone Fault = iota
+	// FaultPanic aborts the attempt with a panic.
+	FaultPanic
+	// FaultStall hangs the attempt until the supervisor's watchdog.
+	FaultStall
+)
+
+// String names the fault for error messages.
+func (f Fault) String() string {
+	switch f {
+	case FaultPanic:
+		return "panic"
+	case FaultStall:
+		return "stall"
+	default:
+		return "none"
+	}
+}
+
+// defaultSticky is the chance a firing fault site is sticky when
+// Config.Sticky is left zero: three in four injected faults heal on
+// retry, the rest exhaust the retry budget.
+const defaultSticky = 0.25
+
+// stickiness resolves the effective sticky probability.
+func stickiness(p float64) float64 {
+	if p == 0 {
+		return defaultSticky
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// faultRand derives the stateless generator for one fault site.
+func (in *Injector) faultRand(site string) *rng.Rand {
+	return rng.New(in.cfg.Seed).Split("fault/" + site)
+}
+
+// ReadFault decides whether reading the named stream's file fails on
+// this attempt (0-based). A transient fault fails only attempt 0; a
+// sticky one fails every attempt. The verdict is deterministic per
+// (Seed, stream, attempt) and safe to call concurrently.
+func (in *Injector) ReadFault(stream string, attempt int) error {
+	if in.cfg.IOFault <= 0 {
+		return nil
+	}
+	r := in.faultRand(stream)
+	fire := r.Bool(in.cfg.IOFault)
+	sticky := r.Bool(stickiness(in.cfg.Sticky))
+	if !fire || (attempt > 0 && !sticky) {
+		return nil
+	}
+	in.mu.Lock()
+	in.Report.IOFaults++
+	in.mu.Unlock()
+	return fmt.Errorf("chaos: injected I/O fault reading %s (attempt %d)", stream, attempt)
+}
+
+// ChunkFault decides whether a worker's attempt (0-based) at chunk ci of
+// the named stream panics, stalls, or runs clean. As with ReadFault the
+// verdict is deterministic per (Seed, stream, ci, attempt) and safe to
+// call from concurrent workers.
+func (in *Injector) ChunkFault(stream string, ci, attempt int) Fault {
+	if in.cfg.Panic <= 0 && in.cfg.Stall <= 0 {
+		return FaultNone
+	}
+	r := in.faultRand(fmt.Sprintf("%s/chunk%d", stream, ci))
+	// Fixed draw order keeps the verdict stable whichever operator is
+	// configured.
+	panics := r.Bool(in.cfg.Panic)
+	stalls := r.Bool(in.cfg.Stall)
+	sticky := r.Bool(stickiness(in.cfg.Sticky))
+	if attempt > 0 && !sticky {
+		return FaultNone
+	}
+	var f Fault
+	switch {
+	case panics:
+		f = FaultPanic
+	case stalls:
+		f = FaultStall
+	default:
+		return FaultNone
+	}
+	in.mu.Lock()
+	if f == FaultPanic {
+		in.Report.Panics++
+	} else {
+		in.Report.Stalls++
+	}
+	in.mu.Unlock()
+	return f
+}
+
+// StallTime is the configured real-sleep duration for injected stalls;
+// zero keeps stalls virtual (the supervisor records a watchdog timeout
+// without any wall-clock wait — the deterministic default for tests).
+func (in *Injector) StallTime() time.Duration { return in.cfg.StallTime }

@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFaultDeterminism: the fault verdict for a site is a pure function
+// of (seed, stream, chunk, attempt) — identical across injectors with
+// the same config, across repeated calls, and regardless of call order.
+func TestFaultDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, IOFault: 0.3, Stall: 0.2, Panic: 0.2}
+	a, b := New(cfg), New(cfg)
+
+	type verdict struct {
+		read0, read1 bool
+		f0, f1       Fault
+	}
+	collect := func(in *Injector, streams []string) map[string]verdict {
+		out := map[string]verdict{}
+		for _, s := range streams {
+			out[s] = verdict{
+				read0: in.ReadFault(s, 0) != nil,
+				read1: in.ReadFault(s, 1) != nil,
+				f0:    in.ChunkFault(s, 3, 0),
+				f1:    in.ChunkFault(s, 3, 1),
+			}
+		}
+		return out
+	}
+	streams := []string{"console-0", "console-1", "syslog-0", "event-0", "netwatch"}
+	va := collect(a, streams)
+	// b visits the streams in reverse order: verdicts must not shift.
+	rev := make([]string, len(streams))
+	for i, s := range streams {
+		rev[len(streams)-1-i] = s
+	}
+	vb := collect(b, rev)
+	for s, w := range va {
+		if vb[s] != w {
+			t.Fatalf("stream %s: verdict order-dependent: %+v vs %+v", s, w, vb[s])
+		}
+	}
+	// Repeat calls agree with themselves.
+	for _, s := range streams {
+		if (a.ReadFault(s, 0) != nil) != va[s].read0 {
+			t.Fatalf("stream %s: ReadFault not repeatable", s)
+		}
+		if a.ChunkFault(s, 3, 0) != va[s].f0 {
+			t.Fatalf("stream %s: ChunkFault not repeatable", s)
+		}
+	}
+	// Different seeds give different verdict sets (overwhelmingly likely
+	// over 5 streams × several draws).
+	c := New(Config{Seed: 43, IOFault: 0.3, Stall: 0.2, Panic: 0.2})
+	if vc := collect(c, streams); func() bool {
+		for s := range va {
+			if va[s] != vc[s] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("seed 42 and 43 produced identical fault verdicts")
+	}
+}
+
+// TestFaultZeroConfigIdentity: a zero config never fires and never
+// accounts anything.
+func TestFaultZeroConfigIdentity(t *testing.T) {
+	in := New(Config{Seed: 7})
+	for _, s := range []string{"a", "b", "c"} {
+		for att := 0; att < 3; att++ {
+			if err := in.ReadFault(s, att); err != nil {
+				t.Fatalf("zero config ReadFault(%s,%d) = %v", s, att, err)
+			}
+			for ci := 0; ci < 4; ci++ {
+				if f := in.ChunkFault(s, ci, att); f != FaultNone {
+					t.Fatalf("zero config ChunkFault(%s,%d,%d) = %v", s, ci, att, f)
+				}
+			}
+		}
+	}
+	if in.Report.Faults() != 0 {
+		t.Fatalf("zero config accounted %d faults", in.Report.Faults())
+	}
+}
+
+// TestFaultStickiness: transient sites fail attempt 0 only; sticky
+// sites fail every attempt. With Sticky=-1 nothing survives a retry,
+// with Sticky=1 everything does.
+func TestFaultStickiness(t *testing.T) {
+	transient := New(Config{Seed: 11, IOFault: 1, Panic: 1, Sticky: -1})
+	if transient.ReadFault("s", 0) == nil {
+		t.Fatal("IOFault=1 did not fire on attempt 0")
+	}
+	if err := transient.ReadFault("s", 1); err != nil {
+		t.Fatalf("transient fault fired on retry: %v", err)
+	}
+	if f := transient.ChunkFault("s", 0, 0); f != FaultPanic {
+		t.Fatalf("Panic=1 attempt 0 = %v", f)
+	}
+	if f := transient.ChunkFault("s", 0, 1); f != FaultNone {
+		t.Fatalf("transient chunk fault fired on retry: %v", f)
+	}
+
+	sticky := New(Config{Seed: 11, IOFault: 1, Stall: 1, Sticky: 1})
+	for att := 0; att < 4; att++ {
+		if sticky.ReadFault("s", att) == nil {
+			t.Fatalf("sticky read fault healed at attempt %d", att)
+		}
+		if f := sticky.ChunkFault("s", 0, att); f != FaultStall {
+			t.Fatalf("sticky stall healed at attempt %d: %v", att, f)
+		}
+	}
+}
+
+// TestFaultPanicWinsOverStall: with both configured at 1, the verdict is
+// a panic (fixed precedence keeps the matrix deterministic).
+func TestFaultPanicWinsOverStall(t *testing.T) {
+	in := New(Config{Seed: 3, Panic: 1, Stall: 1})
+	if f := in.ChunkFault("s", 0, 0); f != FaultPanic {
+		t.Fatalf("panic+stall verdict = %v, want panic", f)
+	}
+}
+
+// TestFaultAccounting: Report counts every firing, under concurrency.
+func TestFaultAccounting(t *testing.T) {
+	in := New(Config{Seed: 5, IOFault: 1, Panic: 1, Sticky: 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				in.ReadFault("s", 0)
+				in.ChunkFault("s", i, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Report.IOFaults != 400 || in.Report.Panics != 400 {
+		t.Fatalf("accounting: iofaults %d panics %d, want 400 each",
+			in.Report.IOFaults, in.Report.Panics)
+	}
+	if in.Report.Corruptions() != 0 {
+		t.Fatal("process faults leaked into Corruptions()")
+	}
+	if in.Report.Faults() != 800 {
+		t.Fatalf("Faults() = %d, want 800", in.Report.Faults())
+	}
+}
+
+// TestFaultParseSpec: flag grammar round-trips the new keys and modes.
+func TestFaultParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("iofault=0.1,stall=0.05,panic=0.02,sticky=0.5,stalltime=20ms,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IOFault != 0.1 || cfg.Stall != 0.05 || cfg.Panic != 0.02 ||
+		cfg.Sticky != 0.5 || cfg.StallTime.Milliseconds() != 20 || cfg.Seed != 9 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("fault-only config reports Enabled() = false")
+	}
+	for _, m := range []Mode{ModeIOFault, ModeStall, ModePanic} {
+		mc, err := ParseSpec("mode=" + string(m) + ",intensity=0.3")
+		if err != nil {
+			t.Fatalf("mode=%s: %v", m, err)
+		}
+		want := ForMode(m, 0.3, 0)
+		want.ShuffleWindow, mc.ShuffleWindow = 0, 0
+		want.MaxSkew, mc.MaxSkew = 0, 0
+		if mc != want {
+			t.Fatalf("mode=%s parsed %+v want %+v", m, mc, want)
+		}
+	}
+	// Explicit sticky=0 means never sticky (distinct from unset).
+	cfg, err = ParseSpec("panic=1,sticky=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(cfg)
+	if f := in.ChunkFault("x", 0, 1); f != FaultNone {
+		t.Fatalf("sticky=0 still sticky: %v", f)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 
 	"hpcfail/internal/events"
@@ -25,11 +26,18 @@ type Degradation struct {
 	// MissingALPS: no placement log — apid → job resolution is lost on
 	// Cray-style systems.
 	MissingALPS bool
+	// LostChunks counts log chunks the ingestion supervisor quarantined
+	// (poisoned after exhausting retries) or dropped (circuit breaker).
+	// The corpus is incomplete in a way the stream-family flags cannot
+	// see: every family may be present yet have holes.
+	LostChunks int
 }
 
-// Degraded reports whether any stream family is absent.
+// Degraded reports whether any stream family is absent or any ingestion
+// chunks were lost.
 func (g Degradation) Degraded() bool {
-	return g.MissingInternal || g.MissingExternal || g.MissingScheduler || g.MissingALPS
+	return g.MissingInternal || g.MissingExternal || g.MissingScheduler || g.MissingALPS ||
+		g.LostChunks > 0
 }
 
 // Factor is the confidence multiplier applied to every diagnosis made
@@ -47,6 +55,9 @@ func (g Degradation) Factor() float64 {
 		f *= 0.8
 	}
 	if g.MissingALPS {
+		f *= 0.9
+	}
+	if g.LostChunks > 0 {
 		f *= 0.9
 	}
 	return f
@@ -67,6 +78,9 @@ func (g Degradation) Note() string {
 	}
 	if g.MissingALPS {
 		parts = append(parts, "ALPS placement log absent, apid resolution lost")
+	}
+	if g.LostChunks > 0 {
+		parts = append(parts, fmt.Sprintf("%d log chunks lost during ingestion", g.LostChunks))
 	}
 	if len(parts) == 0 {
 		return ""

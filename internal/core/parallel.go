@@ -143,6 +143,24 @@ func DetectSharded(ss *logstore.ShardedStore, cfg Config, workers int) []Detecti
 // the same arrival order — the sequential-equivalence invariant the
 // TestShardedEquivalence harness enforces.
 func RunSharded(ss *logstore.ShardedStore, cfg Config, workers int) *Result {
+	return runSharded(ss, cfg, workers, 0)
+}
+
+// RunShardedReport is RunSharded with the ingestion supervisor's ledger
+// folded into the degradation assessment: chunks the loader poisoned or
+// a circuit breaker dropped lower every diagnosis's confidence and are
+// named in its evidence note. A load that limped home degraded — I/O
+// faults, stalled or panicking workers — still diagnoses, it just says
+// so. rep may be nil (equivalent to RunSharded).
+func RunShardedReport(ss *logstore.ShardedStore, rep *logstore.IngestReport, cfg Config, workers int) *Result {
+	lost := 0
+	if rep != nil {
+		lost = rep.LostChunks()
+	}
+	return runSharded(ss, cfg, workers, lost)
+}
+
+func runSharded(ss *logstore.ShardedStore, cfg Config, workers int, lostChunks int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -150,6 +168,7 @@ func RunSharded(ss *logstore.ShardedStore, cfg Config, workers int) *Result {
 	rc := &RootCauser{Store: ss, Jobs: jobs, Cfg: cfg, Apids: alps.IndexFromRecords(ss.ALPSRecords())}
 	dets := DetectSharded(ss, cfg, workers)
 	deg := AssessShardedDegradation(ss)
+	deg.LostChunks = lostChunks
 	diags := diagnosePool(rc, dets, workers)
 	applyDegradation(diags, deg)
 	return &Result{Store: ss.Merged(), Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+)
+
+// WatcherSnapshot is a watcher's complete detection state at a point in
+// its input sequence, in a JSON-serialisable shape. A watcher restored
+// from a snapshot and fed the remainder of the record sequence emits
+// exactly the detections and alarms the original would have — no
+// duplicates (refractory and alarm-suppression timestamps travel along)
+// and no misses (the reorder buffer's undelivered records travel too).
+// That continuity contract is what lets a long-running watch checkpoint
+// to disk and survive a crash.
+//
+// The snapshot deliberately excludes the pipeline Config and the
+// callbacks: the restoring process supplies those when it constructs
+// the watcher, and a snapshot must not resurrect stale tuning.
+type WatcherSnapshot struct {
+	// BurstWindow/ReorderWindow/ReorderLimit/EvictionHorizon mirror the
+	// watcher's public knobs so a restored watcher behaves identically.
+	BurstWindow     time.Duration `json:"burstWindow"`
+	ReorderWindow   time.Duration `json:"reorderWindow"`
+	ReorderLimit    int           `json:"reorderLimit"`
+	EvictionHorizon time.Duration `json:"evictionHorizon"`
+
+	LastTerminal map[cname.Name]time.Time        `json:"lastTerminal,omitempty"`
+	Recent       map[cname.Name][]PrecursorEvent `json:"recent,omitempty"`
+	LastExternal map[cname.Name]time.Time        `json:"lastExternal,omitempty"`
+	LastAlarm    map[cname.Name]time.Time        `json:"lastAlarm,omitempty"`
+	Apids        map[int64]int64                 `json:"apids,omitempty"`
+	ApidSeen     map[int64]time.Time             `json:"apidSeen,omitempty"`
+
+	// Buffer holds the reorder buffer's undelivered records.
+	Buffer    []events.Record `json:"buffer,omitempty"`
+	Watermark time.Time       `json:"watermark"`
+	LastEvict time.Time       `json:"lastEvict"`
+	Stats     WatcherStats    `json:"stats"`
+}
+
+// PrecursorEvent is one retained precursor observation (the exported
+// mirror of the watcher's burst-window entries).
+type PrecursorEvent struct {
+	Time     time.Time `json:"t"`
+	Category string    `json:"c"`
+}
+
+func copyTimes(m map[cname.Name]time.Time) map[cname.Name]time.Time {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[cname.Name]time.Time, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot captures the watcher's state. Safe to call concurrently with
+// feeders; the snapshot is a deep copy and shares nothing with the live
+// watcher.
+func (w *Watcher) Snapshot() WatcherSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := WatcherSnapshot{
+		BurstWindow:     w.BurstWindow,
+		ReorderWindow:   w.ReorderWindow,
+		ReorderLimit:    w.ReorderLimit,
+		EvictionHorizon: w.EvictionHorizon,
+		LastTerminal:    copyTimes(w.lastTerminal),
+		LastExternal:    copyTimes(w.lastExternal),
+		LastAlarm:       copyTimes(w.lastAlarm),
+		Watermark:       w.watermark,
+		LastEvict:       w.lastEvict,
+		Stats:           w.stats,
+	}
+	if len(w.recent) > 0 {
+		s.Recent = make(map[cname.Name][]PrecursorEvent, len(w.recent))
+		for n, evs := range w.recent {
+			out := make([]PrecursorEvent, len(evs))
+			for i, e := range evs {
+				out[i] = PrecursorEvent{Time: e.t, Category: e.cat}
+			}
+			s.Recent[n] = out
+		}
+	}
+	if len(w.apids) > 0 {
+		s.Apids = make(map[int64]int64, len(w.apids))
+		for k, v := range w.apids {
+			s.Apids[k] = v
+		}
+		s.ApidSeen = make(map[int64]time.Time, len(w.apidSeen))
+		for k, v := range w.apidSeen {
+			s.ApidSeen[k] = v
+		}
+	}
+	if len(w.buf) > 0 {
+		s.Buffer = append([]events.Record(nil), w.buf...)
+	}
+	return s
+}
+
+// Restore replaces the watcher's state with the snapshot's (deep-copied;
+// the snapshot stays usable). The watcher keeps its Config and
+// callbacks. Restore before the first Feed.
+func (w *Watcher) Restore(s WatcherSnapshot) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.BurstWindow = s.BurstWindow
+	w.ReorderWindow = s.ReorderWindow
+	w.ReorderLimit = s.ReorderLimit
+	w.EvictionHorizon = s.EvictionHorizon
+
+	w.lastTerminal = copyTimes(s.LastTerminal)
+	if w.lastTerminal == nil {
+		w.lastTerminal = make(map[cname.Name]time.Time)
+	}
+	w.lastExternal = copyTimes(s.LastExternal)
+	if w.lastExternal == nil {
+		w.lastExternal = make(map[cname.Name]time.Time)
+	}
+	w.lastAlarm = copyTimes(s.LastAlarm)
+	if w.lastAlarm == nil {
+		w.lastAlarm = make(map[cname.Name]time.Time)
+	}
+	w.recent = make(map[cname.Name][]watchEvent, len(s.Recent))
+	for n, evs := range s.Recent {
+		in := make([]watchEvent, len(evs))
+		for i, e := range evs {
+			in[i] = watchEvent{t: e.Time, cat: e.Category}
+		}
+		w.recent[n] = in
+	}
+	w.apids = make(map[int64]int64, len(s.Apids))
+	for k, v := range s.Apids {
+		w.apids[k] = v
+	}
+	w.apidSeen = make(map[int64]time.Time, len(s.ApidSeen))
+	for k, v := range s.ApidSeen {
+		w.apidSeen[k] = v
+	}
+	w.buf = append(recordHeap(nil), s.Buffer...)
+	heap.Init(&w.buf)
+	w.watermark = s.Watermark
+	w.lastEvict = s.LastEvict
+	w.stats = s.Stats
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// watchRun feeds records through a fresh watcher (detections + alarms
+// collected), optionally restoring from a snapshot first and optionally
+// snapshotting after k records (feeding only the first k, no flush).
+type watchTrace struct {
+	dets   []Detection
+	alarms []Alarm
+}
+
+func (tr *watchTrace) watcher(reorder time.Duration) *Watcher {
+	w := NewWatcher(DefaultConfig(), func(d Detection) { tr.dets = append(tr.dets, d) })
+	w.OnAlarm = func(a Alarm) { tr.alarms = append(tr.alarms, a) }
+	w.ReorderWindow = reorder
+	return w
+}
+
+// TestWatcherSnapshotContinuity: snapshot mid-sequence, restore into a
+// fresh watcher, feed the remainder — the concatenated detection and
+// alarm streams must equal an uninterrupted run, including when the
+// snapshot lands while records sit in the reorder buffer.
+func TestWatcherSnapshotContinuity(t *testing.T) {
+	_, store := buildScenario(t, 7, 307)
+	recs := store.All()
+	for _, reorder := range []time.Duration{0, 10 * time.Minute} {
+		var whole watchTrace
+		w := whole.watcher(reorder)
+		for _, r := range recs {
+			w.Feed(r)
+		}
+		w.Flush()
+
+		for _, cut := range []int{0, 1, len(recs) / 3, len(recs) / 2, len(recs) - 1} {
+			var first watchTrace
+			a := first.watcher(reorder)
+			for _, r := range recs[:cut] {
+				a.Feed(r)
+			}
+			snap := a.Snapshot()
+
+			// The checkpoint file round-trip must be lossless.
+			blob, err := json.Marshal(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back WatcherSnapshot
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatal(err)
+			}
+
+			var second watchTrace
+			b := second.watcher(reorder)
+			b.Restore(back)
+			for _, r := range recs[cut:] {
+				b.Feed(r)
+			}
+			b.Flush()
+
+			got := append(append([]Detection{}, first.dets...), second.dets...)
+			if !reflect.DeepEqual(got, whole.dets) {
+				t.Fatalf("reorder %v cut %d: detections diverge: %d+%d vs %d",
+					reorder, cut, len(first.dets), len(second.dets), len(whole.dets))
+			}
+			gotAlarms := append(append([]Alarm{}, first.alarms...), second.alarms...)
+			if !reflect.DeepEqual(gotAlarms, whole.alarms) {
+				t.Fatalf("reorder %v cut %d: alarms diverge: %d+%d vs %d",
+					reorder, cut, len(first.alarms), len(second.alarms), len(whole.alarms))
+			}
+		}
+	}
+}
+
+// TestWatcherSnapshotIsDeepCopy: mutating the live watcher after a
+// snapshot must not leak into the snapshot, and restoring must not
+// alias the snapshot's maps.
+func TestWatcherSnapshotIsDeepCopy(t *testing.T) {
+	_, store := buildScenario(t, 3, 11)
+	recs := store.All()
+	var tr watchTrace
+	w := tr.watcher(10 * time.Minute)
+	for _, r := range recs[:len(recs)/2] {
+		w.Feed(r)
+	}
+	snap := w.Snapshot()
+	before, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[len(recs)/2:] {
+		w.Feed(r)
+	}
+	w.Flush()
+	after, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("snapshot mutated by continued feeding")
+	}
+
+	var tr2 watchTrace
+	v := tr2.watcher(10 * time.Minute)
+	v.Restore(snap)
+	for _, r := range recs[len(recs)/2:] {
+		v.Feed(r)
+	}
+	v.Flush()
+	final, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(final) {
+		t.Fatal("snapshot aliased by Restore")
+	}
+}
+
+// TestWatcherSnapshotStats: hardening counters travel with the snapshot
+// so a resumed watch reports cumulative activity.
+func TestWatcherSnapshotStats(t *testing.T) {
+	_, store := buildScenario(t, 3, 19)
+	recs := store.All()
+	var tr watchTrace
+	w := tr.watcher(0)
+	for _, r := range recs {
+		w.Feed(r)
+	}
+	var tr2 watchTrace
+	v := tr2.watcher(0)
+	v.Restore(w.Snapshot())
+	if got, want := v.Stats().Fed, len(recs); got != want {
+		t.Fatalf("restored Fed = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,369 @@
+package logstore
+
+// Checkpoint journal: the streaming loader's crash-recovery record,
+// written through internal/wal. Every payload is one JSON entry; the
+// "t" field discriminates:
+//
+//	hdr    — load identity (dir, scheduler dialect) and the chunking /
+//	         supervision parameters that make chunk indexes meaningful.
+//	         Always the first entry.
+//	file   — a stream's file was read: its non-blank line count, chunk
+//	         count and byte size (the identity a resume re-validates).
+//	         A second file entry for the same stream supersedes the
+//	         first — the file changed underneath a resume and the
+//	         stream was restarted from scratch.
+//	miss   — the stream's file was absent.
+//	skip   — the file was skipped with a warning (unreadable / empty /
+//	         read faults exhausted).
+//	chunk  — one chunk's parse output committed in collector order:
+//	         the records and (reconstructible) parse errors. Seq is the
+//	         stream-local record offset before this chunk — the dedup /
+//	         continuity key a resume validates.
+//	poison — the supervisor quarantined the chunk after exhausting its
+//	         attempts; occupies the chunk's slot in the order.
+//	trip   — the stream's circuit breaker opened; the stream is
+//	         complete (its remaining chunks were dropped).
+//	mark   — periodic durability marker: cumulative record total and
+//	         per-shard counters at the fsync point. Informational.
+//	done   — the load completed and sealed. A journal ending in done
+//	         can rebuild the whole store with no corpus directory.
+//
+// The WAL contract (prefix delivery after torn-tail truncation) plus
+// the collector being the journal's only writer make replay simple:
+// entries arrive in exactly the order the collector committed work, and
+// a crash can only make the journal shorter, never inconsistent.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+	"unicode/utf8"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/wal"
+)
+
+// jstr is a binary-safe JSON string: chaos-garbled log lines carry
+// invalid UTF-8, which encoding/json would silently coerce to U+FFFD —
+// a lossy journal. Valid UTF-8 marshals as a plain JSON string; anything
+// else as {"b64": ...}.
+type jstr string
+
+func (s jstr) MarshalJSON() ([]byte, error) {
+	if utf8.ValidString(string(s)) {
+		return json.Marshal(string(s))
+	}
+	return json.Marshal(map[string]string{"b64": base64.StdEncoding.EncodeToString([]byte(s))})
+}
+
+func (s *jstr) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '{' {
+		var m map[string]string
+		if err := json.Unmarshal(data, &m); err != nil {
+			return err
+		}
+		b, err := base64.StdEncoding.DecodeString(m["b64"])
+		if err != nil {
+			return err
+		}
+		*s = jstr(b)
+		return nil
+	}
+	var plain string
+	if err := json.Unmarshal(data, &plain); err != nil {
+		return err
+	}
+	*s = jstr(plain)
+	return nil
+}
+
+// jkv is one structured-field pair (maps with garbled keys can't be
+// JSON object keys, and a sorted pair list keeps the journal bytes
+// deterministic).
+type jkv struct {
+	K jstr `json:"k"`
+	V jstr `json:"v"`
+}
+
+// jRecord is events.Record with every parser-derived string routed
+// through jstr. Component stays native: valid component names are
+// ASCII by construction (garbled ones fail to parse and quarantine).
+type jRecord struct {
+	Time      time.Time       `json:"t"`
+	Stream    events.Stream   `json:"s,omitempty"`
+	Component cname.Name      `json:"c,omitempty"`
+	Severity  events.Severity `json:"v,omitempty"`
+	Category  jstr            `json:"k,omitempty"`
+	Msg       jstr            `json:"m,omitempty"`
+	JobID     int64           `json:"j,omitempty"`
+	Fields    []jkv           `json:"f,omitempty"`
+}
+
+func toJRecs(recs []events.Record) []jRecord {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]jRecord, 0, len(recs))
+	for _, r := range recs {
+		jr := jRecord{
+			Time:      r.Time,
+			Stream:    r.Stream,
+			Component: r.Component,
+			Severity:  r.Severity,
+			Category:  jstr(r.Category),
+			Msg:       jstr(r.Msg),
+			JobID:     r.JobID,
+		}
+		if r.Fields != nil {
+			keys := make([]string, 0, len(r.Fields))
+			for k := range r.Fields {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			jr.Fields = make([]jkv, 0, len(keys))
+			for _, k := range keys {
+				jr.Fields = append(jr.Fields, jkv{K: jstr(k), V: jstr(r.Fields[k])})
+			}
+		}
+		out = append(out, jr)
+	}
+	return out
+}
+
+func fromJRecs(jrs []jRecord) []events.Record {
+	if len(jrs) == 0 {
+		return nil
+	}
+	out := make([]events.Record, 0, len(jrs))
+	for _, jr := range jrs {
+		r := events.Record{
+			Time:      jr.Time,
+			Stream:    jr.Stream,
+			Component: jr.Component,
+			Severity:  jr.Severity,
+			Category:  string(jr.Category),
+			Msg:       string(jr.Msg),
+			JobID:     jr.JobID,
+		}
+		if jr.Fields != nil {
+			r.Fields = make(map[string]string, len(jr.Fields))
+			for _, kv := range jr.Fields {
+				r.Fields[string(kv.K)] = string(kv.V)
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// jErr is a serialisable parse error. ParseErrors round-trip to
+// byte-identical Error() output; anything else degrades to its message.
+type jErr struct {
+	Line  int  `json:"l,omitempty"`
+	Text  jstr `json:"x,omitempty"`
+	Msg   jstr `json:"m"`
+	Plain bool `json:"p,omitempty"`
+}
+
+func toJErrs(errs []error) []jErr {
+	if len(errs) == 0 {
+		return nil
+	}
+	out := make([]jErr, 0, len(errs))
+	for _, e := range errs {
+		if pe, ok := e.(*logparse.ParseError); ok {
+			out = append(out, jErr{Line: pe.Line, Text: jstr(pe.Text), Msg: jstr(pe.Err.Error())})
+		} else {
+			out = append(out, jErr{Msg: jstr(e.Error()), Plain: true})
+		}
+	}
+	return out
+}
+
+func fromJErrs(js []jErr) []error {
+	if len(js) == 0 {
+		return nil
+	}
+	out := make([]error, 0, len(js))
+	for _, j := range js {
+		if j.Plain {
+			out = append(out, errors.New(string(j.Msg)))
+			continue
+		}
+		out = append(out, &logparse.ParseError{Line: j.Line, Text: string(j.Text), Err: errors.New(string(j.Msg))})
+	}
+	return out
+}
+
+// jEntry is the union of every journal entry shape; T discriminates and
+// omitempty keeps unused arms out of each payload.
+type jEntry struct {
+	T string `json:"t"`
+
+	// hdr
+	Dir        string `json:"dir,omitempty"`
+	Sched      int    `json:"sched,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	ChunkLines int    `json:"chunkLines,omitempty"`
+	Attempts   int    `json:"attempts,omitempty"`
+	Breaker    int    `json:"breaker,omitempty"`
+
+	// file / miss / skip / chunk / poison / trip share the stream index.
+	SI       int    `json:"si,omitempty"`
+	File     string `json:"file,omitempty"`
+	NonBlank int    `json:"nonBlank,omitempty"`
+	Chunks   int    `json:"chunks,omitempty"`
+	Size     int64  `json:"size,omitempty"`
+	Err      string `json:"err,omitempty"`
+
+	// chunk
+	CI   int       `json:"ci,omitempty"`
+	Seq  int       `json:"seq,omitempty"`
+	Recs []jRecord `json:"recs,omitempty"`
+	Errs []jErr    `json:"errs,omitempty"`
+
+	// poison
+	Lines  int    `json:"lines,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	// trip
+	Poisoned int `json:"poisoned,omitempty"`
+	Dropped  int `json:"dropped,omitempty"`
+
+	// mark
+	RecTotal  int   `json:"recTotal,omitempty"`
+	ShardLens []int `json:"shardLens,omitempty"`
+}
+
+// appendEntry marshals and appends one journal entry.
+func appendEntry(log *wal.Log, e jEntry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("logstore: journal encode: %w", err)
+	}
+	return log.Append(payload)
+}
+
+// streamResume is one stream's state reconstructed from the journal.
+type streamResume struct {
+	// hasFile is true once a file entry was replayed.
+	hasFile bool
+	missing bool
+	skipped *FileWarning
+
+	nonBlank int
+	chunks   int
+	size     int64
+
+	// doneChunks counts committed chunk slots (chunk + poison entries).
+	doneChunks int
+	recs       []events.Record
+	errs       []error
+	poisoned   []PoisonChunk
+	trip       *BreakerTrip
+}
+
+// complete reports whether the journal finished this stream: nothing
+// remains to read or parse for it.
+func (sr *streamResume) complete() bool {
+	if sr.missing || sr.skipped != nil || sr.trip != nil {
+		return true
+	}
+	return sr.hasFile && sr.doneChunks == sr.chunks
+}
+
+// resumeState is the whole journal replayed.
+type resumeState struct {
+	hdr     jEntry
+	hasHdr  bool
+	done    bool
+	streams []streamResume
+}
+
+// errJournalInvalid marks structural journal damage — the resume
+// falls back to a fresh load rather than trusting it.
+var errJournalInvalid = errors.New("logstore: journal inconsistent")
+
+// replayJournal rebuilds the resume state from the WAL. A structurally
+// inconsistent journal (entries out of order, sequence discontinuity)
+// returns errJournalInvalid; the caller resets and reloads from
+// scratch — the same never-refuse posture the rest of ingestion takes.
+func replayJournal(log *wal.Log, nstreams int) (*resumeState, error) {
+	rs := &resumeState{streams: make([]streamResume, nstreams)}
+	streamName := func(si int) string {
+		return fmt.Sprintf("stream %d", si)
+	}
+	err := log.Replay(func(payload []byte) error {
+		var e jEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("%w: %v", errJournalInvalid, err)
+		}
+		if e.T != "hdr" && !rs.hasHdr {
+			return fmt.Errorf("%w: first entry %q, want hdr", errJournalInvalid, e.T)
+		}
+		if e.T != "hdr" && e.T != "done" && e.T != "mark" &&
+			(e.SI < 0 || e.SI >= nstreams) {
+			return fmt.Errorf("%w: stream index %d out of range", errJournalInvalid, e.SI)
+		}
+		switch e.T {
+		case "hdr":
+			if rs.hasHdr {
+				return fmt.Errorf("%w: duplicate header", errJournalInvalid)
+			}
+			rs.hdr = e
+			rs.hasHdr = true
+		case "file":
+			// A repeated file entry supersedes: the stream restarted.
+			rs.streams[e.SI] = streamResume{
+				hasFile:  true,
+				nonBlank: e.NonBlank,
+				chunks:   e.Chunks,
+				size:     e.Size,
+			}
+		case "miss":
+			rs.streams[e.SI] = streamResume{missing: true}
+		case "skip":
+			rs.streams[e.SI] = streamResume{skipped: &FileWarning{File: e.File, Err: e.Err}}
+		case "chunk":
+			sr := &rs.streams[e.SI]
+			if !sr.hasFile || e.CI != sr.doneChunks || e.Seq != len(sr.recs) {
+				return fmt.Errorf("%w: chunk %d/%d out of sequence", errJournalInvalid, e.SI, e.CI)
+			}
+			sr.recs = append(sr.recs, fromJRecs(e.Recs)...)
+			sr.errs = append(sr.errs, fromJErrs(e.Errs)...)
+			sr.doneChunks++
+		case "poison":
+			sr := &rs.streams[e.SI]
+			if !sr.hasFile || e.CI != sr.doneChunks {
+				return fmt.Errorf("%w: poison %d/%d out of sequence", errJournalInvalid, e.SI, e.CI)
+			}
+			sr.poisoned = append(sr.poisoned, PoisonChunk{
+				Stream: e.File, Chunk: e.CI, Lines: e.Lines,
+				Attempts: e.Attempts, Reason: e.Reason,
+			})
+			sr.doneChunks++
+		case "trip":
+			sr := &rs.streams[e.SI]
+			if !sr.hasFile {
+				return fmt.Errorf("%w: trip for %s before file", errJournalInvalid, streamName(e.SI))
+			}
+			sr.trip = &BreakerTrip{Stream: e.File, Poisoned: e.Poisoned, Dropped: e.Dropped}
+		case "mark":
+			// Durability marker; nothing to rebuild.
+		case "done":
+			rs.done = true
+		default:
+			return fmt.Errorf("%w: unknown entry %q", errJournalInvalid, e.T)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

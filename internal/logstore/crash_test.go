@@ -1,0 +1,479 @@
+package logstore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpcfail/internal/chaos"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/wal"
+)
+
+func testJournal(t *testing.T) *wal.Log {
+	t.Helper()
+	log, err := wal.Open(filepath.Join(t.TempDir(), "wal"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	return log
+}
+
+// crashCorpus writes the shared scenario with mild data chaos so the
+// journal has to round-trip quarantined parse errors too.
+func crashCorpus(t *testing.T) string {
+	t.Helper()
+	scn := shardScenario(t)
+	dir := filepath.Join(t.TempDir(), "logs")
+	ccfg := chaos.Config{Garble: 0.05, Truncate: 0.03, Seed: 21}
+	if _, err := WriteDirChaos(dir, scn.Records, topology.SchedulerSlurm, ccfg); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// supervisorEqual extends reportsEqual to the supervisor's ledger.
+func supervisorEqual(t *testing.T, got, want *IngestReport) {
+	t.Helper()
+	reportsEqual(t, got, want)
+	if !reflect.DeepEqual(got.Poisoned, want.Poisoned) {
+		t.Fatalf("Poisoned diverges:\n got %v\nwant %v", got.Poisoned, want.Poisoned)
+	}
+	if !reflect.DeepEqual(got.Tripped, want.Tripped) {
+		t.Fatalf("Tripped diverges:\n got %v\nwant %v", got.Tripped, want.Tripped)
+	}
+}
+
+// TestInterruptAndResumeMatchesUninterrupted kills the load at several
+// points of collector progress and resumes; the resumed result must be
+// record-for-record identical to an uninterrupted run.
+func TestInterruptAndResumeMatchesUninterrupted(t *testing.T) {
+	dir := crashCorpus(t)
+	base := StreamOptions{Workers: 3, Shards: 4, ChunkLines: 100, CheckpointEvery: 3}
+	want, wantRep, err := StreamLoadDir(dir, topology.SchedulerSlurm, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corpus yields ~22 chunk slots at ChunkLines=100: kill points
+	// cover first-chunk, early, mid-stream and tail.
+	for _, kill := range []int{0, 1, 7, 19} {
+		log := testJournal(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := base
+		opts.Journal = log
+		seen := 0
+		opts.OnChunk = func(string, int) {
+			if seen == kill {
+				cancel()
+			}
+			seen++
+		}
+		ss, rep, err := StreamLoadDirContext(ctx, dir, topology.SchedulerSlurm, opts)
+		cancel()
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("kill@%d: err = %v, want ErrInterrupted", kill, err)
+		}
+		if ss != nil {
+			t.Fatalf("kill@%d: interrupted load returned a store", kill)
+		}
+		if rep == nil {
+			t.Fatalf("kill@%d: interrupted load returned no partial report", kill)
+		}
+		opts.OnChunk = nil
+		ss, rep, err = ResumeLoadDir(context.Background(), dir, topology.SchedulerSlurm, opts)
+		if err != nil {
+			t.Fatalf("kill@%d: resume: %v", kill, err)
+		}
+		if !reflect.DeepEqual(ss.All(), want.All()) {
+			t.Fatalf("kill@%d: resumed store diverges (%d vs %d records)", kill, ss.Len(), want.Len())
+		}
+		supervisorEqual(t, rep, wantRep)
+	}
+}
+
+// TestDoubleKillResume kills the load, resumes, kills the resume, and
+// resumes again — the journal must absorb a crash of the recovery
+// itself.
+func TestDoubleKillResume(t *testing.T) {
+	dir := crashCorpus(t)
+	base := StreamOptions{Workers: 2, Shards: 3, ChunkLines: 100, CheckpointEvery: 2}
+	want, wantRep, err := StreamLoadDir(dir, topology.SchedulerSlurm, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := testJournal(t)
+	opts := base
+	opts.Journal = log
+	killAt := func(n int) (func(string, int), context.Context, context.CancelFunc) {
+		ctx, cancel := context.WithCancel(context.Background())
+		seen := 0
+		return func(string, int) {
+			if seen == n {
+				cancel()
+			}
+			seen++
+		}, ctx, cancel
+	}
+	hook, ctx, cancel := killAt(4)
+	opts.OnChunk = hook
+	if _, _, err := StreamLoadDirContext(ctx, dir, topology.SchedulerSlurm, opts); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("first kill: %v", err)
+	}
+	cancel()
+	// The resume only re-collects the remaining slots, so the second
+	// kill point counts from the resume's own progress.
+	hook, ctx, cancel = killAt(3)
+	opts.OnChunk = hook
+	if _, _, err := ResumeLoadDir(ctx, dir, topology.SchedulerSlurm, opts); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("second kill: %v", err)
+	}
+	cancel()
+	opts.OnChunk = nil
+	ss, rep, err := ResumeLoadDir(context.Background(), dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss.All(), want.All()) {
+		t.Fatalf("double-kill resume diverges (%d vs %d records)", ss.Len(), want.Len())
+	}
+	supervisorEqual(t, rep, wantRep)
+}
+
+// TestResumeFromDoneJournalNoCorpus: a journal that reached its done
+// entry rebuilds the whole store even after the corpus directory is
+// deleted.
+func TestResumeFromDoneJournalNoCorpus(t *testing.T) {
+	dir := crashCorpus(t)
+	log := testJournal(t)
+	opts := StreamOptions{Workers: 2, ChunkLines: 400, Journal: log}
+	want, wantRep, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	ss, rep, err := ResumeLoadDir(context.Background(), dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatalf("resume with corpus deleted: %v", err)
+	}
+	if !reflect.DeepEqual(ss.All(), want.All()) {
+		t.Fatalf("journal-only rebuild diverges (%d vs %d records)", ss.Len(), want.Len())
+	}
+	supervisorEqual(t, rep, wantRep)
+}
+
+// TestResumeEmptyJournalIsFreshLoad: resuming with a journal that never
+// recorded anything just loads normally.
+func TestResumeEmptyJournalIsFreshLoad(t *testing.T) {
+	dir := crashCorpus(t)
+	opts := StreamOptions{Journal: testJournal(t), ChunkLines: 500}
+	want, wantRep, err := StreamLoadDir(dir, topology.SchedulerSlurm, StreamOptions{ChunkLines: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, rep, err := ResumeLoadDir(context.Background(), dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss.All(), want.All()) {
+		t.Fatal("empty-journal resume diverges from fresh load")
+	}
+	supervisorEqual(t, rep, wantRep)
+}
+
+// TestResumeRequiresJournal and journal/caller identity mismatches.
+func TestResumeGuards(t *testing.T) {
+	dir := crashCorpus(t)
+	if _, _, err := ResumeLoadDir(context.Background(), dir, topology.SchedulerSlurm, StreamOptions{}); err == nil {
+		t.Fatal("ResumeLoadDir without journal did not error")
+	}
+	log := testJournal(t)
+	opts := StreamOptions{Journal: log, ChunkLines: 500}
+	if _, _, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ResumeLoadDir(context.Background(), dir+"-other", topology.SchedulerSlurm, opts); err == nil {
+		t.Fatal("resume against a different directory did not error")
+	}
+	if _, _, err := ResumeLoadDir(context.Background(), dir, topology.SchedulerTorque, opts); err == nil {
+		t.Fatal("resume with a different scheduler dialect did not error")
+	}
+}
+
+// TestResumeInvalidJournalFallsBackToFresh: structural journal damage
+// (valid WAL frames, broken entry sequence) resets the journal and
+// reloads from scratch instead of refusing.
+func TestResumeInvalidJournalFallsBackToFresh(t *testing.T) {
+	dir := crashCorpus(t)
+	log := testJournal(t)
+	// A chunk entry with no header is structurally invalid.
+	if err := log.Append([]byte(`{"t":"chunk","si":0,"ci":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	opts := StreamOptions{Journal: log, ChunkLines: 500}
+	want, wantRep, err := StreamLoadDir(dir, topology.SchedulerSlurm, StreamOptions{ChunkLines: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, rep, err := ResumeLoadDir(context.Background(), dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatalf("invalid journal should fall back to fresh load, got %v", err)
+	}
+	if !reflect.DeepEqual(ss.All(), want.All()) {
+		t.Fatal("fallback load diverges from fresh load")
+	}
+	supervisorEqual(t, rep, wantRep)
+}
+
+// TestResumeAfterFileChangedRestartsStream: when the partially-loaded
+// file changed between kill and resume, that stream restarts from
+// scratch and the final result matches a fresh load of the new corpus.
+func TestResumeAfterFileChangedRestartsStream(t *testing.T) {
+	scn := shardScenario(t)
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := WriteDir(dir, scn.Records, topology.SchedulerSlurm); err != nil {
+		t.Fatal(err)
+	}
+	log := testJournal(t)
+	opts := StreamOptions{Workers: 2, ChunkLines: 200, Journal: log}
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	opts.OnChunk = func(string, int) {
+		if seen == 2 {
+			cancel()
+		}
+		seen++
+	}
+	if _, _, err := StreamLoadDirContext(ctx, dir, topology.SchedulerSlurm, opts); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("kill: %v", err)
+	}
+	cancel()
+	// Mutate the first stream's file (the one in flight at the kill).
+	names, err := os.ReadDir(dir)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	first := filepath.Join(dir, names[0].Name())
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, append([]byte("not a log line\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, wantRep, err := StreamLoadDir(dir, topology.SchedulerSlurm, StreamOptions{Workers: 2, ChunkLines: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.OnChunk = nil
+	ss, rep, err := ResumeLoadDir(context.Background(), dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss.All(), want.All()) {
+		t.Fatal("resume after file change diverges from fresh load of the new corpus")
+	}
+	supervisorEqual(t, rep, wantRep)
+}
+
+// TestStallWatchdogAndBreaker: sticky injected stalls poison chunks via
+// the (virtual) watchdog; enough of them per stream trips the breaker.
+// The load still completes with a degraded report — never an error.
+func TestStallWatchdogAndBreaker(t *testing.T) {
+	dir := crashCorpus(t)
+	in := chaos.New(chaos.Config{Seed: 9, Stall: 1, Sticky: 1})
+	opts := StreamOptions{Workers: 2, ChunkLines: 200, Chaos: in,
+		BreakerThreshold: 2, BackoffBase: -1}
+	ss, rep, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatalf("stalled load must degrade, not fail: %v", err)
+	}
+	if ss == nil || rep == nil {
+		t.Fatal("stalled load returned nil store or report")
+	}
+	if len(rep.Poisoned) == 0 || len(rep.Tripped) == 0 {
+		t.Fatalf("Stall=1 produced %d poisons, %d trips", len(rep.Poisoned), len(rep.Tripped))
+	}
+	for _, pz := range rep.Poisoned {
+		if !strings.HasPrefix(pz.Reason, "stall: watchdog timeout") {
+			t.Fatalf("poison reason %q, want watchdog verdict", pz.Reason)
+		}
+		if pz.Attempts != 3 {
+			t.Fatalf("sticky stall poisoned after %d attempts, want 3", pz.Attempts)
+		}
+	}
+	if !rep.Degraded() || rep.LostChunks() == 0 {
+		t.Fatal("poisoned load not reported as degraded")
+	}
+	if in.Report.Stalls == 0 {
+		t.Fatal("injector accounted no stalls")
+	}
+	// The breaker verdicts and poisons must be deterministic: a second
+	// identical run agrees exactly.
+	in2 := chaos.New(chaos.Config{Seed: 9, Stall: 1, Sticky: 1})
+	opts.Chaos = in2
+	ss2, rep2, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss.All(), ss2.All()) {
+		t.Fatal("stalled load store not deterministic")
+	}
+	supervisorEqual(t, rep2, rep)
+}
+
+// TestRealStallWatchdog exercises the wall-clock watchdog path: the
+// injected stall really sleeps and the watchdog abandons the attempt.
+func TestRealStallWatchdog(t *testing.T) {
+	scn := shardScenario(t)
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := WriteDir(dir, scn.Records, topology.SchedulerSlurm); err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(chaos.Config{Seed: 9, Stall: 0.05, Sticky: 1, StallTime: 200 * time.Millisecond})
+	opts := StreamOptions{Workers: 4, ChunkLines: 2000, Chaos: in,
+		StallTimeout: 10 * time.Millisecond, MaxAttempts: 2, BackoffBase: -1}
+	_, rep, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Poisoned) == 0 {
+		t.Skip("no stall fired at 5% on this corpus size")
+	}
+	for _, pz := range rep.Poisoned {
+		if pz.Reason != "stall: watchdog timeout after 10ms" {
+			t.Fatalf("poison reason %q", pz.Reason)
+		}
+	}
+}
+
+// TestInjectedPanicRecovered: injected parse-goroutine panics are
+// recovered per attempt; transient ones heal on retry and leave no
+// poison at all.
+func TestInjectedPanicRecovered(t *testing.T) {
+	dir := crashCorpus(t)
+	want, wantRep, err := StreamLoadDir(dir, topology.SchedulerSlurm, StreamOptions{ChunkLines: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(chaos.Config{Seed: 4, Panic: 1, Sticky: -1}) // never sticky
+	opts := StreamOptions{Workers: 3, ChunkLines: 300, Chaos: in, BackoffBase: -1}
+	ss, rep, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Poisoned) != 0 {
+		t.Fatalf("transient panics left %d poisons", len(rep.Poisoned))
+	}
+	if in.Report.Panics == 0 {
+		t.Fatal("injector accounted no panics")
+	}
+	if !reflect.DeepEqual(ss.All(), want.All()) {
+		t.Fatal("transient-panic load diverges from clean load")
+	}
+	supervisorEqual(t, rep, wantRep)
+}
+
+// TestWorkerPanicSupervision: a panic that escapes per-attempt recovery
+// (via the worker failpoint) poisons the in-flight chunk, restarts the
+// worker, and the load completes.
+func TestWorkerPanicSupervision(t *testing.T) {
+	dir := crashCorpus(t)
+	var fired atomic.Bool
+	workerFailpoint = func(tk chunkTask) {
+		if tk.ci == 1 && fired.CompareAndSwap(false, true) {
+			panic("failpoint: worker crash")
+		}
+	}
+	defer func() { workerFailpoint = nil }()
+	opts := StreamOptions{Workers: 2, ChunkLines: 300, BackoffBase: -1}
+	ss, rep, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatalf("worker panic must not fail the load: %v", err)
+	}
+	if ss == nil {
+		t.Fatal("no store after supervised recovery")
+	}
+	if len(rep.Poisoned) != 1 {
+		t.Fatalf("got %d poisoned chunks, want exactly the in-flight one", len(rep.Poisoned))
+	}
+	pz := rep.Poisoned[0]
+	if pz.Chunk != 1 || !strings.Contains(pz.Reason, "failpoint: worker crash") {
+		t.Fatalf("poison %+v does not identify the crashed task", pz)
+	}
+}
+
+// TestWorkerRestartBudgetExhausted: when every restart panics too, the
+// worker pool drains the queue poisoning everything — the load still
+// terminates with a fully degraded report instead of hanging.
+func TestWorkerRestartBudgetExhausted(t *testing.T) {
+	dir := crashCorpus(t)
+	workerFailpoint = func(chunkTask) { panic("failpoint: hard crash") }
+	defer func() { workerFailpoint = nil }()
+	opts := StreamOptions{Workers: 2, ChunkLines: 300, BackoffBase: -1, BreakerThreshold: 2}
+	ss, rep, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatalf("exhausted workers must degrade, not fail: %v", err)
+	}
+	if ss.Len() != 0 {
+		t.Fatalf("every chunk poisoned yet store holds %d records", ss.Len())
+	}
+	if len(rep.Poisoned) == 0 || len(rep.Tripped) == 0 {
+		t.Fatalf("full crash: %d poisons, %d trips", len(rep.Poisoned), len(rep.Tripped))
+	}
+	budget := false
+	for _, pz := range rep.Poisoned {
+		if pz.Reason == "worker restart budget exhausted" {
+			budget = true
+		}
+	}
+	if !budget {
+		t.Fatal("no chunk records the exhausted restart budget")
+	}
+}
+
+// TestIOFaultSkipsFile: sticky injected read faults exhaust the read
+// budget and the file lands in Skipped with the chaos error.
+func TestIOFaultSkipsFile(t *testing.T) {
+	dir := crashCorpus(t)
+	in := chaos.New(chaos.Config{Seed: 2, IOFault: 1, Sticky: 1})
+	opts := StreamOptions{ChunkLines: 500, Chaos: in, BackoffBase: -1}
+	ss, rep, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Len() != 0 {
+		t.Fatalf("IOFault=1 sticky: store holds %d records", ss.Len())
+	}
+	if len(rep.Skipped) == 0 {
+		t.Fatal("no files skipped under total read faults")
+	}
+	for _, w := range rep.Skipped {
+		if !strings.Contains(w.Err, "chaos: injected I/O fault") {
+			t.Fatalf("skip warning %q does not carry the fault", w.Err)
+		}
+	}
+	// Transient read faults heal invisibly.
+	in2 := chaos.New(chaos.Config{Seed: 2, IOFault: 1, Sticky: -1})
+	opts.Chaos = in2
+	want, wantRep, err := StreamLoadDir(dir, topology.SchedulerSlurm, StreamOptions{ChunkLines: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss2, rep2, err := StreamLoadDir(dir, topology.SchedulerSlurm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss2.All(), want.All()) {
+		t.Fatal("transient read faults changed the loaded records")
+	}
+	supervisorEqual(t, rep2, wantRep)
+}

@@ -261,6 +261,18 @@ func (ss *ShardedStore) mergeAll() []events.Record {
 // NumShards returns the shard count.
 func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
 
+// ShardLens returns the per-shard record counts. Safe to call during
+// ingestion (the checkpoint journaller snapshots them for its marks).
+func (ss *ShardedStore) ShardLens() []int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]int, len(ss.shards))
+	for i, sh := range ss.shards {
+		out[i] = len(sh.recs)
+	}
+	return out
+}
+
 // Shard returns shard i's indexed store. Valid only after Seal.
 func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i].store }
 

@@ -1,17 +1,23 @@
 package logstore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"hpcfail/internal/chaos"
 	"hpcfail/internal/events"
 	"hpcfail/internal/loggen"
 	"hpcfail/internal/logparse"
+	"hpcfail/internal/rng"
 	"hpcfail/internal/topology"
+	"hpcfail/internal/wal"
 )
 
 // StreamOptions tunes the sharded streaming loader. The zero value
@@ -32,6 +38,50 @@ type StreamOptions struct {
 	// O(Queue × ChunkLines) parsed records beyond the store itself
 	// (<= 0 selects 2 × Workers).
 	Queue int
+
+	// Journal, when set, receives the checkpoint journal (see
+	// checkpoint.go): every committed chunk's parse output, file
+	// identities, supervisor verdicts. A killed load resumes from it
+	// with ResumeLoadDir. StreamLoadDir resets the journal first; nil
+	// disables checkpointing entirely.
+	Journal *wal.Log
+	// CheckpointEvery is the durability cadence: a mark entry is
+	// written and the journal fsynced (when its WAL has Sync enabled)
+	// every this many committed chunks (<= 0 selects 16).
+	CheckpointEvery int
+
+	// Chaos, when set, is consulted at the pipeline's fault seams:
+	// ReadFault before each file read, ChunkFault before each parse
+	// attempt. Production loads leave it nil; the robustness harness
+	// drives the supervisor through it.
+	Chaos *chaos.Injector
+
+	// MaxAttempts bounds parse attempts per chunk (and read attempts
+	// per file) before the supervisor quarantines it as poisoned
+	// (<= 0 selects 3).
+	MaxAttempts int
+	// BreakerThreshold is the per-stream circuit breaker: after this
+	// many poisoned chunks in one stream its remaining chunks are
+	// dropped and the stream left partial (<= 0 selects 4).
+	BreakerThreshold int
+	// StallTimeout is the per-attempt watchdog: an attempt that has not
+	// returned after this long is abandoned as stalled (0 selects 30s;
+	// negative disables the watchdog).
+	StallTimeout time.Duration
+	// MaxWorkerRestarts bounds how many times a worker goroutine is
+	// restarted after a panic escapes per-attempt recovery (0 selects
+	// 2; negative disables restarts). Beyond the budget the worker
+	// drains its queue, poisoning every task.
+	MaxWorkerRestarts int
+	// BackoffBase scales retry/restart backoff: attempt n sleeps
+	// base×2ⁿ⁻¹ with deterministic ±50% jitter (0 selects 1ms;
+	// negative disables sleeping — tests).
+	BackoffBase time.Duration
+
+	// OnChunk, when set, is called by the collector after each chunk
+	// slot is committed (journaled) — the seam crash tests use to
+	// cancel the context at an exact point of progress.
+	OnChunk func(stream string, ci int)
 }
 
 func (o StreamOptions) withDefaults() StreamOptions {
@@ -47,6 +97,24 @@ func (o StreamOptions) withDefaults() StreamOptions {
 	if o.Queue <= 0 {
 		o.Queue = 2 * o.Workers
 	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 16
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 4
+	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = 30 * time.Second
+	}
+	if o.MaxWorkerRestarts == 0 {
+		o.MaxWorkerRestarts = 2
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = time.Millisecond
+	}
 	return o
 }
 
@@ -57,6 +125,17 @@ type streamMeta struct {
 	skipped  *FileWarning
 	chunks   int
 	nonBlank int
+	size     int64
+	// startChunk is the first chunk index enqueued (> 0 when a resume
+	// reuses journaled chunks for this stream).
+	startChunk int
+	// restarted means the journal's partial state for this stream was
+	// discarded (the file changed or vanished); the collector
+	// re-journals the file entry and starts from chunk 0.
+	restarted bool
+	// replayed means the journal satisfied this stream entirely; the
+	// producer enqueued nothing.
+	replayed bool
 }
 
 type chunkTask struct {
@@ -71,127 +150,649 @@ type chunkResult struct {
 	ci   int
 	recs []events.Record
 	errs []error
+	// poisoned means every attempt failed; reason is the last failure,
+	// lines the chunk's line count, attempts how many were made.
+	poisoned bool
+	reason   string
+	lines    int
+	attempts int
+}
+
+// workerFailpoint, when set by a package test, is invoked for each task
+// outside per-attempt recovery — the hook that exercises worker-level
+// panic supervision.
+var workerFailpoint func(t chunkTask)
+
+// streamPipe is one streaming load's shared pipeline state.
+type streamPipe struct {
+	ctx     context.Context
+	dir     string
+	sched   topology.SchedulerType
+	opts    StreamOptions
+	streams []events.Stream
+	rs      *resumeState
+
+	metas     []streamMeta
+	metaReady []chan struct{}
+	tasks     chan chunkTask
+	results   chan chunkResult
+	wg        sync.WaitGroup
 }
 
 // StreamLoadDir is the sharded, memory-bounded counterpart of
 // LoadDirReport: log files are read one at a time, split into
-// trace-safe chunks, parsed by a bounded worker pool with backpressure,
-// and routed into a ShardedStore in arrival order. The returned store's
-// merged view, and the IngestReport (per-stream ledgers, skip warnings,
-// missing streams, quarantine samples), are identical to what
-// LoadDirReport produces for the same directory — the
+// trace-safe chunks, parsed by a supervised bounded worker pool with
+// backpressure, and routed into a ShardedStore in arrival order. The
+// returned store's merged view, and the IngestReport (per-stream
+// ledgers, skip warnings, missing streams, supervisor verdicts), are
+// identical to what LoadDirReport produces for the same directory — the
 // sequential-equivalence invariant the determinism harness enforces.
 //
 // The error is reserved for a path that exists but is not a directory,
 // exactly like LoadDirReport; all file-level damage is survived and
 // accounted in the report.
 func StreamLoadDir(dir string, sched topology.SchedulerType, opts StreamOptions) (*ShardedStore, *IngestReport, error) {
+	return StreamLoadDirContext(context.Background(), dir, sched, opts)
+}
+
+// StreamLoadDirContext is StreamLoadDir under a context: cancellation
+// stops the load cleanly at the next chunk boundary, returning the
+// partial IngestReport wrapped with ErrInterrupted (no store). With a
+// Journal configured the progress is checkpointed, so a later
+// ResumeLoadDir continues record-for-record where this load stopped.
+// Any stale journal contents are reset first.
+func StreamLoadDirContext(ctx context.Context, dir string, sched topology.SchedulerType, opts StreamOptions) (*ShardedStore, *IngestReport, error) {
+	if fi, err := os.Stat(dir); err == nil && !fi.IsDir() {
+		return nil, nil, fmt.Errorf("logstore: %s is not a directory", dir)
+	}
+	return loadPipeline(ctx, dir, sched, opts.withDefaults(), nil)
+}
+
+// ResumeLoadDir continues a journaled load killed before completion:
+// the WAL is replayed, completed streams are rebuilt from their
+// journaled parse output (no re-read, no re-parse), the stream in
+// flight at the kill re-reads its file — identity-checked against the
+// journal — and re-enters the pipeline at the first unjournaled chunk.
+// The result is record-for-record identical to an uninterrupted
+// StreamLoadDir of the same directory with the same options.
+//
+// Safety ladder: an empty journal degrades to a fresh load; a
+// structurally damaged journal is reset and the load restarts from
+// scratch; a journal recorded for a different directory or scheduler
+// dialect is an error (the caller pointed resume at the wrong corpus).
+// A journal ending in a done entry rebuilds the whole store without
+// touching the directory at all.
+func ResumeLoadDir(ctx context.Context, dir string, sched topology.SchedulerType, opts StreamOptions) (*ShardedStore, *IngestReport, error) {
+	if opts.Journal == nil {
+		return nil, nil, errors.New("logstore: ResumeLoadDir requires a journal")
+	}
 	if fi, err := os.Stat(dir); err == nil && !fi.IsDir() {
 		return nil, nil, fmt.Errorf("logstore: %s is not a directory", dir)
 	}
 	opts = opts.withDefaults()
 	streams := loggen.AllStreams()
-
-	metas := make([]streamMeta, len(streams))
-	metaReady := make([]chan struct{}, len(streams))
-	for i := range metaReady {
-		metaReady[i] = make(chan struct{})
+	rs, err := replayJournal(opts.Journal, len(streams))
+	if err != nil {
+		if !errors.Is(err, errJournalInvalid) {
+			return nil, nil, err
+		}
+		if rerr := opts.Journal.Reset(); rerr != nil {
+			return nil, nil, rerr
+		}
+		rs = nil
 	}
-	tasks := make(chan chunkTask, opts.Queue)
-	results := make(chan chunkResult, opts.Queue)
+	if rs != nil && !rs.hasHdr {
+		rs = nil // empty journal: fresh load
+	}
+	if rs != nil {
+		if rs.hdr.Dir != dir || rs.hdr.Sched != int(sched) {
+			return nil, nil, fmt.Errorf("logstore: journal records a different load (dir %q, sched %d)", rs.hdr.Dir, rs.hdr.Sched)
+		}
+		// Adopt the journaled chunking and supervision parameters:
+		// chunk indexes are only meaningful under the same split.
+		opts.Shards = rs.hdr.Shards
+		opts.ChunkLines = rs.hdr.ChunkLines
+		opts.MaxAttempts = rs.hdr.Attempts
+		opts.BreakerThreshold = rs.hdr.Breaker
+	}
+	return loadPipeline(ctx, dir, sched, opts, rs)
+}
 
-	// Producer: one file at a time. Enqueueing blocks when the pool is
-	// saturated, so at most the current file's text plus the bounded
-	// in-flight chunks are resident beyond the records already stored.
+// loadPipeline runs the producer → workers → collector pipeline, with
+// opts already defaulted and rs the replayed journal state (nil for a
+// fresh load).
+func loadPipeline(ctx context.Context, dir string, sched topology.SchedulerType, opts StreamOptions, rs *resumeState) (*ShardedStore, *IngestReport, error) {
+	p := &streamPipe{
+		ctx:     ctx,
+		dir:     dir,
+		sched:   sched,
+		opts:    opts,
+		streams: loggen.AllStreams(),
+		rs:      rs,
+	}
+	j := &journalWriter{log: opts.Journal, every: opts.CheckpointEvery}
+	if opts.Journal != nil && rs == nil {
+		// Fresh journaled load: discard any stale journal and stamp the
+		// load identity.
+		if err := opts.Journal.Reset(); err != nil {
+			return nil, nil, err
+		}
+		j.write(jEntry{T: "hdr", Dir: dir, Sched: int(sched), Shards: opts.Shards,
+			ChunkLines: opts.ChunkLines, Attempts: opts.MaxAttempts, Breaker: opts.BreakerThreshold})
+	}
+
+	p.metas = make([]streamMeta, len(p.streams))
+	p.metaReady = make([]chan struct{}, len(p.streams))
+	for i := range p.metaReady {
+		p.metaReady[i] = make(chan struct{})
+	}
+	p.tasks = make(chan chunkTask, opts.Queue)
+	p.results = make(chan chunkResult, opts.Queue)
+
+	go p.produce()
+	for w := 0; w < opts.Workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
 	go func() {
-		defer close(tasks)
-		for si, stream := range streams {
-			m := &metas[si]
-			data, err := os.ReadFile(filepath.Join(dir, loggen.FileName(stream)))
-			switch {
-			case os.IsNotExist(err):
-				m.missing = true
-			case err != nil:
-				m.skipped = &FileWarning{File: loggen.FileName(stream), Err: err.Error()}
-			case strings.TrimSpace(string(data)) == "":
-				m.skipped = &FileWarning{File: loggen.FileName(stream), Err: "empty file"}
-			}
-			if m.missing || m.skipped != nil {
-				close(metaReady[si])
-				continue
-			}
-			lines := logparse.SplitLines(string(data))
-			for _, l := range lines {
-				if strings.TrimSpace(l) != "" {
-					m.nonBlank++
+		p.wg.Wait()
+		close(p.results)
+	}()
+	return p.collect(j)
+}
+
+// resumeFor returns the replayed journal state for stream si, nil when
+// this is a fresh load or the journal never reached the stream.
+func (p *streamPipe) resumeFor(si int) *streamResume {
+	if p.rs == nil {
+		return nil
+	}
+	sr := &p.rs.streams[si]
+	if !sr.hasFile && !sr.missing && sr.skipped == nil {
+		return nil
+	}
+	return sr
+}
+
+// produce reads files one at a time and enqueues their chunks,
+// honouring replayed journal state and the chaos read seam.
+func (p *streamPipe) produce() {
+	defer close(p.tasks)
+	for si, stream := range p.streams {
+		if !p.produceStream(si, stream) {
+			// Context cancelled: release the collector for every
+			// remaining stream before bailing.
+			for i := si; i < len(p.streams); i++ {
+				select {
+				case <-p.metaReady[i]:
+				default:
+					close(p.metaReady[i])
 				}
 			}
-			chunks := logparse.SafeChunks(stream, lines, opts.ChunkLines)
-			m.chunks = len(chunks)
-			close(metaReady[si])
-			for ci, c := range chunks {
-				tasks <- chunkTask{si: si, ci: ci, stream: stream, chunk: c}
+			return
+		}
+	}
+}
+
+// produceStream handles one stream; false means the context was
+// cancelled mid-stream.
+func (p *streamPipe) produceStream(si int, stream events.Stream) bool {
+	m := &p.metas[si]
+	sr := p.resumeFor(si)
+	if sr != nil && sr.complete() {
+		m.replayed = true
+		close(p.metaReady[si])
+		return true
+	}
+
+	name := loggen.FileName(stream)
+	data, readErr := p.readFile(name)
+	if readErr != nil && errors.Is(readErr, p.ctx.Err()) {
+		close(p.metaReady[si])
+		return false
+	}
+	switch {
+	case readErr != nil && os.IsNotExist(readErr):
+		m.missing = true
+	case readErr != nil:
+		m.skipped = &FileWarning{File: name, Err: readErr.Error()}
+	case strings.TrimSpace(string(data)) == "":
+		m.skipped = &FileWarning{File: name, Err: "empty file"}
+	}
+	if m.missing || m.skipped != nil {
+		if sr != nil {
+			// The journal holds partial chunks for a file that has since
+			// vanished: discard them.
+			m.restarted = true
+		}
+		close(p.metaReady[si])
+		return true
+	}
+
+	lines := logparse.SplitLines(string(data))
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			m.nonBlank++
+		}
+	}
+	chunks := logparse.SafeChunks(stream, lines, p.opts.ChunkLines)
+	m.chunks = len(chunks)
+	m.size = int64(len(data))
+	if sr != nil {
+		if sr.nonBlank == m.nonBlank && sr.chunks == m.chunks && sr.size == m.size {
+			// Same file as journaled: skip the chunks already committed.
+			m.startChunk = sr.doneChunks
+		} else {
+			// The file changed underneath the journal: restart the
+			// stream from scratch, superseding its journal state.
+			m.restarted = true
+		}
+	}
+	close(p.metaReady[si])
+	for ci := m.startChunk; ci < m.chunks; ci++ {
+		select {
+		case p.tasks <- chunkTask{si: si, ci: ci, stream: stream, chunk: chunks[ci]}:
+		case <-p.ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// readFile reads one log file through the chaos read seam, retrying
+// injected I/O faults with backoff up to the attempt budget.
+func (p *streamPipe) readFile(name string) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		if p.opts.Chaos != nil {
+			if ferr := p.opts.Chaos.ReadFault(name, attempt); ferr != nil {
+				if attempt+1 >= p.opts.MaxAttempts {
+					return nil, ferr
+				}
+				if !p.sleepBackoff("read/"+name, attempt+1) {
+					return nil, p.ctx.Err()
+				}
+				continue
 			}
 		}
-	}()
+		return os.ReadFile(filepath.Join(p.dir, name))
+	}
+}
 
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				recs, errs := logparse.ParseChunk(t.stream, sched, t.chunk)
-				results <- chunkResult{si: t.si, ci: t.ci, recs: recs, errs: errs}
+// sleepBackoff sleeps base×2ⁿ⁻¹ with deterministic ±50% jitter keyed
+// by the label; false means the context was cancelled while sleeping.
+func (p *streamPipe) sleepBackoff(label string, attempt int) bool {
+	if p.opts.BackoffBase < 0 {
+		return p.ctx.Err() == nil
+	}
+	base := float64(p.opts.BackoffBase << uint(attempt-1))
+	var seed uint64
+	if p.opts.Chaos != nil {
+		seed = p.opts.Chaos.Config().Seed
+	}
+	r := rng.New(seed).Split(fmt.Sprintf("backoff/%s/%d", label, attempt))
+	d := time.Duration(r.Jitter(base, 0.5))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.ctx.Done():
+		return false
+	}
+}
+
+// emit delivers one result, bailing on cancellation.
+func (p *streamPipe) emit(r chunkResult) bool {
+	select {
+	case p.results <- r:
+		return true
+	case <-p.ctx.Done():
+		return false
+	}
+}
+
+// worker supervises one worker goroutine: panics escaping per-attempt
+// recovery poison the in-flight task and restart the loop with backoff,
+// up to the restart budget; past it the worker drains its queue,
+// poisoning everything, so the load always completes.
+func (p *streamPipe) worker() {
+	defer p.wg.Done()
+	restarts := 0
+	for {
+		cur, panicked, msg := p.workerRun()
+		if !panicked {
+			return
+		}
+		res := chunkResult{si: cur.si, ci: cur.ci, poisoned: true,
+			lines: len(cur.chunk.Lines), attempts: 1,
+			reason: "worker panic: " + msg}
+		if !p.emit(res) {
+			return
+		}
+		if restarts >= p.opts.MaxWorkerRestarts {
+			for {
+				select {
+				case t, open := <-p.tasks:
+					if !open {
+						return
+					}
+					if !p.emit(chunkResult{si: t.si, ci: t.ci, poisoned: true,
+						lines: len(t.chunk.Lines), attempts: 0,
+						reason: "worker restart budget exhausted"}) {
+						return
+					}
+				case <-p.ctx.Done():
+					return
+				}
+			}
+		}
+		restarts++
+		if !p.sleepBackoff("restart", restarts) {
+			return
+		}
+	}
+}
+
+// workerRun consumes tasks until the channel closes, the context
+// cancels, or a panic escapes (returned with the in-flight task).
+func (p *streamPipe) workerRun() (cur chunkTask, panicked bool, msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			msg = fmt.Sprint(r)
+		}
+	}()
+	for {
+		select {
+		case t, open := <-p.tasks:
+			if !open {
+				return cur, false, ""
+			}
+			cur = t
+			if hook := workerFailpoint; hook != nil {
+				hook(t)
+			}
+			if !p.emit(p.processTask(t)) {
+				return cur, false, ""
+			}
+		case <-p.ctx.Done():
+			return cur, false, ""
+		}
+	}
+}
+
+// processTask runs a chunk through the retry loop: each attempt is
+// guarded (panic recovery + stall watchdog); exhausting the budget
+// poisons the chunk.
+func (p *streamPipe) processTask(t chunkTask) chunkResult {
+	name := loggen.FileName(t.stream)
+	var reason string
+	for attempt := 0; attempt < p.opts.MaxAttempts; attempt++ {
+		if attempt > 0 && !p.sleepBackoff(fmt.Sprintf("chunk/%s/%d", name, t.ci), attempt) {
+			break
+		}
+		recs, errs, fault := p.attemptChunk(t, name, attempt)
+		if fault == "" {
+			return chunkResult{si: t.si, ci: t.ci, recs: recs, errs: errs, attempts: attempt + 1}
+		}
+		reason = fault
+	}
+	return chunkResult{si: t.si, ci: t.ci, poisoned: true,
+		lines: len(t.chunk.Lines), attempts: p.opts.MaxAttempts, reason: reason}
+}
+
+// stallReason is the watchdog's verdict string — shared by the real
+// watchdog and the virtual (no-sleep) injected-stall path so poison
+// accounting is identical either way.
+func (p *streamPipe) stallReason() string {
+	return fmt.Sprintf("stall: watchdog timeout after %v", p.opts.StallTimeout)
+}
+
+// attemptChunk makes one guarded parse attempt. The parse runs in a
+// sub-goroutine with panic recovery; a watchdog abandons it as stalled
+// after StallTimeout (the goroutine leaks until done — its result lands
+// in a buffered channel nobody reads). Injected faults from the chaos
+// seam drive the same machinery: FaultPanic panics inside the guard,
+// FaultStall sleeps StallTime there (or, when StallTime is zero, takes
+// the deterministic shortcut of returning the watchdog verdict without
+// any wall-clock wait).
+func (p *streamPipe) attemptChunk(t chunkTask, name string, attempt int) ([]events.Record, []error, string) {
+	inject := chaos.FaultNone
+	if p.opts.Chaos != nil {
+		inject = p.opts.Chaos.ChunkFault(name, t.ci, attempt)
+		if inject == chaos.FaultStall && p.opts.Chaos.StallTime() <= 0 {
+			return nil, nil, p.stallReason()
+		}
+	}
+	type outcome struct {
+		recs  []events.Record
+		errs  []error
+		fault string
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{fault: fmt.Sprintf("panic: %v", r)}
 			}
 		}()
-	}
-	go func() {
-		wg.Wait()
-		close(results)
+		switch inject {
+		case chaos.FaultPanic:
+			panic("chaos: injected panic")
+		case chaos.FaultStall:
+			time.Sleep(p.opts.Chaos.StallTime())
+		}
+		recs, errs := logparse.ParseChunk(t.stream, p.sched, t.chunk)
+		done <- outcome{recs: recs, errs: errs}
 	}()
+	var watchdog <-chan time.Time
+	if p.opts.StallTimeout > 0 {
+		timer := time.NewTimer(p.opts.StallTimeout)
+		defer timer.Stop()
+		watchdog = timer.C
+	}
+	select {
+	case o := <-done:
+		return o.recs, o.errs, o.fault
+	case <-watchdog:
+		return nil, nil, p.stallReason()
+	}
+}
 
-	// Collector: assemble streams in loggen.AllStreams order so shard
-	// appends (and therefore sequence numbers) match the sequential
-	// loader's arrival order exactly. Out-of-order chunk results are
-	// parked; their count is bounded by the pool size plus queue depth.
-	ss := NewSharded(opts.Shards)
+// journalWriter serialises the collector's checkpoint entries and
+// handles the durability cadence. A write error disables further
+// journaling (the load continues un-checkpointed) and is surfaced once
+// on the report.
+type journalWriter struct {
+	log   *wal.Log
+	every int
+
+	sinceMark int
+	total     int
+	err       error
+}
+
+func (j *journalWriter) write(e jEntry) {
+	if j.log == nil || j.err != nil {
+		return
+	}
+	if err := appendEntry(j.log, e); err != nil {
+		j.err = err
+	}
+}
+
+// commit journals one chunk-slot entry and advances the mark cadence.
+func (j *journalWriter) commit(e jEntry, ss *ShardedStore) {
+	j.write(e)
+	j.total += len(e.Recs)
+	j.sinceMark++
+	if j.sinceMark >= j.every {
+		j.sinceMark = 0
+		j.write(jEntry{T: "mark", RecTotal: j.total, ShardLens: ss.ShardLens()})
+		j.sync()
+	}
+}
+
+func (j *journalWriter) sync() {
+	if j.log == nil || j.err != nil {
+		return
+	}
+	if err := j.log.Sync(); err != nil {
+		j.err = err
+	}
+}
+
+// collect assembles chunk results in stream order, journals every
+// committed slot, applies the circuit breaker, and builds the store and
+// report. It is the journal's only writer.
+func (p *streamPipe) collect(j *journalWriter) (*ShardedStore, *IngestReport, error) {
+	ss := NewSharded(p.opts.Shards)
 	rep := &IngestReport{}
 	pending := map[[2]int]chunkResult{}
-	for si, stream := range streams {
-		<-metaReady[si]
-		m := &metas[si]
+
+	interrupted := func() (*ShardedStore, *IngestReport, error) {
+		j.sync()
+		p.journalWarning(j, rep)
+		return nil, rep, fmt.Errorf("%w (resume with the same journal)", ErrInterrupted)
+	}
+
+	for si, stream := range p.streams {
+		select {
+		case <-p.metaReady[si]:
+		case <-p.ctx.Done():
+			return interrupted()
+		}
+		if p.ctx.Err() != nil {
+			return interrupted()
+		}
+		m := &p.metas[si]
+		sr := p.resumeFor(si)
+
+		if m.replayed {
+			// Journal satisfied the stream entirely.
+			switch {
+			case sr.missing:
+				rep.Missing = append(rep.Missing, stream.String())
+			case sr.skipped != nil:
+				rep.Skipped = append(rep.Skipped, *sr.skipped)
+			default:
+				rep.Poisoned = append(rep.Poisoned, sr.poisoned...)
+				if sr.trip != nil {
+					rep.Tripped = append(rep.Tripped, *sr.trip)
+				}
+				rep.Streams = append(rep.Streams, logparse.BuildStreamReport(stream, sr.nonBlank, sr.recs, sr.errs))
+				ss.Append(sr.recs)
+			}
+			continue
+		}
+
+		name := loggen.FileName(stream)
 		if m.missing {
+			j.write(jEntry{T: "miss", SI: si})
 			rep.Missing = append(rep.Missing, stream.String())
 			continue
 		}
 		if m.skipped != nil {
+			j.write(jEntry{T: "skip", SI: si, File: m.skipped.File, Err: m.skipped.Err})
 			rep.Skipped = append(rep.Skipped, *m.skipped)
 			continue
 		}
+
 		var recs []events.Record
 		var errs []error
-		for ci := 0; ci < m.chunks; ci++ {
-			r, ok := pending[[2]int{si, ci}]
-			for !ok {
-				in, open := <-results
-				if !open {
-					return nil, nil, fmt.Errorf("logstore: result channel closed early (stream %s chunk %d)", stream, ci)
-				}
-				if in.si == si && in.ci == ci {
-					r = in
-					ok = true
-					break
-				}
-				pending[[2]int{in.si, in.ci}] = in
+		poisonCount := 0
+		if sr != nil && !m.restarted {
+			// Reuse the journaled prefix of this stream.
+			recs = sr.recs
+			errs = sr.errs
+			rep.Poisoned = append(rep.Poisoned, sr.poisoned...)
+			poisonCount = len(sr.poisoned)
+		} else {
+			j.write(jEntry{T: "file", SI: si, File: name,
+				NonBlank: m.nonBlank, Chunks: m.chunks, Size: m.size})
+		}
+
+		tripped := false
+		for ci := m.startChunk; ci < m.chunks; ci++ {
+			r, ok := p.nextResult(si, ci, pending)
+			if !ok {
+				return interrupted()
 			}
-			delete(pending, [2]int{si, ci})
-			recs = append(recs, r.recs...)
-			errs = append(errs, r.errs...)
+			switch {
+			case tripped:
+				// Breaker open: the slot is consumed and discarded.
+			case r.poisoned:
+				pz := PoisonChunk{Stream: stream.String(), Chunk: ci,
+					Lines: r.lines, Attempts: r.attempts, Reason: r.reason}
+				j.commit(jEntry{T: "poison", SI: si, CI: ci, File: pz.Stream,
+					Lines: pz.Lines, Attempts: pz.Attempts, Reason: pz.Reason}, ss)
+				rep.Poisoned = append(rep.Poisoned, pz)
+				poisonCount++
+				if poisonCount >= p.opts.BreakerThreshold {
+					tripped = true
+					trip := BreakerTrip{Stream: stream.String(),
+						Poisoned: poisonCount, Dropped: m.chunks - ci - 1}
+					j.write(jEntry{T: "trip", SI: si, File: trip.Stream,
+						Poisoned: trip.Poisoned, Dropped: trip.Dropped})
+					rep.Tripped = append(rep.Tripped, trip)
+				}
+			default:
+				j.commit(jEntry{T: "chunk", SI: si, CI: ci, Seq: len(recs),
+					Recs: toJRecs(r.recs), Errs: toJErrs(r.errs)}, ss)
+				recs = append(recs, r.recs...)
+				errs = append(errs, r.errs...)
+			}
+			if p.opts.OnChunk != nil {
+				p.opts.OnChunk(stream.String(), ci)
+			}
+			if p.ctx.Err() != nil {
+				return interrupted()
+			}
 		}
 		rep.Streams = append(rep.Streams, logparse.BuildStreamReport(stream, m.nonBlank, recs, errs))
 		ss.Append(recs)
 	}
+	j.write(jEntry{T: "done"})
+	j.sync()
+	p.journalWarning(j, rep)
 	ss.Seal()
 	return ss, rep, nil
+}
+
+// nextResult blocks until the (si, ci) chunk result is available,
+// parking out-of-order arrivals; false means cancellation or a pipeline
+// wedge (results channel closed with the slot still owed).
+func (p *streamPipe) nextResult(si, ci int, pending map[[2]int]chunkResult) (chunkResult, bool) {
+	key := [2]int{si, ci}
+	if r, ok := pending[key]; ok {
+		delete(pending, key)
+		return r, true
+	}
+	for {
+		select {
+		case in, open := <-p.results:
+			if !open {
+				return chunkResult{}, false
+			}
+			if in.si == si && in.ci == ci {
+				return in, true
+			}
+			pending[[2]int{in.si, in.ci}] = in
+		case <-p.ctx.Done():
+			return chunkResult{}, false
+		}
+	}
+}
+
+// journalWarning surfaces a journal write failure once, as a skip-style
+// warning: checkpointing stopped but the load itself was unaffected.
+func (p *streamPipe) journalWarning(j *journalWriter, rep *IngestReport) {
+	if j.err == nil {
+		return
+	}
+	rep.Skipped = append(rep.Skipped, FileWarning{
+		File: "<checkpoint journal>",
+		Err:  fmt.Sprintf("journaling disabled: %v", j.err),
+	})
+	j.err = nil
 }

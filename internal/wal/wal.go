@@ -1,0 +1,307 @@
+// Package wal is an append-only, CRC-checksummed, segment-rotated
+// write-ahead log. The ingestion pipeline journals its progress through
+// it so a killed load can resume without losing completed work — the
+// same checkpoint/restart economics the paper argues for at the job
+// level, applied to our own pipeline.
+//
+// Durability model:
+//
+//   - every record is framed [length u32][crc32c u32][payload], so a
+//     torn write (crash mid-append) is detectable;
+//   - Open scans every segment front to back and truncates the log at
+//     the first damaged frame — the torn tail and anything after it is
+//     discarded, never returned, and never a panic;
+//   - segments rotate at SegmentBytes so truncation after damage drops
+//     at most the damaged segment's tail plus later segments.
+//
+// A record that Append returned success for (followed by Sync when
+// configured) survives a crash; a record mid-write at the kill point is
+// rolled back on the next Open. Callers must therefore treat the log as
+// a prefix journal: everything replayed is intact and in append order,
+// and the journal may simply be shorter than the work attempted.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DefaultSegmentBytes is the rotation threshold when Options leaves it
+// zero.
+const DefaultSegmentBytes = 4 << 20
+
+// frameHeader is the per-record framing overhead: length + checksum.
+const frameHeader = 8
+
+// castagnoli is the CRC polynomial table (CRC-32C, the checksum used by
+// most storage formats for its error-detection properties).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it would exceed this
+	// size (<= 0 selects DefaultSegmentBytes). A single record larger
+	// than the threshold still gets written, alone in its segment.
+	SegmentBytes int64
+	// Sync fsyncs the active segment on every Sync call. Appends are
+	// never implicitly synced; callers batch with Sync at their own
+	// checkpoint cadence.
+	Sync bool
+}
+
+// Log is an open write-ahead log. Not safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	f       *os.File
+	segIdx  int   // index of the active segment (1-based; 0 = none yet)
+	segSize int64 // bytes in the active segment
+
+	// records is the count of valid records found at Open plus records
+	// appended since.
+	records int
+}
+
+// segmentName renders the file name of segment i.
+func segmentName(i int) string { return fmt.Sprintf("wal-%08d.seg", i) }
+
+// Open opens (or creates) the log under dir, validating every segment
+// and truncating the torn tail: the first frame with a short header,
+// impossible length or checksum mismatch ends the log — the damaged
+// segment is truncated at the last intact frame and every later segment
+// is deleted. Open never fails on damage, only on real I/O errors.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	for n, idx := range segs {
+		path := filepath.Join(dir, segmentName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		good, count, intact := scanSegment(data)
+		l.records += count
+		l.segIdx = idx
+		l.segSize = good
+		if !intact {
+			if err := os.Truncate(path, good); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+			// Everything after the damage is untrusted: drop later
+			// segments wholesale.
+			for _, later := range segs[n+1:] {
+				if err := os.Remove(filepath.Join(dir, segmentName(later))); err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+			}
+			break
+		}
+	}
+	return l, nil
+}
+
+// listSegments returns the segment indexes present under dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		var i int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &i); err == nil && i > 0 &&
+			e.Name() == segmentName(i) {
+			segs = append(segs, i)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// scanSegment walks the frames of one segment. It returns the byte
+// offset just past the last intact frame, the count of intact frames,
+// and whether the whole segment was intact.
+func scanSegment(data []byte) (good int64, count int, intact bool) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return int64(off), count, false
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 0 || len(data)-off-frameHeader < n {
+			return int64(off), count, false
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return int64(off), count, false
+		}
+		off += frameHeader + n
+		count++
+	}
+	return int64(off), count, true
+}
+
+// Records returns the number of valid records in the log (replayable
+// ones found at Open plus successful Appends since).
+func (l *Log) Records() int { return l.records }
+
+// Segments returns how many segment files the log currently spans.
+func (l *Log) Segments() int {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// Replay invokes fn for every intact record in append order, re-reading
+// the segments from disk. Damage encountered mid-replay (the log was
+// modified externally since Open) silently ends the replay — the WAL
+// contract is prefix delivery, never a panic. fn returning an error
+// aborts the replay with that error.
+func (l *Log) Replay(fn func(payload []byte) error) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		data, err := os.ReadFile(filepath.Join(l.dir, segmentName(idx)))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		off := 0
+		for off < len(data) {
+			if len(data)-off < frameHeader {
+				return nil
+			}
+			n := int(binary.LittleEndian.Uint32(data[off:]))
+			crc := binary.LittleEndian.Uint32(data[off+4:])
+			if n < 0 || len(data)-off-frameHeader < n {
+				return nil
+			}
+			payload := data[off+frameHeader : off+frameHeader+n]
+			if crc32.Checksum(payload, castagnoli) != crc {
+				return nil
+			}
+			if err := fn(payload); err != nil {
+				return err
+			}
+			off += frameHeader + n
+		}
+	}
+	return nil
+}
+
+// Append writes one record. The payload is framed and buffered by the
+// OS; call Sync to force it to stable storage. Rotation happens before
+// the write when the active segment would exceed SegmentBytes.
+func (l *Log) Append(payload []byte) error {
+	if l.segIdx == 0 || (l.segSize > 0 && l.segSize+frameHeader+int64(len(payload)) > l.opts.SegmentBytes) {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	if l.f == nil {
+		if err := l.openActive(); err != nil {
+			return err
+		}
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeader:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.segSize += int64(len(frame))
+	l.records++
+	return nil
+}
+
+// rotate closes the active segment and advances to the next index.
+func (l *Log) rotate() error {
+	if err := l.closeActive(); err != nil {
+		return err
+	}
+	l.segIdx++
+	l.segSize = 0
+	return nil
+}
+
+// openActive opens the active segment for appending.
+func (l *Log) openActive() error {
+	if l.segIdx == 0 {
+		l.segIdx = 1
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.segIdx)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	return nil
+}
+
+// Sync flushes the active segment to stable storage when Options.Sync
+// is set; otherwise it is a no-op (the OS flushes eventually — the
+// trade callers pick for speed).
+func (l *Log) Sync() error {
+	if !l.opts.Sync || l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// closeActive closes the active segment file handle.
+func (l *Log) closeActive() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the log. The log stays on disk for a later Open.
+func (l *Log) Close() error { return l.closeActive() }
+
+// Reset deletes every segment, emptying the log for a fresh run.
+func (l *Log) Reset() error {
+	if err := l.closeActive(); err != nil {
+		return err
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if err := os.Remove(filepath.Join(l.dir, segmentName(idx))); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.segIdx = 0
+	l.segSize = 0
+	l.records = 0
+	return nil
+}

@@ -1,0 +1,316 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayAll collects every record of the log.
+func replayAll(t *testing.T, l *Log) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := l.Replay(func(p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%03d", i))
+		if i%7 == 0 {
+			p = append(p, make([]byte, i*13)...) // vary sizes, include zeros
+		}
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Records() != len(want) {
+		t.Fatalf("Records() = %d, want %d", l2.Records(), len(want))
+	}
+	got := replayAll(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Append([]byte("0123456789abcdef0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs := l.Segments(); segs < 10 {
+		t.Fatalf("expected rotation to produce many segments, got %d", segs)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2); len(got) != 20 {
+		t.Fatalf("replayed %d records across segments, want 20", len(got))
+	}
+	// Appends after reopen continue from the last segment.
+	if err := l2.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l2); len(got) != 21 || !bytes.Equal(got[20], []byte("after-reopen")) {
+		t.Fatalf("append after reopen not replayed: %d records", len(got))
+	}
+}
+
+func TestOversizeRecordGetsOwnSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 100)
+	for _, p := range [][]byte{[]byte("a"), big, []byte("b")} {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l2, err := Open(dir, Options{SegmentBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != 3 || !bytes.Equal(got[1], big) {
+		t.Fatalf("oversize record lost: %d records", len(got))
+	}
+}
+
+// corrupt flips one byte at off in the named segment.
+func corrupt(t *testing.T, dir string, seg, off int) {
+	t.Helper()
+	path := filepath.Join(dir, segmentName(seg))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Simulate a torn final write: chop the segment mid-frame.
+	path := filepath.Join(dir, segmentName(1))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l2); len(got) != 9 {
+		t.Fatalf("torn tail: replayed %d records, want 9 (last truncated away)", len(got))
+	}
+	// The truncated log accepts new appends and they land after the
+	// surviving prefix.
+	if err := l2.Append([]byte("resumed")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	got := replayAll(t, l3)
+	if len(got) != 10 || !bytes.Equal(got[9], []byte("resumed")) {
+		t.Fatalf("append after truncation: got %d records, last %q", len(got), got[len(got)-1])
+	}
+}
+
+func TestGarbledMiddleDropsSuffixAndLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := l.Append([]byte("0123456789abcdef0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	before := l.Segments()
+	if before < 6 {
+		t.Fatalf("want several segments, got %d", before)
+	}
+
+	// Garble a payload byte in segment 2: replay must keep segment 1,
+	// drop the damaged record and everything after — including later
+	// segment files.
+	corrupt(t, dir, 2, frameHeader+4)
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) >= 12 || len(got) < 1 {
+		t.Fatalf("garbled middle: replayed %d records, want a strict prefix", len(got))
+	}
+	if l2.Segments() >= before {
+		t.Fatalf("later segments not removed: %d segments still present (was %d)", l2.Segments(), before)
+	}
+}
+
+func TestGarbledLengthFieldTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Garble the length field of record 3 into a huge value.
+	corrupt(t, dir, 1, 2*(frameHeader+5)+2)
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2); len(got) != 2 {
+		t.Fatalf("garbled length: replayed %d records, want 2", len(got))
+	}
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := l.Append([]byte("some-record-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 0 || l.Segments() != 0 {
+		t.Fatalf("after Reset: %d records, %d segments", l.Records(), l.Segments())
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l); len(got) != 1 || !bytes.Equal(got[0], []byte("fresh")) {
+		t.Fatalf("append after Reset: %v", got)
+	}
+	l.Close()
+}
+
+func TestEmptyAndMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "does", "not", "exist", "yet")
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Records() != 0 {
+		t.Fatalf("fresh log has %d records", l.Records())
+	}
+	if got := replayAll(t, l); len(got) != 0 {
+		t.Fatalf("fresh log replays %d records", len(got))
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForeignFilesIgnored: stray files in the WAL dir are not treated
+// as segments.
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal-junk.seg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Records() != 0 {
+		t.Fatalf("foreign files counted as records: %d", l.Records())
+	}
+}
