@@ -95,6 +95,35 @@ func BenchmarkExtensionCheckpoint(b *testing.B) { benchExperiment(b, "extension-
 func BenchmarkExtensionRecommend(b *testing.B)  { benchExperiment(b, "extension-recommend") }
 func BenchmarkExtensionMLTrace(b *testing.B)    { benchExperiment(b, "extension-mltrace") }
 
+// Experiment batch benchmarks: the cmd/experiments -all path, run
+// sequentially vs on the worker pool.
+
+func BenchmarkExperimentsSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkExperimentsParallel(b *testing.B)   { benchRunAll(b, 0) }
+
+func benchRunAll(b *testing.B, jobs int) {
+	b.Helper()
+	ids := []string{"fig12", "fig16", "table5", "swo"}
+	exps := make([]experiments.Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range experiments.RunAll(exps, cfg, jobs) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
 // Pipeline micro-benchmarks.
 
 var benchStart = time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)

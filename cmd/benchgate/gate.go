@@ -1,0 +1,332 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement: the iteration count plus every
+// "value unit" metric pair from the bench line, keyed by the baseline
+// JSON spelling (ns/op → ns_per_op, B/op → B_per_op, …).
+type Entry struct {
+	Name       string
+	Iterations int64
+	Values     map[string]float64
+}
+
+// Baseline is the recorded reference run (the BENCH_pr*.json format).
+type Baseline struct {
+	Note       string
+	Goos       string
+	Goarch     string
+	CPU        string
+	Benchmarks []Entry
+}
+
+var benchName = regexp.MustCompile(`^Benchmark[A-Z_a-z0-9/]*$`)
+
+// canonUnit maps bench-output units to baseline JSON keys.
+func canonUnit(u string) string {
+	switch u {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "B_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	return strings.ReplaceAll(u, "/", "_per_")
+}
+
+// ParseBenchLine parses one `go test -bench` result line. The
+// GOMAXPROCS suffix (BenchmarkFoo-8) is stripped so runs from machines
+// with different core counts compare. ok is false for non-benchmark
+// lines (pkg headers, PASS, ok …).
+func ParseBenchLine(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Entry{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if !benchName.MatchString(name) {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters, Values: make(map[string]float64)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Values[canonUnit(f[i+1])] = v
+	}
+	if len(e.Values) == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// ParseBenchOutput collects every benchmark line in the stream. A
+// benchmark that appears twice (same name from two packages) keeps the
+// first measurement and reports the duplicate as an error, since the
+// baseline format cannot distinguish them.
+func ParseBenchOutput(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		e, ok := ParseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if seen[e.Name] {
+			return nil, fmt.Errorf("duplicate benchmark %s in input", e.Name)
+		}
+		seen[e.Name] = true
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadBaseline loads a BENCH_pr*.json reference run.
+func ReadBaseline(path string) (Baseline, error) {
+	var bl Baseline
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return bl, err
+	}
+	var raw struct {
+		Note       string            `json:"note"`
+		Goos       string            `json:"goos"`
+		Goarch     string            `json:"goarch"`
+		CPU        string            `json:"cpu"`
+		Benchmarks []json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		return bl, fmt.Errorf("%s: %w", path, err)
+	}
+	bl.Note, bl.Goos, bl.Goarch, bl.CPU = raw.Note, raw.Goos, raw.Goarch, raw.CPU
+	for _, rm := range raw.Benchmarks {
+		var m map[string]any
+		if err := json.Unmarshal(rm, &m); err != nil {
+			return bl, fmt.Errorf("%s: %w", path, err)
+		}
+		e := Entry{Values: make(map[string]float64)}
+		for k, v := range m {
+			switch k {
+			case "name":
+				e.Name, _ = v.(string)
+			case "iterations":
+				if f, ok := v.(float64); ok {
+					e.Iterations = int64(f)
+				}
+			default:
+				if f, ok := v.(float64); ok {
+					e.Values[k] = f
+				}
+			}
+		}
+		if e.Name == "" {
+			return bl, fmt.Errorf("%s: benchmark entry without name", path)
+		}
+		bl.Benchmarks = append(bl.Benchmarks, e)
+	}
+	return bl, nil
+}
+
+// WriteBaseline records a reference run, keeping the metric key order
+// stable (ns_per_op, B_per_op, allocs_per_op, then extras sorted) so
+// diffs between recorded runs stay readable.
+func WriteBaseline(path string, bl Baseline) error {
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  %s: %s,\n", jstr("note"), jstr(bl.Note))
+	fmt.Fprintf(&b, "  %s: %s,\n", jstr("goos"), jstr(bl.Goos))
+	fmt.Fprintf(&b, "  %s: %s,\n", jstr("goarch"), jstr(bl.Goarch))
+	fmt.Fprintf(&b, "  %s: %s,\n", jstr("cpu"), jstr(bl.CPU))
+	b.WriteString("  \"benchmarks\": [\n")
+	for i, e := range bl.Benchmarks {
+		fmt.Fprintf(&b, "    {\"name\": %s, \"iterations\": %d", jstr(e.Name), e.Iterations)
+		rest := make(map[string]float64, len(e.Values))
+		for k, v := range e.Values {
+			rest[k] = v
+		}
+		for _, k := range []string{"ns_per_op", "B_per_op", "allocs_per_op"} {
+			if v, ok := rest[k]; ok {
+				fmt.Fprintf(&b, ", %s: %s", jstr(k), jnum(v))
+				delete(rest, k)
+			}
+		}
+		for _, k := range sortedKeys(rest) {
+			fmt.Fprintf(&b, ", %s: %s", jstr(k), jnum(rest[k]))
+		}
+		b.WriteString("}")
+		if i < len(bl.Benchmarks)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  ]\n}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func jstr(s string) string {
+	blob, _ := json.Marshal(s)
+	return string(blob)
+}
+
+func jnum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Gate holds the regression thresholds.
+type Gate struct {
+	// MaxTimeRatio fails a benchmark whose ns/op exceeds
+	// baseline*MaxTimeRatio (generous: baselines are recorded on
+	// different hardware than CI).
+	MaxTimeRatio float64
+	// MaxAllocRatio fails a benchmark whose allocs/op exceeds
+	// baseline*MaxAllocRatio (tight: allocation counts are
+	// hardware-independent).
+	MaxAllocRatio float64
+	// AllocLenient names benchmarks whose allocs gate at MaxTimeRatio
+	// instead (parallel paths allocate per worker).
+	AllocLenient *regexp.Regexp
+	// RequireAll fails when a baseline benchmark is absent from input.
+	RequireAll bool
+}
+
+// Row is one comparison line.
+type Row struct {
+	Name                 string
+	OldNs, NewNs         float64 // 0 when absent
+	OldAllocs, NewAllocs float64
+	HasAllocs            bool
+	Verdict              string
+}
+
+// Report is the comparison outcome.
+type Report struct {
+	Rows     []Row
+	Failures []string
+}
+
+// Compare checks measured results against the baseline.
+func Compare(bl Baseline, measured []Entry, g Gate) *Report {
+	rep := &Report{}
+	got := make(map[string]Entry, len(measured))
+	for _, e := range measured {
+		got[e.Name] = e
+	}
+	base := make(map[string]Entry, len(bl.Benchmarks))
+	for _, e := range bl.Benchmarks {
+		base[e.Name] = e
+		m, ok := got[e.Name]
+		if !ok {
+			if g.RequireAll {
+				rep.Failures = append(rep.Failures, fmt.Sprintf("%s: in baseline but not measured", e.Name))
+			}
+			rep.Rows = append(rep.Rows, Row{Name: e.Name, OldNs: e.Values["ns_per_op"], Verdict: "missing"})
+			continue
+		}
+		row := Row{
+			Name:  e.Name,
+			OldNs: e.Values["ns_per_op"], NewNs: m.Values["ns_per_op"],
+			Verdict: "ok",
+		}
+		if ba, bok := e.Values["allocs_per_op"]; bok {
+			if ma, mok := m.Values["allocs_per_op"]; mok {
+				row.OldAllocs, row.NewAllocs, row.HasAllocs = ba, ma, true
+			}
+		}
+		if row.OldNs > 0 && g.MaxTimeRatio > 0 && row.NewNs > row.OldNs*g.MaxTimeRatio {
+			row.Verdict = "TIME"
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%.2fx > %.2fx)",
+				e.Name, row.NewNs, row.OldNs, row.NewNs/row.OldNs, g.MaxTimeRatio))
+		}
+		if row.HasAllocs && row.OldAllocs > 0 {
+			tol := g.MaxAllocRatio
+			if g.AllocLenient != nil && g.AllocLenient.MatchString(e.Name) {
+				tol = g.MaxTimeRatio
+			}
+			if tol > 0 && row.NewAllocs > row.OldAllocs*tol {
+				row.Verdict = "ALLOCS"
+				rep.Failures = append(rep.Failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (%.2fx > %.2fx)",
+					e.Name, row.NewAllocs, row.OldAllocs, row.NewAllocs/row.OldAllocs, tol))
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for _, e := range measured {
+		if _, ok := base[e.Name]; !ok {
+			rep.Rows = append(rep.Rows, Row{Name: e.Name, NewNs: e.Values["ns_per_op"], Verdict: "new"})
+		}
+	}
+	return rep
+}
+
+// Table renders the benchstat-style delta table.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %14s %14s %8s %12s %12s %8s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta", "verdict")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-36s %14s %14s %8s %12s %12s %8s  %s\n",
+			row.Name,
+			fnum(row.OldNs), fnum(row.NewNs), delta(row.OldNs, row.NewNs),
+			allocNum(row.OldAllocs, row.HasAllocs), allocNum(row.NewAllocs, row.HasAllocs),
+			deltaIf(row.HasAllocs, row.OldAllocs, row.NewAllocs),
+			row.Verdict)
+	}
+	return b.String()
+}
+
+func fnum(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func allocNum(v float64, has bool) string {
+	if !has {
+		return "-"
+	}
+	return strconv.FormatInt(int64(v), 10)
+}
+
+func delta(old, new float64) string {
+	if old == 0 || new == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func deltaIf(has bool, old, new float64) string {
+	if !has {
+		return "-"
+	}
+	return delta(old, new)
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	e, ok := ParseBenchLine("BenchmarkFig5-8 \t       5\t 269236977 ns/op\t154790284 B/op\t  309173 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if e.Name != "BenchmarkFig5" {
+		t.Errorf("name %q (GOMAXPROCS suffix should strip)", e.Name)
+	}
+	if e.Iterations != 5 {
+		t.Errorf("iterations %d", e.Iterations)
+	}
+	want := map[string]float64{"ns_per_op": 269236977, "B_per_op": 154790284, "allocs_per_op": 309173}
+	for k, v := range want {
+		if e.Values[k] != v {
+			t.Errorf("%s = %v, want %v", k, e.Values[k], v)
+		}
+	}
+}
+
+func TestParseBenchLineCustomMetric(t *testing.T) {
+	e, ok := ParseBenchLine("BenchmarkParseLogs \t 1\t13060073 ns/op\t     12116 lines_per_op\t 8520944 B/op\t 40669 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if e.Values["lines_per_op"] != 12116 {
+		t.Errorf("lines_per_op = %v", e.Values["lines_per_op"])
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"pkg: hpcfail",
+		"ok  \thpcfail\t3.300s",
+		"PASS",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"goos: linux",
+		"BenchmarkBroken  abc  1 ns/op",
+		"",
+	} {
+		if _, ok := ParseBenchLine(line); ok {
+			t.Errorf("noise line parsed as benchmark: %q", line)
+		}
+	}
+}
+
+func TestParseBenchOutputDuplicate(t *testing.T) {
+	in := "BenchmarkX 1 10 ns/op\nBenchmarkX 1 12 ns/op\n"
+	if _, err := ParseBenchOutput(strings.NewReader(in)); err == nil {
+		t.Error("duplicate benchmark name should error")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	bl := Baseline{
+		Note: "test run", Goos: "linux", Goarch: "amd64", CPU: "test-cpu",
+		Benchmarks: []Entry{
+			{Name: "BenchmarkA", Iterations: 5, Values: map[string]float64{"ns_per_op": 123456, "B_per_op": 1024, "allocs_per_op": 17}},
+			{Name: "BenchmarkB", Iterations: 1, Values: map[string]float64{"ns_per_op": 967.5, "lines_per_op": 12116}},
+		},
+	}
+	if err := WriteBaseline(path, bl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != bl.Note || got.CPU != bl.CPU || len(got.Benchmarks) != 2 {
+		t.Fatalf("round trip lost header/entries: %+v", got)
+	}
+	for i, e := range bl.Benchmarks {
+		g := got.Benchmarks[i]
+		if g.Name != e.Name || g.Iterations != e.Iterations {
+			t.Errorf("entry %d: %+v, want %+v", i, g, e)
+		}
+		for k, v := range e.Values {
+			if g.Values[k] != v {
+				t.Errorf("entry %d %s: %v, want %v", i, k, g.Values[k], v)
+			}
+		}
+	}
+}
+
+func gateForTest() Gate {
+	return Gate{MaxTimeRatio: 4.0, MaxAllocRatio: 1.15, AllocLenient: regexp.MustCompile("Parallel")}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	bl := Baseline{Benchmarks: []Entry{
+		{Name: "BenchmarkA", Values: map[string]float64{"ns_per_op": 100, "allocs_per_op": 100}},
+	}}
+	rep := Compare(bl, []Entry{
+		{Name: "BenchmarkA", Values: map[string]float64{"ns_per_op": 350, "allocs_per_op": 110}},
+	}, gateForTest())
+	if len(rep.Failures) != 0 {
+		t.Errorf("within-tolerance run failed: %v", rep.Failures)
+	}
+}
+
+func TestCompareTimeRegression(t *testing.T) {
+	bl := Baseline{Benchmarks: []Entry{{Name: "BenchmarkA", Values: map[string]float64{"ns_per_op": 100}}}}
+	rep := Compare(bl, []Entry{{Name: "BenchmarkA", Values: map[string]float64{"ns_per_op": 500}}}, gateForTest())
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "ns/op") {
+		t.Errorf("5x slowdown not caught: %v", rep.Failures)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	bl := Baseline{Benchmarks: []Entry{
+		{Name: "BenchmarkA", Values: map[string]float64{"ns_per_op": 100, "allocs_per_op": 100}},
+	}}
+	rep := Compare(bl, []Entry{
+		{Name: "BenchmarkA", Values: map[string]float64{"ns_per_op": 100, "allocs_per_op": 130}},
+	}, gateForTest())
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "allocs/op") {
+		t.Errorf("30%% alloc growth not caught: %v", rep.Failures)
+	}
+}
+
+func TestCompareAllocLenient(t *testing.T) {
+	bl := Baseline{Benchmarks: []Entry{
+		{Name: "BenchmarkAParallel", Values: map[string]float64{"ns_per_op": 100, "allocs_per_op": 100}},
+	}}
+	rep := Compare(bl, []Entry{
+		{Name: "BenchmarkAParallel", Values: map[string]float64{"ns_per_op": 100, "allocs_per_op": 130}},
+	}, gateForTest())
+	if len(rep.Failures) != 0 {
+		t.Errorf("lenient benchmark should pass at 1.3x allocs: %v", rep.Failures)
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	bl := Baseline{Benchmarks: []Entry{{Name: "BenchmarkGone", Values: map[string]float64{"ns_per_op": 100}}}}
+	measured := []Entry{{Name: "BenchmarkNew", Values: map[string]float64{"ns_per_op": 50}}}
+	rep := Compare(bl, measured, gateForTest())
+	if len(rep.Failures) != 0 {
+		t.Errorf("missing benchmark should not fail without -require-all: %v", rep.Failures)
+	}
+	g := gateForTest()
+	g.RequireAll = true
+	rep = Compare(bl, measured, g)
+	if len(rep.Failures) != 1 {
+		t.Errorf("RequireAll should flag the missing benchmark: %v", rep.Failures)
+	}
+	verdicts := map[string]string{}
+	for _, row := range rep.Rows {
+		verdicts[row.Name] = row.Verdict
+	}
+	if verdicts["BenchmarkGone"] != "missing" || verdicts["BenchmarkNew"] != "new" {
+		t.Errorf("verdicts = %v", verdicts)
+	}
+}
+
+func TestCompareAgainstRecordedFormat(t *testing.T) {
+	// The gate must read the repo's actual baseline files.
+	bl, err := ReadBaseline("../../BENCH_pr3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Benchmarks) == 0 {
+		t.Fatal("BENCH_pr3.json parsed empty")
+	}
+	found := false
+	for _, e := range bl.Benchmarks {
+		if e.Name == "BenchmarkFig5" {
+			found = true
+			if e.Values["ns_per_op"] == 0 {
+				t.Error("BenchmarkFig5 ns_per_op missing")
+			}
+		}
+	}
+	if !found {
+		t.Error("BenchmarkFig5 not in BENCH_pr3.json")
+	}
+}

@@ -1,0 +1,119 @@
+// Command benchgate is the CI benchmark regression gate: it parses
+// `go test -bench` output and compares it against a recorded baseline
+// (BENCH_pr*.json), failing when a benchmark regresses beyond
+// tolerance.
+//
+//	go test -bench=. -benchtime=1x -benchmem -run '^$' ./... | benchgate -baseline BENCH_pr4.json
+//	go test -bench=. -benchmem -run '^$' ./... | benchgate -baseline BENCH_pr4.json -update -note "..."
+//
+// Wall-clock tolerance is generous by default (-max-time-ratio): the
+// baseline is recorded on one machine and CI runs on another, so ns/op
+// only gates catastrophic slowdowns. Allocation counts are
+// hardware-independent, so allocs/op gates tightly
+// (-max-alloc-ratio); benchmarks matching -alloc-lenient (parallel
+// paths whose allocation count varies with worker count) fall back to
+// the time ratio. -update rewrites the baseline from the measured run
+// instead of comparing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+)
+
+func main() {
+	var (
+		baseline     = flag.String("baseline", "", "baseline JSON file to compare against (required)")
+		input        = flag.String("in", "-", "bench output to read (- = stdin)")
+		timeRatio    = flag.Float64("max-time-ratio", 4.0, "fail when ns/op exceeds baseline by this factor")
+		allocRatio   = flag.Float64("max-alloc-ratio", 1.15, "fail when allocs/op exceeds baseline by this factor")
+		allocLenient = flag.String("alloc-lenient", "Parallel|Sharded|Stream|Resume", "regexp of benchmarks whose allocs gate at -max-time-ratio (worker-count dependent)")
+		requireAll   = flag.Bool("require-all", false, "fail when a baseline benchmark is missing from the input")
+		update       = flag.Bool("update", false, "rewrite the baseline from the measured run instead of comparing")
+		note         = flag.String("note", "", "note to store in the baseline when -update is set")
+	)
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	lenientRE, err := regexp.Compile(*allocLenient)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -alloc-lenient: %v\n", err)
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	measured, err := ParseBenchOutput(bufio.NewReader(r))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	if *update {
+		bl := Baseline{Note: *note, Goos: runtime.GOOS, Goarch: runtime.GOARCH, Benchmarks: measured}
+		if old, err := ReadBaseline(*baseline); err == nil {
+			bl.CPU = old.CPU
+			if bl.Note == "" {
+				bl.Note = old.Note
+			}
+		}
+		if err := WriteBaseline(*baseline, bl); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(measured), *baseline)
+		return
+	}
+
+	bl, err := ReadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	rep := Compare(bl, measured, Gate{
+		MaxTimeRatio:  *timeRatio,
+		MaxAllocRatio: *allocRatio,
+		AllocLenient:  lenientRE,
+		RequireAll:    *requireAll,
+	})
+	fmt.Print(rep.Table())
+	if len(rep.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s):\n", len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: %d benchmarks within tolerance (time ≤ %.2fx, allocs ≤ %.2fx)\n",
+		len(rep.Rows), *timeRatio, *allocRatio)
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -29,6 +29,7 @@ import (
 
 	"hpcfail"
 	"hpcfail/internal/core"
+	"hpcfail/internal/prof"
 	"hpcfail/internal/report"
 	"hpcfail/internal/topology"
 )
@@ -47,8 +48,10 @@ type options struct {
 
 func main() {
 	var (
-		o        options
-		jsonMode bool
+		o          options
+		jsonMode   bool
+		cpuprofile string
+		memprofile string
 	)
 	flag.StringVar(&o.logs, "logs", "logs", "log directory")
 	flag.StringVar(&o.sched, "scheduler", "slurm", "scheduler dialect: slurm or torque")
@@ -59,16 +62,26 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 0, "store shard count (0 = default)")
 	flag.StringVar(&o.wal, "wal", "", "checkpoint-journal directory (implies -stream; makes the load resumable)")
 	flag.BoolVar(&o.resume, "resume", false, "resume an interrupted load from the -wal journal")
+	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(cpuprofile, memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var err error
 	if jsonMode {
 		err = runJSON(ctx, o, os.Stdout, os.Stderr)
 	} else {
 		err = run(ctx, o, os.Stdout, os.Stderr)
+	}
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diagnose:", err)

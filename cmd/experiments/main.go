@@ -1,6 +1,7 @@
 // Command experiments regenerates the paper's tables and figures:
 //
 //	experiments -all                  # every artifact
+//	experiments -all -jobs 4          # every artifact, 4 parallel workers
 //	experiments -id fig13             # one artifact
 //	experiments -list                 # list artifacts and paper targets
 //	experiments -id fig3 -scale 0.5   # larger (slower) clusters
@@ -27,6 +28,7 @@ func main() {
 		scale  = flag.Float64("scale", 0.25, "cluster scale factor (1.0 = paper node counts)")
 		quick  = flag.Bool("quick", false, "shorten simulated durations")
 		format = flag.String("format", "text", "output format: text, markdown or csv")
+		jobs   = flag.Int("jobs", 0, "worker count for -all (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -41,8 +43,19 @@ func main() {
 			fmt.Printf("%-12s %s\n%-12s   paper: %s\n", e.ID, e.Title, "", e.Paper)
 		}
 	case *all:
-		for _, e := range experiments.All() {
-			run(e, cfg, *format)
+		// Experiments are independent simulations; run them on a worker
+		// pool and print in registry order as results become final.
+		failed := false
+		for _, o := range experiments.RunAll(experiments.All(), cfg, *jobs) {
+			if o.Err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.Experiment.ID, o.Err)
+				failed = true
+				continue
+			}
+			emit(o.Result, *format)
+		}
+		if failed {
+			os.Exit(1)
 		}
 	case *id != "":
 		e, ok := experiments.ByID(*id)
@@ -63,6 +76,10 @@ func run(e experiments.Experiment, cfg experiments.Config, format string) {
 		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
 		os.Exit(1)
 	}
+	emit(res, format)
+}
+
+func emit(res *experiments.Result, format string) {
 	switch format {
 	case "markdown":
 		fmt.Print(res.Markdown())

@@ -35,6 +35,7 @@ import (
 
 	"hpcfail"
 	"hpcfail/internal/core"
+	"hpcfail/internal/prof"
 	"hpcfail/internal/topology"
 )
 
@@ -68,13 +69,25 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "watcher snapshot file, written every -every and on shutdown")
 	flag.DurationVar(&o.every, "every", time.Minute, "checkpoint interval for -checkpoint")
 	flag.BoolVar(&o.resume, "resume", false, "resume: replay the -wal journal and restore the -checkpoint snapshot")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "watch:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, o, os.Stdout, os.Stderr); err != nil {
+	err = run(ctx, o, os.Stdout, os.Stderr)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "watch:", err)
 		os.Exit(1)
 	}

@@ -13,7 +13,6 @@
 package alps
 
 import (
-	"fmt"
 	"strconv"
 	"time"
 
@@ -33,6 +32,10 @@ type Launch struct {
 	JobID int64
 	// Nodes is the placement.
 	Nodes []cname.Name
+	// NodesStr, when non-empty, is the precomputed compressed render of
+	// Nodes (generators share one render across the scheduler and ALPS
+	// records of a job).
+	NodesStr string
 	// Start and End bound the launch.
 	Start, End time.Time
 }
@@ -45,10 +48,16 @@ func PlacementEvent(l Launch) events.Record {
 		Severity: events.SevInfo,
 		Category: "apid_place",
 		JobID:    l.JobID,
-		Msg:      fmt.Sprintf("apsched: placing apid %d (job %d) on %d nodes", l.Apid, l.JobID, len(l.Nodes)),
+		Msg: "apsched: placing apid " + strconv.FormatInt(l.Apid, 10) +
+			" (job " + strconv.FormatInt(l.JobID, 10) + ") on " +
+			strconv.Itoa(len(l.Nodes)) + " nodes",
 	}
 	r.SetField("apid", strconv.FormatInt(l.Apid, 10))
-	r.SetField("nodes", cname.CompressNodeList(l.Nodes))
+	ns := l.NodesStr
+	if ns == "" {
+		ns = cname.CompressNodeList(l.Nodes)
+	}
+	r.SetField("nodes", ns)
 	return r
 }
 
@@ -60,7 +69,8 @@ func ExitEvent(l Launch, status int) events.Record {
 		Severity: events.SevInfo,
 		Category: "apid_exit",
 		JobID:    l.JobID,
-		Msg:      fmt.Sprintf("apshepherd: apid %d exited with status %d", l.Apid, status),
+		Msg: "apshepherd: apid " + strconv.FormatInt(l.Apid, 10) +
+			" exited with status " + strconv.Itoa(status),
 	}
 	if status != 0 {
 		r.Severity = events.SevWarning
@@ -79,21 +89,40 @@ func Apid(r *events.Record) int64 {
 	return v
 }
 
+// IndexBuilder accumulates the apid → job id table one record at a
+// time — the incremental form of IndexFromRecords for single-pass
+// pipelines. Non-ALPS records are ignored by Add.
+type IndexBuilder struct {
+	idx map[int64]int64
+}
+
+// NewIndexBuilder returns an empty builder.
+func NewIndexBuilder() *IndexBuilder {
+	return &IndexBuilder{idx: map[int64]int64{}}
+}
+
+// Add folds one record into the index.
+func (b *IndexBuilder) Add(r *events.Record) {
+	if r.Stream != events.StreamALPS || r.JobID == 0 {
+		return
+	}
+	if apid := Apid(r); apid != 0 {
+		b.idx[apid] = r.JobID
+	}
+}
+
+// Index returns the accumulated table.
+func (b *IndexBuilder) Index() map[int64]int64 { return b.idx }
+
 // IndexFromRecords builds the apid → job id resolution table from ALPS
 // placement/exit records. Non-ALPS records are ignored, so the whole
 // store can be passed.
 func IndexFromRecords(recs []events.Record) map[int64]int64 {
-	out := map[int64]int64{}
+	b := NewIndexBuilder()
 	for i := range recs {
-		r := &recs[i]
-		if r.Stream != events.StreamALPS || r.JobID == 0 {
-			continue
-		}
-		if apid := Apid(r); apid != 0 {
-			out[apid] = r.JobID
-		}
+		b.Add(&recs[i])
 	}
-	return out
+	return b.Index()
 }
 
 // Resolve translates an id referenced by a compute-node log line into a

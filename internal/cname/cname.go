@@ -118,23 +118,51 @@ func (n Name) SlotIndex() int { return n.slot }
 // names only.
 func (n Name) NodeIndex() int { return n.node }
 
+// Key returns an injective 64-bit encoding of the name: two Names are
+// equal exactly when their Keys are equal. It exists so hot map indexes
+// can hash one word instead of the full struct. ok is false when a
+// coordinate falls outside 12 bits (negative or ≥4096), in which case
+// callers must hash the Name itself.
+func (n Name) Key() (uint64, bool) {
+	if uint(n.col)|uint(n.row)|uint(n.chassis)|uint(n.slot)|uint(n.node) >= 4096 || uint(n.level) >= 16 {
+		return 0, false
+	}
+	return uint64(n.level) |
+		uint64(n.col)<<4 | uint64(n.row)<<16 |
+		uint64(n.chassis)<<28 | uint64(n.slot)<<40 | uint64(n.node)<<52, true
+}
+
+// appendName appends the canonical cname form to buf. The rendering
+// core shared by String and the node-list compressor; strconv appends
+// keep it off the fmt slow path (Name.String is hot inside log
+// rendering and scheduler node-list output).
+func appendName(buf []byte, n Name) []byte {
+	buf = append(buf, 'c')
+	buf = strconv.AppendInt(buf, int64(n.col), 10)
+	buf = append(buf, '-')
+	buf = strconv.AppendInt(buf, int64(n.row), 10)
+	if n.level >= LevelChassis {
+		buf = append(buf, 'c')
+		buf = strconv.AppendInt(buf, int64(n.chassis), 10)
+	}
+	if n.level >= LevelBlade {
+		buf = append(buf, 's')
+		buf = strconv.AppendInt(buf, int64(n.slot), 10)
+	}
+	if n.level >= LevelNode {
+		buf = append(buf, 'n')
+		buf = strconv.AppendInt(buf, int64(n.node), 10)
+	}
+	return buf
+}
+
 // String renders the canonical cname form.
 func (n Name) String() string {
-	var b strings.Builder
 	if n.level == LevelInvalid {
 		return "<invalid cname>"
 	}
-	fmt.Fprintf(&b, "c%d-%d", n.col, n.row)
-	if n.level >= LevelChassis {
-		fmt.Fprintf(&b, "c%d", n.chassis)
-	}
-	if n.level >= LevelBlade {
-		fmt.Fprintf(&b, "s%d", n.slot)
-	}
-	if n.level >= LevelNode {
-		fmt.Fprintf(&b, "n%d", n.node)
-	}
-	return b.String()
+	var buf [24]byte
+	return string(appendName(buf[:0], n))
 }
 
 // CabinetName returns the enclosing cabinet.
@@ -366,17 +394,29 @@ func (n *Name) UnmarshalText(text []byte) error {
 // Compare orders names hierarchically (row, col, chassis, slot, node,
 // level). Suitable for sorting event listings into physical order.
 func Compare(a, b Name) int {
-	key := func(n Name) [6]int {
-		return [6]int{n.row, n.col, n.chassis, n.slot, n.node, int(n.level)}
+	switch {
+	case a.row != b.row:
+		return cmpInt(a.row, b.row)
+	case a.col != b.col:
+		return cmpInt(a.col, b.col)
+	case a.chassis != b.chassis:
+		return cmpInt(a.chassis, b.chassis)
+	case a.slot != b.slot:
+		return cmpInt(a.slot, b.slot)
+	case a.node != b.node:
+		return cmpInt(a.node, b.node)
+	default:
+		return cmpInt(int(a.level), int(b.level))
 	}
-	ka, kb := key(a), key(b)
-	for i := range ka {
-		switch {
-		case ka[i] < kb[i]:
-			return -1
-		case ka[i] > kb[i]:
-			return 1
-		}
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
 	}
-	return 0
 }

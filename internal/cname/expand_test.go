@@ -1,0 +1,171 @@
+package cname
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expandRef is the original split-based ExpandNodeList the in-place
+// walker must agree with: same names on success, error on the same
+// inputs (messages may differ).
+func expandRef(s string) ([]Name, error) {
+	if s == "" {
+		return nil, nil
+	}
+	splitTopLevel := func(s string) []string {
+		var parts []string
+		depth, start := 0, 0
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case ',':
+				if depth == 0 {
+					parts = append(parts, s[start:i])
+					start = i + 1
+				}
+			}
+		}
+		return append(parts, s[start:])
+	}
+	expandInts := func(s string) ([]int, error) {
+		var out []int
+		for _, tok := range strings.Split(s, ",") {
+			if dash := strings.IndexByte(tok, '-'); dash > 0 {
+				lo, err1 := strconv.Atoi(tok[:dash])
+				hi, err2 := strconv.Atoi(tok[dash+1:])
+				if err1 != nil || err2 != nil || hi < lo {
+					return nil, fmt.Errorf("bad range %q", tok)
+				}
+				for v := lo; v <= hi; v++ {
+					out = append(out, v)
+				}
+				continue
+			}
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad index %q", tok)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	var out []Name
+	for _, part := range splitTopLevel(s) {
+		if part == "" {
+			continue
+		}
+		br := strings.IndexByte(part, '[')
+		if br < 0 {
+			n, err := Parse(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+			continue
+		}
+		if !strings.HasSuffix(part, "]") || !strings.HasSuffix(part[:br], "n") {
+			return nil, fmt.Errorf("cname: bad node list part %q", part)
+		}
+		blade, err := Parse(part[:br-1])
+		if err != nil {
+			return nil, err
+		}
+		if blade.Level() != LevelBlade {
+			return nil, fmt.Errorf("cname: node list prefix %q is not a blade", part[:br-1])
+		}
+		idx, err := expandInts(part[br+1 : len(part)-1])
+		if err != nil {
+			return nil, fmt.Errorf("cname: %v in %q", err, part)
+		}
+		for _, i := range idx {
+			if i < 0 || i >= NodesPerBlade {
+				return nil, fmt.Errorf("cname: node index %d out of range in %q", i, part)
+			}
+			out = append(out, Node(blade.Col(), blade.Row(), blade.ChassisIndex(), blade.SlotIndex(), i))
+		}
+	}
+	return out, nil
+}
+
+func expandEq(t *testing.T, s string) {
+	t.Helper()
+	got, gotErr := ExpandNodeList(s)
+	want, wantErr := expandRef(s)
+	if (gotErr != nil) != (wantErr != nil) {
+		t.Fatalf("ExpandNodeList(%q) err=%v, reference err=%v", s, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ExpandNodeList(%q) = %d names, reference %d", s, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpandNodeList(%q)[%d] = %v, reference %v", s, i, got[i], want[i])
+		}
+	}
+}
+
+func TestExpandNodeListMatchesReference(t *testing.T) {
+	fixed := []string{
+		"",
+		"c0-0c0s0n0",
+		"c0-0c0s0n[0-3]",
+		"c0-0c0s0n[0,2]",
+		"c0-0c0s0n[0-1,3]",
+		"c0-0c0s0n[0-3],c0-0c0s1n2,c1-0c2s15n[1,3]",
+		"c0-0c0s0n0,c0-0c0s0n1",
+		"c0-0c0s0,c0-0c0s0n0",  // blade name in the legacy comma form
+		",c0-0c0s0n0,",         // empty parts skipped
+		"c0-0c0s0n[]",          // empty bracket body
+		"c0-0c0s0n[4]",         // index out of range
+		"c0-0c0s0n[0-9]",       // range runs out of range
+		"c0-0c0s0n[2-0]",       // inverted range
+		"c0-0c0s0n[x]",         // non-numeric
+		"c0-0c0s0n[0",          // unterminated bracket
+		"c0-0c0s0[0-3]",        // bracket not after 'n'
+		"c0-0c0s0n[0-3]x",      // trailing junk
+		"c0-0n[0-3]",           // prefix is not a blade
+		"[0-3]",                // bracket with no prefix
+		"garbage",
+	}
+	for _, s := range fixed {
+		expandEq(t, s)
+	}
+	// Randomized: compress a random node set and re-expand, plus random
+	// mutations to hit error paths in both implementations.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(24)
+		nodes := make([]Name, n)
+		for i := range nodes {
+			nodes[i] = Node(rng.Intn(2), rng.Intn(2), rng.Intn(3), rng.Intn(16), rng.Intn(4))
+		}
+		sort.Slice(nodes, func(i, j int) bool { return Compare(nodes[i], nodes[j]) < 0 })
+		s := CompressNodeList(nodes)
+		expandEq(t, s)
+		if len(s) > 0 {
+			b := []byte(s)
+			b[rng.Intn(len(b))] = byte("0123456789cns[],-x"[rng.Intn(18)])
+			expandEq(t, string(b))
+		}
+	}
+}
+
+func BenchmarkExpandNodeList(b *testing.B) {
+	s := "c0-0c0s0n[0-3],c0-0c0s1n[0,2],c0-0c1s4n2,c1-0c2s15n[1-3]"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExpandNodeList(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -121,18 +121,45 @@ func detectIndices(recs []events.Record, cfg Config) []int {
 	return out
 }
 
+// detector accumulates confirmed failures record-by-record — the
+// incremental form of Detect that Run's single-pass store traversal
+// feeds alongside the job-table and apid-index builders. Records must
+// arrive in time-sorted order (per node is enough, as with
+// detectIndices).
+type detector struct {
+	cfg  Config
+	last map[cname.Name]time.Time
+	out  []Detection
+}
+
+func newDetector(cfg Config) *detector {
+	return &detector{cfg: cfg, last: map[cname.Name]time.Time{}}
+}
+
+// add folds one record into the detection state.
+func (dt *detector) add(r *events.Record) {
+	if !IsTerminal(r) {
+		return
+	}
+	if prev, ok := dt.last[r.Component]; ok && r.Time.Sub(prev) < dt.cfg.RefractoryGap {
+		dt.last[r.Component] = r.Time
+		return
+	}
+	dt.last[r.Component] = r.Time
+	dt.out = append(dt.out, Detection{
+		Node:     r.Component,
+		Time:     r.Time,
+		Terminal: r.Category,
+		JobID:    r.JobID,
+	})
+}
+
 // Detect scans time-sorted records for confirmed failures, merging
 // terminal events on one node within the refractory gap.
 func Detect(recs []events.Record, cfg Config) []Detection {
-	var out []Detection
-	for _, i := range detectIndices(recs, cfg) {
-		r := &recs[i]
-		out = append(out, Detection{
-			Node:     r.Component,
-			Time:     r.Time,
-			Terminal: r.Category,
-			JobID:    r.JobID,
-		})
+	dt := newDetector(cfg)
+	for i := range recs {
+		dt.add(&recs[i])
 	}
-	return out
+	return dt.out
 }

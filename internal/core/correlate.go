@@ -48,24 +48,25 @@ type Correlator struct {
 	Store      *logstore.Store
 	Detections []Detection
 	Cfg        Config
+
+	// detIx is the lazily built per-node detection index behind
+	// failureNear. First use builds it, so a Correlator must not be
+	// shared across goroutines before one of the Analyze methods has run.
+	detIx *DetectionIndex
+}
+
+// index returns the per-node detection index, building it on first use.
+func (c *Correlator) index() *DetectionIndex {
+	if c.detIx == nil {
+		c.detIx = NewDetectionIndex(c.Detections)
+	}
+	return c.detIx
 }
 
 // failureNear reports whether any detection on the node falls within
 // ±window of t.
 func (c *Correlator) failureNear(node cname.Name, t time.Time, window time.Duration) bool {
-	for _, d := range c.Detections {
-		if d.Node != node {
-			continue
-		}
-		gap := d.Time.Sub(t)
-		if gap < 0 {
-			gap = -gap
-		}
-		if gap <= window {
-			return true
-		}
-	}
-	return false
+	return c.index().AnyBetween(node, t.Add(-window), t.Add(window))
 }
 
 // scheduledShutdownNear reports whether the node logged an intended

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"hpcfail/internal/cname"
+)
+
+// DetectionIndex answers "is there a detection on this node inside this
+// time range?" with a binary search over per-node time-sorted detection
+// lists, replacing the O(detections) scans the correlator and the
+// false-positive predictor used to run once per NHF/NVF event and per
+// alarm. Build once per detection list; reads are concurrency-safe.
+type DetectionIndex struct {
+	byNode map[cname.Name][]time.Time
+}
+
+// NewDetectionIndex builds the per-node index. The input need not be
+// sorted; each node's list is sorted at build time.
+func NewDetectionIndex(dets []Detection) *DetectionIndex {
+	m := make(map[cname.Name][]time.Time)
+	for _, d := range dets {
+		m[d.Node] = append(m[d.Node], d.Time)
+	}
+	for _, ts := range m {
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+	}
+	return &DetectionIndex{byNode: m}
+}
+
+// AnyBetween reports whether the node has a detection with
+// lo <= Time <= hi (both bounds inclusive).
+func (ix *DetectionIndex) AnyBetween(node cname.Name, lo, hi time.Time) bool {
+	ts := ix.byNode[node]
+	i := sort.Search(len(ts), func(k int) bool { return !ts[k].Before(lo) })
+	return i < len(ts) && !ts[i].After(hi)
+}

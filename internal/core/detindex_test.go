@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hpcfail/internal/alps"
+	"hpcfail/internal/cname"
+	"hpcfail/internal/logparse"
+)
+
+// failureNearNaive is the pre-index Correlator scan the DetectionIndex
+// replaced.
+func failureNearNaive(dets []Detection, node cname.Name, t time.Time, window time.Duration) bool {
+	for _, d := range dets {
+		if d.Node != node {
+			continue
+		}
+		gap := d.Time.Sub(t)
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap <= window {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDetectionIndexEquivalence probes the index against the two naive
+// scans it replaced (failureNear's ±window and failureWithin's
+// look-ahead) over randomized detection lists, including unsorted input
+// and exact boundary hits.
+func TestDetectionIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	base := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	nodes := []cname.Name{
+		cname.MustParse("c0-0c0s1n0"),
+		cname.MustParse("c0-0c0s1n1"),
+		cname.MustParse("c1-0c2s7n3"),
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		dets := make([]Detection, n)
+		for i := range dets {
+			dets[i] = Detection{
+				Node: nodes[rng.Intn(len(nodes))],
+				Time: base.Add(time.Duration(rng.Intn(72)) * 10 * time.Minute),
+			}
+		}
+		// Deliberately unsorted: NewDetectionIndex must sort per node.
+		ix := NewDetectionIndex(dets)
+		for probe := 0; probe < 80; probe++ {
+			node := nodes[rng.Intn(len(nodes))]
+			at := base.Add(time.Duration(rng.Intn(74)-1) * 10 * time.Minute)
+			window := time.Duration(rng.Intn(4)) * 15 * time.Minute
+			if got, want := ix.AnyBetween(node, at.Add(-window), at.Add(window)),
+				failureNearNaive(dets, node, at, window); got != want {
+				t.Fatalf("trial %d: AnyBetween(%v, ±%v @ %v) = %v, naive %v",
+					trial, node, window, at, got, want)
+			}
+			horizon := time.Duration(rng.Intn(4)) * 15 * time.Minute
+			if got, want := ix.AnyBetween(node, at, at.Add(horizon)),
+				failureWithin(dets, node, at, horizon); got != want {
+				t.Fatalf("trial %d: AnyBetween(%v, [t, t+%v]) = %v, failureWithin %v",
+					trial, node, horizon, got, want)
+			}
+		}
+	}
+}
+
+// TestScanStoreEquivalence proves the single-pass traversal produces
+// exactly what the three separate scans it replaced produced.
+func TestScanStoreEquivalence(t *testing.T) {
+	_, store := buildScenario(t, 3, 23)
+	cfg := DefaultConfig()
+	recs := store.All()
+
+	jobs, apids, dets := scanStore(recs, cfg)
+
+	wantJobs := logparse.JobsFromRecords(recs)
+	if len(jobs) != len(wantJobs) {
+		t.Fatalf("jobs: %d, want %d", len(jobs), len(wantJobs))
+	}
+	for i := range jobs {
+		if jobs[i].ID != wantJobs[i].ID || !jobs[i].Start.Equal(wantJobs[i].Start) ||
+			!jobs[i].End.Equal(wantJobs[i].End) || jobs[i].State != wantJobs[i].State {
+			t.Fatalf("job %d differs: %+v vs %+v", i, jobs[i], wantJobs[i])
+		}
+	}
+
+	wantApids := alps.IndexFromRecords(recs)
+	if len(apids) != len(wantApids) {
+		t.Fatalf("apids: %d entries, want %d", len(apids), len(wantApids))
+	}
+	for k, v := range wantApids {
+		if apids[k] != v {
+			t.Fatalf("apid %d: %d, want %d", k, apids[k], v)
+		}
+	}
+
+	wantDets := Detect(recs, cfg)
+	if len(dets) != len(wantDets) {
+		t.Fatalf("detections: %d, want %d", len(dets), len(wantDets))
+	}
+	for i := range dets {
+		if dets[i] != wantDets[i] {
+			t.Fatalf("detection %d differs: %+v vs %+v", i, dets[i], wantDets[i])
+		}
+	}
+}

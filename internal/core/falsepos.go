@@ -69,6 +69,7 @@ func (p *Predictor) Alarms(detections []Detection) []Alarm {
 		perNode[r.Component] = append(perNode[r.Component], ev{r.Time, r.Category})
 	}
 	var alarms []Alarm
+	detIx := NewDetectionIndex(detections)
 	for node, evs := range perNode {
 		// evs are time-ascending (store order). Slide a burst window;
 		// raise at the second distinct category; then skip past the
@@ -91,7 +92,7 @@ func (p *Predictor) Alarms(detections []Detection) []Alarm {
 					Node:        node,
 					Time:        at,
 					HasExternal: p.externalNear(node, at),
-					Hit:         failureWithin(detections, node, at, p.Horizon),
+					Hit:         detIx.AnyBetween(node, at, at.Add(p.Horizon)),
 				})
 				// Suppress re-alarming for the same burst + horizon.
 				for j < len(evs) && evs[j].t.Sub(at) <= p.Horizon {
@@ -135,7 +136,9 @@ func (p *Predictor) externalNear(node cname.Name, t time.Time) bool {
 	return false
 }
 
-// failureWithin reports a detection on the node in [t, t+horizon].
+// failureWithin reports a detection on the node in [t, t+horizon] by
+// linear scan — the reference implementation DetectionIndex is
+// equivalence-tested against.
 func failureWithin(detections []Detection, node cname.Name, t time.Time, horizon time.Duration) bool {
 	for _, d := range detections {
 		if d.Node == node && !d.Time.Before(t) && d.Time.Sub(t) <= horizon {

@@ -12,7 +12,9 @@ import (
 
 // diagnosePool fans per-failure diagnosis across a worker pool. The
 // store behind rc is immutable and Diagnose only reads it, so workers
-// share it without locking; diagnoses stay aligned with detections.
+// share it without locking; each worker gets its own RootCauser clone
+// because the window-memoization cache is single-goroutine. Diagnoses
+// stay aligned with detections.
 func diagnosePool(rc *RootCauser, dets []Detection, workers int) []Diagnosis {
 	diags := make([]Diagnosis, len(dets))
 	if workers > len(dets) {
@@ -30,8 +32,9 @@ func diagnosePool(rc *RootCauser, dets []Detection, workers int) []Diagnosis {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wrc := rc.clone()
 			for i := range next {
-				diags[i] = rc.Diagnose(dets[i])
+				diags[i] = wrc.Diagnose(dets[i])
 			}
 		}()
 	}
@@ -53,9 +56,8 @@ func RunParallel(store *logstore.Store, cfg Config, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	jobs := logparse.JobsFromRecords(store.All())
-	rc := &RootCauser{Store: store, Jobs: jobs, Cfg: cfg, Apids: alps.IndexFromRecords(store.All())}
-	dets := Detect(store.All(), cfg)
+	jobs, apids, dets := scanStore(store.All(), cfg)
+	rc := &RootCauser{Store: store, Jobs: jobs, Cfg: cfg, Apids: apids}
 	deg := AssessDegradation(store)
 	diags := diagnosePool(rc, dets, workers)
 	applyDegradation(diags, deg)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"hpcfail/internal/alps"
+	"hpcfail/internal/events"
 	"hpcfail/internal/faults"
 	"hpcfail/internal/logparse"
 	"hpcfail/internal/logstore"
@@ -28,13 +29,28 @@ type Result struct {
 	Degradation Degradation
 }
 
+// scanStore builds the job table, the apid → job index and the
+// detection list in one traversal of the sorted records (previously
+// three separate store.All() scans).
+func scanStore(recs []events.Record, cfg Config) ([]workload.Job, map[int64]int64, []Detection) {
+	jobsB := logparse.NewJobTableBuilder()
+	apidsB := alps.NewIndexBuilder()
+	dt := newDetector(cfg)
+	for i := range recs {
+		r := &recs[i]
+		jobsB.Add(r)
+		apidsB.Add(r)
+		dt.add(r)
+	}
+	return jobsB.Jobs(), apidsB.Index(), dt.out
+}
+
 // Run executes the full methodology over a store: detect failures,
 // rebuild the job table and the apid → job resolution, diagnose every
 // failure.
 func Run(store *logstore.Store, cfg Config) *Result {
-	jobs := logparse.JobsFromRecords(store.All())
-	rc := &RootCauser{Store: store, Jobs: jobs, Cfg: cfg, Apids: alps.IndexFromRecords(store.All())}
-	dets := Detect(store.All(), cfg)
+	jobs, apids, dets := scanStore(store.All(), cfg)
+	rc := &RootCauser{Store: store, Jobs: jobs, Cfg: cfg, Apids: apids}
 	diags := make([]Diagnosis, len(dets))
 	for i, d := range dets {
 		diags[i] = rc.Diagnose(d)

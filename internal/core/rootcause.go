@@ -114,6 +114,41 @@ type RootCauser struct {
 	// reference on Cray systems) to scheduler job ids. Built with
 	// alps.IndexFromRecords; nil means ids pass through unchanged.
 	Apids map[int64]int64
+
+	// winCache memoizes NodeWindow lookups across Diagnose calls.
+	// Repeated failures of one node within the refractory cadence ask for
+	// overlapping or identical windows; entries are cheap because window
+	// results are shared zero-copy spans. The cache makes a RootCauser
+	// unsafe for concurrent Diagnose — parallel pools hand each worker
+	// its own clone (see diagnosePool).
+	winCache map[windowKey][]events.Record
+}
+
+// windowKey identifies one memoized NodeWindow lookup.
+type windowKey struct {
+	node     cname.Name
+	from, to int64
+}
+
+// nodeWindow is Store.NodeWindow with memoization.
+func (rc *RootCauser) nodeWindow(node cname.Name, from, to time.Time) []events.Record {
+	k := windowKey{node, from.UnixNano(), to.UnixNano()}
+	if recs, ok := rc.winCache[k]; ok {
+		return recs
+	}
+	recs := rc.Store.NodeWindow(node, from, to)
+	if rc.winCache == nil {
+		rc.winCache = make(map[windowKey][]events.Record)
+	}
+	rc.winCache[k] = recs
+	return recs
+}
+
+// clone returns a copy sharing the immutable inputs (store, jobs, apid
+// index) but with its own memoization cache, for use by one worker
+// goroutine.
+func (rc *RootCauser) clone() *RootCauser {
+	return &RootCauser{Store: rc.Store, Jobs: rc.Jobs, Cfg: rc.Cfg, Apids: rc.Apids}
 }
 
 // Diagnose runs root-cause inference for one detection.
@@ -126,7 +161,7 @@ func (rc *RootCauser) Diagnose(d Detection) Diagnosis {
 	}
 	from := d.Time.Add(-rc.Cfg.InternalWindow)
 	to := d.Time.Add(time.Second)
-	internal := rc.Store.NodeWindow(d.Node, from, to)
+	internal := rc.nodeWindow(d.Node, from, to)
 
 	// Pass 1: stack-trace module analysis (the paper's Table IV
 	// method) — the innermost diagnostic frame of the latest oops
@@ -220,7 +255,7 @@ func (rc *RootCauser) Diagnose(d Detection) Diagnosis {
 	// (link errors) may belong to a sibling's failure in the same
 	// blade-local episode, which would inflate the lead.
 	extFrom := d.Time.Add(-rc.Cfg.ExternalWindow)
-	for _, r := range rc.Store.NodeWindow(d.Node, extFrom, d.Time) {
+	for _, r := range rc.nodeWindow(d.Node, extFrom, d.Time) {
 		if r.Stream.External() && externalIndicatorCategories[r.Category] {
 			diag.ExternalIndicators = append(diag.ExternalIndicators, r)
 		}

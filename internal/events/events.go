@@ -226,7 +226,70 @@ func (s ByTime) Less(i, j int) bool {
 	return cname.Compare(s[i].Component, s[j].Component) < 0
 }
 
-// SortByTime sorts records in place chronologically.
+// SortByTime sorts records in place chronologically, preserving the
+// relative order of records that compare equal under ByTime (a stable
+// sort, which shard-merge equivalence depends on).
+//
+// Records are wide values, so instead of sort.Stable's swap-heavy
+// in-place merge this sorts lightweight (time, index) keys — falling
+// back to the full ByTime order plus the original index on ties, which
+// is exactly stable order — and permutes once. Generator output is
+// usually already sorted, in which case a single linear scan is all
+// that runs.
 func SortByTime(rs []Record) {
-	sort.Stable(ByTime(rs))
+	if len(rs) < 2 {
+		return
+	}
+	bt := ByTime(rs)
+	sorted := true
+	for i := 1; i < len(rs); i++ {
+		if bt.Less(i, i-1) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	type sortKey struct {
+		t   int64
+		idx int32
+	}
+	keys := make([]sortKey, len(rs))
+	for i := range rs {
+		keys[i] = sortKey{rs[i].Time.UnixNano(), int32(i)}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.t != kb.t {
+			return ka.t < kb.t
+		}
+		ra, rb := &rs[ka.idx], &rs[kb.idx]
+		if ra.Stream != rb.Stream {
+			return ra.Stream < rb.Stream
+		}
+		if c := cname.Compare(ra.Component, rb.Component); c != 0 {
+			return c < 0
+		}
+		return ka.idx < kb.idx
+	})
+	// Apply the permutation in place by following its cycles (each
+	// record moves exactly once; no second record-sized buffer).
+	for i := range keys {
+		src := int(keys[i].idx)
+		if src < 0 || src == i {
+			keys[i].idx = -1
+			continue
+		}
+		tmp := rs[i]
+		j := i
+		for src != i {
+			rs[j] = rs[src]
+			keys[j].idx = -1
+			j = src
+			src = int(keys[j].idx)
+		}
+		rs[j] = tmp
+		keys[j].idx = -1
+	}
 }

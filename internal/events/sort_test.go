@@ -1,0 +1,69 @@
+package events
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+)
+
+// sortByTimeRef is the original sort.Stable implementation the
+// key-permute SortByTime must reproduce exactly, including the relative
+// order of ByTime-equal records.
+func sortByTimeRef(rs []Record) {
+	sort.Stable(ByTime(rs))
+}
+
+// randRecords builds a stream with deliberately heavy time/stream/
+// component collisions so stability is actually exercised: Msg carries
+// the original position, which is how the test tells equal records
+// apart.
+func randRecords(rng *rand.Rand, n int) []Record {
+	base := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	rs := make([]Record, n)
+	for i := range rs {
+		rs[i] = Record{
+			Time:      base.Add(time.Duration(rng.Intn(8)) * time.Second),
+			Stream:    Stream(rng.Intn(4)),
+			Component: cname.Node(0, 0, 0, rng.Intn(2), rng.Intn(2)),
+			Msg:       "orig=" + strconv.Itoa(i),
+		}
+	}
+	return rs
+}
+
+func TestSortByTimeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		rs := randRecords(rng, n)
+		if trial%4 == 0 { // exercise the already-sorted fast path too
+			sortByTimeRef(rs)
+		}
+		got := append([]Record(nil), rs...)
+		want := append([]Record(nil), rs...)
+		SortByTime(got)
+		sortByTimeRef(want)
+		for i := range want {
+			if got[i].Msg != want[i].Msg {
+				t.Fatalf("trial %d (n=%d): position %d holds %q, want %q",
+					trial, n, i, got[i].Msg, want[i].Msg)
+			}
+		}
+	}
+}
+
+func BenchmarkSortByTime(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randRecords(rng, 4096)
+	buf := make([]Record, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		SortByTime(buf)
+	}
+}

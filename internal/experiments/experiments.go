@@ -188,7 +188,7 @@ func simulate(p faultsim.Profile, nDays int, seed uint64) (*faultsim.Scenario, *
 	if err != nil {
 		return nil, nil, err
 	}
-	res := core.Run(logstore.New(scn.Records), core.DefaultConfig())
+	res := core.Run(logstore.NewOwned(scn.Records), core.DefaultConfig())
 	return scn, res, nil
 }
 

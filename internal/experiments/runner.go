@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Outcome pairs an experiment with the result (or error) of running it.
+type Outcome struct {
+	Experiment Experiment
+	Result     *Result
+	Err        error
+}
+
+// RunAll executes the experiments concurrently with at most jobs
+// workers (jobs < 1 uses GOMAXPROCS) and returns one Outcome per input
+// experiment, in input order regardless of completion order. Every
+// experiment builds its own scenario from Config, so runs share no
+// mutable state; with jobs == 1 the execution order — not just the
+// output order — matches a sequential loop exactly.
+func RunAll(exps []Experiment, cfg Config, jobs int) []Outcome {
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(exps) {
+		jobs = len(exps)
+	}
+	out := make([]Outcome, len(exps))
+	if jobs <= 1 {
+		for i, e := range exps {
+			res, err := e.Run(cfg)
+			out[i] = Outcome{Experiment: e, Result: res, Err: err}
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				e := exps[i]
+				res, err := e.Run(cfg)
+				out[i] = Outcome{Experiment: e, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// runnerExps picks a small, fast subset covering figures, tables and
+// extensions for runner tests.
+func runnerExps(t *testing.T) []Experiment {
+	t.Helper()
+	var out []Experiment
+	for _, id := range []string{"fig12", "fig16", "table5", "swo", "ablation-window"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestRunAllMatchesSequential asserts the worker pool changes neither
+// the rendered output of any experiment nor the order outcomes are
+// returned in.
+func TestRunAllMatchesSequential(t *testing.T) {
+	exps := runnerExps(t)
+	cfg := quickCfg()
+	seq := RunAll(exps, cfg, 1)
+	for _, jobs := range []int{0, 2, 7} {
+		par := RunAll(exps, cfg, jobs)
+		if len(par) != len(seq) {
+			t.Fatalf("jobs=%d: %d outcomes, want %d", jobs, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Experiment.ID != exps[i].ID {
+				t.Fatalf("jobs=%d: outcome %d is %s, want %s", jobs, i, par[i].Experiment.ID, exps[i].ID)
+			}
+			if (par[i].Err != nil) != (seq[i].Err != nil) {
+				t.Fatalf("jobs=%d: %s error mismatch: %v vs %v", jobs, exps[i].ID, par[i].Err, seq[i].Err)
+			}
+			if par[i].Err != nil {
+				continue
+			}
+			if got, want := par[i].Result.String(), seq[i].Result.String(); got != want {
+				t.Errorf("jobs=%d: %s parallel output diverges from sequential", jobs, exps[i].ID)
+			}
+		}
+	}
+}
+
+// TestRunAllPropagatesErrors checks failing experiments surface their
+// error in the right slot without disturbing the others.
+func TestRunAllPropagatesErrors(t *testing.T) {
+	boom := Experiment{ID: "boom", Title: "always fails", Run: func(Config) (*Result, error) {
+		return nil, errBoom
+	}}
+	ok, _ := ByID("fig12")
+	out := RunAll([]Experiment{ok, boom, ok}, quickCfg(), 3)
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("healthy experiments errored: %v / %v", out[0].Err, out[2].Err)
+	}
+	if out[1].Err != errBoom {
+		t.Fatalf("outcome 1 error = %v, want errBoom", out[1].Err)
+	}
+	if out[1].Result != nil {
+		t.Error("failed experiment returned a result")
+	}
+}
+
+type boomErr struct{}
+
+func (boomErr) Error() string { return "boom" }
+
+var errBoom error = boomErr{}
+
+func BenchmarkRunAllSequential(b *testing.B) {
+	exps := benchExps(b)
+	cfg := Config{Seed: 42, Scale: 0.08, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, o := range RunAll(exps, cfg, 1) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	exps := benchExps(b)
+	cfg := Config{Seed: 42, Scale: 0.08, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, o := range RunAll(exps, cfg, 0) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
+func benchExps(b *testing.B) []Experiment {
+	b.Helper()
+	var out []Experiment
+	for _, id := range []string{"fig12", "fig16", "table5", "swo"} {
+		e, ok := ByID(id)
+		if !ok {
+			b.Fatalf("experiment %q not registered", id)
+		}
+		out = append(out, e)
+	}
+	return out
+}

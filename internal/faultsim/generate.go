@@ -40,6 +40,13 @@ func Generate(p Profile, start, end time.Time, seed uint64) (*Scenario, error) {
 	// 1. Background workload.
 	scn.Jobs = workload.Generate(cluster, p.Workload, start, end, 1, root.Split("workload"))
 
+	// Reserve the record slab up front: the stream is dominated by
+	// per-job scheduler records (start/end/placement/exit plus sampled
+	// epilogues) and per-node-per-day background chatter, so jobs and
+	// node-days bound it well enough to avoid repeated regrowth copies.
+	days := int(end.Sub(start).Hours()/24) + 1
+	scn.Records = make([]events.Record, 0, 8*len(scn.Jobs)+6*cluster.NumNodes()*days)
+
 	// 2. Failures: episodes and singles, day by day.
 	g.genFailures(root.Split("failures"))
 
@@ -344,15 +351,19 @@ func (g *generator) genSWOs(r *rng.Rand) {
 func (g *generator) genSchedulerEvents(r *rng.Rand) {
 	for i := range g.scn.Jobs {
 		j := &g.scn.Jobs[i]
-		g.add(workload.StartEvent(j))
-		g.add(workload.EndEvent(j))
+		// One compressed render of the allocation serves the start, end,
+		// and ALPS placement records.
+		ns := j.NodesString()
+		g.add(workload.StartEventNodes(j, ns))
+		g.add(workload.EndEventNodes(j, ns))
 		if g.p.Spec.Cray {
 			l := alps.Launch{
-				Apid:  g.apidFor(j.ID),
-				JobID: j.ID,
-				Nodes: j.Nodes,
-				Start: j.Start.Add(time.Duration(1+r.Intn(20)) * time.Second),
-				End:   j.End,
+				Apid:     g.apidFor(j.ID),
+				JobID:    j.ID,
+				Nodes:    j.Nodes,
+				NodesStr: ns,
+				Start:    j.Start.Add(time.Duration(1+r.Intn(20)) * time.Second),
+				End:      j.End,
 			}
 			g.scn.Launches = append(g.scn.Launches, l)
 			g.add(alps.PlacementEvent(l))

@@ -15,6 +15,7 @@ package hss
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"hpcfail/internal/cname"
@@ -178,23 +179,23 @@ func nodeEvent(t time.Time, node cname.Name, typ faults.Type, sev events.Severit
 // power-offs and skipped beats is the analysis pipeline's job (Fig 6).
 func NHFEvent(t time.Time, node cname.Name) events.Record {
 	return nodeEvent(t, node, faults.NHF, events.SevError,
-		fmt.Sprintf("ec_node_heartbeat_fault: node %s missed heartbeat", node))
+		"ec_node_heartbeat_fault: node "+node.String()+" missed heartbeat")
 }
 
 // HeartbeatStopEvent is the HSS declaring the node's heartbeat stopped
 // (suspected dead) after consecutive misses.
 func HeartbeatStopEvent(t time.Time, node cname.Name) events.Record {
 	return nodeEvent(t, node, faults.HeartbeatStop, events.SevCritical,
-		fmt.Sprintf("ec_heartbeat_stop: heartbeat from %s stopped", node))
+		"ec_heartbeat_stop: heartbeat from "+node.String()+" stopped")
 }
 
 // NVFEvent is a node voltage fault — rare, and when present strongly
 // associated with real failures (Fig 5: 67–97 %).
 func NVFEvent(t time.Time, node cname.Name, rail string, volts float64) events.Record {
 	r := nodeEvent(t, node, faults.NVF, events.SevError,
-		fmt.Sprintf("ec_node_voltage_fault: node %s rail %s at %.3fV", node, rail, volts))
+		"ec_node_voltage_fault: node "+node.String()+" rail "+rail+" at "+strconv.FormatFloat(volts, 'f', 3, 64)+"V")
 	r.SetField("rail", rail)
-	r.SetField("volts", fmt.Sprintf("%.3f", volts))
+	r.SetField("volts", strconv.FormatFloat(volts, 'f', 3, 64))
 	return r
 }
 
@@ -206,7 +207,7 @@ func BCHFEvent(t time.Time, blade cname.Name) events.Record {
 		Component: blade,
 		Severity:  events.SevError,
 		Category:  faults.BCHF.Category(),
-		Msg:       fmt.Sprintf("ec_bc_heartbeat_fault: blade controller %s heartbeat fault", blade),
+		Msg:       "ec_bc_heartbeat_fault: blade controller " + blade.String() + " heartbeat fault",
 	}
 }
 
@@ -215,7 +216,7 @@ func BCHFEvent(t time.Time, blade cname.Name) events.Record {
 // (Observation 5).
 func HwErrorEvent(t time.Time, node cname.Name, detail string) events.Record {
 	r := nodeEvent(t, node, faults.ECHwError, events.SevWarning,
-		fmt.Sprintf("ec_hw_errors: hardware malfunction reported for %s: %s", node, detail))
+		"ec_hw_errors: hardware malfunction reported for "+node.String()+": "+detail)
 	r.SetField("detail", detail)
 	return r
 }
@@ -228,9 +229,9 @@ func LinkErrorEvent(t time.Time, blade cname.Name, lane int) events.Record {
 		Component: blade,
 		Severity:  events.SevWarning,
 		Category:  faults.LinkError.Category(),
-		Msg:       fmt.Sprintf("link_error: HSN lane %d degraded on %s", lane, blade),
+		Msg:       "link_error: HSN lane " + strconv.Itoa(lane) + " degraded on " + blade.String(),
 	}
-	r.SetField("lane", fmt.Sprintf("%d", lane))
+	r.SetField("lane", strconv.Itoa(lane))
 	return r
 }
 
@@ -248,7 +249,7 @@ func HealthFaultEvent(t time.Time, comp cname.Name, typ faults.Type) events.Reco
 		Component: comp,
 		Severity:  events.SevError,
 		Category:  typ.Category(),
-		Msg:       fmt.Sprintf("%s: health fault on %s", typ.Category(), comp),
+		Msg:       typ.Category() + ": health fault on " + comp.String(),
 	}
 }
 
@@ -269,10 +270,10 @@ func SEDCWarningEvent(t time.Time, comp cname.Name, typ faults.Type, sensor stri
 		Component: comp,
 		Severity:  events.SevWarning,
 		Category:  typ.Category(),
-		Msg:       fmt.Sprintf("ec_sedc_warning: %s on %s reads %.3f (%s allowed)", sensor, comp, value, dir),
+		Msg:       "ec_sedc_warning: " + sensor + " on " + comp.String() + " reads " + strconv.FormatFloat(value, 'f', 3, 64) + " (" + dir + " allowed)",
 	}
 	r.SetField("sensor", sensor)
-	r.SetField("value", fmt.Sprintf("%.3f", value))
+	r.SetField("value", strconv.FormatFloat(value, 'f', 3, 64))
 	if below {
 		r.SetField("direction", "below")
 	} else {

@@ -1,0 +1,133 @@
+package logparse
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/chaos"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/loggen"
+	"hpcfail/internal/topology"
+)
+
+// TestClassifyTable pins the automaton's category for representative
+// messages — including ones where a later pattern is a substring of an
+// earlier one ("NHC:" vs "NHC: abnormal application exit") — against
+// both expected values and the naive loop.
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want string
+	}{
+		{"shutdown: scheduled by operator for maintenance", "node_shutdown"},
+		{"halting: system shutdown initiated", "node_shutdown"},
+		{"halting: no prior symptoms recorded", "silent_shutdown"},
+		{"boot: kernel up after 43s", "node_boot"},
+		{"Kernel panic - not syncing: Fatal exception", "kernel_panic"},
+		{"BUG: unable to handle kernel paging request at 00000f00", "kernel_oops"},
+		{"kernel BUG: at mm/slab.c:123", "kernel_bug"},
+		{"Machine Check Exception: bank 4", "mce"},
+		{"mcelog: corrected DIMM error", "mce"},
+		{"EDAC MC0: corrected memory error on DIMM_A2", "mem_err_correctable"},
+		{"HANDLE_ERR processor context corrupt", "cpu_corruption"},
+		{"blk_update_request: I/O error, dev sda", "disk_error"},
+		{"LustreError: 11-0: ost timeout", "lustre_bug"},
+		{"LustreError: 30-3: read failed", "lustre_io_error"},
+		{"Out of memory: Kill process 1234 (a.out)", "oom_killer"},
+		{"a.out[771]: segfault at 0 ip 00000000 sp 000000", "segfault"},
+		{"task kworker blocked for more than 120 seconds", "hung_task_timeout"},
+		{"NHC: abnormal application exit code=9", "app_exit_abnormal"},
+		{"NHC: test memory FAILED", "nhc"},
+		{"node c0-0c0s1n2 set to admindown by NHC", "nhc_admindown"},
+		{"slurmstepd: user-killed job step", "user_killed"},
+		{"nothing interesting here", "unclassified"},
+		{"", "unclassified"},
+	}
+	for _, c := range cases {
+		if got := classify(c.msg); got != c.want {
+			t.Errorf("classify(%q) = %q, want %q", c.msg, got, c.want)
+		}
+		if got, naive := classify(c.msg), classifyNaive(c.msg); got != naive {
+			t.Errorf("classify(%q) = %q, naive = %q", c.msg, got, naive)
+		}
+	}
+}
+
+// TestClassifyEquivalenceCorpus runs the matcher against every internal
+// line of a generated corpus (plus chaos-garbled variants of each) and
+// asserts automaton == naive loop on all of them.
+func TestClassifyEquivalenceCorpus(t *testing.T) {
+	p, err := faultsim.DefaultProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec = topology.Spec{ID: "S1", Nodes: 384, CabinetCols: 2, Scheduler: topology.SchedulerSlurm, Cray: true}
+	p.Workload.MeanInterarrival = 30 * time.Minute
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scn, err := faultsim.Generate(p, start, start.Add(2*24*time.Hour), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, r := range scn.Records {
+		if r.Stream == events.StreamConsole || r.Stream == events.StreamMessages || r.Stream == events.StreamConsumer {
+			lines = append(lines, loggen.Render(r, topology.SchedulerSlurm)...)
+		}
+	}
+	if len(lines) == 0 {
+		t.Fatal("corpus rendered no internal lines")
+	}
+	inj := chaos.New(chaos.ForMode(chaos.ModeGarble, 0.6, 5))
+	garbled := inj.CorruptLines("console", lines)
+	for _, set := range [][]string{lines, garbled} {
+		for _, l := range set {
+			if got, want := classify(l), classifyNaive(l); got != want {
+				t.Fatalf("classify(%q) = %q, naive = %q", l, got, want)
+			}
+		}
+	}
+}
+
+// TestClassifyAllocs locks in the zero-allocation property of the hot
+// classifier path: one automaton scan, no per-pattern work, no garbage.
+func TestClassifyAllocs(t *testing.T) {
+	msgs := []string{
+		"Kernel panic - not syncing: Fatal exception",
+		"NHC: abnormal application exit code=9",
+		"completed periodic scrub of 4096 pages, no errors",
+	}
+	for _, msg := range msgs {
+		msg := msg
+		if allocs := testing.AllocsPerRun(100, func() {
+			classify(msg)
+		}); allocs != 0 {
+			t.Errorf("classify(%q) allocates %.1f per run, want 0", msg, allocs)
+		}
+	}
+}
+
+// FuzzClassifyEquivalence asserts automaton == naive loop for arbitrary
+// byte strings, seeded with real and chaos-garbled corpus lines.
+func FuzzClassifyEquivalence(f *testing.F) {
+	seeds := []string{
+		"Kernel panic - not syncing: Fatal exception",
+		"NHC: abnormal application exit code=9",
+		"NHC: test memory FAILED on c0-0c0s1n2",
+		"kernel BUG: at mm/slab.c:123",
+		"BUG: unable to handle kernel paging request",
+		"LustreError: 11-0 LustreError: 30-3",
+		"shutdown: scheduled by operatorhalting: system shutdown",
+		"", "\x00\xffgarbage",
+	}
+	inj := chaos.New(chaos.ForMode(chaos.ModeGarble, 0.9, 3))
+	seeds = append(seeds, inj.CorruptLines("classify", seeds)...)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, msg string) {
+		if got, want := classify(msg), classifyNaive(msg); got != want {
+			t.Fatalf("classify(%q) = %q, naive = %q", msg, got, want)
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"hpcfail/internal/events"
 	"hpcfail/internal/loggen"
 	"hpcfail/internal/stacktrace"
+	"hpcfail/internal/textmatch"
 	"hpcfail/internal/topology"
 	"hpcfail/internal/workload"
 )
@@ -67,9 +68,31 @@ var categoryPatterns = []struct {
 	{"slurmstepd: user-killed", "user_killed"},
 }
 
+// classifyMatcher is the Aho–Corasick automaton compiled from
+// categoryPatterns. It scans each message once instead of running
+// strings.Contains per pattern; FindFirst's lowest-index-wins semantics
+// reproduce the naive first-match loop exactly (see classifyNaive and
+// the equivalence tests in classify_test.go).
+var classifyMatcher = textmatch.New(func() []string {
+	subs := make([]string, len(categoryPatterns))
+	for i, p := range categoryPatterns {
+		subs[i] = p.sub
+	}
+	return subs
+}())
+
 // classify maps an internal message onto its event category;
 // "unclassified" when no pattern matches.
 func classify(msg string) string {
+	if i := classifyMatcher.FindFirst(msg); i >= 0 {
+		return categoryPatterns[i].cat
+	}
+	return "unclassified"
+}
+
+// classifyNaive is the original per-pattern scan, kept as the reference
+// implementation for the classifier equivalence tests.
+func classifyNaive(msg string) string {
 	for _, p := range categoryPatterns {
 		if strings.Contains(msg, p.sub) {
 			return p.cat
@@ -592,57 +615,82 @@ func schedulerMsg(r events.Record) string {
 	}
 }
 
-// JobsFromRecords reconstructs the job table from parsed scheduler
-// records — the pipeline's substitute for scheduler accounting access.
-// Jobs missing an end record are dropped (still running at window end).
-func JobsFromRecords(recs []events.Record) []workload.Job {
-	byID := map[int64]*workload.Job{}
-	var order []int64
-	for _, r := range recs {
-		if r.Stream != events.StreamScheduler || r.JobID == 0 {
-			continue
+// JobTableBuilder reconstructs the job table one record at a time — the
+// incremental form of JobsFromRecords, used by pipelines that fold the
+// job table, apid index and failure detection into a single store
+// traversal. Feed every record to Add (non-scheduler records are
+// ignored), then call Jobs.
+type JobTableBuilder struct {
+	byID  map[int64]*workload.Job
+	order []int64
+}
+
+// NewJobTableBuilder returns an empty builder.
+func NewJobTableBuilder() *JobTableBuilder {
+	return &JobTableBuilder{byID: map[int64]*workload.Job{}}
+}
+
+// Add folds one record into the table.
+func (b *JobTableBuilder) Add(r *events.Record) {
+	if r.Stream != events.StreamScheduler || r.JobID == 0 {
+		return
+	}
+	j, ok := b.byID[r.JobID]
+	if !ok {
+		j = &workload.Job{ID: r.JobID}
+		b.byID[r.JobID] = j
+		b.order = append(b.order, r.JobID)
+	}
+	switch r.Category {
+	case "job_start":
+		j.Start = r.Time
+		j.App = r.Field("app")
+		j.User = r.Field("user")
+		if nodes, err := workload.ParseNodesString(r.Field("nodes")); err == nil {
+			j.Nodes = nodes
 		}
-		j, ok := byID[r.JobID]
-		if !ok {
-			j = &workload.Job{ID: r.JobID}
-			byID[r.JobID] = j
-			order = append(order, r.JobID)
+		if v, err := strconv.Atoi(r.Field("req_mem_mb")); err == nil {
+			j.ReqMemMB = v
 		}
-		switch r.Category {
-		case "job_start":
-			j.Start = r.Time
-			j.App = r.Field("app")
-			j.User = r.Field("user")
+	case "job_end":
+		j.End = r.Time
+		if st, err := workload.ParseState(r.Field("state")); err == nil {
+			j.State = st
+		}
+		if v, err := strconv.Atoi(r.Field("exit_code")); err == nil {
+			j.ExitCode = v
+		}
+		if len(j.Nodes) == 0 {
 			if nodes, err := workload.ParseNodesString(r.Field("nodes")); err == nil {
 				j.Nodes = nodes
 			}
-			if v, err := strconv.Atoi(r.Field("req_mem_mb")); err == nil {
-				j.ReqMemMB = v
-			}
-		case "job_end":
-			j.End = r.Time
-			if st, err := workload.ParseState(r.Field("state")); err == nil {
-				j.State = st
-			}
-			if v, err := strconv.Atoi(r.Field("exit_code")); err == nil {
-				j.ExitCode = v
-			}
-			if len(j.Nodes) == 0 {
-				if nodes, err := workload.ParseNodesString(r.Field("nodes")); err == nil {
-					j.Nodes = nodes
-				}
-			}
-			if j.App == "" {
-				j.App = r.Field("app")
-			}
+		}
+		if j.App == "" {
+			j.App = r.Field("app")
 		}
 	}
+}
+
+// Jobs returns the completed jobs in first-seen order. Jobs missing a
+// start or end record are dropped (still running at window end).
+func (b *JobTableBuilder) Jobs() []workload.Job {
 	var out []workload.Job
-	for _, id := range order {
-		j := byID[id]
+	for _, id := range b.order {
+		j := b.byID[id]
 		if !j.Start.IsZero() && !j.End.IsZero() {
 			out = append(out, *j)
 		}
 	}
 	return out
+}
+
+// JobsFromRecords reconstructs the job table from parsed scheduler
+// records — the pipeline's substitute for scheduler accounting access.
+// Jobs missing an end record are dropped (still running at window end).
+func JobsFromRecords(recs []events.Record) []workload.Job {
+	b := NewJobTableBuilder()
+	for i := range recs {
+		b.Add(&recs[i])
+	}
+	return b.Jobs()
 }

@@ -29,14 +29,21 @@ import (
 
 // Store is an immutable, time-sorted event collection with secondary
 // indexes. Build one with New; the zero value is an empty store.
+//
+// Each secondary index is a per-key contiguous span: all of a key's
+// records laid out adjacently in one slab, time-ascending. Window
+// queries binary-search inside the span and return a subslice — zero
+// copies, zero allocations per query. Spans are carved with a capped
+// capacity so a caller appending to a result cannot scribble into the
+// next key's records.
 type Store struct {
 	recs []events.Record
 
-	byNode     map[cname.Name][]int
-	byBlade    map[cname.Name][]int
-	byCabinet  map[cname.Name][]int
-	byCategory map[string][]int
-	byJob      map[int64][]int
+	byNode     map[cname.Name][]events.Record
+	byBlade    map[cname.Name][]events.Record
+	byCabinet  map[cname.Name][]events.Record
+	byCategory map[string][]events.Record
+	byJob      map[int64][]events.Record
 }
 
 // New builds a store over the records (copied and sorted by time).
@@ -47,35 +54,192 @@ func New(recs []events.Record) *Store {
 	return newFromSorted(cp)
 }
 
+// NewOwned builds a store over records the caller hands off: the slice
+// is adopted and sorted in place rather than copied, so the caller must
+// not modify it afterwards. For generator output — already time-sorted
+// and immediately discarded — this skips a full-corpus copy; callers
+// that keep using their slice should call New instead.
+func NewOwned(recs []events.Record) *Store {
+	events.SortByTime(recs)
+	return newFromSorted(recs)
+}
+
+// buildSpans partitions time-sorted records into per-key contiguous
+// spans: one slab per index family, every key's records adjacent and
+// time-ascending, each span three-index sliced so its capacity ends at
+// the span boundary. key reports a record's key for the family
+// (ok=false skips the record).
+func buildSpans[K comparable](recs []events.Record, key func(*events.Record) (K, bool)) map[K][]events.Record {
+	counts := make(map[K]int)
+	total := 0
+	for i := range recs {
+		if k, ok := key(&recs[i]); ok {
+			counts[k]++
+			total++
+		}
+	}
+	slab := make([]events.Record, total)
+	cursors := make(map[K]int, len(counts))
+	off := 0
+	for k, c := range counts {
+		cursors[k] = off
+		off += c
+	}
+	for i := range recs {
+		if k, ok := key(&recs[i]); ok {
+			j := cursors[k]
+			slab[j] = recs[i]
+			cursors[k] = j + 1
+		}
+	}
+	spans := make(map[K][]events.Record, len(counts))
+	for k, c := range counts {
+		end := cursors[k]
+		spans[k] = slab[end-c : end : end]
+	}
+	return spans
+}
+
+// spanAcc accumulates one cname-keyed span family using packed
+// one-word cname.Key hashes instead of six-field struct hashes.
+type spanAcc struct {
+	idx   map[uint64]int32
+	slots []spanSlot
+	total int
+}
+
+type spanSlot struct {
+	name  cname.Name
+	count int
+	cur   int
+}
+
+// count tallies one occurrence of k. It reports false when k doesn't
+// pack (coordinates outside 12 bits — never produced by the simulated
+// topologies), signalling the caller to fall back to struct hashing.
+func (a *spanAcc) count(k cname.Name) bool {
+	pk, ok := k.Key()
+	if !ok {
+		return false
+	}
+	si, seen := a.idx[pk]
+	if !seen {
+		si = int32(len(a.slots))
+		a.slots = append(a.slots, spanSlot{name: k})
+		a.idx[pk] = si
+	}
+	a.slots[si].count++
+	a.total++
+	return true
+}
+
+// layout allocates the family slab and assigns per-key offsets.
+func (a *spanAcc) layout() []events.Record {
+	off := 0
+	for i := range a.slots {
+		a.slots[i].cur = off
+		off += a.slots[i].count
+	}
+	return make([]events.Record, a.total)
+}
+
+// fill places one record into its key's region of the slab.
+func (a *spanAcc) fill(slab []events.Record, k cname.Name, r *events.Record) {
+	pk, _ := k.Key()
+	si := a.idx[pk]
+	c := a.slots[si].cur
+	slab[c] = *r
+	a.slots[si].cur = c + 1
+}
+
+// spans carves the filled slab into capped per-key subslices.
+func (a *spanAcc) spans(slab []events.Record) map[cname.Name][]events.Record {
+	out := make(map[cname.Name][]events.Record, len(a.slots))
+	for _, s := range a.slots {
+		out[s.name] = slab[s.cur-s.count : s.cur : s.cur]
+	}
+	return out
+}
+
+func nodeKey(r *events.Record) (cname.Name, bool) {
+	return r.Component, r.Component.IsValid() && r.Component.Level() == cname.LevelNode
+}
+
+func bladeKey(r *events.Record) (cname.Name, bool) {
+	if !r.Component.IsValid() {
+		return cname.Name{}, false
+	}
+	b := r.Component.BladeName()
+	return b, b.IsValid()
+}
+
+func cabinetKey(r *events.Record) (cname.Name, bool) {
+	return r.Component.CabinetName(), r.Component.IsValid()
+}
+
+// buildComponentSpans builds the node, blade, and cabinet span families
+// in one pair of passes: all three keys derive from r.Component, so a
+// single traversal computes them together instead of six family scans.
+func buildComponentSpans(recs []events.Record) (byNode, byBlade, byCabinet map[cname.Name][]events.Record) {
+	nodeAcc := spanAcc{idx: make(map[uint64]int32)}
+	bladeAcc := spanAcc{idx: make(map[uint64]int32)}
+	cabAcc := spanAcc{idx: make(map[uint64]int32)}
+	for i := range recs {
+		c := recs[i].Component
+		if !c.IsValid() {
+			continue
+		}
+		if c.Level() == cname.LevelNode && !nodeAcc.count(c) {
+			return componentSpanFallback(recs)
+		}
+		if b := c.BladeName(); b.IsValid() && !bladeAcc.count(b) {
+			return componentSpanFallback(recs)
+		}
+		if !cabAcc.count(c.CabinetName()) {
+			return componentSpanFallback(recs)
+		}
+	}
+	nodeSlab, bladeSlab, cabSlab := nodeAcc.layout(), bladeAcc.layout(), cabAcc.layout()
+	for i := range recs {
+		r := &recs[i]
+		c := r.Component
+		if !c.IsValid() {
+			continue
+		}
+		if c.Level() == cname.LevelNode {
+			nodeAcc.fill(nodeSlab, c, r)
+		}
+		if b := c.BladeName(); b.IsValid() {
+			bladeAcc.fill(bladeSlab, b, r)
+		}
+		cabAcc.fill(cabSlab, c.CabinetName(), r)
+	}
+	return nodeAcc.spans(nodeSlab), bladeAcc.spans(bladeSlab), cabAcc.spans(cabSlab)
+}
+
+// componentSpanFallback is the struct-hashed path for unpackable names.
+func componentSpanFallback(recs []events.Record) (byNode, byBlade, byCabinet map[cname.Name][]events.Record) {
+	return buildSpans(recs, nodeKey), buildSpans(recs, bladeKey), buildSpans(recs, cabinetKey)
+}
+
 // newFromSorted builds the secondary indexes over records that are
 // already time-sorted. The slice is adopted, not copied — callers hand
 // over ownership (the sharded loader uses this to index each sealed
 // shard and the merged view without duplicating the corpus).
 func newFromSorted(recs []events.Record) *Store {
-	s := &Store{
-		recs:       recs,
-		byNode:     make(map[cname.Name][]int),
-		byBlade:    make(map[cname.Name][]int),
-		byCabinet:  make(map[cname.Name][]int),
-		byCategory: make(map[string][]int),
-		byJob:      make(map[int64][]int),
+	byNode, byBlade, byCabinet := buildComponentSpans(recs)
+	return &Store{
+		recs:      recs,
+		byNode:    byNode,
+		byBlade:   byBlade,
+		byCabinet: byCabinet,
+		byCategory: buildSpans(recs, func(r *events.Record) (string, bool) {
+			return r.Category, true
+		}),
+		byJob: buildSpans(recs, func(r *events.Record) (int64, bool) {
+			return r.JobID, r.JobID != 0
+		}),
 	}
-	for i, r := range s.recs {
-		if r.Component.IsValid() {
-			if r.Component.Level() == cname.LevelNode {
-				s.byNode[r.Component] = append(s.byNode[r.Component], i)
-			}
-			if b := r.Component.BladeName(); b.IsValid() {
-				s.byBlade[b] = append(s.byBlade[b], i)
-			}
-			s.byCabinet[r.Component.CabinetName()] = append(s.byCabinet[r.Component.CabinetName()], i)
-		}
-		s.byCategory[r.Category] = append(s.byCategory[r.Category], i)
-		if r.JobID != 0 {
-			s.byJob[r.JobID] = append(s.byJob[r.JobID], i)
-		}
-	}
-	return s
 }
 
 // Len returns the record count.
@@ -88,67 +252,68 @@ func (s *Store) All() []events.Record { return s.recs }
 // At returns record i.
 func (s *Store) At(i int) events.Record { return s.recs[i] }
 
-// Window returns all records with Time in [from, to).
-func (s *Store) Window(from, to time.Time) []events.Record {
-	lo := sort.Search(len(s.recs), func(i int) bool { return !s.recs[i].Time.Before(from) })
-	hi := sort.Search(len(s.recs), func(i int) bool { return !s.recs[i].Time.Before(to) })
-	return s.recs[lo:hi]
+// searchTime returns the index of the first record in the time-sorted
+// span with Time >= t. Hand-rolled (rather than sort.Search) so window
+// queries are provably allocation-free — no closure, no interface.
+func searchTime(span []events.Record, t time.Time) int {
+	lo, hi := 0, len(span)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if span[mid].Time.Before(t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
-// selectWindow filters an index list down to [from, to) by binary
-// search (index lists are time-ascending because they were built from
-// the sorted slice).
-func (s *Store) selectWindow(idx []int, from, to time.Time) []events.Record {
-	lo := sort.Search(len(idx), func(i int) bool { return !s.recs[idx[i]].Time.Before(from) })
-	hi := sort.Search(len(idx), func(i int) bool { return !s.recs[idx[i]].Time.Before(to) })
-	out := make([]events.Record, 0, hi-lo)
-	for _, j := range idx[lo:hi] {
-		out = append(out, s.recs[j])
-	}
-	return out
+// windowOf narrows a time-sorted span to [from, to). The result is a
+// subslice of the span — shared storage, zero allocations; callers must
+// not modify it.
+func windowOf(span []events.Record, from, to time.Time) []events.Record {
+	lo := searchTime(span, from)
+	hi := lo + searchTime(span[lo:], to)
+	return span[lo:hi:hi]
+}
+
+// Window returns all records with Time in [from, to).
+func (s *Store) Window(from, to time.Time) []events.Record {
+	return windowOf(s.recs, from, to)
 }
 
 // NodeWindow returns the node's records in [from, to). Only node-level
-// components match; blade/cabinet records do not.
+// components match; blade/cabinet records do not. The result is a
+// shared zero-copy span — callers must not modify it.
 func (s *Store) NodeWindow(node cname.Name, from, to time.Time) []events.Record {
-	return s.selectWindow(s.byNode[node], from, to)
+	return windowOf(s.byNode[node], from, to)
 }
 
 // BladeWindow returns records of the blade and everything on it
 // (including its nodes) in [from, to).
 func (s *Store) BladeWindow(blade cname.Name, from, to time.Time) []events.Record {
-	return s.selectWindow(s.byBlade[blade], from, to)
+	return windowOf(s.byBlade[blade], from, to)
 }
 
 // CabinetWindow returns records of the cabinet and everything in it in
 // [from, to).
 func (s *Store) CabinetWindow(cab cname.Name, from, to time.Time) []events.Record {
-	return s.selectWindow(s.byCabinet[cab], from, to)
+	return windowOf(s.byCabinet[cab], from, to)
 }
 
 // Category returns all records with the given category, time-ascending.
 func (s *Store) Category(cat string) []events.Record {
-	idx := s.byCategory[cat]
-	out := make([]events.Record, len(idx))
-	for i, j := range idx {
-		out[i] = s.recs[j]
-	}
-	return out
+	return s.byCategory[cat]
 }
 
 // CategoryWindow returns the category's records in [from, to).
 func (s *Store) CategoryWindow(cat string, from, to time.Time) []events.Record {
-	return s.selectWindow(s.byCategory[cat], from, to)
+	return windowOf(s.byCategory[cat], from, to)
 }
 
 // Job returns all records tagged with the job id.
 func (s *Store) Job(id int64) []events.Record {
-	idx := s.byJob[id]
-	out := make([]events.Record, len(idx))
-	for i, j := range idx {
-		out[i] = s.recs[j]
-	}
-	return out
+	return s.byJob[id]
 }
 
 // Nodes returns every node that has at least one record, unordered.

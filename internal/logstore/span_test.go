@@ -1,0 +1,178 @@
+package logstore
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/topology"
+)
+
+// naiveWindow is the pre-span reference: scan everything, filter by
+// predicate and time range.
+func naiveWindow(recs []events.Record, from, to time.Time, keep func(events.Record) bool) []events.Record {
+	var out []events.Record
+	for _, r := range recs {
+		if !r.Time.Before(from) && r.Time.Before(to) && keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sameRecords(t *testing.T, label string, got, want []events.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Time.Equal(want[i].Time) || got[i].Category != want[i].Category ||
+			got[i].Component != want[i].Component || got[i].Msg != want[i].Msg ||
+			got[i].JobID != want[i].JobID || got[i].Stream != want[i].Stream {
+			t.Fatalf("%s: record %d differs:\n got %+v\nwant %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSpanWindowEquivalence checks every window query against a naive
+// full scan over a generated corpus — the span layout must change the
+// storage, never the answers.
+func TestSpanWindowEquivalence(t *testing.T) {
+	p, err := faultsim.DefaultProfile("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec = topology.Spec{ID: "S1", Nodes: 384, CabinetCols: 2, Scheduler: topology.SchedulerSlurm, Cray: true}
+	p.Workload.MeanInterarrival = 30 * time.Minute
+	scn, err := faultsim.Generate(p, t0, t0.Add(3*24*time.Hour), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(scn.Records)
+	all := s.All()
+	first, last, _ := s.Span()
+	windows := []struct{ from, to time.Time }{
+		{first, last.Add(time.Second)},
+		{first.Add(6 * time.Hour), first.Add(30 * time.Hour)},
+		{last, first}, // empty (inverted)
+		{first.Add(-time.Hour), first},
+	}
+	for _, n := range s.Nodes() {
+		n := n
+		for _, w := range windows {
+			got := s.NodeWindow(n, w.from, w.to)
+			want := naiveWindow(all, w.from, w.to, func(r events.Record) bool {
+				return r.Component == n
+			})
+			sameRecords(t, "NodeWindow "+n.String(), got, want)
+		}
+	}
+	blades := map[cname.Name]bool{}
+	cabs := map[cname.Name]bool{}
+	cats := map[string]bool{}
+	jobs := map[int64]bool{}
+	for _, r := range all {
+		if r.Component.IsValid() {
+			if b := r.Component.BladeName(); b.IsValid() {
+				blades[b] = true
+			}
+			cabs[r.Component.CabinetName()] = true
+		}
+		cats[r.Category] = true
+		if r.JobID != 0 {
+			jobs[r.JobID] = true
+		}
+	}
+	w := windows[1]
+	for b := range blades {
+		b := b
+		got := s.BladeWindow(b, w.from, w.to)
+		want := naiveWindow(all, w.from, w.to, func(r events.Record) bool {
+			return r.Component.IsValid() && r.Component.BladeName() == b
+		})
+		sameRecords(t, "BladeWindow "+b.String(), got, want)
+	}
+	for c := range cabs {
+		c := c
+		got := s.CabinetWindow(c, w.from, w.to)
+		want := naiveWindow(all, w.from, w.to, func(r events.Record) bool {
+			return r.Component.IsValid() && r.Component.CabinetName() == c
+		})
+		sameRecords(t, "CabinetWindow "+c.String(), got, want)
+	}
+	for cat := range cats {
+		cat := cat
+		got := s.CategoryWindow(cat, w.from, w.to)
+		want := naiveWindow(all, w.from, w.to, func(r events.Record) bool {
+			return r.Category == cat
+		})
+		sameRecords(t, "CategoryWindow "+cat, got, want)
+		gotAll := s.Category(cat)
+		wantAll := naiveWindow(all, first, last.Add(time.Second), func(r events.Record) bool {
+			return r.Category == cat
+		})
+		sameRecords(t, "Category "+cat, gotAll, wantAll)
+	}
+	for id := range jobs {
+		id := id
+		got := s.Job(id)
+		want := naiveWindow(all, first, last.Add(time.Second), func(r events.Record) bool {
+			return r.JobID == id
+		})
+		sameRecords(t, "Job", got, want)
+	}
+}
+
+// TestWindowQueryAllocs locks in the zero-allocation property of the
+// span-backed window queries.
+func TestWindowQueryAllocs(t *testing.T) {
+	s := testStore()
+	node := cname.MustParse("c0-0c0s1n2")
+	blade := cname.MustParse("c0-0c0s1")
+	cab := cname.MustParse("c0-0")
+	from, to := t0, t0.Add(time.Hour)
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"NodeWindow", func() { s.NodeWindow(node, from, to) }},
+		{"BladeWindow", func() { s.BladeWindow(blade, from, to) }},
+		{"CabinetWindow", func() { s.CabinetWindow(cab, from, to) }},
+		{"CategoryWindow", func() { s.CategoryWindow("mce", from, to) }},
+		{"Category", func() { s.Category("mce") }},
+		{"Job", func() { s.Job(42) }},
+		{"Window", func() { s.Window(from, to) }},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per query, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestSpanCapBoundaries proves a caller appending to a window result
+// cannot overwrite the adjacent key's records: spans are carved with
+// capacity capped at the span boundary.
+func TestSpanCapBoundaries(t *testing.T) {
+	s := testStore()
+	node := cname.MustParse("c0-0c0s1n2")
+	win := s.NodeWindow(node, t0, t0.Add(time.Hour))
+	if len(win) != cap(win) {
+		t.Fatalf("window result: len %d != cap %d", len(win), cap(win))
+	}
+	partial := s.CategoryWindow("mce", t0, t0.Add(4*time.Minute))
+	if len(partial) != cap(partial) {
+		t.Fatalf("partial window: len %d != cap %d", len(partial), cap(partial))
+	}
+	before := append([]events.Record(nil), s.All()...)
+	_ = append(win, events.Record{Category: "intruder"})
+	_ = append(partial, events.Record{Category: "intruder"})
+	sameRecords(t, "All after append", s.All(), before)
+	for _, r := range s.Category("mce") {
+		if r.Category != "mce" {
+			t.Fatalf("span corrupted: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package textmatch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// findFirstNaive is the reference implementation the matcher must agree
+// with: first pattern in list order that is a substring.
+func findFirstNaive(patterns []string, s string) int {
+	for i, p := range patterns {
+		if strings.Contains(s, p) {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFindFirstBasics(t *testing.T) {
+	pats := []string{"he", "she", "his", "hers"}
+	m := New(pats)
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", -1},
+		{"x", -1},
+		{"he", 0},
+		{"she", 0},   // "she" contains "he" (index 0) too; 0 wins
+		{"xshex", 0}, // ditto
+		{"hi", -1},
+		{"his", 0}, // "his" starts with "hi"… contains "his" (2) but not "he"… wait: h-i-s has no "he"
+		{"ahistory", 2},
+		{"hers", 0},
+		{"sh", -1},
+	}
+	for _, c := range cases {
+		want := findFirstNaive(pats, c.in)
+		if got := m.FindFirst(c.in); got != want {
+			t.Errorf("FindFirst(%q) = %d, want %d (naive)", c.in, got, want)
+		}
+	}
+	// The literal expectations above document intent; cross-check the
+	// handful that name an index explicitly.
+	if got := m.FindFirst("ahistory"); got != 2 {
+		t.Errorf("FindFirst(ahistory) = %d, want 2", got)
+	}
+}
+
+func TestOverlappingPriorities(t *testing.T) {
+	// A later, shorter pattern inside an earlier, longer one: priority is
+	// list order, not match length or position.
+	pats := []string{"kernel BUG:", "BUG:", "kernel"}
+	m := New(pats)
+	for _, s := range []string{
+		"kernel BUG: at mm/slab.c",
+		"BUG: soft lockup",
+		"kernel: all quiet",
+		"no match here",
+		"xxBUG:kernelyy",
+	} {
+		if got, want := m.FindFirst(s), findFirstNaive(pats, s); got != want {
+			t.Errorf("FindFirst(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	// strings.Contains(s, "") is true, so an empty pattern matches
+	// everything at its own priority.
+	pats := []string{"abc", "", "xyz"}
+	m := New(pats)
+	for _, s := range []string{"", "q", "abc", "xyz"} {
+		if got, want := m.FindFirst(s), findFirstNaive(pats, s); got != want {
+			t.Errorf("FindFirst(%q) = %d, want %d", s, got, want)
+		}
+	}
+	if got := New([]string{""}).FindFirst("anything"); got != 0 {
+		t.Errorf("lone empty pattern: got %d, want 0", got)
+	}
+}
+
+func TestDuplicatePatterns(t *testing.T) {
+	pats := []string{"aa", "bb", "aa"}
+	m := New(pats)
+	if got := m.FindFirst("xaax"); got != 0 {
+		t.Errorf("duplicate pattern: got %d, want 0", got)
+	}
+	if got := m.FindFirst("xbbx"); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}
+
+func TestNoPatterns(t *testing.T) {
+	m := New(nil)
+	if got := m.FindFirst("anything"); got != -1 {
+		t.Errorf("empty matcher: got %d, want -1", got)
+	}
+}
+
+func TestHighBytes(t *testing.T) {
+	// Non-ASCII bytes must route correctly through the dense table.
+	pats := []string{"\xff\xfe", "é", "\x00"}
+	m := New(pats)
+	for _, s := range []string{"", "\xff", "\xff\xfe", "caf\xc3\xa9", "a\x00b", "\xfe\xff"} {
+		if got, want := m.FindFirst(s), findFirstNaive(pats, s); got != want {
+			t.Errorf("FindFirst(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "abcde"
+	randStr := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 200; trial++ {
+		np := 1 + rng.Intn(8)
+		pats := make([]string, np)
+		for i := range pats {
+			pats[i] = randStr(1 + rng.Intn(4))
+		}
+		m := New(pats)
+		for probe := 0; probe < 50; probe++ {
+			s := randStr(rng.Intn(20))
+			if got, want := m.FindFirst(s), findFirstNaive(pats, s); got != want {
+				t.Fatalf("patterns %q input %q: got %d want %d", pats, s, got, want)
+			}
+		}
+	}
+}
+
+func TestFindFirstAllocs(t *testing.T) {
+	m := New([]string{"Kernel panic", "BUG:", "segfault at"})
+	in := "2015-03-02 node segfault at 0xdeadbeef in libfoo"
+	if allocs := testing.AllocsPerRun(100, func() {
+		if m.FindFirst(in) < 0 {
+			t.Fatal("expected a match")
+		}
+	}); allocs != 0 {
+		t.Errorf("FindFirst allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// FuzzFindFirst cross-checks the automaton against the naive loop over
+// a fixed pattern set resembling the classifier's table.
+func FuzzFindFirst(f *testing.F) {
+	pats := []string{
+		"Kernel panic - not syncing",
+		"kernel BUG:",
+		"BUG: unable to handle kernel paging request",
+		"mcelog:",
+		"segfault at",
+		"NHC:",
+		"NHC: abnormal application exit",
+		"a", "ab", "ba",
+	}
+	m := New(pats)
+	f.Add("Kernel panic - not syncing: fatal")
+	f.Add("NHC: abnormal application exit code=9")
+	f.Add("abba")
+	f.Add("")
+	f.Add("\x00\xff junk")
+	f.Fuzz(func(t *testing.T, s string) {
+		if got, want := m.FindFirst(s), findFirstNaive(pats, s); got != want {
+			t.Fatalf("FindFirst(%q) = %d, want %d", s, got, want)
+		}
+	})
+}
+
+func BenchmarkFindFirst(b *testing.B) {
+	pats := []string{
+		"shutdown: scheduled by operator", "halting: system shutdown",
+		"Kernel panic - not syncing", "kernel BUG:", "Machine Check Exception",
+		"segfault at", "NHC:", "blocked for more than 120 seconds",
+	}
+	m := New(pats)
+	in := "INFO completed periodic scrub of 4096 pages with no errors found"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.FindFirst(in)
+	}
+}

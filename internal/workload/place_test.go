@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/topology"
+)
+
+// placeRef is the original full-sort implementation place's bounded-heap
+// selection must reproduce exactly (same start, same allocation, same
+// freeAt evolution).
+func placeRef(s *scheduler, submit time.Time, n int, runtime time.Duration) (time.Time, []cname.Name, bool) {
+	if n > len(s.freeAt) {
+		n = len(s.freeAt)
+	}
+	type refCand struct {
+		nid  int
+		free time.Time
+	}
+	cands := make([]refCand, len(s.freeAt))
+	for i, f := range s.freeAt {
+		cands[i] = refCand{i, f}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].free.Equal(cands[j].free) {
+			return cands[i].free.Before(cands[j].free)
+		}
+		return cands[i].nid < cands[j].nid
+	})
+	chosen := cands[:n]
+	start := submit
+	for _, c := range chosen {
+		if c.free.After(start) {
+			start = c.free
+		}
+	}
+	if start.Sub(submit) > MaxQueueWait {
+		return time.Time{}, nil, false
+	}
+	nodes := make([]cname.Name, n)
+	for i, c := range chosen {
+		nodes[i] = s.cluster.Node(c.nid)
+		s.freeAt[c.nid] = start.Add(runtime)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return cname.Compare(nodes[i], nodes[j]) < 0 })
+	return start, nodes, true
+}
+
+// TestNIDOrderMatchesCompare pins the invariant place's final sort
+// relies on: enumerating node-level names in NID order is exactly
+// cname.Compare order.
+func TestNIDOrderMatchesCompare(t *testing.T) {
+	for _, cols := range []int{1, 2, 3} {
+		prev := cname.Name{}
+		for nid := 0; nid < cols*4*cname.NodesPerCabinet; nid++ {
+			n := cname.FromNID(nid, cols)
+			if back := n.NID(cols); back != nid {
+				t.Fatalf("cols=%d: NID(FromNID(%d)) = %d", cols, nid, back)
+			}
+			if nid > 0 && cname.Compare(prev, n) >= 0 {
+				t.Fatalf("cols=%d: Compare(%v, %v) >= 0 but NIDs ascend", cols, prev, n)
+			}
+			prev = n
+		}
+	}
+}
+
+// placeStep runs one submission through both schedulers and asserts
+// identical outcomes and identical freeAt evolution.
+func placeStep(t *testing.T, job int, a, b *scheduler, submit time.Time, n int, rt time.Duration) {
+	t.Helper()
+	gotStart, gotNodes, gotOK := a.place(submit, n, rt)
+	wantStart, wantNodes, wantOK := placeRef(b, submit, n, rt)
+	if gotOK != wantOK {
+		t.Fatalf("job %d: ok=%v, want %v", job, gotOK, wantOK)
+	}
+	if !gotOK {
+		return
+	}
+	if !gotStart.Equal(wantStart) {
+		t.Fatalf("job %d: start %v, want %v", job, gotStart, wantStart)
+	}
+	if len(gotNodes) != len(wantNodes) {
+		t.Fatalf("job %d: %d nodes, want %d", job, len(gotNodes), len(wantNodes))
+	}
+	for i := range gotNodes {
+		if gotNodes[i] != wantNodes[i] {
+			t.Fatalf("job %d node %d: %v, want %v", job, i, gotNodes[i], wantNodes[i])
+		}
+	}
+	for i := range a.freeAt {
+		if !a.freeAt[i].Equal(b.freeAt[i]) {
+			t.Fatalf("job %d: freeAt[%d] diverged: %v vs %v", job, i, a.freeAt[i], b.freeAt[i])
+		}
+	}
+}
+
+// TestPlaceEquivalence drives two identical schedulers through a random
+// job stream, one with the bucketed availability heap and one with the
+// original full-sort reference, asserting identical placements
+// throughout.
+func TestPlaceEquivalence(t *testing.T) {
+	cluster := topology.New(topology.Spec{ID: "T", Nodes: 96, CabinetCols: 1})
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	a := newScheduler(cluster, start)
+	b := newScheduler(cluster, start)
+	rng := rand.New(rand.NewSource(33))
+	submit := start
+	for job := 0; job < 400; job++ {
+		submit = submit.Add(time.Duration(rng.Intn(240)) * time.Second)
+		n := 1 + rng.Intn(24)
+		if rng.Intn(20) == 0 {
+			n = 90 + rng.Intn(10) // occasionally demand nearly (or over) the fleet
+		}
+		rt := time.Duration(1+rng.Intn(7200)) * time.Second
+		placeStep(t, job, a, b, submit, n, rt)
+	}
+}
+
+// TestPlaceEquivalenceTies uses coarse submit times and a tiny runtime
+// alphabet so distinct jobs free their allocations at identical
+// instants, forcing the same-free bucket merge path: a correct prefix
+// under the nid tiebreak must interleave nodes from different
+// allocations that end at the same time.
+func TestPlaceEquivalenceTies(t *testing.T) {
+	cluster := topology.New(topology.Spec{ID: "T", Nodes: 96, CabinetCols: 1})
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	a := newScheduler(cluster, start)
+	b := newScheduler(cluster, start)
+	rng := rand.New(rand.NewSource(77))
+	submit := start
+	for job := 0; job < 600; job++ {
+		if rng.Intn(3) > 0 { // often several submissions at the same instant
+			submit = submit.Add(time.Duration(rng.Intn(3)) * time.Hour)
+		}
+		n := 1 + rng.Intn(12)
+		rt := time.Duration(1+rng.Intn(3)) * time.Hour
+		placeStep(t, job, a, b, submit, n, rt)
+	}
+}

@@ -19,19 +19,108 @@ import (
 // before the submission is abandoned.
 const MaxQueueWait = 12 * time.Hour
 
+// bucket is one availability-heap entry: the group of nodes that free
+// at the same instant. An allocation's nodes all free together when the
+// job ends, so the heap holds one bucket per live allocation (plus the
+// epoch bucket), not one entry per node — placement work scales with
+// allocations, not fleet size.
+type bucket struct {
+	// free is the shared free time as UnixNano (absolute instants, no
+	// monotonic clock, so int64 order equals time.Time order).
+	free int64
+	// nids is the group, ascending.
+	nids []int
+}
+
+// bucketLess orders the heap by (free, smallest nid).
+func bucketLess(a, b bucket) bool {
+	if a.free != b.free {
+		return a.free < b.free
+	}
+	return a.nids[0] < b.nids[0]
+}
+
 // scheduler tracks per-node availability.
 type scheduler struct {
 	cluster *topology.Cluster
 	// freeAt[i] is when node nid i next becomes free.
 	freeAt []time.Time
+	// avail is a min-heap of availability buckets. Every nid is in
+	// exactly one bucket at all times (outside a place call).
+	avail []bucket
+	// popped holds the buckets taken off the heap by the current place
+	// call, in ascending free order.
+	popped []bucket
 }
 
 func newScheduler(cluster *topology.Cluster, epoch time.Time) *scheduler {
 	s := &scheduler{cluster: cluster, freeAt: make([]time.Time, cluster.NumNodes())}
+	all := make([]int, cluster.NumNodes())
 	for i := range s.freeAt {
 		s.freeAt[i] = epoch
+		all[i] = i
 	}
+	s.avail = []bucket{{epoch.UnixNano(), all}}
 	return s
+}
+
+// push inserts a bucket into the availability heap.
+func (s *scheduler) push(b bucket) {
+	s.avail = append(s.avail, b)
+	h := s.avail
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !bucketLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// pop removes the earliest-free bucket from the availability heap.
+func (s *scheduler) pop() bucket {
+	h := s.avail
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = bucket{} // drop the slice reference
+	h = h[:last]
+	s.avail = h
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && bucketLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && bucketLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// mergeBuckets merges two same-free buckets preserving ascending nids.
+func mergeBuckets(a, b bucket) bucket {
+	m := make([]int, 0, len(a.nids)+len(b.nids))
+	i, j := 0, 0
+	for i < len(a.nids) && j < len(b.nids) {
+		if a.nids[i] < b.nids[j] {
+			m = append(m, a.nids[i])
+			i++
+		} else {
+			m = append(m, b.nids[j])
+			j++
+		}
+	}
+	m = append(m, a.nids[i:]...)
+	m = append(m, b.nids[j:]...)
+	return bucket{a.free, m}
 }
 
 // place selects n nodes for a job submitted at submit with the given
@@ -39,40 +128,65 @@ func newScheduler(cluster *topology.Cluster, epoch time.Time) *scheduler {
 // when the queue wait would exceed MaxQueueWait. Nodes freeing earliest
 // win, with NID order as the tiebreak (which keeps allocations roughly
 // contiguous on an idle machine).
+//
+// Selection pops whole availability buckets until n nodes are covered,
+// taking an nid-order prefix of the last one. Buckets sharing a free
+// time are merged before a prefix is taken so the nid tiebreak stays
+// global. Abandoned submissions push their buckets back unchanged. The
+// chosen NIDs sort the allocation directly: NID order equals
+// cname.Compare order for node-level names (TestNIDOrderMatchesCompare
+// pins this invariant).
 func (s *scheduler) place(submit time.Time, n int, runtime time.Duration) (time.Time, []cname.Name, bool) {
 	if n > len(s.freeAt) {
 		n = len(s.freeAt)
 	}
-	type cand struct {
-		nid  int
-		free time.Time
-	}
-	cands := make([]cand, len(s.freeAt))
-	for i, f := range s.freeAt {
-		cands[i] = cand{i, f}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if !cands[i].free.Equal(cands[j].free) {
-			return cands[i].free.Before(cands[j].free)
+	popped := s.popped[:0]
+	count := 0
+	for count < n {
+		b := s.pop()
+		for len(s.avail) > 0 && s.avail[0].free == b.free {
+			b = mergeBuckets(b, s.pop())
 		}
-		return cands[i].nid < cands[j].nid
-	})
-	chosen := cands[:n]
+		popped = append(popped, b)
+		count += len(b.nids)
+	}
+	s.popped = popped
 	start := submit
-	for _, c := range chosen {
-		if c.free.After(start) {
-			start = c.free
+	if len(popped) > 0 {
+		// Buckets pop in ascending free order; the last one holds the
+		// latest-freeing chosen nodes.
+		if f := s.freeAt[popped[len(popped)-1].nids[0]]; f.After(start) {
+			start = f
 		}
 	}
 	if start.Sub(submit) > MaxQueueWait {
+		for _, b := range popped {
+			s.push(b)
+		}
 		return time.Time{}, nil, false
 	}
-	nodes := make([]cname.Name, n)
-	for i, c := range chosen {
-		nodes[i] = s.cluster.Node(c.nid)
-		s.freeAt[c.nid] = start.Add(runtime)
+	nids := make([]int, 0, n)
+	for _, b := range popped {
+		take := len(b.nids)
+		if take > n-len(nids) {
+			take = n - len(nids)
+		}
+		nids = append(nids, b.nids[:take]...)
+		if take < len(b.nids) {
+			s.push(bucket{b.free, b.nids[take:]})
+		}
 	}
-	sort.Slice(nodes, func(i, j int) bool { return cname.Compare(nodes[i], nodes[j]) < 0 })
+	sort.Ints(nids)
+	nodes := make([]cname.Name, len(nids))
+	end := start.Add(runtime)
+	endNano := end.UnixNano()
+	for i, nid := range nids {
+		nodes[i] = s.cluster.Node(nid)
+		s.freeAt[nid] = end
+	}
+	if len(nids) > 0 {
+		s.push(bucket{endNano, nids})
+	}
 	return start, nodes, true
 }
 

@@ -18,6 +18,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"time"
 
@@ -178,6 +179,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// userNames is the fixed simulated-user population ("user00".."user39"),
+// pre-rendered so job generation doesn't format the same 40 strings
+// thousands of times.
+var userNames = func() [40]string {
+	var u [40]string
+	for i := range u {
+		u[i] = fmt.Sprintf("user%02d", i)
+	}
+	return u
+}()
+
 // Generate produces the job stream for [start, end) on the cluster.
 // Submissions arrive as a Poisson process and are placed by a
 // space-sharing FCFS scheduler: allocations never overlap, jobs wait
@@ -222,7 +234,7 @@ func Generate(cluster *topology.Cluster, cfg Config, start, end time.Time, first
 		j := Job{
 			ID:     id,
 			App:    app.Name,
-			User:   fmt.Sprintf("user%02d", r.Intn(40)),
+			User:   userNames[r.Intn(len(userNames))],
 			Submit: t,
 			Start:  startAt,
 			End:    startAt.Add(rt),
@@ -274,40 +286,57 @@ func drawDisposition(cfg Config, r *rng.Rand) (State, int) {
 	}
 }
 
-// Event constructors — the scheduler-log record shapes.
+// Event constructors — the scheduler-log record shapes. The generator
+// emits start, end, and placement records for every simulated job, so
+// these build their messages with strconv appends instead of fmt, and
+// the ...Nodes variants let callers render the compressed node list
+// once per job and share it across all three records.
 
 // StartEvent is the allocation/start record.
 func StartEvent(j *Job) events.Record {
+	return StartEventNodes(j, j.NodesString())
+}
+
+// StartEventNodes is StartEvent with the compressed node list
+// precomputed.
+func StartEventNodes(j *Job, nodesStr string) events.Record {
 	r := events.Record{
 		Time:     j.Start,
 		Stream:   events.StreamScheduler,
 		Severity: events.SevInfo,
 		Category: "job_start",
 		JobID:    j.ID,
-		Msg:      fmt.Sprintf("job %d (%s) started for %s on %d nodes", j.ID, j.App, j.User, len(j.Nodes)),
+		Msg: "job " + strconv.FormatInt(j.ID, 10) + " (" + j.App + ") started for " +
+			j.User + " on " + strconv.Itoa(len(j.Nodes)) + " nodes",
 	}
 	r.SetField("app", j.App)
 	r.SetField("user", j.User)
-	r.SetField("nodes", j.NodesString())
-	r.SetField("req_mem_mb", fmt.Sprintf("%d", j.ReqMemMB))
+	r.SetField("nodes", nodesStr)
+	r.SetField("req_mem_mb", strconv.Itoa(j.ReqMemMB))
 	return r
 }
 
 // EndEvent is the completion record carrying state and exit code.
 func EndEvent(j *Job) events.Record {
+	return EndEventNodes(j, j.NodesString())
+}
+
+// EndEventNodes is EndEvent with the compressed node list precomputed.
+func EndEventNodes(j *Job, nodesStr string) events.Record {
 	r := events.Record{
 		Time:     j.End,
 		Stream:   events.StreamScheduler,
 		Severity: endSeverity(j.State),
 		Category: "job_end",
 		JobID:    j.ID,
-		Msg: fmt.Sprintf("job %d (%s) ended state=%s exit=%d runtime=%s",
-			j.ID, j.App, j.State, j.ExitCode, j.Runtime().Round(time.Second)),
+		Msg: "job " + strconv.FormatInt(j.ID, 10) + " (" + j.App + ") ended state=" +
+			j.State.String() + " exit=" + strconv.Itoa(j.ExitCode) +
+			" runtime=" + j.Runtime().Round(time.Second).String(),
 	}
 	r.SetField("app", j.App)
 	r.SetField("state", j.State.String())
-	r.SetField("exit_code", fmt.Sprintf("%d", j.ExitCode))
-	r.SetField("nodes", j.NodesString())
+	r.SetField("exit_code", strconv.Itoa(j.ExitCode))
+	r.SetField("nodes", nodesStr)
 	return r
 }
 
@@ -333,7 +362,7 @@ func EpilogueEvent(t time.Time, node cname.Name, jobID int64) events.Record {
 		Severity:  events.SevInfo,
 		Category:  "job_epilogue",
 		JobID:     jobID,
-		Msg:       fmt.Sprintf("epilogue: cleaning job %d processes on %s", jobID, node),
+		Msg:       "epilogue: cleaning job " + strconv.FormatInt(jobID, 10) + " processes on " + node.String(),
 	}
 }
 
