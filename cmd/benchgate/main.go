@@ -25,6 +25,8 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+
+	"hpcfail/internal/version"
 )
 
 func main() {
@@ -37,8 +39,13 @@ func main() {
 		requireAll   = flag.Bool("require-all", false, "fail when a baseline benchmark is missing from the input")
 		update       = flag.Bool("update", false, "rewrite the baseline from the measured run instead of comparing")
 		note         = flag.String("note", "", "note to store in the baseline when -update is set")
+		showVer      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "benchgate")
+		return
+	}
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
 		os.Exit(2)

@@ -17,21 +17,18 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"hpcfail"
-	"hpcfail/internal/core"
 	"hpcfail/internal/prof"
-	"hpcfail/internal/report"
+	"hpcfail/internal/render"
 	"hpcfail/internal/topology"
+	"hpcfail/internal/version"
 )
 
 // options carries the parsed command line.
@@ -52,6 +49,7 @@ func main() {
 		jsonMode   bool
 		cpuprofile string
 		memprofile string
+		showVer    bool
 	)
 	flag.StringVar(&o.logs, "logs", "logs", "log directory")
 	flag.StringVar(&o.sched, "scheduler", "slurm", "scheduler dialect: slurm or torque")
@@ -64,7 +62,12 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "resume an interrupted load from the -wal journal")
 	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.BoolVar(&showVer, "version", false, "print build version and exit")
 	flag.Parse()
+	if showVer {
+		version.Print(os.Stdout, "diagnose")
+		return
+	}
 
 	stopProf, err := prof.Start(cpuprofile, memprofile)
 	if err != nil {
@@ -131,21 +134,12 @@ func load(ctx context.Context, o options, st topology.SchedulerType) (*hpcfail.S
 	return store, rep, hpcfail.Diagnose(store), nil
 }
 
-// reportInterrupted prints the partial ingest ledger and the resume
-// hint when a journaled load was stopped by a signal.
-func reportInterrupted(err error, rep *hpcfail.IngestReport, o options, stderr io.Writer) {
-	if !errors.Is(err, hpcfail.ErrInterrupted) {
-		return
-	}
-	if rep != nil {
-		fmt.Fprintln(stderr, "partial ingest at interruption:")
-		fmt.Fprintln(stderr, rep.String())
-	}
+// resumeHint is the guidance printed after an interrupted load.
+func resumeHint(o options) string {
 	if o.wal != "" {
-		fmt.Fprintln(stderr, "progress checkpointed; rerun with -resume to continue from the journal")
-	} else {
-		fmt.Fprintln(stderr, "no -wal journal was set; a rerun starts from scratch")
+		return "progress checkpointed; rerun with -resume to continue from the journal"
 	}
+	return "no -wal journal was set; a rerun starts from scratch"
 }
 
 // runJSON emits machine-readable diagnoses, one JSON object per line.
@@ -156,42 +150,11 @@ func runJSON(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	}
 	_, rep, res, err := load(ctx, o, st)
 	if err != nil {
-		reportInterrupted(err, rep, o, stderr)
+		render.Interrupted(stderr, err, rep, resumeHint(o))
 		return err
 	}
-	for _, w := range rep.Warnings() {
-		fmt.Fprintln(stderr, "warning:", w)
-	}
-	enc := json.NewEncoder(stdout)
-	for _, d := range res.Diagnoses {
-		lt := core.ComputeLeadTime(d)
-		out := struct {
-			Time         time.Time `json:"time"`
-			Node         string    `json:"node"`
-			Terminal     string    `json:"terminal"`
-			Cause        string    `json:"cause"`
-			Class        string    `json:"class"`
-			AppTriggered bool      `json:"app_triggered"`
-			JobID        int64     `json:"job_id,omitempty"`
-			KeySymbol    string    `json:"key_symbol,omitempty"`
-			Confidence   float64   `json:"confidence"`
-			Degraded     bool      `json:"degraded,omitempty"`
-			Note         string    `json:"note,omitempty"`
-			InternalLead float64   `json:"internal_lead_sec,omitempty"`
-			ExternalLead float64   `json:"external_lead_sec,omitempty"`
-		}{
-			Time: d.Detection.Time, Node: d.Detection.Node.String(),
-			Terminal: d.Detection.Terminal, Cause: d.Cause.String(),
-			Class: d.Class.String(), AppTriggered: d.AppTriggered,
-			JobID: d.JobID, KeySymbol: d.KeySymbol, Confidence: d.Confidence,
-			Degraded: d.Degraded, Note: d.Note,
-			InternalLead: lt.Internal.Seconds(), ExternalLead: lt.External.Seconds(),
-		}
-		if err := enc.Encode(out); err != nil {
-			return err
-		}
-	}
-	return nil
+	render.Warnings(stderr, rep.Warnings(), 0)
+	return render.DiagnoseJSON(stdout, res)
 }
 
 func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
@@ -206,97 +169,9 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	}
 	store, rep, res, err := load(ctx, o, st)
 	if err != nil {
-		reportInterrupted(err, rep, o, stderr)
+		render.Interrupted(stderr, err, rep, resumeHint(o))
 		return err
 	}
-	for i, w := range rep.Warnings() {
-		if i >= 5 {
-			fmt.Fprintf(stderr, "... and %d more ingest warnings\n", len(rep.Warnings())-5)
-			break
-		}
-		fmt.Fprintln(stderr, "warning:", w)
-	}
-	first, last, ok := store.Span()
-	if !ok {
-		return fmt.Errorf("no records found under %s", o.logs)
-	}
-	fmt.Fprintf(stdout, "loaded %d records spanning %s .. %s\n", store.Len(), first.Format(time.RFC3339), last.Format(time.RFC3339))
-	fmt.Fprintln(stdout, rep.String())
-
-	if res.Degradation.Degraded() {
-		fmt.Fprintf(stdout, "DEGRADED: %s (confidence scaled by %.2f)\n", res.Degradation.Note(), res.Degradation.Factor())
-	}
-	fmt.Fprintln(stdout)
-
-	tbl := report.NewTable("Detected node failures",
-		"time", "node", "terminal", "cause", "class", "app-triggered", "job", "int lead", "ext lead")
-	for _, d := range res.Diagnoses {
-		lt := core.ComputeLeadTime(d)
-		job := "-"
-		if d.JobID != 0 {
-			job = fmt.Sprintf("%d", d.JobID)
-		}
-		ext := "-"
-		if lt.External > 0 {
-			ext = lt.External.Round(time.Second).String()
-		}
-		intl := "-"
-		if lt.Internal > 0 {
-			intl = lt.Internal.Round(time.Second).String()
-		}
-		tbl.AddRow(d.Detection.Time.Format("01-02 15:04:05"), d.Detection.Node.String(),
-			d.Detection.Terminal, d.Cause.String(), d.Class.String(), d.AppTriggered, job, intl, ext)
-	}
-	fmt.Fprint(stdout, tbl.String())
-
-	if o.full {
-		for _, d := range res.Diagnoses {
-			fmt.Fprintf(stdout, "\n%s %s — %s (confidence %.2f, key symbol %q)\n",
-				d.Detection.Time.Format(time.RFC3339), d.Detection.Node, d.Cause, d.Confidence, d.KeySymbol)
-			for _, ev := range d.InternalEvidence {
-				fmt.Fprintf(stdout, "  internal: %s\n", ev.String())
-			}
-			for _, ev := range d.ExternalIndicators {
-				fmt.Fprintf(stdout, "  external: %s\n", ev.String())
-			}
-		}
-	}
-
-	// Summaries.
-	causes := map[string]float64{}
-	for c, n := range res.CauseBreakdown() {
-		causes[c.String()] = float64(n)
-	}
-	fmt.Fprintln(stdout)
-	fmt.Fprint(stdout, report.Bars("Root-cause breakdown", causes, "failures").String())
-
-	classes := map[string]float64{}
-	for c, n := range res.ClassBreakdown() {
-		classes[c.String()] = float64(n)
-	}
-	fmt.Fprintln(stdout)
-	fmt.Fprint(stdout, report.Bars("Layer breakdown", classes, "failures").String())
-
-	sum := hpcfail.SummarizeLeadTimes(res.Diagnoses)
-	fmt.Fprintf(stdout, "\nlead times: %d/%d failures enhanceable (%s), mean factor %.1fx\n",
-		sum.Enhanceable, sum.Total, report.Pct(sum.EnhanceableFraction()), sum.MeanFactor)
-
-	mtbf := res.MTBF()
-	if mtbf.N > 0 {
-		fmt.Fprintf(stdout, "MTBF: %.1f ± %.1f minutes over %d gaps\n", mtbf.Mean, mtbf.Stddev, mtbf.N)
-	}
-	if dt := res.DowntimeSummary(); dt.N > 0 {
-		fmt.Fprintf(stdout, "downtime: %.0f ± %.0f minutes per failure (%d rebooted in window; %.0f node-minutes lost)\n",
-			dt.Mean, dt.Stddev, dt.N, dt.Mean*float64(dt.N))
-	}
-
-	// Table VI: findings -> recommendations, derived from the measured
-	// behaviour of this log corpus.
-	if recs := core.Recommend(res); len(recs) > 0 {
-		fmt.Fprintln(stdout, "\nRecommendations (Table VI):")
-		for _, r := range recs {
-			fmt.Fprintf(stdout, "  [%d] %s\n      -> %s\n", r.Severity, r.Finding, r.Action)
-		}
-	}
-	return nil
+	render.Warnings(stderr, rep.Warnings(), 5)
+	return render.Diagnose(stdout, o.logs, store, rep, res, o.full)
 }

@@ -17,20 +17,26 @@ import (
 	"os"
 
 	"hpcfail/internal/experiments"
+	"hpcfail/internal/version"
 )
 
 func main() {
 	var (
-		id     = flag.String("id", "", "experiment to run (e.g. fig3, table5)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list available experiments")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		scale  = flag.Float64("scale", 0.25, "cluster scale factor (1.0 = paper node counts)")
-		quick  = flag.Bool("quick", false, "shorten simulated durations")
-		format = flag.String("format", "text", "output format: text, markdown or csv")
-		jobs   = flag.Int("jobs", 0, "worker count for -all (0 = GOMAXPROCS, 1 = sequential)")
+		id      = flag.String("id", "", "experiment to run (e.g. fig3, table5)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list available experiments")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		scale   = flag.Float64("scale", 0.25, "cluster scale factor (1.0 = paper node counts)")
+		quick   = flag.Bool("quick", false, "shorten simulated durations")
+		format  = flag.String("format", "text", "output format: text, markdown or csv")
+		jobs    = flag.Int("jobs", 0, "worker count for -all (0 = GOMAXPROCS, 1 = sequential)")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "experiments")
+		return
+	}
 
 	if *format != "text" && *format != "markdown" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)

@@ -17,6 +17,7 @@ import (
 	"hpcfail/internal/core"
 	"hpcfail/internal/report"
 	"hpcfail/internal/topology"
+	"hpcfail/internal/version"
 )
 
 // options carries the parsed command line.
@@ -29,7 +30,12 @@ func main() {
 	var o options
 	flag.StringVar(&o.logs, "logs", "logs", "log directory")
 	flag.StringVar(&o.sched, "scheduler", "slurm", "scheduler dialect: slurm or torque")
+	showVer := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "leadtime")
+		return
+	}
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "leadtime:", err)
 		os.Exit(1)

@@ -1,0 +1,262 @@
+// Command loadgen drives an open-loop load against a running serve
+// instance: requests are launched on a fixed-rate clock regardless of
+// completions (so server slowdowns surface as latency and shed 429s,
+// not as a politely backing-off client), with a bounded in-flight cap
+// standing in for the client fleet size.
+//
+//	loadgen -url http://localhost:8080 -qps 200 -clients 32 -duration 10s -mix 0.2
+//
+// The mix splits traffic between POST /v1/ingest (synthetic console
+// batches) and GET /v1/diagnose (drawn from a small query set so the
+// server's cache and singleflight both get exercised). The run ends
+// with a latency/throughput report per request kind; -out writes it as
+// JSON for the serving-benchmark record.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcfail/internal/version"
+)
+
+type options struct {
+	url      string
+	qps      float64
+	clients  int
+	duration time.Duration
+	mix      float64
+	batch    int
+	seed     int64
+	out      string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.url, "url", "http://localhost:8080", "serve base URL")
+	flag.Float64Var(&o.qps, "qps", 100, "aggregate request launch rate")
+	flag.IntVar(&o.clients, "clients", 16, "maximum in-flight requests (the simulated client fleet)")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "run length")
+	flag.Float64Var(&o.mix, "mix", 0.2, "fraction of requests that ingest (rest diagnose)")
+	flag.IntVar(&o.batch, "batch", 32, "lines per ingest batch")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed for the traffic mix")
+	flag.StringVar(&o.out, "out", "", "write the JSON report here ('' = stdout summary only)")
+	showVer := flag.Bool("version", false, "print build version and exit")
+	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "loadgen")
+		return
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// kindStats accumulates one request kind's outcomes.
+type kindStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	codes     map[int]int
+	errors    int
+}
+
+func newKindStats() *kindStats { return &kindStats{codes: make(map[int]int)} }
+
+func (s *kindStats) record(code int, d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.errors++
+		return
+	}
+	s.codes[code]++
+	if code == http.StatusOK {
+		s.latencies = append(s.latencies, d)
+	}
+}
+
+// quantile returns the q-quantile of the recorded OK latencies.
+func (s *kindStats) quantile(q float64) time.Duration {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	i := int(q * float64(len(s.latencies)-1))
+	return s.latencies[i]
+}
+
+// kindReport is the per-kind slice of the JSON report.
+type kindReport struct {
+	Launched int            `json:"launched"`
+	OK       int            `json:"ok"`
+	Codes    map[string]int `json:"codes"`
+	Errors   int            `json:"errors"`
+	P50Ms    float64        `json:"p50_ms"`
+	P95Ms    float64        `json:"p95_ms"`
+	P99Ms    float64        `json:"p99_ms"`
+}
+
+func (s *kindStats) report(launched int) kindReport {
+	s.mu.Lock()
+	codes := make(map[string]int, len(s.codes))
+	for c, n := range s.codes {
+		codes[fmt.Sprint(c)] = n
+	}
+	errs := s.errors
+	s.mu.Unlock()
+	return kindReport{
+		Launched: launched,
+		OK:       codes["200"],
+		Codes:    codes,
+		Errors:   errs,
+		P50Ms:    float64(s.quantile(0.50)) / float64(time.Millisecond),
+		P95Ms:    float64(s.quantile(0.95)) / float64(time.Millisecond),
+		P99Ms:    float64(s.quantile(0.99)) / float64(time.Millisecond),
+	}
+}
+
+// diagnoseQueries is the rotation of query shapes: repeats hit the
+// response cache, simultaneous identical cold queries coalesce.
+var diagnoseQueries = []string{
+	"/v1/diagnose",
+	"/v1/diagnose?format=json",
+	"/v1/diagnose?window=24h",
+	"/v1/diagnose",
+}
+
+// ingestBody builds one synthetic console batch. Lines advance a shared
+// virtual clock so the corpus keeps growing in time order.
+func ingestBody(clock *atomic.Int64, batch int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"batches":[{"stream":"console","lines":[`)
+	for i := 0; i < batch; i++ {
+		t := time.Unix(clock.Add(1), 0).UTC()
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `"%s c0-0c0s%dn%d kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)"`,
+			t.Format("2006-01-02T15:04:05.000000Z"), i%16, i%4)
+	}
+	buf.WriteString(`]}]}`)
+	return buf.Bytes()
+}
+
+func run(o options, stdout io.Writer) error {
+	if o.qps <= 0 || o.clients < 1 || o.batch < 1 || o.mix < 0 || o.mix > 1 {
+		return fmt.Errorf("bad flags: qps, clients and batch must be positive, mix in [0,1]")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	if _, err := client.Get(o.url + "/healthz"); err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(o.seed))
+	var clock atomic.Int64
+	clock.Store(time.Now().Unix())
+
+	diag, ing := newKindStats(), newKindStats()
+	launchedDiag, launchedIng, saturated := 0, 0, 0
+
+	sem := make(chan struct{}, o.clients)
+	var wg sync.WaitGroup
+	fire := func(method, target string, body []byte, stats *kindStats) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		start := time.Now()
+		var (
+			resp *http.Response
+			err  error
+		)
+		if method == http.MethodPost {
+			resp, err = client.Post(target, "application/json", bytes.NewReader(body))
+		} else {
+			resp, err = client.Get(target)
+		}
+		if err != nil {
+			stats.record(0, 0, err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		stats.record(resp.StatusCode, time.Since(start), nil)
+	}
+
+	interval := time.Duration(float64(time.Second) / o.qps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(o.duration)
+	qi := 0
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open loop: the launch clock does not wait, so a saturated
+			// fleet is recorded, not absorbed.
+			saturated++
+			continue
+		}
+		wg.Add(1)
+		if rng.Float64() < o.mix {
+			launchedIng++
+			go fire(http.MethodPost, o.url+"/v1/ingest", ingestBody(&clock, o.batch), ing)
+		} else {
+			launchedDiag++
+			qi++
+			go fire(http.MethodGet, o.url+diagnoseQueries[qi%len(diagnoseQueries)], nil, diag)
+		}
+	}
+	wg.Wait()
+
+	report := struct {
+		URL         string     `json:"url"`
+		QPS         float64    `json:"target_qps"`
+		Clients     int        `json:"clients"`
+		DurationSec float64    `json:"duration_sec"`
+		Mix         float64    `json:"ingest_mix"`
+		Batch       int        `json:"batch_lines"`
+		Saturated   int        `json:"saturated_launches"`
+		Diagnose    kindReport `json:"diagnose"`
+		Ingest      kindReport `json:"ingest"`
+	}{
+		URL: o.url, QPS: o.qps, Clients: o.clients, DurationSec: o.duration.Seconds(),
+		Mix: o.mix, Batch: o.batch, Saturated: saturated,
+		Diagnose: diag.report(launchedDiag), Ingest: ing.report(launchedIng),
+	}
+
+	fmt.Fprintf(stdout, "diagnose: %d launched, %d ok, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		report.Diagnose.Launched, report.Diagnose.OK, report.Diagnose.P50Ms, report.Diagnose.P95Ms, report.Diagnose.P99Ms)
+	fmt.Fprintf(stdout, "ingest:   %d launched, %d ok, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		report.Ingest.Launched, report.Ingest.OK, report.Ingest.P50Ms, report.Ingest.P95Ms, report.Ingest.P99Ms)
+	shed := report.Diagnose.Codes["429"] + report.Ingest.Codes["429"]
+	fmt.Fprintf(stdout, "shed 429s: %d, errors: %d, saturated launches: %d\n",
+		shed, report.Diagnose.Errors+report.Ingest.Errors, saturated)
+
+	if o.out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", o.out)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hpcfail"
+	"hpcfail/internal/version"
 )
 
 func main() {
@@ -33,8 +34,13 @@ func main() {
 		profile = flag.String("profile", "", "JSON profile file overriding -system (see -dump-profile)")
 		dump    = flag.Bool("dump-profile", false, "print the selected profile as JSON and exit")
 		chaos   = flag.String("chaos", "", `corrupt rendered logs, e.g. "mode=garble,intensity=0.2" or "drop=0.1,shuffle=0.3,seed=7"`)
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "logsim")
+		return
+	}
 
 	if *dump {
 		p, err := loadProfile(*system, *profile, *nodes)

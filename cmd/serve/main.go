@@ -1,0 +1,191 @@
+// Command serve runs the online diagnosis service: a long-running HTTP
+// server that owns a live log corpus and a streaming watcher.
+//
+//	serve -logs ./logs -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/ingest     batched raw log lines ({"batches":[{"stream":"console","lines":[...]}]})
+//	GET  /v1/diagnose   diagnosis over the corpus so far; byte-identical
+//	                    to cmd/diagnose output. Query params: node, from,
+//	                    to (RFC3339), window (Go duration), format=json,
+//	                    full=true
+//	GET  /v1/alarms     SSE stream of watcher alarms and confirmed failures
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       Prometheus text exposition
+//	     /debug/pprof   the usual suspects
+//
+// -logs bootstraps the corpus from a directory (sequential or -stream
+// sharded/WAL-journaled loading, exactly like cmd/diagnose). Identical
+// concurrent queries are coalesced, responses are cached until the next
+// ingest bumps the watermark, and load beyond -max-inflight is shed
+// with 429 + Retry-After. On SIGINT/SIGTERM the server drains in-flight
+// requests and persists the watcher state to -checkpoint; a restart
+// with -resume restores it, so alarm suppression and refractory merges
+// survive restarts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hpcfail"
+	"hpcfail/internal/render"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/version"
+)
+
+type options struct {
+	addr         string
+	logs         string
+	sched        string
+	stream       bool
+	workers      int
+	shards       int
+	wal          string
+	resume       bool
+	checkpoint   string
+	cacheEntries int
+	maxInflight  int
+	queryTimeout time.Duration
+	drainTimeout time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.logs, "logs", "", "bootstrap log directory (empty = start with an empty corpus)")
+	flag.StringVar(&o.sched, "scheduler", "slurm", "scheduler dialect: slurm or torque")
+	flag.BoolVar(&o.stream, "stream", false, "bootstrap through the sharded streaming loader")
+	flag.IntVar(&o.workers, "workers", 0, "streaming parse workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.shards, "shards", 0, "store shard count (0 = default)")
+	flag.StringVar(&o.wal, "wal", "", "bootstrap checkpoint-journal directory (implies -stream)")
+	flag.BoolVar(&o.resume, "resume", false, "resume: replay the -wal journal and restore the -checkpoint watcher state")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "watcher snapshot file, written on shutdown")
+	flag.IntVar(&o.cacheEntries, "cache", 256, "rendered-response cache entries")
+	flag.IntVar(&o.maxInflight, "max-inflight", 64, "concurrently served requests before shedding with 429")
+	flag.DurationVar(&o.queryTimeout, "query-timeout", 30*time.Second, "per-diagnosis compute budget")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "shutdown grace for in-flight requests")
+	showVer := flag.Bool("version", false, "print build version and exit")
+	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "serve")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// bootstrap loads the -logs corpus the same way cmd/diagnose would.
+func bootstrap(ctx context.Context, o options, st topology.SchedulerType) (*hpcfail.Store, *hpcfail.IngestReport, error) {
+	if o.stream || o.wal != "" {
+		sopts := hpcfail.StreamOptions{Workers: o.workers, Shards: o.shards}
+		if o.wal != "" {
+			j, err := hpcfail.OpenWAL(o.wal, hpcfail.WALOptions{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("open -wal journal: %w", err)
+			}
+			defer j.Close()
+			sopts.Journal = j
+		}
+		var (
+			ss  *hpcfail.ShardedStore
+			rep *hpcfail.IngestReport
+			err error
+		)
+		if o.resume && o.wal != "" {
+			ss, rep, err = hpcfail.ResumeLogs(ctx, o.logs, st, sopts)
+		} else {
+			ss, rep, err = hpcfail.LoadLogsStreamContext(ctx, o.logs, st, sopts)
+		}
+		if err != nil {
+			return nil, rep, err
+		}
+		return ss.Merged(), rep, nil
+	}
+	return hpcfail.LoadLogsReport(o.logs, st)
+}
+
+func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
+	var st topology.SchedulerType
+	switch o.sched {
+	case "slurm":
+		st = topology.SchedulerSlurm
+	case "torque":
+		st = topology.SchedulerTorque
+	default:
+		return fmt.Errorf("unknown scheduler %q (want slurm or torque)", o.sched)
+	}
+
+	srv := hpcfail.NewServer(hpcfail.ServeConfig{
+		Scheduler:      st,
+		MaxInflight:    o.maxInflight,
+		QueryTimeout:   o.queryTimeout,
+		CacheEntries:   o.cacheEntries,
+		CheckpointPath: o.checkpoint,
+	})
+
+	if o.logs != "" {
+		store, rep, err := bootstrap(ctx, o, st)
+		if err != nil {
+			render.Interrupted(stderr, err, rep, "bootstrap checkpointed; restart with -resume to continue")
+			return err
+		}
+		render.Warnings(stderr, rep.Warnings(), 5)
+		srv.Seed(store, rep)
+		fmt.Fprintf(stdout, "bootstrapped %d records from %s\n", store.Len(), o.logs)
+	}
+	if o.resume && o.checkpoint != "" {
+		restored, err := srv.RestoreCheckpoint(o.checkpoint)
+		if err != nil {
+			return fmt.Errorf("restore -checkpoint: %w", err)
+		}
+		if restored {
+			fmt.Fprintf(stdout, "restored watcher checkpoint from %s\n", o.checkpoint)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stdout, "serving on %s (watermark %d, %d records)\n", o.addr, srv.Watermark(), srv.Records())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // bind failure etc.; ListenAndServe never returns nil
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, terminate alarm streams, give
+	// in-flight requests the grace window, then checkpoint the watcher.
+	fmt.Fprintln(stdout, "shutdown requested; draining")
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "warning: drain incomplete:", err)
+	}
+	if err := srv.Checkpoint(); err != nil {
+		return fmt.Errorf("write shutdown checkpoint: %w", err)
+	}
+	if o.checkpoint != "" {
+		fmt.Fprintf(stdout, "watcher checkpoint written to %s\n", o.checkpoint)
+	}
+	fmt.Fprintln(stdout, "drained; bye")
+	return nil
+}

@@ -23,8 +23,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,7 +34,9 @@ import (
 	"hpcfail"
 	"hpcfail/internal/core"
 	"hpcfail/internal/prof"
+	"hpcfail/internal/render"
 	"hpcfail/internal/topology"
+	"hpcfail/internal/version"
 )
 
 // options carries the parsed command line.
@@ -71,8 +71,13 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "resume: replay the -wal journal and restore the -checkpoint snapshot")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	showVer := flag.Bool("version", false, "print build version and exit")
 
 	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "watch")
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -125,37 +130,12 @@ func ingest(ctx context.Context, o options, st topology.SchedulerType) (*hpcfail
 	return store, rep, err
 }
 
-// saveSnapshot atomically persists the watcher's state: a crash during
-// the write leaves the previous checkpoint intact.
-func saveSnapshot(path string, w *core.Watcher) error {
-	blob, err := json.Marshal(w.Snapshot())
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
+// saveSnapshot and loadSnapshot are the shared atomic checkpoint
+// persistence in core, used by both this command and the HTTP server.
+func saveSnapshot(path string, w *core.Watcher) error { return core.SaveSnapshotFile(path, w) }
 
-// loadSnapshot restores a prior run's watcher state. A missing file is
-// not an error — the interruption may have hit during ingestion, before
-// the first checkpoint was due.
 func loadSnapshot(path string, w *core.Watcher) (bool, error) {
-	blob, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return false, nil
-	}
-	if err != nil {
-		return false, err
-	}
-	var s hpcfail.WatcherSnapshot
-	if err := json.Unmarshal(blob, &s); err != nil {
-		return false, fmt.Errorf("corrupt checkpoint %s: %w", path, err)
-	}
-	w.Restore(s)
-	return true, nil
+	return core.LoadSnapshotFile(path, w)
 }
 
 func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
@@ -168,18 +148,10 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	}
 	store, rep, err := ingest(ctx, o, st)
 	if err != nil {
-		if errors.Is(err, hpcfail.ErrInterrupted) {
-			if rep != nil {
-				fmt.Fprintln(stderr, "partial ingest at interruption:")
-				fmt.Fprintln(stderr, rep.String())
-			}
-			fmt.Fprintln(stderr, "ingestion checkpointed; rerun with -resume to continue")
-		}
+		render.Interrupted(stderr, err, rep, "ingestion checkpointed; rerun with -resume to continue")
 		return err
 	}
-	for _, w := range rep.Warnings() {
-		fmt.Fprintln(stderr, "warning:", w)
-	}
+	render.Warnings(stderr, rep.Warnings(), 0)
 	if store.Len() == 0 {
 		return fmt.Errorf("no records under %s", o.logs)
 	}

@@ -36,6 +36,7 @@ import (
 	"hpcfail/internal/faults"
 	"hpcfail/internal/faultsim"
 	"hpcfail/internal/logstore"
+	"hpcfail/internal/server"
 	"hpcfail/internal/topology"
 	"hpcfail/internal/wal"
 )
@@ -289,3 +290,45 @@ type WatcherSnapshot = core.WatcherSnapshot
 func NewWatcher(onDetection func(Detection)) *Watcher {
 	return core.NewWatcher(core.DefaultConfig(), onDetection)
 }
+
+// DiagnoseContext is Diagnose under a context: cancellation or deadline
+// expiry stops the pipeline between per-failure diagnoses and returns
+// the context's error with no partial result. The online service runs
+// every query through this path so per-request timeouts reach the
+// engine.
+func DiagnoseContext(ctx context.Context, store *Store, cfg PipelineConfig) (*Result, error) {
+	return core.RunContext(ctx, store, cfg)
+}
+
+// SaveWatcherCheckpoint atomically persists a watcher's detection state
+// (write-to-temp, rename); LoadWatcherCheckpoint restores it, reporting
+// false with no error when the file does not exist. cmd/watch and the
+// online service share this persistence.
+func SaveWatcherCheckpoint(path string, w *Watcher) error { return core.SaveSnapshotFile(path, w) }
+
+// LoadWatcherCheckpoint restores a checkpoint written by
+// SaveWatcherCheckpoint into w.
+func LoadWatcherCheckpoint(path string, w *Watcher) (bool, error) {
+	return core.LoadSnapshotFile(path, w)
+}
+
+// Online-serving surface: the HTTP diagnosis service behind cmd/serve.
+type (
+	// ServeConfig tunes the online diagnosis service (admission bounds,
+	// query timeout, cache size, checkpoint path).
+	ServeConfig = server.Config
+	// DiagnosisServer is a long-running HTTP service owning a live
+	// corpus and watcher: batched ingest, cached/coalesced diagnosis
+	// queries byte-identical to cmd/diagnose, SSE alarm streaming,
+	// Prometheus metrics and graceful drain.
+	DiagnosisServer = server.Server
+	// IngestBatch is one stream's worth of raw log lines pushed to the
+	// service.
+	IngestBatch = server.IngestBatch
+	// IngestResult accounts one accepted ingest request.
+	IngestResult = server.IngestResult
+)
+
+// NewServer constructs the online diagnosis service with an empty
+// corpus; Seed a bootstrap store, then serve its Handler.
+func NewServer(cfg ServeConfig) *DiagnosisServer { return server.New(cfg) }

@@ -123,18 +123,18 @@ func TestExpandNodeListMatchesReference(t *testing.T) {
 		"c0-0c0s0n[0-1,3]",
 		"c0-0c0s0n[0-3],c0-0c0s1n2,c1-0c2s15n[1,3]",
 		"c0-0c0s0n0,c0-0c0s0n1",
-		"c0-0c0s0,c0-0c0s0n0",  // blade name in the legacy comma form
-		",c0-0c0s0n0,",         // empty parts skipped
-		"c0-0c0s0n[]",          // empty bracket body
-		"c0-0c0s0n[4]",         // index out of range
-		"c0-0c0s0n[0-9]",       // range runs out of range
-		"c0-0c0s0n[2-0]",       // inverted range
-		"c0-0c0s0n[x]",         // non-numeric
-		"c0-0c0s0n[0",          // unterminated bracket
-		"c0-0c0s0[0-3]",        // bracket not after 'n'
-		"c0-0c0s0n[0-3]x",      // trailing junk
-		"c0-0n[0-3]",           // prefix is not a blade
-		"[0-3]",                // bracket with no prefix
+		"c0-0c0s0,c0-0c0s0n0", // blade name in the legacy comma form
+		",c0-0c0s0n0,",        // empty parts skipped
+		"c0-0c0s0n[]",         // empty bracket body
+		"c0-0c0s0n[4]",        // index out of range
+		"c0-0c0s0n[0-9]",      // range runs out of range
+		"c0-0c0s0n[2-0]",      // inverted range
+		"c0-0c0s0n[x]",        // non-numeric
+		"c0-0c0s0n[0",         // unterminated bracket
+		"c0-0c0s0[0-3]",       // bracket not after 'n'
+		"c0-0c0s0n[0-3]x",     // trailing junk
+		"c0-0n[0-3]",          // prefix is not a blade
+		"[0-3]",               // bracket with no prefix
 		"garbage",
 	}
 	for _, s := range fixed {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"hpcfail/internal/alps"
@@ -49,15 +50,38 @@ func scanStore(recs []events.Record, cfg Config) ([]workload.Job, map[int64]int6
 // rebuild the job table and the apid → job resolution, diagnose every
 // failure.
 func Run(store *logstore.Store, cfg Config) *Result {
+	res, _ := RunContext(context.Background(), store, cfg)
+	return res
+}
+
+// RunContext is Run under a context: cancellation (or a per-request
+// deadline, as the serving layer threads through) stops the per-failure
+// diagnosis loop between diagnoses and returns ctx.Err() with a nil
+// result. With an uncancelled context it is identical to Run. lost may
+// fold an ingestion supervisor's lost-chunk count into the degradation
+// assessment via RunContextReport.
+func RunContext(ctx context.Context, store *logstore.Store, cfg Config) (*Result, error) {
+	return RunContextReport(ctx, store, cfg, 0)
+}
+
+// RunContextReport is RunContext with an ingestion supervisor's
+// lost-chunk count folded into the degradation assessment — the
+// sequential-store counterpart of RunShardedReport, for callers (the
+// HTTP server) that carry an IngestReport alongside a merged store.
+func RunContextReport(ctx context.Context, store *logstore.Store, cfg Config, lostChunks int) (*Result, error) {
 	jobs, apids, dets := scanStore(store.All(), cfg)
 	rc := &RootCauser{Store: store, Jobs: jobs, Cfg: cfg, Apids: apids}
 	diags := make([]Diagnosis, len(dets))
 	for i, d := range dets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		diags[i] = rc.Diagnose(d)
 	}
 	deg := AssessDegradation(store)
+	deg.LostChunks = lostChunks
 	applyDegradation(diags, deg)
-	return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}
+	return &Result{Store: store, Jobs: jobs, Detections: dets, Diagnoses: diags, Degradation: deg}, nil
 }
 
 // CauseBreakdown tallies diagnoses per root cause — the Fig 15/16 view.

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// SaveSnapshotFile atomically persists the watcher's state to path: the
+// snapshot is written to a temp file and renamed into place, so a crash
+// mid-write leaves the previous checkpoint intact. cmd/watch and the
+// HTTP server share this for their shutdown checkpoints.
+func SaveSnapshotFile(path string, w *Watcher) error {
+	blob, err := json.Marshal(w.Snapshot())
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshotFile restores a prior run's watcher state from path. A
+// missing file is not an error (restored=false) — the previous run may
+// have stopped before its first checkpoint was due.
+func LoadSnapshotFile(path string, w *Watcher) (restored bool, err error) {
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var s WatcherSnapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return false, fmt.Errorf("corrupt checkpoint %s: %w", path, err)
+	}
+	w.Restore(s)
+	return true, nil
+}

@@ -1,0 +1,57 @@
+package logstore
+
+import (
+	"hpcfail/internal/logparse"
+)
+
+// MergeStream folds one more batch's parse ledger into the report —
+// the online-ingestion counterpart of the per-file Streams append the
+// directory loaders do. Counts accumulate into the existing entry for
+// the same stream (quarantine samples and retained errors stay bounded
+// by the first maxed entry), and a first-seen stream gains a new entry.
+// A stream previously recorded as missing stops being missing: pushed
+// batches are how an online corpus grows the families a bootstrap
+// directory lacked.
+func (r *IngestReport) MergeStream(srep logparse.StreamReport) {
+	name := srep.Stream.String()
+	for i := range r.Missing {
+		if r.Missing[i] == name {
+			r.Missing = append(r.Missing[:i], r.Missing[i+1:]...)
+			break
+		}
+	}
+	for i := range r.Streams {
+		if r.Streams[i].Stream != srep.Stream {
+			continue
+		}
+		dst := &r.Streams[i]
+		dst.Lines += srep.Lines
+		dst.Parsed += srep.Parsed
+		dst.Quarantined += srep.Quarantined
+		dst.Reordered += srep.Reordered
+		for _, s := range srep.Samples {
+			if len(dst.Samples) >= maxMergedSamples {
+				break
+			}
+			dst.Samples = append(dst.Samples, s)
+		}
+		if len(dst.Errs) < maxMergedErrors {
+			n := maxMergedErrors - len(dst.Errs)
+			if n > len(srep.Errs) {
+				n = len(srep.Errs)
+			}
+			dst.Errs = append(dst.Errs, srep.Errs[:n]...)
+		}
+		return
+	}
+	r.Streams = append(r.Streams, srep)
+}
+
+// maxMergedSamples caps quarantine samples per stream across merged
+// batches (matches the per-file parse cap).
+const maxMergedSamples = 3
+
+// maxMergedErrors bounds retained parse errors per stream for a
+// long-running online ingest — the counts keep accumulating, the error
+// values do not.
+const maxMergedErrors = 64

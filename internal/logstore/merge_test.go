@@ -1,0 +1,57 @@
+package logstore
+
+import (
+	"errors"
+	"testing"
+
+	"hpcfail/internal/events"
+	"hpcfail/internal/logparse"
+)
+
+func TestMergeStreamAccumulates(t *testing.T) {
+	rep := &IngestReport{Missing: []string{"console", "erd"}}
+
+	rep.MergeStream(logparse.StreamReport{Stream: events.StreamConsole, Lines: 10, Parsed: 9, Quarantined: 1,
+		Samples: []string{"bad line"}, Errs: []error{errors.New("x")}})
+	if len(rep.Streams) != 1 {
+		t.Fatalf("streams = %d, want 1", len(rep.Streams))
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "erd" {
+		t.Fatalf("missing = %v, want [erd]", rep.Missing)
+	}
+
+	rep.MergeStream(logparse.StreamReport{Stream: events.StreamConsole, Lines: 5, Parsed: 5})
+	if len(rep.Streams) != 1 {
+		t.Fatalf("same stream merged into %d entries", len(rep.Streams))
+	}
+	s := rep.Streams[0]
+	if s.Lines != 15 || s.Parsed != 14 || s.Quarantined != 1 {
+		t.Errorf("merged ledger = %+v", s)
+	}
+	if rep.TotalParsed() != 14 || rep.TotalQuarantined() != 1 {
+		t.Errorf("totals = %d/%d, want 14/1", rep.TotalParsed(), rep.TotalQuarantined())
+	}
+
+	rep.MergeStream(logparse.StreamReport{Stream: events.StreamERD, Lines: 2, Parsed: 2})
+	if len(rep.Streams) != 2 || len(rep.Missing) != 0 {
+		t.Errorf("new stream: streams=%d missing=%v", len(rep.Streams), rep.Missing)
+	}
+}
+
+func TestMergeStreamBoundsRetention(t *testing.T) {
+	rep := &IngestReport{}
+	for i := 0; i < 100; i++ {
+		rep.MergeStream(logparse.StreamReport{Stream: events.StreamConsole, Lines: 2, Parsed: 1, Quarantined: 1,
+			Samples: []string{"s"}, Errs: []error{errors.New("e")}})
+	}
+	s := rep.Streams[0]
+	if s.Quarantined != 100 {
+		t.Errorf("quarantined = %d, want 100 (counts must keep accumulating)", s.Quarantined)
+	}
+	if len(s.Samples) > maxMergedSamples {
+		t.Errorf("samples retained = %d, want <= %d", len(s.Samples), maxMergedSamples)
+	}
+	if len(s.Errs) > maxMergedErrors {
+		t.Errorf("errors retained = %d, want <= %d", len(s.Errs), maxMergedErrors)
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// Serving benchmarks — the BENCH_pr5.json baseline the CI bench gate
+// tracks. Cached is the steady-state hot path; Render is one full
+// response render (filter + report tables) without the cache; Ingest is
+// one 64-line batch through parse, store append and watcher.
+
+func BenchmarkServeDiagnoseCached(b *testing.B) {
+	s := seedServer(b, fixtureClean, Config{})
+	h := s.Handler()
+	if rec := get(b, h, "/v1/diagnose"); rec.Code != http.StatusOK {
+		b.Fatalf("warmup = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/diagnose", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("diagnose = %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkServeDiagnoseRender(b *testing.B) {
+	s := seedServer(b, fixtureClean, Config{})
+	snap, err := s.snapshotNow()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := diagnoseQuery{format: "text"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.renderDiagnose(snap, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeIngest(b *testing.B) {
+	data, err := os.ReadFile(fixtureClean + "/console.log")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) > 64 {
+		lines = lines[:64]
+	}
+	s := seedServer(b, fixtureClean, Config{})
+	batch := []IngestBatch{{Stream: "console", Lines: lines}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeSnapshotRebuild(b *testing.B) {
+	s := seedServer(b, fixtureClean, Config{})
+	line := "2015-03-03T00:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each iteration invalidates (one-line ingest) and rebuilds the
+		// snapshot — the worst-case query cost right after an ingest.
+		if _, err := s.Ingest([]IngestBatch{{Stream: "console", Lines: []string{line}}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.snapshotNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDiagnoseGoldenParity is the service's output contract:
+// GET /v1/diagnose over a seeded corpus returns byte-for-byte what
+// cmd/diagnose prints for the same directory — verified against the
+// CLI's committed golden files, so the CLI goldens and this test can
+// only move together.
+func TestDiagnoseGoldenParity(t *testing.T) {
+	cases := []struct {
+		golden  string // file under cmd/diagnose/testdata
+		fixture string
+		query   string
+	}{
+		{"diagnose-clean", fixtureClean, ""},
+		{"diagnose-full", fixtureClean, "?full=true"},
+		{"diagnose-json", fixtureClean, "?format=json"},
+		{"diagnose-degraded", fixtureDegraded, ""},
+		{"diagnose-degraded-json", fixtureDegraded, "?format=json"},
+	}
+	for _, c := range cases {
+		t.Run(c.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("../../cmd/diagnose/testdata", c.golden+".golden"))
+			if err != nil {
+				t.Fatalf("CLI golden missing (run go test ./cmd/diagnose -update first): %v", err)
+			}
+			s := seedServer(t, c.fixture, Config{})
+			rec := get(t, s.Handler(), "/v1/diagnose"+c.query)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("diagnose = %d: %s", rec.Code, rec.Body.String())
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want) {
+				t.Errorf("response diverges from cmd/diagnose output (%d vs %d bytes)\n--- got ---\n%s",
+					rec.Body.Len(), len(want), rec.Body.String())
+			}
+
+			// The cached second serving must be the same bytes.
+			rec = get(t, s.Handler(), "/v1/diagnose"+c.query)
+			if !bytes.Equal(rec.Body.Bytes(), want) {
+				t.Error("cached response diverges from the first serving")
+			}
+		})
+	}
+}

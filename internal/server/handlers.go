@@ -1,0 +1,355 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/render"
+)
+
+// Handler returns the service's HTTP handler. Ingest and diagnose go
+// through admission control; health, metrics, alarms and pprof stay
+// reachable under load so the service remains observable while it sheds.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.guard("ingest", s.handleIngest))
+	mux.HandleFunc("/v1/diagnose", s.guard("diagnose", s.handleDiagnose))
+	mux.HandleFunc("/v1/alarms", s.track("alarms", s.handleAlarms))
+	mux.HandleFunc("/healthz", s.track("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.track("metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying flusher so SSE works through the
+// metrics wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// guard wraps a handler with draining rejection, admission control and
+// request metrics. When the semaphore is full the request is shed
+// immediately — 429 plus a Retry-After hint — instead of queueing.
+func (s *Server) guard(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.metrics.observe(name, http.StatusServiceUnavailable, 0)
+			http.Error(w, "server is draining", http.StatusServiceUnavailable)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.metrics.add(mShed, 1)
+			s.metrics.observe(name, http.StatusTooManyRequests, 0)
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			http.Error(w, "server overloaded; retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer func() { <-s.sem }()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(name, sw.code, time.Since(start))
+	}
+}
+
+// track wraps a handler with request metrics only — for endpoints that
+// must stay reachable under overload and drain.
+func (s *Server) track(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(name, sw.code, time.Since(start))
+	}
+}
+
+// maxIngestBody bounds one ingest request (32 MiB of raw lines).
+const maxIngestBody = 32 << 20
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Batches []IngestBatch `json:"batches"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad ingest request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Batches) == 0 {
+		http.Error(w, "bad ingest request: no batches", http.StatusBadRequest)
+		return
+	}
+	res, err := s.Ingest(req.Batches)
+	if err != nil {
+		http.Error(w, "bad ingest request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// diagnoseQuery is the parsed /v1/diagnose parameter set.
+type diagnoseQuery struct {
+	node     cname.Name
+	hasNode  bool
+	from, to time.Time
+	window   time.Duration
+	format   string // "text" or "json"
+	full     bool
+}
+
+// key is the cache/singleflight identity of the query at a watermark.
+func (q diagnoseQuery) key(watermark uint64) string {
+	node := ""
+	if q.hasNode {
+		node = q.node.String()
+	}
+	return fmt.Sprintf("%d|%s|%d|%d|%d|%s|%v",
+		watermark, node, q.from.UnixNano(), q.to.UnixNano(), q.window, q.format, q.full)
+}
+
+func parseDiagnoseQuery(r *http.Request) (diagnoseQuery, error) {
+	q := diagnoseQuery{format: "text"}
+	v := r.URL.Query()
+	if nodeStr := v.Get("node"); nodeStr != "" {
+		n, err := cname.Parse(nodeStr)
+		if err != nil {
+			return q, fmt.Errorf("node: %w", err)
+		}
+		q.node, q.hasNode = n, true
+	}
+	for _, p := range []struct {
+		name string
+		dst  *time.Time
+	}{{"from", &q.from}, {"to", &q.to}} {
+		if str := v.Get(p.name); str != "" {
+			t, err := time.Parse(time.RFC3339, str)
+			if err != nil {
+				return q, fmt.Errorf("%s: want RFC3339 timestamp: %w", p.name, err)
+			}
+			*p.dst = t
+		}
+	}
+	if str := v.Get("window"); str != "" {
+		d, err := time.ParseDuration(str)
+		if err != nil || d <= 0 {
+			return q, fmt.Errorf("window: want positive Go duration, got %q", str)
+		}
+		if !q.from.IsZero() || !q.to.IsZero() {
+			return q, fmt.Errorf("window is exclusive with from/to")
+		}
+		q.window = d
+	}
+	switch f := v.Get("format"); f {
+	case "", "text":
+	case "json":
+		q.format = "json"
+	default:
+		return q, fmt.Errorf("format: want text or json, got %q", f)
+	}
+	if str := v.Get("full"); str != "" {
+		b, err := strconv.ParseBool(str)
+		if err != nil {
+			return q, fmt.Errorf("full: want boolean, got %q", str)
+		}
+		q.full = b
+	}
+	return q, nil
+}
+
+// cachedBody is the unit the response cache and render singleflight
+// exchange.
+type cachedBody struct {
+	body        []byte
+	contentType string
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := parseDiagnoseQuery(r)
+	if err != nil {
+		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap, err := s.snapshotNow()
+	if err != nil {
+		http.Error(w, "diagnosis unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	key := q.key(snap.watermark)
+	if body, ct, ok := s.cache.get(key); ok {
+		s.metrics.add(mCacheHits, 1)
+		writeBody(w, snap.watermark, ct, body)
+		return
+	}
+	s.metrics.add(mCacheMisses, 1)
+
+	v, err, shared := s.sf.Do("render|"+key, func() (any, error) {
+		cb, err := s.renderDiagnose(snap, q)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, cb.body, cb.contentType)
+		return cb, nil
+	})
+	if shared {
+		s.metrics.add(mCoalesced, 1)
+	}
+	if err != nil {
+		http.Error(w, "diagnosis failed: "+err.Error(), http.StatusNotFound)
+		return
+	}
+	cb := v.(*cachedBody)
+	writeBody(w, snap.watermark, cb.contentType, cb.body)
+}
+
+// renderDiagnose produces the response body for a query over one
+// snapshot — the same render package the CLI prints through, which is
+// what keeps the bytes identical.
+func (s *Server) renderDiagnose(snap *snapshot, q diagnoseQuery) (*cachedBody, error) {
+	from, to := q.from, q.to
+	if q.window > 0 {
+		if _, last, ok := snap.store.Span(); ok {
+			from, to = last.Add(-q.window), last
+		}
+	}
+	res := filterResult(snap.res, q.node, q.hasNode, from, to)
+	var buf bytes.Buffer
+	if q.format == "json" {
+		if err := render.DiagnoseJSON(&buf, res); err != nil {
+			return nil, err
+		}
+		return &cachedBody{body: buf.Bytes(), contentType: "application/x-ndjson"}, nil
+	}
+	if err := render.Diagnose(&buf, "the served corpus", snap.store, snap.rep, res, q.full); err != nil {
+		return nil, err
+	}
+	return &cachedBody{body: buf.Bytes(), contentType: "text/plain; charset=utf-8"}, nil
+}
+
+func writeBody(w http.ResponseWriter, watermark uint64, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Hpcfail-Watermark", strconv.FormatUint(watermark, 10))
+	w.Write(body)
+}
+
+func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	sub := s.broker.subscribe(s.cfg.AlarmBuffer)
+	defer s.broker.unsubscribe(sub)
+	s.metrics.add(mSSESubscribe, 1)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, "retry: 1000\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.broker.done:
+			return
+		case ev := <-sub.ch:
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status    string  `json:"status"`
+		Records   int     `json:"records"`
+		Watermark uint64  `json:"watermark"`
+		UptimeSec float64 `json:"uptime_sec"`
+	}
+	st := health{Status: "ok", Records: s.Records(), Watermark: s.Watermark(),
+		UptimeSec: time.Since(s.started).Seconds()}
+	code := http.StatusOK
+	if s.draining.Load() {
+		st.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	state := s.watcher.StateSize()
+	stats := s.watcher.Stats()
+	lag := 0.0
+	if last := s.lastIngestWall.Load(); last > 0 {
+		lag = time.Since(time.Unix(0, last)).Seconds()
+	}
+	gauges := []gauge{
+		{"hpcfail_store_records", "Records in the live corpus.", float64(s.Records())},
+		{"hpcfail_ingest_watermark", "Current ingest watermark (bumps once per accepted batch request).", float64(s.Watermark())},
+		{"hpcfail_ingest_lag_seconds", "Seconds since the last accepted ingest batch (0 before the first).", lag},
+		{"hpcfail_watcher_nodes", "Nodes with retained watcher state.", float64(state.Nodes)},
+		{"hpcfail_watcher_apids", "Retained apid-to-job resolutions.", float64(state.Apids)},
+		{"hpcfail_watcher_buffered", "Records held in the watcher reorder buffer.", float64(state.Buffered)},
+		{"hpcfail_watcher_fed_records", "Records consumed by the watcher.", float64(stats.Fed)},
+		{"hpcfail_cache_entries", "Entries in the rendered-response cache.", float64(s.cache.len())},
+		{"hpcfail_inflight_requests", "Requests currently holding an admission slot.", float64(len(s.sem))},
+		{"hpcfail_sse_subscribers", "Connected alarm stream subscribers.", float64(s.broker.subscribers())},
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, gauges)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the rendered-response cache: bounded, least-recently-used
+// eviction, keyed by (watermark, query) strings. Because every key
+// embeds the ingest watermark it was rendered at, entries for a stale
+// corpus can never be served — a new batch bumps the watermark, new
+// requests form new keys, and the old generation simply ages out.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key         string
+	body        []byte
+	contentType string
+}
+
+func newLRU(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and content type, marking the entry most
+// recently used.
+func (c *lruCache) get(key string) (body []byte, contentType string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, "", false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*lruEntry)
+	return e.body, e.contentType, true
+}
+
+// put inserts (or refreshes) an entry, evicting the least recently used
+// one when the cache is full.
+func (c *lruCache) put(key string, body []byte, contentType string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*lruEntry)
+		e.body, e.contentType = body, contentType
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body, contentType: contentType})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count (for the metrics gauge).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

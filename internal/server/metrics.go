@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is a hand-rolled Prometheus text-format registry — counters,
+// per-handler request/latency series, and scrape-time gauges — kept
+// dependency-free like the rest of the module. All series share one
+// mutex; the handlers touch it once or twice per request, far below any
+// contention that would justify sharding.
+type metrics struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	requests map[reqKey]uint64
+	latency  map[string]*histogram
+}
+
+type reqKey struct {
+	handler string
+	code    int
+}
+
+// Counter names are full Prometheus series names; counterHelp below is
+// the exposition help text and doubles as the registry of known series.
+const (
+	mCacheHits    = "hpcfail_cache_hits_total"
+	mCacheMisses  = "hpcfail_cache_misses_total"
+	mCoalesced    = "hpcfail_coalesced_queries_total"
+	mShed         = "hpcfail_shed_requests_total"
+	mIngestBatch  = "hpcfail_ingest_batches_total"
+	mIngestRecs   = "hpcfail_ingest_records_total"
+	mIngestQuar   = "hpcfail_ingest_quarantined_total"
+	mDetections   = "hpcfail_detections_total"
+	mAlarms       = "hpcfail_alarms_total"
+	mSSEDropped   = "hpcfail_sse_dropped_events_total"
+	mSSESubscribe = "hpcfail_sse_subscriptions_total"
+)
+
+var counterHelp = map[string]string{
+	mCacheHits:    "Diagnosis responses served from the result cache.",
+	mCacheMisses:  "Diagnosis responses that had to be rendered.",
+	mCoalesced:    "Diagnosis queries coalesced onto another identical in-flight query.",
+	mShed:         "Requests rejected by admission control (HTTP 429).",
+	mIngestBatch:  "Ingest batches accepted.",
+	mIngestRecs:   "Log records parsed into the live store.",
+	mIngestQuar:   "Ingested lines quarantined as unparseable.",
+	mDetections:   "Confirmed node failures emitted by the watcher.",
+	mAlarms:       "Early-warning alarms emitted by the watcher.",
+	mSSEDropped:   "SSE events dropped because a subscriber was too slow.",
+	mSSESubscribe: "SSE subscriptions accepted.",
+}
+
+// latencyBuckets are the request-duration histogram upper bounds in
+// seconds; +Inf is implicit.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
+
+type histogram struct {
+	counts []uint64 // one per bucket plus a final +Inf slot
+	sum    float64
+	total  uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		counters: make(map[string]uint64),
+		requests: make(map[reqKey]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// add increments a named counter.
+func (m *metrics) add(name string, n uint64) {
+	m.mu.Lock()
+	m.counters[name] += n
+	m.mu.Unlock()
+}
+
+// observe records one finished request: its status code and duration.
+func (m *metrics) observe(handler string, code int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{handler, code}]++
+	h := m.latency[handler]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+		m.latency[handler] = h
+	}
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += sec
+	h.total++
+}
+
+// gauge is a scrape-time measurement supplied by the server.
+type gauge struct {
+	name  string
+	help  string
+	value float64
+}
+
+// write renders the registry in Prometheus text exposition format,
+// deterministically ordered so scrapes (and tests) are stable.
+func (m *metrics) write(w io.Writer, gauges []gauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	names := make([]string, 0, len(counterHelp))
+	for name := range counterHelp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			name, counterHelp[name], name, name, m.counters[name])
+	}
+
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].handler != keys[j].handler {
+			return keys[i].handler < keys[j].handler
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP hpcfail_http_requests_total HTTP requests by handler and status code.\n")
+	fmt.Fprintf(w, "# TYPE hpcfail_http_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "hpcfail_http_requests_total{code=%q,handler=%q} %d\n", fmt.Sprint(k.code), k.handler, m.requests[k])
+	}
+
+	handlers := make([]string, 0, len(m.latency))
+	for h := range m.latency {
+		handlers = append(handlers, h)
+	}
+	sort.Strings(handlers)
+	fmt.Fprintf(w, "# HELP hpcfail_http_request_duration_seconds Request latency by handler.\n")
+	fmt.Fprintf(w, "# TYPE hpcfail_http_request_duration_seconds histogram\n")
+	for _, hname := range handlers {
+		h := m.latency[hname]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "hpcfail_http_request_duration_seconds_bucket{handler=%q,le=%q} %d\n", hname, trimFloat(ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "hpcfail_http_request_duration_seconds_bucket{handler=%q,le=\"+Inf\"} %d\n", hname, cum)
+		fmt.Fprintf(w, "hpcfail_http_request_duration_seconds_sum{handler=%q} %g\n", hname, h.sum)
+		fmt.Fprintf(w, "hpcfail_http_request_duration_seconds_count{handler=%q} %d\n", hname, h.total)
+	}
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}
+
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

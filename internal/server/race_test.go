@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndIngest hammers the cache/singleflight path
+// with identical concurrent queries racing live ingestion — the test CI
+// runs under -race to prove the watermark/snapshot/cache machinery is
+// data-race free. Every response must be a complete 200 at a coherent
+// watermark.
+func TestConcurrentQueriesAndIngest(t *testing.T) {
+	s := seedServer(t, fixtureClean, Config{MaxInflight: 64})
+	h := s.Handler()
+
+	const (
+		queriers   = 8
+		queries    = 12
+		ingestions = 10
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, queriers*queries+ingestions)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ingestions; i++ {
+			line := fmt.Sprintf(
+				"2015-03-03T00:%02d:00.000000Z c0-0c0s1n%d kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+				i, i%4)
+			if _, err := s.Ingest([]IngestBatch{{Stream: "console", Lines: []string{line}}}); err != nil {
+				errs <- fmt.Errorf("ingest %d: %w", i, err)
+			}
+		}
+	}()
+
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < queries; i++ {
+				// All goroutines alternate over two identical query
+				// shapes, maximising coalescing and cache contention.
+				target := "/v1/diagnose"
+				if i%2 == 1 {
+					target = "/v1/diagnose?format=json"
+				}
+				rec := get(t, h, target)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("querier %d: %s = %d", g, target, rec.Code)
+					continue
+				}
+				if rec.Body.Len() == 0 {
+					errs <- fmt.Errorf("querier %d: empty body", g)
+				}
+				if rec.Header().Get("X-Hpcfail-Watermark") == "" {
+					errs <- fmt.Errorf("querier %d: missing watermark header", g)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := s.Watermark(); got != 1+ingestions {
+		t.Errorf("final watermark = %d, want %d", got, 1+ingestions)
+	}
+	if hits, misses := s.counter(mCacheHits), s.counter(mCacheMisses); hits+misses+s.counter(mCoalesced) == 0 {
+		t.Error("hammer exercised neither cache nor singleflight")
+	} else {
+		t.Logf("cache hits=%d misses=%d coalesced=%d", hits, misses, s.counter(mCoalesced))
+	}
+}

@@ -1,0 +1,386 @@
+// Package server is the online diagnosis service: a long-running HTTP
+// front end that owns a live log corpus and a streaming core.Watcher.
+// It accepts batched log lines (POST /v1/ingest), answers diagnosis
+// queries over the corpus so far (GET /v1/diagnose) with the exact
+// bytes cmd/diagnose would print, streams watcher alarms over SSE
+// (GET /v1/alarms), and exposes health, Prometheus metrics and pprof.
+//
+// Scale mechanics, in one place:
+//
+//   - Ingest watermark. Every accepted batch bumps a monotonic
+//     watermark. Query results are computed against an immutable
+//     snapshot taken at a watermark, and every cache key embeds the
+//     watermark it was rendered at — so ingest invalidates the cache
+//     by construction, without tracking or purging entries.
+//   - Singleflight. The expensive steps (indexing the corpus, running
+//     the diagnosis pipeline, rendering a response) are coalesced:
+//     concurrent identical queries share one computation. Shared
+//     computations run on a context detached from any single request
+//     (bounded by Config.QueryTimeout), so one impatient client cannot
+//     cancel work others are waiting on.
+//   - Admission control. A semaphore bounds concurrently served
+//     ingest/diagnose requests; overflow is shed immediately with 429
+//     and a Retry-After hint rather than queueing without bound.
+//   - Graceful drain. BeginDrain flips health to 503, rejects new
+//     work and terminates SSE streams; after http.Server.Shutdown has
+//     drained in-flight requests, Checkpoint persists the watcher via
+//     the snapshot machinery so a restart resumes alarm state.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/core"
+	"hpcfail/internal/events"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/topology"
+)
+
+// Config tunes the service. The zero value is usable; unset fields take
+// the defaults documented per field.
+type Config struct {
+	// Scheduler selects the log dialect for ingested batches.
+	Scheduler topology.SchedulerType
+	// Pipeline configures the diagnosis windows (zero value =
+	// core.DefaultConfig()).
+	Pipeline core.Config
+	// MaxInflight bounds concurrently served ingest/diagnose requests;
+	// excess requests are shed with 429 (default 64).
+	MaxInflight int
+	// QueryTimeout bounds one diagnosis computation (default 30s).
+	QueryTimeout time.Duration
+	// CacheEntries bounds the rendered-response LRU (default 256).
+	CacheEntries int
+	// CheckpointPath, when set, is where Checkpoint persists the
+	// watcher snapshot on shutdown.
+	CheckpointPath string
+	// AlarmBuffer is the per-SSE-subscriber event buffer; a subscriber
+	// falling this far behind starts losing events (default 64).
+	AlarmBuffer int
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pipeline == (core.Config{}) {
+		c.Pipeline = core.DefaultConfig()
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.AlarmBuffer <= 0 {
+		c.AlarmBuffer = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server owns the live corpus and watcher. Create with New, optionally
+// Seed a bootstrap corpus, serve Handler, then BeginDrain + Checkpoint
+// on the way down.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	broker  *broker
+	watcher *core.Watcher
+
+	// sem is the admission semaphore; holding a slot means the request
+	// is being served.
+	sem chan struct{}
+
+	// mu guards the live corpus state: the record log (append-only),
+	// the aggregated ingest ledger, the watermark that versions them,
+	// and the memoized snapshot.
+	mu        sync.Mutex
+	recs      []events.Record
+	rep       *logstore.IngestReport
+	watermark uint64
+	snap      *snapshot
+
+	// sf coalesces snapshot builds and response renders.
+	sf flightGroup
+
+	cache *lruCache
+
+	draining       atomic.Bool
+	lastIngestWall atomic.Int64 // unix nanos of the last accepted batch
+	started        time.Time
+}
+
+// snapshot is an immutable view of the corpus at one watermark: the
+// indexed store, a stable copy of the ingest ledger, and the diagnosis
+// result. Queries and cache keys are defined entirely in terms of it.
+type snapshot struct {
+	watermark uint64
+	store     *logstore.Store
+	rep       *logstore.IngestReport
+	res       *core.Result
+}
+
+// detectionEvent and alarmEvent are the SSE payload shapes.
+type detectionEvent struct {
+	Time     time.Time `json:"time"`
+	Node     string    `json:"node"`
+	Terminal string    `json:"terminal"`
+	JobID    int64     `json:"job_id,omitempty"`
+}
+
+type alarmEvent struct {
+	Time        time.Time `json:"time"`
+	Node        string    `json:"node"`
+	HasExternal bool      `json:"has_external"`
+}
+
+// New constructs a server with an empty corpus.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		rep:     &logstore.IngestReport{},
+		cache:   newLRU(cfg.CacheEntries),
+		started: time.Now(),
+	}
+	s.broker = newBroker(func() { s.metrics.add(mSSEDropped, 1) })
+	s.watcher = core.NewWatcher(cfg.Pipeline, func(d core.Detection) {
+		s.metrics.add(mDetections, 1)
+		s.broker.publish("failure", detectionEvent{
+			Time: d.Time, Node: d.Node.String(), Terminal: d.Terminal, JobID: d.JobID,
+		})
+	})
+	s.watcher.OnAlarm = func(a core.Alarm) {
+		s.metrics.add(mAlarms, 1)
+		s.broker.publish("alarm", alarmEvent{Time: a.Time, Node: a.Node.String(), HasExternal: a.HasExternal})
+	}
+	return s
+}
+
+// Watcher exposes the live watcher (for checkpoint restore before
+// serving starts; do not mutate once the handler is live).
+func (s *Server) Watcher() *core.Watcher { return s.watcher }
+
+// Seed installs a bootstrap corpus — typically logstore.LoadDirReport
+// output — as watermark 1, replaying it through the watcher so online
+// state (refractory gaps, apid resolution, burst windows) continues
+// from the end of the bootstrap rather than from nothing. The store is
+// memoized as the first snapshot, so the first query diagnoses the
+// exact store the CLI would have built from the same directory. Call
+// before serving; Seed is not synchronised against live handlers.
+func (s *Server) Seed(store *logstore.Store, rep *logstore.IngestReport) {
+	recs := store.All()
+	s.mu.Lock()
+	s.recs = recs[:len(recs):len(recs)]
+	s.rep = cloneReport(rep)
+	s.watermark = 1
+	s.snap = &snapshot{watermark: 1, store: store, rep: cloneReport(rep)}
+	s.mu.Unlock()
+	s.watcher.FeedAll(recs)
+}
+
+// Ingest parses and appends one request's batches: records enter the
+// corpus (visible to the next snapshot), the watcher consumes them in
+// arrival order, the ingest ledger accumulates the parse accounting,
+// and the watermark advances once for the whole request.
+func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
+	var all []events.Record
+	var sreps []logparse.StreamReport
+	quarantined := 0
+	for _, b := range batches {
+		stream, err := events.ParseStream(b.Stream)
+		if err != nil {
+			return IngestResult{}, fmt.Errorf("batch stream %q: %w", b.Stream, err)
+		}
+		recs, srep := logparse.ParseLinesReport(stream, s.cfg.Scheduler, b.Lines)
+		all = append(all, recs...)
+		sreps = append(sreps, srep)
+		quarantined += srep.Quarantined
+	}
+
+	s.mu.Lock()
+	s.recs = append(s.recs, all...)
+	for _, srep := range sreps {
+		s.rep.MergeStream(srep)
+	}
+	s.watermark++
+	wm := s.watermark
+	s.mu.Unlock()
+
+	s.watcher.FeedAll(all)
+	s.lastIngestWall.Store(time.Now().UnixNano())
+	s.metrics.add(mIngestBatch, uint64(len(batches)))
+	s.metrics.add(mIngestRecs, uint64(len(all)))
+	s.metrics.add(mIngestQuar, uint64(quarantined))
+	return IngestResult{Accepted: len(all), Quarantined: quarantined, Watermark: wm}, nil
+}
+
+// IngestBatch is one stream's worth of raw log lines.
+type IngestBatch struct {
+	Stream string   `json:"stream"`
+	Lines  []string `json:"lines"`
+}
+
+// IngestResult accounts one accepted ingest request.
+type IngestResult struct {
+	Accepted    int    `json:"accepted"`
+	Quarantined int    `json:"quarantined"`
+	Watermark   uint64 `json:"watermark"`
+}
+
+// snapshotNow returns the snapshot for the current watermark, building
+// it at most once per watermark: the corpus is indexed and the full
+// diagnosis pipeline runs under singleflight on a detached context
+// bounded by QueryTimeout, so concurrent queries after an ingest share
+// one rebuild and no client's cancellation aborts it for the rest.
+func (s *Server) snapshotNow() (*snapshot, error) {
+	s.mu.Lock()
+	wm := s.watermark
+	view := s.recs[:len(s.recs):len(s.recs)]
+	memo := s.snap
+	var repClone *logstore.IngestReport
+	if memo == nil || memo.watermark != wm {
+		repClone = cloneReport(s.rep)
+	}
+	s.mu.Unlock()
+
+	if memo != nil && memo.watermark == wm && memo.res != nil {
+		return memo, nil
+	}
+
+	v, err, _ := s.sf.Do(fmt.Sprintf("snap@%d", wm), func() (any, error) {
+		s.mu.Lock()
+		memo := s.snap
+		s.mu.Unlock()
+		if memo != nil && memo.watermark == wm && memo.res != nil {
+			return memo, nil
+		}
+		store := logstore.New(view)
+		rep := repClone
+		if memo != nil && memo.watermark == wm {
+			// Seeded store: reuse the bootstrap index and its ledger copy.
+			store, rep = memo.store, memo.rep
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
+		defer cancel()
+		res, err := core.RunContextReport(ctx, store, s.cfg.Pipeline, rep.LostChunks())
+		if err != nil {
+			return nil, fmt.Errorf("diagnosis at watermark %d: %w", wm, err)
+		}
+		snap := &snapshot{watermark: wm, store: store, rep: rep, res: res}
+		s.mu.Lock()
+		if s.snap == nil || s.snap.watermark <= wm {
+			s.snap = snap
+		}
+		s.mu.Unlock()
+		return snap, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*snapshot), nil
+}
+
+// BeginDrain moves the server into draining: health flips to 503, new
+// guarded requests are rejected, and SSE streams are terminated so
+// http.Server.Shutdown can complete. Safe to call more than once.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.broker.close()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// RestoreCheckpoint loads a watcher snapshot saved by Checkpoint into
+// the live watcher, reporting whether one existed. Call before serving.
+func (s *Server) RestoreCheckpoint(path string) (bool, error) {
+	return core.LoadSnapshotFile(path, s.watcher)
+}
+
+// Checkpoint persists the watcher snapshot to Config.CheckpointPath
+// (a no-op when unset). Call after the HTTP server has drained so no
+// feeder is racing the save.
+func (s *Server) Checkpoint() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	return core.SaveSnapshotFile(s.cfg.CheckpointPath, s.watcher)
+}
+
+// Watermark returns the current ingest watermark.
+func (s *Server) Watermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// Records returns the live record count.
+func (s *Server) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// cloneReport deep-copies an ingest report so snapshot readers never
+// share slices with the live ledger MergeStream keeps appending to.
+func cloneReport(r *logstore.IngestReport) *logstore.IngestReport {
+	if r == nil {
+		return &logstore.IngestReport{}
+	}
+	cp := *r
+	cp.Streams = make([]logparse.StreamReport, len(r.Streams))
+	for i, srep := range r.Streams {
+		cp.Streams[i] = srep
+		cp.Streams[i].Samples = append([]string(nil), srep.Samples...)
+		cp.Streams[i].Errs = append([]error(nil), srep.Errs...)
+	}
+	cp.Skipped = append([]logstore.FileWarning(nil), r.Skipped...)
+	cp.Missing = append([]string(nil), r.Missing...)
+	cp.Poisoned = append([]logstore.PoisonChunk(nil), r.Poisoned...)
+	cp.Tripped = append([]logstore.BreakerTrip(nil), r.Tripped...)
+	return &cp
+}
+
+// filterResult narrows a snapshot's result to the query's node/time
+// filters. With no filters the result is returned untouched — which is
+// what makes the unfiltered response byte-identical to the CLI. The
+// summaries (breakdowns, MTBF, lead times) are recomputed by the
+// renderer over the filtered subset, which is the useful reading of a
+// scoped query.
+func filterResult(res *core.Result, node cname.Name, hasNode bool, from, to time.Time) *core.Result {
+	if !hasNode && from.IsZero() && to.IsZero() {
+		return res
+	}
+	out := *res
+	out.Detections = nil
+	out.Diagnoses = nil
+	for i, d := range res.Diagnoses {
+		det := d.Detection
+		if hasNode && det.Node != node {
+			continue
+		}
+		if !from.IsZero() && det.Time.Before(from) {
+			continue
+		}
+		if !to.IsZero() && det.Time.After(to) {
+			continue
+		}
+		out.Detections = append(out.Detections, res.Detections[i])
+		out.Diagnoses = append(out.Diagnoses, d)
+	}
+	return &out
+}

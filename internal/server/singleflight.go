@@ -1,0 +1,65 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution — the stampede breaker in front of the diagnosis engine.
+// While one goroutine computes a key, later callers for the same key
+// block and receive the same result instead of redoing the work. A
+// hand-rolled minimum of golang.org/x/sync/singleflight (the module is
+// dependency-free by policy).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do executes fn once per concurrent set of callers sharing key.
+// shared reports whether the result was computed by another caller.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			// A panicking compute must not deadlock its waiters: record
+			// it, release them, and re-panic on the computing goroutine.
+			if r := recover(); r != nil {
+				c.err = &panicError{r}
+				g.forget(key)
+				c.wg.Done()
+				panic(r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+	g.forget(key)
+	c.wg.Done()
+	return c.val, c.err, false
+}
+
+func (g *flightGroup) forget(key string) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+}
+
+type panicError struct{ value any }
+
+func (p *panicError) Error() string { return "server: coalesced call panicked" }

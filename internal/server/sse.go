@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// sseEvent is one server-sent event: a name and a pre-marshalled JSON
+// payload. Payloads are marshalled once at publish time, not per
+// subscriber.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// broker fans watcher alarms out to SSE subscribers. Publishing is
+// strictly non-blocking: the watcher invokes its callbacks with its own
+// mutex held, so a slow SSE client must never be able to stall
+// ingestion — a subscriber whose buffer is full loses the event (counted
+// via onDrop) rather than applying backpressure upstream.
+type broker struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+	// done is closed when the broker shuts down; stream handlers select
+	// on it so draining terminates long-lived connections.
+	done   chan struct{}
+	onDrop func()
+}
+
+type subscriber struct {
+	ch chan sseEvent
+}
+
+func newBroker(onDrop func()) *broker {
+	return &broker{subs: make(map[*subscriber]struct{}), done: make(chan struct{}), onDrop: onDrop}
+}
+
+// subscribe registers a new subscriber with the given buffer depth.
+func (b *broker) subscribe(buf int) *subscriber {
+	if buf < 1 {
+		buf = 1
+	}
+	sub := &subscriber{ch: make(chan sseEvent, buf)}
+	b.mu.Lock()
+	if !b.closed {
+		b.subs[sub] = struct{}{}
+	}
+	b.mu.Unlock()
+	return sub
+}
+
+func (b *broker) unsubscribe(sub *subscriber) {
+	b.mu.Lock()
+	delete(b.subs, sub)
+	b.mu.Unlock()
+}
+
+// publish marshals the payload and offers it to every subscriber
+// without blocking.
+func (b *broker) publish(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	ev := sseEvent{name: name, data: data}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for sub := range b.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			if b.onDrop != nil {
+				b.onDrop()
+			}
+		}
+	}
+}
+
+// close shuts the broker down: no further events are delivered and all
+// stream handlers observe done and return. Subscriber channels are left
+// open (never closed) so an in-flight publish cannot panic.
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.subs = make(map[*subscriber]struct{})
+	close(b.done)
+}
+
+// subscribers reports the current subscriber count (metrics gauge).
+func (b *broker) subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

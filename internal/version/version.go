@@ -1,0 +1,58 @@
+// Package version renders a consistent -version string for every cmd
+// in the repository, backed by runtime/debug.ReadBuildInfo so the
+// output tracks the module version, VCS revision and Go toolchain the
+// binary was actually built with — no hand-maintained constants.
+package version
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+)
+
+// String assembles the version line for one command name, e.g.
+//
+//	diagnose hpcfail (devel) go1.24.0 vcs=67b61b4 dirty=false
+//
+// Fields that the build info does not carry (no VCS stamp under plain
+// `go build` of a dirty tree, tests, …) are simply omitted.
+func String(cmd string) string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return cmd + " (build info unavailable)"
+	}
+	s := cmd
+	if info.Main.Path != "" {
+		s += " " + info.Main.Path
+	}
+	if v := info.Main.Version; v != "" {
+		s += " " + v
+	}
+	if info.GoVersion != "" {
+		s += " " + info.GoVersion
+	}
+	var rev, dirty string
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			dirty = kv.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " vcs=" + rev
+		if dirty != "" {
+			s += " dirty=" + dirty
+		}
+	}
+	return s
+}
+
+// Print writes the version line followed by a newline.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintln(w, String(cmd))
+}

@@ -1,0 +1,17 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesCommandName(t *testing.T) {
+	s := String("diagnose")
+	if !strings.HasPrefix(s, "diagnose") {
+		t.Fatalf("version string %q does not start with the command name", s)
+	}
+	// Under `go test` build info is available and names this module.
+	if !strings.Contains(s, "hpcfail") {
+		t.Errorf("version string %q lacks the module path", s)
+	}
+}
