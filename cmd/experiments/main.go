@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hpcfail/internal/experiments"
 	"hpcfail/internal/version"
@@ -51,8 +54,12 @@ func main() {
 	case *all:
 		// Experiments are independent simulations; run them on a worker
 		// pool and print in registry order as results become final.
+		// Ctrl-C stops dispatching promptly: in-flight experiments
+		// finish, the rest report the cancellation.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		failed := false
-		for _, o := range experiments.RunAll(experiments.All(), cfg, *jobs) {
+		for _, o := range experiments.RunAllContext(ctx, experiments.All(), cfg, *jobs) {
 			if o.Err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.Experiment.ID, o.Err)
 				failed = true

@@ -231,12 +231,13 @@ func run(o options, stdout io.Writer) error {
 		DurationSec float64    `json:"duration_sec"`
 		Mix         float64    `json:"ingest_mix"`
 		Batch       int        `json:"batch_lines"`
+		Seed        int64      `json:"seed"`
 		Saturated   int        `json:"saturated_launches"`
 		Diagnose    kindReport `json:"diagnose"`
 		Ingest      kindReport `json:"ingest"`
 	}{
 		URL: o.url, QPS: o.qps, Clients: o.clients, DurationSec: o.duration.Seconds(),
-		Mix: o.mix, Batch: o.batch, Saturated: saturated,
+		Mix: o.mix, Batch: o.batch, Seed: o.seed, Saturated: saturated,
 		Diagnose: diag.report(launchedDiag), Ingest: ing.report(launchedIng),
 	}
 

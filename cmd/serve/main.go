@@ -11,9 +11,16 @@
 //	                    to (RFC3339), window (Go duration), format=json,
 //	                    full=true
 //	GET  /v1/alarms     SSE stream of watcher alarms and confirmed failures
+//	GET  /v1/remediations  remediation ticket ledger (?since=<id>); POST
+//	                    {"kill":true|false} toggles the global kill switch
 //	GET  /healthz       liveness (503 while draining)
 //	GET  /metrics       Prometheus text exposition
 //	     /debug/pprof   the usual suspects
+//
+// -remedy closes the loop: watcher detections and alarms feed an SOP
+// remediation engine (admindown, drain + requeue, suspect, warm swap,
+// notify) acting on an in-process simulated cluster, with idempotency
+// pre-checks, safety guards and an append-only ticket ledger.
 //
 // -logs bootstraps the corpus from a directory (sequential or -stream
 // sharded/WAL-journaled loading, exactly like cmd/diagnose). Identical
@@ -57,6 +64,7 @@ type options struct {
 	maxInflight  int
 	queryTimeout time.Duration
 	drainTimeout time.Duration
+	remedy       bool
 }
 
 func main() {
@@ -74,6 +82,7 @@ func main() {
 	flag.IntVar(&o.maxInflight, "max-inflight", 64, "concurrently served requests before shedding with 429")
 	flag.DurationVar(&o.queryTimeout, "query-timeout", 30*time.Second, "per-diagnosis compute budget")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "shutdown grace for in-flight requests")
+	flag.BoolVar(&o.remedy, "remedy", false, "enable the closed-loop remediation engine (/v1/remediations)")
 	showVer := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *showVer {
@@ -136,6 +145,7 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		QueryTimeout:   o.queryTimeout,
 		CacheEntries:   o.cacheEntries,
 		CheckpointPath: o.checkpoint,
+		EnableRemedy:   o.remedy,
 	})
 
 	if o.logs != "" {

@@ -36,6 +36,7 @@ import (
 	"hpcfail/internal/faults"
 	"hpcfail/internal/faultsim"
 	"hpcfail/internal/logstore"
+	"hpcfail/internal/remedy"
 	"hpcfail/internal/server"
 	"hpcfail/internal/topology"
 	"hpcfail/internal/wal"
@@ -332,3 +333,29 @@ type (
 // NewServer constructs the online diagnosis service with an empty
 // corpus; Seed a bootstrap store, then serve its Handler.
 func NewServer(cfg ServeConfig) *DiagnosisServer { return server.New(cfg) }
+
+// Closed-loop remediation surface: the SOP engine behind serve -remedy
+// and cmd/remedy.
+type (
+	// RemedyConfig tunes the remediation engine: retries, per-SOP
+	// timeouts, and the cluster-level safety guards (concurrent-drain
+	// cap, cabinet blast radius, per-node cooldown).
+	RemedyConfig = remedy.Config
+	// RemedyEngine routes watcher conditions into prioritised SOP
+	// queues, executes them with idempotency pre-checks, and records
+	// every decision — refusals included — in an append-only ledger.
+	RemedyEngine = remedy.Engine
+	// RemedyTicket is one ledger entry; the full ledger replays into a
+	// fresh engine for crash-safe restarts.
+	RemedyTicket = remedy.Ticket
+	// RemedyScore is the counterfactual scorecard of a remediated
+	// scenario replay against simulator ground truth.
+	RemedyScore = remedy.Score
+)
+
+// ReplayRemediation runs a generated scenario through the closed loop
+// (watcher → SOP engine → simulated cluster) and scores the outcome
+// against the scenario's ground-truth failures.
+func ReplayRemediation(scn *Scenario, cfg RemedyConfig) (*remedy.ReplayResult, error) {
+	return remedy.Replay(scn, remedy.ReplayConfig{Engine: cfg})
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"hpcfail/internal/cname"
 	"hpcfail/internal/faults"
 )
 
@@ -148,5 +150,78 @@ func Recommend(res *Result) []Recommendation {
 	}
 
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
+	return out
+}
+
+// NodeAction is one per-node actionable item derived from a diagnosis —
+// the bridge between post-hoc analysis and the remediation engine's
+// condition vocabulary. Kind uses the remedy SOP names ("admindown",
+// "suspect", "notify").
+type NodeAction struct {
+	// Node is the node to act on.
+	Node cname.Name
+	// Kind names the action ("admindown", "suspect", "notify").
+	Kind string
+	// Time is the diagnosed failure time the action responds to.
+	Time time.Time
+	// Cause is the root-cause bucket driving the choice of action.
+	Cause string
+	// JobID is the implicated job for notify actions (0 when none).
+	JobID int64
+}
+
+// RecommendActions projects a pipeline result onto per-node actions in
+// a fully deterministic order: stable sort by node (canonical cname
+// order), then kind. The remediation queue consumes this list, so the
+// ordering is load-bearing — two runs over the same result must enqueue
+// identically.
+func RecommendActions(res *Result) []NodeAction {
+	var out []NodeAction
+	for _, d := range res.Diagnoses {
+		det := d.Detection
+		switch {
+		case d.AppTriggered:
+			// App-triggered failures recover under new jobs; the action
+			// targets the job's owner, not the node (Finding 3).
+			out = append(out, NodeAction{
+				Node: det.Node, Kind: "notify", Time: det.Time,
+				Cause: d.Cause.String(), JobID: d.JobID,
+			})
+			out = append(out, NodeAction{
+				Node: det.Node, Kind: "suspect", Time: det.Time,
+				Cause: d.Cause.String(),
+			})
+		default:
+			out = append(out, NodeAction{
+				Node: det.Node, Kind: "admindown", Time: det.Time,
+				Cause: d.Cause.String(), JobID: d.JobID,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ki, iok := out[i].Node.Key()
+		kj, jok := out[j].Node.Key()
+		switch {
+		case iok && jok && ki != kj:
+			return ki < kj
+		case iok != jok:
+			return iok // valid names before invalid ones
+		}
+		if a, b := out[i].Node.String(), out[j].Node.String(); a != b {
+			return a < b
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		// Total order even for repeat failures on one node: time, then
+		// cause, then job — input order never shows through.
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].Cause != out[j].Cause {
+			return out[i].Cause < out[j].Cause
+		}
+		return out[i].JobID < out[j].JobID
+	})
 	return out
 }

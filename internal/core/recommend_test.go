@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -39,6 +41,119 @@ func TestRecommendFromScenario(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("recommendations missing %q topic:\n%s", want, text)
 		}
+	}
+}
+
+// TestRecommendOrderingGolden pins the recommendation order: severity
+// descending, rule order within a severity band (the order the rules
+// appear in Recommend). The remedy queue consumes downstream action
+// lists, so any reordering here must be a deliberate, test-visible
+// change.
+func TestRecommendOrderingGolden(t *testing.T) {
+	_, store := buildScenario(t, 14, 211)
+	res := Run(store, DefaultConfig())
+	recs := Recommend(res)
+	if len(recs) == 0 {
+		t.Fatal("scenario produced no recommendations")
+	}
+	var got []string
+	for _, r := range recs {
+		got = append(got, ruleTopic(r))
+	}
+	// The canonical order: severity descending, rule order within a
+	// band. Rules whose statistic did not trip simply drop out, so the
+	// emitted list must be a subsequence of the canon.
+	canon := []string{
+		"application-triggered",
+		"buggy-jobs",
+		"dominant-cause",
+		"lead-time",
+		"unknown-cause",
+		"call-traces",
+	}
+	ci := 0
+	for _, topic := range got {
+		for ci < len(canon) && canon[ci] != topic {
+			ci++
+		}
+		if ci == len(canon) {
+			t.Fatalf("recommendation order changed:\n got %v\nwant subsequence of %v", got, canon)
+		}
+		ci++
+	}
+	if len(got) < 4 {
+		t.Fatalf("expected at least 4 rules to fire on S1, got %v", got)
+	}
+	// Re-running the pipeline reproduces the exact same list.
+	again := Recommend(Run(store, DefaultConfig()))
+	if !reflect.DeepEqual(recs, again) {
+		t.Fatal("Recommend is not deterministic across runs")
+	}
+}
+
+// ruleTopic maps a recommendation back to the rule that emitted it.
+func ruleTopic(r Recommendation) string {
+	switch {
+	case strings.Contains(r.Finding, "application-triggered"):
+		return "application-triggered"
+	case strings.Contains(r.Action, "buggy APIDs"):
+		return "buggy-jobs"
+	case strings.Contains(r.Finding, "dominated by a single root cause"):
+		return "dominant-cause"
+	case strings.Contains(r.Finding, "external indicators"):
+		return "lead-time"
+	case strings.Contains(r.Finding, "no deducible root cause"):
+		return "unknown-cause"
+	case strings.Contains(r.Finding, "call traces"):
+		return "call-traces"
+	default:
+		return "unknown-rule:" + r.Finding
+	}
+}
+
+// TestRecommendActionsDeterministic checks the per-node action list is
+// sorted by (node, kind) and invariant under diagnosis shuffling.
+func TestRecommendActionsDeterministic(t *testing.T) {
+	_, store := buildScenario(t, 14, 211)
+	res := Run(store, DefaultConfig())
+	acts := RecommendActions(res)
+	if len(acts) == 0 {
+		t.Fatal("scenario produced no node actions")
+	}
+	for i := 1; i < len(acts); i++ {
+		ki, _ := acts[i-1].Node.Key()
+		kj, _ := acts[i].Node.Key()
+		if ki > kj {
+			t.Fatalf("actions not sorted by node at %d: %s after %s",
+				i, acts[i].Node, acts[i-1].Node)
+		}
+		if ki == kj && acts[i-1].Kind > acts[i].Kind {
+			t.Fatalf("actions not sorted by kind within node %s: %q after %q",
+				acts[i].Node, acts[i].Kind, acts[i-1].Kind)
+		}
+	}
+	notify := 0
+	for _, a := range acts {
+		if a.Kind == "notify" {
+			notify++
+			if a.JobID == 0 && a.Cause == "" {
+				t.Errorf("notify action with no job or cause: %+v", a)
+			}
+		}
+	}
+	if notify == 0 {
+		t.Error("S1 scenario should produce notify actions for app-triggered failures")
+	}
+
+	// Shuffling the diagnosis order must not change the action list.
+	shuffled := *res
+	shuffled.Diagnoses = append([]Diagnosis(nil), res.Diagnoses...)
+	rng := rand.New(rand.NewSource(97))
+	rng.Shuffle(len(shuffled.Diagnoses), func(i, j int) {
+		shuffled.Diagnoses[i], shuffled.Diagnoses[j] = shuffled.Diagnoses[j], shuffled.Diagnoses[i]
+	})
+	if got := RecommendActions(&shuffled); !reflect.DeepEqual(got, acts) {
+		t.Fatal("RecommendActions order depends on diagnosis order")
 	}
 }
 

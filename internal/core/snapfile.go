@@ -5,27 +5,72 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
-// SaveSnapshotFile atomically persists the watcher's state to path: the
-// snapshot is written to a temp file and renamed into place, so a crash
-// mid-write leaves the previous checkpoint intact. cmd/watch and the
-// HTTP server share this for their shutdown checkpoints.
+// SaveSnapshotFile atomically and durably persists the watcher's state
+// to path: the snapshot is written to a temp file, fsynced, renamed
+// into place, and the directory entry is fsynced too. A crash at any
+// byte of the write — including a torn temp file — leaves the previous
+// checkpoint intact, and a crash after return leaves the new one
+// readable. cmd/watch and the HTTP server share this for their
+// shutdown checkpoints.
 func SaveSnapshotFile(path string, w *Watcher) error {
 	blob, err := json.Marshal(w.Snapshot())
 	if err != nil {
 		return err
 	}
+	return atomicWriteFile(path, blob)
+}
+
+// atomicWriteFile is the temp + fsync + rename + dir-fsync sequence:
+// the rename only publishes fully durable bytes, and the directory
+// fsync makes the rename itself survive a power cut.
+func atomicWriteFile(path string, blob []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse directory fsync (some network mounts) degrade
+// to the rename's own atomicity rather than failing the checkpoint.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
 }
 
 // LoadSnapshotFile restores a prior run's watcher state from path. A
 // missing file is not an error (restored=false) — the previous run may
-// have stopped before its first checkpoint was due.
+// have stopped before its first checkpoint was due. A leftover temp
+// file from a crashed save is ignored by construction: only the rename
+// publishes a snapshot.
 func LoadSnapshotFile(path string, w *Watcher) (restored bool, err error) {
 	blob, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotFileTornWrite simulates a crash at every byte of a
+// checkpoint save: with a good checkpoint already published, the temp
+// file is truncated at every prefix length of the next snapshot's blob
+// (the on-disk state a crash between write and rename leaves behind).
+// LoadSnapshotFile must keep returning the old checkpoint at every kill
+// point, and a subsequent save must recover cleanly over the debris.
+func TestSnapshotFileTornWrite(t *testing.T) {
+	_, store := buildScenario(t, 2, 7)
+	recs := store.All()
+
+	old := NewWatcher(DefaultConfig(), func(Detection) {})
+	old.FeedAll(recs[:store.Len()/3])
+	next := NewWatcher(DefaultConfig(), func(Detection) {})
+	next.FeedAll(recs[:2*store.Len()/3])
+	if reflect.DeepEqual(old.Snapshot(), next.Snapshot()) {
+		t.Fatal("old and next snapshots identical; torn-write test is vacuous")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "watch.ckpt")
+	if err := SaveSnapshotFile(path, old); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(next.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tmp := path + ".tmp"
+	for n := 0; n <= len(blob); n++ {
+		if err := os.WriteFile(tmp, blob[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w := NewWatcher(DefaultConfig(), func(Detection) {})
+		restored, err := LoadSnapshotFile(path, w)
+		if err != nil || !restored {
+			t.Fatalf("prefix %d/%d: restored=%v err=%v, want old checkpoint intact",
+				n, len(blob), restored, err)
+		}
+		if !reflect.DeepEqual(w.Snapshot(), old.Snapshot()) {
+			t.Fatalf("prefix %d/%d: load returned a state other than the published checkpoint", n, len(blob))
+		}
+	}
+
+	// A fresh save over the leftover temp file publishes the new state.
+	if err := SaveSnapshotFile(path, next); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatcher(DefaultConfig(), func(Detection) {})
+	if restored, err := LoadSnapshotFile(path, w); err != nil || !restored {
+		t.Fatalf("restored=%v err=%v after recovery save", restored, err)
+	}
+	if !reflect.DeepEqual(w.Snapshot(), next.Snapshot()) {
+		t.Fatal("recovery save did not publish the new checkpoint")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file still present after successful save (err=%v)", err)
+	}
+}

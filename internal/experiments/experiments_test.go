@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"s3breakdown", "swo",
 		"ablation-window", "ablation-trace", "ablation-corruption", "ablation-predictor",
 		"extension-checkpoint", "extension-recommend", "extension-mltrace",
-		"extension-chaos-matrix",
+		"extension-chaos-matrix", "extension-remediation",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

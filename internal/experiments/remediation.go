@@ -1,0 +1,86 @@
+package experiments
+
+// extension-remediation: the closed-loop self-healing engine scored
+// counterfactually against the simulator's ground truth on independent
+// seeded scenarios.
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/faultsim"
+	"hpcfail/internal/remedy"
+	"hpcfail/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "extension-remediation",
+		Title: "Closed-loop remediation (SOP engine) scored against simulator ground truth",
+		Paper: "(extension) Table VI: act on diagnoses — suspect mode, admindown, drains, warm swaps — before failures cascade",
+		Run:   runExtensionRemediation,
+	})
+}
+
+// remediationEngineConfig is the engine tuning the experiment replays
+// with: default guards, retries without wall-clock sleeps (the replay
+// runs on virtual time).
+func remediationEngineConfig() remedy.Config {
+	return remedy.Config{BackoffBase: -1}
+}
+
+func runExtensionRemediation(cfg Config) (*Result, error) {
+	cases := []struct {
+		system string
+		seed   uint64
+	}{
+		{"S1", cfg.Seed + 101},
+		{"S3", cfg.Seed + 103},
+	}
+	nDays := days(cfg, 21)
+	span := time.Duration(nDays) * 24 * time.Hour
+
+	tbl := report.NewTable("Remediation vs ground truth over independent seeded scenarios",
+		"system", "failures", "averted", "averted %", "mean lead used",
+		"jobs saved", "jobs requeued", "false actions", "false rate", "executed", "refused")
+	var notes []string
+	totalAverted, totalFailures := 0, 0
+	for _, c := range cases {
+		p, err := profileFor(c.system, cfg)
+		if err != nil {
+			return nil, err
+		}
+		scn, err := faultsim.Generate(p, simStart, simStart.Add(span), c.seed)
+		if err != nil {
+			return nil, err
+		}
+		rcfg := remedy.ReplayConfig{Engine: remediationEngineConfig()}
+		res, err := remedy.Replay(scn, rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: remediation replay %s: %w", c.system, err)
+		}
+		// The ledger is the experiment's own audit trail: re-derive the
+		// safety invariants from it and fail loudly on any violation.
+		if err := remedy.VerifyGuards(res.Tickets, rcfg.Engine); err != nil {
+			return nil, fmt.Errorf("experiments: %s guard violation: %w", c.system, err)
+		}
+		s := res.Score
+		tbl.AddRow(c.system, s.Failures, s.Averted, pct(s.AvertedRate),
+			s.MeanLeadConsumed.Round(time.Minute).String(),
+			s.JobsSaved, s.JobsRequeued, s.FalseActions, pct(s.FalseActionRate),
+			s.Executed, s.Refused)
+		totalAverted += s.Averted
+		totalFailures += s.Failures
+		notes = append(notes, fmt.Sprintf(
+			"%s (seed %d): baseline %d failures hitting %d jobs; loop averted %d using %s mean lead, %d decisions refused by guards",
+			c.system, c.seed, res.Baseline.Failures, res.Baseline.JobsHit,
+			s.Averted, s.MeanLeadConsumed.Round(time.Minute), s.Refused))
+	}
+	if totalAverted == 0 {
+		return nil, fmt.Errorf("experiments: remediation averted nothing across %d failures", totalFailures)
+	}
+	notes = append(notes,
+		"averted = node taken out of service within the avert window before its ground-truth failure; false action = disruptive SOP with no ground-truth failure near it",
+		"guard audit (drain concurrency, cabinet blast radius, duplicate execution) re-verified from the ticket ledger on every run")
+	return &Result{ID: "extension-remediation", Title: "Closed-loop remediation", Tables: []*report.Table{tbl}, Notes: notes}, nil
+}

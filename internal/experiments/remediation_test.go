@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExtensionRemediation runs the closed-loop scoring experiment in
+// quick mode and asserts the acceptance contract: failures averted > 0
+// and a false-action rate reported on both seeded scenarios. Guard
+// violations and ledger divergence fail inside the experiment itself
+// (it re-verifies the ledger), so a clean Result implies both held.
+func TestExtensionRemediation(t *testing.T) {
+	e, ok := ByID("extension-remediation")
+	if !ok {
+		t.Fatal("extension-remediation not registered")
+	}
+	res, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 2 {
+		t.Fatalf("want one table with rows for S1 and S3, got %+v", res.Tables)
+	}
+	for _, row := range res.Tables[0].Rows {
+		system := row[0]
+		failures, err1 := strconv.Atoi(row[1])
+		averted, err2 := strconv.Atoi(row[2])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: unparseable counts in row %v", system, row)
+		}
+		if failures == 0 || averted == 0 {
+			t.Errorf("%s: failures=%d averted=%d, want both > 0", system, failures, averted)
+		}
+		if averted > failures {
+			t.Errorf("%s: averted %d exceeds failures %d", system, averted, failures)
+		}
+		if rate := row[8]; !strings.HasSuffix(rate, "%") {
+			t.Errorf("%s: false-action rate column %q not a percentage", system, rate)
+		}
+	}
+	// Determinism: the scored table must reproduce exactly.
+	again, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != again.String() {
+		t.Error("extension-remediation output is not reproducible")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -19,6 +20,15 @@ type Outcome struct {
 // mutable state; with jobs == 1 the execution order — not just the
 // output order — matches a sequential loop exactly.
 func RunAll(exps []Experiment, cfg Config, jobs int) []Outcome {
+	return RunAllContext(context.Background(), exps, cfg, jobs)
+}
+
+// RunAllContext is RunAll under a context: once ctx is done, no further
+// experiment is dispatched, in-flight experiments finish (experiments
+// are pure compute — abandoning them would leak goroutines), and every
+// undispatched slot carries ctx.Err() as its Outcome error. The call
+// always returns with the worker pool fully drained.
+func RunAllContext(ctx context.Context, exps []Experiment, cfg Config, jobs int) []Outcome {
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -28,6 +38,10 @@ func RunAll(exps []Experiment, cfg Config, jobs int) []Outcome {
 	out := make([]Outcome, len(exps))
 	if jobs <= 1 {
 		for i, e := range exps {
+			if err := ctx.Err(); err != nil {
+				out[i] = Outcome{Experiment: e, Err: err}
+				continue
+			}
 			res, err := e.Run(cfg)
 			out[i] = Outcome{Experiment: e, Result: res, Err: err}
 		}
@@ -41,13 +55,30 @@ func RunAll(exps []Experiment, cfg Config, jobs int) []Outcome {
 			defer wg.Done()
 			for i := range idx {
 				e := exps[i]
+				// The dispatch select below can lose the race against a
+				// just-fired cancellation; re-check here so nothing
+				// starts after ctx is done.
+				if err := ctx.Err(); err != nil {
+					out[i] = Outcome{Experiment: e, Err: err}
+					continue
+				}
 				res, err := e.Run(cfg)
 				out[i] = Outcome{Experiment: e, Result: res, Err: err}
 			}
 		}()
 	}
+dispatch:
 	for i := range exps {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark this and every later experiment as cancelled; the
+			// workers drain whatever was already handed out.
+			for j := i; j < len(exps); j++ {
+				out[j] = Outcome{Experiment: exps[j], Err: ctx.Err()}
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()

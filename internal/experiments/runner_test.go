@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 )
 
@@ -64,6 +66,73 @@ func TestRunAllPropagatesErrors(t *testing.T) {
 	}
 	if out[1].Result != nil {
 		t.Error("failed experiment returned a result")
+	}
+}
+
+// TestRunAllContextCancellation: once the context is cancelled, no new
+// experiment starts, in-flight experiments complete, undispatched slots
+// carry ctx.Err(), and the pool drains (no goroutine leak — verified by
+// the call returning and by counting actual runs).
+func TestRunAllContextCancellation(t *testing.T) {
+	started := make(chan int64)  // signals an experiment began
+	release := make(chan struct{}) // holds in-flight experiments open
+	var runs atomic.Int64
+	mk := func(id string) Experiment {
+		return Experiment{ID: id, Title: id, Run: func(Config) (*Result, error) {
+			started <- runs.Add(1)
+			<-release
+			return &Result{ID: id, Title: id}, nil
+		}}
+	}
+	exps := []Experiment{mk("a"), mk("b"), mk("c"), mk("d"), mk("e"), mk("f")}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []Outcome)
+	go func() { done <- RunAllContext(ctx, exps, quickCfg(), 2) }()
+
+	// Two workers pick up the first two experiments; the dispatcher is
+	// now blocked offering the third. Cancel, then let the in-flight
+	// pair finish.
+	<-started
+	<-started
+	cancel()
+	close(release)
+	out := <-done
+
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("%d experiments ran, want exactly the 2 in flight at cancel", got)
+	}
+	for i, o := range out {
+		if o.Experiment.ID != exps[i].ID {
+			t.Fatalf("outcome %d is %s, want %s", i, o.Experiment.ID, exps[i].ID)
+		}
+	}
+	for _, o := range out[:2] {
+		if o.Err != nil || o.Result == nil {
+			t.Fatalf("in-flight experiment %s: err=%v result=%v, want clean completion", o.Experiment.ID, o.Err, o.Result)
+		}
+	}
+	for _, o := range out[2:] {
+		if o.Err != context.Canceled {
+			t.Fatalf("undispatched experiment %s: err=%v, want context.Canceled", o.Experiment.ID, o.Err)
+		}
+		if o.Result != nil {
+			t.Fatalf("undispatched experiment %s returned a result", o.Experiment.ID)
+		}
+	}
+
+	// A pre-cancelled context runs nothing, sequentially or in parallel.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	for _, jobs := range []int{1, 3} {
+		for _, o := range RunAllContext(pre, exps, quickCfg(), jobs) {
+			if o.Err != context.Canceled {
+				t.Fatalf("jobs=%d: %s err=%v, want context.Canceled", jobs, o.Experiment.ID, o.Err)
+			}
+		}
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("pre-cancelled context still ran experiments (%d total runs)", got)
 	}
 }
 

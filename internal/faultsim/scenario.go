@@ -130,6 +130,27 @@ func (s *Scenario) FailuresBetween(from, to time.Time) []Failure {
 	return out
 }
 
+// FailuresOn returns the ground-truth failures of one node, in time
+// order (Failures is time-sorted, so the restriction is too). The
+// remediation scorer uses this to decide whether an action on a node
+// was prescient or a false alarm.
+func (s *Scenario) FailuresOn(node cname.Name) []Failure {
+	var out []Failure
+	for _, f := range s.Failures {
+		if f.Node == node {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// JobsOn returns the jobs holding the node at time t — the workload a
+// failure at that instant would kill, and what a drain just before it
+// saves.
+func (s *Scenario) JobsOn(node cname.Name, t time.Time) []*workload.Job {
+	return workload.JobsOnNode(s.Jobs, node, t)
+}
+
 // RecordsBetween returns records in [from, to). Records are sorted, so
 // this is a binary-searchable slice; for simplicity it scans (call sites
 // are experiment setup, not hot paths).

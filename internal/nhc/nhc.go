@@ -206,6 +206,22 @@ func AdminDownEvent(t time.Time, node cname.Name, jobID int64) events.Record {
 	return r
 }
 
+// WarmSwapEvent records an admindown node being replaced by a spare —
+// the warm-swap recovery the paper credits for restoring capacity
+// without a service window.
+func WarmSwapEvent(t time.Time, node cname.Name) events.Record {
+	r := events.Record{
+		Time:      t,
+		Stream:    events.StreamMessages,
+		Component: node,
+		Severity:  events.SevInfo,
+		Category:  "warm_swap",
+		Msg:       fmt.Sprintf("HSS: node %s warm-swapped with spare", node),
+	}
+	r.SetField("action", "warmswap")
+	return r
+}
+
 // AppExitEvent records the abnormal application exit the NHC observed —
 // the internal precursor of the paper's app-exit failure class.
 func AppExitEvent(t time.Time, node cname.Name, jobID int64, app string) events.Record {

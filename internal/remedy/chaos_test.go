@@ -1,0 +1,220 @@
+package remedy
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/workload"
+)
+
+// chaosConditions builds a deterministic, adversarial condition stream:
+// episodes in one cabinet (blast-radius pressure), alarm storms
+// (drain-cap pressure), repeat conditions on one node (cooldown and
+// idempotency pressure), hardware causes (multi-SOP fan-out) and exact
+// duplicates (dedup pressure).
+func chaosConditions() []Condition {
+	var conds []Condition
+	at := func(m int) time.Time { return t0.Add(time.Duration(m) * time.Minute) }
+	n := func(cab, chassis, slot, nd int) cname.Name {
+		return cname.MustParse(fmt.Sprintf("c%d-0c%ds%dn%d", cab, chassis, slot, nd))
+	}
+	// Alarm storm across two cabinets.
+	for i := 0; i < 6; i++ {
+		conds = append(conds, alarmCond(n(i%2, 0, i, 0), at(i), true))
+	}
+	// Uncorroborated alarms.
+	for i := 0; i < 3; i++ {
+		conds = append(conds, alarmCond(n(2, 1, i, 1), at(5+i), false))
+	}
+	// A cabinet-concentrated failure episode with hardware causes.
+	for i := 0; i < 5; i++ {
+		conds = append(conds, detCond(n(0, 2, i, 2), at(10+i), "silent_shutdown", 0))
+	}
+	// App-triggered failures (notify fan-out).
+	for i := 0; i < 3; i++ {
+		conds = append(conds, detCond(n(1, 2, i, 3), at(20+i), "nhc_admindown", int64(100+i)))
+	}
+	// Repeat pressure on one node: alarm, then failure, then a second
+	// failure inside the refractory of the guards.
+	hot := n(2, 0, 0, 0)
+	conds = append(conds,
+		alarmCond(hot, at(30), true),
+		detCond(hot, at(35), "node_shutdown", 0),
+		detCond(hot, at(40), "node_shutdown", 0),
+	)
+	// Exact duplicates of earlier conditions (at-least-once delivery).
+	conds = append(conds, conds[0], conds[10], conds[len(conds)-1])
+	return conds
+}
+
+func alarmCond(n cname.Name, at time.Time, ext bool) Condition {
+	return Condition{Node: n, Time: at, Source: SourceAlarm, HasExternal: ext}
+}
+
+func detCond(n cname.Name, at time.Time, cause string, jobID int64) Condition {
+	return Condition{Node: n, Time: at, Source: SourceDetection, Cause: cause, JobID: jobID}
+}
+
+func chaosJobs() []workload.Job {
+	var jobs []workload.Job
+	for i := 0; i < 40; i++ {
+		nd := cname.MustParse(fmt.Sprintf("c%d-0c%ds%dn%d", i%3, i%3, i%8, i%4))
+		jobs = append(jobs, workload.Job{
+			ID:    int64(1000 + i),
+			Nodes: []cname.Name{nd},
+			Start: t0.Add(-time.Hour),
+			End:   t0.Add(time.Duration(i%5+1) * time.Hour),
+		})
+	}
+	return jobs
+}
+
+// runChaos feeds the condition stream through a fresh engine/cluster,
+// servicing the queues after every submit (so the queue is empty at
+// every inter-condition kill point), and returns the ledger.
+func runChaos(conds []Condition, kill int) (ledger []Ticket, cluster *SimCluster, eng *Engine) {
+	cluster = NewSimCluster(chaosJobs(), SimOptions{})
+	eng = New(cluster, DefaultSOPs(cluster), fastConfig())
+	for i, c := range conds {
+		if kill >= 0 && i == kill {
+			break
+		}
+		eng.Submit(c)
+		eng.Service(c.Time)
+	}
+	return eng.Tickets(0), cluster, eng
+}
+
+// TestKillReplayEquivalence kills the engine at every inter-condition
+// point k, restores a fresh engine from the partial ledger (same
+// cluster — actuator state survives a control-plane restart), re-feeds
+// the FULL stream from the beginning (at-least-once delivery), and
+// demands the final ledger be byte-identical to the never-killed run.
+// This is the contract that makes restart safe: no double execution, no
+// lost refusals, no renumbered tickets.
+func TestKillReplayEquivalence(t *testing.T) {
+	conds := chaosConditions()
+	want, _, wantEng := runChaos(conds, -1)
+	if len(want) == 0 {
+		t.Fatal("chaos stream produced an empty ledger; test is vacuous")
+	}
+	if err := VerifyGuards(want, Config{}); err != nil {
+		t.Fatalf("reference run violates guards: %v", err)
+	}
+	wantStats := wantEng.Stats()
+	if wantStats.Executed == 0 || wantStats.Refused == 0 || wantStats.Deduped == 0 {
+		t.Fatalf("chaos stream not adversarial enough: %+v", wantStats)
+	}
+
+	for kill := 0; kill <= len(conds); kill++ {
+		partial, cluster, _ := runChaos(conds, kill)
+
+		restored := New(cluster, DefaultSOPs(cluster), fastConfig())
+		restored.Restore(partial)
+		for _, c := range conds { // full redelivery from the start
+			restored.Submit(c)
+			restored.Service(c.Time)
+		}
+		got := restored.Tickets(0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("kill at %d: restored ledger diverges\n got %d tickets: %+v\nwant %d tickets: %+v",
+				kill, len(got), got, len(want), want)
+		}
+	}
+}
+
+// TestRestoredEngineNeverReExecutes is the sharper idempotency claim:
+// after a restore, redelivering every already-ticketed condition
+// produces zero new tickets and zero actuator calls.
+func TestRestoredEngineNeverReExecutes(t *testing.T) {
+	conds := chaosConditions()
+	ledger, cluster, _ := runChaos(conds, -1)
+
+	auditBefore := len(cluster.Audit())
+	restored := New(cluster, DefaultSOPs(cluster), fastConfig())
+	restored.Restore(ledger)
+	for _, c := range conds {
+		restored.Submit(c)
+	}
+	if n := restored.Service(t0.Add(24 * time.Hour)); n != 0 {
+		t.Fatalf("restored engine processed %d items, want 0; tickets %+v",
+			n, restored.Tickets(ledger[len(ledger)-1].ID))
+	}
+	if got := len(cluster.Audit()); got != auditBefore {
+		t.Fatalf("actuator saw %d new operations after restore", got-auditBefore)
+	}
+	if got := restored.Tickets(0); !reflect.DeepEqual(got, ledger) {
+		t.Fatalf("restored ledger changed: %d vs %d tickets", len(got), len(ledger))
+	}
+}
+
+// TestChaosConcurrentGuards hammers one engine from many goroutines
+// under the race detector and then audits the ledger: no double
+// execution, drain concurrency within the cap, cabinet blast radius
+// within the cap — the invariants must hold under any interleaving.
+func TestChaosConcurrentGuards(t *testing.T) {
+	cluster := NewSimCluster(chaosJobs(), SimOptions{})
+	cfg := fastConfig()
+	cfg.MaxConcurrentDrains = 3
+	cfg.CabinetCap = 4
+	eng := New(cluster, DefaultSOPs(cluster), cfg)
+
+	const feeders = 8
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				at := t0.Add(time.Duration(f*40+i) * 30 * time.Second)
+				nd := cname.MustParse(fmt.Sprintf("c%d-0c%ds%dn%d", f%4, i%3, i%8, i%4))
+				switch i % 3 {
+				case 0:
+					eng.Submit(detCond(nd, at, "silent_shutdown", 0))
+				case 1:
+					eng.Submit(alarmCond(nd, at, true))
+				default:
+					eng.Submit(alarmCond(nd, at, false))
+				}
+				eng.Service(at)
+			}
+		}(f)
+	}
+	// A goroutine toggling the kill switch mid-flight must not corrupt
+	// anything either — refusals are just another decision.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			eng.SetKillSwitch(i%2 == 0)
+		}
+		eng.SetKillSwitch(false)
+	}()
+	wg.Wait()
+	eng.Service(t0.Add(48 * time.Hour))
+
+	ledger := eng.Tickets(0)
+	if len(ledger) == 0 {
+		t.Fatal("no tickets from concurrent hammer")
+	}
+	if err := VerifyGuards(ledger, cfg); err != nil {
+		t.Fatalf("guard invariant violated under concurrency: %v", err)
+	}
+	st := eng.Stats()
+	if st.MaxActiveDrains > cfg.MaxConcurrentDrains {
+		t.Fatalf("MaxActiveDrains %d exceeds cap %d", st.MaxActiveDrains, cfg.MaxConcurrentDrains)
+	}
+	if st.MaxCabinetWindow > cfg.CabinetCap {
+		t.Fatalf("MaxCabinetWindow %d exceeds cap %d", st.MaxCabinetWindow, cfg.CabinetCap)
+	}
+	// Ledger ids are a gapless total order regardless of interleaving.
+	for i, tk := range ledger {
+		if tk.ID != int64(i+1) {
+			t.Fatalf("ticket %d has id %d; ledger not densely ordered", i, tk.ID)
+		}
+	}
+}

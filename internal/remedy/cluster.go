@@ -1,0 +1,227 @@
+package remedy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/nhc"
+	"hpcfail/internal/workload"
+)
+
+// SimOptions tunes the simulated actuator.
+type SimOptions struct {
+	// DrainDuration is how long a drain takes before the node reads
+	// Drained (default 10m; keep consistent with Config.DrainDuration).
+	DrainDuration time.Duration
+	// Spares is the warm-swap spare pool size (default 8).
+	Spares int
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.DrainDuration <= 0 {
+		o.DrainDuration = 10 * time.Minute
+	}
+	if o.Spares == 0 {
+		o.Spares = 8
+	}
+	return o
+}
+
+// Requeue records one job pulled off a draining node.
+type Requeue struct {
+	// JobID is the requeued job.
+	JobID int64
+	// Node is the drained node it was pulled from.
+	Node cname.Name
+	// Time is the requeue instant.
+	Time time.Time
+}
+
+// SimCluster is the simulated actuator: it tracks per-node service
+// state against the scenario's job stream, requeues jobs on drain, and
+// appends the operational log records (NHC, scheduler, HSS) each action
+// would produce on a real system. Nodes it has never been asked about
+// are in service. Safe for concurrent use.
+type SimCluster struct {
+	mu     sync.Mutex
+	opts   SimOptions
+	jobs   []workload.Job
+	nodes  map[cname.Name]*simNode
+	spares int
+
+	requeues []Requeue
+	audit    []events.Record
+}
+
+type simNode struct {
+	state   ServiceState
+	since   time.Time
+	swapped bool
+}
+
+// NewSimCluster builds the actuator over a scenario's job stream (nil
+// is fine — drains then requeue nothing).
+func NewSimCluster(jobs []workload.Job, opts SimOptions) *SimCluster {
+	o := opts.withDefaults()
+	return &SimCluster{
+		opts:   o,
+		jobs:   jobs,
+		nodes:  make(map[cname.Name]*simNode),
+		spares: o.Spares,
+	}
+}
+
+// Status implements Cluster. A draining node whose DrainDuration has
+// elapsed reads Drained.
+func (c *SimCluster) Status(node cname.Name, now time.Time) NodeStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[node]
+	if !ok {
+		return NodeStatus{Node: node, State: StateInService}
+	}
+	st := NodeStatus{Node: node, State: n.state, Since: n.since, Swapped: n.swapped}
+	if n.state == StateDraining && now.Sub(n.since) >= c.opts.DrainDuration {
+		st.State = StateDrained
+	}
+	return st
+}
+
+// get returns (creating if needed) the node record.
+func (c *SimCluster) get(node cname.Name) *simNode {
+	n, ok := c.nodes[node]
+	if !ok {
+		n = &simNode{state: StateInService}
+		c.nodes[node] = n
+	}
+	return n
+}
+
+// Suspect implements Cluster.
+func (c *SimCluster) Suspect(node cname.Name, now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.get(node)
+	if n.state == StateAdminDown {
+		return fmt.Errorf("remedy: %s is admindown; cannot enter suspect mode", node)
+	}
+	n.state, n.since = StateSuspect, now
+	c.audit = append(c.audit, nhc.SuspectEvent(now, node))
+	return nil
+}
+
+// AdminDown implements Cluster.
+func (c *SimCluster) AdminDown(node cname.Name, now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.get(node)
+	if n.state == StateAdminDown {
+		return fmt.Errorf("remedy: %s is already admindown", node)
+	}
+	n.state, n.since = StateAdminDown, now
+	c.audit = append(c.audit, nhc.AdminDownEvent(now, node, 0))
+	return nil
+}
+
+// Drain implements Cluster: the node leaves the schedulable pool and
+// every job holding it at now is requeued.
+func (c *SimCluster) Drain(node cname.Name, now time.Time) ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.get(node)
+	switch n.state {
+	case StateInService, StateSuspect:
+	default:
+		return nil, fmt.Errorf("remedy: %s is %s; cannot drain", node, n.state)
+	}
+	n.state, n.since = StateDraining, now
+	c.audit = append(c.audit, workload.DrainEvent(now, node))
+	var ids []int64
+	for _, j := range workload.JobsOnNode(c.jobs, node, now) {
+		ids = append(ids, j.ID)
+		c.requeues = append(c.requeues, Requeue{JobID: j.ID, Node: node, Time: now})
+		c.audit = append(c.audit, workload.RequeueEvent(now, node, j.ID))
+	}
+	return ids, nil
+}
+
+// WarmSwap implements Cluster: an admindown node is replaced by a
+// spare, consuming one from the pool.
+func (c *SimCluster) WarmSwap(node cname.Name, now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.get(node)
+	if n.state != StateAdminDown {
+		return fmt.Errorf("remedy: %s is %s; warm swap needs admindown", node, n.state)
+	}
+	if n.swapped {
+		return fmt.Errorf("remedy: %s already swapped", node)
+	}
+	if c.spares <= 0 {
+		return fmt.Errorf("remedy: spare pool exhausted")
+	}
+	c.spares--
+	n.swapped = true
+	c.audit = append(c.audit, nhc.WarmSwapEvent(now, node))
+	return nil
+}
+
+// Notify implements Cluster; the notification only lands in the audit
+// log (there is no simulated inbox).
+func (c *SimCluster) Notify(node cname.Name, jobID int64, now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := events.Record{
+		Time:      now,
+		Stream:    events.StreamScheduler,
+		Component: node,
+		Severity:  events.SevInfo,
+		Category:  "user_notify",
+		JobID:     jobID,
+		Msg:       fmt.Sprintf("notify: job %d owner informed of app-triggered event on %s", jobID, node),
+	}
+	c.audit = append(c.audit, r)
+	return nil
+}
+
+// Audit returns a copy of the operational log the actions produced.
+func (c *SimCluster) Audit() []events.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]events.Record, len(c.audit))
+	copy(out, c.audit)
+	return out
+}
+
+// Requeues returns a copy of every job requeue performed.
+func (c *SimCluster) Requeues() []Requeue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Requeue, len(c.requeues))
+	copy(out, c.requeues)
+	return out
+}
+
+// SparesLeft reports the remaining warm-swap pool.
+func (c *SimCluster) SparesLeft() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spares
+}
+
+// OutOfService counts nodes currently not schedulable.
+func (c *SimCluster) OutOfService() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, nd := range c.nodes {
+		switch nd.state {
+		case StateDraining, StateDrained, StateAdminDown:
+			n++
+		}
+	}
+	return n
+}

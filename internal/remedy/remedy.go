@@ -1,0 +1,791 @@
+// Package remedy closes the loop the paper leaves open: it turns the
+// pipeline's confirmed detections and early-warning alarms into the
+// operational actions the studied sites actually take — NHC suspect
+// mode, admindown, drain-and-requeue, warm swap — executed against the
+// simulated cluster, and scores the outcome against simulator ground
+// truth.
+//
+// The engine follows the Aegis SOP shape: every standard operating
+// procedure implements an Evaluate idempotency pre-check (never repeat
+// a repair, never act on a node already admindown or draining) and an
+// Execute step with a per-SOP timeout, bounded retries with
+// deterministic-jitter backoff, and a per-SOP circuit breaker.
+// Conditions flow through four priority queues drained by a weighted
+// round-robin scheduler, so a P0 storm cannot starve housekeeping.
+//
+// Robustness is the design center, not a garnish. A misfiring rule
+// must degrade gracefully instead of amplifying the outage, so every
+// action passes cluster-level safety guards first: a global kill
+// switch, a per-node cooldown, a cap on concurrent drains, and a
+// per-cabinet blast-radius cap over a sliding window. Every decision —
+// executions, failures, and refusals alike — lands in an append-only
+// ticket ledger; Restore replays a ledger into a fresh engine so a
+// restarted process never re-executes work it already ticketed.
+//
+// Virtual time: the engine never reads the wall clock. Callers pass
+// `now` into Step/Service, which is what lets the scoring harness
+// replay weeks of simulated history in milliseconds and keeps every
+// decision deterministic for the ledger-replay equivalence tests.
+package remedy
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/rng"
+)
+
+// Priority ranks a queued condition. P0 is most urgent.
+type Priority int
+
+const (
+	// P0: confirmed failures — the node is down, take it out of service.
+	P0 Priority = iota
+	// P1: corroborated early warnings — disruptive prevention (drain).
+	P1
+	// P2: uncorroborated warnings and follow-up repairs (suspect, swap).
+	P2
+	// P3: housekeeping and notification.
+	P3
+
+	numPriorities
+)
+
+// Kind identifies a standard operating procedure.
+type Kind int
+
+const (
+	// KindAdminDown removes a confirmed-failed node from service.
+	KindAdminDown Kind = iota
+	// KindDrain requeues the node's jobs and takes it out of the
+	// schedulable pool ahead of a predicted failure.
+	KindDrain
+	// KindSuspect places the node in NHC suspect mode (re-test on the
+	// next anomaly; non-disruptive).
+	KindSuspect
+	// KindWarmSwap replaces an admindown node with a spare.
+	KindWarmSwap
+	// KindNotify tells the owning user their application triggered the
+	// event (the paper's Finding 3: app-triggered failures are a user
+	// conversation, not only a hardware ticket).
+	KindNotify
+
+	numKinds
+)
+
+var kindNames = [...]string{"admindown", "drain", "suspect", "warmswap", "notify"}
+
+// String returns the SOP's kebab-case name.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind inverts String.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("remedy: unknown SOP kind %q", s)
+}
+
+// Disruptive reports whether the SOP takes an in-service node away from
+// the workload — the actions the safety guards meter.
+func (k Kind) Disruptive() bool { return k == KindAdminDown || k == KindDrain }
+
+// Source says what produced a condition.
+type Source int
+
+const (
+	// SourceDetection: a confirmed failure from the detector/watcher.
+	SourceDetection Source = iota
+	// SourceAlarm: an early-warning precursor burst from the watcher.
+	SourceAlarm
+	// SourceAction: a batch recommendation (core.RecommendActions).
+	SourceAction
+)
+
+var sourceNames = [...]string{"detection", "alarm", "action"}
+
+// String returns the source name.
+func (s Source) String() string {
+	if s >= 0 && int(s) < len(sourceNames) {
+		return sourceNames[s]
+	}
+	return fmt.Sprintf("source(%d)", int(s))
+}
+
+// Condition is one observed reason to act on a node.
+type Condition struct {
+	// Node is the subject.
+	Node cname.Name
+	// Time is when the condition was observed (virtual time).
+	Time time.Time
+	// Source says which part of the pipeline raised it.
+	Source Source
+	// Cause carries the terminal category or root-cause hint, if known.
+	Cause string
+	// JobID links application-triggered conditions to the job.
+	JobID int64
+	// HasExternal marks alarms corroborated by external indicators —
+	// the paper's Fig 14 lesson: corroborated warnings deserve the
+	// disruptive response, uncorroborated ones the cautious one.
+	HasExternal bool
+}
+
+// ServiceState is a node's position in the service lifecycle.
+type ServiceState int
+
+const (
+	// StateInService: schedulable, healthy as far as anyone knows.
+	StateInService ServiceState = iota
+	// StateSuspect: NHC suspect mode; schedulable but watched.
+	StateSuspect
+	// StateDraining: out of the schedulable pool, jobs requeued, drain
+	// completing.
+	StateDraining
+	// StateDrained: drain complete; idle and out of service.
+	StateDrained
+	// StateAdminDown: removed from service by the NHC.
+	StateAdminDown
+)
+
+var stateNames = [...]string{"in-service", "suspect", "draining", "drained", "admindown"}
+
+// String returns the state name.
+func (s ServiceState) String() string {
+	if s >= 0 && int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// NodeStatus is the cluster's view of one node, handed to SOPs.
+type NodeStatus struct {
+	// Node is the subject.
+	Node cname.Name
+	// State is the current service state.
+	State ServiceState
+	// Since is when the node entered State.
+	Since time.Time
+	// Swapped marks admindown nodes already replaced by a spare.
+	Swapped bool
+	// AsOf is the virtual decision time the status was read at (filled
+	// by the engine before dispatch; SOPs use it for actuator calls).
+	AsOf time.Time
+	// Cond is the triggering condition (filled by the engine before
+	// dispatch, not by the cluster).
+	Cond Condition
+}
+
+// Cluster is the actuator the SOPs drive. SimCluster implements it
+// against the simulated machine; a production implementation would wrap
+// the real NHC/scheduler control plane. Implementations must be safe
+// for concurrent use.
+type Cluster interface {
+	// Status reports the node's current service state at virtual time
+	// now (time-dependent transitions like drain completion resolve
+	// against now).
+	Status(node cname.Name, now time.Time) NodeStatus
+	// Suspect places the node in NHC suspect mode.
+	Suspect(node cname.Name, now time.Time) error
+	// AdminDown removes the node from service.
+	AdminDown(node cname.Name, now time.Time) error
+	// Drain removes the node from the schedulable pool and requeues the
+	// jobs running on it, returning their ids.
+	Drain(node cname.Name, now time.Time) ([]int64, error)
+	// WarmSwap replaces an admindown node with a spare.
+	WarmSwap(node cname.Name, now time.Time) error
+	// Notify records a user notification for an app-triggered event.
+	Notify(node cname.Name, jobID int64, now time.Time) error
+}
+
+// SOP is one standard operating procedure. Implementations must honour
+// the context deadline in both methods — the engine's per-SOP timeout
+// is delivered through it.
+type SOP interface {
+	// Kind identifies the procedure.
+	Kind() Kind
+	// Priority is the queue the procedure's conditions land in.
+	Priority() Priority
+	// Evaluate is the idempotency pre-check: it reports whether
+	// executing now is still meaningful. A repair already applied, a
+	// node already admindown or draining, a missing precondition — all
+	// return false, and the engine tickets a refusal instead of acting.
+	Evaluate(ctx context.Context, node cname.Name, st NodeStatus) bool
+	// Execute performs the action. Errors are retried with backoff up
+	// to the engine's attempt budget, then ticketed as failed.
+	Execute(ctx context.Context, node cname.Name, st NodeStatus) error
+}
+
+// Config tunes the engine. The zero value selects the defaults below.
+type Config struct {
+	// MaxConcurrentDrains caps simultaneously draining nodes (default 4).
+	MaxConcurrentDrains int
+	// DrainDuration is how long a drain occupies a concurrency slot in
+	// virtual time (default 10m). Keep it consistent with the actuator.
+	DrainDuration time.Duration
+	// CabinetCap is the blast-radius cap: at most this many disruptive
+	// actions per cabinet per CabinetWindow (default 8).
+	CabinetCap int
+	// CabinetWindow is the blast-radius sliding window (default 30m).
+	CabinetWindow time.Duration
+	// NodeCooldown refuses a second disruptive action on one node
+	// within this gap (default 30m).
+	NodeCooldown time.Duration
+	// SOPTimeout bounds each Evaluate/Execute call (default 2s wall
+	// time — the one real-time knob; everything else is virtual).
+	SOPTimeout time.Duration
+	// MaxAttempts bounds Execute retries (default 3).
+	MaxAttempts int
+	// BackoffBase is the first retry delay, doubling per attempt with
+	// ±50 % deterministic jitter (default 1ms; negative disables the
+	// sleep entirely, for tests).
+	BackoffBase time.Duration
+	// BreakerThreshold opens a SOP's circuit breaker after this many
+	// consecutive ticketed failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses that SOP, in
+	// virtual time (default 1h).
+	BreakerCooldown time.Duration
+	// Seed drives the retry jitter (default 1).
+	Seed uint64
+	// Sleep replaces time.Sleep for retry backoff when set (tests).
+	Sleep func(time.Duration)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentDrains <= 0 {
+		c.MaxConcurrentDrains = 4
+	}
+	if c.DrainDuration <= 0 {
+		c.DrainDuration = 10 * time.Minute
+	}
+	if c.CabinetCap <= 0 {
+		c.CabinetCap = 8
+	}
+	if c.CabinetWindow <= 0 {
+		c.CabinetWindow = 30 * time.Minute
+	}
+	if c.NodeCooldown <= 0 {
+		c.NodeCooldown = 30 * time.Minute
+	}
+	if c.SOPTimeout <= 0 {
+		c.SOPTimeout = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Hour
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// condKey identifies a (node, kind, condition-time) triple for
+// duplicate suppression across at-least-once delivery and restarts.
+type condKey struct {
+	node cname.Name
+	kind Kind
+	unix int64
+}
+
+// item is one queued unit of work.
+type item struct {
+	cond Condition
+	kind Kind
+	seq  int64
+}
+
+// Stats counts engine activity; high-water marks back the guard audits.
+type Stats struct {
+	// Submitted counts conditions offered; Deduped the duplicates
+	// suppressed; Queued what actually entered a queue.
+	Submitted, Deduped, Queued int
+	// Executed/Refused/Failed partition the ticketed decisions.
+	Executed, Refused, Failed int
+	// Downgraded counts drains demoted to suspect by a guard.
+	Downgraded int
+	// MaxActiveDrains is the high-water mark of concurrently draining
+	// nodes the engine itself initiated.
+	MaxActiveDrains int
+	// MaxCabinetWindow is the high-water mark of disruptive actions
+	// within one cabinet inside one CabinetWindow.
+	MaxCabinetWindow int
+}
+
+// Engine routes conditions to SOPs under the safety contract. Safe for
+// concurrent use; all decisions serialise on one mutex so the ticket
+// ledger is a total order.
+type Engine struct {
+	mu      sync.Mutex
+	cfg     Config
+	cluster Cluster
+	sops    map[Kind]SOP
+
+	queues  [numPriorities][]item
+	credits [numPriorities]int
+	cursor  Priority
+	seq     int64
+
+	seen    map[condKey]bool
+	tickets []Ticket
+	nextID  int64
+
+	lastAction map[cname.Name]time.Time // last executed disruptive action per node
+	draining   map[cname.Name]time.Time // engine-initiated drain start times
+	cabinet    map[cname.Name][]time.Time
+	breakers   map[Kind]*breaker
+
+	// clock is the monotonic virtual-time watermark; decisions never
+	// run at a time before it (see decideLocked).
+	clock time.Time
+
+	killed bool
+	stats  Stats
+}
+
+// queueWeights is the weighted-round-robin share of each priority per
+// scheduling cycle: a full cycle serves up to 8 P0, 4 P1, 2 P2 and 1 P3
+// items, so even a P0 storm leaves the lower queues a guaranteed share.
+var queueWeights = [numPriorities]int{8, 4, 2, 1}
+
+// New builds an engine over the actuator with the given SOP set.
+func New(cluster Cluster, sops []SOP, cfg Config) *Engine {
+	e := &Engine{
+		cfg:        cfg.withDefaults(),
+		cluster:    cluster,
+		sops:       make(map[Kind]SOP, len(sops)),
+		seen:       make(map[condKey]bool),
+		nextID:     1,
+		cursor:     numPriorities - 1,
+		lastAction: make(map[cname.Name]time.Time),
+		draining:   make(map[cname.Name]time.Time),
+		cabinet:    make(map[cname.Name][]time.Time),
+		breakers:   make(map[Kind]*breaker),
+	}
+	for _, s := range sops {
+		e.sops[s.Kind()] = s
+	}
+	return e
+}
+
+// Route maps a condition to the SOP kinds that should handle it:
+// confirmed failures go admindown (plus warm swap for hardware causes
+// and a user notification for app-triggered ones); corroborated alarms
+// drain; uncorroborated alarms only suspect.
+func Route(c Condition) []Kind {
+	switch c.Source {
+	case SourceDetection:
+		kinds := []Kind{KindAdminDown}
+		if hardwareCause(c.Cause) {
+			kinds = append(kinds, KindWarmSwap)
+		}
+		if c.JobID != 0 {
+			kinds = append(kinds, KindNotify)
+		}
+		return kinds
+	case SourceAlarm:
+		if c.HasExternal {
+			return []Kind{KindDrain}
+		}
+		return []Kind{KindSuspect}
+	default:
+		return nil
+	}
+}
+
+// hardwareCause reports whether a cause hint names a condition a warm
+// swap addresses (the board is the problem, not the software on it).
+func hardwareCause(cause string) bool {
+	switch cause {
+	case "mce", "cpu-corruption", "hardware-other", "silent_shutdown":
+		return true
+	}
+	return false
+}
+
+// Submit routes a condition and enqueues one item per SOP kind.
+// Duplicate (node, kind, time) triples — at-least-once redelivery,
+// restart replays — are suppressed against the seen-set the ledger
+// rebuilds. It returns how many items were enqueued.
+func (e *Engine) Submit(c Condition) int {
+	n := 0
+	for _, k := range Route(c) {
+		if e.SubmitKind(c, k) {
+			n++
+		}
+	}
+	return n
+}
+
+// SubmitKind enqueues the condition for one specific SOP, bypassing
+// routing (the batch-recommendation bridge uses this). It reports
+// whether the item was enqueued (false = duplicate or unknown kind).
+func (e *Engine) SubmitKind(c Condition, k Kind) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.submitLocked(c, k)
+}
+
+func (e *Engine) submitLocked(c Condition, k Kind) bool {
+	e.stats.Submitted++
+	sop, ok := e.sops[k]
+	if !ok {
+		return false
+	}
+	key := condKey{node: c.Node, kind: k, unix: c.Time.UnixNano()}
+	if e.seen[key] {
+		e.stats.Deduped++
+		return false
+	}
+	e.seen[key] = true
+	e.seq++
+	p := sop.Priority()
+	e.queues[p] = append(e.queues[p], item{cond: c, kind: k, seq: e.seq})
+	e.stats.Queued++
+	return true
+}
+
+// QueueDepths returns the current per-priority queue lengths.
+func (e *Engine) QueueDepths() [4]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var d [4]int
+	for p := range e.queues {
+		d[p] = len(e.queues[p])
+	}
+	return d
+}
+
+// SetKillSwitch engages or releases the global kill switch. While
+// engaged, every processed item is refused (and ticketed as such) —
+// the big red button when the loop itself is suspected.
+func (e *Engine) SetKillSwitch(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.killed = on
+}
+
+// KillSwitch reports the switch position.
+func (e *Engine) KillSwitch() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.killed
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Step processes one queued item at virtual time now, appending exactly
+// one ticket. It reports whether any work was found.
+func (e *Engine) Step(now time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.pickLocked()
+	if !ok {
+		return false
+	}
+	e.decideLocked(it, now)
+	return true
+}
+
+// Service drains every queue at virtual time now (items enqueued by the
+// decisions themselves — e.g. a downgraded drain — are processed too).
+// It returns the number of tickets appended.
+func (e *Engine) Service(now time.Time) int {
+	n := 0
+	for e.Step(now) {
+		n++
+	}
+	return n
+}
+
+// pickLocked implements the weighted round-robin over the four queues.
+// When every queue is empty it resets the cursor and credits to their
+// canonical initial state: the scheduler's position is then a pure
+// function of queue content, so an idle Service call is a true no-op
+// and a restored engine schedules identically to one that never died.
+func (e *Engine) pickLocked() (item, bool) {
+	for scanned := 0; scanned <= int(numPriorities); {
+		p := e.cursor
+		if e.credits[p] > 0 && len(e.queues[p]) > 0 {
+			e.credits[p]--
+			it := e.queues[p][0]
+			e.queues[p] = e.queues[p][1:]
+			return it, true
+		}
+		e.cursor = (p + 1) % numPriorities
+		e.credits[e.cursor] = queueWeights[e.cursor]
+		scanned++
+	}
+	e.cursor = numPriorities - 1
+	e.credits = [numPriorities]int{}
+	return item{}, false
+}
+
+// decideLocked runs one item through guards, Evaluate and Execute, and
+// commits the resulting ticket. Virtual time is clamped to the engine's
+// monotonic watermark first: concurrent feeders may present
+// out-of-order `now`s, and letting time run backwards would corrupt
+// the sliding-window guards (a future-time decision prunes a drain
+// slot an earlier-time decision still overlaps).
+func (e *Engine) decideLocked(it item, now time.Time) {
+	if now.Before(e.clock) {
+		now = e.clock
+	}
+	t := Ticket{
+		ID:       e.nextID,
+		Time:     now,
+		Node:     it.cond.Node.String(),
+		Kind:     it.kind.String(),
+		Priority: int(e.sops[it.kind].Priority()),
+		Source:   it.cond.Source.String(),
+		Cause:    it.cond.Cause,
+		CondTime: it.cond.Time,
+		JobID:    it.cond.JobID,
+	}
+	sop := e.sops[it.kind]
+
+	if e.killed {
+		e.commitLocked(refuse(t, "kill switch engaged"))
+		return
+	}
+	if br := e.breakers[it.kind]; br != nil && br.open(now) {
+		e.commitLocked(refuse(t, "circuit breaker open"))
+		return
+	}
+
+	st := e.cluster.Status(it.cond.Node, now)
+	st.AsOf = now
+	st.Cond = it.cond
+
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.SOPTimeout)
+	applicable := sop.Evaluate(ctx, it.cond.Node, st)
+	cancel()
+	if !applicable {
+		e.commitLocked(refuse(t, "idempotency pre-check: not applicable (state "+st.State.String()+")"))
+		return
+	}
+
+	if reason, downgrade := e.guardLocked(it.kind, it.cond.Node, now); reason != "" {
+		if downgrade {
+			t = refuse(t, reason+"; downgraded to suspect")
+			e.commitLocked(t)
+			e.stats.Downgraded++
+			// Re-enter through the normal path so the suspect decision
+			// gets its own ticket, dedup and guards.
+			e.submitLocked(it.cond, KindSuspect)
+			return
+		}
+		e.commitLocked(refuse(t, reason))
+		return
+	}
+
+	var err error
+	for t.Attempts = 1; ; t.Attempts++ {
+		ctx, cancel := context.WithTimeout(context.Background(), e.cfg.SOPTimeout)
+		err = sop.Execute(ctx, it.cond.Node, st)
+		cancel()
+		if err == nil || t.Attempts >= e.cfg.MaxAttempts {
+			break
+		}
+		e.sleepBackoff(it.kind, it.cond.Node, t.Attempts)
+	}
+	if err != nil {
+		t.Decision = DecisionFailed
+		t.Reason = err.Error()
+		e.commitLocked(t)
+		return
+	}
+	t.Decision = DecisionExecuted
+	if rr, ok := sop.(requeueReporter); ok {
+		t.Requeued = rr.LastRequeued()
+	}
+	e.commitLocked(t)
+}
+
+// requeueReporter lets a SOP surface the job ids its last Execute
+// requeued, so the ticket carries them (the engine serialises
+// decisions, so a per-SOP scratch field is race-free).
+type requeueReporter interface {
+	LastRequeued() []int64
+}
+
+// refuse fills the refusal fields.
+func refuse(t Ticket, reason string) Ticket {
+	t.Decision = DecisionRefused
+	t.Reason = reason
+	return t
+}
+
+// guardLocked applies the cluster-level safety guards to a disruptive
+// action. It returns a non-empty refusal reason when a guard trips, and
+// whether the refusal should downgrade to a suspect instead (drains
+// blocked by capacity guards degrade to the non-disruptive response
+// rather than dropping the warning on the floor).
+func (e *Engine) guardLocked(k Kind, node cname.Name, now time.Time) (reason string, downgrade bool) {
+	if !k.Disruptive() {
+		return "", false
+	}
+	if last, ok := e.lastAction[node]; ok && now.Sub(last) < e.cfg.NodeCooldown {
+		return fmt.Sprintf("node cooldown: last disruptive action %s ago", now.Sub(last)), false
+	}
+	if k == KindDrain && e.activeDrainsLocked(now) >= e.cfg.MaxConcurrentDrains {
+		return fmt.Sprintf("concurrent-drain cap reached (%d)", e.cfg.MaxConcurrentDrains), true
+	}
+	cab := node.CabinetName()
+	if e.cabinetCountLocked(cab, now) >= e.cfg.CabinetCap {
+		return fmt.Sprintf("cabinet blast-radius cap reached (%d in %s)", e.cfg.CabinetCap, e.cfg.CabinetWindow), k == KindDrain
+	}
+	return "", false
+}
+
+// activeDrainsLocked counts engine-initiated drains still inside their
+// DrainDuration at now, pruning completed ones.
+func (e *Engine) activeDrainsLocked(now time.Time) int {
+	n := 0
+	for node, start := range e.draining {
+		if now.Sub(start) < e.cfg.DrainDuration {
+			n++
+		} else {
+			delete(e.draining, node)
+		}
+	}
+	return n
+}
+
+// cabinetCountLocked counts disruptive actions in the cabinet within
+// the blast-radius window ending at now, pruning older entries.
+func (e *Engine) cabinetCountLocked(cab cname.Name, now time.Time) int {
+	times := e.cabinet[cab]
+	keep := times[:0]
+	for _, ts := range times {
+		if now.Sub(ts) <= e.cfg.CabinetWindow {
+			keep = append(keep, ts)
+		}
+	}
+	e.cabinet[cab] = keep
+	return len(keep)
+}
+
+// commitLocked appends the ticket and folds it into the guard state.
+// Restore drives the same fold, which is what makes a restored engine
+// behave identically to one that never died.
+func (e *Engine) commitLocked(t Ticket) {
+	e.tickets = append(e.tickets, t)
+	e.nextID = t.ID + 1
+	e.applyLocked(t)
+}
+
+// applyLocked updates dedup, guard, breaker and clock state from one
+// ticket.
+func (e *Engine) applyLocked(t Ticket) {
+	if t.Time.After(e.clock) {
+		e.clock = t.Time
+	}
+	kind, err := ParseKind(t.Kind)
+	if err != nil {
+		return
+	}
+	node, nerr := cname.Parse(t.Node)
+	key := condKey{node: node, kind: kind, unix: t.CondTime.UnixNano()}
+	if nerr == nil {
+		e.seen[key] = true
+	}
+	switch t.Decision {
+	case DecisionExecuted:
+		e.stats.Executed++
+		if br := e.breakers[kind]; br != nil {
+			br.success()
+		}
+		if kind.Disruptive() && nerr == nil {
+			e.lastAction[node] = t.Time
+			cab := node.CabinetName()
+			e.cabinet[cab] = append(e.cabinet[cab], t.Time)
+			if n := e.cabinetCountLocked(cab, t.Time); n > e.stats.MaxCabinetWindow {
+				e.stats.MaxCabinetWindow = n
+			}
+		}
+		if kind == KindDrain && nerr == nil {
+			e.draining[node] = t.Time
+			if n := e.activeDrainsLocked(t.Time); n > e.stats.MaxActiveDrains {
+				e.stats.MaxActiveDrains = n
+			}
+		}
+	case DecisionFailed:
+		e.stats.Failed++
+		br := e.breakers[kind]
+		if br == nil {
+			br = &breaker{threshold: e.cfg.BreakerThreshold, cooldown: e.cfg.BreakerCooldown}
+			e.breakers[kind] = br
+		}
+		br.failure(t.Time)
+	case DecisionRefused:
+		e.stats.Refused++
+	}
+}
+
+// sleepBackoff pauses between Execute retries: base×2ⁿ⁻¹ with ±50 %
+// deterministic jitter keyed by SOP kind, node and attempt — the same
+// supervisor idiom the ingestion pipeline uses, so two runs with one
+// seed back off identically.
+func (e *Engine) sleepBackoff(k Kind, node cname.Name, attempt int) {
+	if e.cfg.BackoffBase < 0 {
+		return
+	}
+	base := float64(e.cfg.BackoffBase << uint(attempt-1))
+	r := rng.New(e.cfg.Seed).Split(fmt.Sprintf("backoff/%s/%s/%d", k, node, attempt))
+	d := time.Duration(r.Jitter(base, 0.5))
+	if e.cfg.Sleep != nil {
+		e.cfg.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// breaker is a per-SOP circuit breaker: consecutive ticketed failures
+// open it; an open breaker refuses the SOP until the (virtual)
+// cooldown passes, then one success closes it.
+type breaker struct {
+	threshold   int
+	cooldown    time.Duration
+	consecutive int
+	openUntil   time.Time
+}
+
+func (b *breaker) failure(now time.Time) {
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+func (b *breaker) success() {
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+}
+
+func (b *breaker) open(now time.Time) bool {
+	return !b.openUntil.IsZero() && now.Before(b.openUntil)
+}

@@ -1,0 +1,470 @@
+package remedy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/workload"
+)
+
+var t0 = time.Date(2015, 3, 2, 12, 0, 0, 0, time.UTC)
+
+func node(t *testing.T, s string) cname.Name {
+	t.Helper()
+	return cname.MustParse(s)
+}
+
+// fastConfig disables real sleeps so retry tests run instantly.
+func fastConfig() Config {
+	return Config{BackoffBase: -1}
+}
+
+func detection(n cname.Name, at time.Time, cause string, jobID int64) Condition {
+	return Condition{Node: n, Time: at, Source: SourceDetection, Cause: cause, JobID: jobID}
+}
+
+func alarm(n cname.Name, at time.Time, ext bool) Condition {
+	return Condition{Node: n, Time: at, Source: SourceAlarm, HasExternal: ext}
+}
+
+func TestRoute(t *testing.T) {
+	n := cname.MustParse("c0-0c0s0n0")
+	cases := []struct {
+		cond Condition
+		want []Kind
+	}{
+		{detection(n, t0, "node_shutdown", 0), []Kind{KindAdminDown}},
+		{detection(n, t0, "silent_shutdown", 0), []Kind{KindAdminDown, KindWarmSwap}},
+		{detection(n, t0, "nhc_admindown", 77), []Kind{KindAdminDown, KindNotify}},
+		{alarm(n, t0, true), []Kind{KindDrain}},
+		{alarm(n, t0, false), []Kind{KindSuspect}},
+	}
+	for _, c := range cases {
+		if got := Route(c.cond); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Route(%+v) = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestExecuteAndIdempotency(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{})
+	eng := New(cluster, DefaultSOPs(cluster), fastConfig())
+	n := node(t, "c0-0c0s0n0")
+
+	if got := eng.Submit(detection(n, t0, "node_shutdown", 0)); got != 1 {
+		t.Fatalf("Submit queued %d items, want 1", got)
+	}
+	eng.Service(t0)
+	tk := eng.Tickets(0)
+	if len(tk) != 1 || tk[0].Decision != DecisionExecuted || tk[0].Kind != "admindown" {
+		t.Fatalf("unexpected ledger %+v", tk)
+	}
+	if st := cluster.Status(n, t0); st.State != StateAdminDown {
+		t.Fatalf("node state = %s, want admindown", st.State)
+	}
+
+	// Same condition again: suppressed before it even queues.
+	if got := eng.Submit(detection(n, t0, "node_shutdown", 0)); got != 0 {
+		t.Fatalf("duplicate submit queued %d items, want 0", got)
+	}
+	// A new condition on the same (already admindown) node: the
+	// Evaluate pre-check refuses, with a ticket to show for it.
+	eng.Submit(detection(n, t0.Add(time.Hour), "node_shutdown", 0))
+	eng.Service(t0.Add(time.Hour))
+	tk = eng.Tickets(0)
+	if len(tk) != 2 {
+		t.Fatalf("ledger has %d tickets, want 2: %+v", len(tk), tk)
+	}
+	last := tk[1]
+	if last.Decision != DecisionRefused || !strings.Contains(last.Reason, "idempotency") {
+		t.Fatalf("second admindown got %q (%q), want idempotency refusal", last.Decision, last.Reason)
+	}
+	if s := eng.Stats(); s.Executed != 1 || s.Refused != 1 || s.Deduped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDrainRequeuesJobs(t *testing.T) {
+	n := node(t, "c0-0c0s0n0")
+	other := node(t, "c0-0c0s0n1")
+	jobs := []workload.Job{
+		{ID: 10, Nodes: []cname.Name{n, other}, Start: t0.Add(-time.Hour), End: t0.Add(2 * time.Hour)},
+		{ID: 11, Nodes: []cname.Name{other}, Start: t0.Add(-time.Hour), End: t0.Add(time.Hour)},
+		{ID: 12, Nodes: []cname.Name{n}, Start: t0.Add(time.Hour), End: t0.Add(3 * time.Hour)},
+	}
+	cluster := NewSimCluster(jobs, SimOptions{DrainDuration: 10 * time.Minute})
+	eng := New(cluster, DefaultSOPs(cluster), fastConfig())
+
+	eng.Submit(alarm(n, t0, true))
+	eng.Service(t0)
+	tk := eng.Tickets(0)
+	if len(tk) != 1 || tk[0].Decision != DecisionExecuted || tk[0].Kind != "drain" {
+		t.Fatalf("unexpected ledger %+v", tk)
+	}
+	// Job 10 holds the node at t0; 11 doesn't include it; 12 hasn't started.
+	if !reflect.DeepEqual(tk[0].Requeued, []int64{10}) {
+		t.Fatalf("requeued = %v, want [10]", tk[0].Requeued)
+	}
+	if st := cluster.Status(n, t0.Add(time.Minute)); st.State != StateDraining {
+		t.Fatalf("state right after drain = %s, want draining", st.State)
+	}
+	if st := cluster.Status(n, t0.Add(11*time.Minute)); st.State != StateDrained {
+		t.Fatalf("state after DrainDuration = %s, want drained", st.State)
+	}
+}
+
+func TestWarmSwapRunsAfterAdminDown(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{Spares: 1})
+	eng := New(cluster, DefaultSOPs(cluster), fastConfig())
+	n := node(t, "c0-0c0s0n0")
+
+	// A hardware-cause detection queues admindown (P0) and warmswap
+	// (P2); the priority order guarantees the admindown lands first, so
+	// the swap's precondition holds when its turn comes.
+	eng.Submit(detection(n, t0, "silent_shutdown", 0))
+	eng.Service(t0)
+	tk := eng.Tickets(0)
+	if len(tk) != 2 {
+		t.Fatalf("ledger has %d tickets, want 2: %+v", len(tk), tk)
+	}
+	if tk[0].Kind != "admindown" || tk[1].Kind != "warmswap" {
+		t.Fatalf("order = %s, %s; want admindown, warmswap", tk[0].Kind, tk[1].Kind)
+	}
+	for _, k := range tk {
+		if k.Decision != DecisionExecuted {
+			t.Fatalf("%s decision = %s, want executed", k.Kind, k.Decision)
+		}
+	}
+	if cluster.SparesLeft() != 0 {
+		t.Fatalf("spares left = %d, want 0", cluster.SparesLeft())
+	}
+	st := cluster.Status(n, t0)
+	if !st.Swapped {
+		t.Fatal("node not marked swapped")
+	}
+}
+
+func TestWeightedRoundRobinNoStarvation(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{})
+	eng := New(cluster, DefaultSOPs(cluster), Config{BackoffBase: -1, CabinetCap: 1000, MaxConcurrentDrains: 1000})
+
+	// A large P0 backlog plus one P3 item: the P3 must be served within
+	// one scheduling cycle (8 P0 picks), not after the whole backlog.
+	for i := 0; i < 30; i++ {
+		n := cname.MustParse(fmt.Sprintf("c%d-0c%ds%dn%d", i%3, i%3, i%8, i%4))
+		eng.SubmitKind(detection(n, t0.Add(time.Duration(i)*time.Second), "node_shutdown", 0), KindAdminDown)
+	}
+	notifyNode := node(t, "c2-0c2s7n3")
+	eng.SubmitKind(Condition{Node: notifyNode, Time: t0, Source: SourceDetection, JobID: 5}, KindNotify)
+
+	var order []string
+	for eng.Step(t0.Add(time.Hour)) {
+		tk := eng.Tickets(0)
+		order = append(order, tk[len(tk)-1].Kind)
+	}
+	pos := -1
+	for i, k := range order {
+		if k == "notify" {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 || pos > 8 {
+		t.Fatalf("notify served at position %d of %v, want within the first cycle (<= 8)", pos, order)
+	}
+}
+
+func TestNodeCooldownGuard(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{})
+	cfg := fastConfig()
+	cfg.NodeCooldown = 30 * time.Minute
+	eng := New(cluster, DefaultSOPs(cluster), cfg)
+	n := node(t, "c0-0c0s0n0")
+
+	eng.Submit(alarm(n, t0, true))
+	eng.Service(t0)
+	// Second disruptive action on the node 5 minutes later: refused by
+	// cooldown (the drain state would refuse via Evaluate too, so aim
+	// an admindown at it — drained nodes are still admindown-able).
+	eng.Submit(detection(n, t0.Add(5*time.Minute), "node_shutdown", 0))
+	eng.Service(t0.Add(5 * time.Minute))
+	tk := eng.Tickets(0)
+	if len(tk) != 2 {
+		t.Fatalf("ledger has %d tickets: %+v", len(tk), tk)
+	}
+	if tk[1].Decision != DecisionRefused || !strings.Contains(tk[1].Reason, "cooldown") {
+		t.Fatalf("got %q (%q), want cooldown refusal", tk[1].Decision, tk[1].Reason)
+	}
+	// Past the cooldown the same action goes through.
+	eng.Submit(detection(n, t0.Add(40*time.Minute), "node_shutdown", 0))
+	eng.Service(t0.Add(40 * time.Minute))
+	tk = eng.Tickets(0)
+	if tk[2].Decision != DecisionExecuted {
+		t.Fatalf("post-cooldown action = %q (%q), want executed", tk[2].Decision, tk[2].Reason)
+	}
+}
+
+func TestConcurrentDrainCapDowngrades(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{})
+	cfg := fastConfig()
+	cfg.MaxConcurrentDrains = 2
+	eng := New(cluster, DefaultSOPs(cluster), cfg)
+
+	// Four corroborated alarms on four nodes in different cabinets at
+	// once: two drains run, the overflow degrades to suspect mode.
+	nodes := []cname.Name{
+		node(t, "c0-0c0s0n0"), node(t, "c1-0c0s0n0"),
+		node(t, "c2-0c0s0n0"), node(t, "c3-0c0s0n0"),
+	}
+	for _, n := range nodes {
+		eng.Submit(alarm(n, t0, true))
+	}
+	eng.Service(t0)
+
+	var drains, downgrades, suspects int
+	for _, tk := range eng.Tickets(0) {
+		switch {
+		case tk.Kind == "drain" && tk.Decision == DecisionExecuted:
+			drains++
+		case tk.Kind == "drain" && strings.Contains(tk.Reason, "downgraded"):
+			downgrades++
+		case tk.Kind == "suspect" && tk.Decision == DecisionExecuted:
+			suspects++
+		}
+	}
+	if drains != 2 || downgrades != 2 || suspects != 2 {
+		t.Fatalf("drains=%d downgrades=%d suspects=%d, want 2/2/2; ledger %+v",
+			drains, downgrades, suspects, eng.Tickets(0))
+	}
+	if s := eng.Stats(); s.Downgraded != 2 || s.MaxActiveDrains != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Once the first drains complete (virtual time passes), capacity
+	// frees up for new ones.
+	eng.Submit(alarm(node(t, "c0-0c1s0n0"), t0.Add(time.Hour), true))
+	eng.Service(t0.Add(time.Hour))
+	tks := eng.Tickets(0)
+	if last := tks[len(tks)-1]; last.Kind != "drain" || last.Decision != DecisionExecuted {
+		t.Fatalf("post-completion drain = %+v, want executed", last)
+	}
+}
+
+func TestCabinetBlastRadiusCap(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{})
+	cfg := fastConfig()
+	cfg.CabinetCap = 2
+	cfg.CabinetWindow = 30 * time.Minute
+	eng := New(cluster, DefaultSOPs(cluster), cfg)
+
+	// Three confirmed failures in one cabinet within the window: the
+	// third admindown is refused outright (admindowns don't downgrade).
+	for i := 0; i < 3; i++ {
+		n := cname.MustParse(fmt.Sprintf("c0-0c0s%dn0", i))
+		eng.Submit(detection(n, t0.Add(time.Duration(i)*time.Minute), "node_shutdown", 0))
+	}
+	eng.Service(t0.Add(3 * time.Minute))
+	tk := eng.Tickets(0)
+	if len(tk) != 3 {
+		t.Fatalf("ledger has %d tickets: %+v", len(tk), tk)
+	}
+	exec, refused := 0, 0
+	for _, k := range tk {
+		switch k.Decision {
+		case DecisionExecuted:
+			exec++
+		case DecisionRefused:
+			refused++
+			if !strings.Contains(k.Reason, "blast-radius") {
+				t.Fatalf("refusal reason %q, want blast-radius", k.Reason)
+			}
+		}
+	}
+	if exec != 2 || refused != 1 {
+		t.Fatalf("exec=%d refused=%d, want 2/1", exec, refused)
+	}
+	// Outside the window the cabinet is actionable again.
+	eng.Submit(detection(node(t, "c0-0c1s0n0"), t0.Add(2*time.Hour), "node_shutdown", 0))
+	eng.Service(t0.Add(2 * time.Hour))
+	tks := eng.Tickets(0)
+	if last := tks[len(tks)-1]; last.Decision != DecisionExecuted {
+		t.Fatalf("post-window admindown = %+v, want executed", last)
+	}
+}
+
+// errCluster wraps a Cluster, failing chosen operations.
+type errCluster struct {
+	Cluster
+	failAdminDown bool
+}
+
+func (c *errCluster) AdminDown(n cname.Name, now time.Time) error {
+	if c.failAdminDown {
+		return errors.New("hss unreachable")
+	}
+	return c.Cluster.AdminDown(n, now)
+}
+
+func TestRetriesAndCircuitBreaker(t *testing.T) {
+	inner := NewSimCluster(nil, SimOptions{})
+	cluster := &errCluster{Cluster: inner, failAdminDown: true}
+	cfg := fastConfig()
+	cfg.MaxAttempts = 2
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour
+	cfg.CabinetCap = 1000
+	eng := New(cluster, DefaultSOPs(cluster), cfg)
+
+	for i := 0; i < 3; i++ {
+		n := cname.MustParse(fmt.Sprintf("c%d-0c0s0n0", i))
+		eng.Submit(detection(n, t0.Add(time.Duration(i)*time.Minute), "node_shutdown", 0))
+	}
+	eng.Service(t0.Add(3 * time.Minute))
+	tk := eng.Tickets(0)
+	if len(tk) != 3 {
+		t.Fatalf("ledger has %d tickets: %+v", len(tk), tk)
+	}
+	// First two fail (after 2 attempts each), opening the breaker; the
+	// third is refused without touching the actuator.
+	for i := 0; i < 2; i++ {
+		if tk[i].Decision != DecisionFailed || tk[i].Attempts != 2 {
+			t.Fatalf("ticket %d = %+v, want failed after 2 attempts", i, tk[i])
+		}
+	}
+	if tk[2].Decision != DecisionRefused || !strings.Contains(tk[2].Reason, "breaker") {
+		t.Fatalf("ticket 2 = %+v, want breaker refusal", tk[2])
+	}
+
+	// After the (virtual) cooldown, with the actuator healthy again,
+	// the SOP executes and the breaker closes.
+	cluster.failAdminDown = false
+	later := t0.Add(2 * time.Hour)
+	eng.Submit(detection(node(t, "c3-0c0s0n0"), later, "node_shutdown", 0))
+	eng.Service(later)
+	tks := eng.Tickets(0)
+	if last := tks[len(tks)-1]; last.Decision != DecisionExecuted {
+		t.Fatalf("post-cooldown = %+v, want executed", last)
+	}
+}
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	delays := func(seed uint64) []time.Duration {
+		inner := NewSimCluster(nil, SimOptions{})
+		cluster := &errCluster{Cluster: inner, failAdminDown: true}
+		var got []time.Duration
+		cfg := Config{
+			MaxAttempts: 3,
+			BackoffBase: time.Millisecond,
+			Seed:        seed,
+			Sleep:       func(d time.Duration) { got = append(got, d) },
+		}
+		eng := New(cluster, DefaultSOPs(cluster), cfg)
+		eng.Submit(detection(cname.MustParse("c0-0c0s0n0"), t0, "node_shutdown", 0))
+		eng.Service(t0)
+		return got
+	}
+	a, b := delays(7), delays(7)
+	if len(a) != 2 {
+		t.Fatalf("expected 2 backoff sleeps for 3 attempts, got %v", a)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different backoff: %v vs %v", a, b)
+	}
+	if c := delays(8); reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical jitter %v", a)
+	}
+	// Exponential shape survives the ±50 % jitter: attempt 2's delay
+	// (base 2ms, range 1–3ms) exceeds attempt 1's minimum envelope.
+	if a[0] < 500*time.Microsecond || a[0] > 1500*time.Microsecond {
+		t.Fatalf("attempt-1 delay %v outside 0.5–1.5ms jitter envelope", a[0])
+	}
+	if a[1] < time.Millisecond || a[1] > 3*time.Millisecond {
+		t.Fatalf("attempt-2 delay %v outside 1–3ms jitter envelope", a[1])
+	}
+}
+
+// hangSOP blocks in Execute until the context expires — the
+// worst-behaved SOP the timeout must contain.
+type hangSOP struct{}
+
+func (hangSOP) Kind() Kind         { return KindSuspect }
+func (hangSOP) Priority() Priority { return P2 }
+func (hangSOP) Evaluate(ctx context.Context, n cname.Name, st NodeStatus) bool {
+	return true
+}
+func (hangSOP) Execute(ctx context.Context, n cname.Name, st NodeStatus) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func TestSOPTimeoutBoundsHangingExecute(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{})
+	cfg := fastConfig()
+	cfg.SOPTimeout = 20 * time.Millisecond
+	cfg.MaxAttempts = 2
+	eng := New(cluster, []SOP{hangSOP{}}, cfg)
+
+	start := time.Now()
+	eng.SubmitKind(alarm(node(t, "c0-0c0s0n0"), t0, false), KindSuspect)
+	eng.Service(t0)
+	elapsed := time.Since(start)
+
+	tk := eng.Tickets(0)
+	if len(tk) != 1 || tk[0].Decision != DecisionFailed || tk[0].Attempts != 2 {
+		t.Fatalf("ledger = %+v, want one failed ticket after 2 attempts", tk)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("hanging SOP held the engine %v; timeout not enforced", elapsed)
+	}
+}
+
+func TestKillSwitchRefusesEverything(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{})
+	eng := New(cluster, DefaultSOPs(cluster), fastConfig())
+	n := node(t, "c0-0c0s0n0")
+
+	eng.SetKillSwitch(true)
+	eng.Submit(detection(n, t0, "node_shutdown", 0))
+	eng.Service(t0)
+	tk := eng.Tickets(0)
+	if len(tk) != 1 || tk[0].Decision != DecisionRefused || !strings.Contains(tk[0].Reason, "kill switch") {
+		t.Fatalf("ledger = %+v, want kill-switch refusal", tk)
+	}
+	if st := cluster.Status(n, t0); st.State != StateInService {
+		t.Fatalf("kill switch did not stop the actuator: state %s", st.State)
+	}
+	// Releasing the switch lets a fresh condition through.
+	eng.SetKillSwitch(false)
+	eng.Submit(detection(n, t0.Add(time.Minute), "node_shutdown", 0))
+	eng.Service(t0.Add(time.Minute))
+	tks := eng.Tickets(0)
+	if last := tks[len(tks)-1]; last.Decision != DecisionExecuted {
+		t.Fatalf("post-release = %+v, want executed", last)
+	}
+}
+
+func TestTicketsSince(t *testing.T) {
+	cluster := NewSimCluster(nil, SimOptions{})
+	eng := New(cluster, DefaultSOPs(cluster), fastConfig())
+	for i := 0; i < 3; i++ {
+		n := cname.MustParse(fmt.Sprintf("c%d-0c0s0n0", i))
+		eng.Submit(detection(n, t0.Add(time.Duration(i)*time.Hour), "node_shutdown", 0))
+		eng.Service(t0.Add(time.Duration(i) * time.Hour))
+	}
+	all := eng.Tickets(0)
+	if len(all) != 3 {
+		t.Fatalf("ledger has %d tickets", len(all))
+	}
+	tail := eng.Tickets(all[0].ID)
+	if len(tail) != 2 || tail[0].ID != all[1].ID {
+		t.Fatalf("Tickets(since) = %+v", tail)
+	}
+	if len(eng.Tickets(all[2].ID)) != 0 {
+		t.Fatal("Tickets past the end should be empty")
+	}
+}

@@ -1,0 +1,351 @@
+package remedy
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/core"
+	"hpcfail/internal/faultsim"
+)
+
+// This file closes the loop: Replay streams a seeded faultsim scenario
+// through the online watcher into the engine, and ScoreAgainst grades
+// the resulting ticket ledger against the simulator's ground-truth
+// failure list.
+//
+// Scoring is counterfactual over a fixed trace: the scenario's records
+// do not change when the engine drains a node, so "averted" means the
+// node was already out of service when its ground-truth failure time
+// arrived — on a real system the failure would have hit an empty,
+// unscheduled node. Conversely a disruptive action on a node with no
+// ground-truth failure anywhere near it is a false action: capacity
+// sacrificed to a phantom.
+
+// DefaultAvertWindow bounds both credit and blame: an action averts a
+// failure only within this horizon after it, and counts as false only
+// when no failure lands within the horizon on either side.
+const DefaultAvertWindow = 24 * time.Hour
+
+// ReplayConfig tunes a scenario replay.
+type ReplayConfig struct {
+	// Engine tunes the remediation engine.
+	Engine Config
+	// Sim tunes the simulated actuator.
+	Sim SimOptions
+	// Watch sets the online detector's windows (zero value selects
+	// core.DefaultConfig()).
+	Watch core.Config
+	// AvertWindow overrides DefaultAvertWindow when positive.
+	AvertWindow time.Duration
+}
+
+// ReplayResult is a scored replay.
+type ReplayResult struct {
+	// Tickets is the full decision ledger.
+	Tickets []Ticket
+	// Stats is the engine counter snapshot.
+	Stats Stats
+	// Score grades the ledger against ground truth.
+	Score Score
+	// Baseline is the same scenario's impact with no remediation.
+	Baseline Baseline
+	// Cluster is the actuator after the run (audit log, requeues).
+	Cluster *SimCluster
+	// Engine is the engine after the run (for follow-on inspection).
+	Engine *Engine
+}
+
+// Replay runs the closed loop over a scenario: every record feeds the
+// online watcher; detections and alarms become conditions; the engine
+// services its queues at each record's virtual time. The wall-clock
+// cost is one pass over the records regardless of the simulated span.
+func Replay(scn *faultsim.Scenario, rcfg ReplayConfig) (*ReplayResult, error) {
+	wcfg := rcfg.Watch
+	if wcfg == (core.Config{}) {
+		wcfg = core.DefaultConfig()
+	}
+	cluster := NewSimCluster(scn.Jobs, rcfg.Sim)
+	eng := New(cluster, DefaultSOPs(cluster), rcfg.Engine)
+
+	watcher := core.NewWatcher(wcfg, func(d core.Detection) {
+		eng.Submit(ConditionFromDetection(d))
+	})
+	watcher.OnAlarm = func(a core.Alarm) {
+		eng.Submit(ConditionFromAlarm(a))
+	}
+
+	for i := range scn.Records {
+		r := &scn.Records[i]
+		watcher.Feed(*r)
+		eng.Service(r.Time)
+	}
+	watcher.Flush()
+	eng.Service(scn.End)
+
+	res := &ReplayResult{
+		Tickets:  eng.Tickets(0),
+		Stats:    eng.Stats(),
+		Baseline: BaselineImpact(scn),
+		Cluster:  cluster,
+		Engine:   eng,
+	}
+	res.Score = ScoreAgainst(scn, res.Tickets, rcfg.AvertWindow)
+	return res, nil
+}
+
+// ConditionFromDetection maps a confirmed failure to a condition.
+func ConditionFromDetection(d core.Detection) Condition {
+	return Condition{
+		Node:   d.Node,
+		Time:   d.Time,
+		Source: SourceDetection,
+		Cause:  d.Terminal,
+		JobID:  d.JobID,
+	}
+}
+
+// ConditionFromAlarm maps an early-warning burst to a condition.
+func ConditionFromAlarm(a core.Alarm) Condition {
+	return Condition{
+		Node:        a.Node,
+		Time:        a.Time,
+		Source:      SourceAlarm,
+		HasExternal: a.HasExternal,
+	}
+}
+
+// Score grades a ticket ledger against scenario ground truth.
+type Score struct {
+	// Failures is the ground-truth failure count.
+	Failures int
+	// Averted counts failures whose node the engine took out of
+	// service (drain or admindown) within the avert window before the
+	// failure time.
+	Averted int
+	// AvertedRate is Averted / Failures.
+	AvertedRate float64
+	// TotalLeadConsumed and MeanLeadConsumed measure how much of the
+	// available warning the loop converted into safety margin: the gap
+	// between the disruptive action and the failure it averted.
+	TotalLeadConsumed, MeanLeadConsumed time.Duration
+	// JobsSaved counts distinct jobs requeued off a node before that
+	// node's averted failure would have killed them.
+	JobsSaved int
+	// JobsRequeued counts every drain requeue, saved or not.
+	JobsRequeued int
+	// Disruptive counts executed admindowns and drains.
+	Disruptive int
+	// FalseActions counts disruptive actions on nodes with no
+	// ground-truth failure within the avert window on either side.
+	FalseActions int
+	// FalseActionRate is FalseActions / Disruptive.
+	FalseActionRate float64
+	// Executed/Refused/Failed summarise the ledger decisions.
+	Executed, Refused, Failed int
+}
+
+// ScoreAgainst computes the score for a ledger; avertWindow <= 0
+// selects DefaultAvertWindow.
+func ScoreAgainst(scn *faultsim.Scenario, tickets []Ticket, avertWindow time.Duration) Score {
+	if avertWindow <= 0 {
+		avertWindow = DefaultAvertWindow
+	}
+	var s Score
+	s.Failures = len(scn.Failures)
+
+	// Executed disruptive tickets per node, in ledger (time) order.
+	type action struct {
+		t        time.Time
+		requeued []int64
+	}
+	byNode := make(map[cname.Name][]action)
+	for _, t := range tickets {
+		switch t.Decision {
+		case DecisionExecuted:
+			s.Executed++
+		case DecisionRefused:
+			s.Refused++
+		case DecisionFailed:
+			s.Failed++
+		}
+		if t.Decision != DecisionExecuted {
+			continue
+		}
+		kind, err := ParseKind(t.Kind)
+		if err != nil || !kind.Disruptive() {
+			continue
+		}
+		node, err := cname.Parse(t.Node)
+		if err != nil {
+			continue
+		}
+		s.Disruptive++
+		s.JobsRequeued += len(t.Requeued)
+		byNode[node] = append(byNode[node], action{t: t.Time, requeued: t.Requeued})
+	}
+
+	// Credit: each failure is averted by the earliest prior disruptive
+	// action within the window; jobs in that action's requeue set still
+	// running at the failure instant were saved.
+	saved := make(map[int64]bool)
+	jobEnd := make(map[int64]time.Time, len(scn.Jobs))
+	for i := range scn.Jobs {
+		jobEnd[scn.Jobs[i].ID] = scn.Jobs[i].End
+	}
+	for _, f := range scn.Failures {
+		for _, a := range byNode[f.Node] {
+			if !a.t.Before(f.Time) || f.Time.Sub(a.t) > avertWindow {
+				continue
+			}
+			s.Averted++
+			s.TotalLeadConsumed += f.Time.Sub(a.t)
+			for _, id := range a.requeued {
+				if end, ok := jobEnd[id]; ok && end.After(f.Time) && !saved[id] {
+					saved[id] = true
+					s.JobsSaved++
+				}
+			}
+			break
+		}
+	}
+	if s.Averted > 0 {
+		s.MeanLeadConsumed = s.TotalLeadConsumed / time.Duration(s.Averted)
+	}
+	if s.Failures > 0 {
+		s.AvertedRate = float64(s.Averted) / float64(s.Failures)
+	}
+
+	// Blame: a disruptive action with no ground-truth failure within
+	// ±window on its node acted on a phantom.
+	for node, actions := range byNode {
+		failures := scn.FailuresOn(node)
+		for _, a := range actions {
+			near := false
+			for _, f := range failures {
+				gap := f.Time.Sub(a.t)
+				if gap < 0 {
+					gap = -gap
+				}
+				if gap <= avertWindow {
+					near = true
+					break
+				}
+			}
+			if !near {
+				s.FalseActions++
+			}
+		}
+	}
+	if s.Disruptive > 0 {
+		s.FalseActionRate = float64(s.FalseActions) / float64(s.Disruptive)
+	}
+	return s
+}
+
+// Baseline is the scenario's impact with no remediation at all.
+type Baseline struct {
+	// Failures is the ground-truth count.
+	Failures int
+	// JobsHit counts distinct jobs running on a failed node at its
+	// failure instant — the workload the loop competes to save.
+	JobsHit int
+}
+
+// BaselineImpact computes the do-nothing baseline.
+func BaselineImpact(scn *faultsim.Scenario) Baseline {
+	b := Baseline{Failures: len(scn.Failures)}
+	hit := make(map[int64]bool)
+	for _, f := range scn.Failures {
+		for _, j := range scn.JobsOn(f.Node, f.Time) {
+			if !hit[j.ID] {
+				hit[j.ID] = true
+				b.JobsHit++
+			}
+		}
+	}
+	return b
+}
+
+// VerifyGuards audits a finished engine against its configuration: it
+// re-derives the guard invariants from the ledger and returns an error
+// naming the first violation. The CI soak leg fails on any non-nil
+// result.
+func VerifyGuards(tickets []Ticket, cfg Config) error {
+	cfg = cfg.withDefaults()
+
+	// No double execution: at most one executed ticket per
+	// (node, kind, condition time), and never a second admindown or
+	// warm swap for a node at all.
+	type execKey struct {
+		node, kind string
+		unix       int64
+	}
+	seen := make(map[execKey]bool)
+	perNodeKind := make(map[string]int)
+	var drains []time.Time
+	cabinets := make(map[cname.Name][]time.Time)
+	for _, t := range tickets {
+		if t.Decision != DecisionExecuted {
+			continue
+		}
+		k := execKey{node: t.Node, kind: t.Kind, unix: t.CondTime.UnixNano()}
+		if seen[k] {
+			return fmt.Errorf("remedy: double execution of %s on %s for condition at %s",
+				t.Kind, t.Node, t.CondTime)
+		}
+		seen[k] = true
+		if t.Kind == kindNames[KindAdminDown] || t.Kind == kindNames[KindWarmSwap] {
+			nk := t.Node + "/" + t.Kind
+			perNodeKind[nk]++
+			if perNodeKind[nk] > 1 {
+				return fmt.Errorf("remedy: %s executed twice on %s", t.Kind, t.Node)
+			}
+		}
+		kind, err := ParseKind(t.Kind)
+		if err != nil {
+			return fmt.Errorf("remedy: ticket %d has unknown kind %q", t.ID, t.Kind)
+		}
+		if kind == KindDrain {
+			drains = append(drains, t.Time)
+		}
+		if kind.Disruptive() {
+			node, err := cname.Parse(t.Node)
+			if err != nil {
+				return fmt.Errorf("remedy: ticket %d has unparseable node %q", t.ID, t.Node)
+			}
+			cabinets[node.CabinetName()] = append(cabinets[node.CabinetName()], t.Time)
+		}
+	}
+
+	// Concurrent-drain cap: replay drain starts against DrainDuration.
+	for i, start := range drains {
+		active := 0
+		for j := 0; j <= i; j++ {
+			if start.Sub(drains[j]) < cfg.DrainDuration {
+				active++
+			}
+		}
+		if active > cfg.MaxConcurrentDrains {
+			return fmt.Errorf("remedy: %d concurrent drains at %s exceeds cap %d",
+				active, start, cfg.MaxConcurrentDrains)
+		}
+	}
+
+	// Blast-radius cap: disruptive actions per cabinet per window.
+	for cab, times := range cabinets {
+		for i, t := range times {
+			inWindow := 0
+			for j := 0; j <= i; j++ {
+				if t.Sub(times[j]) <= cfg.CabinetWindow {
+					inWindow++
+				}
+			}
+			if inWindow > cfg.CabinetCap {
+				return fmt.Errorf("remedy: %d disruptive actions in cabinet %s within %s exceeds cap %d",
+					inWindow, cab, cfg.CabinetWindow, cfg.CabinetCap)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package remedy
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/faultsim"
+)
+
+// testScenario generates a small seeded scenario for scoring tests.
+func testScenario(t *testing.T, system string, days int, seed uint64) *faultsim.Scenario {
+	t.Helper()
+	p, err := faultsim.DefaultProfile(system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Spec.Nodes = 192
+	if p.Spec.CabinetCols > 2 {
+		p.Spec.CabinetCols = 2
+	}
+	p.FloodBladeIdx = nil
+	p.FloodStopIdx = -1
+	start := time.Date(2015, 3, 2, 0, 0, 0, 0, time.UTC)
+	scn, err := faultsim.Generate(p, start, start.Add(time.Duration(days)*24*time.Hour), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scn.Failures) == 0 {
+		t.Fatal("scenario has no ground-truth failures")
+	}
+	return scn
+}
+
+func TestReplayScoresScenario(t *testing.T) {
+	scn := testScenario(t, "S1", 7, 11)
+	res, err := Replay(scn, ReplayConfig{Engine: Config{BackoffBase: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tickets) == 0 {
+		t.Fatal("replay produced no tickets")
+	}
+	s := res.Score
+	if s.Failures != len(scn.Failures) {
+		t.Fatalf("score counted %d failures, scenario has %d", s.Failures, len(scn.Failures))
+	}
+	if s.Averted == 0 {
+		t.Fatalf("no failures averted; score %+v, stats %+v", s, res.Stats)
+	}
+	if s.Averted > s.Failures {
+		t.Fatalf("averted %d exceeds failures %d", s.Averted, s.Failures)
+	}
+	if s.MeanLeadConsumed <= 0 {
+		t.Fatalf("averted %d failures with non-positive mean lead %v", s.Averted, s.MeanLeadConsumed)
+	}
+	if s.Disruptive == 0 || s.Executed == 0 {
+		t.Fatalf("no disruptive/executed actions: %+v", s)
+	}
+	if s.FalseActionRate < 0 || s.FalseActionRate > 1 {
+		t.Fatalf("false-action rate %v out of range", s.FalseActionRate)
+	}
+	if res.Baseline.Failures != s.Failures {
+		t.Fatalf("baseline failures %d != score failures %d", res.Baseline.Failures, s.Failures)
+	}
+}
+
+func TestScoreAgainstEmptyLedger(t *testing.T) {
+	scn := testScenario(t, "S1", 7, 11)
+	s := ScoreAgainst(scn, nil, 0)
+	if s.Averted != 0 || s.Disruptive != 0 || s.FalseActions != 0 {
+		t.Fatalf("empty ledger scored %+v", s)
+	}
+	if s.Failures != len(scn.Failures) {
+		t.Fatalf("failures %d, want %d", s.Failures, len(scn.Failures))
+	}
+}
+
+// TestRemediationSoak is the CI soak leg: a seeded scenario replayed
+// through the full closed loop under the race detector. It fails if
+//
+//   - the ledger is not reproducible (a second replay diverges),
+//   - a restored engine's ledger replay diverges from the original, or
+//   - any safety guard was violated (re-derived from the ledger).
+func TestRemediationSoak(t *testing.T) {
+	scn := testScenario(t, "S1", 7, 23)
+	rcfg := ReplayConfig{Engine: Config{BackoffBase: -1}}
+
+	first, err := Replay(scn, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Replay(scn, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Tickets, second.Tickets) {
+		t.Fatalf("ledger replay diverged: %d vs %d tickets", len(first.Tickets), len(second.Tickets))
+	}
+
+	// Guard audit, re-derived from the ledger alone.
+	if err := VerifyGuards(first.Tickets, rcfg.Engine); err != nil {
+		t.Fatalf("safety guard violated: %v", err)
+	}
+	cfg := rcfg.Engine.withDefaults()
+	if first.Stats.MaxActiveDrains > cfg.MaxConcurrentDrains {
+		t.Fatalf("MaxActiveDrains %d exceeds cap %d", first.Stats.MaxActiveDrains, cfg.MaxConcurrentDrains)
+	}
+	if first.Stats.MaxCabinetWindow > cfg.CabinetCap {
+		t.Fatalf("MaxCabinetWindow %d exceeds cap %d", first.Stats.MaxCabinetWindow, cfg.CabinetCap)
+	}
+
+	// Crash-restart equivalence at ledger midpoint: restore an engine
+	// from the first half of the ledger and redeliver every condition
+	// the ledger knows about; the executed set must not grow for those
+	// conditions, and the ledger must not reorder.
+	half := first.Tickets[:len(first.Tickets)/2]
+	cluster := NewSimCluster(scn.Jobs, rcfg.Sim)
+	restored := New(cluster, DefaultSOPs(cluster), rcfg.Engine)
+	restored.Restore(half)
+	for _, tk := range half {
+		kind, err := ParseKind(tk.Kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.SubmitKind(Condition{Node: cname.MustParse(tk.Node), Time: tk.CondTime}, kind) {
+			t.Fatalf("restored engine re-queued already-ticketed condition %+v", tk)
+		}
+	}
+	if got := restored.Tickets(0); !reflect.DeepEqual(got, half) {
+		t.Fatalf("restored ledger changed under redelivery: %d vs %d tickets", len(got), len(half))
+	}
+
+	if first.Score.Averted == 0 {
+		t.Fatalf("soak scenario averted nothing: %+v", first.Score)
+	}
+}

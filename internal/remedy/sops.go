@@ -1,0 +1,160 @@
+package remedy
+
+import (
+	"context"
+
+	"hpcfail/internal/cname"
+)
+
+// DefaultSOPs returns the standard procedure set wired to an actuator:
+//
+//	admindown (P0) — confirmed failure: remove the node from service.
+//	drain     (P1) — corroborated warning: requeue jobs, stop scheduling.
+//	suspect   (P2) — uncorroborated warning: NHC suspect mode.
+//	warmswap  (P2) — hardware cause, node already down: swap in a spare.
+//	notify    (P3) — app-triggered: tell the owning user.
+func DefaultSOPs(c Cluster) []SOP {
+	return []SOP{
+		&AdminDownSOP{c: c},
+		&DrainSOP{c: c},
+		&SuspectSOP{c: c},
+		&WarmSwapSOP{c: c},
+		&NotifySOP{c: c},
+	}
+}
+
+// ctxAlive is the shared deadline check: SOPs honour the engine's
+// per-call timeout before touching the actuator.
+func ctxAlive(ctx context.Context) bool { return ctx.Err() == nil }
+
+// AdminDownSOP removes a confirmed-failed node from service.
+type AdminDownSOP struct{ c Cluster }
+
+// Kind returns KindAdminDown.
+func (s *AdminDownSOP) Kind() Kind { return KindAdminDown }
+
+// Priority returns P0.
+func (s *AdminDownSOP) Priority() Priority { return P0 }
+
+// Evaluate refuses nodes already admindown — the repair is done; a
+// second admindown is exactly the double-execution the contract bans.
+func (s *AdminDownSOP) Evaluate(ctx context.Context, node cname.Name, st NodeStatus) bool {
+	return ctxAlive(ctx) && st.State != StateAdminDown
+}
+
+// Execute sets the node admindown.
+func (s *AdminDownSOP) Execute(ctx context.Context, node cname.Name, st NodeStatus) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.c.AdminDown(node, st.AsOf)
+}
+
+// DrainSOP requeues a warned node's jobs and removes it from the
+// schedulable pool before the predicted failure lands.
+type DrainSOP struct {
+	c            Cluster
+	lastRequeued []int64
+}
+
+// Kind returns KindDrain.
+func (s *DrainSOP) Kind() Kind { return KindDrain }
+
+// Priority returns P1.
+func (s *DrainSOP) Priority() Priority { return P1 }
+
+// Evaluate only drains nodes still doing work: in-service or suspect.
+// Draining, drained and admindown nodes have nothing left to save.
+func (s *DrainSOP) Evaluate(ctx context.Context, node cname.Name, st NodeStatus) bool {
+	return ctxAlive(ctx) && (st.State == StateInService || st.State == StateSuspect)
+}
+
+// Execute drains the node, recording the requeued job ids for the
+// ticket.
+func (s *DrainSOP) Execute(ctx context.Context, node cname.Name, st NodeStatus) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ids, err := s.c.Drain(node, st.AsOf)
+	if err != nil {
+		return err
+	}
+	s.lastRequeued = ids
+	return nil
+}
+
+// LastRequeued reports the job ids the most recent Execute requeued.
+func (s *DrainSOP) LastRequeued() []int64 { return s.lastRequeued }
+
+// SuspectSOP places a node in NHC suspect mode — the cautious,
+// non-disruptive response to an uncorroborated warning.
+type SuspectSOP struct{ c Cluster }
+
+// Kind returns KindSuspect.
+func (s *SuspectSOP) Kind() Kind { return KindSuspect }
+
+// Priority returns P2.
+func (s *SuspectSOP) Priority() Priority { return P2 }
+
+// Evaluate only marks in-service nodes: suspect is a no-op on a node
+// already suspect or out of service.
+func (s *SuspectSOP) Evaluate(ctx context.Context, node cname.Name, st NodeStatus) bool {
+	return ctxAlive(ctx) && st.State == StateInService
+}
+
+// Execute enters suspect mode.
+func (s *SuspectSOP) Execute(ctx context.Context, node cname.Name, st NodeStatus) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.c.Suspect(node, st.AsOf)
+}
+
+// WarmSwapSOP replaces an admindown node with a spare blade slot — the
+// paper's warm-swap recovery. It is queued alongside the admindown for
+// hardware causes and naturally runs after it (P2 versus P0).
+type WarmSwapSOP struct{ c Cluster }
+
+// Kind returns KindWarmSwap.
+func (s *WarmSwapSOP) Kind() Kind { return KindWarmSwap }
+
+// Priority returns P2.
+func (s *WarmSwapSOP) Priority() Priority { return P2 }
+
+// Evaluate requires the node to be admindown and not already swapped —
+// the pre-check that makes the repair idempotent.
+func (s *WarmSwapSOP) Evaluate(ctx context.Context, node cname.Name, st NodeStatus) bool {
+	return ctxAlive(ctx) && st.State == StateAdminDown && !st.Swapped
+}
+
+// Execute performs the swap.
+func (s *WarmSwapSOP) Execute(ctx context.Context, node cname.Name, st NodeStatus) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.c.WarmSwap(node, st.AsOf)
+}
+
+// NotifySOP records a user notification for an app-triggered event —
+// the paper's point that application-triggered failures need the user
+// in the loop, not just a hardware ticket.
+type NotifySOP struct{ c Cluster }
+
+// Kind returns KindNotify.
+func (s *NotifySOP) Kind() Kind { return KindNotify }
+
+// Priority returns P3.
+func (s *NotifySOP) Priority() Priority { return P3 }
+
+// Evaluate requires a job to notify about.
+func (s *NotifySOP) Evaluate(ctx context.Context, node cname.Name, st NodeStatus) bool {
+	return ctxAlive(ctx) && st.Cond.JobID != 0
+}
+
+// Execute records the notification.
+func (s *NotifySOP) Execute(ctx context.Context, node cname.Name, st NodeStatus) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.c.Notify(node, st.Cond.JobID, st.AsOf)
+}

@@ -1,0 +1,79 @@
+package remedy
+
+import (
+	"time"
+)
+
+// Decision is the outcome recorded on a ticket.
+const (
+	// DecisionExecuted: the SOP ran to completion.
+	DecisionExecuted = "executed"
+	// DecisionRefused: a pre-check or safety guard declined the action.
+	DecisionRefused = "refused"
+	// DecisionFailed: Execute errored through the whole retry budget.
+	DecisionFailed = "failed"
+)
+
+// Ticket is one entry of the append-only decision ledger. Every
+// condition the engine dequeues produces exactly one ticket — refusals
+// included — so the ledger is the complete, auditable history of what
+// the loop did and declined to do. Tickets serialise to JSON for the
+// /v1/remediations endpoint and persist/restore.
+type Ticket struct {
+	// ID is the ledger sequence number, ascending from 1.
+	ID int64 `json:"id"`
+	// Time is the decision's virtual time.
+	Time time.Time `json:"time"`
+	// Node is the subject node's cname.
+	Node string `json:"node"`
+	// Kind is the SOP kind name.
+	Kind string `json:"kind"`
+	// Priority is the queue the item was served from.
+	Priority int `json:"priority"`
+	// Source and Cause echo the triggering condition.
+	Source string `json:"source"`
+	Cause  string `json:"cause,omitempty"`
+	// CondTime is the condition's observation time — together with
+	// (Node, Kind) it identifies the condition for restart dedup.
+	CondTime time.Time `json:"cond_time"`
+	// JobID links app-triggered tickets to the job.
+	JobID int64 `json:"job_id,omitempty"`
+	// Decision is executed, refused or failed.
+	Decision string `json:"decision"`
+	// Reason explains refusals and failures.
+	Reason string `json:"reason,omitempty"`
+	// Attempts counts Execute tries (0 for refusals).
+	Attempts int `json:"attempts,omitempty"`
+	// Requeued lists job ids a drain requeued.
+	Requeued []int64 `json:"requeued,omitempty"`
+}
+
+// Tickets returns a copy of the ledger entries with ID > sinceID.
+func (e *Engine) Tickets(sinceID int64) []Ticket {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// The ledger is append-only with ascending ids, so binary-search-free
+	// scanning from the back keeps the common "tail" query cheap.
+	i := len(e.tickets)
+	for i > 0 && e.tickets[i-1].ID > sinceID {
+		i--
+	}
+	out := make([]Ticket, len(e.tickets)-i)
+	copy(out, e.tickets[i:])
+	return out
+}
+
+// Restore replays a previously persisted ledger into a fresh engine:
+// the ledger entries are re-appended and folded through the same state
+// transitions live ticketing uses, so dedup keys, cooldowns, drain
+// slots, blast-radius windows and breaker state all come back exactly.
+// A producer then re-delivering conditions the old process already
+// ticketed finds them suppressed — the engine never re-executes work it
+// has a ticket for. Call before the first Submit.
+func (e *Engine) Restore(tickets []Ticket) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, t := range tickets {
+		e.commitLocked(t)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hpcfail/internal/cname"
+	"hpcfail/internal/remedy"
 	"hpcfail/internal/render"
 )
 
@@ -21,6 +22,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/ingest", s.guard("ingest", s.handleIngest))
 	mux.HandleFunc("/v1/diagnose", s.guard("diagnose", s.handleDiagnose))
 	mux.HandleFunc("/v1/alarms", s.track("alarms", s.handleAlarms))
+	mux.HandleFunc("/v1/remediations", s.track("remediations", s.handleRemediations))
 	mux.HandleFunc("/healthz", s.track("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.track("metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -305,6 +307,66 @@ func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprint(w, ": ping\n\n")
 			fl.Flush()
 		}
+	}
+}
+
+// remediationsView is the /v1/remediations GET payload.
+type remediationsView struct {
+	Enabled    bool            `json:"enabled"`
+	KillSwitch bool            `json:"kill_switch"`
+	Stats      remedy.Stats    `json:"stats"`
+	Queues     [4]int          `json:"queue_depths"`
+	Tickets    []remedy.Ticket `json:"tickets"`
+}
+
+// handleRemediations serves the ticket ledger (GET, optionally
+// ?since=<id>) and the global kill switch (POST {"kill": bool}). It is
+// tracked, not guarded: the kill switch must stay reachable while the
+// service is shedding load — that is exactly when an operator needs it.
+func (s *Server) handleRemediations(w http.ResponseWriter, r *http.Request) {
+	if s.remedy == nil {
+		writeJSON(w, http.StatusOK, remediationsView{Tickets: []remedy.Ticket{}})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		since := int64(0)
+		if str := r.URL.Query().Get("since"); str != "" {
+			n, err := strconv.ParseInt(str, 10, 64)
+			if err != nil || n < 0 {
+				http.Error(w, "bad query: since: want non-negative ticket id", http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		tickets := s.remedy.Tickets(since)
+		if tickets == nil {
+			tickets = []remedy.Ticket{}
+		}
+		writeJSON(w, http.StatusOK, remediationsView{
+			Enabled:    true,
+			KillSwitch: s.remedy.KillSwitch(),
+			Stats:      s.remedy.Stats(),
+			Queues:     s.remedy.QueueDepths(),
+			Tickets:    tickets,
+		})
+	case http.MethodPost:
+		var req struct {
+			Kill *bool `json:"kill"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<10))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil || req.Kill == nil {
+			http.Error(w, `bad request: want {"kill": true|false}`, http.StatusBadRequest)
+			return
+		}
+		s.remedy.SetKillSwitch(*req.Kill)
+		writeJSON(w, http.StatusOK, struct {
+			KillSwitch bool `json:"kill_switch"`
+		}{s.remedy.KillSwitch()})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
 	}
 }
 

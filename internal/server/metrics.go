@@ -39,6 +39,11 @@ const (
 	mAlarms       = "hpcfail_alarms_total"
 	mSSEDropped   = "hpcfail_sse_dropped_events_total"
 	mSSESubscribe = "hpcfail_sse_subscriptions_total"
+
+	mRemedyExecuted = "hpcfail_remediation_executed_total"
+	mRemedyRefused  = "hpcfail_remediation_refused_total"
+	mRemedyFailed   = "hpcfail_remediation_failed_total"
+	mRemedyRequeues = "hpcfail_remediation_requeued_jobs_total"
 )
 
 var counterHelp = map[string]string{
@@ -53,6 +58,11 @@ var counterHelp = map[string]string{
 	mAlarms:       "Early-warning alarms emitted by the watcher.",
 	mSSEDropped:   "SSE events dropped because a subscriber was too slow.",
 	mSSESubscribe: "SSE subscriptions accepted.",
+
+	mRemedyExecuted: "Remediation SOPs executed to completion.",
+	mRemedyRefused:  "Remediation decisions refused by idempotency or safety guards.",
+	mRemedyFailed:   "Remediation SOPs that exhausted retries.",
+	mRemedyRequeues: "Jobs requeued by drain SOPs.",
 }
 
 // latencyBuckets are the request-duration histogram upper bounds in

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/remedy"
+)
+
+// remedyServer builds an unseeded server with the closed loop enabled
+// and pushes one terminal line through ingest, which must surface as a
+// detection, route into the engine and mint at least one ticket.
+func remedyServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{EnableRemedy: true, Remedy: remedy.Config{BackoffBase: -1}})
+	_, err := s.Ingest([]IngestBatch{{Stream: "console", Lines: []string{
+		"2015-03-02T08:59:13.776954Z c1-0c2s8n1 kernel: <2> node c1-0c2s8n1 halting: system shutdown",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRemediationsEndpointClosedLoop(t *testing.T) {
+	s := remedyServer(t)
+	h := s.Handler()
+
+	rec := get(t, h, "/v1/remediations")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remediations = %d", rec.Code)
+	}
+	var view remediationsView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if !view.Enabled {
+		t.Fatal("remedy enabled but endpoint reports disabled")
+	}
+	if len(view.Tickets) == 0 || view.Stats.Executed == 0 {
+		t.Fatalf("ingested terminal line minted no tickets: %+v", view)
+	}
+	found := false
+	for _, tk := range view.Tickets {
+		if tk.Node == "c1-0c2s8n1" && tk.Kind == "admindown" && tk.Decision == remedy.DecisionExecuted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no executed admindown for the failed node in %+v", view.Tickets)
+	}
+
+	// since= pagination: everything before the last id drops out.
+	last := view.Tickets[len(view.Tickets)-1].ID
+	rec = get(t, h, "/v1/remediations?since="+jsonNum(last))
+	var tail remediationsView
+	if err := json.Unmarshal(rec.Body.Bytes(), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Tickets) != 0 {
+		t.Fatalf("since=%d returned %d tickets, want 0", last, len(tail.Tickets))
+	}
+
+	// The ledger shows up in the Prometheus counters too.
+	if s.counter(mRemedyExecuted) == 0 {
+		t.Error("hpcfail_remediation_executed_total not incremented")
+	}
+	body := get(t, h, "/metrics").Body.String()
+	if !strings.Contains(body, "hpcfail_remediation_executed_total") {
+		t.Error("metrics exposition lacks remediation counters")
+	}
+}
+
+func TestRemediationsKillSwitch(t *testing.T) {
+	s := remedyServer(t)
+	h := s.Handler()
+
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/remediations", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := post(`{"kill": true}`); rec.Code != http.StatusOK {
+		t.Fatalf("kill POST = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !s.Remedy().KillSwitch() {
+		t.Fatal("kill switch not set")
+	}
+	if rec := post(`{}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty kill POST = %d, want 400", rec.Code)
+	}
+	if rec := post(`{"kill": false}`); rec.Code != http.StatusOK {
+		t.Fatalf("unkill POST = %d", rec.Code)
+	}
+	if s.Remedy().KillSwitch() {
+		t.Fatal("kill switch not cleared")
+	}
+}
+
+func TestRemediationsDisabled(t *testing.T) {
+	s := seedServer(t, fixtureClean, Config{})
+	rec := get(t, s.Handler(), "/v1/remediations")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remediations = %d", rec.Code)
+	}
+	var view remediationsView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Enabled || len(view.Tickets) != 0 {
+		t.Fatalf("disabled server reported %+v", view)
+	}
+	if s.Remedy() != nil {
+		t.Fatal("engine constructed despite EnableRemedy=false")
+	}
+}
+
+func jsonNum(n int64) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

@@ -39,6 +39,7 @@ import (
 	"hpcfail/internal/events"
 	"hpcfail/internal/logparse"
 	"hpcfail/internal/logstore"
+	"hpcfail/internal/remedy"
 	"hpcfail/internal/topology"
 )
 
@@ -65,6 +66,18 @@ type Config struct {
 	AlarmBuffer int
 	// RetryAfter is the hint sent with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// EnableRemedy turns on the closed-loop remediation engine: watcher
+	// detections and alarms are routed into SOP queues and executed
+	// against RemedyCluster, with every decision ticketed and exposed on
+	// /v1/remediations.
+	EnableRemedy bool
+	// Remedy tunes the remediation engine (zero value = remedy
+	// defaults). Only read when EnableRemedy is set.
+	Remedy remedy.Config
+	// RemedyCluster is the actuator the SOPs execute against; nil
+	// selects an in-process simulated cluster, which stands in for the
+	// real cluster-management plane.
+	RemedyCluster remedy.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +129,13 @@ type Server struct {
 
 	cache *lruCache
 
+	// remedy is the closed-loop remediation engine (nil when disabled).
+	// remedyMu serializes the ticket-to-counter accounting; remedyLast
+	// is the highest ticket id already counted into the metrics.
+	remedy     *remedy.Engine
+	remedyMu   sync.Mutex
+	remedyLast int64
+
 	draining       atomic.Bool
 	lastIngestWall atomic.Int64 // unix nanos of the last accepted batch
 	started        time.Time
@@ -157,17 +177,57 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 	}
 	s.broker = newBroker(func() { s.metrics.add(mSSEDropped, 1) })
+	if cfg.EnableRemedy {
+		cluster := cfg.RemedyCluster
+		if cluster == nil {
+			cluster = remedy.NewSimCluster(nil, remedy.SimOptions{})
+		}
+		s.remedy = remedy.New(cluster, remedy.DefaultSOPs(cluster), cfg.Remedy)
+	}
 	s.watcher = core.NewWatcher(cfg.Pipeline, func(d core.Detection) {
 		s.metrics.add(mDetections, 1)
 		s.broker.publish("failure", detectionEvent{
 			Time: d.Time, Node: d.Node.String(), Terminal: d.Terminal, JobID: d.JobID,
 		})
+		if s.remedy != nil {
+			s.remedy.Submit(remedy.ConditionFromDetection(d))
+			s.remedy.Service(d.Time)
+			s.countRemedyTickets()
+		}
 	})
 	s.watcher.OnAlarm = func(a core.Alarm) {
 		s.metrics.add(mAlarms, 1)
 		s.broker.publish("alarm", alarmEvent{Time: a.Time, Node: a.Node.String(), HasExternal: a.HasExternal})
+		if s.remedy != nil {
+			s.remedy.Submit(remedy.ConditionFromAlarm(a))
+			s.remedy.Service(a.Time)
+			s.countRemedyTickets()
+		}
 	}
 	return s
+}
+
+// Remedy exposes the remediation engine (nil when disabled).
+func (s *Server) Remedy() *remedy.Engine { return s.remedy }
+
+// countRemedyTickets folds tickets minted since the last count into the
+// Prometheus counters, so /metrics tracks the ledger without re-walking
+// it on every scrape.
+func (s *Server) countRemedyTickets() {
+	s.remedyMu.Lock()
+	defer s.remedyMu.Unlock()
+	for _, tk := range s.remedy.Tickets(s.remedyLast) {
+		switch tk.Decision {
+		case remedy.DecisionExecuted:
+			s.metrics.add(mRemedyExecuted, 1)
+		case remedy.DecisionRefused:
+			s.metrics.add(mRemedyRefused, 1)
+		case remedy.DecisionFailed:
+			s.metrics.add(mRemedyFailed, 1)
+		}
+		s.metrics.add(mRemedyRequeues, uint64(len(tk.Requeued)))
+		s.remedyLast = tk.ID
+	}
 }
 
 // Watcher exposes the live watcher (for checkpoint restore before

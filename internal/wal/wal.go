@@ -108,10 +108,25 @@ func Open(dir string, opts Options) (*Log, error) {
 					return nil, fmt.Errorf("wal: %w", err)
 				}
 			}
+			// Make the repair itself durable: a crash right after Open
+			// must not resurrect the removed segments.
+			syncDir(dir)
 			break
 		}
 	}
 	return l, nil
+}
+
+// syncDir fsyncs a directory so segment creation, removal and renames
+// survive a power cut. Filesystems that refuse directory fsync degrade
+// silently — the WAL's frame checksums still bound the damage.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
 }
 
 // listSegments returns the segment indexes present under dir, ascending.
@@ -243,15 +258,21 @@ func (l *Log) rotate() error {
 	return nil
 }
 
-// openActive opens the active segment for appending.
+// openActive opens the active segment for appending. Creating a new
+// segment file fsyncs the directory, so a synced record can never sit
+// in a file whose directory entry a crash could drop.
 func (l *Log) openActive() error {
 	if l.segIdx == 0 {
 		l.segIdx = 1
 	}
-	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.segIdx)),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(l.dir, segmentName(l.segIdx))
+	_, statErr := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
+	}
+	if statErr != nil {
+		syncDir(l.dir)
 	}
 	l.f = f
 	return nil

@@ -366,6 +366,35 @@ func EpilogueEvent(t time.Time, node cname.Name, jobID int64) events.Record {
 	}
 }
 
+// DrainEvent is the scheduler record for a node leaving the
+// schedulable pool ahead of a predicted failure — the remediation
+// loop's disruptive-but-preventive action.
+func DrainEvent(t time.Time, node cname.Name) events.Record {
+	return events.Record{
+		Time:      t,
+		Stream:    events.StreamScheduler,
+		Component: node,
+		Severity:  events.SevWarning,
+		Category:  "node_drain",
+		Msg:       "scheduler: draining node " + node.String() + " (predicted failure)",
+	}
+}
+
+// RequeueEvent is the scheduler record for one job pulled off a
+// draining node and returned to the queue.
+func RequeueEvent(t time.Time, node cname.Name, jobID int64) events.Record {
+	return events.Record{
+		Time:      t,
+		Stream:    events.StreamScheduler,
+		Component: node,
+		Severity:  events.SevWarning,
+		Category:  "job_requeue",
+		JobID:     jobID,
+		Msg: "scheduler: job " + strconv.FormatInt(jobID, 10) +
+			" requeued off draining node " + node.String(),
+	}
+}
+
 // JobsAt returns the jobs from the slice running at time t. Jobs are
 // half-open [Start, End).
 func JobsAt(jobs []Job, t time.Time) []*Job {
@@ -374,6 +403,27 @@ func JobsAt(jobs []Job, t time.Time) []*Job {
 		j := &jobs[i]
 		if !t.Before(j.Start) && t.Before(j.End) {
 			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// JobsOnNode returns every job from the slice holding the node at time
+// t, in slice order. The generator's space-sharing scheduler never
+// overlaps allocations, but real logs (and stress-test fixtures) do, so
+// drain-style callers requeue all of them.
+func JobsOnNode(jobs []Job, node cname.Name, t time.Time) []*Job {
+	var out []*Job
+	for i := range jobs {
+		j := &jobs[i]
+		if t.Before(j.Start) || !t.Before(j.End) {
+			continue
+		}
+		for _, n := range j.Nodes {
+			if n == node {
+				out = append(out, j)
+				break
+			}
 		}
 	}
 	return out
