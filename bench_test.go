@@ -414,6 +414,37 @@ func BenchmarkResumeLoadDir(b *testing.B) {
 	b.ReportMetric(float64(lines), "lines/op")
 }
 
+// BenchmarkIncrementalApply prices one small delta (16 records) applied
+// to an incremental engine already holding a full cluster-week,
+// including the Snapshot that makes the result servable — the
+// post-ingest cost the online service pays on the first query at a new
+// watermark. Compare with BenchmarkDiagnoseWeek, which re-pays the
+// whole corpus for the same delta. BENCH_pr7.json records a reference
+// run; the CI serving gate compares against it.
+func BenchmarkIncrementalApply(b *testing.B) {
+	scn := benchScenario(b)
+	all := append([]events.Record(nil), scn.Records...)
+	events.SortByTime(all)
+	seedN := len(all) - len(all)/20 // hold back ~5% as the live tail
+	eng := core.NewEngine(core.DefaultConfig())
+	eng.ApplyBatch(all[:seedN])
+	tail := all[seedN:]
+	const delta = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * delta) % len(tail)
+		end := off + delta
+		if end > len(tail) {
+			end = len(tail)
+		}
+		eng.ApplyBatch(tail[off:end])
+		if res := eng.Snapshot(0); len(res.Detections) == 0 {
+			b.Fatal("no detections")
+		}
+	}
+}
+
 // BenchmarkShardedStoreBuild measures sharding + per-shard indexing +
 // k-way merge of an in-memory cluster-week (counterpart of
 // BenchmarkStoreBuild).

@@ -23,10 +23,17 @@
 // pre-checks, safety guards and an append-only ticket ledger.
 //
 // -logs bootstraps the corpus from a directory (sequential or -stream
-// sharded/WAL-journaled loading, exactly like cmd/diagnose). Identical
-// concurrent queries are coalesced, responses are cached until the next
-// ingest bumps the watermark, and load beyond -max-inflight is shed
-// with 429 + Retry-After. On SIGINT/SIGTERM the server drains in-flight
+// sharded/WAL-journaled loading, exactly like cmd/diagnose); the
+// bootstrap is applied to the incremental diagnosis engine and fully
+// diagnosed before serving starts, so startup pays the whole pipeline
+// once and the first query is already memoized. Each ingest queues a
+// delta that the first query at the new watermark folds in at cost
+// proportional to the batch — post-ingest latency does not re-pay the
+// corpus (staleness and apply duration are visible on /healthz and
+// /metrics). Identical concurrent queries are coalesced, responses are
+// cached until the next ingest bumps the watermark, and load beyond
+// -max-inflight is shed with 429 + Retry-After. On SIGINT/SIGTERM the
+// server drains in-flight
 // requests and persists the watcher state to -checkpoint; a restart
 // with -resume restores it, so alarm suppression and refractory merges
 // survive restarts.

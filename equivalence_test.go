@@ -56,7 +56,7 @@ type equivCorpus struct {
 	removeStreams []events.Stream
 }
 
-func (c equivCorpus) write(t *testing.T, scn *Scenario) string {
+func (c equivCorpus) write(t testing.TB, scn *Scenario) string {
 	t.Helper()
 	dir := filepath.Join(t.TempDir(), "logs")
 	if c.chaos == (ChaosConfig{}) {

@@ -301,6 +301,23 @@ func DiagnoseContext(ctx context.Context, store *Store, cfg PipelineConfig) (*Re
 	return core.RunContext(ctx, store, cfg)
 }
 
+// Engine is the incremental diagnosis pipeline: it holds live
+// detection, correlation, job-table, apid and degradation state and
+// updates all of it per ingested batch in cost proportional to the
+// batch, not the corpus. After any sequence of ApplyBatch calls,
+// Snapshot is value- and byte-identical to Diagnose over a store built
+// from the concatenated batches; the differential harness in
+// incremental_test.go proves that at every watermark. The online
+// service applies deltas through one of these instead of rebuilding.
+type Engine = core.Engine
+
+// NewEngine builds an empty incremental pipeline with the default
+// correlation windows.
+func NewEngine() *Engine { return core.NewEngine(core.DefaultConfig()) }
+
+// NewEngineWith is NewEngine with custom windows.
+func NewEngineWith(cfg PipelineConfig) *Engine { return core.NewEngine(cfg) }
+
 // SaveWatcherCheckpoint atomically persists a watcher's detection state
 // (write-to-temp, rename); LoadWatcherCheckpoint restores it, reporting
 // false with no error when the file does not exist. cmd/watch and the

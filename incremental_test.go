@@ -1,0 +1,216 @@
+package hpcfail
+
+// Differential harness for the incremental diagnosis engine: over
+// seeded corpora × chaos damage × randomized ingest schedules (batch
+// sizes, out-of-order arrivals) × GOMAXPROCS, the engine's Snapshot
+// after every single batch must be value-identical AND render
+// byte-identical to a from-scratch batch pipeline run over the
+// concatenated arrivals. Snapshots taken at earlier watermarks must
+// also stay stable — re-rendering them after later batches mutated the
+// engine must reproduce the exact bytes captured at their watermark.
+// Run with -race; the acceptance gate is
+//
+//	go test -run TestIncrementalEquivalence -race .
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"hpcfail/internal/core"
+	"hpcfail/internal/events"
+	"hpcfail/internal/render"
+	"hpcfail/internal/topology"
+)
+
+// perturbArrival returns a deterministically disordered copy of recs:
+// each index has probability frac of swapping with a partner up to
+// window positions ahead, producing out-of-order arrivals both inside
+// batches and across batch boundaries.
+func perturbArrival(recs []events.Record, rng *rand.Rand, frac float64, window int) []events.Record {
+	out := make([]events.Record, len(recs))
+	copy(out, recs)
+	for i := range out {
+		if rng.Float64() >= frac {
+			continue
+		}
+		j := i + rng.Intn(window)
+		if j >= len(out) {
+			j = len(out) - 1
+		}
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// splitBatches cuts the arrival sequence at n-1 uniformly random points
+// — batch sizes vary wildly and empty batches occur naturally when two
+// cuts coincide.
+func splitBatches(recs []events.Record, rng *rand.Rand, n int) [][]events.Record {
+	cuts := make([]int, 0, n+1)
+	cuts = append(cuts, 0, len(recs))
+	for i := 1; i < n; i++ {
+		cuts = append(cuts, rng.Intn(len(recs)+1))
+	}
+	sort.Ints(cuts)
+	out := make([][]events.Record, 0, n)
+	for i := 1; i < len(cuts); i++ {
+		out = append(out, recs[cuts[i-1]:cuts[i]])
+	}
+	return out
+}
+
+// renderPair renders the CLI text report (full) and the NDJSON form of
+// a result — the byte surface /v1/diagnose serves.
+func renderPair(t *testing.T, dir string, rep *IngestReport, res *Result) ([]byte, []byte) {
+	t.Helper()
+	var txt, js bytes.Buffer
+	if err := render.Diagnose(&txt, dir, res.Store, rep, res, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := render.DiagnoseJSON(&js, res); err != nil {
+		t.Fatal(err)
+	}
+	return txt.Bytes(), js.Bytes()
+}
+
+func TestIncrementalEquivalence(t *testing.T) {
+	corpora := []equivCorpus{
+		{name: "clean"},
+		{name: "chaos-mixed", chaos: ChaosConfig{
+			Drop: 0.05, Garble: 0.05, Truncate: 0.05, Duplicate: 0.05, Seed: 17}},
+		{name: "degraded-no-scheduler", removeStreams: []events.Stream{events.StreamScheduler}},
+	}
+	for _, seed := range []uint64{5, 23} {
+		scn := equivScenario(t, seed)
+		for ci, c := range corpora {
+			dir := c.write(t, scn)
+			store, rep, err := LoadLogsReport(dir, topology.SchedulerSlurm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all := store.All()
+			lost := rep.LostChunks()
+			for gi, gmp := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("seed%d/%s/gomaxprocs%d", seed, c.name, gmp), func(t *testing.T) {
+					old := runtime.GOMAXPROCS(gmp)
+					defer runtime.GOMAXPROCS(old)
+
+					// Distinct deterministic schedule per (seed, corpus,
+					// gomaxprocs) leg.
+					rng := rand.New(rand.NewSource(int64(seed)*4001 + int64(1000*ci+31*gi+7)))
+					arrivals := perturbArrival(all, rng, 0.15, 96)
+					batches := splitBatches(arrivals, rng, 8)
+
+					eng := NewEngine()
+					var arrived []Record
+					type watermark struct {
+						res      *Result
+						txt, js  []byte
+						detCount int
+					}
+					var wms []watermark
+					for bi, b := range batches {
+						eng.ApplyBatch(b)
+						arrived = append(arrived, b...)
+						got := eng.Snapshot(lost)
+						want, err := core.RunContextReport(context.Background(),
+							StoreRecords(arrived), DefaultPipelineConfig(), lost)
+						if err != nil {
+							t.Fatal(err)
+						}
+						func() {
+							defer func() {
+								if t.Failed() {
+									t.Logf("diverged at watermark %d (batch of %d, %d arrived)",
+										bi, len(b), len(arrived))
+								}
+							}()
+							sameResults(t, got, want)
+						}()
+						gt, gj := renderPair(t, dir, rep, got)
+						wt, wj := renderPair(t, dir, rep, want)
+						if !bytes.Equal(gt, wt) {
+							t.Fatalf("watermark %d: text render diverges from batch pipeline", bi)
+						}
+						if !bytes.Equal(gj, wj) {
+							t.Fatalf("watermark %d: JSON render diverges from batch pipeline", bi)
+						}
+						wms = append(wms, watermark{res: got, txt: gt, js: gj, detCount: len(got.Detections)})
+					}
+					if n := wms[len(wms)-1].detCount; c.name == "clean" && n == 0 {
+						t.Fatal("clean corpus yields no detections — property vacuous")
+					}
+					if eng.Len() != len(all) {
+						t.Fatalf("engine holds %d records, corpus has %d", eng.Len(), len(all))
+					}
+
+					// Snapshot stability: every earlier watermark's Result must
+					// re-render the exact bytes captured when it was taken, even
+					// though the engine mutated through every later batch.
+					for i, w := range wms {
+						txt, js := renderPair(t, dir, rep, w.res)
+						if !bytes.Equal(txt, w.txt) || !bytes.Equal(js, w.js) {
+							t.Fatalf("watermark %d snapshot mutated by later batches", i)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalSingleRecordBatches drives the engine one record at a
+// time — the server's worst-case write mix — and checks against the
+// batch pipeline at sampled watermarks (every record would square the
+// runtime).
+func TestIncrementalSingleRecordBatches(t *testing.T) {
+	scn := equivScenario(t, 23)
+	dir := equivCorpus{name: "clean"}.write(t, scn)
+	store, _, err := LoadLogsReport(dir, topology.SchedulerSlurm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := store.All()
+	// A slice around the first detection keeps the leg fast but
+	// failure-bearing.
+	full, err := core.RunContextReport(context.Background(), StoreRecords(all), DefaultPipelineConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Detections) == 0 {
+		t.Fatal("corpus yields no detections — test vacuous")
+	}
+	firstDet := full.Detections[0].Time
+	lo, hi := 0, len(all)
+	for i := range all {
+		if all[i].Time.Before(firstDet.Add(-DefaultPipelineConfig().ExternalWindow)) {
+			lo = i
+		}
+		if all[i].Time.Before(firstDet.Add(DefaultPipelineConfig().ExternalWindow)) {
+			hi = i
+		}
+	}
+	slice := all[lo:hi]
+	if len(slice) > 4000 {
+		slice = slice[:4000]
+	}
+	eng := NewEngine()
+	for i := range slice {
+		eng.ApplyBatch(slice[i : i+1])
+		if i%500 != 499 && i != len(slice)-1 {
+			continue
+		}
+		got := eng.Snapshot(0)
+		want, err := core.RunContextReport(context.Background(),
+			StoreRecords(slice[:i+1]), DefaultPipelineConfig(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, got, want)
+	}
+}

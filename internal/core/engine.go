@@ -1,0 +1,489 @@
+package core
+
+import (
+	"time"
+
+	"hpcfail/internal/alps"
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/workload"
+)
+
+// Engine is the incremental diagnosis pipeline: it holds the live
+// corpus (logstore.Live), the per-node terminal/detection state, the
+// job table, the apid index, the degradation flags and a memo of every
+// diagnosis, and updates all of it per record batch in cost
+// proportional to the batch — not the corpus. Snapshot then assembles a
+// *Result that is value-identical (and therefore renders byte-
+// identical) to RunContextReport over a from-scratch store of the same
+// arrival sequence; the differential harness in the repo root proves
+// that equality after every batch.
+//
+// The invalidation rules are conservative supersets of Diagnose's true
+// dependencies, so a diagnosis is only ever reused when every input it
+// could have read is unchanged:
+//
+//   - new records on a node dirty that node's detections whose internal
+//     [t-InternalWindow, t+1s) or external [t-ExternalWindow, t) window
+//     could contain them;
+//   - a changed job (fold output or first-seen position) dirties every
+//     detection on the job's old and new nodes inside its old and new
+//     [Start, End) spans — the exact reach of workload.JobOnNode;
+//   - a changed apid resolution dirties detections whose terminal
+//     carried the apid and detections whose internal window holds a
+//     record tagged with it;
+//   - new/changed/removed terminal records refold the whole node's
+//     detection chain (refractory merging is per-node state).
+//
+// Engine is single-writer: callers serialise ApplyBatch and Snapshot
+// (the HTTP server holds one mutex across both). Snapshots remain valid
+// after further ApplyBatch calls.
+type Engine struct {
+	cfg  Config
+	live *logstore.Live
+	// store is the snapshot of live after the last ApplyBatch; diagnosis
+	// windows resolve against it and Snapshot hands it out as
+	// Result.Store.
+	store *logstore.Store
+	seq   int64
+
+	// terms holds each node's terminal records in canonical order; dets
+	// holds the refolded detection chains.
+	terms map[cname.Name][]termEntry
+	dets  map[cname.Name][]detRec
+
+	// Job-table state: per-job scheduler records in canonical order, the
+	// cached fold of each job, the first-seen key ordering the table, and
+	// the assembled jobs slice.
+	jobRecs  map[int64][]termEntry
+	jobFold  map[int64]workload.Job
+	jobFirst map[int64]recKey
+	jobs     []workload.Job
+
+	// Apid-index state: the resolution map plus the canonical key of the
+	// record that last wrote each entry (last write in canonical order
+	// wins, as in alps.IndexBuilder over the sorted corpus).
+	apids   map[int64]int64
+	apidKey map[int64]recKey
+
+	// Stream-family presence (monotone under appends) for Degradation.
+	haveInt, haveExt, haveSched, haveALPS bool
+
+	// diags memoizes raw (pre-degradation) diagnoses per detection.
+	diags map[detKey]Diagnosis
+}
+
+// recKey is the canonical total order of the corpus: the ByTime
+// comparator plus arrival sequence, which is exactly the stable order
+// events.SortByTime imposes.
+type recKey struct {
+	t      int64
+	stream events.Stream
+	comp   cname.Name
+	seq    int64
+}
+
+func keyBefore(a, b recKey) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.stream != b.stream {
+		return a.stream < b.stream
+	}
+	if c := cname.Compare(a.comp, b.comp); c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+// termEntry is one keyed record in a per-node or per-job ordered list.
+type termEntry struct {
+	key recKey
+	rec events.Record
+}
+
+// detKey is the memo identity of one detection.
+type detKey struct {
+	node     cname.Name
+	t        int64
+	terminal string
+	jobID    int64
+}
+
+func keyOf(d Detection) detKey {
+	return detKey{node: d.Node, t: d.Time.UnixNano(), terminal: d.Terminal, jobID: d.JobID}
+}
+
+// detRec pairs a detection with the canonical key of the terminal
+// record that emitted it, which orders detections globally.
+type detRec struct {
+	det Detection
+	key recKey
+}
+
+// NewEngine returns an empty incremental pipeline.
+func NewEngine(cfg Config) *Engine {
+	live := logstore.NewLive()
+	return &Engine{
+		cfg:      cfg,
+		live:     live,
+		store:    live.Snapshot(),
+		terms:    map[cname.Name][]termEntry{},
+		dets:     map[cname.Name][]detRec{},
+		jobRecs:  map[int64][]termEntry{},
+		jobFold:  map[int64]workload.Job{},
+		jobFirst: map[int64]recKey{},
+		apids:    map[int64]int64{},
+		apidKey:  map[int64]recKey{},
+		diags:    map[detKey]Diagnosis{},
+	}
+}
+
+// insertEntry places e into the keyed list at its canonical position.
+// Appends (the in-order common case) cost O(1); out-of-order arrivals
+// shift the tail of that one list.
+func insertEntry(list []termEntry, e termEntry) []termEntry {
+	i := len(list)
+	for i > 0 && keyBefore(e.key, list[i-1].key) {
+		i--
+	}
+	list = append(list, termEntry{})
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	return list
+}
+
+// ApplyBatch folds one batch of records — in arrival order, exactly as
+// handed to the parser/watcher — into the live pipeline state and
+// re-diagnoses every detection the batch could have affected. The slice
+// is not retained.
+func (e *Engine) ApplyBatch(recs []events.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	batch := make([]events.Record, len(recs))
+	copy(batch, recs)
+	events.SortByTime(batch)
+	e.live.Apply(batch)
+	e.store = e.live.Snapshot()
+
+	refold := map[cname.Name]bool{}
+	jobsTouched := map[int64]workload.Job{} // pre-batch fold of each touched job
+	jobsSeen := map[int64]bool{}            // touched job existed before this batch
+	apidOld := map[int64]int64{}            // pre-batch Resolve output of touched apids
+	type span struct{ lo, hi int64 }
+	nodeSpans := map[cname.Name]*span{}
+
+	for i := range batch {
+		r := &batch[i]
+		e.seq++
+		k := recKey{t: r.Time.UnixNano(), stream: r.Stream, comp: r.Component, seq: e.seq}
+
+		switch {
+		case r.Stream.Internal():
+			e.haveInt = true
+		case r.Stream.External():
+			e.haveExt = true
+		case r.Stream == events.StreamScheduler:
+			e.haveSched = true
+		case r.Stream == events.StreamALPS:
+			e.haveALPS = true
+		}
+
+		if r.Component.IsValid() && r.Component.Level() == cname.LevelNode {
+			if sp := nodeSpans[r.Component]; sp == nil {
+				nodeSpans[r.Component] = &span{lo: k.t, hi: k.t}
+			} else {
+				if k.t < sp.lo {
+					sp.lo = k.t
+				}
+				if k.t > sp.hi {
+					sp.hi = k.t
+				}
+			}
+		}
+
+		if IsTerminal(r) {
+			e.terms[r.Component] = insertEntry(e.terms[r.Component], termEntry{key: k, rec: *r})
+			refold[r.Component] = true
+		}
+
+		if r.Stream == events.StreamScheduler && r.JobID != 0 {
+			if _, touched := jobsTouched[r.JobID]; !touched {
+				jobsTouched[r.JobID] = e.jobFold[r.JobID]
+				_, jobsSeen[r.JobID] = e.jobFirst[r.JobID]
+			}
+			e.jobRecs[r.JobID] = insertEntry(e.jobRecs[r.JobID], termEntry{key: k, rec: *r})
+		}
+
+		if r.Stream == events.StreamALPS && r.JobID != 0 {
+			if apid := alps.Apid(r); apid != 0 {
+				if prev, ok := e.apidKey[apid]; !ok || keyBefore(prev, k) {
+					if _, touched := apidOld[apid]; !touched {
+						apidOld[apid] = alps.Resolve(apid, e.apids)
+					}
+					e.apidKey[apid] = k
+					e.apids[apid] = r.JobID
+				}
+			}
+		}
+	}
+
+	dirty := map[detKey]Detection{}
+
+	// Refold detection chains for nodes whose terminal set changed:
+	// every detection of the node is re-derived and re-diagnosed, and
+	// stale memo entries are dropped.
+	for n := range refold {
+		for _, dr := range e.dets[n] {
+			delete(e.diags, keyOf(dr.det))
+		}
+		folded := e.refoldNode(n)
+		e.dets[n] = folded
+		for _, dr := range folded {
+			dirty[keyOf(dr.det)] = dr.det
+		}
+	}
+
+	// New records on a node dirty the detections whose evidence windows
+	// can reach them: a record at tr is visible to detections with
+	// t ∈ (tr-1s, tr+ExternalWindow] (external) or (tr-1s,
+	// tr+InternalWindow] (internal); ExternalWindow ≥ InternalWindow in
+	// every config this repo runs, and the union bound below is
+	// conservative either way.
+	reach := e.cfg.ExternalWindow
+	if e.cfg.InternalWindow > reach {
+		reach = e.cfg.InternalWindow
+	}
+	for n, sp := range nodeSpans {
+		e.dirtyRange(dirty, n, sp.lo-int64(time.Second), sp.hi+int64(reach))
+	}
+
+	// Changed jobs dirty every detection JobOnNode could answer
+	// differently for: the old and new node sets over the old and new
+	// [Start, End) spans. A changed first-seen position (order decides
+	// equal-Start ties) is treated as a change too.
+	jobsChanged := false
+	for id, oldFold := range jobsTouched {
+		list := e.jobRecs[id]
+		newFirst := list[0].key
+		firstChanged := !jobsSeen[id] || e.jobFirst[id] != newFirst
+		e.jobFirst[id] = newFirst
+		newFold := foldJob(id, list)
+		e.jobFold[id] = newFold
+		if !firstChanged && jobsSeen[id] && jobEqual(oldFold, newFold) {
+			continue
+		}
+		jobsChanged = true
+		for _, j := range []workload.Job{oldFold, newFold} {
+			if j.Start.IsZero() || j.End.IsZero() {
+				continue
+			}
+			lo, hi := j.Start.UnixNano(), j.End.UnixNano()-1
+			for _, n := range j.Nodes {
+				e.dirtyRange(dirty, n, lo, hi)
+			}
+		}
+	}
+	if jobsChanged || len(jobsTouched) > 0 {
+		e.rebuildJobs()
+	}
+
+	// Changed apid resolutions dirty detections that resolved the apid:
+	// those whose terminal carried it, and those whose internal window
+	// holds an internal node record tagged with it.
+	for apid, old := range apidOld {
+		if alps.Resolve(apid, e.apids) == old {
+			continue
+		}
+		for _, drs := range e.dets {
+			for _, dr := range drs {
+				if dr.det.JobID == apid {
+					dirty[keyOf(dr.det)] = dr.det
+				}
+			}
+		}
+		for _, r := range e.store.Job(apid) {
+			if !r.Stream.Internal() || !r.Component.IsValid() || r.Component.Level() != cname.LevelNode {
+				continue
+			}
+			tr := r.Time.UnixNano()
+			e.dirtyRange(dirty, r.Component, tr-int64(time.Second), tr+int64(e.cfg.InternalWindow))
+		}
+	}
+
+	if len(dirty) == 0 {
+		return
+	}
+	rc := &RootCauser{Store: e.store, Jobs: e.jobs, Cfg: e.cfg, Apids: e.apids}
+	for k, d := range dirty {
+		if _, live := e.detAt(k); !live {
+			continue // dirtied conservatively but no longer detected
+		}
+		e.diags[k] = rc.Diagnose(d)
+	}
+}
+
+// refoldNode re-runs the per-node refractory chain over the node's
+// terminal records — the detector.add fold restricted to one node,
+// which equals the global fold's output for that node because the
+// refractory state is node-keyed.
+func (e *Engine) refoldNode(n cname.Name) []detRec {
+	var out []detRec
+	var last time.Time
+	have := false
+	for _, te := range e.terms[n] {
+		if have && te.rec.Time.Sub(last) < e.cfg.RefractoryGap {
+			last = te.rec.Time
+			continue
+		}
+		last = te.rec.Time
+		have = true
+		out = append(out, detRec{
+			det: Detection{Node: te.rec.Component, Time: te.rec.Time, Terminal: te.rec.Category, JobID: te.rec.JobID},
+			key: te.key,
+		})
+	}
+	return out
+}
+
+// detAt reports whether k still names a live detection.
+func (e *Engine) detAt(k detKey) (Detection, bool) {
+	for _, dr := range e.dets[k.node] {
+		if keyOf(dr.det) == k {
+			return dr.det, true
+		}
+	}
+	return Detection{}, false
+}
+
+// dirtyRange marks the node's detections with Time in [lo, hi]
+// (inclusive, nanoseconds) dirty.
+func (e *Engine) dirtyRange(dirty map[detKey]Detection, n cname.Name, lo, hi int64) {
+	drs := e.dets[n]
+	i, j := 0, len(drs)
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		if drs[mid].det.Time.UnixNano() < lo {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
+	for ; i < len(drs); i++ {
+		if drs[i].det.Time.UnixNano() > hi {
+			return
+		}
+		dirty[keyOf(drs[i].det)] = drs[i].det
+	}
+}
+
+// foldJob replays one job's scheduler records, in canonical order,
+// through the job-table fold — identical to JobTableBuilder restricted
+// to the job, since Add only reads and writes the record's own job.
+func foldJob(id int64, list []termEntry) workload.Job {
+	b := logparse.NewJobTableBuilder()
+	for i := range list {
+		b.Add(&list[i].rec)
+	}
+	j, ok := b.Job(id)
+	if !ok {
+		return workload.Job{ID: id}
+	}
+	return j
+}
+
+func jobEqual(a, b workload.Job) bool {
+	if a.ID != b.ID || a.App != b.App || a.User != b.User ||
+		!a.Submit.Equal(b.Submit) || !a.Start.Equal(b.Start) || !a.End.Equal(b.End) ||
+		a.State != b.State || a.ExitCode != b.ExitCode || a.ReqMemMB != b.ReqMemMB ||
+		a.Overallocated != b.Overallocated || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildJobs reassembles the jobs slice: complete jobs ordered by
+// first-seen canonical key — exactly the order JobTableBuilder.Jobs
+// emits over the sorted corpus. Always a fresh slice; earlier snapshots
+// keep theirs.
+func (e *Engine) rebuildJobs() {
+	ids := make([]int64, 0, len(e.jobFirst))
+	for id := range e.jobFirst {
+		ids = append(ids, id)
+	}
+	// Insertion sort by first-seen key; the table is small and mostly
+	// ordered already.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && keyBefore(e.jobFirst[ids[j]], e.jobFirst[ids[j-1]]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var out []workload.Job
+	for _, id := range ids {
+		j := e.jobFold[id]
+		if !j.Start.IsZero() && !j.End.IsZero() {
+			out = append(out, j)
+		}
+	}
+	e.jobs = out
+}
+
+// Snapshot assembles the Result for the corpus applied so far, with the
+// ingestion supervisor's lost-chunk count folded into the degradation
+// assessment exactly as RunContextReport does. The returned value
+// shares no mutable state with the engine and stays valid across later
+// ApplyBatch calls.
+func (e *Engine) Snapshot(lostChunks int) *Result {
+	var all []detRec
+	for _, drs := range e.dets {
+		all = append(all, drs...)
+	}
+	// Global detection order is the canonical order of the emitting
+	// terminal records.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && keyBefore(all[j].key, all[j-1].key); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	var dets []Detection
+	if len(all) > 0 {
+		dets = make([]Detection, len(all))
+	}
+	diags := make([]Diagnosis, len(all))
+	for i, dr := range all {
+		dets[i] = dr.det
+		d, ok := e.diags[keyOf(dr.det)]
+		if !ok {
+			// Defensive: a detection the invalidation rules somehow never
+			// diagnosed. Diagnose it now rather than serve a hole.
+			rc := &RootCauser{Store: e.store, Jobs: e.jobs, Cfg: e.cfg, Apids: e.apids}
+			d = rc.Diagnose(dr.det)
+			e.diags[keyOf(dr.det)] = d
+		}
+		diags[i] = d
+	}
+	deg := Degradation{
+		MissingInternal:  !e.haveInt,
+		MissingExternal:  !e.haveExt,
+		MissingScheduler: !e.haveSched,
+		MissingALPS:      !e.haveALPS,
+		LostChunks:       lostChunks,
+	}
+	applyDegradation(diags, deg)
+	return &Result{Store: e.store, Jobs: e.jobs, Detections: dets, Diagnoses: diags, Degradation: deg}
+}
+
+// Store returns the current corpus snapshot (also available as
+// Snapshot().Store).
+func (e *Engine) Store() *logstore.Store { return e.store }
+
+// Len returns the live record count.
+func (e *Engine) Len() int { return e.live.Len() }

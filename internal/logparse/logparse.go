@@ -671,6 +671,17 @@ func (b *JobTableBuilder) Add(r *events.Record) {
 	}
 }
 
+// Job returns the current fold of one job, complete or not — zero
+// Start/End mark missing records. The incremental engine uses it to
+// re-fold a single job without materialising the whole table.
+func (b *JobTableBuilder) Job(id int64) (workload.Job, bool) {
+	j, ok := b.byID[id]
+	if !ok {
+		return workload.Job{}, false
+	}
+	return *j, true
+}
+
 // Jobs returns the completed jobs in first-seen order. Jobs missing a
 // start or end record are dropped (still running at window end).
 func (b *JobTableBuilder) Jobs() []workload.Job {

@@ -1,0 +1,177 @@
+package logstore
+
+import (
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+)
+
+// Live is the single-writer incremental counterpart of Store: it
+// maintains the canonical record order and every secondary-index family
+// across record batches, in cost proportional to the batch (plus the
+// touched index keys), and stamps out immutable *Store snapshots on
+// demand.
+//
+// The equivalence contract, which the differential harness in the repo
+// root enforces byte-for-byte: after Apply(b1) … Apply(bk), Snapshot()
+// answers every query identically to New(concat(b1 … bk)). That holds
+// because Apply merges each (canonically pre-sorted) batch into the
+// existing order with old-record-wins tie breaking — exactly the stable
+// order events.SortByTime imposes on the concatenated arrival sequence,
+// where earlier arrivals carry smaller indices.
+//
+// Snapshot safety: previously returned snapshots stay valid while the
+// Live keeps mutating. In-order appends reuse the tail capacity of the
+// live slices — invisible to snapshots because every snapshot slice is
+// capacity-capped at its length — and out-of-order arrivals rebuild the
+// affected key's slice copy-on-write, leaving the old array to the old
+// snapshots. The maps themselves are cloned per snapshot.
+//
+// Live itself is not safe for concurrent use; the owner serialises
+// Apply/Snapshot (the server holds its engine mutex across both).
+type Live struct {
+	recs []events.Record
+
+	byNode     map[cname.Name][]events.Record
+	byBlade    map[cname.Name][]events.Record
+	byCabinet  map[cname.Name][]events.Record
+	byCategory map[string][]events.Record
+	byJob      map[int64][]events.Record
+}
+
+// NewLive returns an empty live store.
+func NewLive() *Live {
+	return &Live{
+		// Non-nil from the start so an empty snapshot's All() equals an
+		// empty New()'s (reflect.DeepEqual distinguishes nil).
+		recs:       []events.Record{},
+		byNode:     make(map[cname.Name][]events.Record),
+		byBlade:    make(map[cname.Name][]events.Record),
+		byCabinet:  make(map[cname.Name][]events.Record),
+		byCategory: make(map[string][]events.Record),
+		byJob:      make(map[int64][]events.Record),
+	}
+}
+
+// recBefore is the canonical (time, stream, component) order — the
+// ByTime comparator. Records comparing equal under it are ordered by
+// arrival, which merge sites encode as old-before-new.
+func recBefore(a, b *events.Record) bool {
+	at, bt := a.Time.UnixNano(), b.Time.UnixNano()
+	if at != bt {
+		return at < bt
+	}
+	if a.Stream != b.Stream {
+		return a.Stream < b.Stream
+	}
+	return cname.Compare(a.Component, b.Component) < 0
+}
+
+// mergeSpan merges a canonically-sorted addition into a canonically-
+// sorted span, old records winning ties. When the addition belongs
+// entirely after the existing records the span grows in place (tail
+// capacity is invisible to capped snapshot views); otherwise the merge
+// builds a fresh array so snapshots holding the old one stay intact.
+func mergeSpan(old, add []events.Record) []events.Record {
+	if len(add) == 0 {
+		return old
+	}
+	if len(old) == 0 {
+		cp := make([]events.Record, len(add))
+		copy(cp, add)
+		return cp
+	}
+	if !recBefore(&add[0], &old[len(old)-1]) {
+		return append(old, add...)
+	}
+	out := make([]events.Record, 0, len(old)+len(add))
+	i, j := 0, 0
+	for i < len(old) && j < len(add) {
+		if recBefore(&add[j], &old[i]) {
+			out = append(out, add[j])
+			j++
+		} else {
+			out = append(out, old[i])
+			i++
+		}
+	}
+	out = append(out, old[i:]...)
+	return append(out, add[j:]...)
+}
+
+// Apply merges one batch into the live corpus. The batch must already
+// be in canonical order (events.SortByTime) and represents records that
+// arrived after everything applied before it; Apply does not retain the
+// slice.
+func (l *Live) Apply(batch []events.Record) {
+	if len(batch) == 0 {
+		return
+	}
+	l.recs = mergeSpan(l.recs, batch)
+
+	// Group the batch per key (preserving batch order, which is the
+	// canonical order restricted to the key) and merge family by family.
+	nodeAdds := map[cname.Name][]events.Record{}
+	bladeAdds := map[cname.Name][]events.Record{}
+	cabAdds := map[cname.Name][]events.Record{}
+	catAdds := map[string][]events.Record{}
+	jobAdds := map[int64][]events.Record{}
+	for i := range batch {
+		r := &batch[i]
+		if c := r.Component; c.IsValid() {
+			if c.Level() == cname.LevelNode {
+				nodeAdds[c] = append(nodeAdds[c], *r)
+			}
+			if b := c.BladeName(); b.IsValid() {
+				bladeAdds[b] = append(bladeAdds[b], *r)
+			}
+			cabAdds[c.CabinetName()] = append(cabAdds[c.CabinetName()], *r)
+		}
+		catAdds[r.Category] = append(catAdds[r.Category], *r)
+		if r.JobID != 0 {
+			jobAdds[r.JobID] = append(jobAdds[r.JobID], *r)
+		}
+	}
+	for k, add := range nodeAdds {
+		l.byNode[k] = mergeSpan(l.byNode[k], add)
+	}
+	for k, add := range bladeAdds {
+		l.byBlade[k] = mergeSpan(l.byBlade[k], add)
+	}
+	for k, add := range cabAdds {
+		l.byCabinet[k] = mergeSpan(l.byCabinet[k], add)
+	}
+	for k, add := range catAdds {
+		l.byCategory[k] = mergeSpan(l.byCategory[k], add)
+	}
+	for k, add := range jobAdds {
+		l.byJob[k] = mergeSpan(l.byJob[k], add)
+	}
+}
+
+// Len returns the live record count.
+func (l *Live) Len() int { return len(l.recs) }
+
+// cappedClone clones a span map with every span capacity-capped at its
+// current length, so later in-place appends to the live spans cannot
+// leak into the snapshot.
+func cappedClone[K comparable](m map[K][]events.Record) map[K][]events.Record {
+	out := make(map[K][]events.Record, len(m))
+	for k, v := range m {
+		out[k] = v[:len(v):len(v)]
+	}
+	return out
+}
+
+// Snapshot returns an immutable Store over the corpus applied so far.
+// Queries against it are indistinguishable from New over the same
+// arrival sequence; it stays valid across later Apply calls.
+func (l *Live) Snapshot() *Store {
+	return &Store{
+		recs:       l.recs[:len(l.recs):len(l.recs)],
+		byNode:     cappedClone(l.byNode),
+		byBlade:    cappedClone(l.byBlade),
+		byCabinet:  cappedClone(l.byCabinet),
+		byCategory: cappedClone(l.byCategory),
+		byJob:      cappedClone(l.byJob),
+	}
+}

@@ -375,9 +375,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status    string  `json:"status"`
 		Records   int     `json:"records"`
 		Watermark uint64  `json:"watermark"`
+		Diagnosed uint64  `json:"diagnosed_watermark"`
+		Staleness uint64  `json:"staleness_watermarks"`
 		UptimeSec float64 `json:"uptime_sec"`
 	}
-	st := health{Status: "ok", Records: s.Records(), Watermark: s.Watermark(),
+	wm, diagnosed := s.Staleness()
+	st := health{Status: "ok", Records: s.Records(), Watermark: wm,
+		Diagnosed: diagnosed, Staleness: wm - diagnosed,
 		UptimeSec: time.Since(s.started).Seconds()}
 	code := http.StatusOK
 	if s.draining.Load() {
@@ -394,9 +398,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if last := s.lastIngestWall.Load(); last > 0 {
 		lag = time.Since(time.Unix(0, last)).Seconds()
 	}
+	wm, diagnosed := s.Staleness()
 	gauges := []gauge{
 		{"hpcfail_store_records", "Records in the live corpus.", float64(s.Records())},
-		{"hpcfail_ingest_watermark", "Current ingest watermark (bumps once per accepted batch request).", float64(s.Watermark())},
+		{"hpcfail_ingest_watermark", "Current ingest watermark (bumps once per accepted batch request).", float64(wm)},
+		{"hpcfail_snapshot_staleness_watermarks", "Watermarks ingested but not yet applied to the diagnosed snapshot.", float64(wm - diagnosed)},
 		{"hpcfail_ingest_lag_seconds", "Seconds since the last accepted ingest batch (0 before the first).", lag},
 		{"hpcfail_watcher_nodes", "Nodes with retained watcher state.", float64(state.Nodes)},
 		{"hpcfail_watcher_apids", "Retained apid-to-job resolutions.", float64(state.Apids)},

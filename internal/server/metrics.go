@@ -18,6 +18,7 @@ type metrics struct {
 	counters map[string]uint64
 	requests map[reqKey]uint64
 	latency  map[string]*histogram
+	apply    *histogram
 }
 
 type reqKey struct {
@@ -69,6 +70,12 @@ var counterHelp = map[string]string{
 // seconds; +Inf is implicit.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
 
+// applyBuckets bound the snapshot-apply duration histogram. Finer at
+// the low end than latencyBuckets: a post-ingest delta apply is
+// expected sub-millisecond, and regressions back toward full-corpus
+// rebuild cost (milliseconds) must move visibly across buckets.
+var applyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
+
 type histogram struct {
 	counts []uint64 // one per bucket plus a final +Inf slot
 	sum    float64
@@ -80,6 +87,7 @@ func newMetrics() *metrics {
 		counters: make(map[string]uint64),
 		requests: make(map[reqKey]uint64),
 		latency:  make(map[string]*histogram),
+		apply:    &histogram{counts: make([]uint64, len(applyBuckets)+1)},
 	}
 }
 
@@ -108,6 +116,21 @@ func (m *metrics) observe(handler string, code int, d time.Duration) {
 	h.counts[i]++
 	h.sum += sec
 	h.total++
+}
+
+// observeApply records one incremental-engine delta application — the
+// time a post-ingest query spent bringing the snapshot current.
+func (m *metrics) observeApply(d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := 0
+	for i < len(applyBuckets) && sec > applyBuckets[i] {
+		i++
+	}
+	m.apply.counts[i]++
+	m.apply.sum += sec
+	m.apply.total++
 }
 
 // gauge is a scrape-time measurement supplied by the server.
@@ -168,6 +191,18 @@ func (m *metrics) write(w io.Writer, gauges []gauge) {
 		fmt.Fprintf(w, "hpcfail_http_request_duration_seconds_sum{handler=%q} %g\n", hname, h.sum)
 		fmt.Fprintf(w, "hpcfail_http_request_duration_seconds_count{handler=%q} %d\n", hname, h.total)
 	}
+
+	fmt.Fprintf(w, "# HELP hpcfail_snapshot_apply_seconds Incremental delta-apply duration per snapshot advance.\n")
+	fmt.Fprintf(w, "# TYPE hpcfail_snapshot_apply_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range applyBuckets {
+		cum += m.apply.counts[i]
+		fmt.Fprintf(w, "hpcfail_snapshot_apply_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.apply.counts[len(applyBuckets)]
+	fmt.Fprintf(w, "hpcfail_snapshot_apply_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "hpcfail_snapshot_apply_seconds_sum %g\n", m.apply.sum)
+	fmt.Fprintf(w, "hpcfail_snapshot_apply_seconds_count %d\n", m.apply.total)
 
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)

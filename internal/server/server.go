@@ -12,12 +12,17 @@
 //     snapshot taken at a watermark, and every cache key embeds the
 //     watermark it was rendered at — so ingest invalidates the cache
 //     by construction, without tracking or purging entries.
-//   - Singleflight. The expensive steps (indexing the corpus, running
-//     the diagnosis pipeline, rendering a response) are coalesced:
-//     concurrent identical queries share one computation. Shared
-//     computations run on a context detached from any single request
-//     (bounded by Config.QueryTimeout), so one impatient client cannot
-//     cancel work others are waiting on.
+//   - Incremental engine. The server owns one core.Engine holding the
+//     live pipeline state. Ingested batches queue as pending deltas;
+//     the first query after an ingest applies them in cost proportional
+//     to the pending records — not the corpus — and snapshots the
+//     engine, whose output is byte-identical to a from-scratch rebuild
+//     (proven by the repo-root differential harness). The full-corpus
+//     re-index + re-diagnose this replaced was the post-ingest p95.
+//   - Singleflight. The expensive steps (applying pending deltas,
+//     rendering a response) are coalesced: concurrent identical queries
+//     share one computation, detached from any single request, so one
+//     impatient client cannot cancel work others are waiting on.
 //   - Admission control. A semaphore bounds concurrently served
 //     ingest/diagnose requests; overflow is shed immediately with 429
 //     and a Retry-After hint rather than queueing without bound.
@@ -28,7 +33,6 @@
 package server
 
 import (
-	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -54,7 +58,11 @@ type Config struct {
 	// MaxInflight bounds concurrently served ingest/diagnose requests;
 	// excess requests are shed with 429 (default 64).
 	MaxInflight int
-	// QueryTimeout bounds one diagnosis computation (default 30s).
+	// QueryTimeout bounds one diagnosis computation (default 30s). The
+	// incremental engine applies pending ingest deltas in cost
+	// proportional to the delta, not the corpus, and an apply is not
+	// cancellable — the timeout is retained as configuration surface and
+	// as the bound a from-scratch rebuild path would use.
 	QueryTimeout time.Duration
 	// CacheEntries bounds the rendered-response LRU (default 256).
 	CacheEntries int
@@ -115,14 +123,28 @@ type Server struct {
 	// is being served.
 	sem chan struct{}
 
-	// mu guards the live corpus state: the record log (append-only),
-	// the aggregated ingest ledger, the watermark that versions them,
-	// and the memoized snapshot.
+	// mu guards the live corpus state: the pending (ingested but not yet
+	// applied) record deltas, the total record count, the aggregated
+	// ingest ledger, the watermark that versions them, and the memoized
+	// snapshot.
 	mu        sync.Mutex
-	recs      []events.Record
+	pending   []events.Record
+	recCount  int
 	rep       *logstore.IngestReport
 	watermark uint64
 	snap      *snapshot
+
+	// eng is the incremental diagnosis pipeline holding the live corpus
+	// and per-detection state; engMu serialises ApplyBatch/Snapshot (the
+	// engine is single-writer) and orders pending-drain against snapshot
+	// memoization.
+	eng   *core.Engine
+	engMu sync.Mutex
+
+	// cloneCalls counts ingest-ledger deep copies. Cloning is per
+	// applied delta, never per query — the clone-count regression test
+	// pins that down.
+	cloneCalls atomic.Uint64
 
 	// sf coalesces snapshot builds and response renders.
 	sf flightGroup
@@ -173,6 +195,7 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		rep:     &logstore.IngestReport{},
+		eng:     core.NewEngine(cfg.Pipeline),
 		cache:   newLRU(cfg.CacheEntries),
 		started: time.Now(),
 	}
@@ -237,17 +260,27 @@ func (s *Server) Watcher() *core.Watcher { return s.watcher }
 // Seed installs a bootstrap corpus — typically logstore.LoadDirReport
 // output — as watermark 1, replaying it through the watcher so online
 // state (refractory gaps, apid resolution, burst windows) continues
-// from the end of the bootstrap rather than from nothing. The store is
-// memoized as the first snapshot, so the first query diagnoses the
-// exact store the CLI would have built from the same directory. Call
-// before serving; Seed is not synchronised against live handlers.
+// from the end of the bootstrap rather than from nothing. The corpus is
+// applied to the incremental engine and fully diagnosed eagerly, so the
+// startup cost covers the whole pipeline and the first query serves a
+// memoized snapshot — byte-identical to what the CLI prints over the
+// same directory. Call before serving; Seed is not synchronised against
+// live handlers.
 func (s *Server) Seed(store *logstore.Store, rep *logstore.IngestReport) {
 	recs := store.All()
+
+	s.engMu.Lock()
+	start := time.Now()
+	s.eng.ApplyBatch(recs)
+	res := s.eng.Snapshot(rep.LostChunks())
+	s.metrics.observeApply(time.Since(start))
+	s.engMu.Unlock()
+
 	s.mu.Lock()
-	s.recs = recs[:len(recs):len(recs)]
-	s.rep = cloneReport(rep)
+	s.recCount = len(recs)
+	s.rep = s.cloneRep(rep)
 	s.watermark = 1
-	s.snap = &snapshot{watermark: 1, store: store, rep: cloneReport(rep)}
+	s.snap = &snapshot{watermark: 1, store: res.Store, rep: s.cloneRep(rep), res: res}
 	s.mu.Unlock()
 	s.watcher.FeedAll(recs)
 }
@@ -272,7 +305,8 @@ func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
 	}
 
 	s.mu.Lock()
-	s.recs = append(s.recs, all...)
+	s.pending = append(s.pending, all...)
+	s.recCount += len(all)
 	for _, srep := range sreps {
 		s.rep.MergeStream(srep)
 	}
@@ -301,20 +335,16 @@ type IngestResult struct {
 	Watermark   uint64 `json:"watermark"`
 }
 
-// snapshotNow returns the snapshot for the current watermark, building
-// it at most once per watermark: the corpus is indexed and the full
-// diagnosis pipeline runs under singleflight on a detached context
-// bounded by QueryTimeout, so concurrent queries after an ingest share
-// one rebuild and no client's cancellation aborts it for the rest.
+// snapshotNow returns a snapshot at (at least) the current watermark,
+// advancing the incremental engine through the pending ingest deltas at
+// most once per watermark: the apply runs under singleflight, so
+// concurrent queries after an ingest share one delta application — in
+// cost proportional to the pending records, not the corpus — and no
+// client's cancellation aborts it for the rest.
 func (s *Server) snapshotNow() (*snapshot, error) {
 	s.mu.Lock()
 	wm := s.watermark
-	view := s.recs[:len(s.recs):len(s.recs)]
 	memo := s.snap
-	var repClone *logstore.IngestReport
-	if memo == nil || memo.watermark != wm {
-		repClone = cloneReport(s.rep)
-	}
 	s.mu.Unlock()
 
 	if memo != nil && memo.watermark == wm && memo.res != nil {
@@ -322,36 +352,49 @@ func (s *Server) snapshotNow() (*snapshot, error) {
 	}
 
 	v, err, _ := s.sf.Do(fmt.Sprintf("snap@%d", wm), func() (any, error) {
-		s.mu.Lock()
-		memo := s.snap
-		s.mu.Unlock()
-		if memo != nil && memo.watermark == wm && memo.res != nil {
-			return memo, nil
-		}
-		store := logstore.New(view)
-		rep := repClone
-		if memo != nil && memo.watermark == wm {
-			// Seeded store: reuse the bootstrap index and its ledger copy.
-			store, rep = memo.store, memo.rep
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
-		defer cancel()
-		res, err := core.RunContextReport(ctx, store, s.cfg.Pipeline, rep.LostChunks())
-		if err != nil {
-			return nil, fmt.Errorf("diagnosis at watermark %d: %w", wm, err)
-		}
-		snap := &snapshot{watermark: wm, store: store, rep: rep, res: res}
-		s.mu.Lock()
-		if s.snap == nil || s.snap.watermark <= wm {
-			s.snap = snap
-		}
-		s.mu.Unlock()
-		return snap, nil
+		return s.applyPending(wm), nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*snapshot), nil
+}
+
+// applyPending drains the pending ingest deltas into the engine and
+// memoizes the fresh snapshot. engMu serialises engine access and makes
+// drain→apply→memoize atomic with respect to other appliers; ingests
+// landing mid-apply stay pending and are picked up by the next query at
+// their (higher) watermark.
+func (s *Server) applyPending(wm uint64) *snapshot {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+
+	s.mu.Lock()
+	if memo := s.snap; memo != nil && memo.watermark >= wm && memo.res != nil {
+		// A concurrent applier already covered this watermark (or a later
+		// one — serving fresher than asked is fine, the cache keys on the
+		// snapshot's own watermark).
+		s.mu.Unlock()
+		return memo
+	}
+	delta := s.pending
+	s.pending = nil
+	curWM := s.watermark
+	rep := s.cloneRep(s.rep)
+	s.mu.Unlock()
+
+	start := time.Now()
+	s.eng.ApplyBatch(delta)
+	res := s.eng.Snapshot(rep.LostChunks())
+	s.metrics.observeApply(time.Since(start))
+
+	snap := &snapshot{watermark: curWM, store: res.Store, rep: rep, res: res}
+	s.mu.Lock()
+	if s.snap == nil || s.snap.watermark <= curWM {
+		s.snap = snap
+	}
+	s.mu.Unlock()
+	return snap
 }
 
 // BeginDrain moves the server into draining: health flips to 503, new
@@ -388,11 +431,41 @@ func (s *Server) Watermark() uint64 {
 	return s.watermark
 }
 
-// Records returns the live record count.
+// Records returns the live record count (applied plus pending).
 func (s *Server) Records() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.recs)
+	return s.recCount
+}
+
+// DiagnosedWatermark returns the watermark of the memoized snapshot —
+// the freshest watermark a query can be answered at without applying
+// pending deltas. Zero when nothing has been diagnosed yet.
+func (s *Server) DiagnosedWatermark() uint64 {
+	_, d := s.Staleness()
+	return d
+}
+
+// Staleness returns the ingest watermark and the diagnosed watermark in
+// one consistent read, so wm >= diagnosed always holds and their
+// difference — watermarks ingested but not yet applied — can't
+// underflow.
+func (s *Server) Staleness() (wm, diagnosed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wm = s.watermark
+	if s.snap != nil && s.snap.res != nil {
+		diagnosed = s.snap.watermark
+	}
+	return wm, diagnosed
+}
+
+// cloneRep counts and performs one ingest-ledger deep copy. All clones
+// go through here so the regression test can assert cloning happens per
+// applied delta, not per query.
+func (s *Server) cloneRep(r *logstore.IngestReport) *logstore.IngestReport {
+	s.cloneCalls.Add(1)
+	return cloneReport(r)
 }
 
 // cloneReport deep-copies an ingest report so snapshot readers never

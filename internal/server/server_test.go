@@ -360,6 +360,114 @@ func waitForLine(t *testing.T, lines <-chan string, substr string) {
 	}
 }
 
+// TestSnapshotClonesOncePerApply is the regression guard for the
+// per-query ledger copy the incremental rework removed: the ingest
+// ledger is deep-copied when a delta is applied (and twice at Seed),
+// never per query — queries at a memoized watermark serve the snapshot
+// as-is.
+func TestSnapshotClonesOncePerApply(t *testing.T) {
+	s := seedServer(t, fixtureClean, Config{})
+	h := s.Handler()
+	base := s.cloneCalls.Load() // Seed's copies
+
+	// Repeated queries — cached, and a distinct render at the same
+	// watermark — must not clone.
+	for i := 0; i < 5; i++ {
+		if rec := get(t, h, "/v1/diagnose"); rec.Code != http.StatusOK {
+			t.Fatalf("diagnose = %d", rec.Code)
+		}
+	}
+	if rec := get(t, h, "/v1/diagnose?format=json"); rec.Code != http.StatusOK {
+		t.Fatalf("diagnose json = %d", rec.Code)
+	}
+	if got := s.cloneCalls.Load(); got != base {
+		t.Fatalf("queries at a memoized watermark cloned the ledger %d times", got-base)
+	}
+
+	// One ingest followed by any number of queries clones exactly once.
+	if _, err := s.Ingest([]IngestBatch{{Stream: "console", Lines: []string{
+		"2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if rec := get(t, h, "/v1/diagnose"); rec.Code != http.StatusOK {
+			t.Fatalf("post-ingest diagnose = %d", rec.Code)
+		}
+	}
+	if got := s.cloneCalls.Load(); got != base+1 {
+		t.Fatalf("one applied delta caused %d ledger clones, want 1", got-base)
+	}
+}
+
+// TestStalenessAndApplyMetrics covers the freshness surface added with
+// the incremental engine: /healthz reports the diagnosed watermark and
+// the staleness (watermarks ingested but not yet applied), /metrics
+// carries the matching gauge and the delta-apply duration histogram.
+func TestStalenessAndApplyMetrics(t *testing.T) {
+	s := seedServer(t, fixtureClean, Config{})
+	h := s.Handler()
+
+	mustContain := func(stage, body string, wants ...string) {
+		t.Helper()
+		for _, w := range wants {
+			if !strings.Contains(body, w) {
+				t.Errorf("%s: metrics output lacks %q", stage, w)
+			}
+		}
+	}
+
+	// Freshly seeded: the snapshot is current and Seed's eager apply is
+	// already on the histogram.
+	mustContain("seeded", get(t, h, "/metrics").Body.String(),
+		"# TYPE hpcfail_snapshot_staleness_watermarks gauge",
+		"hpcfail_snapshot_staleness_watermarks 0",
+		"# TYPE hpcfail_snapshot_apply_seconds histogram",
+		"hpcfail_snapshot_apply_seconds_count 1")
+
+	var st struct {
+		Watermark uint64 `json:"watermark"`
+		Diagnosed uint64 `json:"diagnosed_watermark"`
+		Staleness uint64 `json:"staleness_watermarks"`
+	}
+	if err := json.Unmarshal(get(t, h, "/healthz").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Watermark != 1 || st.Diagnosed != 1 || st.Staleness != 0 {
+		t.Errorf("seeded healthz = %+v, want watermark 1 diagnosed 1 staleness 0", st)
+	}
+
+	// An unserved ingest leaves the snapshot one watermark behind.
+	if _, err := s.Ingest([]IngestBatch{{Stream: "console", Lines: []string{
+		"2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	mustContain("stale", get(t, h, "/metrics").Body.String(),
+		"hpcfail_snapshot_staleness_watermarks 1")
+	if err := json.Unmarshal(get(t, h, "/healthz").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Watermark != 2 || st.Diagnosed != 1 || st.Staleness != 1 {
+		t.Errorf("stale healthz = %+v, want watermark 2 diagnosed 1 staleness 1", st)
+	}
+
+	// The first query applies the pending delta: staleness clears and the
+	// apply lands on the histogram.
+	if rec := get(t, h, "/v1/diagnose"); rec.Code != http.StatusOK {
+		t.Fatalf("diagnose = %d", rec.Code)
+	}
+	mustContain("applied", get(t, h, "/metrics").Body.String(),
+		"hpcfail_snapshot_staleness_watermarks 0",
+		"hpcfail_snapshot_apply_seconds_count 2")
+	if err := json.Unmarshal(get(t, h, "/healthz").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Watermark != 2 || st.Diagnosed != 2 || st.Staleness != 0 {
+		t.Errorf("applied healthz = %+v, want watermark 2 diagnosed 2 staleness 0", st)
+	}
+}
+
 // counter reads a metrics counter (test helper; production reads go
 // through /metrics).
 func (s *Server) counter(name string) uint64 {
