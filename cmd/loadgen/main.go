@@ -11,6 +11,15 @@
 // server's cache and singleflight both get exercised). The run ends
 // with a latency/throughput report per request kind; -out writes it as
 // JSON for the serving-benchmark record.
+//
+// -replicas spreads the read side over a replica fleet: ingest always
+// goes to -url (the single writer), while diagnose requests are dealt
+// across primary plus replicas with a zipf-skewed pick (-zipf), the
+// usual shape of a fleet behind an affinity-keeping load balancer. The
+// report then carries per-target read latencies and the observed
+// staleness distribution — for each read, how many watermarks the
+// serving node trailed the highest ingest watermark this client had
+// been acknowledged.
 package main
 
 import (
@@ -23,6 +32,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +50,8 @@ type options struct {
 	batch    int
 	seed     int64
 	out      string
+	replicas string
+	zipfS    float64
 }
 
 func main() {
@@ -51,6 +64,8 @@ func main() {
 	flag.IntVar(&o.batch, "batch", 32, "lines per ingest batch")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed for the traffic mix")
 	flag.StringVar(&o.out, "out", "", "write the JSON report here ('' = stdout summary only)")
+	flag.StringVar(&o.replicas, "replicas", "", "comma-separated replica base URLs; reads spread over primary+replicas")
+	flag.Float64Var(&o.zipfS, "zipf", 1.3, "zipf skew for the read-target pick (> 1; higher = hotter primary)")
 	showVer := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *showVer {
@@ -152,25 +167,98 @@ func ingestBody(clock *atomic.Int64, batch int) []byte {
 	return buf.Bytes()
 }
 
+// stalenessDist accumulates observed read staleness in watermarks: the
+// gap between the highest ingest watermark this client has been
+// acknowledged and the watermark the read was served at.
+type stalenessDist struct {
+	mu   sync.Mutex
+	obs  []uint64
+	lead int // reads served ahead of our acked watermark (another writer)
+}
+
+func (s *stalenessDist) record(acked, served uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if served >= acked {
+		if served > acked {
+			s.lead++
+		}
+		s.obs = append(s.obs, 0)
+		return
+	}
+	s.obs = append(s.obs, acked-served)
+}
+
+func (s *stalenessDist) quantile(q float64) uint64 {
+	if len(s.obs) == 0 {
+		return 0
+	}
+	sort.Slice(s.obs, func(i, j int) bool { return s.obs[i] < s.obs[j] })
+	return s.obs[int(q*float64(len(s.obs)-1))]
+}
+
+// stalenessReport is the staleness slice of the JSON report.
+type stalenessReport struct {
+	Observed int    `json:"observed"`
+	P50      uint64 `json:"p50"`
+	P95      uint64 `json:"p95"`
+	P99      uint64 `json:"p99"`
+	Max      uint64 `json:"max"`
+}
+
+func (s *stalenessDist) report() stalenessReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := stalenessReport{Observed: len(s.obs), P50: s.quantile(0.50),
+		P95: s.quantile(0.95), P99: s.quantile(0.99)}
+	for _, v := range s.obs {
+		if v > r.Max {
+			r.Max = v
+		}
+	}
+	return r
+}
+
 func run(o options, stdout io.Writer) error {
 	if o.qps <= 0 || o.clients < 1 || o.batch < 1 || o.mix < 0 || o.mix > 1 {
 		return fmt.Errorf("bad flags: qps, clients and batch must be positive, mix in [0,1]")
 	}
+	if o.zipfS <= 1 {
+		return fmt.Errorf("bad flags: zipf must be > 1")
+	}
+	targets := []string{o.url}
+	if o.replicas != "" {
+		for _, t := range strings.Split(o.replicas, ",") {
+			if t = strings.TrimSpace(strings.TrimSuffix(t, "/")); t != "" {
+				targets = append(targets, t)
+			}
+		}
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	if _, err := client.Get(o.url + "/healthz"); err != nil {
-		return fmt.Errorf("server unreachable: %w", err)
+	for _, t := range targets {
+		if _, err := client.Get(t + "/healthz"); err != nil {
+			return fmt.Errorf("target unreachable: %w", err)
+		}
 	}
 
 	rng := rand.New(rand.NewSource(o.seed))
+	zipf := rand.NewZipf(rng, o.zipfS, 1, uint64(len(targets)-1))
 	var clock atomic.Int64
 	clock.Store(time.Now().Unix())
 
 	diag, ing := newKindStats(), newKindStats()
+	perTarget := make(map[string]*kindStats, len(targets))
+	launchedTarget := make(map[string]int, len(targets))
+	for _, t := range targets {
+		perTarget[t] = newKindStats()
+	}
+	var staleness stalenessDist
+	var ackedWM atomic.Uint64 // highest ingest watermark acknowledged to us
 	launchedDiag, launchedIng, saturated := 0, 0, 0
 
 	sem := make(chan struct{}, o.clients)
 	var wg sync.WaitGroup
-	fire := func(method, target string, body []byte, stats *kindStats) {
+	fire := func(method, target string, body []byte, stats ...*kindStats) {
 		defer wg.Done()
 		defer func() { <-sem }()
 		start := time.Now()
@@ -184,12 +272,39 @@ func run(o options, stdout io.Writer) error {
 			resp, err = client.Get(target)
 		}
 		if err != nil {
-			stats.record(0, 0, err)
+			for _, s := range stats {
+				s.record(0, 0, err)
+			}
 			return
+		}
+		if method == http.MethodPost && resp.StatusCode == http.StatusOK {
+			// The ingest ack carries the watermark our write committed at;
+			// it is the reference every later read's staleness is measured
+			// against.
+			var ir struct {
+				Watermark uint64 `json:"watermark"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&ir) == nil {
+				for {
+					cur := ackedWM.Load()
+					if ir.Watermark <= cur || ackedWM.CompareAndSwap(cur, ir.Watermark) {
+						break
+					}
+				}
+			}
+		} else if method == http.MethodGet && resp.StatusCode == http.StatusOK {
+			if wmStr := resp.Header.Get("X-Hpcfail-Watermark"); wmStr != "" {
+				if served, perr := strconv.ParseUint(wmStr, 10, 64); perr == nil {
+					staleness.record(ackedWM.Load(), served)
+				}
+			}
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		stats.record(resp.StatusCode, time.Since(start), nil)
+		d := time.Since(start)
+		for _, s := range stats {
+			s.record(resp.StatusCode, d, nil)
+		}
 	}
 
 	interval := time.Duration(float64(time.Second) / o.qps)
@@ -215,30 +330,46 @@ func run(o options, stdout io.Writer) error {
 		wg.Add(1)
 		if rng.Float64() < o.mix {
 			launchedIng++
-			go fire(http.MethodPost, o.url+"/v1/ingest", ingestBody(&clock, o.batch), ing)
+			go fire(http.MethodPost, o.url+"/v1/ingest", ingestBody(&clock, o.batch), ing, perTarget[o.url])
 		} else {
 			launchedDiag++
 			qi++
-			go fire(http.MethodGet, o.url+diagnoseQueries[qi%len(diagnoseQueries)], nil, diag)
+			target := targets[zipf.Uint64()]
+			launchedTarget[target]++
+			go fire(http.MethodGet, target+diagnoseQueries[qi%len(diagnoseQueries)], nil, diag, perTarget[target])
 		}
 	}
 	wg.Wait()
 
+	perTargetReport := make(map[string]kindReport, len(targets))
+	for _, t := range targets {
+		launched := launchedTarget[t]
+		if t == o.url {
+			launched += launchedIng
+		}
+		perTargetReport[t] = perTarget[t].report(launched)
+	}
 	report := struct {
-		URL         string     `json:"url"`
-		QPS         float64    `json:"target_qps"`
-		Clients     int        `json:"clients"`
-		DurationSec float64    `json:"duration_sec"`
-		Mix         float64    `json:"ingest_mix"`
-		Batch       int        `json:"batch_lines"`
-		Seed        int64      `json:"seed"`
-		Saturated   int        `json:"saturated_launches"`
-		Diagnose    kindReport `json:"diagnose"`
-		Ingest      kindReport `json:"ingest"`
+		URL         string                `json:"url"`
+		Replicas    []string              `json:"replicas,omitempty"`
+		ZipfS       float64               `json:"zipf_s"`
+		QPS         float64               `json:"target_qps"`
+		Clients     int                   `json:"clients"`
+		DurationSec float64               `json:"duration_sec"`
+		Mix         float64               `json:"ingest_mix"`
+		Batch       int                   `json:"batch_lines"`
+		Seed        int64                 `json:"seed"`
+		Saturated   int                   `json:"saturated_launches"`
+		Diagnose    kindReport            `json:"diagnose"`
+		Ingest      kindReport            `json:"ingest"`
+		PerTarget   map[string]kindReport `json:"per_target"`
+		Staleness   stalenessReport       `json:"staleness_watermarks"`
 	}{
-		URL: o.url, QPS: o.qps, Clients: o.clients, DurationSec: o.duration.Seconds(),
-		Mix: o.mix, Batch: o.batch, Seed: o.seed, Saturated: saturated,
+		URL: o.url, Replicas: targets[1:], ZipfS: o.zipfS, QPS: o.qps, Clients: o.clients,
+		DurationSec: o.duration.Seconds(),
+		Mix:         o.mix, Batch: o.batch, Seed: o.seed, Saturated: saturated,
 		Diagnose: diag.report(launchedDiag), Ingest: ing.report(launchedIng),
+		PerTarget: perTargetReport, Staleness: staleness.report(),
 	}
 
 	fmt.Fprintf(stdout, "diagnose: %d launched, %d ok, p50 %.2fms p95 %.2fms p99 %.2fms\n",
@@ -248,6 +379,16 @@ func run(o options, stdout io.Writer) error {
 	shed := report.Diagnose.Codes["429"] + report.Ingest.Codes["429"]
 	fmt.Fprintf(stdout, "shed 429s: %d, errors: %d, saturated launches: %d\n",
 		shed, report.Diagnose.Errors+report.Ingest.Errors, saturated)
+	if len(targets) > 1 {
+		for _, t := range targets {
+			r := perTargetReport[t]
+			fmt.Fprintf(stdout, "target %s: %d launched, %d ok, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+				t, r.Launched, r.OK, r.P50Ms, r.P95Ms, r.P99Ms)
+		}
+		st := report.Staleness
+		fmt.Fprintf(stdout, "staleness (watermarks): %d reads, p50 %d p95 %d p99 %d max %d\n",
+			st.Observed, st.P50, st.P95, st.P99, st.Max)
+	}
 
 	if o.out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

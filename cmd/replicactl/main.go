@@ -1,0 +1,100 @@
+// Command replicactl operates on a running serve node's replication
+// role.
+//
+//	replicactl -addr http://localhost:8081 status
+//	replicactl -addr http://localhost:8081 promote
+//
+// status prints the node's role, epoch, watermarks and (on a replica)
+// lag and degraded state, read from /healthz. promote POSTs /v1/promote:
+// the node mints the next fencing epoch, journals it, and starts
+// accepting writes — the failover step after the primary dies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hpcfail/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "serve base URL")
+	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	showVer := flag.Bool("version", false, "print build version and exit")
+	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "replicactl")
+		return
+	}
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		fmt.Fprintln(os.Stderr, "replicactl: want a command: status or promote")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	if err := run(client, strings.TrimSuffix(*addr, "/"), cmd, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "replicactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(client *http.Client, base, cmd string, stdout io.Writer) error {
+	switch cmd {
+	case "status":
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var h struct {
+			Status     string  `json:"status"`
+			Role       string  `json:"role"`
+			Epoch      uint64  `json:"epoch"`
+			Records    int     `json:"records"`
+			Watermark  uint64  `json:"watermark"`
+			Diagnosed  uint64  `json:"diagnosed_watermark"`
+			ReplicaLag *uint64 `json:"replica_lag_watermarks"`
+			Degraded   *bool   `json:"replica_degraded"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			return fmt.Errorf("decoding /healthz: %w", err)
+		}
+		fmt.Fprintf(stdout, "%s %s epoch=%d watermark=%d diagnosed=%d records=%d",
+			h.Role, h.Status, h.Epoch, h.Watermark, h.Diagnosed, h.Records)
+		if h.ReplicaLag != nil {
+			fmt.Fprintf(stdout, " lag=%d", *h.ReplicaLag)
+		}
+		if h.Degraded != nil {
+			fmt.Fprintf(stdout, " degraded=%v", *h.Degraded)
+		}
+		fmt.Fprintln(stdout)
+		return nil
+	case "promote":
+		resp, err := client.Post(base+"/v1/promote", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+			return fmt.Errorf("promote: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		var p struct {
+			Epoch     uint64 `json:"epoch"`
+			Watermark uint64 `json:"watermark"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			return fmt.Errorf("decoding promote response: %w", err)
+		}
+		fmt.Fprintf(stdout, "promoted: epoch=%d watermark=%d\n", p.Epoch, p.Watermark)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want status or promote)", cmd)
+	}
+}

@@ -11,11 +11,27 @@
 //	                    to (RFC3339), window (Go duration), format=json,
 //	                    full=true
 //	GET  /v1/alarms     SSE stream of watcher alarms and confirmed failures
+//	GET  /v1/wal        NDJSON replication stream (?after=<watermark>);
+//	                    requires -repl-wal
+//	POST /v1/promote    mint the next fencing epoch and accept writes
 //	GET  /v1/remediations  remediation ticket ledger (?since=<id>); POST
 //	                    {"kill":true|false} toggles the global kill switch
 //	GET  /healthz       liveness (503 while draining)
 //	GET  /metrics       Prometheus text exposition
 //	     /debug/pprof   the usual suspects
+//
+// Replication: -repl-wal journals every accepted ingest before it
+// commits, so a restart replays exactly the acknowledged history, and
+// /v1/wal streams it to replicas. -replica-of boots this node as a read
+// replica of a primary (a base URL to stream /v1/wal from, or the
+// primary's WAL directory to tail on a shared filesystem): ingest is
+// answered 421 toward -primary-url, while /v1/diagnose serves the
+// replicated corpus — ?min_watermark=W blocks up to -max-wait for
+// replication to catch up, then 412s toward the primary. Killing the
+// primary and POSTing /v1/promote (or -auto-promote noticing the
+// silence) mints the next fencing epoch: the replica starts accepting
+// writes, and anything the deposed primary still produces is fenced
+// off every node that saw the promotion.
 //
 // -remedy closes the loop: watcher detections and alarms feed an SOP
 // remediation engine (admindown, drain + requeue, suspect, warm swap,
@@ -48,11 +64,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hpcfail"
 	"hpcfail/internal/render"
+	"hpcfail/internal/replica"
 	"hpcfail/internal/topology"
 	"hpcfail/internal/version"
 )
@@ -72,6 +90,15 @@ type options struct {
 	queryTimeout time.Duration
 	drainTimeout time.Duration
 	remedy       bool
+
+	replWAL     string
+	replSync    bool
+	replicaOf   string
+	primaryURL  string
+	promote     bool
+	autoPromote time.Duration
+	heartbeat   time.Duration
+	maxWait     time.Duration
 }
 
 func main() {
@@ -90,6 +117,14 @@ func main() {
 	flag.DurationVar(&o.queryTimeout, "query-timeout", 30*time.Second, "per-diagnosis compute budget")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "shutdown grace for in-flight requests")
 	flag.BoolVar(&o.remedy, "remedy", false, "enable the closed-loop remediation engine (/v1/remediations)")
+	flag.StringVar(&o.replWAL, "repl-wal", "", "replication WAL directory (journals ingests, serves /v1/wal, replays on restart)")
+	flag.BoolVar(&o.replSync, "repl-sync", false, "fsync the replication WAL on every entry")
+	flag.StringVar(&o.replicaOf, "replica-of", "", "run as a read replica of this primary (base URL, or its WAL directory)")
+	flag.StringVar(&o.primaryURL, "primary-url", "", "primary advertised on 421/412 responses (defaults to -replica-of when it is a URL)")
+	flag.BoolVar(&o.promote, "promote", false, "boot promoted: replay -repl-wal, mint the next epoch, accept writes")
+	flag.DurationVar(&o.autoPromote, "auto-promote", 0, "self-promote after the primary has been silent this long (0 = never)")
+	flag.DurationVar(&o.heartbeat, "heartbeat", 15*time.Second, "SSE and /v1/wal heartbeat interval")
+	flag.DurationVar(&o.maxWait, "max-wait", 2*time.Second, "min_watermark wait budget before 412")
 	showVer := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *showVer {
@@ -146,13 +181,22 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown scheduler %q (want slurm or torque)", o.sched)
 	}
 
+	primaryURL := o.primaryURL
+	if primaryURL == "" && strings.HasPrefix(o.replicaOf, "http") {
+		primaryURL = o.replicaOf
+	}
 	srv := hpcfail.NewServer(hpcfail.ServeConfig{
-		Scheduler:      st,
-		MaxInflight:    o.maxInflight,
-		QueryTimeout:   o.queryTimeout,
-		CacheEntries:   o.cacheEntries,
-		CheckpointPath: o.checkpoint,
-		EnableRemedy:   o.remedy,
+		Scheduler:        st,
+		MaxInflight:      o.maxInflight,
+		QueryTimeout:     o.queryTimeout,
+		CacheEntries:     o.cacheEntries,
+		CheckpointPath:   o.checkpoint,
+		EnableRemedy:     o.remedy,
+		ReplicationDir:   o.replWAL,
+		ReplicationSync:  o.replSync,
+		PrimaryURL:       primaryURL,
+		MaxWatermarkWait: o.maxWait,
+		SSEHeartbeat:     o.heartbeat,
 	})
 
 	if o.logs != "" {
@@ -173,6 +217,67 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		if restored {
 			fmt.Fprintf(stdout, "restored watcher checkpoint from %s\n", o.checkpoint)
 		}
+	}
+
+	// Replication: replay the local journal (crash recovery), then take
+	// the configured role.
+	if err := srv.OpenReplicationLog(); err != nil {
+		return fmt.Errorf("open -repl-wal: %w", err)
+	}
+	defer srv.CloseReplication()
+	if o.replWAL != "" {
+		fmt.Fprintf(stdout, "replication journal %s replayed to watermark %d (epoch %d)\n",
+			o.replWAL, srv.Watermark(), srv.Epoch())
+	}
+	if o.promote {
+		epoch, wm, err := srv.Promote()
+		if err != nil {
+			return fmt.Errorf("promote at boot: %w", err)
+		}
+		fmt.Fprintf(stdout, "promoted: serving as primary at epoch %d, watermark %d\n", epoch, wm)
+	}
+
+	tailCtx, stopTailing := context.WithCancel(ctx)
+	defer stopTailing()
+	if o.replicaOf != "" && !o.promote {
+		srv.SetReadOnly(true)
+		tailer := replica.NewTailer(replica.Config{
+			Primary:       o.replicaOf,
+			After:         srv.Watermark(),
+			Epoch:         srv.Epoch(),
+			SeedWatermark: srv.SeedWatermark(),
+		}, srv.Apply)
+		srv.SetReplicaStatus(tailer.Status)
+		go func() {
+			if err := tailer.Run(tailCtx); err != nil {
+				fmt.Fprintln(stderr, "replication stopped:", err)
+			}
+		}()
+		if o.autoPromote > 0 {
+			go func() {
+				tick := time.NewTicker(o.autoPromote / 4)
+				defer tick.Stop()
+				for {
+					select {
+					case <-tailCtx.Done():
+						return
+					case <-tick.C:
+					}
+					if st := tailer.Status(); time.Since(st.LastContact) > o.autoPromote {
+						stopTailing()
+						epoch, wm, err := srv.Promote()
+						if err != nil {
+							fmt.Fprintln(stderr, "auto-promote failed:", err)
+							return
+						}
+						fmt.Fprintf(stdout, "primary silent for %s; auto-promoted to epoch %d at watermark %d\n",
+							o.autoPromote, epoch, wm)
+						return
+					}
+				}
+			}()
+		}
+		fmt.Fprintf(stdout, "replica of %s (watermark %d, epoch %d)\n", o.replicaOf, srv.Watermark(), srv.Epoch())
 	}
 
 	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}

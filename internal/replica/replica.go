@@ -1,0 +1,91 @@
+// Package replica implements WAL-tailing read replication for the
+// online diagnosis service.
+//
+// The unit of replication is the Entry: one accepted ingest request —
+// the raw batches exactly as the client sent them — stamped with the
+// watermark the primary accepted it at and the epoch of the primary
+// that accepted it. The primary journals every accepted ingest as an
+// Entry in its replication WAL before acknowledging; replicas obtain
+// the entry stream either over HTTP (the primary's /v1/wal endpoint)
+// or by tailing the WAL directory itself, and fold each entry through
+// the same parse → pending-delta → incremental-engine path the
+// primary's own ingest takes. Because that path is deterministic and
+// batch-split-invariant (the PR 7 differential harness), a replica that
+// has applied entries through watermark W serves /v1/diagnose bytes
+// identical to the primary's at W.
+//
+// Epochs are the fencing token. A promotion mints epoch+1; every entry
+// carries its writer's epoch, and a tailer that has observed epoch E
+// ignores entries from any epoch < E — so a deposed primary that keeps
+// accepting writes (split brain) cannot advance anyone who has seen the
+// promotion. Watermarks within an epoch are contiguous; a gap means the
+// tailer's source skipped history and is treated as fatal divergence,
+// never skipped over.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Batch is one stream's worth of raw log lines — the ingest request
+// shape, replicated verbatim so the replica's parser sees exactly the
+// bytes the primary's did.
+type Batch struct {
+	Stream string   `json:"stream"`
+	Lines  []string `json:"lines"`
+}
+
+// Entry is one replicated ingest request: the raw batches plus the
+// watermark they were accepted at and the accepting primary's epoch.
+// Entries are the WAL record payload and the /v1/wal stream unit.
+type Entry struct {
+	Epoch     uint64  `json:"epoch"`
+	Watermark uint64  `json:"watermark"`
+	Batches   []Batch `json:"batches"`
+}
+
+// EncodeEntry renders an entry to its WAL/wire payload.
+func EncodeEntry(e Entry) ([]byte, error) {
+	if e.Watermark == 0 {
+		return nil, fmt.Errorf("replica: entry without watermark")
+	}
+	return json.Marshal(e)
+}
+
+// DecodeEntry parses a WAL/wire payload back into an Entry.
+func DecodeEntry(data []byte) (Entry, error) {
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, fmt.Errorf("replica: decoding entry: %w", err)
+	}
+	if e.Watermark == 0 {
+		return Entry{}, fmt.Errorf("replica: entry without watermark")
+	}
+	return e, nil
+}
+
+// Hello opens a /v1/wal stream: the primary announces its epoch, the
+// watermark its bootstrap seed covered (entries below it are not in the
+// WAL — the replica must have been seeded from the same bootstrap) and
+// its current tip.
+type Hello struct {
+	Epoch         uint64 `json:"epoch"`
+	SeedWatermark uint64 `json:"seed_watermark"`
+	Watermark     uint64 `json:"watermark"`
+}
+
+// Heartbeat keeps an idle stream alive and carries the primary's tip so
+// a caught-up replica can measure its lag without new entries.
+type Heartbeat struct {
+	Epoch     uint64 `json:"epoch"`
+	Watermark uint64 `json:"watermark"`
+}
+
+// Frame is one NDJSON line of the /v1/wal stream; exactly one field is
+// set per line.
+type Frame struct {
+	Hello     *Hello     `json:"hello,omitempty"`
+	Entry     *Entry     `json:"entry,omitempty"`
+	Heartbeat *Heartbeat `json:"hb,omitempty"`
+}

@@ -1,0 +1,447 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hpcfail/internal/rng"
+	"hpcfail/internal/wal"
+)
+
+// ErrDiverged marks fatal replication failures: the replica's history
+// and the source's can no longer be reconciled by retrying (seed
+// mismatch, a watermark gap, sealed WAL damage, an undecodable entry,
+// or an apply error). The tailer stops; the operator must re-seed or
+// re-point the replica.
+var ErrDiverged = errors.New("replica: diverged from primary")
+
+// Config tunes a Tailer. The zero value of every optional field picks
+// the documented default.
+type Config struct {
+	// Primary is the replication source: an http(s):// base URL whose
+	// /v1/wal endpoint is streamed, or a filesystem path of the
+	// primary's WAL directory to tail directly (shared-filesystem
+	// deployments, and the promotion replay path).
+	Primary string
+	// After resumes the stream: entries with Watermark <= After are
+	// already applied and skipped. Set it to the replica's watermark.
+	After uint64
+	// Epoch is the highest epoch already observed; entries below it are
+	// fenced (ignored), never applied.
+	Epoch uint64
+	// SeedWatermark is the watermark this replica's bootstrap covered.
+	// The primary's hello must agree — replication assumes primary and
+	// replica were seeded from the same bootstrap corpus.
+	SeedWatermark uint64
+	// BackoffBase is the reconnect backoff base: base×2ⁿ⁻¹ with ±50%
+	// deterministic jitter, capped at BackoffMax (defaults 50ms / 5s;
+	// negative base disables sleeping, for tests).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive failures open the circuit breaker;
+	// while open, no connection attempts are made for BreakerCooldown
+	// (defaults 5 / 10s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DegradedAfter marks the replica degraded when the source has not
+	// been heard from for this long (default 15s).
+	DegradedAfter time.Duration
+	// PollInterval is the file-mode poll cadence at the WAL tip
+	// (default 100ms).
+	PollInterval time.Duration
+	// Seed drives the backoff jitter (default 1).
+	Seed uint64
+	// Client is the HTTP client for URL sources (default: one with no
+	// overall timeout — the stream is long-lived — but sane dial
+	// settings from http.DefaultTransport).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.DegradedAfter <= 0 {
+		c.DegradedAfter = 15 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Status is a point-in-time view of the tailer, the input to the
+// replica's degraded-mode headers, /healthz fields and gauges.
+type Status struct {
+	// Mode is "http" or "file".
+	Mode string
+	// Connected reports a currently established stream (http) or a
+	// readable WAL directory (file).
+	Connected bool
+	// Degraded is the lag-aware health verdict: the breaker is open,
+	// the source has been silent past DegradedAfter, or the tailer hit
+	// fatal divergence. A degraded replica keeps serving.
+	Degraded bool
+	// Epoch is the highest epoch observed.
+	Epoch uint64
+	// Applied is the last applied watermark; PrimaryWatermark is the
+	// last tip the source announced (http mode; file mode tracks
+	// Applied). Lag is their difference.
+	Applied          uint64
+	PrimaryWatermark uint64
+	// Fenced counts entries ignored because their epoch was stale.
+	Fenced uint64
+	// Failures counts failed connect/stream attempts; BreakerOpen
+	// reports the breaker state.
+	Failures    uint64
+	BreakerOpen bool
+	// LastContact is the last moment the source was heard from.
+	LastContact time.Time
+	// Err is the fatal divergence error, when one stopped the tailer.
+	Err error
+}
+
+// Lag returns the observed watermark lag behind the source.
+func (s Status) Lag() uint64 {
+	if s.PrimaryWatermark <= s.Applied {
+		return 0
+	}
+	return s.PrimaryWatermark - s.Applied
+}
+
+// Tailer follows a primary's replication WAL and applies each entry
+// exactly once, in watermark order, through the supplied callback.
+// Safe for one Run goroutine plus any number of Status readers.
+type Tailer struct {
+	cfg   Config
+	apply func(Entry) error
+
+	mu           sync.Mutex
+	st           Status
+	consecFails  int
+	breakerUntil time.Time
+}
+
+// NewTailer builds a tailer; apply is invoked for every new entry, in
+// order, from the Run goroutine. An apply error is fatal divergence.
+func NewTailer(cfg Config, apply func(Entry) error) *Tailer {
+	cfg = cfg.withDefaults()
+	t := &Tailer{cfg: cfg, apply: apply}
+	t.st = Status{
+		Mode:             "file",
+		Epoch:            cfg.Epoch,
+		Applied:          cfg.After,
+		PrimaryWatermark: cfg.After,
+		LastContact:      time.Now(),
+	}
+	if strings.HasPrefix(cfg.Primary, "http://") || strings.HasPrefix(cfg.Primary, "https://") {
+		t.st.Mode = "http"
+	}
+	return t
+}
+
+// Status returns the current status with the degraded verdict computed.
+func (t *Tailer) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.st
+	st.BreakerOpen = time.Now().Before(t.breakerUntil)
+	st.Degraded = st.Err != nil || st.BreakerOpen ||
+		time.Since(st.LastContact) > t.cfg.DegradedAfter
+	return st
+}
+
+// Run tails the source until ctx is cancelled (returns nil) or the
+// stream fatally diverges (returns the ErrDiverged-wrapped cause, also
+// visible in Status().Err).
+func (t *Tailer) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		if err := t.waitBreaker(ctx); err != nil {
+			return nil
+		}
+		var err error
+		if t.st.Mode == "http" {
+			err = t.streamHTTP(ctx)
+		} else {
+			err = t.tailFile(ctx)
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if errors.Is(err, ErrDiverged) {
+			t.mu.Lock()
+			t.st.Err = err
+			t.st.Connected = false
+			t.mu.Unlock()
+			return err
+		}
+		attempt++
+		t.recordFailure()
+		if !t.sleepBackoff(ctx, attempt) {
+			return nil
+		}
+		t.mu.Lock()
+		if t.consecFails == 0 {
+			attempt = 0 // progress was made since; restart the ladder
+		}
+		t.mu.Unlock()
+	}
+}
+
+// waitBreaker blocks while the circuit breaker is open; a non-nil
+// return means the context ended.
+func (t *Tailer) waitBreaker(ctx context.Context) error {
+	t.mu.Lock()
+	until := t.breakerUntil
+	t.mu.Unlock()
+	d := time.Until(until)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// recordFailure counts one failed attempt and opens the breaker at the
+// threshold.
+func (t *Tailer) recordFailure() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.st.Failures++
+	t.st.Connected = false
+	t.consecFails++
+	if t.consecFails >= t.cfg.BreakerThreshold {
+		t.breakerUntil = time.Now().Add(t.cfg.BreakerCooldown)
+		t.consecFails = 0 // half-open after the cooldown: one fresh ladder
+	}
+}
+
+// recordProgress marks source contact (and, when wm advanced, resets
+// the failure ladder).
+func (t *Tailer) recordProgress(tip uint64, epoch uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.st.LastContact = time.Now()
+	t.consecFails = 0
+	if tip > t.st.PrimaryWatermark {
+		t.st.PrimaryWatermark = tip
+	}
+	if epoch > t.st.Epoch {
+		t.st.Epoch = epoch
+	}
+}
+
+// sleepBackoff pauses base×2ⁿ⁻¹ (capped) with ±50% deterministic
+// jitter keyed by the attempt — the supervisor idiom the ingestion
+// pipeline and remedy engine use, so two runs with one seed back off
+// identically. False means the context ended.
+func (t *Tailer) sleepBackoff(ctx context.Context, attempt int) bool {
+	if t.cfg.BackoffBase < 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(t.backoffDelay(attempt))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// backoffDelay computes the jittered delay for the given attempt
+// (1-based): base×2ⁿ⁻¹ capped at BackoffMax, ±50%.
+func (t *Tailer) backoffDelay(attempt int) time.Duration {
+	base := float64(t.cfg.BackoffBase) * float64(uint64(1)<<uint(min(attempt-1, 16)))
+	if m := float64(t.cfg.BackoffMax); base > m {
+		base = m
+	}
+	r := rng.New(t.cfg.Seed).Split(fmt.Sprintf("backoff/%s/%d", t.cfg.Primary, attempt))
+	return time.Duration(r.Jitter(base, 0.5))
+}
+
+// ingest runs the shared entry admission: epoch fencing, duplicate
+// suppression, gap detection, then apply. Returns a fatal error or nil.
+func (t *Tailer) ingest(e Entry) error {
+	t.mu.Lock()
+	epoch := t.st.Epoch
+	applied := t.st.Applied
+	t.mu.Unlock()
+
+	if e.Watermark <= applied {
+		t.recordProgress(e.Watermark, e.Epoch)
+		return nil // duplicate on resume: already part of our history
+	}
+	if e.Epoch < epoch {
+		// A fenced (deposed) writer's new entry: ignored, never applied,
+		// and exempt from the gap check — its history is the abandoned
+		// fork a split-brain primary kept writing.
+		t.mu.Lock()
+		t.st.Fenced++
+		t.st.LastContact = time.Now()
+		t.mu.Unlock()
+		return nil
+	}
+	if e.Watermark != applied+1 {
+		return fmt.Errorf("%w: watermark gap: applied %d, next entry %d", ErrDiverged, applied, e.Watermark)
+	}
+	if err := t.apply(e); err != nil {
+		return fmt.Errorf("%w: applying watermark %d: %v", ErrDiverged, e.Watermark, err)
+	}
+	t.mu.Lock()
+	t.st.Applied = e.Watermark
+	if e.Watermark > t.st.PrimaryWatermark {
+		t.st.PrimaryWatermark = e.Watermark
+	}
+	if e.Epoch > t.st.Epoch {
+		t.st.Epoch = e.Epoch
+	}
+	t.st.LastContact = time.Now()
+	t.consecFails = 0
+	t.mu.Unlock()
+	return nil
+}
+
+// streamHTTP consumes one /v1/wal connection until it breaks (transient
+// error return) or fatally diverges.
+func (t *Tailer) streamHTTP(ctx context.Context) error {
+	t.mu.Lock()
+	after := t.st.Applied
+	t.mu.Unlock()
+	url := strings.TrimSuffix(t.cfg.Primary, "/") + "/v1/wal?after=" + strconv.FormatUint(after, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("replica: /v1/wal status %d", resp.StatusCode)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	sawHello := false
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 && err != nil {
+			return err // EOF or broken stream: reconnect
+		}
+		var f Frame
+		if jerr := json.Unmarshal(line, &f); jerr != nil {
+			return fmt.Errorf("%w: undecodable stream frame: %v", ErrDiverged, jerr)
+		}
+		switch {
+		case f.Hello != nil:
+			if f.Hello.SeedWatermark != t.cfg.SeedWatermark {
+				return fmt.Errorf("%w: primary seed watermark %d, replica bootstrap %d — re-seed the replica from the primary's bootstrap",
+					ErrDiverged, f.Hello.SeedWatermark, t.cfg.SeedWatermark)
+			}
+			t.mu.Lock()
+			t.st.Connected = true
+			t.mu.Unlock()
+			t.recordProgress(f.Hello.Watermark, f.Hello.Epoch)
+			sawHello = true
+		case f.Entry != nil:
+			if !sawHello {
+				return fmt.Errorf("%w: stream sent entries before hello", ErrDiverged)
+			}
+			if ferr := t.ingest(*f.Entry); ferr != nil {
+				return ferr
+			}
+		case f.Heartbeat != nil:
+			t.recordProgress(f.Heartbeat.Watermark, f.Heartbeat.Epoch)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// tailFile follows the primary's WAL directory, delivering entries as
+// frames complete. It returns on transient I/O errors (reconnect with
+// backoff) and classifies sealed damage as divergence.
+func (t *Tailer) tailFile(ctx context.Context) error {
+	tr := wal.NewTailReader(t.cfg.Primary, wal.Offset{})
+	defer tr.Close()
+	t.mu.Lock()
+	t.st.Connected = true
+	t.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		payload, err := tr.Next()
+		if err != nil {
+			if errors.Is(err, wal.ErrDamaged) {
+				return fmt.Errorf("%w: %v", ErrDiverged, err)
+			}
+			return err
+		}
+		if payload == nil {
+			// Caught up. Reading the directory counts as contact: the
+			// degraded verdict in file mode keys on tail readability.
+			t.mu.Lock()
+			t.st.LastContact = time.Now()
+			t.consecFails = 0
+			t.mu.Unlock()
+			timer := time.NewTimer(t.cfg.PollInterval)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil
+			}
+			timer.Stop()
+			continue
+		}
+		e, derr := DecodeEntry(payload)
+		if derr != nil {
+			return fmt.Errorf("%w: %v", ErrDiverged, derr)
+		}
+		if ferr := t.ingest(e); ferr != nil {
+			return ferr
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,492 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hpcfail/internal/wal"
+)
+
+// TestEntryRoundTrip pins the wire codec: encode → decode is identity,
+// and entries without a watermark are rejected on both sides.
+func TestEntryRoundTrip(t *testing.T) {
+	e := Entry{
+		Epoch:     3,
+		Watermark: 42,
+		Batches: []Batch{
+			{Stream: "syslog", Lines: []string{"line a", "line b"}},
+			{Stream: "hw", Lines: []string{"line c"}},
+		},
+	}
+	data, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("round trip: got %+v want %+v", got, e)
+	}
+	if _, err := EncodeEntry(Entry{}); err == nil {
+		t.Fatal("EncodeEntry accepted a zero watermark")
+	}
+	if _, err := DecodeEntry([]byte(`{"epoch":1}`)); err == nil {
+		t.Fatal("DecodeEntry accepted a zero watermark")
+	}
+	if _, err := DecodeEntry([]byte(`not json`)); err == nil {
+		t.Fatal("DecodeEntry accepted garbage")
+	}
+}
+
+// walWithEntries builds a WAL directory holding the given entries.
+func walWithEntries(t *testing.T, entries ...Entry) (string, *wal.Log) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	for _, e := range entries {
+		appendEntry(t, l, e)
+	}
+	return dir, l
+}
+
+func appendEntry(t *testing.T, l *wal.Log, e Entry) {
+	t.Helper()
+	data, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkEntry(epoch, wm uint64) Entry {
+	return Entry{Epoch: epoch, Watermark: wm, Batches: []Batch{
+		{Stream: "s", Lines: []string{fmt.Sprintf("payload for %d", wm)}},
+	}}
+}
+
+// collector is an apply sink that records entries and signals progress.
+type collector struct {
+	mu      sync.Mutex
+	entries []Entry
+	ch      chan uint64
+	failAt  uint64 // watermark whose apply returns an error (0 = never)
+}
+
+func newCollector() *collector { return &collector{ch: make(chan uint64, 128)} }
+
+func (c *collector) apply(e Entry) error {
+	if c.failAt != 0 && e.Watermark == c.failAt {
+		return fmt.Errorf("injected apply failure at %d", e.Watermark)
+	}
+	c.mu.Lock()
+	c.entries = append(c.entries, e)
+	c.mu.Unlock()
+	c.ch <- e.Watermark
+	return nil
+}
+
+func (c *collector) snapshot() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Entry(nil), c.entries...)
+}
+
+func (c *collector) waitFor(t *testing.T, wm uint64) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case got := <-c.ch:
+			if got >= wm {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for watermark %d (have %d entries)", wm, len(c.snapshot()))
+		}
+	}
+}
+
+func fastCfg(primary string) Config {
+	return Config{
+		Primary:      primary,
+		BackoffBase:  -1, // no sleeping in tests
+		PollInterval: time.Millisecond,
+	}
+}
+
+// TestTailFileDelivers tails a WAL directory end to end: existing
+// entries, then entries appended while tailing, arrive in order with
+// watermark and epoch tracked.
+func TestTailFileDelivers(t *testing.T) {
+	dir, l := walWithEntries(t, mkEntry(1, 1), mkEntry(1, 2))
+	c := newCollector()
+	tl := NewTailer(fastCfg(dir), c.apply)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(ctx) }()
+
+	c.waitFor(t, 2)
+	appendEntry(t, l, mkEntry(1, 3))
+	appendEntry(t, l, mkEntry(1, 4))
+	c.waitFor(t, 4)
+
+	st := tl.Status()
+	if st.Applied != 4 || st.Epoch != 1 || st.Mode != "file" || !st.Connected {
+		t.Fatalf("Status = %+v", st)
+	}
+	got := c.snapshot()
+	for i, e := range got {
+		if e.Watermark != uint64(i+1) {
+			t.Fatalf("entry %d has watermark %d", i, e.Watermark)
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run after cancel = %v", err)
+	}
+}
+
+// TestTailFileResume starts with After set: already-applied watermarks
+// are skipped even though the file tail re-reads them from offset zero.
+func TestTailFileResume(t *testing.T) {
+	dir, _ := walWithEntries(t, mkEntry(1, 1), mkEntry(1, 2), mkEntry(1, 3))
+	c := newCollector()
+	cfg := fastCfg(dir)
+	cfg.After = 2
+	tl := NewTailer(cfg, c.apply)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go tl.Run(ctx)
+	c.waitFor(t, 3)
+	if got := c.snapshot(); len(got) != 1 || got[0].Watermark != 3 {
+		t.Fatalf("resume applied %+v; want only watermark 3", got)
+	}
+}
+
+// TestTailGapIsFatal pins the divergence contract: a skipped watermark
+// stops the tailer with ErrDiverged instead of applying past the hole.
+func TestTailGapIsFatal(t *testing.T) {
+	dir, _ := walWithEntries(t, mkEntry(1, 1), mkEntry(1, 3))
+	c := newCollector()
+	tl := NewTailer(fastCfg(dir), c.apply)
+	err := tl.Run(context.Background())
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Run = %v; want ErrDiverged", err)
+	}
+	if got := c.snapshot(); len(got) != 1 || got[0].Watermark != 1 {
+		t.Fatalf("applied %+v; want only watermark 1", got)
+	}
+	if st := tl.Status(); st.Err == nil || !st.Degraded {
+		t.Fatalf("post-divergence Status = %+v; want Err set and Degraded", st)
+	}
+}
+
+// TestTailApplyErrorIsFatal: the apply callback failing must stop the
+// tailer — skipping an entry would silently fork the replica's history.
+func TestTailApplyErrorIsFatal(t *testing.T) {
+	dir, _ := walWithEntries(t, mkEntry(1, 1), mkEntry(1, 2))
+	c := newCollector()
+	c.failAt = 2
+	tl := NewTailer(fastCfg(dir), c.apply)
+	if err := tl.Run(context.Background()); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Run = %v; want ErrDiverged", err)
+	}
+}
+
+// TestEpochFencing: entries from a deposed epoch are ignored (never
+// applied, never gap-checked), while a higher epoch is adopted.
+func TestEpochFencing(t *testing.T) {
+	dir, l := walWithEntries(t, mkEntry(1, 1), mkEntry(1, 2))
+	// Promotion to epoch 2 happened elsewhere at watermark 2; the old
+	// primary (epoch 1) keeps writing 3 and 4 — split brain. Then the
+	// new primary's entries arrive.
+	appendEntry(t, l, mkEntry(1, 3))
+	appendEntry(t, l, mkEntry(1, 4))
+
+	c := newCollector()
+	cfg := fastCfg(dir)
+	cfg.Epoch = 2 // this tailer observed the promotion
+	cfg.After = 2
+	tl := NewTailer(cfg, c.apply)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(ctx) }()
+
+	appendEntry(t, l, mkEntry(2, 3)) // the new primary's history
+	c.waitFor(t, 3)
+	st := tl.Status()
+	if st.Fenced != 2 {
+		t.Fatalf("Fenced = %d; want 2 (the split-brain writes)", st.Fenced)
+	}
+	if got := c.snapshot(); len(got) != 1 || got[0].Epoch != 2 || got[0].Watermark != 3 {
+		t.Fatalf("applied %+v; want only epoch-2 watermark 3", got)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+}
+
+// fakePrimary serves a minimal /v1/wal for HTTP-mode tests.
+type fakePrimary struct {
+	mu      sync.Mutex
+	epoch   uint64
+	seedWM  uint64
+	entries []Entry
+	wake    chan struct{}
+	hangup  bool // close each stream after draining current entries
+}
+
+func (p *fakePrimary) add(e Entry) {
+	p.mu.Lock()
+	p.entries = append(p.entries, e)
+	close(p.wake)
+	p.wake = make(chan struct{})
+	p.mu.Unlock()
+}
+
+func (p *fakePrimary) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	after := uint64(0)
+	fmt.Sscanf(r.URL.Query().Get("after"), "%d", &after)
+	bw := bufio.NewWriter(w)
+	fl, _ := w.(http.Flusher)
+	send := func(f Frame) bool {
+		b, _ := json.Marshal(f)
+		bw.Write(append(b, '\n'))
+		if bw.Flush() != nil {
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	}
+	p.mu.Lock()
+	tip := uint64(0)
+	if n := len(p.entries); n > 0 {
+		tip = p.entries[n-1].Watermark
+	}
+	hello := Hello{Epoch: p.epoch, SeedWatermark: p.seedWM, Watermark: tip}
+	p.mu.Unlock()
+	if !send(Frame{Hello: &hello}) {
+		return
+	}
+	sent := after
+	for {
+		p.mu.Lock()
+		var pendingEntries []Entry
+		for _, e := range p.entries {
+			if e.Watermark > sent {
+				pendingEntries = append(pendingEntries, e)
+			}
+		}
+		wake := p.wake
+		hangup := p.hangup
+		p.mu.Unlock()
+		for _, e := range pendingEntries {
+			e := e
+			if !send(Frame{Entry: &e}) {
+				return
+			}
+			if e.Watermark > sent {
+				sent = e.Watermark
+			}
+		}
+		if hangup && len(pendingEntries) == 0 {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-time.After(50 * time.Millisecond):
+			p.mu.Lock()
+			hb := Heartbeat{Epoch: p.epoch, Watermark: sent}
+			p.mu.Unlock()
+			if !send(Frame{Heartbeat: &hb}) {
+				return
+			}
+		}
+	}
+}
+
+// TestStreamHTTPDelivers runs the HTTP mode against a fake primary:
+// backlog then live entries arrive in order; heartbeats update the tip.
+func TestStreamHTTPDelivers(t *testing.T) {
+	p := &fakePrimary{epoch: 1, seedWM: 0, wake: make(chan struct{})}
+	p.entries = []Entry{mkEntry(1, 1), mkEntry(1, 2)}
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+
+	c := newCollector()
+	tl := NewTailer(fastCfg(srv.URL), c.apply)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(ctx) }()
+
+	c.waitFor(t, 2)
+	p.add(mkEntry(1, 3))
+	c.waitFor(t, 3)
+	st := tl.Status()
+	if st.Mode != "http" || st.Applied != 3 || !st.Connected {
+		t.Fatalf("Status = %+v", st)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+}
+
+// TestStreamHTTPReconnects: a primary that hangs up after each drain
+// exercises the resume path — every entry is still applied exactly once.
+func TestStreamHTTPReconnects(t *testing.T) {
+	p := &fakePrimary{epoch: 1, wake: make(chan struct{}), hangup: true}
+	p.entries = []Entry{mkEntry(1, 1)}
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+
+	c := newCollector()
+	tl := NewTailer(fastCfg(srv.URL), c.apply)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go tl.Run(ctx)
+	c.waitFor(t, 1)
+	// Wait for at least one hangup-driven reconnect before feeding more,
+	// so the new entries provably arrive over a resumed stream.
+	deadline := time.After(5 * time.Second)
+	for tl.Status().Failures == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("primary hangup never surfaced as a failure")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	p.add(mkEntry(1, 2))
+	p.add(mkEntry(1, 3))
+	c.waitFor(t, 3)
+	got := c.snapshot()
+	if len(got) != 3 {
+		t.Fatalf("applied %d entries; want 3 exactly-once", len(got))
+	}
+	if tl.Status().Failures == 0 {
+		t.Fatal("hangups should have been counted as failures")
+	}
+}
+
+// TestSeedMismatchIsFatal: a primary seeded from a different bootstrap
+// cannot be tailed — histories below the seed watermark differ.
+func TestSeedMismatchIsFatal(t *testing.T) {
+	p := &fakePrimary{epoch: 1, seedWM: 7, wake: make(chan struct{})}
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	cfg := fastCfg(srv.URL)
+	cfg.SeedWatermark = 3
+	tl := NewTailer(cfg, func(Entry) error { return nil })
+	if err := tl.Run(context.Background()); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Run = %v; want ErrDiverged", err)
+	}
+}
+
+// TestBreakerOpensAndDegrades: with the primary gone, consecutive
+// failures open the breaker and the status turns degraded.
+func TestBreakerOpensAndDegrades(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // nothing listens: every dial fails
+
+	cfg := fastCfg(url)
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = time.Hour
+	cfg.DegradedAfter = time.Hour // isolate the breaker as the cause
+	tl := NewTailer(cfg, func(Entry) error { return nil })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go tl.Run(ctx)
+
+	deadline := time.After(5 * time.Second)
+	for {
+		st := tl.Status()
+		if st.BreakerOpen {
+			if !st.Degraded {
+				t.Fatalf("breaker open but not degraded: %+v", st)
+			}
+			if st.Failures < 3 {
+				t.Fatalf("breaker opened after %d failures; threshold 3", st.Failures)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("breaker never opened: %+v", tl.Status())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestBackoffDeterministic: two tailers with one seed produce the same
+// jittered backoff schedule — reproducible chaos runs depend on it.
+func TestBackoffDeterministic(t *testing.T) {
+	sched := func() []time.Duration {
+		cfg := Config{Primary: "x", Seed: 9, BackoffBase: 10 * time.Millisecond, BackoffMax: time.Second}.withDefaults()
+		tl := &Tailer{cfg: cfg}
+		var out []time.Duration
+		for attempt := 1; attempt <= 6; attempt++ {
+			out = append(out, tl.backoffDelay(attempt))
+		}
+		return out
+	}
+	a, b := sched(), sched()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("backoff schedule not deterministic: %v vs %v", a, b)
+	}
+	for i, d := range a {
+		base := 10 * time.Millisecond << uint(min(i, 16))
+		if base > time.Second {
+			base = time.Second
+		}
+		if d < base/2 || d > base*3/2 {
+			t.Fatalf("attempt %d backoff %v outside ±50%% of %v", i+1, d, base)
+		}
+	}
+}
+
+// TestLagAndDegradedAfterSilence: heartbeats carry the primary tip into
+// Lag(); silence past DegradedAfter flips Degraded without any failure.
+func TestLagAndDegradedAfterSilence(t *testing.T) {
+	st := Status{Applied: 5, PrimaryWatermark: 9}
+	if st.Lag() != 4 {
+		t.Fatalf("Lag = %d; want 4", st.Lag())
+	}
+	if (Status{Applied: 9, PrimaryWatermark: 5}).Lag() != 0 {
+		t.Fatal("Lag must clamp at zero")
+	}
+
+	cfg := fastCfg("ignored")
+	cfg.DegradedAfter = 10 * time.Millisecond
+	tl := NewTailer(cfg, func(Entry) error { return nil })
+	if tl.Status().Degraded {
+		t.Fatal("fresh tailer already degraded")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !tl.Status().Degraded {
+		t.Fatal("silent source past DegradedAfter must read degraded")
+	}
+}

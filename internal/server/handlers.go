@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -12,6 +13,7 @@ import (
 	"hpcfail/internal/cname"
 	"hpcfail/internal/remedy"
 	"hpcfail/internal/render"
+	"hpcfail/internal/wal"
 )
 
 // Handler returns the service's HTTP handler. Ingest and diagnose go
@@ -22,6 +24,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/ingest", s.guard("ingest", s.handleIngest))
 	mux.HandleFunc("/v1/diagnose", s.guard("diagnose", s.handleDiagnose))
 	mux.HandleFunc("/v1/alarms", s.track("alarms", s.handleAlarms))
+	mux.HandleFunc("/v1/wal", s.track("wal", s.handleWALStream))
+	mux.HandleFunc("/v1/promote", s.track("promote", s.handlePromote))
 	mux.HandleFunc("/v1/remediations", s.track("remediations", s.handleRemediations))
 	mux.HandleFunc("/healthz", s.track("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.track("metrics", s.handleMetrics))
@@ -59,6 +63,7 @@ func (s *Server) guard(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			s.metrics.observe(name, http.StatusServiceUnavailable, 0)
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			http.Error(w, "server is draining", http.StatusServiceUnavailable)
 			return
 		}
@@ -99,6 +104,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.readOnly.Load() {
+		// Replicas never accept writes: the single-writer watermark is
+		// what makes replication (and fencing) coherent.
+		if s.cfg.PrimaryURL != "" {
+			w.Header().Set("X-Hpcfail-Primary", s.cfg.PrimaryURL)
+		}
+		http.Error(w, "this node is a read replica; ingest to the primary", http.StatusMisdirectedRequest)
+		return
+	}
 	var req struct {
 		Batches []IngestBatch `json:"batches"`
 	}
@@ -114,6 +128,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Ingest(req.Batches)
 	if err != nil {
+		if errors.Is(err, ErrJournal) {
+			// Not the client's fault and not accepted: retryable.
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, "bad ingest request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -128,6 +148,10 @@ type diagnoseQuery struct {
 	window   time.Duration
 	format   string // "text" or "json"
 	full     bool
+	// minWM is the read-your-writes token: the response must reflect at
+	// least this watermark. Not part of the cache key — it gates when
+	// the read runs, not what it renders.
+	minWM uint64
 }
 
 // key is the cache/singleflight identity of the query at a watermark.
@@ -186,6 +210,13 @@ func parseDiagnoseQuery(r *http.Request) (diagnoseQuery, error) {
 		}
 		q.full = b
 	}
+	if str := v.Get("min_watermark"); str != "" {
+		n, err := strconv.ParseUint(str, 10, 64)
+		if err != nil {
+			return q, fmt.Errorf("min_watermark: want watermark, got %q", str)
+		}
+		q.minWM = n
+	}
 	return q, nil
 }
 
@@ -205,6 +236,10 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	q, err := parseDiagnoseQuery(r)
 	if err != nil {
 		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.annotateReplica(w)
+	if q.minWM > 0 && !s.waitWatermark(w, q.minWM) {
 		return
 	}
 	snap, err := s.snapshotNow()
@@ -289,10 +324,12 @@ func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprint(w, "retry: 1000\n\n")
+	// The initial comment lets clients (and proxies) distinguish an
+	// established-but-idle stream from a wedged connect.
+	fmt.Fprint(w, "retry: 1000\n\n: connected\n\n")
 	fl.Flush()
 
-	heartbeat := time.NewTicker(15 * time.Second)
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
 	defer heartbeat.Stop()
 	for {
 		select {
@@ -372,17 +409,30 @@ func (s *Server) handleRemediations(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status    string  `json:"status"`
-		Records   int     `json:"records"`
-		Watermark uint64  `json:"watermark"`
-		Diagnosed uint64  `json:"diagnosed_watermark"`
-		Staleness uint64  `json:"staleness_watermarks"`
-		UptimeSec float64 `json:"uptime_sec"`
+		Status     string  `json:"status"`
+		Role       string  `json:"role"`
+		Epoch      uint64  `json:"epoch"`
+		Records    int     `json:"records"`
+		Watermark  uint64  `json:"watermark"`
+		Diagnosed  uint64  `json:"diagnosed_watermark"`
+		Staleness  uint64  `json:"staleness_watermarks"`
+		UptimeSec  float64 `json:"uptime_sec"`
+		ReplicaLag *uint64 `json:"replica_lag_watermarks,omitempty"`
+		Degraded   *bool   `json:"replica_degraded,omitempty"`
 	}
 	wm, diagnosed := s.Staleness()
-	st := health{Status: "ok", Records: s.Records(), Watermark: wm,
-		Diagnosed: diagnosed, Staleness: wm - diagnosed,
+	role := "primary"
+	if s.readOnly.Load() {
+		role = "replica"
+	}
+	st := health{Status: "ok", Role: role, Epoch: s.Epoch(), Records: s.Records(),
+		Watermark: wm, Diagnosed: diagnosed, Staleness: wm - diagnosed,
 		UptimeSec: time.Since(s.started).Seconds()}
+	if s.replicaStatus != nil && s.readOnly.Load() {
+		rst := s.replicaStatus()
+		lag, deg := rst.Lag(), rst.Degraded
+		st.ReplicaLag, st.Degraded = &lag, &deg
+	}
 	code := http.StatusOK
 	if s.draining.Load() {
 		st.Status = "draining"
@@ -399,6 +449,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		lag = time.Since(time.Unix(0, last)).Seconds()
 	}
 	wm, diagnosed := s.Staleness()
+	s.mu.Lock()
+	epoch := s.epoch
+	var wst wal.Stats
+	walOpen := s.repl != nil
+	if walOpen {
+		wst, _ = s.repl.Stat()
+	}
+	s.mu.Unlock()
 	gauges := []gauge{
 		{"hpcfail_store_records", "Records in the live corpus.", float64(s.Records())},
 		{"hpcfail_ingest_watermark", "Current ingest watermark (bumps once per accepted batch request).", float64(wm)},
@@ -411,6 +469,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"hpcfail_cache_entries", "Entries in the rendered-response cache.", float64(s.cache.len())},
 		{"hpcfail_inflight_requests", "Requests currently holding an admission slot.", float64(len(s.sem))},
 		{"hpcfail_sse_subscribers", "Connected alarm stream subscribers.", float64(s.broker.subscribers())},
+		{"hpcfail_epoch", "Fencing epoch this node writes (or would write) at.", float64(epoch)},
+	}
+	if walOpen {
+		gauges = append(gauges,
+			gauge{"hpcfail_wal_bytes", "Total bytes across replication WAL segments.", float64(wst.Bytes)},
+			gauge{"hpcfail_wal_segments", "Replication WAL segment files on disk.", float64(wst.Segments)},
+		)
+	}
+	if s.replicaStatus != nil && s.readOnly.Load() {
+		rst := s.replicaStatus()
+		degraded := 0.0
+		if rst.Degraded {
+			degraded = 1
+		}
+		gauges = append(gauges,
+			gauge{"hpcfail_replica_applied_watermark", "Last watermark this replica applied.", float64(rst.Applied)},
+			gauge{"hpcfail_replica_lag_watermarks", "Watermarks this replica trails the primary by.", float64(rst.Lag())},
+			gauge{"hpcfail_replica_degraded", "1 when the replica cannot reach its source (breaker open or silent past the threshold).", degraded},
+		)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, gauges)

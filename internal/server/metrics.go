@@ -45,6 +45,10 @@ const (
 	mRemedyRefused  = "hpcfail_remediation_refused_total"
 	mRemedyFailed   = "hpcfail_remediation_failed_total"
 	mRemedyRequeues = "hpcfail_remediation_requeued_jobs_total"
+
+	mReplApplied  = "hpcfail_replication_applied_entries_total"
+	mReplStreamed = "hpcfail_replication_streamed_entries_total"
+	mReplFenced   = "hpcfail_replication_fenced_entries_total"
 )
 
 var counterHelp = map[string]string{
@@ -64,6 +68,10 @@ var counterHelp = map[string]string{
 	mRemedyRefused:  "Remediation decisions refused by idempotency or safety guards.",
 	mRemedyFailed:   "Remediation SOPs that exhausted retries.",
 	mRemedyRequeues: "Jobs requeued by drain SOPs.",
+
+	mReplApplied:  "Replicated entries folded into this node's corpus.",
+	mReplStreamed: "Entries sent to /v1/wal stream consumers.",
+	mReplFenced:   "Entries rejected because their epoch was deposed.",
 }
 
 // latencyBuckets are the request-duration histogram upper bounds in

@@ -1,0 +1,452 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hpcfail/internal/events"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/replica"
+	"hpcfail/internal/wal"
+)
+
+// Replication model. When Config.ReplicationDir is set, the server
+// journals every accepted ingest request — the raw batches, verbatim —
+// as a replica.Entry in a write-ahead log *before* committing it to the
+// live corpus, and serves the entry stream on GET /v1/wal. The entry is
+// the unit of crash safety and of replication at once:
+//
+//   - Crash safety: a restarted primary Seeds its bootstrap corpus and
+//     OpenReplicationLog replays the journal, reconstructing exactly
+//     the acknowledged ingest history (journal-then-commit means an
+//     acknowledged watermark is always on disk; a crash mid-append
+//     leaves a torn frame the WAL rolls back, and that request was
+//     never acknowledged).
+//   - Replication: a replica built from the same bootstrap folds the
+//     entries through Apply in watermark order. Because parsing and the
+//     incremental engine are deterministic and batch-split-invariant,
+//     a replica at watermark W serves /v1/diagnose bytes identical to
+//     the primary's at W.
+//
+// Epochs fence deposed primaries. Promote mints epoch+1 and journals an
+// epoch marker; entries always carry their writer's epoch, and Apply
+// rejects entries from any epoch below the server's own — so after a
+// promotion, writes a split-brain old primary keeps producing can never
+// enter a promoted node's history.
+var (
+	// ErrJournal wraps replication-WAL failures during ingest: the
+	// request was NOT accepted (the watermark did not advance) and the
+	// client must retry.
+	ErrJournal = errors.New("server: replication journal write failed")
+	// ErrFenced rejects an entry whose epoch predates the server's: its
+	// writer was deposed and its fork of history is abandoned.
+	ErrFenced = errors.New("server: entry from a fenced epoch")
+)
+
+// OpenReplicationLog opens the replication WAL under
+// Config.ReplicationDir and replays it through the corpus, restoring
+// every acknowledged post-seed ingest. Call after Seed and before
+// serving; a no-op when ReplicationDir is unset.
+func (s *Server) OpenReplicationLog() error {
+	if s.cfg.ReplicationDir == "" {
+		return nil
+	}
+	l, err := wal.Open(s.cfg.ReplicationDir, wal.Options{
+		SegmentBytes: s.cfg.ReplicationSegmentBytes,
+		Sync:         s.cfg.ReplicationSync,
+	})
+	if err != nil {
+		return err
+	}
+	if err := l.Replay(func(payload []byte) error {
+		e, derr := replica.DecodeEntry(payload)
+		if derr != nil {
+			return derr
+		}
+		return s.foldEntry(e, false)
+	}); err != nil {
+		l.Close()
+		return fmt.Errorf("server: replaying replication log: %w", err)
+	}
+	s.mu.Lock()
+	s.repl = l
+	s.mu.Unlock()
+	return nil
+}
+
+// CloseReplication seals and closes the replication WAL. Call after the
+// HTTP server has drained.
+func (s *Server) CloseReplication() error {
+	s.mu.Lock()
+	l := s.repl
+	s.repl = nil
+	s.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Close()
+}
+
+// Epoch returns the server's current fencing epoch.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// SeedWatermark returns the watermark the bootstrap seed covered (1
+// after Seed, 0 on an unseeded server) — the value replica tailers must
+// agree with the primary on.
+func (s *Server) SeedWatermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seedWM
+}
+
+// SetReadOnly flips replica mode: HTTP ingest is redirected to the
+// primary with 421 while entries keep arriving through Apply. Call
+// before serving; Promote clears it.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// ReadOnly reports whether the server is in replica mode.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// SetReplicaStatus installs the tailer-status source the handlers use
+// for degraded-mode headers, /healthz and /metrics. Call before
+// serving.
+func (s *Server) SetReplicaStatus(fn func() replica.Status) { s.replicaStatus = fn }
+
+// Apply folds one replicated entry into the corpus: the replica-side
+// twin of Ingest, fed by a tailer. Entries must arrive in watermark
+// order; duplicates are skipped, stale-epoch entries are rejected with
+// ErrFenced, and a gap is an error (the tailer treats both as fatal —
+// rightly: a promoted node must stop tailing its deposed source). The
+// entry is re-journaled into this node's own WAL, so a promoted replica
+// can itself crash-restart and serve /v1/wal to its own replicas.
+func (s *Server) Apply(e replica.Entry) error {
+	return s.foldEntry(e, true)
+}
+
+// foldEntry parses and commits one entry. journal re-appends the entry
+// to the local WAL (Apply path); replay from that same WAL passes
+// false.
+func (s *Server) foldEntry(e replica.Entry, journal bool) error {
+	var all []events.Record
+	var sreps []logparse.StreamReport
+	quarantined := 0
+	for _, b := range e.Batches {
+		stream, err := events.ParseStream(b.Stream)
+		if err != nil {
+			return fmt.Errorf("entry watermark %d: batch stream %q: %w", e.Watermark, b.Stream, err)
+		}
+		recs, srep := logparse.ParseLinesReport(stream, s.cfg.Scheduler, b.Lines)
+		all = append(all, recs...)
+		sreps = append(sreps, srep)
+		quarantined += srep.Quarantined
+	}
+
+	s.mu.Lock()
+	if e.Epoch < s.epoch {
+		s.mu.Unlock()
+		s.metrics.add(mReplFenced, 1)
+		return fmt.Errorf("%w: entry epoch %d, server epoch %d", ErrFenced, e.Epoch, s.epoch)
+	}
+	if e.Watermark <= s.watermark {
+		// Duplicate on resume; adopt a newer epoch (promotion markers
+		// reuse the current watermark for exactly this). A marker that
+		// advances our epoch is journaled locally too, so the promotion
+		// survives this node's own crash-restart.
+		if e.Epoch > s.epoch {
+			s.epoch = e.Epoch
+			if journal && s.repl != nil {
+				if err := s.journalLocked(replica.Entry{Epoch: e.Epoch, Watermark: s.watermark,
+					Batches: []replica.Batch{}}); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+			}
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	if e.Watermark != s.watermark+1 {
+		wm := s.watermark
+		s.mu.Unlock()
+		return fmt.Errorf("server: entry watermark %d does not follow %d: gap", e.Watermark, wm)
+	}
+	if journal && s.repl != nil {
+		if err := s.journalLocked(e); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.pending = append(s.pending, all...)
+	s.recCount += len(all)
+	for _, srep := range sreps {
+		s.rep.MergeStream(srep)
+	}
+	s.watermark = e.Watermark
+	if e.Epoch > s.epoch {
+		s.epoch = e.Epoch
+	}
+	s.bumpLocked()
+	s.mu.Unlock()
+
+	s.watcher.FeedAll(all)
+	s.lastIngestWall.Store(time.Now().UnixNano())
+	s.metrics.add(mIngestBatch, uint64(len(e.Batches)))
+	s.metrics.add(mIngestRecs, uint64(len(all)))
+	s.metrics.add(mIngestQuar, uint64(quarantined))
+	s.metrics.add(mReplApplied, 1)
+	return nil
+}
+
+// journalLocked appends one entry to the replication WAL and makes it
+// durable. Caller holds s.mu.
+func (s *Server) journalLocked(e replica.Entry) error {
+	data, err := replica.EncodeEntry(e)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if err := s.repl.Append(data); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if err := s.repl.Sync(); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// bumpLocked wakes every watermark waiter (min_watermark reads, /v1/wal
+// streamers). Caller holds s.mu and has already advanced the state the
+// waiters will re-read.
+func (s *Server) bumpLocked() {
+	close(s.wmCh)
+	s.wmCh = make(chan struct{})
+}
+
+// Promote makes this node the primary: it mints the next fencing epoch,
+// journals an epoch marker so the promotion survives a crash-restart,
+// and reopens HTTP ingest. Entries still arriving from the deposed
+// primary's epoch are rejected from here on. Returns the new epoch and
+// the watermark the node serves from.
+func (s *Server) Promote() (epoch, watermark uint64, err error) {
+	s.mu.Lock()
+	s.epoch++
+	epoch = s.epoch
+	watermark = s.watermark
+	if s.repl != nil && watermark > 0 {
+		// The marker reuses the current watermark: replay and downstream
+		// tailers adopt its epoch through the duplicate path without
+		// perturbing watermark contiguity.
+		err = s.journalLocked(replica.Entry{Epoch: epoch, Watermark: watermark,
+			Batches: []replica.Batch{}})
+	}
+	s.bumpLocked()
+	s.mu.Unlock()
+	if err != nil {
+		// The in-memory epoch stays bumped — failing toward a higher
+		// epoch can fence spuriously but never lets a deposed writer in.
+		return 0, 0, fmt.Errorf("server: journaling promotion: %w", err)
+	}
+	s.readOnly.Store(false)
+	return epoch, watermark, nil
+}
+
+// handlePromote serves POST /v1/promote — the replicactl promote
+// endpoint. Tracked, not guarded: promotion is exactly what an operator
+// does while the fleet is unhealthy.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	epoch, wm, err := s.Promote()
+	if err != nil {
+		http.Error(w, "promotion failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Epoch     uint64 `json:"epoch"`
+		Watermark uint64 `json:"watermark"`
+	}{epoch, wm})
+}
+
+// handleWALStream serves GET /v1/wal?after=W: an NDJSON stream opening
+// with a hello frame (epoch, seed watermark, tip), followed by every
+// journaled entry with watermark > W in order, then live entries as
+// they commit, with heartbeat frames while idle. The stream ends when
+// the client disconnects or the server drains — BeginDrain closes every
+// stream so http.Server.Shutdown never wedges on a tailing replica.
+func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	enabled := s.repl != nil
+	s.mu.Unlock()
+	if !enabled {
+		http.Error(w, "replication not enabled", http.StatusNotFound)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	after := uint64(0)
+	if str := r.URL.Query().Get("after"); str != "" {
+		n, err := strconv.ParseUint(str, 10, 64)
+		if err != nil {
+			http.Error(w, "bad query: after: want watermark", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(f replica.Frame) bool {
+		data, err := json.Marshal(f)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	s.mu.Lock()
+	hello := replica.Hello{Epoch: s.epoch, SeedWatermark: s.seedWM, Watermark: s.watermark}
+	s.mu.Unlock()
+	if !send(replica.Frame{Hello: &hello}) {
+		return
+	}
+
+	tr := wal.NewTailReader(s.cfg.ReplicationDir, wal.Offset{})
+	defer tr.Close()
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer heartbeat.Stop()
+	sent := after
+	for {
+		// Grab the wake channel BEFORE draining the reader: an entry
+		// committed between our last Next and the select still closed
+		// this channel, so the wakeup cannot be missed.
+		s.mu.Lock()
+		ch := s.wmCh
+		s.mu.Unlock()
+		for {
+			payload, err := tr.Next()
+			if err != nil || payload == nil {
+				if err != nil {
+					return // damaged or unreadable journal: drop the stream
+				}
+				break
+			}
+			e, derr := replica.DecodeEntry(payload)
+			if derr != nil {
+				return
+			}
+			if e.Watermark <= sent && len(e.Batches) > 0 {
+				continue // resume skip; epoch markers still flow through
+			}
+			if !send(replica.Frame{Entry: &e}) {
+				return
+			}
+			s.metrics.add(mReplStreamed, 1)
+			if e.Watermark > sent {
+				sent = e.Watermark
+			}
+		}
+		select {
+		case <-ch:
+		case <-s.broker.done:
+			return
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			s.mu.Lock()
+			hb := replica.Heartbeat{Epoch: s.epoch, Watermark: s.watermark}
+			s.mu.Unlock()
+			if !send(replica.Frame{Heartbeat: &hb}) {
+				return
+			}
+		}
+	}
+}
+
+// retryAfterSeconds renders Config.RetryAfter as a Retry-After value.
+func (s *Server) retryAfterSeconds() string {
+	return strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+}
+
+// waitWatermark blocks a min_watermark read until the corpus reaches
+// min, the wait budget runs out (412 + a pointer at the primary — the
+// client should read its own write there), or the server drains (503 +
+// Retry-After). True means the read may proceed.
+func (s *Server) waitWatermark(w http.ResponseWriter, min uint64) bool {
+	deadline := time.Now().Add(s.cfg.MaxWatermarkWait)
+	for {
+		s.mu.Lock()
+		wm := s.watermark
+		ch := s.wmCh
+		s.mu.Unlock()
+		if wm >= min {
+			return true
+		}
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			http.Error(w, "server is draining", http.StatusServiceUnavailable)
+			return false
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if s.cfg.PrimaryURL != "" {
+				w.Header().Set("X-Hpcfail-Primary", s.cfg.PrimaryURL)
+			}
+			w.Header().Set("X-Hpcfail-Watermark", strconv.FormatUint(wm, 10))
+			http.Error(w, fmt.Sprintf("watermark %d not yet replicated (at %d); read the primary", min, wm),
+				http.StatusPreconditionFailed)
+			return false
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+		case <-s.broker.done:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}
+
+// annotateReplica stamps replica-health headers on a response: whether
+// this node's view is degraded (source unreachable / breaker open) and
+// how many watermarks it trails the primary by. Clients doing
+// bounded-staleness reads branch on these.
+func (s *Server) annotateReplica(w http.ResponseWriter) {
+	if s.replicaStatus == nil || !s.readOnly.Load() {
+		// A promoted node still has its (now idle) tailer status source
+		// installed; its responses are primary responses, not stale reads.
+		return
+	}
+	st := s.replicaStatus()
+	w.Header().Set("X-Hpcfail-Replica-Degraded", strconv.FormatBool(st.Degraded))
+	w.Header().Set("X-Hpcfail-Replica-Lag", strconv.FormatUint(st.Lag(), 10))
+}

@@ -1,0 +1,731 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcfail/internal/logstore"
+	"hpcfail/internal/replica"
+	"hpcfail/internal/topology"
+)
+
+// replSteps is the failover ingest script: the golden-parity script's
+// shape — a benign burst, a terminal failure with its job, out-of-order
+// and duplicate arrivals, and a quarantined line — so the differential
+// harness exercises every ledger path the replication entry must carry.
+func replSteps() [][]IngestBatch {
+	return [][]IngestBatch{
+		{{Stream: "console", Lines: []string{
+			"2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+		}}},
+		{
+			{Stream: "scheduler", Lines: []string{
+				"2015-03-03T08:10:00.000000Z slurmctld: JobId=901 Action=job_start App=qa_probe User=user01 ReqMem=64M NodeList=c0-0c1s2n1",
+				"2015-03-03T08:45:00.000000Z slurmctld: JobId=901 Action=job_end App=qa_probe State=NODE_FAIL ExitCode=1 NodeList=c0-0c1s2n1",
+			}},
+			{Stream: "console", Lines: []string{
+				"2015-03-03T08:30:00.000000Z c0-0c1s2n1 kernel: <2> node c0-0c1s2n1 halting: system shutdown",
+			}},
+		},
+		{
+			{Stream: "consumer", Lines: []string{
+				"2015-03-03T08:31:00.000000Z c0-0c1s2n1 consumer: <6> node state transition for c0-0c1s2n1 state=down",
+				"2015-03-02T12:00:00.000000Z c0-0c0s0n0 consumer: <6> node state transition for c0-0c0s0n0 state=up",
+			}},
+			{Stream: "console", Lines: []string{
+				"2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+			}},
+		},
+		{{Stream: "console", Lines: []string{"not a log line at all"}}},
+	}
+}
+
+// loadFixture loads the clean corpus the replication tests bootstrap
+// every node from (primary and replica must share one bootstrap).
+func loadFixture(t testing.TB) (*logstore.Store, *logstore.IngestReport) {
+	t.Helper()
+	store, rep, err := logstore.LoadDirReport(fixtureClean, topology.SchedulerSlurm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, rep
+}
+
+// newReplNode builds a seeded server with its replication WAL open.
+func newReplNode(t testing.TB, store *logstore.Store, rep *logstore.IngestReport, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	s.Seed(store, rep)
+	if err := s.OpenReplicationLog(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fastTailCfg points a tailer at primary, resuming from the replica's
+// own position, with test-speed knobs (no backoff sleeps, 1ms polls).
+func fastTailCfg(primary string, s *Server) replica.Config {
+	return replica.Config{
+		Primary:       primary,
+		After:         s.Watermark(),
+		Epoch:         s.Epoch(),
+		SeedWatermark: s.SeedWatermark(),
+		BackoffBase:   -1,
+		PollInterval:  time.Millisecond,
+	}
+}
+
+// tailRun is a running tailer plus its lifecycle handles.
+type tailRun struct {
+	tl     *replica.Tailer
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func startTailer(cfg replica.Config, apply func(replica.Entry) error) *tailRun {
+	ctx, cancel := context.WithCancel(context.Background())
+	tl := replica.NewTailer(cfg, apply)
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(ctx) }()
+	return &tailRun{tl: tl, cancel: cancel, done: done}
+}
+
+func (tr *tailRun) stop(t testing.TB) error {
+	t.Helper()
+	tr.cancel()
+	select {
+	case err := <-tr.done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("tailer did not stop within 10s")
+		return nil
+	}
+}
+
+func waitWatermarkAtLeast(t testing.TB, s *Server, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Watermark() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("watermark %d not reached within 10s (at %d)", want, s.Watermark())
+}
+
+func diagnoseBytes(t testing.TB, s *Server, query string) []byte {
+	t.Helper()
+	rec := get(t, s.Handler(), "/v1/diagnose"+query)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("diagnose%s = %d: %s", query, rec.Code, rec.Body.String())
+	}
+	return append([]byte(nil), rec.Body.Bytes()...)
+}
+
+// TestFailoverByteParityAtEveryPrefix is the differential failover
+// harness: for every WAL prefix k the primary is killed after its k-th
+// post-seed ingest, the tailing replica is promoted, and the remaining
+// requests are ingested into the promoted node. The promoted node's
+// /v1/diagnose bytes — text and JSON — must equal an uninterrupted
+// run's at the same watermark, and so must a crash-restart of the
+// promoted node rebuilt purely from its own journal (promotion epoch
+// included). Runs at GOMAXPROCS 1, 2 and 8; go test -race covers the
+// tail/kill/promote interleavings.
+func TestFailoverByteParityAtEveryPrefix(t *testing.T) {
+	store, rep := loadFixture(t)
+	steps := replSteps()
+	final := uint64(1 + len(steps))
+
+	// The uninterrupted reference run: no replication, no failover.
+	ref := New(Config{})
+	ref.Seed(store, rep)
+	for _, batches := range steps {
+		if _, err := ref.Ingest(batches); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTxt := diagnoseBytes(t, ref, "")
+	wantJS := diagnoseBytes(t, ref, "?format=json")
+
+	for _, gmp := range []int{1, 2, 8} {
+		for k := 0; k <= len(steps); k++ {
+			t.Run(fmt.Sprintf("gomaxprocs=%d/kill_after=%d", gmp, k), func(t *testing.T) {
+				old := runtime.GOMAXPROCS(gmp)
+				defer runtime.GOMAXPROCS(old)
+
+				primary := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir()})
+				ts := httptest.NewServer(primary.Handler())
+				defer ts.Close()
+				repDir := t.TempDir()
+				sec := newReplNode(t, store, rep, Config{ReplicationDir: repDir})
+				sec.SetReadOnly(true)
+				run := startTailer(fastTailCfg(ts.URL, sec), sec.Apply)
+
+				for _, batches := range steps[:k] {
+					if _, err := primary.Ingest(batches); err != nil {
+						t.Fatal(err)
+					}
+				}
+				waitWatermarkAtLeast(t, sec, uint64(1+k))
+
+				// Kill the primary and fail over.
+				if err := run.stop(t); err != nil {
+					t.Fatalf("tailer: %v", err)
+				}
+				primary.BeginDrain()
+				ts.Close()
+				if err := primary.CloseReplication(); err != nil {
+					t.Fatal(err)
+				}
+
+				epoch, wm, err := sec.Promote()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if epoch != 2 || wm != uint64(1+k) {
+					t.Fatalf("Promote = epoch %d wm %d, want epoch 2 wm %d", epoch, wm, 1+k)
+				}
+				if sec.ReadOnly() {
+					t.Fatal("promoted node still read-only")
+				}
+				for _, batches := range steps[k:] {
+					if _, err := sec.Ingest(batches); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if got := sec.Watermark(); got != final {
+					t.Fatalf("promoted watermark = %d, want %d", got, final)
+				}
+				if got := diagnoseBytes(t, sec, ""); !bytes.Equal(got, wantTxt) {
+					t.Errorf("promoted text bytes diverge from uninterrupted run (%d vs %d bytes)", len(got), len(wantTxt))
+				}
+				if got := diagnoseBytes(t, sec, "?format=json"); !bytes.Equal(got, wantJS) {
+					t.Errorf("promoted JSON bytes diverge from uninterrupted run")
+				}
+
+				// Crash-restart of the promoted node: replaying its own
+				// journal must reconstruct identical state.
+				if err := sec.CloseReplication(); err != nil {
+					t.Fatal(err)
+				}
+				reborn := newReplNode(t, store, rep, Config{ReplicationDir: repDir})
+				defer reborn.CloseReplication()
+				if got := reborn.Watermark(); got != final {
+					t.Fatalf("restarted watermark = %d, want %d", got, final)
+				}
+				if got := reborn.Epoch(); got != 2 {
+					t.Fatalf("restarted epoch = %d, want 2 (promotion marker lost)", got)
+				}
+				if got := diagnoseBytes(t, reborn, ""); !bytes.Equal(got, wantTxt) {
+					t.Errorf("restarted text bytes diverge from uninterrupted run")
+				}
+			})
+		}
+	}
+}
+
+// TestReadYourWritesUnderLag pins the min_watermark contract: a client
+// that ingests at the primary and reads the replica with its acked
+// watermark always sees its own write, even when every entry reaches
+// the replica a beat late. The never-replicated case must 412 with a
+// pointer at the primary, and replica ingest must 421.
+func TestReadYourWritesUnderLag(t *testing.T) {
+	store, rep := loadFixture(t)
+	primary := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir()})
+	defer primary.CloseReplication()
+	sec := New(Config{MaxWatermarkWait: 5 * time.Second, PrimaryURL: "http://primary.test"})
+	sec.Seed(store, rep)
+	sec.SetReadOnly(true)
+	h := sec.Handler()
+
+	for i := 0; i < 12; i++ {
+		batches := []IngestBatch{{Stream: "console", Lines: []string{
+			fmt.Sprintf("2015-03-03T09:%02d:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)", i),
+		}}}
+		ires, err := primary.Ingest(batches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lag injection: the entry lands on the replica only after the
+		// primary has acknowledged it and the read is already waiting.
+		applied := make(chan struct{})
+		go func(e replica.Entry, delay time.Duration) {
+			defer close(applied)
+			time.Sleep(delay)
+			if err := sec.Apply(e); err != nil {
+				t.Error(err)
+			}
+		}(replica.Entry{Epoch: 1, Watermark: ires.Watermark, Batches: batches},
+			time.Duration(1+i%7)*time.Millisecond)
+
+		rec := get(t, h, "/v1/diagnose?min_watermark="+strconv.FormatUint(ires.Watermark, 10))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("read at min_watermark %d = %d: %s", ires.Watermark, rec.Code, rec.Body.String())
+		}
+		served, err := strconv.ParseUint(rec.Header().Get("X-Hpcfail-Watermark"), 10, 64)
+		if err != nil || served < ires.Watermark {
+			t.Fatalf("read-your-writes violated: acked %d, served %q", ires.Watermark, rec.Header().Get("X-Hpcfail-Watermark"))
+		}
+		<-applied
+	}
+
+	// A watermark that never replicates: bounded wait, then 412 and a
+	// redirect at the primary, reporting how far this replica got.
+	lagged := New(Config{MaxWatermarkWait: 30 * time.Millisecond, PrimaryURL: "http://primary.test"})
+	lagged.Seed(store, rep)
+	lagged.SetReadOnly(true)
+	rec := get(t, lagged.Handler(), "/v1/diagnose?min_watermark=99")
+	if rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("unreplicated min_watermark = %d, want 412", rec.Code)
+	}
+	if got := rec.Header().Get("X-Hpcfail-Primary"); got != "http://primary.test" {
+		t.Errorf("412 X-Hpcfail-Primary = %q", got)
+	}
+	if got := rec.Header().Get("X-Hpcfail-Watermark"); got != "1" {
+		t.Errorf("412 X-Hpcfail-Watermark = %q, want 1", got)
+	}
+
+	// Writes to a replica are misdirected, with the same redirect.
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest",
+		strings.NewReader(`{"batches":[{"stream":"console","lines":["x"]}]}`))
+	rr := httptest.NewRecorder()
+	lagged.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("replica ingest = %d, want 421", rr.Code)
+	}
+	if got := rr.Header().Get("X-Hpcfail-Primary"); got != "http://primary.test" {
+		t.Errorf("421 X-Hpcfail-Primary = %q", got)
+	}
+}
+
+// TestSplitBrainFencing promotes the replica while the deposed primary
+// keeps accepting writes. The promoted node must reject the stale
+// epoch's entries on both admission paths — direct Apply and a tailer
+// pointed back at the deposed primary — and its corpus must not move.
+func TestSplitBrainFencing(t *testing.T) {
+	store, rep := loadFixture(t)
+	steps := replSteps()
+	primary := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir()})
+	defer primary.CloseReplication()
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+	sec := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir()})
+	defer sec.CloseReplication()
+	sec.SetReadOnly(true)
+	run := startTailer(fastTailCfg(ts.URL, sec), sec.Apply)
+
+	for _, batches := range steps[:2] {
+		if _, err := primary.Ingest(batches); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitWatermarkAtLeast(t, sec, 3)
+	if err := run.stop(t); err != nil {
+		t.Fatalf("tailer: %v", err)
+	}
+
+	if _, _, err := sec.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	// The deposed primary doesn't know and keeps writing its own fork.
+	for _, batches := range steps[2:] {
+		if _, err := primary.Ingest(batches); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := diagnoseBytes(t, sec, "")
+
+	// Apply path: a stale-epoch entry is an ErrFenced rejection.
+	err := sec.Apply(replica.Entry{Epoch: 1, Watermark: 4,
+		Batches: []replica.Batch{{Stream: "console", Lines: []string{"split-brain write"}}}})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("Apply from deposed epoch = %v, want ErrFenced", err)
+	}
+	if got := sec.counter(mReplFenced); got != 1 {
+		t.Errorf("fenced counter = %d, want 1", got)
+	}
+
+	// Tailer path: re-pointed at the deposed primary, its fork is fenced
+	// entry by entry, never applied.
+	run2 := startTailer(fastTailCfg(ts.URL, sec), sec.Apply)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && run2.tl.Status().Fenced < uint64(len(steps)-2) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := run2.tl.Status().Fenced; got != uint64(len(steps)-2) {
+		t.Errorf("tailer fenced %d entries, want %d", got, len(steps)-2)
+	}
+	if err := run2.stop(t); err != nil {
+		t.Fatalf("tailer against deposed primary: %v", err)
+	}
+	if got := sec.Watermark(); got != 3 {
+		t.Fatalf("promoted watermark moved to %d under split brain", got)
+	}
+	if got := diagnoseBytes(t, sec, ""); !bytes.Equal(got, before) {
+		t.Error("promoted node's diagnosis changed under split-brain writes")
+	}
+}
+
+// TestMinWatermarkWaitDrains pins the drain interaction: a parked
+// min_watermark read is released with 503 + Retry-After the moment the
+// server starts draining, and post-drain reads are refused at admission
+// with the same hint.
+func TestMinWatermarkWaitDrains(t *testing.T) {
+	store, rep := loadFixture(t)
+	s := New(Config{MaxWatermarkWait: 10 * time.Second, RetryAfter: 2 * time.Second})
+	s.Seed(store, rep)
+	h := s.Handler()
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/diagnose?min_watermark=99", nil))
+		done <- rec
+	}()
+	time.Sleep(20 * time.Millisecond) // let the wait park
+	s.BeginDrain()
+	select {
+	case rec := <-done:
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("draining min_watermark wait = %d, want 503", rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != "2" {
+			t.Errorf("Retry-After = %q, want 2", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("min_watermark wait did not unblock on drain")
+	}
+
+	rec := get(t, h, "/v1/diagnose?min_watermark=1")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain read = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("post-drain Retry-After = %q, want 2", got)
+	}
+}
+
+// TestWALStreamDrainAndHeartbeat covers the /v1/wal stream lifecycle:
+// the hello frame, heartbeat frames on an idle stream, prompt stream
+// termination on BeginDrain (so http.Server.Shutdown cannot wedge on a
+// tailing replica), refusal of new streams while draining, and a clean
+// server close afterwards.
+func TestWALStreamDrainAndHeartbeat(t *testing.T) {
+	store, rep := loadFixture(t)
+	s := newReplNode(t, store, rep, Config{
+		ReplicationDir: t.TempDir(),
+		SSEHeartbeat:   20 * time.Millisecond,
+		RetryAfter:     3 * time.Second,
+	})
+	defer s.CloseReplication()
+	ts := httptest.NewServer(s.Handler())
+
+	resp, err := http.Get(ts.URL + "/v1/wal?after=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/wal = %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	readFrame := func() replica.Frame {
+		t.Helper()
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("reading stream: %v", err)
+		}
+		var f replica.Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			t.Fatalf("decoding frame %q: %v", line, err)
+		}
+		return f
+	}
+	f := readFrame()
+	if f.Hello == nil || f.Hello.Epoch != 1 || f.Hello.SeedWatermark != 1 || f.Hello.Watermark != 1 {
+		t.Fatalf("first frame = %+v, want hello at epoch 1, seed 1, watermark 1", f)
+	}
+	// The idle stream heartbeats at the configured cadence.
+	hb := readFrame()
+	if hb.Heartbeat == nil || hb.Heartbeat.Watermark != 1 {
+		t.Fatalf("second frame = %+v, want heartbeat at watermark 1", hb)
+	}
+
+	// Drain: the established stream must end promptly.
+	s.BeginDrain()
+	streamEnd := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := br.ReadBytes('\n'); err != nil {
+				streamEnd <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-streamEnd:
+		if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Logf("stream ended with %v (EOF-equivalent accepted)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("/v1/wal stream did not close on drain")
+	}
+
+	// New streams are refused while draining, with a retry hint.
+	resp2, err := http.Get(ts.URL + "/v1/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /v1/wal = %d, want 503", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("draining /v1/wal Retry-After = %q, want 3", got)
+	}
+
+	// The server shuts down without wedging on the (now closed) stream.
+	closed := make(chan struct{})
+	go func() {
+		ts.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server shutdown wedged after drain")
+	}
+}
+
+// TestAlarmStreamPreambleAndHeartbeat is the SSE regression test for
+// the configurable heartbeat: the stream opens with the retry hint and
+// the ": connected" comment, then pings at the configured cadence even
+// with no alarms flowing.
+func TestAlarmStreamPreambleAndHeartbeat(t *testing.T) {
+	s := New(Config{SSEHeartbeat: 25 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.BeginDrain()
+
+	resp, err := http.Get(ts.URL + "/v1/alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alarms = %d", resp.StatusCode)
+	}
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitForLine(t, lines, "retry:")
+	waitForLine(t, lines, ": connected")
+	// Two heartbeats prove the ticker runs at the configured cadence
+	// rather than the 15s default (which would time the helper out).
+	waitForLine(t, lines, ": ping")
+	waitForLine(t, lines, ": ping")
+}
+
+// TestReplicationChaosSoak drives seeded kill/promote/restart cycles —
+// random ingest mixes including quarantine-bound garbage, a random kill
+// prefix, failover, then a crash-restart of the promoted node — and
+// requires zero parity violations against an uninterrupted reference
+// plus bounded staleness (the replica fully catches up) every round.
+// The CI soak leg runs this; -short skips it.
+func TestReplicationChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	store, rep := loadFixture(t)
+	rnd := rand.New(rand.NewSource(20260808))
+	mkBatches := func(i int) []IngestBatch {
+		switch rnd.Intn(4) {
+		case 0:
+			return []IngestBatch{{Stream: "console", Lines: []string{
+				fmt.Sprintf("2015-03-03T10:%02d:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)", i%60),
+			}}}
+		case 1:
+			return []IngestBatch{{Stream: "scheduler", Lines: []string{
+				fmt.Sprintf("2015-03-03T11:%02d:00.000000Z slurmctld: JobId=%d Action=job_start App=chaos User=user02 ReqMem=64M NodeList=c0-0c1s2n1", i%60, 1000+i),
+				fmt.Sprintf("2015-03-03T11:%02d:30.000000Z slurmctld: JobId=%d Action=job_end App=chaos State=NODE_FAIL ExitCode=1 NodeList=c0-0c1s2n1", i%60, 1000+i),
+			}}}
+		case 2:
+			// Damaged input: quarantined on primary and replica alike.
+			return []IngestBatch{{Stream: "console", Lines: []string{
+				fmt.Sprintf("chaos garbage %d \x01\x02 not parseable", i),
+			}}}
+		default:
+			return []IngestBatch{{Stream: "consumer", Lines: []string{
+				fmt.Sprintf("2015-03-03T12:%02d:00.000000Z c0-0c1s2n1 consumer: <6> node state transition for c0-0c1s2n1 state=down", i%60),
+			}}}
+		}
+	}
+
+	for round := 0; round < 5; round++ {
+		n := 4 + rnd.Intn(4)
+		k := rnd.Intn(n + 1)
+		script := make([][]IngestBatch, n)
+		for i := range script {
+			script[i] = mkBatches(round*100 + i)
+		}
+		t.Run(fmt.Sprintf("round=%d_n=%d_kill=%d", round, n, k), func(t *testing.T) {
+			// The uninterrupted reference for this round's script.
+			ref := New(Config{})
+			ref.Seed(store, rep)
+			for _, batches := range script {
+				if _, err := ref.Ingest(batches); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := diagnoseBytes(t, ref, "")
+
+			primary := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir()})
+			ts := httptest.NewServer(primary.Handler())
+			defer ts.Close()
+			repDir := t.TempDir()
+			sec := newReplNode(t, store, rep, Config{ReplicationDir: repDir})
+			sec.SetReadOnly(true)
+			run := startTailer(fastTailCfg(ts.URL, sec), sec.Apply)
+
+			for _, batches := range script[:k] {
+				if _, err := primary.Ingest(batches); err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitWatermarkAtLeast(t, sec, uint64(1+k))
+			// Bounded staleness: a healthy replica's lag returns to zero.
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) && run.tl.Status().Lag() != 0 {
+				time.Sleep(time.Millisecond)
+			}
+			if lag := run.tl.Status().Lag(); lag != 0 {
+				t.Fatalf("replica lag %d after catch-up window", lag)
+			}
+
+			if err := run.stop(t); err != nil {
+				t.Fatalf("tailer: %v", err)
+			}
+			primary.BeginDrain()
+			ts.Close()
+			primary.CloseReplication()
+
+			if _, _, err := sec.Promote(); err != nil {
+				t.Fatal(err)
+			}
+			for _, batches := range script[k:] {
+				if _, err := sec.Ingest(batches); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := diagnoseBytes(t, sec, ""); !bytes.Equal(got, want) {
+				t.Errorf("parity violation after failover (round %d, kill %d)", round, k)
+			}
+
+			// Crash the promoted node and rebuild it from its journal.
+			if err := sec.CloseReplication(); err != nil {
+				t.Fatal(err)
+			}
+			reborn := newReplNode(t, store, rep, Config{ReplicationDir: repDir})
+			defer reborn.CloseReplication()
+			if got := diagnoseBytes(t, reborn, ""); !bytes.Equal(got, want) {
+				t.Errorf("parity violation after crash-restart (round %d, kill %d)", round, k)
+			}
+			if got := reborn.Epoch(); got != 2 {
+				t.Errorf("restarted epoch = %d, want 2", got)
+			}
+		})
+	}
+}
+
+// BenchmarkReplicaApply measures the replica-side fold of one
+// replicated entry — parse, ledger merge, watermark commit — the
+// per-entry cost of tailing a primary (no journal, no fsync).
+func BenchmarkReplicaApply(b *testing.B) {
+	store, rep := loadFixture(b)
+	line := "2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)"
+	var s *Server
+	var wm uint64
+	reset := func() {
+		s = New(Config{})
+		s.Seed(store, rep)
+		wm = 1
+	}
+	reset()
+	apply := func() {
+		wm++
+		if err := s.Apply(replica.Entry{Epoch: 1, Watermark: wm,
+			Batches: []replica.Batch{{Stream: "console", Lines: []string{line}}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	apply() // warm the pending slice so 1-iteration runs measure steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%65536 == 0 {
+			b.StopTimer()
+			reset()
+			apply()
+			b.StartTimer()
+		}
+		apply()
+	}
+}
+
+// BenchmarkIngestJournaled measures the primary-side journal-then-
+// commit ingest with the replication WAL open (no fsync) — the write
+// amplification replication adds to the hot ingest path.
+func BenchmarkIngestJournaled(b *testing.B) {
+	store, rep := loadFixture(b)
+	line := "2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)"
+	batches := []IngestBatch{{Stream: "console", Lines: []string{line}}}
+	var s *Server
+	reset := func() {
+		s = New(Config{ReplicationDir: b.TempDir()})
+		s.Seed(store, rep)
+		if err := s.OpenReplicationLog(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reset()
+	ingest := func() {
+		if _, err := s.Ingest(batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ingest() // warm the WAL segment and pending slice
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%65536 == 0 {
+			b.StopTimer()
+			s.CloseReplication()
+			reset()
+			ingest()
+			b.StartTimer()
+		}
+		ingest()
+	}
+	b.StopTimer()
+	s.CloseReplication()
+}

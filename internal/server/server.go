@@ -44,7 +44,9 @@ import (
 	"hpcfail/internal/logparse"
 	"hpcfail/internal/logstore"
 	"hpcfail/internal/remedy"
+	"hpcfail/internal/replica"
 	"hpcfail/internal/topology"
+	"hpcfail/internal/wal"
 )
 
 // Config tunes the service. The zero value is usable; unset fields take
@@ -86,6 +88,28 @@ type Config struct {
 	// selects an in-process simulated cluster, which stands in for the
 	// real cluster-management plane.
 	RemedyCluster remedy.Cluster
+	// ReplicationDir, when set, enables the replication WAL: every
+	// accepted ingest is journaled there before it commits, restarts
+	// replay it, and GET /v1/wal streams it to replicas.
+	ReplicationDir string
+	// ReplicationSync fsyncs the WAL on every journaled entry. Off by
+	// default: the tests and benchmarks pick their own durability.
+	ReplicationSync bool
+	// ReplicationSegmentBytes rotates WAL segments (0 = wal default).
+	ReplicationSegmentBytes int64
+	// Epoch is the starting fencing epoch (default 1). Replayed and
+	// replicated entries can only raise it; Promote mints the next one.
+	Epoch uint64
+	// PrimaryURL is the primary this node defers to, advertised in the
+	// X-Hpcfail-Primary header on 421 (replica ingest) and 412
+	// (min_watermark timeout) responses.
+	PrimaryURL string
+	// MaxWatermarkWait bounds how long a min_watermark read blocks for
+	// replication to catch up before 412 (default 2s).
+	MaxWatermarkWait time.Duration
+	// SSEHeartbeat is the comment-ping cadence on /v1/alarms and the
+	// heartbeat-frame cadence on /v1/wal (default 15s).
+	SSEHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +130,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
+	if c.MaxWatermarkWait <= 0 {
+		c.MaxWatermarkWait = 2 * time.Second
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
 	}
 	return c
 }
@@ -134,6 +167,16 @@ type Server struct {
 	watermark uint64
 	snap      *snapshot
 
+	// Replication state, also under mu: the journal the ingest path
+	// writes through (nil unless OpenReplicationLog ran), the fencing
+	// epoch, the watermark the bootstrap seed covered, and the broadcast
+	// channel closed-and-replaced on every watermark advance so
+	// min_watermark waiters and /v1/wal streamers wake without polling.
+	repl   *wal.Log
+	epoch  uint64
+	seedWM uint64
+	wmCh   chan struct{}
+
 	// eng is the incremental diagnosis pipeline holding the live corpus
 	// and per-detection state; engMu serialises ApplyBatch/Snapshot (the
 	// engine is single-writer) and orders pending-drain against snapshot
@@ -161,6 +204,13 @@ type Server struct {
 	draining       atomic.Bool
 	lastIngestWall atomic.Int64 // unix nanos of the last accepted batch
 	started        time.Time
+
+	// readOnly marks replica mode: HTTP ingest answers 421, entries
+	// arrive through Apply instead. Promote clears it.
+	readOnly atomic.Bool
+	// replicaStatus reads the tailer's health for degraded headers,
+	// /healthz and /metrics (nil on a primary). Set before serving.
+	replicaStatus func() replica.Status
 }
 
 // snapshot is an immutable view of the corpus at one watermark: the
@@ -198,6 +248,8 @@ func New(cfg Config) *Server {
 		eng:     core.NewEngine(cfg.Pipeline),
 		cache:   newLRU(cfg.CacheEntries),
 		started: time.Now(),
+		epoch:   cfg.Epoch,
+		wmCh:    make(chan struct{}),
 	}
 	s.broker = newBroker(func() { s.metrics.add(mSSEDropped, 1) })
 	if cfg.EnableRemedy {
@@ -280,7 +332,9 @@ func (s *Server) Seed(store *logstore.Store, rep *logstore.IngestReport) {
 	s.recCount = len(recs)
 	s.rep = s.cloneRep(rep)
 	s.watermark = 1
+	s.seedWM = 1
 	s.snap = &snapshot{watermark: 1, store: res.Store, rep: s.cloneRep(rep), res: res}
+	s.bumpLocked()
 	s.mu.Unlock()
 	s.watcher.FeedAll(recs)
 }
@@ -288,7 +342,10 @@ func (s *Server) Seed(store *logstore.Store, rep *logstore.IngestReport) {
 // Ingest parses and appends one request's batches: records enter the
 // corpus (visible to the next snapshot), the watcher consumes them in
 // arrival order, the ingest ledger accumulates the parse accounting,
-// and the watermark advances once for the whole request.
+// and the watermark advances once for the whole request. With
+// replication enabled the request is journaled to the WAL *before* any
+// state changes — a journal failure (ErrJournal) leaves the watermark
+// untouched, so an acknowledged watermark is always durable.
 func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
 	var all []events.Record
 	var sreps []logparse.StreamReport
@@ -305,13 +362,20 @@ func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
 	}
 
 	s.mu.Lock()
+	wm := s.watermark + 1
+	if s.repl != nil {
+		if err := s.journalLocked(replica.Entry{Epoch: s.epoch, Watermark: wm, Batches: batches}); err != nil {
+			s.mu.Unlock()
+			return IngestResult{}, err
+		}
+	}
 	s.pending = append(s.pending, all...)
 	s.recCount += len(all)
 	for _, srep := range sreps {
 		s.rep.MergeStream(srep)
 	}
-	s.watermark++
-	wm := s.watermark
+	s.watermark = wm
+	s.bumpLocked()
 	s.mu.Unlock()
 
 	s.watcher.FeedAll(all)
@@ -322,11 +386,10 @@ func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
 	return IngestResult{Accepted: len(all), Quarantined: quarantined, Watermark: wm}, nil
 }
 
-// IngestBatch is one stream's worth of raw log lines.
-type IngestBatch struct {
-	Stream string   `json:"stream"`
-	Lines  []string `json:"lines"`
-}
+// IngestBatch is one stream's worth of raw log lines. It is the
+// replication entry's batch type verbatim: what the client sent is what
+// the WAL journals and what replicas re-parse.
+type IngestBatch = replica.Batch
 
 // IngestResult accounts one accepted ingest request.
 type IngestResult struct {

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrDamaged marks frame-level corruption in a position the writer can
+// no longer be mid-write at: a bad frame inside a sealed (rotated-past)
+// segment, or an impossible length. Tailers must treat it as permanent —
+// retrying will re-read the same damaged bytes — unlike the nil,nil
+// "no complete record yet" return, which is the live writer's torn tail
+// and resolves itself once the append finishes.
+var ErrDamaged = errors.New("wal: damaged frame")
+
+// maxFramePayload is the sanity bound on one frame's payload length. A
+// length field above it cannot come from this writer (ingest bodies are
+// capped far below) and is classified as damage rather than waited on.
+const maxFramePayload = 256 << 20
+
+// Offset addresses a frame boundary in a log: a 1-based segment index
+// and a byte offset within that segment. The zero Offset means "the
+// start of the log".
+type Offset struct {
+	Seg  int   `json:"seg"`
+	Byte int64 `json:"byte"`
+}
+
+// Stats describes a log's on-disk extent.
+type Stats struct {
+	Segments int    // segment files present
+	Bytes    int64  // total bytes across all segments
+	Records  int    // valid records (found at Open plus appended since)
+	End      Offset // offset just past the last appended record
+}
+
+// Stat reports the log's current extent. Bytes and Segments are read
+// from the directory so they cover sealed segments, not just the active
+// one. Callers serialise Stat against Append like every other method.
+func (l *Log) Stat() (Stats, error) {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Segments: len(segs), Records: l.records, End: Offset{Seg: l.segIdx, Byte: l.segSize}}
+	for _, idx := range segs {
+		fi, err := os.Stat(filepath.Join(l.dir, segmentName(idx)))
+		if err != nil {
+			return Stats{}, fmt.Errorf("wal: %w", err)
+		}
+		st.Bytes += fi.Size()
+	}
+	return st, nil
+}
+
+// TailReader reads a log directory frame by frame, independently of any
+// Log handle — including a log a live writer in this or another process
+// is still appending to. It is the replication stream's read side: a
+// replica (or the primary's /v1/wal streamer) follows the log with
+// repeated Next calls, and every frame is CRC-verified before delivery.
+//
+// The contract mirrors the log's durability model:
+//
+//   - Next returns the next intact record and advances;
+//   - (nil, nil) means no complete record is available at the current
+//     offset — either the tip of the log, or a torn frame the writer is
+//     still appending. The reader holds its position; retry after the
+//     writer makes progress.
+//   - ErrDamaged means corruption in a sealed position (a bad frame
+//     with a later segment present, or an impossible length): the log
+//     beyond this point cannot be trusted and the tailer must stop
+//     rather than skip.
+//
+// A TailReader is not safe for concurrent use.
+type TailReader struct {
+	dir string
+	off Offset
+	f   *os.File
+	seg int // segment index the open handle belongs to
+}
+
+// NewTailReader positions a reader at from within the log under dir
+// (the zero Offset reads from the very beginning).
+func NewTailReader(dir string, from Offset) *TailReader {
+	if from.Seg < 1 {
+		from = Offset{Seg: 1}
+	}
+	return &TailReader{dir: dir, off: from}
+}
+
+// Offset returns the reader's current position — the frame boundary the
+// next Next call will read at. Persist it to resume tailing later.
+func (t *TailReader) Offset() Offset { return t.off }
+
+// Close releases the open segment handle. The reader remains usable;
+// the next Next reopens at the current offset.
+func (t *TailReader) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f, t.seg = nil, 0
+	return err
+}
+
+// open ensures a handle on the current segment, returning (nil, nil)
+// when the segment file does not exist yet.
+func (t *TailReader) open() (*os.File, error) {
+	if t.f != nil && t.seg == t.off.Seg {
+		return t.f, nil
+	}
+	t.Close()
+	f, err := os.Open(filepath.Join(t.dir, segmentName(t.off.Seg)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	t.f, t.seg = f, t.off.Seg
+	return f, nil
+}
+
+// nextSegExists reports whether the segment after the current one is on
+// disk — the writer has rotated past, so the current position is sealed.
+func (t *TailReader) nextSegExists() bool {
+	_, err := os.Stat(filepath.Join(t.dir, segmentName(t.off.Seg+1)))
+	return err == nil
+}
+
+// Next returns the next intact record payload, (nil, nil) when no
+// complete record is available yet, or an error (ErrDamaged for sealed
+// corruption, otherwise an I/O error). The returned slice is freshly
+// allocated and owned by the caller.
+func (t *TailReader) Next() ([]byte, error) {
+	for {
+		f, err := t.open()
+		if err != nil {
+			return nil, err
+		}
+		if f == nil {
+			return nil, nil // segment not created yet
+		}
+		var hdr [frameHeader]byte
+		n, err := f.ReadAt(hdr[:], t.off.Byte)
+		if n < frameHeader {
+			if err != nil && err != io.EOF {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			// Short header at the tail. A sealed segment ends exactly at
+			// a frame boundary, so leftover bytes before a later segment
+			// are damage; a clean boundary means the writer rotated.
+			if t.nextSegExists() {
+				if n != 0 {
+					return nil, fmt.Errorf("%w: short header at seg %d byte %d", ErrDamaged, t.off.Seg, t.off.Byte)
+				}
+				t.off = Offset{Seg: t.off.Seg + 1}
+				continue
+			}
+			return nil, nil
+		}
+		ln := int64(binary.LittleEndian.Uint32(hdr[:4]))
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if ln > maxFramePayload {
+			return nil, fmt.Errorf("%w: impossible length %d at seg %d byte %d", ErrDamaged, ln, t.off.Seg, t.off.Byte)
+		}
+		payload := make([]byte, ln)
+		m, err := f.ReadAt(payload, t.off.Byte+frameHeader)
+		if int64(m) < ln {
+			if err != nil && err != io.EOF {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			if t.nextSegExists() {
+				return nil, fmt.Errorf("%w: short payload at seg %d byte %d", ErrDamaged, t.off.Seg, t.off.Byte)
+			}
+			return nil, nil // payload still being appended
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			if t.nextSegExists() {
+				return nil, fmt.Errorf("%w: checksum mismatch at seg %d byte %d", ErrDamaged, t.off.Seg, t.off.Byte)
+			}
+			return nil, nil // torn in-progress append; retry later
+		}
+		t.off.Byte += frameHeader + ln
+		return payload, nil
+	}
+}

@@ -1,0 +1,309 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTailReaderFollowsWriter reads records as a live writer appends
+// them: the reader sees exactly the appended prefix, in order, and
+// reports "no record" at the tip rather than blocking or erroring.
+func TestTailReaderFollowsWriter(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tr := NewTailReader(dir, Offset{})
+	defer tr.Close()
+
+	if p, err := tr.Next(); p != nil || err != nil {
+		t.Fatalf("empty log Next = %q, %v; want nil, nil", p, err)
+	}
+	for i := 0; i < 20; i++ {
+		want := []byte(fmt.Sprintf("record-%03d", i))
+		if err := l.Append(want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := tr.Next()
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("record %d: Next = %q, %v; want %q", i, got, err, want)
+		}
+	}
+	if p, err := tr.Next(); p != nil || err != nil {
+		t.Fatalf("caught-up Next = %q, %v; want nil, nil", p, err)
+	}
+}
+
+// TestTailReaderAcrossRotation follows the writer through segment
+// rotations and resumes from a persisted mid-log offset.
+func TestTailReaderAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var want [][]byte
+	for i := 0; i < 30; i++ {
+		rec := []byte(fmt.Sprintf("rotated-record-%03d", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := l.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("test needs rotation; got %d segments", st.Segments)
+	}
+
+	tr := NewTailReader(dir, Offset{})
+	defer tr.Close()
+	var mid Offset
+	for i, w := range want {
+		if i == len(want)/2 {
+			mid = tr.Offset()
+		}
+		got, err := tr.Next()
+		if err != nil || !bytes.Equal(got, w) {
+			t.Fatalf("record %d: Next = %q, %v; want %q", i, got, err, w)
+		}
+	}
+	if p, err := tr.Next(); p != nil || err != nil {
+		t.Fatalf("tail Next = %q, %v; want nil, nil", p, err)
+	}
+
+	// Resuming from the persisted offset replays exactly the suffix.
+	tr2 := NewTailReader(dir, mid)
+	defer tr2.Close()
+	for i := len(want) / 2; i < len(want); i++ {
+		got, err := tr2.Next()
+		if err != nil || !bytes.Equal(got, want[i]) {
+			t.Fatalf("resumed record %d: Next = %q, %v; want %q", i, got, err, want[i])
+		}
+	}
+}
+
+// TestTailReaderTornTail distinguishes the writer's in-progress append
+// (wait) from sealed corruption (ErrDamaged): a torn frame at the tip
+// is returned as "no record yet" and delivered once completed, while
+// the same bytes with a later segment present are permanent damage.
+func TestTailReaderTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-append a torn frame: full header, half the payload.
+	payload := []byte("this payload is cut in half")
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+	seg := filepath.Join(dir, segmentName(1))
+	intact, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, append(append([]byte{}, intact...), frame[:len(frame)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTailReader(dir, Offset{})
+	defer tr.Close()
+	if got, err := tr.Next(); err != nil || string(got) != "intact" {
+		t.Fatalf("Next = %q, %v; want intact record", got, err)
+	}
+	// The torn frame is "not yet", repeatedly — the reader must not
+	// advance past it or misreport it.
+	for i := 0; i < 3; i++ {
+		if p, err := tr.Next(); p != nil || err != nil {
+			t.Fatalf("torn-tail Next = %q, %v; want nil, nil", p, err)
+		}
+	}
+	// The writer finishes the append: the record is delivered.
+	if err := os.WriteFile(seg, append(append([]byte{}, intact...), frame...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tr.Next(); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("completed Next = %q, %v; want %q", got, err, payload)
+	}
+
+	// Same torn bytes but sealed by a later segment: permanent damage.
+	if err := os.WriteFile(seg, append(append([]byte{}, intact...), frame[:len(frame)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewTailReader(dir, Offset{})
+	defer tr2.Close()
+	if got, err := tr2.Next(); err != nil || string(got) != "intact" {
+		t.Fatalf("Next = %q, %v; want intact record", got, err)
+	}
+	if _, err := tr2.Next(); !errors.Is(err, ErrDamaged) {
+		t.Fatalf("sealed torn frame Next err = %v; want ErrDamaged", err)
+	}
+}
+
+// TestTailReaderImpossibleLength classifies a garbage length field as
+// damage immediately instead of waiting for 4 GiB that will never come.
+func TestTailReaderImpossibleLength(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	bad := make([]byte, 8)
+	binary.LittleEndian.PutUint32(bad, uint32(maxFramePayload+1))
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(1)), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(bad)
+	f.Close()
+
+	tr := NewTailReader(dir, Offset{})
+	defer tr.Close()
+	if got, err := tr.Next(); err != nil || string(got) != "ok" {
+		t.Fatalf("Next = %q, %v", got, err)
+	}
+	if _, err := tr.Next(); !errors.Is(err, ErrDamaged) {
+		t.Fatalf("impossible-length Next err = %v; want ErrDamaged", err)
+	}
+}
+
+// TestStat covers the Stat surface the /metrics gauges read: segment
+// count, total bytes, record count and the end offset.
+func TestStat(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st, err := l.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 0 || st.Bytes != 0 || st.Records != 0 {
+		t.Fatalf("empty Stat = %+v", st)
+	}
+	total := int64(0)
+	for i := 0; i < 12; i++ {
+		rec := []byte(fmt.Sprintf("stat-record-%04d", i))
+		total += int64(len(rec)) + 8
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err = l.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 12 || st.Bytes != total || st.Segments < 2 {
+		t.Fatalf("Stat = %+v, want 12 records, %d bytes, >=2 segments", st, total)
+	}
+	if st.End.Seg != st.Segments || st.End.Byte == 0 {
+		t.Fatalf("Stat.End = %+v, want tip of segment %d", st.End, st.Segments)
+	}
+
+	// A reader positioned at End sees nothing; records appended after
+	// are delivered from there.
+	tr := NewTailReader(dir, st.End)
+	defer tr.Close()
+	if p, err := tr.Next(); p != nil || err != nil {
+		t.Fatalf("Next at End = %q, %v; want nil, nil", p, err)
+	}
+	if err := l.Append([]byte("after-stat")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tr.Next(); err != nil || string(got) != "after-stat" {
+		t.Fatalf("Next after append = %q, %v", got, err)
+	}
+}
+
+// BenchmarkTailReader measures frame decode + CRC verification
+// throughput on the replica tail path, across segment rotations.
+func BenchmarkTailReader(b *testing.B) {
+	const records = 4096
+	dir := b.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("r"), 256)
+	for i := 0; i < records+1; i++ {
+		if err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	tr := NewTailReader(dir, Offset{})
+	if p, err := tr.Next(); err != nil || p == nil { // open + first read outside the timer
+		b.Fatalf("warmup Next = %v, %v", p, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%records == 0 {
+			b.StopTimer()
+			tr.Close()
+			tr = NewTailReader(dir, Offset{})
+			b.StartTimer()
+		}
+		p, err := tr.Next()
+		if err != nil || p == nil {
+			b.Fatalf("Next = %v, %v", p, err)
+		}
+	}
+	tr.Close()
+}
+
+// TestRotationSyncErrorPropagates pins the fsync fix: with Sync set, a
+// rotation that cannot sync the sealed segment reports the error to the
+// caller instead of silently sealing bytes that may not be durable.
+func TestRotationSyncErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 32, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(bytes.Repeat([]byte("x"), 24)); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the active handle so the rotation-time fsync must fail.
+	if err := l.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = l.Append(bytes.Repeat([]byte("y"), 24)) // would rotate
+	if err == nil {
+		t.Fatal("rotation with a failing fsync reported success")
+	}
+	l.f = nil // the handle is already closed; avoid double close in Close
+}

@@ -291,13 +291,25 @@ func (l *Log) Sync() error {
 	return nil
 }
 
-// closeActive closes the active segment file handle.
+// closeActive closes the active segment file handle. With Options.Sync
+// set the segment is fsynced first and a sync failure is returned, not
+// swallowed: rotation seals the segment, so this is the last chance to
+// learn its bytes never reached stable storage — a caller that treated
+// a failed rotation as success would replicate records that a power cut
+// could still take back.
 func (l *Log) closeActive() error {
 	if l.f == nil {
 		return nil
 	}
+	var syncErr error
+	if l.opts.Sync {
+		syncErr = l.f.Sync()
+	}
 	err := l.f.Close()
 	l.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("wal: syncing sealed segment: %w", syncErr)
+	}
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
