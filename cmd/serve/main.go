@@ -28,8 +28,9 @@
 // answered 421 toward -primary-url, while /v1/diagnose serves the
 // replicated corpus — ?min_watermark=W blocks up to -max-wait for
 // replication to catch up, then 412s toward the primary. Killing the
-// primary and POSTing /v1/promote (or -auto-promote noticing the
-// silence) mints the next fencing epoch: the replica starts accepting
+// primary and POSTing /v1/promote (or -auto-promote confirming stream
+// silence with a failed /healthz probe of the primary) mints the next
+// fencing epoch: the replica starts accepting
 // writes, and anything the deposed primary still produces is fenced
 // off every node that saw the promotion.
 //
@@ -122,7 +123,7 @@ func main() {
 	flag.StringVar(&o.replicaOf, "replica-of", "", "run as a read replica of this primary (base URL, or its WAL directory)")
 	flag.StringVar(&o.primaryURL, "primary-url", "", "primary advertised on 421/412 responses (defaults to -replica-of when it is a URL)")
 	flag.BoolVar(&o.promote, "promote", false, "boot promoted: replay -repl-wal, mint the next epoch, accept writes")
-	flag.DurationVar(&o.autoPromote, "auto-promote", 0, "self-promote after the primary has been silent this long (0 = never)")
+	flag.DurationVar(&o.autoPromote, "auto-promote", 0, "self-promote after the primary has been silent this long AND fails a /healthz probe (0 = never)")
 	flag.DurationVar(&o.heartbeat, "heartbeat", 15*time.Second, "SSE and /v1/wal heartbeat interval")
 	flag.DurationVar(&o.maxWait, "max-wait", 2*time.Second, "min_watermark wait budget before 412")
 	showVer := flag.Bool("version", false, "print build version and exit")
@@ -138,6 +139,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+}
+
+// primaryAlive affirmatively probes the primary's /healthz. Any HTTP
+// response — even a 503 while it drains — means a live primary process
+// that may still be acking writes, so self-promotion must not proceed;
+// only a transport error (refused, timeout, unroutable) counts as down.
+func primaryAlive(c *http.Client, url string) bool {
+	resp, err := c.Get(url)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	return true
 }
 
 // bootstrap loads the -logs corpus the same way cmd/diagnose would.
@@ -254,7 +269,14 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 			}
 		}()
 		if o.autoPromote > 0 {
+			healthURL := ""
+			if strings.HasPrefix(o.replicaOf, "http") {
+				healthURL = strings.TrimSuffix(o.replicaOf, "/") + "/healthz"
+			} else if primaryURL != "" {
+				healthURL = strings.TrimSuffix(primaryURL, "/") + "/healthz"
+			}
 			go func() {
+				probe := &http.Client{Timeout: 2 * time.Second}
 				tick := time.NewTicker(o.autoPromote / 4)
 				defer tick.Stop()
 				for {
@@ -263,17 +285,35 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 						return
 					case <-tick.C:
 					}
-					if st := tailer.Status(); time.Since(st.LastContact) > o.autoPromote {
-						stopTailing()
-						epoch, wm, err := srv.Promote()
-						if err != nil {
-							fmt.Fprintln(stderr, "auto-promote failed:", err)
-							return
-						}
-						fmt.Fprintf(stdout, "primary silent for %s; auto-promoted to epoch %d at watermark %d\n",
-							o.autoPromote, epoch, wm)
+					st := tailer.Status()
+					if st.Err != nil {
+						// The tailer stopped fatally (seed mismatch, gap, apply
+						// error). That is replication divergence, not primary
+						// death — the primary may be alive and acking writes, so
+						// promoting here would split the brain. Operator problem.
+						fmt.Fprintln(stderr, "auto-promote disabled: replication diverged, re-seed or promote manually:", st.Err)
 						return
 					}
+					if time.Since(st.LastContact) <= o.autoPromote {
+						continue
+					}
+					if healthURL != "" && primaryAlive(probe, healthURL) {
+						// Our stream is silent but the primary answers /healthz:
+						// a replication-path failure, not a dead primary. Keep
+						// tailing (and retrying) rather than forking history.
+						fmt.Fprintf(stderr, "primary silent for %s on the replication stream but %s still responds; not promoting\n",
+							o.autoPromote, healthURL)
+						continue
+					}
+					stopTailing()
+					epoch, wm, err := srv.Promote()
+					if err != nil {
+						fmt.Fprintln(stderr, "auto-promote failed:", err)
+						return
+					}
+					fmt.Fprintf(stdout, "primary silent for %s and unreachable; auto-promoted to epoch %d at watermark %d\n",
+						o.autoPromote, epoch, wm)
+					return
 				}
 			}()
 		}

@@ -1,0 +1,59 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the sidecar file a primary writes next to its
+// replication WAL segments. It carries the WAL's bootstrap identity so
+// file-mode tailers get the same seed check the HTTP hello frame gives
+// stream tailers: a replica seeded from a different bootstrap corpus
+// must refuse to apply the WAL's entries even though their watermarks
+// look contiguous.
+const ManifestName = "MANIFEST.json"
+
+// Manifest identifies the bootstrap a replication WAL's history builds
+// on. Entries below SeedWatermark are not in the WAL; every node
+// folding the WAL must have seeded the same corpus.
+type Manifest struct {
+	SeedWatermark uint64 `json:"seed_watermark"`
+}
+
+// WriteManifest persists the manifest under dir atomically
+// (write-to-temp + rename), so a crash mid-write never leaves a
+// torn manifest for a tailer to misread.
+func WriteManifest(dir string, m Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("replica: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("replica: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("replica: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads the manifest under dir. ok is false when none
+// exists (a pre-manifest WAL directory, or a primary that has not
+// finished opening its log yet); err reports real I/O or decode
+// problems only.
+func ReadManifest(dir string) (m Manifest, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, fmt.Errorf("replica: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("replica: decoding manifest: %w", err)
+	}
+	return m, true, nil
+}

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -358,8 +359,14 @@ func (t *Tailer) streamHTTP(ctx context.Context) error {
 	sawHello := false
 	for {
 		line, err := br.ReadBytes('\n')
-		if len(line) == 0 && err != nil {
-			return err // EOF or broken stream: reconnect
+		if err != nil {
+			// EOF or broken stream. A buffered partial line is just where
+			// the connection tore mid-frame — never evidence of divergence;
+			// drop it and reconnect (resume re-delivers the entry whole).
+			return err
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
 		}
 		var f Frame
 		if jerr := json.Unmarshal(line, &f); jerr != nil {
@@ -386,9 +393,6 @@ func (t *Tailer) streamHTTP(ctx context.Context) error {
 		case f.Heartbeat != nil:
 			t.recordProgress(f.Heartbeat.Watermark, f.Heartbeat.Epoch)
 		}
-		if err != nil {
-			return err
-		}
 	}
 }
 
@@ -396,6 +400,22 @@ func (t *Tailer) streamHTTP(ctx context.Context) error {
 // frames complete. It returns on transient I/O errors (reconnect with
 // backoff) and classifies sealed damage as divergence.
 func (t *Tailer) tailFile(ctx context.Context) error {
+	// Verify the WAL's bootstrap identity before applying anything —
+	// the file-transport twin of the HTTP hello's seed check. A missing
+	// manifest with a declared seed is a primary that has not finished
+	// booting (or a pre-manifest directory): wait and retry rather than
+	// apply unverified history.
+	m, ok, err := ReadManifest(t.cfg.Primary)
+	if err != nil {
+		return err
+	}
+	if ok && m.SeedWatermark != t.cfg.SeedWatermark {
+		return fmt.Errorf("%w: WAL manifest seed watermark %d, replica bootstrap %d — re-seed the replica from the primary's bootstrap",
+			ErrDiverged, m.SeedWatermark, t.cfg.SeedWatermark)
+	}
+	if !ok && t.cfg.SeedWatermark != 0 {
+		return fmt.Errorf("replica: %s has no WAL manifest yet", t.cfg.Primary)
+	}
 	tr := wal.NewTailReader(t.cfg.Primary, wal.Offset{})
 	defer tr.Close()
 	t.mu.Lock()

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -210,6 +211,54 @@ func TestTailApplyErrorIsFatal(t *testing.T) {
 	}
 }
 
+// TestTailFileManifestMismatch: file-mode tailing verifies the WAL's
+// bootstrap identity exactly like HTTP mode verifies the hello frame —
+// a replica seeded from a different corpus must diverge, not silently
+// apply contiguous-looking watermarks over the wrong history.
+func TestTailFileManifestMismatch(t *testing.T) {
+	dir, _ := walWithEntries(t, mkEntry(1, 1))
+	if err := WriteManifest(dir, Manifest{SeedWatermark: 7}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg(dir)
+	cfg.SeedWatermark = 3
+	tl := NewTailer(cfg, func(Entry) error { return nil })
+	if err := tl.Run(context.Background()); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Run = %v; want ErrDiverged", err)
+	}
+}
+
+// TestTailFileWaitsForManifest: a seeded replica pointed at a WAL
+// directory with no manifest yet (the primary is still booting) waits
+// instead of applying unverified history, then proceeds once the
+// manifest appears and matches.
+func TestTailFileWaitsForManifest(t *testing.T) {
+	dir, _ := walWithEntries(t, mkEntry(1, 2))
+	c := newCollector()
+	cfg := fastCfg(dir)
+	cfg.SeedWatermark = 1
+	cfg.After = 1
+	cfg.BreakerCooldown = time.Millisecond
+	tl := NewTailer(cfg, c.apply)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(ctx) }()
+
+	time.Sleep(20 * time.Millisecond)
+	if got := c.snapshot(); len(got) != 0 {
+		t.Fatalf("applied %d entries from a WAL with no manifest", len(got))
+	}
+	if err := WriteManifest(dir, Manifest{SeedWatermark: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.waitFor(t, 2)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+}
+
 // TestEpochFencing: entries from a deposed epoch are ignored (never
 // applied, never gap-checked), while a higher epoch is adopted.
 func TestEpochFencing(t *testing.T) {
@@ -388,6 +437,49 @@ func TestStreamHTTPReconnects(t *testing.T) {
 	}
 	if tl.Status().Failures == 0 {
 		t.Fatal("hangups should have been counted as failures")
+	}
+}
+
+// TestStreamHTTPPartialFrameReconnects: a connection that breaks
+// mid-frame leaves a partial NDJSON line in the reader. That torn line
+// is a transient network failure, never divergence — the tailer must
+// reconnect and apply the entry whole on the resumed stream.
+func TestStreamHTTPPartialFrameReconnects(t *testing.T) {
+	var conns atomic.Int64
+	entry := mkEntry(1, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		fl := w.(http.Flusher)
+		hello, _ := json.Marshal(Frame{Hello: &Hello{Epoch: 1, Watermark: 1}})
+		w.Write(append(hello, '\n'))
+		fl.Flush()
+		data, _ := json.Marshal(Frame{Entry: &entry})
+		if n == 1 {
+			// Tear the connection mid-frame: half the entry, no newline.
+			w.Write(data[:len(data)/2])
+			fl.Flush()
+			return
+		}
+		w.Write(append(data, '\n'))
+		fl.Flush()
+	}))
+	defer srv.Close()
+
+	c := newCollector()
+	tl := NewTailer(fastCfg(srv.URL), c.apply)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(ctx) }()
+	c.waitFor(t, 1)
+	if st := tl.Status(); st.Err != nil {
+		t.Fatalf("torn frame classified as divergence: %v", st.Err)
+	}
+	if n := conns.Load(); n < 2 {
+		t.Fatalf("entry arrived without a reconnect (%d connections); torn frame was parsed", n)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v", err)
 	}
 }
 

@@ -129,7 +129,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Ingest(req.Batches)
 	if err != nil {
 		if errors.Is(err, ErrJournal) {
-			// Not the client's fault and not accepted: retryable.
+			// Not the client's fault and not accepted. The writer role is
+			// now fail-stopped (the WAL tail is unverified); retries reach
+			// this node again only after an operator restarts it, so the
+			// hint points clients at their retry policy, not at a recovery
+			// this process will perform.
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
@@ -409,16 +413,17 @@ func (s *Server) handleRemediations(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status     string  `json:"status"`
-		Role       string  `json:"role"`
-		Epoch      uint64  `json:"epoch"`
-		Records    int     `json:"records"`
-		Watermark  uint64  `json:"watermark"`
-		Diagnosed  uint64  `json:"diagnosed_watermark"`
-		Staleness  uint64  `json:"staleness_watermarks"`
-		UptimeSec  float64 `json:"uptime_sec"`
-		ReplicaLag *uint64 `json:"replica_lag_watermarks,omitempty"`
-		Degraded   *bool   `json:"replica_degraded,omitempty"`
+		Status        string  `json:"status"`
+		Role          string  `json:"role"`
+		Epoch         uint64  `json:"epoch"`
+		Records       int     `json:"records"`
+		Watermark     uint64  `json:"watermark"`
+		Diagnosed     uint64  `json:"diagnosed_watermark"`
+		Staleness     uint64  `json:"staleness_watermarks"`
+		UptimeSec     float64 `json:"uptime_sec"`
+		ReplicaLag    *uint64 `json:"replica_lag_watermarks,omitempty"`
+		Degraded      *bool   `json:"replica_degraded,omitempty"`
+		JournalFailed bool    `json:"journal_failed,omitempty"`
 	}
 	wm, diagnosed := s.Staleness()
 	role := "primary"
@@ -427,7 +432,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	st := health{Status: "ok", Role: role, Epoch: s.Epoch(), Records: s.Records(),
 		Watermark: wm, Diagnosed: diagnosed, Staleness: wm - diagnosed,
-		UptimeSec: time.Since(s.started).Seconds()}
+		UptimeSec: time.Since(s.started).Seconds(), JournalFailed: s.JournalBroken()}
 	if s.replicaStatus != nil && s.readOnly.Load() {
 		rst := s.replicaStatus()
 		lag, deg := rst.Lag(), rst.Degraded

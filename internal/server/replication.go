@@ -39,8 +39,13 @@ import (
 // enter a promoted node's history.
 var (
 	// ErrJournal wraps replication-WAL failures during ingest: the
-	// request was NOT accepted (the watermark did not advance) and the
-	// client must retry.
+	// request was NOT accepted (the watermark did not advance). A
+	// failure that reached the WAL (Append or Sync) also fail-stops the
+	// writer role — the tail may hold a torn or unacknowledged frame,
+	// so journaling anything more at the same watermark could diverge a
+	// restart or a tailing replica from the acknowledged history. Every
+	// later write is refused with ErrJournal until a restart re-opens
+	// (and thereby re-verifies and truncates) the log.
 	ErrJournal = errors.New("server: replication journal write failed")
 	// ErrFenced rejects an entry whose epoch predates the server's: its
 	// writer was deposed and its fork of history is abandoned.
@@ -61,6 +66,25 @@ func (s *Server) OpenReplicationLog() error {
 	})
 	if err != nil {
 		return err
+	}
+	// The manifest pins the WAL to this node's bootstrap: file-mode
+	// tailers verify it before applying (HTTP tailers get the same
+	// check from the hello frame), and a restart with the wrong
+	// bootstrap corpus is refused here instead of silently replaying
+	// someone else's history.
+	seed := s.SeedWatermark()
+	if m, ok, merr := replica.ReadManifest(s.cfg.ReplicationDir); merr != nil {
+		l.Close()
+		return merr
+	} else if ok && m.SeedWatermark != seed {
+		l.Close()
+		return fmt.Errorf("server: replication WAL %s was journaled over seed watermark %d, this node seeded %d — wrong bootstrap or wrong directory",
+			s.cfg.ReplicationDir, m.SeedWatermark, seed)
+	} else if !ok {
+		if werr := replica.WriteManifest(s.cfg.ReplicationDir, replica.Manifest{SeedWatermark: seed}); werr != nil {
+			l.Close()
+			return werr
+		}
 	}
 	if err := l.Replay(func(payload []byte) error {
 		e, derr := replica.DecodeEntry(payload)
@@ -207,18 +231,40 @@ func (s *Server) foldEntry(e replica.Entry, journal bool) error {
 
 // journalLocked appends one entry to the replication WAL and makes it
 // durable. Caller holds s.mu.
+//
+// A failure from Append or Sync fail-stops the writer role: the WAL
+// tail is now unverified (Append may have half-written a frame, or a
+// fully written frame may never have reached stable storage), and
+// journaling another entry at the same watermark behind it would hand
+// replay — and every tailing replica — a history the primary never
+// acknowledged. Once latched, every journal write is refused until a
+// restart re-opens the log, which re-scans and truncates the tail.
 func (s *Server) journalLocked(e replica.Entry) error {
+	if s.replBroken {
+		return fmt.Errorf("%w: an earlier write left the WAL tail unverified; writes are fail-stopped until restart", ErrJournal)
+	}
 	data, err := replica.EncodeEntry(e)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	if err := s.repl.Append(data); err != nil {
+		s.replBroken = true
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	if err := s.repl.Sync(); err != nil {
+		s.replBroken = true
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	return nil
+}
+
+// JournalBroken reports whether a journal failure has fail-stopped the
+// writer role (see journalLocked); surfaced on /healthz so operators
+// know a restart is required before the node accepts writes again.
+func (s *Server) JournalBroken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replBroken
 }
 
 // bumpLocked wakes every watermark waiter (min_watermark reads, /v1/wal
@@ -401,7 +447,29 @@ func (s *Server) retryAfterSeconds() string {
 // min, the wait budget runs out (412 + a pointer at the primary — the
 // client should read its own write there), or the server drains (503 +
 // Retry-After). True means the read may proceed.
+//
+// The caller must hold an admission slot (guard). A read that must
+// park hands its slot back for the duration and reacquires it before
+// returning, so a burst of read-your-writes requests against a lagging
+// replica parks off-slot instead of occupying every MaxInflight slot
+// for up to MaxWatermarkWait each and shedding unrelated traffic.
 func (s *Server) waitWatermark(w http.ResponseWriter, min uint64) bool {
+	s.mu.Lock()
+	reached := s.watermark >= min
+	s.mu.Unlock()
+	if reached {
+		return true
+	}
+	<-s.sem // guard's deferred release needs the slot back: every path below reacquires
+	ok := s.parkWatermark(w, min)
+	s.sem <- struct{}{}
+	return ok
+}
+
+// parkWatermark is waitWatermark's slow path, run while the request
+// holds no admission slot. It writes the error response itself when
+// the read cannot proceed.
+func (s *Server) parkWatermark(w http.ResponseWriter, min uint64) bool {
 	deadline := time.Now().Add(s.cfg.MaxWatermarkWait)
 	for {
 		s.mu.Lock()

@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -377,6 +379,139 @@ func TestSplitBrainFencing(t *testing.T) {
 	}
 	if got := diagnoseBytes(t, sec, ""); !bytes.Equal(got, before) {
 		t.Error("promoted node's diagnosis changed under split-brain writes")
+	}
+}
+
+// TestJournalFailureFailStopsWrites: a journal Append failure must not
+// only refuse that ingest (watermark unmoved) — it must fail-stop the
+// writer role. If the server kept journaling, a ghost frame at the
+// failed watermark could sit on disk unacknowledged and the next
+// accepted ingest would journal a second entry at the same watermark,
+// silently diverging replay and replicas from the acked history.
+func TestJournalFailureFailStopsWrites(t *testing.T) {
+	store, rep := loadFixture(t)
+	dir := t.TempDir()
+	// SegmentBytes 1 forces a rotation on every append, so the fault
+	// below fires on the next journal write.
+	s := newReplNode(t, store, rep, Config{ReplicationDir: dir, ReplicationSegmentBytes: 1})
+	defer s.CloseReplication()
+	batches := []IngestBatch{{Stream: "console", Lines: []string{
+		"2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+	}}}
+	if _, err := s.Ingest(batches); err != nil {
+		t.Fatal(err)
+	}
+	wm := s.Watermark()
+
+	// A directory squatting on the next segment name makes the rotation
+	// fail with EISDIR — an injection that works for any uid, unlike
+	// permission bits.
+	blocker := filepath.Join(dir, "wal-00000002.seg")
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(batches); !errors.Is(err, ErrJournal) {
+		t.Fatalf("Ingest with broken WAL = %v, want ErrJournal", err)
+	}
+	if got := s.Watermark(); got != wm {
+		t.Fatalf("watermark advanced to %d on a failed journal write", got)
+	}
+	if !s.JournalBroken() {
+		t.Fatal("journal failure did not latch the fail-stop")
+	}
+
+	// Healing the fault is not enough: the WAL tail is unverified, so
+	// the writer stays fail-stopped until a restart re-opens the log.
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(batches); !errors.Is(err, ErrJournal) {
+		t.Fatalf("Ingest after fault healed = %v, want ErrJournal (fail-stopped)", err)
+	}
+	if got := s.Watermark(); got != wm {
+		t.Fatalf("fail-stopped watermark moved to %d", got)
+	}
+
+	// A restart re-opens the log (scanning and truncating the tail) and
+	// recovers exactly the acknowledged history.
+	if err := s.CloseReplication(); err != nil {
+		t.Fatal(err)
+	}
+	reborn := newReplNode(t, store, rep, Config{ReplicationDir: dir, ReplicationSegmentBytes: 1})
+	defer reborn.CloseReplication()
+	if got := reborn.Watermark(); got != wm {
+		t.Fatalf("restarted watermark = %d, want %d", got, wm)
+	}
+	if _, err := reborn.Ingest(batches); err != nil {
+		t.Fatalf("restarted node refused a clean ingest: %v", err)
+	}
+}
+
+// TestReplicationManifestPinsBootstrap: the WAL manifest written at
+// OpenReplicationLog refuses a node with a different bootstrap
+// identity, instead of silently replaying history journaled over a
+// corpus this node never seeded.
+func TestReplicationManifestPinsBootstrap(t *testing.T) {
+	store, rep := loadFixture(t)
+	dir := t.TempDir()
+	prim := newReplNode(t, store, rep, Config{ReplicationDir: dir})
+	if err := prim.CloseReplication(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unseeded node (seed watermark 0) opening the same WAL must be
+	// refused at open.
+	other := New(Config{ReplicationDir: dir})
+	if err := other.OpenReplicationLog(); err == nil {
+		other.CloseReplication()
+		t.Fatal("OpenReplicationLog accepted a WAL journaled over a different bootstrap")
+	}
+
+	// The matching bootstrap reopens cleanly.
+	again := newReplNode(t, store, rep, Config{ReplicationDir: dir})
+	if err := again.CloseReplication(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParkedWatermarkReadsDontStarve: a min_watermark read that must
+// park releases its admission slot while parked, so a burst of
+// read-your-writes requests against a lagging replica cannot occupy
+// every MaxInflight slot and shed unrelated diagnose traffic.
+func TestParkedWatermarkReadsDontStarve(t *testing.T) {
+	store, rep := loadFixture(t)
+	s := New(Config{MaxInflight: 1, MaxWatermarkWait: 10 * time.Second})
+	s.Seed(store, rep)
+	h := s.Handler()
+
+	parked := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/diagnose?min_watermark=99", nil))
+		parked <- rec
+	}()
+	// Give the reader time to start, acquire the slot and park; parking
+	// hands the slot back, so the semaphore drains to empty and stays
+	// there for the whole wait.
+	time.Sleep(50 * time.Millisecond)
+	if n := len(s.sem); n != 0 {
+		t.Fatalf("parked min_watermark read still holds %d admission slot(s)", n)
+	}
+
+	// With the waiter parked, the single slot serves unrelated reads.
+	rec := get(t, h, "/v1/diagnose")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("read while a waiter parks = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+
+	s.BeginDrain()
+	select {
+	case prec := <-parked:
+		if prec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("parked read after drain = %d, want 503", prec.Code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked read did not release on drain")
 	}
 }
 

@@ -176,6 +176,10 @@ type Server struct {
 	epoch  uint64
 	seedWM uint64
 	wmCh   chan struct{}
+	// replBroken latches after a journal Append/Sync failure: the WAL
+	// tail is unverified, so the writer role is fail-stopped (every
+	// later journal write refused) until a restart re-opens the log.
+	replBroken bool
 
 	// eng is the incremental diagnosis pipeline holding the live corpus
 	// and per-detection state; engMu serialises ApplyBatch/Snapshot (the
@@ -345,7 +349,10 @@ func (s *Server) Seed(store *logstore.Store, rep *logstore.IngestReport) {
 // and the watermark advances once for the whole request. With
 // replication enabled the request is journaled to the WAL *before* any
 // state changes — a journal failure (ErrJournal) leaves the watermark
-// untouched, so an acknowledged watermark is always durable.
+// untouched, so an acknowledged watermark is always durable, and
+// fail-stops the writer role: the WAL tail is unverified after a
+// failed write, so further ingests are refused until a restart
+// re-opens (re-scans and truncates) the log.
 func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
 	var all []events.Record
 	var sreps []logparse.StreamReport
