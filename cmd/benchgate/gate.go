@@ -287,6 +287,76 @@ func Compare(bl Baseline, measured []Entry, g Gate) *Report {
 	return rep
 }
 
+// Speedup is a required ratio between two benchmarks measured in the
+// same run: ns/op(Slow) must be at least Min × ns/op(Fast). Unlike the
+// baseline ratios, both sides come from the same machine in the same
+// invocation, so the gate is hardware-independent — it pins a scaling
+// property (group commit: parallel durable ingest must beat the
+// serialized writer by the amortization factor), not a wall-clock.
+type Speedup struct {
+	Slow, Fast string
+	Min        float64
+}
+
+// ParseSpeedups parses a comma-separated list of SLOW:FAST:MIN specs.
+func ParseSpeedups(s string) ([]Speedup, error) {
+	var out []Speedup
+	for _, spec := range strings.Split(s, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("speedup spec %q: want SLOW:FAST:MIN", spec)
+		}
+		min, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("speedup spec %q: bad minimum ratio %q", spec, parts[2])
+		}
+		out = append(out, Speedup{Slow: parts[0], Fast: parts[1], Min: min})
+	}
+	return out, nil
+}
+
+// CheckSpeedups verifies each spec against the measured entries. It
+// returns one human-readable line per spec and the failures (absent
+// benchmarks fail too: a speedup gate that silently skips proves
+// nothing).
+func CheckSpeedups(measured []Entry, specs []Speedup) (lines, failures []string) {
+	got := make(map[string]Entry, len(measured))
+	for _, e := range measured {
+		got[e.Name] = e
+	}
+	for _, sp := range specs {
+		slow, sok := got[sp.Slow]
+		fast, fok := got[sp.Fast]
+		if !sok || !fok {
+			for name, ok := range map[string]bool{sp.Slow: sok, sp.Fast: fok} {
+				if !ok {
+					failures = append(failures, fmt.Sprintf("speedup %s/%s: %s not measured", sp.Slow, sp.Fast, name))
+				}
+			}
+			continue
+		}
+		sns, fns := slow.Values["ns_per_op"], fast.Values["ns_per_op"]
+		if fns <= 0 {
+			failures = append(failures, fmt.Sprintf("speedup %s/%s: %s has no ns/op", sp.Slow, sp.Fast, sp.Fast))
+			continue
+		}
+		ratio := sns / fns
+		verdict := "ok"
+		if ratio < sp.Min {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("speedup %s vs %s: %.2fx < required %.2fx (%.0f ns/op vs %.0f ns/op)",
+				sp.Slow, sp.Fast, ratio, sp.Min, sns, fns))
+		}
+		lines = append(lines, fmt.Sprintf("speedup %s (%.0f ns/op) vs %s (%.0f ns/op): %.2fx (need ≥ %.2fx)  %s",
+			sp.Slow, sns, sp.Fast, fns, ratio, sp.Min, verdict))
+	}
+	return lines, failures
+}
+
 // Table renders the benchstat-style delta table.
 func (r *Report) Table() string {
 	var b strings.Builder

@@ -183,3 +183,63 @@ func TestCompareAgainstRecordedFormat(t *testing.T) {
 		t.Error("BenchmarkFig5 not in BENCH_pr3.json")
 	}
 }
+
+func TestParseSpeedups(t *testing.T) {
+	sps, err := ParseSpeedups(" BenchmarkA/p1:BenchmarkA/p16:5 , BenchmarkB:BenchmarkC:1.5 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Speedup{
+		{Slow: "BenchmarkA/p1", Fast: "BenchmarkA/p16", Min: 5},
+		{Slow: "BenchmarkB", Fast: "BenchmarkC", Min: 1.5},
+	}
+	if len(sps) != len(want) {
+		t.Fatalf("parsed %d specs, want %d", len(sps), len(want))
+	}
+	for i := range want {
+		if sps[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, sps[i], want[i])
+		}
+	}
+	if sps, err := ParseSpeedups(""); err != nil || len(sps) != 0 {
+		t.Errorf("empty spec = %v, %v; want none", sps, err)
+	}
+	for _, bad := range []string{"a:b", "a:b:c:d", "a:b:zero", "a:b:-1", ":b:2", "a::2"} {
+		if _, err := ParseSpeedups(bad); err == nil {
+			t.Errorf("ParseSpeedups(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestCheckSpeedups(t *testing.T) {
+	measured := []Entry{
+		{Name: "BenchmarkIngestParallel/p1", Values: map[string]float64{"ns_per_op": 120000}},
+		{Name: "BenchmarkIngestParallel/p16", Values: map[string]float64{"ns_per_op": 15000}},
+	}
+	spec := func(min float64) []Speedup {
+		return []Speedup{{Slow: "BenchmarkIngestParallel/p1", Fast: "BenchmarkIngestParallel/p16", Min: min}}
+	}
+
+	// 8x measured ≥ 5x required: passes, with one report line.
+	lines, failures := CheckSpeedups(measured, spec(5))
+	if len(failures) != 0 {
+		t.Errorf("8x vs required 5x failed: %v", failures)
+	}
+	if len(lines) != 1 {
+		t.Errorf("want one report line, got %v", lines)
+	}
+
+	// 8x measured < 10x required: fails.
+	if _, failures := CheckSpeedups(measured, spec(10)); len(failures) != 1 {
+		t.Errorf("8x vs required 10x should fail once, got %v", failures)
+	}
+
+	// A missing side must fail, not silently pass — the gate proves a
+	// scaling property only if both benchmarks actually ran.
+	if _, failures := CheckSpeedups(measured[:1], spec(5)); len(failures) != 1 {
+		t.Errorf("missing fast benchmark should fail, got %v", failures)
+	}
+	if _, failures := CheckSpeedups(nil, spec(5)); len(failures) != 2 {
+		t.Errorf("both sides missing should fail twice, got %v", failures)
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		allocRatio   = flag.Float64("max-alloc-ratio", 1.15, "fail when allocs/op exceeds baseline by this factor")
 		allocLenient = flag.String("alloc-lenient", "Parallel|Sharded|Stream|Resume", "regexp of benchmarks whose allocs gate at -max-time-ratio (worker-count dependent)")
 		requireAll   = flag.Bool("require-all", false, "fail when a baseline benchmark is missing from the input")
+		speedup      = flag.String("speedup", "", "comma-separated SLOW:FAST:MIN specs; fail unless measured ns/op(SLOW) ≥ MIN × ns/op(FAST) — a same-machine scaling gate, immune to hardware differences")
 		update       = flag.Bool("update", false, "rewrite the baseline from the measured run instead of comparing")
 		note         = flag.String("note", "", "note to store in the baseline when -update is set")
 		showVer      = flag.Bool("version", false, "print build version and exit")
@@ -53,6 +54,11 @@ func main() {
 	lenientRE, err := regexp.Compile(*allocLenient)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: bad -alloc-lenient: %v\n", err)
+		os.Exit(2)
+	}
+	speedups, err := ParseSpeedups(*speedup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -speedup: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -104,6 +110,11 @@ func main() {
 		RequireAll:    *requireAll,
 	})
 	fmt.Print(rep.Table())
+	spLines, spFailures := CheckSpeedups(measured, speedups)
+	for _, l := range spLines {
+		fmt.Println(l)
+	}
+	rep.Failures = append(rep.Failures, spFailures...)
 	if len(rep.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s):\n", len(rep.Failures))
 		for _, f := range rep.Failures {

@@ -20,6 +20,15 @@
 // staleness distribution — for each read, how many watermarks the
 // serving node trailed the highest ingest watermark this client had
 // been acknowledged.
+//
+// -ingest-concurrency N adds a closed-loop fleet on top: N writers
+// that each fire their next POST /v1/ingest the moment the previous
+// ack lands. Where the open-loop mix measures latency at an offered
+// rate, the closed loop measures durable-ingest *throughput* at a
+// fixed concurrency — the report carries acks/s and an ack-latency
+// histogram, the client-side view of group-commit fsync amortization
+// (raise N against a ReplicationSync server and watch acks/s scale
+// while per-ack latency holds near one fsync).
 package main
 
 import (
@@ -42,16 +51,17 @@ import (
 )
 
 type options struct {
-	url      string
-	qps      float64
-	clients  int
-	duration time.Duration
-	mix      float64
-	batch    int
-	seed     int64
-	out      string
-	replicas string
-	zipfS    float64
+	url        string
+	qps        float64
+	clients    int
+	duration   time.Duration
+	mix        float64
+	batch      int
+	seed       int64
+	out        string
+	replicas   string
+	zipfS      float64
+	ingestConc int
 }
 
 func main() {
@@ -66,6 +76,7 @@ func main() {
 	flag.StringVar(&o.out, "out", "", "write the JSON report here ('' = stdout summary only)")
 	flag.StringVar(&o.replicas, "replicas", "", "comma-separated replica base URLs; reads spread over primary+replicas")
 	flag.Float64Var(&o.zipfS, "zipf", 1.3, "zipf skew for the read-target pick (> 1; higher = hotter primary)")
+	flag.IntVar(&o.ingestConc, "ingest-concurrency", 0, "closed-loop durable-ingest writers hammering POST /v1/ingest back-to-back for the whole run (0 = off); reports acks/s and the ack-latency histogram — the client-side view of group-commit fsync amortization")
 	showVer := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *showVer {
@@ -139,6 +150,108 @@ func (s *kindStats) report(launched int) kindReport {
 		P95Ms:    float64(s.quantile(0.95)) / float64(time.Millisecond),
 		P99Ms:    float64(s.quantile(0.99)) / float64(time.Millisecond),
 	}
+}
+
+// ackBucketUppersMs are the ack-latency histogram bucket upper bounds
+// in milliseconds (a final +Inf bucket is implicit). The low end
+// resolves sub-fsync acks (a write that rode another leader's group),
+// the high end catches stalls behind a slow disk.
+var ackBucketUppersMs = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+
+// histBucket is one rendered histogram bucket (cumulative, like a
+// Prometheus classic histogram).
+type histBucket struct {
+	LeMs  string `json:"le_ms"`
+	Count uint64 `json:"count"`
+}
+
+// closedLoop drives and accounts the -ingest-concurrency writers.
+type closedLoop struct {
+	mu     sync.Mutex
+	counts []uint64 // per-bucket, last entry is +Inf
+	acks   uint64
+	sum    time.Duration
+	non200 int
+	errors int
+}
+
+func newClosedLoop() *closedLoop {
+	return &closedLoop{counts: make([]uint64, len(ackBucketUppersMs)+1)}
+}
+
+func (c *closedLoop) recordAck(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(ackBucketUppersMs, ms)
+	c.mu.Lock()
+	c.counts[i]++
+	c.acks++
+	c.sum += d
+	c.mu.Unlock()
+}
+
+func (c *closedLoop) recordFailure(err error) {
+	c.mu.Lock()
+	if err != nil {
+		c.errors++
+	} else {
+		c.non200++
+	}
+	c.mu.Unlock()
+}
+
+// quantileMs returns the upper bound of the bucket where the cumulative
+// count crosses q — the histogram's resolution is the answer's
+// resolution. The +Inf bucket reports the largest finite bound.
+func (c *closedLoop) quantileMs(q float64) float64 {
+	target := uint64(q * float64(c.acks))
+	var cum uint64
+	for i, n := range c.counts {
+		cum += n
+		if cum > target {
+			if i < len(ackBucketUppersMs) {
+				return ackBucketUppersMs[i]
+			}
+			break
+		}
+	}
+	return ackBucketUppersMs[len(ackBucketUppersMs)-1]
+}
+
+// closedLoopReport is the -ingest-concurrency slice of the JSON report.
+type closedLoopReport struct {
+	Writers    int          `json:"writers"`
+	Acks       uint64       `json:"acks"`
+	AcksPerSec float64      `json:"acks_per_sec"`
+	AckMeanMs  float64      `json:"ack_mean_ms"`
+	AckP50LeMs float64      `json:"ack_p50_le_ms"`
+	AckP95LeMs float64      `json:"ack_p95_le_ms"`
+	Non200     int          `json:"non_200"`
+	Errors     int          `json:"errors"`
+	AckLatHist []histBucket `json:"ack_latency_histogram"`
+}
+
+func (c *closedLoop) report(writers int, elapsed time.Duration) *closedLoopReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &closedLoopReport{Writers: writers, Acks: c.acks, Non200: c.non200, Errors: c.errors}
+	if elapsed > 0 {
+		r.AcksPerSec = float64(c.acks) / elapsed.Seconds()
+	}
+	if c.acks > 0 {
+		r.AckMeanMs = float64(c.sum) / float64(c.acks) / float64(time.Millisecond)
+	}
+	var cum uint64
+	for i, n := range c.counts {
+		cum += n
+		le := "+Inf"
+		if i < len(ackBucketUppersMs) {
+			le = strconv.FormatFloat(ackBucketUppersMs[i], 'g', -1, 64)
+		}
+		r.AckLatHist = append(r.AckLatHist, histBucket{LeMs: le, Count: cum})
+	}
+	r.AckP50LeMs = c.quantileMs(0.50)
+	r.AckP95LeMs = c.quantileMs(0.95)
+	return r
 }
 
 // diagnoseQueries is the rotation of query shapes: repeats hit the
@@ -222,6 +335,9 @@ func (s *stalenessDist) report() stalenessReport {
 func run(o options, stdout io.Writer) error {
 	if o.qps <= 0 || o.clients < 1 || o.batch < 1 || o.mix < 0 || o.mix > 1 {
 		return fmt.Errorf("bad flags: qps, clients and batch must be positive, mix in [0,1]")
+	}
+	if o.ingestConc < 0 {
+		return fmt.Errorf("bad flags: ingest-concurrency must be >= 0")
 	}
 	if o.zipfS <= 1 {
 		return fmt.Errorf("bad flags: zipf must be > 1")
@@ -314,6 +430,49 @@ func run(o options, stdout io.Writer) error {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	deadline := time.Now().Add(o.duration)
+
+	// Closed-loop ingest writers: each fires its next write the moment
+	// the previous ack lands, so the measured acks/s is the server's
+	// durable-ingest throughput at this concurrency (the open-loop mix
+	// above measures latency under a fixed offered rate instead). The
+	// concurrency is the group-commit amortization lever: writers
+	// in-flight while a group fsyncs all ride the next leader's sync.
+	loop := newClosedLoop()
+	loopStart := time.Now()
+	var loopWG sync.WaitGroup
+	for w := 0; w < o.ingestConc; w++ {
+		loopWG.Add(1)
+		go func() {
+			defer loopWG.Done()
+			for time.Now().Before(deadline) {
+				body := ingestBody(&clock, o.batch)
+				start := time.Now()
+				resp, err := client.Post(o.url+"/v1/ingest", "application/json", bytes.NewReader(body))
+				if err != nil {
+					loop.recordFailure(err)
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					var ir struct {
+						Watermark uint64 `json:"watermark"`
+					}
+					if json.NewDecoder(resp.Body).Decode(&ir) == nil {
+						for {
+							cur := ackedWM.Load()
+							if ir.Watermark <= cur || ackedWM.CompareAndSwap(cur, ir.Watermark) {
+								break
+							}
+						}
+					}
+					loop.recordAck(time.Since(start))
+				} else {
+					loop.recordFailure(nil)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
 	qi := 0
 	for now := range ticker.C {
 		if now.After(deadline) {
@@ -340,6 +499,11 @@ func run(o options, stdout io.Writer) error {
 		}
 	}
 	wg.Wait()
+	loopWG.Wait()
+	var loopReport *closedLoopReport
+	if o.ingestConc > 0 {
+		loopReport = loop.report(o.ingestConc, time.Since(loopStart))
+	}
 
 	perTargetReport := make(map[string]kindReport, len(targets))
 	for _, t := range targets {
@@ -362,6 +526,7 @@ func run(o options, stdout io.Writer) error {
 		Saturated   int                   `json:"saturated_launches"`
 		Diagnose    kindReport            `json:"diagnose"`
 		Ingest      kindReport            `json:"ingest"`
+		ClosedLoop  *closedLoopReport     `json:"ingest_closed_loop,omitempty"`
 		PerTarget   map[string]kindReport `json:"per_target"`
 		Staleness   stalenessReport       `json:"staleness_watermarks"`
 	}{
@@ -369,7 +534,8 @@ func run(o options, stdout io.Writer) error {
 		DurationSec: o.duration.Seconds(),
 		Mix:         o.mix, Batch: o.batch, Seed: o.seed, Saturated: saturated,
 		Diagnose: diag.report(launchedDiag), Ingest: ing.report(launchedIng),
-		PerTarget: perTargetReport, Staleness: staleness.report(),
+		ClosedLoop: loopReport,
+		PerTarget:  perTargetReport, Staleness: staleness.report(),
 	}
 
 	fmt.Fprintf(stdout, "diagnose: %d launched, %d ok, p50 %.2fms p95 %.2fms p99 %.2fms\n",
@@ -379,6 +545,19 @@ func run(o options, stdout io.Writer) error {
 	shed := report.Diagnose.Codes["429"] + report.Ingest.Codes["429"]
 	fmt.Fprintf(stdout, "shed 429s: %d, errors: %d, saturated launches: %d\n",
 		shed, report.Diagnose.Errors+report.Ingest.Errors, saturated)
+	if loopReport != nil {
+		fmt.Fprintf(stdout, "closed-loop ingest: %d writers, %d acks, %.0f acks/s, ack mean %.2fms p50 ≤%gms p95 ≤%gms, non-200 %d, errors %d\n",
+			loopReport.Writers, loopReport.Acks, loopReport.AcksPerSec, loopReport.AckMeanMs,
+			loopReport.AckP50LeMs, loopReport.AckP95LeMs, loopReport.Non200, loopReport.Errors)
+		var prev uint64
+		for _, b := range loopReport.AckLatHist {
+			n := b.Count - prev
+			prev = b.Count
+			if n > 0 {
+				fmt.Fprintf(stdout, "  ack latency ≤%sms: %d\n", b.LeMs, n)
+			}
+		}
+	}
 	if len(targets) > 1 {
 		for _, t := range targets {
 			r := perTargetReport[t]

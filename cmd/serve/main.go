@@ -92,14 +92,15 @@ type options struct {
 	drainTimeout time.Duration
 	remedy       bool
 
-	replWAL     string
-	replSync    bool
-	replicaOf   string
-	primaryURL  string
-	promote     bool
-	autoPromote time.Duration
-	heartbeat   time.Duration
-	maxWait     time.Duration
+	replWAL        string
+	replSync       bool
+	ingestGroupMax int
+	replicaOf      string
+	primaryURL     string
+	promote        bool
+	autoPromote    time.Duration
+	heartbeat      time.Duration
+	maxWait        time.Duration
 }
 
 func main() {
@@ -120,6 +121,7 @@ func main() {
 	flag.BoolVar(&o.remedy, "remedy", false, "enable the closed-loop remediation engine (/v1/remediations)")
 	flag.StringVar(&o.replWAL, "repl-wal", "", "replication WAL directory (journals ingests, serves /v1/wal, replays on restart)")
 	flag.BoolVar(&o.replSync, "repl-sync", false, "fsync the replication WAL on every entry")
+	flag.IntVar(&o.ingestGroupMax, "ingest-group-max", 0, "max writes one group commit's fsync may cover (0 = unbounded); lower caps ack-latency spread under bursts at the cost of more fsyncs")
 	flag.StringVar(&o.replicaOf, "replica-of", "", "run as a read replica of this primary (base URL, or its WAL directory)")
 	flag.StringVar(&o.primaryURL, "primary-url", "", "primary advertised on 421/412 responses (defaults to -replica-of when it is a URL)")
 	flag.BoolVar(&o.promote, "promote", false, "boot promoted: replay -repl-wal, mint the next epoch, accept writes")
@@ -209,6 +211,7 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		EnableRemedy:     o.remedy,
 		ReplicationDir:   o.replWAL,
 		ReplicationSync:  o.replSync,
+		IngestGroupMax:   o.ingestGroupMax,
 		PrimaryURL:       primaryURL,
 		MaxWatermarkWait: o.maxWait,
 		SSEHeartbeat:     o.heartbeat,

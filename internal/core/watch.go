@@ -62,7 +62,8 @@ type Watcher struct {
 	EvictionHorizon time.Duration
 
 	lastTerminal map[cname.Name]time.Time
-	// recent precursor categories per node (pruned by BurstWindow).
+	// recent holds each node's precursor categories, one entry per
+	// category carrying its latest sighting (pruned by BurstWindow).
 	recent map[cname.Name][]watchEvent
 	// lastExternal remembers the latest external indicator per node.
 	lastExternal map[cname.Name]time.Time
@@ -265,20 +266,37 @@ func (w *Watcher) process(r events.Record) {
 		return
 	}
 	evs := w.recent[node]
-	// Prune the window.
+	// One entry per category, refreshed to the category's latest
+	// sighting; other categories are pruned by the window. A category has
+	// an event within the window exactly when its latest sighting is, so
+	// the distinct count below matches an exhaustive event list — while a
+	// flood of one repeated warning (the EDAC benign-burst shape)
+	// refreshes in place instead of growing the window without bound.
 	keep := evs[:0]
+	seen := false
 	for _, e := range evs {
-		if r.Time.Sub(e.t) <= w.BurstWindow {
+		switch {
+		case e.cat == r.Category:
+			if r.Time.After(e.t) {
+				e.t = r.Time
+			}
+			seen = true
+			keep = append(keep, e)
+		case r.Time.Sub(e.t) <= w.BurstWindow:
 			keep = append(keep, e)
 		}
 	}
-	evs = append(keep, watchEvent{r.Time, r.Category})
-	w.recent[node] = evs
-	distinct := map[string]bool{}
-	for _, e := range evs {
-		distinct[e.cat] = true
+	if !seen {
+		keep = append(keep, watchEvent{r.Time, r.Category})
 	}
-	if len(distinct) < 2 {
+	w.recent[node] = keep
+	distinct := 0
+	for _, e := range keep {
+		if r.Time.Sub(e.t) <= w.BurstWindow {
+			distinct++
+		}
+	}
+	if distinct < 2 {
 		return
 	}
 	// Suppress repeats within the refractory gap.
@@ -325,7 +343,13 @@ func (w *Watcher) maybeEvict() {
 		}
 	}
 	for n, evs := range w.recent {
-		if len(evs) == 0 || evs[len(evs)-1].t.Before(cutoff) {
+		newest := time.Time{}
+		for _, e := range evs {
+			if e.t.After(newest) {
+				newest = e.t
+			}
+		}
+		if newest.Before(cutoff) {
 			delete(w.recent, n)
 			w.stats.Evicted++
 		}

@@ -74,7 +74,7 @@ func TestRunAllPropagatesErrors(t *testing.T) {
 // carry ctx.Err(), and the pool drains (no goroutine leak — verified by
 // the call returning and by counting actual runs).
 func TestRunAllContextCancellation(t *testing.T) {
-	started := make(chan int64)  // signals an experiment began
+	started := make(chan int64)    // signals an experiment began
 	release := make(chan struct{}) // holds in-flight experiments open
 	var runs atomic.Int64
 	mk := func(id string) Experiment {

@@ -1,0 +1,133 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// encodeCases cover every escaping regime the hand-rolled encoder must
+// agree with encoding/json on: the clean-ASCII fast path, the HTML
+// safety set, control bytes, multi-byte runes, the JSON line
+// separators U+2028/U+2029, and invalid UTF-8.
+func encodeCases() []Entry {
+	return []Entry{
+		{Epoch: 1, Watermark: 2, Batches: nil},
+		{Epoch: 1, Watermark: 2, Batches: []Batch{}},
+		{Epoch: 3, Watermark: 7, Batches: []Batch{{Stream: "console", Lines: nil}}},
+		{Epoch: 3, Watermark: 7, Batches: []Batch{{Stream: "console", Lines: []string{}}}},
+		{Epoch: 1, Watermark: 4, Batches: []Batch{
+			{Stream: "console", Lines: []string{
+				"2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error",
+				"",
+			}},
+			{Stream: "scheduler", Lines: []string{
+				`quote " backslash \ slash /`,
+				"html <b>&amp;</b>",
+				"control \t\n\x00\x1f bytes",
+				"high \x7f low",
+				"unicode: héllo 世界 ☃",
+				"separators   and  ",
+				"invalid utf8 \xff\xfe tail",
+			}},
+		}},
+		{Epoch: ^uint64(0), Watermark: ^uint64(0), Batches: []Batch{{Stream: strings.Repeat("x", 300)}}},
+	}
+}
+
+// TestAppendEntryMatchesJSONMarshal pins the contract the replication
+// stack depends on: the buffer-reusing encoder produces bytes identical
+// to encoding/json.Marshal for the same entry. Byte-identical failover
+// parity (PR 8) hashes these payloads, so "close enough" is not enough.
+func TestAppendEntryMatchesJSONMarshal(t *testing.T) {
+	for _, e := range encodeCases() {
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EncodeEntry(e)
+		if err != nil {
+			t.Fatalf("EncodeEntry(%+v): %v", e, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("EncodeEntry(%+v)\n got %s\nwant %s", e, got, want)
+		}
+
+		// The split encoding (head under the staging lock, batches before
+		// it) must compose to the same bytes.
+		split := AppendEntryHead(nil, e.Epoch, e.Watermark)
+		split = AppendEntryBatches(split, e.Batches)
+		if !bytes.Equal(split, want) {
+			t.Errorf("AppendEntryHead+Batches(%+v)\n got %s\nwant %s", e, split, want)
+		}
+
+		// Appending onto a non-empty buffer extends, never clobbers.
+		pre := []byte("prefix:")
+		ext, err := AppendEntry(pre, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ext, append([]byte("prefix:"), want...)) {
+			t.Errorf("AppendEntry onto prefix diverged: %s", ext)
+		}
+
+		round, err := DecodeEntry(got)
+		if err != nil {
+			t.Fatalf("DecodeEntry round trip: %v", err)
+		}
+		if round.Epoch != e.Epoch || round.Watermark != e.Watermark || len(round.Batches) != len(e.Batches) {
+			t.Errorf("round trip = %+v, want %+v", round, e)
+		}
+	}
+}
+
+// TestEncodeEntryRejectsZeroWatermark: watermark 0 is "unseeded", never
+// a journal entry; both encoder entry points must refuse it like the
+// decoder does.
+func TestEncodeEntryRejectsZeroWatermark(t *testing.T) {
+	if _, err := EncodeEntry(Entry{Epoch: 1}); err == nil {
+		t.Fatal("EncodeEntry accepted watermark 0")
+	}
+	if _, err := AppendEntry(nil, Entry{Epoch: 1}); err == nil {
+		t.Fatal("AppendEntry accepted watermark 0")
+	}
+}
+
+// FuzzAppendEntryParity drives arbitrary stream/line bytes through both
+// encoders; any divergence from encoding/json, or a round-trip loss, is
+// a crash. This is the guard against the fast path misclassifying a
+// byte it should have escaped.
+func FuzzAppendEntryParity(f *testing.F) {
+	f.Add("console", "plain ascii line", "")
+	f.Add("sch<d>uler", "quote\"back\\slash", "ctrl\x01\x02")
+	f.Add("ünicode", "line   sep", "\xff\xfe invalid")
+	f.Fuzz(func(t *testing.T, stream, line1, line2 string) {
+		e := Entry{Epoch: 5, Watermark: 9, Batches: []Batch{{Stream: stream, Lines: []string{line1, line2}}}}
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Skip()
+		}
+		got, err := EncodeEntry(e)
+		if err != nil {
+			t.Fatalf("EncodeEntry: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encoder diverged from json.Marshal\n got %s\nwant %s", got, want)
+		}
+		round, err := DecodeEntry(got)
+		if err != nil {
+			t.Fatalf("DecodeEntry: %v", err)
+		}
+		// json.Marshal replaces invalid UTF-8; compare against the decode
+		// of the reference bytes, not the original strings.
+		var ref Entry
+		if err := json.Unmarshal(want, &ref); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(round, ref) {
+			t.Fatalf("round trip = %+v, want %+v", round, ref)
+		}
+	})
+}

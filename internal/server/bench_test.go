@@ -1,10 +1,13 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -82,6 +85,69 @@ func BenchmarkServeSnapshotRebuild(b *testing.B) {
 		if _, err := s.snapshotNow(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestJournaledSync is the serialized durable-ingest floor:
+// one writer, every group is a group of one, every ack pays a full
+// fsync. This is the ceiling group commit exists to break — compare
+// BenchmarkIngestParallel, where concurrent writers share each fsync.
+func BenchmarkIngestJournaledSync(b *testing.B) {
+	store, rep := loadFixture(b)
+	line := "2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)"
+	batches := []IngestBatch{{Stream: "console", Lines: []string{line}}}
+	s := newReplNode(b, store, rep, Config{ReplicationDir: b.TempDir(), ReplicationSync: true})
+	defer s.CloseReplication()
+	if _, err := s.Ingest(batches); err != nil { // warm the WAL segment
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkIngestParallel measures durable ingest throughput with p
+// concurrent closed-loop writers sharing one server and one fsynced
+// journal. ns/op is wall time over total acks, so with group commit
+// working p16 must land far below p1 — the PR 9 acceptance bar is ≥5×,
+// gated in CI by cmd/benchgate -speedup against BENCH_pr9.json. Run
+// with -benchtime=NNNx (not a duration) so every writer contributes
+// enough acks for groups to form.
+func BenchmarkIngestParallel(b *testing.B) {
+	store, rep := loadFixture(b)
+	line := "2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)"
+	batches := []IngestBatch{{Stream: "console", Lines: []string{line}}}
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			s := newReplNode(b, store, rep, Config{ReplicationDir: b.TempDir(), ReplicationSync: true})
+			defer s.CloseReplication()
+			if _, err := s.Ingest(batches); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var taken atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < p; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for taken.Add(1) <= int64(b.N) {
+						if _, err := s.Ingest(batches); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+		})
 	}
 }
 

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hpcfail/internal/events"
+	"hpcfail/internal/logparse"
+	"hpcfail/internal/replica"
+	"hpcfail/internal/wal"
+)
+
+// Group commit. Every write — an HTTP ingest, a replicated entry from
+// the tailer, a promotion's epoch marker — goes through the same two
+// steps:
+//
+//  1. stage: under stageMu (held for pointer pushes, never across I/O)
+//     the write is validated, assigned its watermark, its WAL payload
+//     is finalized, and it is parked on the staged queue.
+//  2. commit: the writer calls commitStaged, which loops trying to
+//     become the leader (acquire commitSem). The leader drains the
+//     whole staged queue as one group: a single AppendBatch run, a
+//     single Sync covering every entry, then state commit in stage
+//     order — pending records, ledger merges, the watermark store —
+//     one waiter bump, and finally the acks. Watcher feeds run on the
+//     submitters' goroutines after the ack, outside every lock here.
+//
+// While a leader is fsyncing, every new write simply stages and blocks;
+// the next leader finds them all and amortizes its one fsync across the
+// lot. That turns the serialized journal bottleneck (throughput ≤
+// 1/fsync-latency) into near-linear scaling with in-flight writers,
+// without a background goroutine to supervise: the committer role is
+// carried by whichever staged writer wins the lock, so there is nothing
+// to start, drain or leak.
+//
+// Invariants preserved from the serialized path:
+//
+//   - Ack implies durable: an entry's done channel closes only after
+//     the Sync covering it returned, so an acknowledged watermark is
+//     always on disk.
+//   - Order: watermarks are assigned in stage order and committed in
+//     stage order, so the WAL byte order and the pending-delta order
+//     both equal watermark order — exactly what byte-identical
+//     replication parity requires. (Watcher feeds from concurrent
+//     ingesters may interleave, as they always did; the watcher's
+//     reorder buffer absorbs that, and a replica's tailer applies
+//     serially so its feeds stay in watermark order.)
+//   - Fail-stop: a failed AppendBatch or Sync latches replBroken under
+//     stageMu; every entry in the failed group — and anything staged
+//     after it — is refused with ErrJournal and no watermark moves.
+//
+// Lock hierarchy (acquire strictly downward; every lock below the
+// commitSem leader slot is held only for short critical sections,
+// never across I/O):
+//
+//	commitSem → stageMu
+//	commitSem → s.mu
+//	engMu → snapMu, engMu → s.mu
+//	wmMu, snapMu, metrics.mu: leaves
+type staged struct {
+	// e is the entry being committed. For non-replicated servers only
+	// Epoch/Watermark (and len(Batches) for metrics) are meaningful.
+	e replica.Entry
+	// encoded is the framed-ready WAL payload (nil when replication is
+	// off); the buffer is pool-recycled by the leader after the append.
+	encoded []byte
+	// Parsed state to commit: the records entering the corpus, the
+	// per-stream ledger deltas, the quarantined-line count.
+	recs  []events.Record
+	sreps []logparse.StreamReport
+	quar  int
+	// marker entries (promotion epoch markers) reuse the current
+	// watermark: they are journaled and bump waiters but do not advance
+	// the watermark or feed the watcher.
+	marker bool
+	// applied marks entries that arrived through Apply (tailer/replay)
+	// for the replication counter.
+	applied bool
+	// err is the group outcome, settled by the leader before done is
+	// closed; the submitter reads it only after <-done.
+	err  error
+	done chan struct{}
+}
+
+// entryBufPool recycles entry-encoding buffers between stage and the
+// leader's append. Oversized buffers (a huge ingest body) are dropped
+// rather than pinned.
+var entryBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+const maxPooledEntryBuf = 1 << 20
+
+func getEntryBuf() []byte {
+	bp := entryBufPool.Get().(*[]byte)
+	return (*bp)[:0]
+}
+
+func putEntryBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledEntryBuf {
+		return
+	}
+	entryBufPool.Put(&b)
+}
+
+// errJournalBroken is the fail-stop refusal for writes after a journal
+// failure.
+func errJournalBroken() error {
+	return fmt.Errorf("%w: an earlier write left the WAL tail unverified; writes are fail-stopped until restart", ErrJournal)
+}
+
+// stageIngest assigns the next watermark to one parsed ingest request
+// and parks it on the commit queue. The watermark-independent batches
+// suffix is encoded before the lock; inside it the work is an integer
+// render plus a memcpy.
+func (s *Server) stageIngest(batches []replica.Batch, recs []events.Record, sreps []logparse.StreamReport, quar int) (*staged, error) {
+	var suffix []byte
+	if s.replOpen() {
+		suffix = replica.AppendEntryBatches(getEntryBuf(), batches)
+	}
+	st := &staged{recs: recs, sreps: sreps, quar: quar, done: make(chan struct{})}
+
+	s.stageMu.Lock()
+	if s.repl != nil {
+		if s.replBroken {
+			s.stageMu.Unlock()
+			putEntryBuf(suffix)
+			return nil, errJournalBroken()
+		}
+		if suffix == nil {
+			// Replication raced on between the check above and the lock;
+			// encode inline — rare, correctness over the fast path.
+			suffix = replica.AppendEntryBatches(getEntryBuf(), batches)
+		}
+		epoch := s.epoch.Load()
+		wm := s.stageWM + 1
+		buf := replica.AppendEntryHead(getEntryBuf(), epoch, wm)
+		st.encoded = append(buf, suffix...)
+		st.e = replica.Entry{Epoch: epoch, Watermark: wm, Batches: batches}
+		s.stageWM = wm
+	} else {
+		s.stageWM++
+		st.e = replica.Entry{Epoch: s.epoch.Load(), Watermark: s.stageWM, Batches: batches}
+	}
+	s.stageQ = append(s.stageQ, st)
+	s.stageMu.Unlock()
+	putEntryBuf(suffix)
+	return st, nil
+}
+
+// stageEntry validates one replicated entry against the epoch fence and
+// the watermark sequence and parks it on the commit queue. It returns
+// (nil, nil) for duplicates needing no work, or a marker staged when a
+// duplicate carries a newer epoch that must be journaled locally (a
+// promotion arriving over the wire).
+func (s *Server) stageEntry(e replica.Entry, recs []events.Record, sreps []logparse.StreamReport, quar int) (*staged, error) {
+	var encoded []byte
+	if s.replOpen() {
+		b, err := replica.AppendEntry(getEntryBuf(), e)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+		encoded = b
+	}
+
+	s.stageMu.Lock()
+	cur := s.epoch.Load()
+	if e.Epoch < cur {
+		s.stageMu.Unlock()
+		putEntryBuf(encoded)
+		s.metrics.add(mReplFenced, 1)
+		return nil, fmt.Errorf("%w: entry epoch %d, server epoch %d", ErrFenced, e.Epoch, cur)
+	}
+	if e.Watermark <= s.stageWM {
+		// Duplicate on resume; adopt a newer epoch (promotion markers
+		// reuse the current watermark for exactly this). A marker that
+		// advances our epoch is journaled locally too, so the promotion
+		// survives this node's own crash-restart. The epoch stays bumped
+		// even when journaling it fails — failing toward a higher epoch
+		// can fence spuriously but never lets a deposed writer in.
+		var st *staged
+		if e.Epoch > cur {
+			s.epoch.Store(e.Epoch)
+			if s.repl != nil {
+				if s.replBroken {
+					s.stageMu.Unlock()
+					putEntryBuf(encoded)
+					return nil, errJournalBroken()
+				}
+				me := replica.Entry{Epoch: e.Epoch, Watermark: s.stageWM, Batches: []replica.Batch{}}
+				buf, err := replica.AppendEntry(getEntryBuf(), me)
+				if err != nil {
+					s.stageMu.Unlock()
+					putEntryBuf(encoded)
+					return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+				}
+				st = &staged{e: me, encoded: buf, marker: true, done: make(chan struct{})}
+				s.stageQ = append(s.stageQ, st)
+			}
+		}
+		s.stageMu.Unlock()
+		putEntryBuf(encoded)
+		return st, nil
+	}
+	if e.Watermark != s.stageWM+1 {
+		wm := s.stageWM
+		s.stageMu.Unlock()
+		putEntryBuf(encoded)
+		return nil, fmt.Errorf("server: entry watermark %d does not follow %d: gap", e.Watermark, wm)
+	}
+	if s.repl != nil {
+		if s.replBroken {
+			s.stageMu.Unlock()
+			putEntryBuf(encoded)
+			return nil, errJournalBroken()
+		}
+		if encoded == nil {
+			b, err := replica.AppendEntry(getEntryBuf(), e)
+			if err != nil {
+				s.stageMu.Unlock()
+				return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+			}
+			encoded = b
+		}
+	} else if encoded != nil {
+		putEntryBuf(encoded)
+		encoded = nil
+	}
+	if e.Epoch > cur {
+		s.epoch.Store(e.Epoch)
+	}
+	st := &staged{e: e, encoded: encoded, recs: recs, sreps: sreps, quar: quar, applied: true, done: make(chan struct{})}
+	s.stageWM = e.Watermark
+	s.stageQ = append(s.stageQ, st)
+	s.stageMu.Unlock()
+	return st, nil
+}
+
+// commitStaged blocks until st's group has committed (or aborted),
+// taking a turn as the commit leader whenever the leader slot is free.
+// Every staged entry is eventually dequeued by some leader and settled
+// before its done closes, so the loop always terminates: either another
+// leader carried our entry, or we become leader and carry it (and
+// everything staged behind it) ourselves.
+//
+// The select is the load-bearing part: a writer waits on its ack and on
+// leadership AT THE SAME TIME. With a plain mutex instead, every writer
+// whose entry was just committed would still be queued on the lock only
+// to re-check its done channel — and on a busy server the releasing
+// leader re-acquires the barging mutex before those waiters run, so the
+// queue never drains, writers never restage, and every group degrades
+// to size one. The channel semaphore dissolves that: an ack wakes the
+// writer out of the select directly, and only writers that still need a
+// commit compete for the slot.
+func (s *Server) commitStaged(st *staged) error {
+	for {
+		select {
+		case <-st.done:
+			return st.err
+		case s.commitSem <- struct{}{}:
+			s.runGroup()
+			<-s.commitSem
+		}
+	}
+}
+
+// runGroup drains the staged queue and commits it as one group. The
+// caller holds commitSem (the leader role). No-op on an empty queue.
+func (s *Server) runGroup() {
+	// Yield once before draining: writers that are runnable right now get
+	// to stage before the cut, so the group they join shares this fsync
+	// instead of paying their own. Costs ~a scheduler pass when idle;
+	// with few cores it is what lets groups form at all, since stagers
+	// otherwise only run while the leader is inside the fsync syscall.
+	runtime.Gosched()
+	s.stageMu.Lock()
+	n := len(s.stageQ)
+	if max := s.cfg.IngestGroupMax; max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		s.stageMu.Unlock()
+		return
+	}
+	group := make([]*staged, n)
+	copy(group, s.stageQ)
+	rest := copy(s.stageQ, s.stageQ[n:])
+	for i := rest; i < len(s.stageQ); i++ {
+		s.stageQ[i] = nil // release for GC; the queue slice is reused
+	}
+	s.stageQ = s.stageQ[:rest]
+	l := s.repl
+	s.stageMu.Unlock()
+
+	if l != nil {
+		s.payloads = s.payloads[:0]
+		for _, st := range group {
+			s.payloads = append(s.payloads, st.encoded)
+		}
+		err := l.AppendBatch(s.payloads...)
+		if err == nil {
+			start := time.Now()
+			if s.testSyncHook != nil {
+				err = s.testSyncHook()
+			} else {
+				err = l.Sync()
+			}
+			s.metrics.observeSync(time.Since(start))
+		}
+		for _, st := range group {
+			putEntryBuf(st.encoded)
+			st.encoded = nil
+		}
+		if err != nil {
+			// Whole-group abort: the WAL tail is unverified (the append
+			// may be half-written, or a written group may never have hit
+			// stable storage), so nothing in this group — nor anything
+			// staged after it — may commit. Latch first, so no new write
+			// stages behind the wreckage, then fail every waiter.
+			s.stageMu.Lock()
+			s.replBroken = true
+			s.stageMu.Unlock()
+			gerr := fmt.Errorf("%w: %v", ErrJournal, err)
+			for _, st := range group {
+				st.err = gerr
+				close(st.done)
+			}
+			return
+		}
+		s.metrics.observeGroup(n)
+	}
+
+	// The group is durable; commit state in stage order. The watermark
+	// store stays inside s.mu so appliers draining pending deltas read a
+	// consistent (pending, watermark) pair.
+	s.mu.Lock()
+	for _, st := range group {
+		s.pending = append(s.pending, st.recs...)
+		s.recCount += len(st.recs)
+		for i := range st.sreps {
+			s.rep.MergeStream(st.sreps[i])
+		}
+		if !st.marker {
+			s.watermark.Store(st.e.Watermark)
+		}
+	}
+	s.mu.Unlock()
+	s.bump()
+
+	var batches, recs, quar, appliedN uint64
+	ingested := false
+	for _, st := range group {
+		if !st.marker {
+			ingested = true
+			batches += uint64(len(st.e.Batches))
+			recs += uint64(len(st.recs))
+			quar += uint64(st.quar)
+			if st.applied {
+				appliedN++
+			}
+		}
+	}
+	if ingested {
+		s.lastIngestWall.Store(time.Now().UnixNano())
+		s.metrics.add(mIngestBatch, batches)
+		s.metrics.add(mIngestRecs, recs)
+		s.metrics.add(mIngestQuar, quar)
+	}
+	if appliedN > 0 {
+		s.metrics.add(mReplApplied, appliedN)
+	}
+	// Ack in stage order. Watcher feeds happen on the submitters' own
+	// goroutines after the ack (as they did pre-group-commit), so the
+	// leader's critical section carries no detection work.
+	for _, st := range group {
+		close(st.done)
+	}
+}
+
+// bump wakes every watermark waiter (min_watermark reads, /v1/wal
+// streamers) by closing and replacing the broadcast channel.
+func (s *Server) bump() {
+	s.wmMu.Lock()
+	close(s.wmCh)
+	s.wmCh = make(chan struct{})
+	s.wmMu.Unlock()
+}
+
+// wmWait returns the current broadcast channel. Grab it BEFORE reading
+// the watermark: the channel is closed after every advance, so a commit
+// racing the read still closes the channel the caller parks on.
+func (s *Server) wmWait() <-chan struct{} {
+	s.wmMu.Lock()
+	ch := s.wmCh
+	s.wmMu.Unlock()
+	return ch
+}
+
+// replOpen reports whether the replication journal is open.
+func (s *Server) replOpen() bool {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	return s.repl != nil
+}
+
+// replHandle returns the open journal (nil when replication is off).
+func (s *Server) replHandle() *wal.Log {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	return s.repl
+}
+
+// stagedDepth is the current commit-queue depth — writes staged but not
+// yet covered by a group fsync (the hpcfail_ingest_staged gauge).
+func (s *Server) stagedDepth() int {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	return len(s.stageQ)
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpcfail/internal/replica"
+	"hpcfail/internal/wal"
+)
+
+// ingestLine is a benign one-line batch the group-commit tests reuse.
+var ingestLine = []IngestBatch{{Stream: "console", Lines: []string{
+	"2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+}}}
+
+// walWatermarks scans a replication WAL directory and returns every
+// journaled watermark in append order, via the same TailReader the
+// replication stream uses.
+func walWatermarks(t *testing.T, dir string) []uint64 {
+	t.Helper()
+	tr := wal.NewTailReader(dir, wal.Offset{})
+	defer tr.Close()
+	var wms []uint64
+	for {
+		payload, err := tr.Next()
+		if err != nil {
+			t.Fatalf("scanning WAL: %v", err)
+		}
+		if payload == nil {
+			return wms
+		}
+		e, err := replica.DecodeEntry(payload)
+		if err != nil {
+			t.Fatalf("decoding WAL entry: %v", err)
+		}
+		wms = append(wms, e.Watermark)
+	}
+}
+
+// TestAckImpliesDurableAtEveryWatermark is the kill-at-every-acked-
+// watermark harness for the group committer: many concurrent synced
+// ingests, then the server is abandoned without any close (the
+// in-process stand-in for kill -9 — nothing is flushed on our behalf),
+// and a fresh node recovering purely from the directory must see every
+// acknowledged watermark. If an ack ever preceded its group's fsync,
+// some acked watermark would be missing from the journal.
+func TestAckImpliesDurableAtEveryWatermark(t *testing.T) {
+	store, rep := loadFixture(t)
+	dir := t.TempDir()
+	s := newReplNode(t, store, rep, Config{ReplicationDir: dir, ReplicationSync: true})
+
+	const writers, perWriter = 8, 4
+	acked := make([][]uint64, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				res, err := s.Ingest(ingestLine)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				acked[w] = append(acked[w], res.Watermark)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The server is now abandoned mid-flight: no CloseReplication, no
+	// final sync. Everything acked must already be on disk.
+
+	seen := make(map[uint64]bool)
+	for w, wms := range acked {
+		for i, wm := range wms {
+			if i > 0 && wm <= wms[i-1] {
+				t.Fatalf("writer %d acks not monotonic: %v", w, wms)
+			}
+			if seen[wm] {
+				t.Fatalf("watermark %d acked twice", wm)
+			}
+			seen[wm] = true
+		}
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("acked %d watermarks, want %d", len(seen), writers*perWriter)
+	}
+
+	journaled := make(map[uint64]bool)
+	for _, wm := range walWatermarks(t, dir) {
+		journaled[wm] = true
+	}
+	for wm := range seen {
+		if !journaled[wm] {
+			t.Errorf("acked watermark %d missing from the journal", wm)
+		}
+	}
+
+	reborn := newReplNode(t, store, rep, Config{ReplicationDir: dir, ReplicationSync: true})
+	defer reborn.CloseReplication()
+	want := uint64(1 + writers*perWriter)
+	if got := reborn.Watermark(); got != want {
+		t.Fatalf("recovered watermark = %d, want %d", got, want)
+	}
+}
+
+// TestGroupCommitAmortizesFsync pins the amortization mechanically, with
+// no timing: writes staged while the committer is busy all ride the next
+// leader's single fsync. The test parks the committer (holds the leader slot),
+// stages four concurrent ingests, releases — and the journal must show
+// four records but exactly one sync.
+func TestGroupCommitAmortizesFsync(t *testing.T) {
+	store, rep := loadFixture(t)
+	s := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir(), ReplicationSync: true})
+	defer s.CloseReplication()
+
+	const n = 4
+	s.commitSem <- struct{}{}
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := s.Ingest(ingestLine)
+			errs <- err
+		}()
+	}
+	waitStaged(t, s, n)
+	<-s.commitSem
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wst, err := s.replHandle().Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.Records != n {
+		t.Fatalf("journal records = %d, want %d", wst.Records, n)
+	}
+	if wst.Syncs != 1 {
+		t.Fatalf("journal syncs = %d, want 1 (one fsync covering the whole group)", wst.Syncs)
+	}
+	if got := s.Watermark(); got != uint64(1+n) {
+		t.Fatalf("watermark = %d, want %d", got, 1+n)
+	}
+}
+
+// waitStaged blocks until the commit queue holds want entries.
+func waitStaged(t *testing.T, s *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.stagedDepth() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("staged depth %d not reached within 10s (at %d)", want, s.stagedDepth())
+}
+
+// TestGroupAbortFailsWholeGroup: when the fsync covering a group fails,
+// every write in the group must be refused with ErrJournal, the
+// watermark must not move for any of them, and the writer role must
+// fail-stop — group commit must never ack a subset of a group whose
+// durability is unknown. Also pins the observability: /healthz reports
+// journal_failed and /metrics carries the sync/group histograms.
+func TestGroupAbortFailsWholeGroup(t *testing.T) {
+	store, rep := loadFixture(t)
+	s := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir(), ReplicationSync: true})
+	defer s.CloseReplication()
+
+	// One clean ingest first: watermark 2, one successful group behind us.
+	if _, err := s.Ingest(ingestLine); err != nil {
+		t.Fatal(err)
+	}
+	wm := s.Watermark()
+
+	const n = 2
+	s.commitSem <- struct{}{}
+	s.testSyncHook = func() error { return errors.New("injected fsync failure") }
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := s.Ingest(ingestLine)
+			errs <- err
+		}()
+	}
+	waitStaged(t, s, n)
+	<-s.commitSem
+	for i := 0; i < n; i++ {
+		if err := <-errs; !errors.Is(err, ErrJournal) {
+			t.Fatalf("group member error = %v, want ErrJournal", err)
+		}
+	}
+	if got := s.Watermark(); got != wm {
+		t.Fatalf("watermark advanced to %d on an aborted group (was %d)", got, wm)
+	}
+	if !s.JournalBroken() {
+		t.Fatal("aborted group did not latch the fail-stop")
+	}
+	if _, err := s.Ingest(ingestLine); !errors.Is(err, ErrJournal) {
+		t.Fatalf("ingest after abort = %v, want ErrJournal (fail-stopped)", err)
+	}
+
+	h := s.Handler()
+	rec := get(t, h, "/healthz")
+	if !strings.Contains(rec.Body.String(), `"journal_failed":true`) {
+		t.Errorf("/healthz does not report journal_failed: %s", rec.Body.String())
+	}
+	mrec := get(t, h, "/metrics")
+	body := mrec.Body.String()
+	// Two fsync attempts observed (one clean, one injected failure); only
+	// the clean one completed a group or reached the disk.
+	for _, want := range []string{
+		"hpcfail_journal_sync_seconds_count 2",
+		"hpcfail_journal_group_size_count 1",
+		"hpcfail_journal_group_size_sum 1",
+		"hpcfail_wal_syncs 1",
+		"hpcfail_ingest_staged 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestPromoteSyncDoesNotBlockReads: the fsync that makes a promotion
+// durable rides the group committer, outside every read-serving lock —
+// a slow disk during failover must not stall /v1/diagnose or /healthz.
+// Before the lock split, Promote journaled under the same mutex the
+// read path took on every request.
+func TestPromoteSyncDoesNotBlockReads(t *testing.T) {
+	store, rep := loadFixture(t)
+	s := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir(), ReplicationSync: true})
+	defer s.CloseReplication()
+	if _, err := s.Ingest(ingestLine); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if rec := get(t, h, "/v1/diagnose"); rec.Code != http.StatusOK {
+		t.Fatalf("warmup diagnose = %d", rec.Code)
+	}
+
+	const stall = 2 * time.Second
+	syncing := make(chan struct{})
+	release := make(chan struct{})
+	s.commitSem <- struct{}{}
+	s.testSyncHook = func() error {
+		close(syncing)
+		<-release
+		return nil
+	}
+	<-s.commitSem
+
+	promoted := make(chan error, 1)
+	go func() {
+		_, _, err := s.Promote()
+		promoted <- err
+	}()
+	select {
+	case <-syncing:
+		// The promotion marker's group fsync is now in flight, holding
+		// the leader slot and nothing else.
+	case <-time.After(5 * time.Second):
+		t.Fatal("promotion never reached the committer")
+	}
+
+	// Reads must complete while the promotion fsync is still in flight.
+	start := time.Now()
+	for _, path := range []string{"/v1/diagnose", "/healthz", "/metrics"} {
+		rec := get(t, h, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s during promotion fsync = %d", path, rec.Code)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > stall/2 {
+		t.Fatalf("reads took %v while the promotion fsync was in flight", elapsed)
+	}
+	close(release)
+	if err := <-promoted; err != nil {
+		t.Fatalf("promotion failed: %v", err)
+	}
+	if got := s.Epoch(); got != 2 {
+		t.Fatalf("epoch after promotion = %d, want 2", got)
+	}
+}
+
+// TestIngestLockSplitHammer runs the split write path under fire —
+// concurrent ingests, diagnose queries, min_watermark waiters, a /v1/wal
+// stream consumer and metrics scrapes — and checks the invariants the
+// lock split must preserve: per-writer acks strictly monotonic, all acked
+// watermarks unique and contiguous, the stream's entry watermarks in
+// order, and the final watermark equal to the total accepted. Run under
+// go test -race this is the regression net for the stageMu/commitSem/
+// wmMu/snapMu split.
+func TestIngestLockSplitHammer(t *testing.T) {
+	store, rep := loadFixture(t)
+	s := newReplNode(t, store, rep, Config{
+		ReplicationDir:   t.TempDir(),
+		MaxInflight:      16,
+		MaxWatermarkWait: 10 * time.Second,
+		SSEHeartbeat:     5 * time.Millisecond,
+	})
+	defer s.CloseReplication()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const writers, perWriter = 4, 25
+	final := uint64(1 + writers*perWriter)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Stream consumer: entry watermarks must arrive strictly ascending.
+	streamDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/wal?after=1")
+		if err != nil {
+			streamDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		br := bufio.NewReader(resp.Body)
+		last := uint64(1)
+		for {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				streamDone <- err
+				return
+			}
+			var f replica.Frame
+			if err := json.Unmarshal(line, &f); err != nil {
+				streamDone <- fmt.Errorf("decoding frame %q: %v", line, err)
+				return
+			}
+			if f.Entry == nil {
+				continue
+			}
+			if f.Entry.Watermark <= last {
+				streamDone <- fmt.Errorf("stream watermark %d after %d", f.Entry.Watermark, last)
+				return
+			}
+			last = f.Entry.Watermark
+			if last == final {
+				streamDone <- nil
+				return
+			}
+		}
+	}()
+
+	// Read-side churn: plain diagnose, read-your-writes waits, scrapes.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				target := s.Watermark()
+				rec := get(t, s.Handler(), fmt.Sprintf("/v1/diagnose?min_watermark=%d", target))
+				if rec.Code != http.StatusOK && rec.Code != http.StatusTooManyRequests {
+					t.Errorf("diagnose under hammer = %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			get(t, s.Handler(), "/metrics")
+			get(t, s.Handler(), "/healthz")
+		}
+	}()
+
+	acked := make([][]uint64, writers)
+	var iwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		iwg.Add(1)
+		go func(w int) {
+			defer iwg.Done()
+			for i := 0; i < perWriter; i++ {
+				res, err := s.Ingest(ingestLine)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				acked[w] = append(acked[w], res.Watermark)
+			}
+		}(w)
+	}
+	iwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	seen := make(map[uint64]bool)
+	for w, wms := range acked {
+		for i, wm := range wms {
+			if i > 0 && wm <= wms[i-1] {
+				t.Fatalf("writer %d acks not monotonic: %v", w, wms)
+			}
+			seen[wm] = true
+		}
+	}
+	for wm := uint64(2); wm <= final; wm++ {
+		if !seen[wm] {
+			t.Fatalf("watermark %d never acked", wm)
+		}
+	}
+	if got := s.Watermark(); got != final {
+		t.Fatalf("final watermark = %d, want %d", got, final)
+	}
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Fatalf("/v1/wal stream: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("/v1/wal stream never reached the final watermark")
+	}
+
+	// A read-your-writes query at the final watermark serves immediately.
+	rec := get(t, s.Handler(), fmt.Sprintf("/v1/diagnose?min_watermark=%d", final))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("final min_watermark read = %d", rec.Code)
+	}
+}

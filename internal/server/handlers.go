@@ -454,14 +454,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		lag = time.Since(time.Unix(0, last)).Seconds()
 	}
 	wm, diagnosed := s.Staleness()
-	s.mu.Lock()
-	epoch := s.epoch
+	epoch := s.Epoch()
 	var wst wal.Stats
-	walOpen := s.repl != nil
+	l := s.replHandle()
+	walOpen := l != nil
 	if walOpen {
-		wst, _ = s.repl.Stat()
+		// Stat is safe concurrently with the commit leader: the scrape
+		// never queues behind a group fsync.
+		wst, _ = l.Stat()
 	}
-	s.mu.Unlock()
 	gauges := []gauge{
 		{"hpcfail_store_records", "Records in the live corpus.", float64(s.Records())},
 		{"hpcfail_ingest_watermark", "Current ingest watermark (bumps once per accepted batch request).", float64(wm)},
@@ -475,11 +476,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"hpcfail_inflight_requests", "Requests currently holding an admission slot.", float64(len(s.sem))},
 		{"hpcfail_sse_subscribers", "Connected alarm stream subscribers.", float64(s.broker.subscribers())},
 		{"hpcfail_epoch", "Fencing epoch this node writes (or would write) at.", float64(epoch)},
+		{"hpcfail_ingest_staged", "Writes staged for group commit but not yet covered by a fsync.", float64(s.stagedDepth())},
 	}
 	if walOpen {
 		gauges = append(gauges,
 			gauge{"hpcfail_wal_bytes", "Total bytes across replication WAL segments.", float64(wst.Bytes)},
 			gauge{"hpcfail_wal_segments", "Replication WAL segment files on disk.", float64(wst.Segments)},
+			gauge{"hpcfail_wal_syncs", "Fsyncs issued against the replication WAL (group commit amortizes: records >> syncs).", float64(wst.Syncs)},
 		)
 	}
 	if s.replicaStatus != nil && s.readOnly.Load() {

@@ -19,6 +19,11 @@ type metrics struct {
 	requests map[reqKey]uint64
 	latency  map[string]*histogram
 	apply    *histogram
+	// journalSync times each group-commit fsync; groupSize counts how
+	// many staged writes each fsync covered. Their ratio is the
+	// amortization the group committer is buying.
+	journalSync *histogram
+	groupSize   *histogram
 }
 
 type reqKey struct {
@@ -84,6 +89,15 @@ var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
 // rebuild cost (milliseconds) must move visibly across buckets.
 var applyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
 
+// syncBuckets bound the journal-fsync duration histogram: ~100µs on a
+// local SSD, up toward seconds on a struggling device.
+var syncBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1}
+
+// groupBuckets bound the group-size histogram — powers of two because
+// the interesting signal is order of magnitude: 1 means no concurrency
+// to amortize, 16+ means the committer is earning its keep.
+var groupBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 type histogram struct {
 	counts []uint64 // one per bucket plus a final +Inf slot
 	sum    float64
@@ -92,10 +106,12 @@ type histogram struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		counters: make(map[string]uint64),
-		requests: make(map[reqKey]uint64),
-		latency:  make(map[string]*histogram),
-		apply:    &histogram{counts: make([]uint64, len(applyBuckets)+1)},
+		counters:    make(map[string]uint64),
+		requests:    make(map[reqKey]uint64),
+		latency:     make(map[string]*histogram),
+		apply:       &histogram{counts: make([]uint64, len(applyBuckets)+1)},
+		journalSync: &histogram{counts: make([]uint64, len(syncBuckets)+1)},
+		groupSize:   &histogram{counts: make([]uint64, len(groupBuckets)+1)},
 	}
 }
 
@@ -139,6 +155,35 @@ func (m *metrics) observeApply(d time.Duration) {
 	m.apply.counts[i]++
 	m.apply.sum += sec
 	m.apply.total++
+}
+
+// observeSync records one group-commit fsync duration.
+func (m *metrics) observeSync(d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := 0
+	for i < len(syncBuckets) && sec > syncBuckets[i] {
+		i++
+	}
+	m.journalSync.counts[i]++
+	m.journalSync.sum += sec
+	m.journalSync.total++
+}
+
+// observeGroup records how many staged writes one durable group (one
+// fsync) covered.
+func (m *metrics) observeGroup(n int) {
+	v := float64(n)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := 0
+	for i < len(groupBuckets) && v > groupBuckets[i] {
+		i++
+	}
+	m.groupSize.counts[i]++
+	m.groupSize.sum += v
+	m.groupSize.total++
 }
 
 // gauge is a scrape-time measurement supplied by the server.
@@ -211,6 +256,30 @@ func (m *metrics) write(w io.Writer, gauges []gauge) {
 	fmt.Fprintf(w, "hpcfail_snapshot_apply_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "hpcfail_snapshot_apply_seconds_sum %g\n", m.apply.sum)
 	fmt.Fprintf(w, "hpcfail_snapshot_apply_seconds_count %d\n", m.apply.total)
+
+	fmt.Fprintf(w, "# HELP hpcfail_journal_sync_seconds Replication-journal fsync duration per group commit.\n")
+	fmt.Fprintf(w, "# TYPE hpcfail_journal_sync_seconds histogram\n")
+	cum = 0
+	for i, ub := range syncBuckets {
+		cum += m.journalSync.counts[i]
+		fmt.Fprintf(w, "hpcfail_journal_sync_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.journalSync.counts[len(syncBuckets)]
+	fmt.Fprintf(w, "hpcfail_journal_sync_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "hpcfail_journal_sync_seconds_sum %g\n", m.journalSync.sum)
+	fmt.Fprintf(w, "hpcfail_journal_sync_seconds_count %d\n", m.journalSync.total)
+
+	fmt.Fprintf(w, "# HELP hpcfail_journal_group_size Writes covered by one group-commit fsync.\n")
+	fmt.Fprintf(w, "# TYPE hpcfail_journal_group_size histogram\n")
+	cum = 0
+	for i, ub := range groupBuckets {
+		cum += m.groupSize.counts[i]
+		fmt.Fprintf(w, "hpcfail_journal_group_size_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.groupSize.counts[len(groupBuckets)]
+	fmt.Fprintf(w, "hpcfail_journal_group_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "hpcfail_journal_group_size_sum %g\n", m.groupSize.sum)
+	fmt.Fprintf(w, "hpcfail_journal_group_size_count %d\n", m.groupSize.total)
 
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)

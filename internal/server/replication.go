@@ -86,29 +86,36 @@ func (s *Server) OpenReplicationLog() error {
 			return werr
 		}
 	}
+	// Replay runs before s.repl is installed, so foldEntry commits the
+	// entries without re-journaling them — they are already the log.
 	if err := l.Replay(func(payload []byte) error {
 		e, derr := replica.DecodeEntry(payload)
 		if derr != nil {
 			return derr
 		}
-		return s.foldEntry(e, false)
+		return s.foldEntry(e)
 	}); err != nil {
 		l.Close()
 		return fmt.Errorf("server: replaying replication log: %w", err)
 	}
-	s.mu.Lock()
+	s.stageMu.Lock()
 	s.repl = l
-	s.mu.Unlock()
+	s.stageMu.Unlock()
 	return nil
 }
 
 // CloseReplication seals and closes the replication WAL. Call after the
 // HTTP server has drained.
 func (s *Server) CloseReplication() error {
-	s.mu.Lock()
+	// Holding the leader slot excludes a leader mid-append; with it held
+	// no group is touching the handle, and clearing s.repl under stageMu
+	// makes any later leader see replication as off.
+	s.commitSem <- struct{}{}
+	s.stageMu.Lock()
 	l := s.repl
 	s.repl = nil
-	s.mu.Unlock()
+	s.stageMu.Unlock()
+	<-s.commitSem
 	if l == nil {
 		return nil
 	}
@@ -117,9 +124,7 @@ func (s *Server) CloseReplication() error {
 
 // Epoch returns the server's current fencing epoch.
 func (s *Server) Epoch() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.epoch
+	return s.epoch.Load()
 }
 
 // SeedWatermark returns the watermark the bootstrap seed covered (1
@@ -152,13 +157,15 @@ func (s *Server) SetReplicaStatus(fn func() replica.Status) { s.replicaStatus = 
 // entry is re-journaled into this node's own WAL, so a promoted replica
 // can itself crash-restart and serve /v1/wal to its own replicas.
 func (s *Server) Apply(e replica.Entry) error {
-	return s.foldEntry(e, true)
+	return s.foldEntry(e)
 }
 
-// foldEntry parses and commits one entry. journal re-appends the entry
-// to the local WAL (Apply path); replay from that same WAL passes
-// false.
-func (s *Server) foldEntry(e replica.Entry, journal bool) error {
+// foldEntry parses one entry and pushes it through the group committer:
+// stage (fence/sequence validation, watermark bookkeeping, WAL payload)
+// then commit. When s.repl is open the entry is re-journaled as part of
+// its group's single fsync; during replay s.repl is still nil, so the
+// same path commits without journaling.
+func (s *Server) foldEntry(e replica.Entry) error {
 	var all []events.Record
 	var sreps []logparse.StreamReport
 	quarantined := 0
@@ -173,106 +180,34 @@ func (s *Server) foldEntry(e replica.Entry, journal bool) error {
 		quarantined += srep.Quarantined
 	}
 
-	s.mu.Lock()
-	if e.Epoch < s.epoch {
-		s.mu.Unlock()
-		s.metrics.add(mReplFenced, 1)
-		return fmt.Errorf("%w: entry epoch %d, server epoch %d", ErrFenced, e.Epoch, s.epoch)
-	}
-	if e.Watermark <= s.watermark {
-		// Duplicate on resume; adopt a newer epoch (promotion markers
-		// reuse the current watermark for exactly this). A marker that
-		// advances our epoch is journaled locally too, so the promotion
-		// survives this node's own crash-restart.
-		if e.Epoch > s.epoch {
-			s.epoch = e.Epoch
-			if journal && s.repl != nil {
-				if err := s.journalLocked(replica.Entry{Epoch: e.Epoch, Watermark: s.watermark,
-					Batches: []replica.Batch{}}); err != nil {
-					s.mu.Unlock()
-					return err
-				}
-			}
-		}
-		s.mu.Unlock()
-		return nil
-	}
-	if e.Watermark != s.watermark+1 {
-		wm := s.watermark
-		s.mu.Unlock()
-		return fmt.Errorf("server: entry watermark %d does not follow %d: gap", e.Watermark, wm)
-	}
-	if journal && s.repl != nil {
-		if err := s.journalLocked(e); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-	}
-	s.pending = append(s.pending, all...)
-	s.recCount += len(all)
-	for _, srep := range sreps {
-		s.rep.MergeStream(srep)
-	}
-	s.watermark = e.Watermark
-	if e.Epoch > s.epoch {
-		s.epoch = e.Epoch
-	}
-	s.bumpLocked()
-	s.mu.Unlock()
-
-	s.watcher.FeedAll(all)
-	s.lastIngestWall.Store(time.Now().UnixNano())
-	s.metrics.add(mIngestBatch, uint64(len(e.Batches)))
-	s.metrics.add(mIngestRecs, uint64(len(all)))
-	s.metrics.add(mIngestQuar, uint64(quarantined))
-	s.metrics.add(mReplApplied, 1)
-	return nil
-}
-
-// journalLocked appends one entry to the replication WAL and makes it
-// durable. Caller holds s.mu.
-//
-// A failure from Append or Sync fail-stops the writer role: the WAL
-// tail is now unverified (Append may have half-written a frame, or a
-// fully written frame may never have reached stable storage), and
-// journaling another entry at the same watermark behind it would hand
-// replay — and every tailing replica — a history the primary never
-// acknowledged. Once latched, every journal write is refused until a
-// restart re-opens the log, which re-scans and truncates the tail.
-func (s *Server) journalLocked(e replica.Entry) error {
-	if s.replBroken {
-		return fmt.Errorf("%w: an earlier write left the WAL tail unverified; writes are fail-stopped until restart", ErrJournal)
-	}
-	data, err := replica.EncodeEntry(e)
+	st, err := s.stageEntry(e, all, sreps, quarantined)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrJournal, err)
+		return err
 	}
-	if err := s.repl.Append(data); err != nil {
-		s.replBroken = true
-		return fmt.Errorf("%w: %v", ErrJournal, err)
+	if st == nil {
+		return nil // duplicate needing no work
 	}
-	if err := s.repl.Sync(); err != nil {
-		s.replBroken = true
-		return fmt.Errorf("%w: %v", ErrJournal, err)
+	if err := s.commitStaged(st); err != nil {
+		return err
+	}
+	// Feed the watcher after the ack, off the leader's critical section.
+	// Replay and the tailer call foldEntry serially, so replica feeds
+	// stay in watermark order. A marker staged for a duplicate entry
+	// commits only the epoch; the duplicate's records were fed when the
+	// entry first applied.
+	if !st.marker {
+		s.watcher.FeedAll(all)
 	}
 	return nil
 }
 
 // JournalBroken reports whether a journal failure has fail-stopped the
-// writer role (see journalLocked); surfaced on /healthz so operators
+// writer role (see groupcommit.go); surfaced on /healthz so operators
 // know a restart is required before the node accepts writes again.
 func (s *Server) JournalBroken() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
 	return s.replBroken
-}
-
-// bumpLocked wakes every watermark waiter (min_watermark reads, /v1/wal
-// streamers). Caller holds s.mu and has already advanced the state the
-// waiters will re-read.
-func (s *Server) bumpLocked() {
-	close(s.wmCh)
-	s.wmCh = make(chan struct{})
 }
 
 // Promote makes this node the primary: it mints the next fencing epoch,
@@ -280,20 +215,43 @@ func (s *Server) bumpLocked() {
 // and reopens HTTP ingest. Entries still arriving from the deposed
 // primary's epoch are rejected from here on. Returns the new epoch and
 // the watermark the node serves from.
+//
+// The marker rides the group committer like any other write, so the
+// fsync that makes the promotion durable happens OUTSIDE every
+// read-serving lock — a slow disk during failover no longer stalls
+// /v1/diagnose or /healthz.
 func (s *Server) Promote() (epoch, watermark uint64, err error) {
-	s.mu.Lock()
-	s.epoch++
-	epoch = s.epoch
-	watermark = s.watermark
+	var st *staged
+	s.stageMu.Lock()
+	epoch = s.epoch.Load() + 1
+	s.epoch.Store(epoch)
+	watermark = s.stageWM
 	if s.repl != nil && watermark > 0 {
 		// The marker reuses the current watermark: replay and downstream
 		// tailers adopt its epoch through the duplicate path without
 		// perturbing watermark contiguity.
-		err = s.journalLocked(replica.Entry{Epoch: epoch, Watermark: watermark,
-			Batches: []replica.Batch{}})
+		if s.replBroken {
+			err = errJournalBroken()
+		} else {
+			me := replica.Entry{Epoch: epoch, Watermark: watermark, Batches: []replica.Batch{}}
+			buf, eerr := replica.AppendEntry(getEntryBuf(), me)
+			if eerr != nil {
+				err = fmt.Errorf("%w: %v", ErrJournal, eerr)
+			} else {
+				st = &staged{e: me, encoded: buf, marker: true, done: make(chan struct{})}
+				s.stageQ = append(s.stageQ, st)
+			}
+		}
 	}
-	s.bumpLocked()
-	s.mu.Unlock()
+	s.stageMu.Unlock()
+	if st != nil {
+		err = s.commitStaged(st)
+	}
+	if st == nil || err != nil {
+		// Wake waiters so streamers pick up the new epoch even when the
+		// marker was not (or could not be) journaled.
+		s.bump()
+	}
 	if err != nil {
 		// The in-memory epoch stays bumped — failing toward a higher
 		// epoch can fence spuriously but never lets a deposed writer in.
@@ -340,10 +298,7 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	s.mu.Lock()
-	enabled := s.repl != nil
-	s.mu.Unlock()
-	if !enabled {
+	if !s.replOpen() {
 		http.Error(w, "replication not enabled", http.StatusNotFound)
 		return
 	}
@@ -379,9 +334,7 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	s.mu.Lock()
-	hello := replica.Hello{Epoch: s.epoch, SeedWatermark: s.seedWM, Watermark: s.watermark}
-	s.mu.Unlock()
+	hello := replica.Hello{Epoch: s.epoch.Load(), SeedWatermark: s.SeedWatermark(), Watermark: s.watermark.Load()}
 	if !send(replica.Frame{Hello: &hello}) {
 		return
 	}
@@ -395,9 +348,7 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		// Grab the wake channel BEFORE draining the reader: an entry
 		// committed between our last Next and the select still closed
 		// this channel, so the wakeup cannot be missed.
-		s.mu.Lock()
-		ch := s.wmCh
-		s.mu.Unlock()
+		ch := s.wmWait()
 		for {
 			payload, err := tr.Next()
 			if err != nil || payload == nil {
@@ -428,9 +379,7 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-heartbeat.C:
-			s.mu.Lock()
-			hb := replica.Heartbeat{Epoch: s.epoch, Watermark: s.watermark}
-			s.mu.Unlock()
+			hb := replica.Heartbeat{Epoch: s.epoch.Load(), Watermark: s.watermark.Load()}
 			if !send(replica.Frame{Heartbeat: &hb}) {
 				return
 			}
@@ -454,10 +403,7 @@ func (s *Server) retryAfterSeconds() string {
 // replica parks off-slot instead of occupying every MaxInflight slot
 // for up to MaxWatermarkWait each and shedding unrelated traffic.
 func (s *Server) waitWatermark(w http.ResponseWriter, min uint64) bool {
-	s.mu.Lock()
-	reached := s.watermark >= min
-	s.mu.Unlock()
-	if reached {
+	if s.watermark.Load() >= min {
 		return true
 	}
 	<-s.sem // guard's deferred release needs the slot back: every path below reacquires
@@ -472,10 +418,10 @@ func (s *Server) waitWatermark(w http.ResponseWriter, min uint64) bool {
 func (s *Server) parkWatermark(w http.ResponseWriter, min uint64) bool {
 	deadline := time.Now().Add(s.cfg.MaxWatermarkWait)
 	for {
-		s.mu.Lock()
-		wm := s.watermark
-		ch := s.wmCh
-		s.mu.Unlock()
+		// Channel first, watermark second: a commit that advances past
+		// min after the load still closes the channel we park on.
+		ch := s.wmWait()
+		wm := s.watermark.Load()
 		if wm >= min {
 			return true
 		}

@@ -504,6 +504,30 @@ func TestParkedWatermarkReadsDontStarve(t *testing.T) {
 		t.Fatalf("read while a waiter parks = %d, want 200: %s", rec.Code, rec.Body.String())
 	}
 
+	// A second reader parks for a watermark an ingest is about to reach:
+	// the group committer's waiter bump must release it with the fresh
+	// data, while the first reader (waiting on watermark 99) stays parked.
+	released := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/diagnose?min_watermark=2", nil))
+		released <- rec
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := s.Ingest([]IngestBatch{{Stream: "console", Lines: []string{
+		"2015-03-03T08:00:00.000000Z c0-0c0s0n0 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rrec := <-released:
+		if rrec.Code != http.StatusOK {
+			t.Fatalf("read released by ingest = %d, want 200: %s", rrec.Code, rrec.Body.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingest did not release the parked min_watermark read")
+	}
+
 	s.BeginDrain()
 	select {
 	case prec := <-parked:

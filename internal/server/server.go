@@ -107,6 +107,12 @@ type Config struct {
 	// MaxWatermarkWait bounds how long a min_watermark read blocks for
 	// replication to catch up before 412 (default 2s).
 	MaxWatermarkWait time.Duration
+	// IngestGroupMax bounds how many staged writes one group commit may
+	// cover (0 = unbounded). Group commit amortizes one fsync over every
+	// write staged while the previous group was syncing; the bound caps
+	// ack-latency spread under extreme bursts at the cost of more
+	// fsyncs.
+	IngestGroupMax int
 	// SSEHeartbeat is the comment-ping cadence on /v1/alarms and the
 	// heartbeat-frame cadence on /v1/wal (default 15s).
 	SSEHeartbeat time.Duration
@@ -156,30 +162,63 @@ type Server struct {
 	// is being served.
 	sem chan struct{}
 
-	// mu guards the live corpus state: the pending (ingested but not yet
-	// applied) record deltas, the total record count, the aggregated
-	// ingest ledger, the watermark that versions them, and the memoized
-	// snapshot.
-	mu        sync.Mutex
-	pending   []events.Record
-	recCount  int
-	rep       *logstore.IngestReport
-	watermark uint64
-	snap      *snapshot
+	// mu guards the live corpus state: the pending (ingested but not
+	// yet applied) record deltas, the total record count, the
+	// aggregated ingest ledger, and the seed watermark. Only the commit
+	// leader and the snapshot applier take it — no read handler does.
+	mu       sync.Mutex
+	pending  []events.Record
+	recCount int
+	rep      *logstore.IngestReport
+	seedWM   uint64
 
-	// Replication state, also under mu: the journal the ingest path
-	// writes through (nil unless OpenReplicationLog ran), the fencing
-	// epoch, the watermark the bootstrap seed covered, and the broadcast
-	// channel closed-and-replaced on every watermark advance so
-	// min_watermark waiters and /v1/wal streamers wake without polling.
-	repl   *wal.Log
-	epoch  uint64
-	seedWM uint64
-	wmCh   chan struct{}
+	// watermark versions the corpus. Stores happen under mu (so an
+	// applier drains a consistent pending/watermark pair); loads are
+	// lock-free — the watermark is the single hottest read in the
+	// service (every query, waiter, heartbeat and scrape) and must
+	// never queue behind the write path.
+	watermark atomic.Uint64
+
+	// epoch is the fencing epoch: written under stageMu (New/Seed
+	// setup, Promote, stage-time adoption of a newer epoch), loaded
+	// lock-free.
+	epoch atomic.Uint64
+
+	// snapMu guards the memoized snapshot — its own lock, so queries
+	// checking the memo never contend with the ingest path.
+	snapMu sync.Mutex
+	snap   *snapshot
+
+	// Group-commit staging (see groupcommit.go). stageMu is the short
+	// lock: the staged-write queue, the last staged watermark, the
+	// journal handle and the fail-stop latch — held for pointer pushes
+	// and integer assignments, never across I/O. commitSem is the
+	// leader slot, a one-slot semaphore held across one group's
+	// append+fsync+commit. It is a channel, not a mutex, so a staged
+	// writer can select between "my group committed" and "I am the
+	// leader now" — a writer whose ack arrives while it waits leaves
+	// immediately instead of queuing for a lock it no longer needs.
+	// payloads is the leader's reusable AppendBatch argument scratch.
+	stageMu sync.Mutex
+	stageQ  []*staged
+	stageWM uint64
+	repl    *wal.Log
 	// replBroken latches after a journal Append/Sync failure: the WAL
 	// tail is unverified, so the writer role is fail-stopped (every
 	// later journal write refused) until a restart re-opens the log.
 	replBroken bool
+
+	commitSem chan struct{}
+	payloads  [][]byte
+	// testSyncHook, when set (tests only, before serving), replaces the
+	// leader's group Sync call to inject failures and stalls.
+	testSyncHook func() error
+
+	// wmMu guards the broadcast channel closed-and-replaced on every
+	// watermark advance so min_watermark waiters and /v1/wal streamers
+	// wake without polling.
+	wmMu sync.Mutex
+	wmCh chan struct{}
 
 	// eng is the incremental diagnosis pipeline holding the live corpus
 	// and per-detection state; engMu serialises ApplyBatch/Snapshot (the
@@ -245,16 +284,17 @@ type alarmEvent struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		rep:     &logstore.IngestReport{},
-		eng:     core.NewEngine(cfg.Pipeline),
-		cache:   newLRU(cfg.CacheEntries),
-		started: time.Now(),
-		epoch:   cfg.Epoch,
-		wmCh:    make(chan struct{}),
+		cfg:       cfg,
+		metrics:   newMetrics(),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		rep:       &logstore.IngestReport{},
+		eng:       core.NewEngine(cfg.Pipeline),
+		cache:     newLRU(cfg.CacheEntries),
+		started:   time.Now(),
+		wmCh:      make(chan struct{}),
+		commitSem: make(chan struct{}, 1),
 	}
+	s.epoch.Store(cfg.Epoch)
 	s.broker = newBroker(func() { s.metrics.add(mSSEDropped, 1) })
 	if cfg.EnableRemedy {
 		cluster := cfg.RemedyCluster
@@ -335,24 +375,30 @@ func (s *Server) Seed(store *logstore.Store, rep *logstore.IngestReport) {
 	s.mu.Lock()
 	s.recCount = len(recs)
 	s.rep = s.cloneRep(rep)
-	s.watermark = 1
 	s.seedWM = 1
-	s.snap = &snapshot{watermark: 1, store: res.Store, rep: s.cloneRep(rep), res: res}
-	s.bumpLocked()
+	s.watermark.Store(1)
 	s.mu.Unlock()
+	s.snapMu.Lock()
+	s.snap = &snapshot{watermark: 1, store: res.Store, rep: s.cloneRep(rep), res: res}
+	s.snapMu.Unlock()
+	s.stageMu.Lock()
+	s.stageWM = 1
+	s.stageMu.Unlock()
+	s.bump()
 	s.watcher.FeedAll(recs)
 }
 
 // Ingest parses and appends one request's batches: records enter the
 // corpus (visible to the next snapshot), the watcher consumes them in
 // arrival order, the ingest ledger accumulates the parse accounting,
-// and the watermark advances once for the whole request. With
-// replication enabled the request is journaled to the WAL *before* any
-// state changes — a journal failure (ErrJournal) leaves the watermark
-// untouched, so an acknowledged watermark is always durable, and
-// fail-stops the writer role: the WAL tail is unverified after a
-// failed write, so further ingests are refused until a restart
-// re-opens (re-scans and truncates) the log.
+// and the watermark advances once for the whole request. The write is
+// staged and group-committed (see groupcommit.go): with replication
+// enabled it is journaled — one Sync covering the whole group — and
+// made durable *before* any state changes, so an acknowledged
+// watermark is always durable; a journal failure (ErrJournal) leaves
+// the watermark untouched and fail-stops the writer role until a
+// restart re-opens (re-scans and truncates) the log. Concurrent
+// Ingest calls are safe and are exactly what amortizes the fsync.
 func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
 	var all []events.Record
 	var sreps []logparse.StreamReport
@@ -368,29 +414,19 @@ func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
 		quarantined += srep.Quarantined
 	}
 
-	s.mu.Lock()
-	wm := s.watermark + 1
-	if s.repl != nil {
-		if err := s.journalLocked(replica.Entry{Epoch: s.epoch, Watermark: wm, Batches: batches}); err != nil {
-			s.mu.Unlock()
-			return IngestResult{}, err
-		}
+	st, err := s.stageIngest(batches, all, sreps, quarantined)
+	if err != nil {
+		return IngestResult{}, err
 	}
-	s.pending = append(s.pending, all...)
-	s.recCount += len(all)
-	for _, srep := range sreps {
-		s.rep.MergeStream(srep)
+	if err := s.commitStaged(st); err != nil {
+		return IngestResult{}, err
 	}
-	s.watermark = wm
-	s.bumpLocked()
-	s.mu.Unlock()
-
+	// Feed the watcher on this goroutine, not the commit leader's: the
+	// watcher serializes on its own mutex and its reorder buffer absorbs
+	// interleaving between concurrent ingesters, exactly as it did when
+	// the serialized path fed outside the server lock.
 	s.watcher.FeedAll(all)
-	s.lastIngestWall.Store(time.Now().UnixNano())
-	s.metrics.add(mIngestBatch, uint64(len(batches)))
-	s.metrics.add(mIngestRecs, uint64(len(all)))
-	s.metrics.add(mIngestQuar, uint64(quarantined))
-	return IngestResult{Accepted: len(all), Quarantined: quarantined, Watermark: wm}, nil
+	return IngestResult{Accepted: len(all), Quarantined: quarantined, Watermark: st.e.Watermark}, nil
 }
 
 // IngestBatch is one stream's worth of raw log lines. It is the
@@ -412,10 +448,10 @@ type IngestResult struct {
 // cost proportional to the pending records, not the corpus — and no
 // client's cancellation aborts it for the rest.
 func (s *Server) snapshotNow() (*snapshot, error) {
-	s.mu.Lock()
-	wm := s.watermark
+	wm := s.watermark.Load()
+	s.snapMu.Lock()
 	memo := s.snap
-	s.mu.Unlock()
+	s.snapMu.Unlock()
 
 	if memo != nil && memo.watermark == wm && memo.res != nil {
 		return memo, nil
@@ -439,17 +475,22 @@ func (s *Server) applyPending(wm uint64) *snapshot {
 	s.engMu.Lock()
 	defer s.engMu.Unlock()
 
-	s.mu.Lock()
+	s.snapMu.Lock()
 	if memo := s.snap; memo != nil && memo.watermark >= wm && memo.res != nil {
 		// A concurrent applier already covered this watermark (or a later
 		// one — serving fresher than asked is fine, the cache keys on the
 		// snapshot's own watermark).
-		s.mu.Unlock()
+		s.snapMu.Unlock()
 		return memo
 	}
+	s.snapMu.Unlock()
+
+	s.mu.Lock()
 	delta := s.pending
 	s.pending = nil
-	curWM := s.watermark
+	// Loaded under mu, where the commit leader stores it: the watermark
+	// cannot run ahead of the drained pending deltas.
+	curWM := s.watermark.Load()
 	rep := s.cloneRep(s.rep)
 	s.mu.Unlock()
 
@@ -459,11 +500,11 @@ func (s *Server) applyPending(wm uint64) *snapshot {
 	s.metrics.observeApply(time.Since(start))
 
 	snap := &snapshot{watermark: curWM, store: res.Store, rep: rep, res: res}
-	s.mu.Lock()
+	s.snapMu.Lock()
 	if s.snap == nil || s.snap.watermark <= curWM {
 		s.snap = snap
 	}
-	s.mu.Unlock()
+	s.snapMu.Unlock()
 	return snap
 }
 
@@ -496,9 +537,7 @@ func (s *Server) Checkpoint() error {
 
 // Watermark returns the current ingest watermark.
 func (s *Server) Watermark() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.watermark
+	return s.watermark.Load()
 }
 
 // Records returns the live record count (applied plus pending).
@@ -521,12 +560,15 @@ func (s *Server) DiagnosedWatermark() uint64 {
 // difference — watermarks ingested but not yet applied — can't
 // underflow.
 func (s *Server) Staleness() (wm, diagnosed uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	wm = s.watermark
+	// Read the memo before the watermark: the memo can only lag, so
+	// reading it first keeps wm >= diagnosed even against a concurrent
+	// applier publishing a fresher snapshot.
+	s.snapMu.Lock()
 	if s.snap != nil && s.snap.res != nil {
 		diagnosed = s.snap.watermark
 	}
+	s.snapMu.Unlock()
+	wm = s.watermark.Load()
 	return wm, diagnosed
 }
 

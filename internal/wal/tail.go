@@ -36,18 +36,24 @@ type Stats struct {
 	Segments int    // segment files present
 	Bytes    int64  // total bytes across all segments
 	Records  int    // valid records (found at Open plus appended since)
+	Syncs    int    // fsyncs issued (group commit amortizes: records >> syncs)
 	End      Offset // offset just past the last appended record
 }
 
 // Stat reports the log's current extent. Bytes and Segments are read
 // from the directory so they cover sealed segments, not just the active
-// one. Callers serialise Stat against Append like every other method.
+// one. Unlike the log's other methods, Stat is safe to call
+// concurrently with the appending goroutine: the counters are read
+// under an internal mutex and the directory walk touches no shared
+// handle — so a metrics scrape never stalls behind a group fsync.
 func (l *Log) Stat() (Stats, error) {
 	segs, err := listSegments(l.dir)
 	if err != nil {
 		return Stats{}, err
 	}
-	st := Stats{Segments: len(segs), Records: l.records, End: Offset{Seg: l.segIdx, Byte: l.segSize}}
+	l.statMu.Lock()
+	st := Stats{Segments: len(segs), Records: l.records, Syncs: l.syncs, End: Offset{Seg: l.segIdx, Byte: l.segSize}}
+	l.statMu.Unlock()
 	for _, idx := range segs {
 		fi, err := os.Stat(filepath.Join(l.dir, segmentName(idx)))
 		if err != nil {
