@@ -50,6 +50,10 @@ import (
 //   - Fail-stop: a failed AppendBatch or Sync latches replBroken under
 //     stageMu; every entry in the failed group — and anything staged
 //     after it — is refused with ErrJournal and no watermark moves.
+//     Writes that staged DURING the failing I/O (stageMu is free across
+//     it, so they pass the stage-time check and are not members of the
+//     failed group) are caught by the next leader's drain-time re-check
+//     of the latch, before any append.
 //
 // Lock hierarchy (acquire strictly downward; every lock below the
 // commitSem leader slot is held only for short critical sections,
@@ -290,11 +294,34 @@ func (s *Server) runGroup() {
 	}
 	s.stageQ = s.stageQ[:rest]
 	l := s.repl
+	broken := s.replBroken
 	s.stageMu.Unlock()
+
+	if broken {
+		// Drain-time re-check of the fail-stop latch. These writers staged
+		// while an earlier leader's append/sync was still in flight (stageMu
+		// is free across I/O), so they passed the stage-time check and were
+		// not members of the failed group — its whole-group abort never
+		// settled them. Appending them now would park acked frames beyond an
+		// unverified (possibly torn, possibly never-synced) WAL tail, where
+		// a restart's replay truncation can silently drop them: that would
+		// break ack-implies-durable. Refuse the lot without touching the WAL.
+		gerr := errJournalBroken()
+		for _, st := range group {
+			putEntryBuf(st.encoded)
+			st.encoded = nil
+			st.err = gerr
+			close(st.done)
+		}
+		return
+	}
 
 	if l != nil {
 		s.payloads = s.payloads[:0]
 		for _, st := range group {
+			// encoded is never nil here: once s.repl is open every stage
+			// encodes, and OpenReplicationLog refuses to install the journal
+			// over a non-empty stage queue.
 			s.payloads = append(s.payloads, st.encoded)
 		}
 		err := l.AppendBatch(s.payloads...)

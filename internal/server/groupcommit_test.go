@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -230,6 +231,89 @@ func TestGroupAbortFailsWholeGroup(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestWritersStagedDuringFailingSyncAborted covers the writers the
+// whole-group abort does NOT settle: ones that staged while the failing
+// group's fsync was in flight. stageMu is free across the leader's I/O,
+// so they pass the stage-time replBroken check (the latch is not set
+// yet) and are not members of the failing group. The next leader must
+// refuse them at drain time WITHOUT appending — journaling them onto
+// the unverified WAL tail and acking would let a restart's replay
+// truncation silently drop acked watermarks.
+func TestWritersStagedDuringFailingSyncAborted(t *testing.T) {
+	store, rep := loadFixture(t)
+	s := newReplNode(t, store, rep, Config{ReplicationDir: t.TempDir(), ReplicationSync: true})
+	defer s.CloseReplication()
+	if _, err := s.Ingest(ingestLine); err != nil {
+		t.Fatal(err)
+	}
+	wm := s.Watermark()
+
+	syncing := make(chan struct{})
+	release := make(chan struct{})
+	var hookCalls atomic.Int32
+	s.testSyncHook = func() error {
+		if hookCalls.Add(1) == 1 {
+			close(syncing)
+			<-release
+		}
+		return errors.New("injected fsync failure")
+	}
+
+	// The first writer becomes leader and parks inside its failing sync.
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Ingest(ingestLine)
+		first <- err
+	}()
+	select {
+	case <-syncing:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached the failing sync")
+	}
+
+	// These stage while that sync is failing: not members of the failing
+	// group, and the fail-stop latch is not set yet.
+	const n = 3
+	late := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := s.Ingest(ingestLine)
+			late <- err
+		}()
+	}
+	waitStaged(t, s, n)
+	close(release)
+
+	if err := <-first; !errors.Is(err, ErrJournal) {
+		t.Fatalf("failing-group member error = %v, want ErrJournal", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-late; !errors.Is(err, ErrJournal) {
+			t.Fatalf("late-staged writer error = %v, want ErrJournal", err)
+		}
+	}
+	if got := s.Watermark(); got != wm {
+		t.Fatalf("watermark advanced to %d on refused writes (was %d)", got, wm)
+	}
+	if !s.JournalBroken() {
+		t.Fatal("fail-stop not latched")
+	}
+	// The late writers were refused before any WAL traffic: the journal
+	// holds the warmup record plus the failing group's append (its sync
+	// failed after the append landed), and the injected sync ran exactly
+	// once — the late group never reached AppendBatch or Sync.
+	wst, err := s.replHandle().Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.Records != 2 {
+		t.Fatalf("journal records = %d, want 2 (warmup + failing group; late writers must not be appended)", wst.Records)
+	}
+	if got := hookCalls.Load(); got != 1 {
+		t.Fatalf("sync attempted %d times, want 1 (the late group must not reach Sync)", got)
 	}
 }
 

@@ -99,6 +99,15 @@ func (s *Server) OpenReplicationLog() error {
 		return fmt.Errorf("server: replaying replication log: %w", err)
 	}
 	s.stageMu.Lock()
+	if n := len(s.stageQ); n != 0 {
+		// A write staged while s.repl was nil carries no encoded payload;
+		// letting it drain after the journal opens would append a
+		// zero-length frame that bricks the next replay. Unreachable when
+		// the documented call order (open before serving) is respected.
+		s.stageMu.Unlock()
+		l.Close()
+		return fmt.Errorf("server: %d writes staged before the replication log opened — OpenReplicationLog must run before serving", n)
+	}
 	s.repl = l
 	s.stageMu.Unlock()
 	return nil
@@ -214,7 +223,9 @@ func (s *Server) JournalBroken() bool {
 // journals an epoch marker so the promotion survives a crash-restart,
 // and reopens HTTP ingest. Entries still arriving from the deposed
 // primary's epoch are rejected from here on. Returns the new epoch and
-// the watermark the node serves from.
+// the COMMITTED watermark the node serves from — with writes still in
+// flight during the promotion, the highest staged watermark may not be
+// durable or acked yet, so it is never reported.
 //
 // The marker rides the group committer like any other write, so the
 // fsync that makes the promotion durable happens OUTSIDE every
@@ -225,15 +236,17 @@ func (s *Server) Promote() (epoch, watermark uint64, err error) {
 	s.stageMu.Lock()
 	epoch = s.epoch.Load() + 1
 	s.epoch.Store(epoch)
-	watermark = s.stageWM
-	if s.repl != nil && watermark > 0 {
-		// The marker reuses the current watermark: replay and downstream
-		// tailers adopt its epoch through the duplicate path without
-		// perturbing watermark contiguity.
+	// The marker reuses the highest STAGED watermark (not the committed
+	// one): replay and downstream tailers adopt its epoch through the
+	// duplicate path without perturbing watermark contiguity, and staged
+	// writes ahead of the marker commit before it in the same or an
+	// earlier group.
+	markerWM := s.stageWM
+	if s.repl != nil && markerWM > 0 {
 		if s.replBroken {
 			err = errJournalBroken()
 		} else {
-			me := replica.Entry{Epoch: epoch, Watermark: watermark, Batches: []replica.Batch{}}
+			me := replica.Entry{Epoch: epoch, Watermark: markerWM, Batches: []replica.Batch{}}
 			buf, eerr := replica.AppendEntry(getEntryBuf(), me)
 			if eerr != nil {
 				err = fmt.Errorf("%w: %v", ErrJournal, eerr)
@@ -258,7 +271,22 @@ func (s *Server) Promote() (epoch, watermark uint64, err error) {
 		return 0, 0, fmt.Errorf("server: journaling promotion: %w", err)
 	}
 	s.readOnly.Store(false)
-	return epoch, watermark, nil
+	return epoch, s.watermark.Load(), nil
+}
+
+// epochWatermark returns an (epoch, watermark) pair that actually
+// coexisted. Epochs are monotonic, so if the epoch reads the same
+// before and after the watermark load, that watermark was committed
+// at (or before) that epoch — two independent loads could otherwise
+// pair a pre-promotion watermark with a post-promotion epoch.
+func (s *Server) epochWatermark() (epoch, wm uint64) {
+	for {
+		epoch = s.epoch.Load()
+		wm = s.watermark.Load()
+		if s.epoch.Load() == epoch {
+			return epoch, wm
+		}
+	}
 }
 
 // handlePromote serves POST /v1/promote — the replicactl promote
@@ -334,7 +362,8 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	hello := replica.Hello{Epoch: s.epoch.Load(), SeedWatermark: s.SeedWatermark(), Watermark: s.watermark.Load()}
+	hepoch, hwm := s.epochWatermark()
+	hello := replica.Hello{Epoch: hepoch, SeedWatermark: s.SeedWatermark(), Watermark: hwm}
 	if !send(replica.Frame{Hello: &hello}) {
 		return
 	}
@@ -379,7 +408,8 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-heartbeat.C:
-			hb := replica.Heartbeat{Epoch: s.epoch.Load(), Watermark: s.watermark.Load()}
+			hbEpoch, hbWM := s.epochWatermark()
+			hb := replica.Heartbeat{Epoch: hbEpoch, Watermark: hbWM}
 			if !send(replica.Frame{Heartbeat: &hb}) {
 				return
 			}
