@@ -13,6 +13,14 @@
 // chunk boundary (partial ingest ledger on stderr, non-zero exit).
 // A later invocation with -resume picks up from the last checkpoint and
 // produces output identical to an uninterrupted run.
+//
+// -mine appends a template-mining section: the lines the static
+// profiles rejected (quarantined or unclassified), clustered online
+// into templates with promoted candidate signatures starred. The
+// report above the section stays byte-identical to a run without it.
+// -mined-profile loads a profile previously exported by cmd/minectl or
+// GET /v1/templates?format=profile and reclaims the quarantined lines
+// it covers as classified records (sequential loader only).
 package main
 
 import (
@@ -41,6 +49,8 @@ type options struct {
 	shards  int
 	wal     string
 	resume  bool
+	mine    bool
+	profile string
 }
 
 func main() {
@@ -60,6 +70,8 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 0, "store shard count (0 = default)")
 	flag.StringVar(&o.wal, "wal", "", "checkpoint-journal directory (implies -stream; makes the load resumable)")
 	flag.BoolVar(&o.resume, "resume", false, "resume an interrupted load from the -wal journal")
+	flag.BoolVar(&o.mine, "mine", false, "append a mined-template report over quarantined/unclassified lines")
+	flag.StringVar(&o.profile, "mined-profile", "", "mined profile JSON; reclaims quarantined lines it classifies (sequential loader only)")
 	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.BoolVar(&showVer, "version", false, "print build version and exit")
@@ -101,6 +113,9 @@ func load(ctx context.Context, o options, st topology.SchedulerType) (*hpcfail.S
 	if o.resume && o.wal == "" {
 		return nil, nil, nil, fmt.Errorf("-resume requires -wal (the journal to resume from)")
 	}
+	if o.profile != "" && (o.stream || o.wal != "") {
+		return nil, nil, nil, fmt.Errorf("-mined-profile requires the sequential loader (drop -stream/-wal)")
+	}
 	if o.stream || o.wal != "" {
 		sopts := hpcfail.StreamOptions{Workers: o.workers, Shards: o.shards}
 		if o.wal != "" {
@@ -127,11 +142,39 @@ func load(ctx context.Context, o options, st topology.SchedulerType) (*hpcfail.S
 		res := hpcfail.DiagnoseShardedReport(ss, rep, o.workers)
 		return res.Store, rep, res, nil
 	}
-	store, rep, err := hpcfail.LoadLogsReport(o.logs, st)
+	var mc hpcfail.MinedClassifier
+	if o.profile != "" {
+		data, err := os.ReadFile(o.profile)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("read -mined-profile: %w", err)
+		}
+		p, err := hpcfail.DecodeMinedProfile(data)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("decode -mined-profile: %w", err)
+		}
+		mc = hpcfail.NewMinedMatcher(p)
+	}
+	store, rep, err := hpcfail.LoadLogsReportMined(o.logs, st, mc)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	return store, rep, hpcfail.Diagnose(store), nil
+}
+
+// mineCorpus clusters everything the load could not classify — the full
+// quarantine stream of every file plus records no static pattern
+// matched — and returns the miner for rendering.
+func mineCorpus(store *hpcfail.Store, rep *hpcfail.IngestReport) *hpcfail.TemplateMiner {
+	m := hpcfail.NewMiner(hpcfail.MinerConfig{})
+	for i := range rep.Streams {
+		rep.Streams[i].EachQuarantined(m.Ingest)
+	}
+	for _, r := range store.All() {
+		if r.Category == "unclassified" && r.Msg != "" {
+			m.Ingest(r.Msg)
+		}
+	}
+	return m
 }
 
 // resumeHint is the guidance printed after an interrupted load.
@@ -173,5 +216,13 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		return err
 	}
 	render.Warnings(stderr, rep.Warnings(), 5)
-	return render.Diagnose(stdout, o.logs, store, rep, res, o.full)
+	if err := render.Diagnose(stdout, o.logs, store, rep, res, o.full); err != nil {
+		return err
+	}
+	if o.mine {
+		m := mineCorpus(store, rep)
+		views, _ := m.TemplatesSince(0, 0)
+		render.MinedTemplates(stdout, m.Stats(), views)
+	}
+	return nil
 }

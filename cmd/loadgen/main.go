@@ -62,6 +62,7 @@ type options struct {
 	replicas   string
 	zipfS      float64
 	ingestConc int
+	garbleFrac float64
 }
 
 func main() {
@@ -77,6 +78,7 @@ func main() {
 	flag.StringVar(&o.replicas, "replicas", "", "comma-separated replica base URLs; reads spread over primary+replicas")
 	flag.Float64Var(&o.zipfS, "zipf", 1.3, "zipf skew for the read-target pick (> 1; higher = hotter primary)")
 	flag.IntVar(&o.ingestConc, "ingest-concurrency", 0, "closed-loop durable-ingest writers hammering POST /v1/ingest back-to-back for the whole run (0 = off); reports acks/s and the ack-latency histogram — the client-side view of group-commit fsync amortization")
+	flag.Float64Var(&o.garbleFrac, "garble-frac", 0, "fraction of ingest lines replaced by unknown-daemon lines the server quarantines (exercises serve -mine; seeded, deterministic)")
 	showVer := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *showVer {
@@ -264,20 +266,42 @@ var diagnoseQueries = []string{
 }
 
 // ingestBody builds one synthetic console batch. Lines advance a shared
-// virtual clock so the corpus keeps growing in time order.
-func ingestBody(clock *atomic.Int64, batch int) []byte {
+// virtual clock so the corpus keeps growing in time order. garbleFrac
+// of the lines come from a daemon no static profile knows ("opensmd" on
+// a non-cname component), which the server quarantines — the feedstock
+// for serve -mine. The choice hashes (seed, virtual second), so the
+// injected mix is deterministic for a seed even with concurrent
+// writers.
+func ingestBody(clock *atomic.Int64, batch int, garbleFrac float64, seed int64) []byte {
 	var buf bytes.Buffer
 	buf.WriteString(`{"batches":[{"stream":"console","lines":[`)
 	for i := 0; i < batch; i++ {
-		t := time.Unix(clock.Add(1), 0).UTC()
+		sec := clock.Add(1)
+		t := time.Unix(sec, 0).UTC()
 		if i > 0 {
 			buf.WriteByte(',')
+		}
+		if garbleFrac > 0 && float64(mix64(uint64(sec)^uint64(seed))%1000)/1000 < garbleFrac {
+			fmt.Fprintf(&buf, `"%s ib%d opensmd: SUBNET SWEEP complete: %d nodes in %d ms"`,
+				t.Format("2006-01-02T15:04:05.000000Z"), sec%2, 1500+sec%200, 300+sec%500)
+			continue
 		}
 		fmt.Fprintf(&buf, `"%s c0-0c0s%dn%d kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)"`,
 			t.Format("2006-01-02T15:04:05.000000Z"), i%16, i%4)
 	}
 	buf.WriteString(`]}]}`)
 	return buf.Bytes()
+}
+
+// mix64 is splitmix64's finalizer — a cheap, stateless hash good enough
+// to turn (seed, second) into an unbiased garble decision.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // stalenessDist accumulates observed read staleness in watermarks: the
@@ -445,7 +469,7 @@ func run(o options, stdout io.Writer) error {
 		go func() {
 			defer loopWG.Done()
 			for time.Now().Before(deadline) {
-				body := ingestBody(&clock, o.batch)
+				body := ingestBody(&clock, o.batch, o.garbleFrac, o.seed)
 				start := time.Now()
 				resp, err := client.Post(o.url+"/v1/ingest", "application/json", bytes.NewReader(body))
 				if err != nil {
@@ -489,7 +513,7 @@ func run(o options, stdout io.Writer) error {
 		wg.Add(1)
 		if rng.Float64() < o.mix {
 			launchedIng++
-			go fire(http.MethodPost, o.url+"/v1/ingest", ingestBody(&clock, o.batch), ing, perTarget[o.url])
+			go fire(http.MethodPost, o.url+"/v1/ingest", ingestBody(&clock, o.batch, o.garbleFrac, o.seed), ing, perTarget[o.url])
 		} else {
 			launchedDiag++
 			qi++
@@ -522,6 +546,7 @@ func run(o options, stdout io.Writer) error {
 		DurationSec float64               `json:"duration_sec"`
 		Mix         float64               `json:"ingest_mix"`
 		Batch       int                   `json:"batch_lines"`
+		GarbleFrac  float64               `json:"garble_frac,omitempty"`
 		Seed        int64                 `json:"seed"`
 		Saturated   int                   `json:"saturated_launches"`
 		Diagnose    kindReport            `json:"diagnose"`
@@ -532,7 +557,7 @@ func run(o options, stdout io.Writer) error {
 	}{
 		URL: o.url, Replicas: targets[1:], ZipfS: o.zipfS, QPS: o.qps, Clients: o.clients,
 		DurationSec: o.duration.Seconds(),
-		Mix:         o.mix, Batch: o.batch, Seed: o.seed, Saturated: saturated,
+		Mix:         o.mix, Batch: o.batch, GarbleFrac: o.garbleFrac, Seed: o.seed, Saturated: saturated,
 		Diagnose: diag.report(launchedDiag), Ingest: ing.report(launchedIng),
 		ClosedLoop: loopReport,
 		PerTarget:  perTargetReport, Staleness: staleness.report(),

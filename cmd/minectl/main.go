@@ -1,0 +1,155 @@
+// Command minectl mines, merges and inspects log-template profiles —
+// the bootstrap path for systems whose daemons have no static parsing
+// profile yet.
+//
+//	minectl mine -logs ./logs [-scheduler slurm] [-min-count 2] [-o profile.json]
+//	minectl merge -o merged.json a.json b.json ...
+//	minectl show profile.json
+//
+// mine loads a corpus the same way cmd/diagnose does, feeds every line
+// the static profiles rejected (quarantined or unclassified) through
+// the online template miner, and writes the canonical bootstrap
+// profile. The profile is deterministic for a given corpus: mining the
+// same directory twice — or the same lines in any order — produces the
+// same JSON. merge canonically combines profiles mined from separate
+// corpora (or exported from running servers via GET
+// /v1/templates?format=profile). show prints a profile's templates
+// with counts and examples.
+//
+// A mined profile feeds back into the pipeline with
+// `diagnose -mined-profile profile.json`, which reclaims the
+// quarantined lines the profile classifies as structured records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcfail"
+	"hpcfail/internal/topology"
+	"hpcfail/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	if len(args) == 0 {
+		return fmt.Errorf("want a command: mine, merge or show")
+	}
+	switch args[0] {
+	case "mine":
+		return mine(args[1:], stdout)
+	case "merge":
+		return merge(args[1:], stdout)
+	case "show":
+		return show(args[1:], stdout)
+	case "-version", "--version", "version":
+		version.Print(stdout, "minectl")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want mine, merge or show)", args[0])
+	}
+}
+
+// writeProfile encodes p to path, or stdout when path is empty.
+func writeProfile(p hpcfail.MinedProfile, path string, stdout *os.File) error {
+	data, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		_, err = stdout.Write(append(data, '\n'))
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readProfile(path string) (hpcfail.MinedProfile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return hpcfail.MinedProfile{}, err
+	}
+	p, err := hpcfail.DecodeMinedProfile(data)
+	if err != nil {
+		return hpcfail.MinedProfile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+func mine(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("minectl mine", flag.ContinueOnError)
+	logs := fs.String("logs", "logs", "log directory")
+	sched := fs.String("scheduler", "slurm", "scheduler dialect: slurm or torque")
+	minCount := fs.Uint64("min-count", 2, "drop templates seen fewer times than this")
+	maxTemplates := fs.Int("max-templates", 0, "miner memory budget in live templates (0 = default)")
+	out := fs.String("o", "", "output file (empty = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st := topology.SchedulerSlurm
+	if *sched == "torque" {
+		st = topology.SchedulerTorque
+	}
+	store, rep, err := hpcfail.LoadLogsReport(*logs, st)
+	if err != nil {
+		return err
+	}
+	m := hpcfail.NewMiner(hpcfail.MinerConfig{MaxTemplates: *maxTemplates})
+	for i := range rep.Streams {
+		rep.Streams[i].EachQuarantined(m.Ingest)
+	}
+	for _, r := range store.All() {
+		if r.Category == "unclassified" && r.Msg != "" {
+			m.Ingest(r.Msg)
+		}
+	}
+	stats := m.Stats()
+	fmt.Fprintf(os.Stderr, "mined %d lines into %d templates (%d promoted, %d evicted)\n",
+		stats.LinesMined, stats.TemplatesLive, stats.Promoted, stats.Evicted)
+	return writeProfile(m.Export(*minCount), *out, stdout)
+}
+
+func merge(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("minectl merge", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (empty = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge: want at least one profile file")
+	}
+	ps := make([]hpcfail.MinedProfile, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		p, err := readProfile(path)
+		if err != nil {
+			return err
+		}
+		ps = append(ps, p)
+	}
+	return writeProfile(hpcfail.MergeMinedProfiles(ps...), *out, stdout)
+}
+
+func show(args []string, stdout *os.File) error {
+	if len(args) != 1 {
+		return fmt.Errorf("show: want exactly one profile file")
+	}
+	p, err := readProfile(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "profile v%d: %d templates (token limit %d, byte limit %d)\n",
+		p.Version, len(p.Templates), p.TokenLimit, p.ByteLimit)
+	for _, t := range p.Templates {
+		fmt.Fprintf(stdout, "  %6d  %-32s %s\n", t.Count, t.Category, t.Template)
+		for _, ex := range t.Examples {
+			fmt.Fprintf(stdout, "          e.g. %s\n", ex)
+		}
+	}
+	return nil
+}

@@ -16,6 +16,9 @@
 //	POST /v1/promote    mint the next fencing epoch and accept writes
 //	GET  /v1/remediations  remediation ticket ledger (?since=<id>); POST
 //	                    {"kill":true|false} toggles the global kill switch
+//	GET  /v1/templates  live mined-template table (?since=<seq>, ?limit=N)
+//	                    or, with ?format=profile, the canonical bootstrap
+//	                    profile; requires -mine
 //	GET  /healthz       liveness (503 while draining)
 //	GET  /metrics       Prometheus text exposition
 //	     /debug/pprof   the usual suspects
@@ -91,6 +94,8 @@ type options struct {
 	queryTimeout time.Duration
 	drainTimeout time.Duration
 	remedy       bool
+	mine         bool
+	mineMax      int
 
 	replWAL        string
 	replSync       bool
@@ -119,6 +124,8 @@ func main() {
 	flag.DurationVar(&o.queryTimeout, "query-timeout", 30*time.Second, "per-diagnosis compute budget")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "shutdown grace for in-flight requests")
 	flag.BoolVar(&o.remedy, "remedy", false, "enable the closed-loop remediation engine (/v1/remediations)")
+	flag.BoolVar(&o.mine, "mine", false, "mine templates from quarantined/unclassified lines (/v1/templates, candidate SSE events)")
+	flag.IntVar(&o.mineMax, "mine-max-templates", 0, "miner memory budget in live templates (0 = default)")
 	flag.StringVar(&o.replWAL, "repl-wal", "", "replication WAL directory (journals ingests, serves /v1/wal, replays on restart)")
 	flag.BoolVar(&o.replSync, "repl-sync", false, "fsync the replication WAL on every entry")
 	flag.IntVar(&o.ingestGroupMax, "ingest-group-max", 0, "max writes one group commit's fsync may cover (0 = unbounded); lower caps ack-latency spread under bursts at the cost of more fsyncs")
@@ -209,6 +216,8 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		CacheEntries:     o.cacheEntries,
 		CheckpointPath:   o.checkpoint,
 		EnableRemedy:     o.remedy,
+		EnableMiner:      o.mine,
+		Miner:            hpcfail.MinerConfig{MaxTemplates: o.mineMax},
 		ReplicationDir:   o.replWAL,
 		ReplicationSync:  o.replSync,
 		IngestGroupMax:   o.ingestGroupMax,

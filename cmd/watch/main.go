@@ -53,6 +53,7 @@ type options struct {
 	checkpoint string
 	every      time.Duration
 	resume     bool
+	mine       bool
 }
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "watcher snapshot file, written every -every and on shutdown")
 	flag.DurationVar(&o.every, "every", time.Minute, "checkpoint interval for -checkpoint")
 	flag.BoolVar(&o.resume, "resume", false, "resume: replay the -wal journal and restore the -checkpoint snapshot")
+	flag.BoolVar(&o.mine, "mine", false, "mine templates from quarantined/unclassified lines; print CANDIDATE promotions and a summary")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	showVer := flag.Bool("version", false, "print build version and exit")
@@ -177,6 +179,25 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout)
 	})
 	w.ReorderWindow = o.reorder
+
+	// -mine: quarantined lines never became records, so they are fed
+	// once up front; unclassified records join the miner as the replay
+	// reaches them, which interleaves CANDIDATE promotions with the
+	// alarm stream in replay order.
+	var m *hpcfail.TemplateMiner
+	if o.mine {
+		m = hpcfail.NewMiner(hpcfail.MinerConfig{})
+		m.OnPromote = func(c hpcfail.MinedCandidate) {
+			burst := ""
+			if c.Burst {
+				burst = " (burst)"
+			}
+			fmt.Fprintf(stdout, "CANDIDATE %-24s count=%d%s template=%q\n", c.Category, c.Count, burst, c.Template)
+		}
+		for i := range rep.Streams {
+			rep.Streams[i].EachQuarantined(m.Ingest)
+		}
+	}
 	if o.alarms {
 		w.OnAlarm = func(a core.Alarm) {
 			alarms++
@@ -235,6 +256,9 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 			default:
 			}
 		}
+		if m != nil && recs[i].Category == "unclassified" && recs[i].Msg != "" {
+			m.Ingest(recs[i].Msg)
+		}
 		w.Feed(recs[i])
 	}
 	w.Flush()
@@ -251,6 +275,10 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	if rep.Degraded() || len(rep.Missing) > 0 {
 		fmt.Fprintf(stdout, "degraded ingest: %d files skipped, %d streams missing, %d lines quarantined\n",
 			len(rep.Skipped), len(rep.Missing), rep.TotalQuarantined())
+	}
+	if m != nil {
+		views, _ := m.TemplatesSince(0, 0)
+		render.MinedTemplates(stdout, m.Stats(), views)
 	}
 	return nil
 }

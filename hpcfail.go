@@ -35,7 +35,9 @@ import (
 	"hpcfail/internal/events"
 	"hpcfail/internal/faults"
 	"hpcfail/internal/faultsim"
+	"hpcfail/internal/logparse"
 	"hpcfail/internal/logstore"
+	"hpcfail/internal/miner"
 	"hpcfail/internal/remedy"
 	"hpcfail/internal/server"
 	"hpcfail/internal/topology"
@@ -350,6 +352,62 @@ type (
 // NewServer constructs the online diagnosis service with an empty
 // corpus; Seed a bootstrap store, then serve its Handler.
 func NewServer(cfg ServeConfig) *DiagnosisServer { return server.New(cfg) }
+
+// Template-mining surface: online log-template discovery over the
+// lines the static profiles reject (quarantined or unclassified), the
+// bootstrap path for un-profiled systems. See internal/miner.
+type (
+	// MinerConfig tunes the online template miner (memory budget,
+	// promotion thresholds, token limits). The zero value selects
+	// sensible defaults.
+	MinerConfig = miner.Config
+	// TemplateMiner clusters unmatched log lines into templates online
+	// under a bounded memory budget and promotes recurring or bursting
+	// templates into candidate signatures.
+	TemplateMiner = miner.Miner
+	// MinerStats counts a miner's lifetime activity.
+	MinerStats = miner.Stats
+	// MinedTemplate is one live template's exported view.
+	MinedTemplate = miner.TemplateView
+	// MinedProfile is the canonical, serialisable template set a miner
+	// exports — the bootstrap profile for a previously unknown daemon.
+	MinedProfile = miner.Profile
+	// MinedMatcher classifies raw lines against a MinedProfile; it
+	// implements the classifier interface LoadLogsReportMined accepts.
+	MinedMatcher = miner.Matcher
+	// MinedClassifier is the pluggable reclaim hook: anything that maps
+	// a raw line to a category. *MinedMatcher satisfies it.
+	MinedClassifier = logparse.MinedClassifier
+	// MinedCandidate is one template at the moment the miner promotes
+	// it (TemplateMiner.OnPromote's argument).
+	MinedCandidate = miner.Candidate
+	// Candidate is one promoted mined signature surfaced by the online
+	// watcher as a low-confidence detection kind.
+	Candidate = core.Candidate
+)
+
+// NewMiner builds an online template miner. Set OnPromote on the
+// returned miner to observe candidate promotions.
+func NewMiner(cfg MinerConfig) *TemplateMiner { return miner.New(cfg) }
+
+// NewMinedMatcher compiles a mined profile into a line classifier.
+func NewMinedMatcher(p MinedProfile) *MinedMatcher { return miner.NewMatcher(p) }
+
+// DecodeMinedProfile parses a profile previously written with
+// MinedProfile.Encode (or exported via GET /v1/templates?format=profile).
+func DecodeMinedProfile(data []byte) (MinedProfile, error) { return miner.DecodeProfile(data) }
+
+// MergeMinedProfiles canonically merges profiles mined from separate
+// corpora (or separate cuts of one corpus) into one.
+func MergeMinedProfiles(ps ...MinedProfile) MinedProfile { return miner.MergeProfiles(ps...) }
+
+// LoadLogsReportMined is LoadLogsReport with a mined-profile classifier
+// reclaiming quarantined lines: lines the static parsers reject but mc
+// matches become records (category = the mined slug) instead of ingest
+// errors. mc == nil behaves exactly like LoadLogsReport.
+func LoadLogsReportMined(dir string, sched topology.SchedulerType, mc MinedClassifier) (*Store, *IngestReport, error) {
+	return logstore.LoadDirReportMined(dir, sched, mc)
+}
 
 // Closed-loop remediation surface: the SOP engine behind serve -remedy
 // and cmd/remedy.

@@ -1,0 +1,62 @@
+package core
+
+import "sort"
+
+// Candidate is a miner-promoted novel log signature — the watcher's
+// low-confidence detection kind. Unlike a Detection (a terminal
+// category confirmed a failure) or an Alarm (profiled precursors
+// paired), a Candidate says only: an unknown log pattern is recurring
+// or bursting in the quarantine stream, and nobody has profiled it
+// yet. It carries no node attribution — quarantined lines by
+// definition failed component parsing — so it is surfaced for operator
+// triage and profile bootstrap, never for remediation.
+type Candidate struct {
+	// Signature is the mined category slug ("mined_...").
+	Signature string `json:"signature"`
+	// Template is the mined template text (masked token sequence).
+	Template string `json:"template"`
+	// Count is the occurrence count behind the promotion.
+	Count uint64 `json:"count"`
+	// Example is one raw quarantined line behind the template.
+	Example string `json:"example,omitempty"`
+	// Burst reports whether a quarantine burst, rather than slow
+	// accumulation, triggered the promotion.
+	Burst bool `json:"burst,omitempty"`
+}
+
+// NoteCandidate surfaces a mined candidate through the watcher,
+// invoking OnCandidate at most once per signature — the same
+// suppression idea as the alarm refractory, keyed by signature rather
+// than node+time because candidates have neither. Suppression state
+// travels in snapshots, so a restored watch does not re-announce
+// signatures it already surfaced. Safe for concurrent use; like the
+// other watcher callbacks, OnCandidate runs with the watcher mutex
+// held and must not call back in.
+func (w *Watcher) NoteCandidate(c Candidate) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.candidateSeen == nil {
+		w.candidateSeen = make(map[string]bool)
+	}
+	if w.candidateSeen[c.Signature] {
+		return
+	}
+	w.candidateSeen[c.Signature] = true
+	w.stats.Candidates++
+	if w.OnCandidate != nil {
+		w.OnCandidate(c)
+	}
+}
+
+// candidateSigsLocked returns the surfaced signatures, sorted.
+func (w *Watcher) candidateSigsLocked() []string {
+	if len(w.candidateSeen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(w.candidateSeen))
+	for s := range w.candidateSeen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

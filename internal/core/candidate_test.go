@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+func TestNoteCandidateSuppressesRepeats(t *testing.T) {
+	var got []Candidate
+	w := NewWatcher(DefaultConfig(), func(Detection) {})
+	w.OnCandidate = func(c Candidate) { got = append(got, c) }
+
+	c := Candidate{Signature: "mined_opensmd_subnet_sweep", Template: "opensmd: SUBNET SWEEP <*>", Count: 16}
+	w.NoteCandidate(c)
+	w.NoteCandidate(c)
+	w.NoteCandidate(Candidate{Signature: "mined_nvsmd_xid", Template: "nvsmd: XID <*>", Count: 64})
+	if len(got) != 2 {
+		t.Fatalf("surfaced %d candidates, want 2", len(got))
+	}
+	if w.Stats().Candidates != 2 {
+		t.Fatalf("stats = %+v", w.Stats())
+	}
+
+	// Suppression survives a snapshot/restore round-trip.
+	snap := w.Snapshot()
+	if len(snap.CandidateSigs) != 2 {
+		t.Fatalf("snapshot sigs = %v", snap.CandidateSigs)
+	}
+	w2 := NewWatcher(DefaultConfig(), func(Detection) {})
+	var got2 []Candidate
+	w2.OnCandidate = func(c Candidate) { got2 = append(got2, c) }
+	w2.Restore(snap)
+	w2.NoteCandidate(c)
+	if len(got2) != 0 {
+		t.Fatalf("restored watcher re-announced %v", got2)
+	}
+	w2.NoteCandidate(Candidate{Signature: "mined_fresh", Template: "fresh <*>"})
+	if len(got2) != 1 {
+		t.Fatalf("restored watcher missed fresh candidate")
+	}
+}

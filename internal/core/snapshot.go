@@ -35,6 +35,10 @@ type WatcherSnapshot struct {
 	Apids        map[int64]int64                 `json:"apids,omitempty"`
 	ApidSeen     map[int64]time.Time             `json:"apidSeen,omitempty"`
 
+	// CandidateSigs holds the mined signatures already surfaced, so a
+	// restored watch does not re-announce them (sorted for determinism).
+	CandidateSigs []string `json:"candidateSigs,omitempty"`
+
 	// Buffer holds the reorder buffer's undelivered records.
 	Buffer    []events.Record `json:"buffer,omitempty"`
 	Watermark time.Time       `json:"watermark"`
@@ -74,6 +78,7 @@ func (w *Watcher) Snapshot() WatcherSnapshot {
 		LastTerminal:    copyTimes(w.lastTerminal),
 		LastExternal:    copyTimes(w.lastExternal),
 		LastAlarm:       copyTimes(w.lastAlarm),
+		CandidateSigs:   w.candidateSigsLocked(),
 		Watermark:       w.watermark,
 		LastEvict:       w.lastEvict,
 		Stats:           w.stats,
@@ -142,6 +147,13 @@ func (w *Watcher) Restore(s WatcherSnapshot) {
 	w.apidSeen = make(map[int64]time.Time, len(s.ApidSeen))
 	for k, v := range s.ApidSeen {
 		w.apidSeen[k] = v
+	}
+	w.candidateSeen = nil
+	if len(s.CandidateSigs) > 0 {
+		w.candidateSeen = make(map[string]bool, len(s.CandidateSigs))
+		for _, sig := range s.CandidateSigs {
+			w.candidateSeen[sig] = true
+		}
 	}
 	w.buf = append(recordHeap(nil), s.Buffer...)
 	heap.Init(&w.buf)

@@ -47,6 +47,9 @@ type Watcher struct {
 	OnDetection func(Detection)
 	// OnAlarm, when set, is invoked for each early-warning burst.
 	OnAlarm func(Alarm)
+	// OnCandidate, when set, is invoked for each novel mined signature
+	// surfaced via NoteCandidate (at most once per signature).
+	OnCandidate func(Candidate)
 	// BurstWindow groups precursor events (default 10 minutes).
 	BurstWindow time.Duration
 	// ReorderWindow, when positive, buffers arrivals and releases them
@@ -74,6 +77,10 @@ type Watcher struct {
 	apids map[int64]int64
 	// apidSeen timestamps each apid's last use for eviction.
 	apidSeen map[int64]time.Time
+	// candidateSeen suppresses repeat announcements per mined
+	// signature (see NoteCandidate). Bounded by the miner's template
+	// budget, so no eviction needed.
+	candidateSeen map[string]bool
 
 	buf recordHeap
 	// watermark is the maximum record time observed.
@@ -100,6 +107,9 @@ type WatcherStats struct {
 	Evicted int
 	// Buffered is the current reorder-buffer occupancy.
 	Buffered int
+	// Candidates counts distinct mined signatures surfaced via
+	// NoteCandidate.
+	Candidates int
 }
 
 // WatcherState reports current state-map sizes, for bounded-memory

@@ -147,6 +147,20 @@ type StreamReport struct {
 // maxQuarantineSamples bounds the raw lines retained per stream.
 const maxQuarantineSamples = 3
 
+// EachQuarantined calls fn with every quarantined raw line the report
+// retains, in file order and untruncated. Samples is a display ledger
+// capped at maxQuarantineSamples and cut to 120 bytes; consumers that
+// need the full quarantine stream — the template miner above all —
+// walk the Errs list instead, which carries each ParseError's complete
+// original text. No new ledger field needed.
+func (r *StreamReport) EachQuarantined(fn func(line string)) {
+	for _, e := range r.Errs {
+		if pe, ok := e.(*ParseError); ok {
+			fn(pe.Text)
+		}
+	}
+}
+
 // ParseLinesReport is ParseLines with per-stream error accounting: the
 // records that parsed plus a StreamReport quantifying what did not.
 func ParseLinesReport(stream events.Stream, sched topology.SchedulerType, lines []string) ([]events.Record, StreamReport) {

@@ -1,0 +1,125 @@
+package logparse
+
+import (
+	"strings"
+	"time"
+
+	"hpcfail/internal/cname"
+	"hpcfail/internal/events"
+	"hpcfail/internal/topology"
+)
+
+// MinedClassifier classifies a raw line against a mined template
+// profile — implemented by miner.Matcher. logparse depends on the
+// interface, not the miner package, so the parser stays free of mining
+// machinery and the miner stays free of parsing machinery.
+type MinedClassifier interface {
+	// Match returns the mined category for the line, if any template
+	// covers it.
+	Match(line string) (category string, ok bool)
+}
+
+// ParseLinesMined parses like ParseLines, then offers each quarantined
+// line to the mined-profile classifier: lines a template covers are
+// reclaimed as synthesised records (appended after the primary
+// records) instead of staying errors. The primary parse is untouched —
+// every line the static format accepts produces exactly the record it
+// always did, which is what keeps mining byte-identical on matched
+// lines. A nil classifier is ParseLines exactly.
+func ParseLinesMined(stream events.Stream, sched topology.SchedulerType, lines []string, mc MinedClassifier) ([]events.Record, []error) {
+	recs, errs := ParseLines(stream, sched, lines)
+	if mc == nil || len(errs) == 0 {
+		return recs, errs
+	}
+	kept := make([]error, 0, len(errs))
+	for _, e := range errs {
+		pe, ok := e.(*ParseError)
+		if !ok {
+			kept = append(kept, e)
+			continue
+		}
+		cat, ok := mc.Match(pe.Text)
+		if !ok {
+			kept = append(kept, e)
+			continue
+		}
+		r, ok := minedRecord(stream, pe.Text, cat)
+		if !ok {
+			kept = append(kept, e)
+			continue
+		}
+		recs = append(recs, r)
+	}
+	return recs, kept
+}
+
+// ParseLinesReportMined is ParseLinesMined with the per-stream
+// quarantine ledger: reclaimed lines count as Parsed, not Quarantined.
+func ParseLinesReportMined(stream events.Stream, sched topology.SchedulerType, lines []string, mc MinedClassifier) ([]events.Record, StreamReport) {
+	nonBlank := 0
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			nonBlank++
+		}
+	}
+	recs, errs := ParseLinesMined(stream, sched, lines, mc)
+	return recs, BuildStreamReport(stream, nonBlank, recs, errs)
+}
+
+// minedRecord synthesises a structured record from a quarantined line
+// a mined template classified. Best-effort by design: the first
+// timestamp-shaped token supplies the timebase (no timestamp, no
+// record — a time-less record is useless downstream), a cname-shaped
+// token near it supplies the component, and severity comes from a
+// keyword scan. The mined category slug is the whole point.
+func minedRecord(stream events.Stream, line, category string) (events.Record, bool) {
+	fields := strings.Fields(line)
+	ts := time.Time{}
+	tsIdx := -1
+	for i, f := range fields {
+		if i >= 3 {
+			break
+		}
+		if t, err := time.Parse(tsFormat, f); err == nil {
+			ts, tsIdx = t, i
+			break
+		}
+		if t, err := time.Parse(time.RFC3339, f); err == nil {
+			ts, tsIdx = t, i
+			break
+		}
+	}
+	if tsIdx < 0 {
+		return events.Record{}, false
+	}
+	var comp cname.Name
+	for i := tsIdx + 1; i < len(fields) && i <= tsIdx+3; i++ {
+		if n, err := cname.Parse(fields[i]); err == nil {
+			comp = n
+			break
+		}
+	}
+	return events.Record{
+		Time:      ts,
+		Stream:    stream,
+		Component: comp,
+		Severity:  minedSeverity(line),
+		Category:  intern(category),
+		Msg:       strings.Join(fields[tsIdx+1:], " "),
+	}, true
+}
+
+// minedSeverity grades a mined line by keyword — the only signal an
+// unknown format offers.
+func minedSeverity(line string) events.Severity {
+	l := strings.ToLower(line)
+	switch {
+	case strings.Contains(l, "fatal"), strings.Contains(l, "panic"):
+		return events.SevCritical
+	case strings.Contains(l, "error"), strings.Contains(l, "fail"):
+		return events.SevError
+	case strings.Contains(l, "warn"), strings.Contains(l, "flap"), strings.Contains(l, "retry"):
+		return events.SevWarning
+	}
+	return events.SevInfo
+}

@@ -1,0 +1,105 @@
+package logparse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/events"
+	"hpcfail/internal/miner"
+	"hpcfail/internal/topology"
+)
+
+// unknownDaemonLines mimics an un-profiled IB daemon: valid internal
+// timestamps but a component the cname grammar rejects, so the static
+// parser quarantines every line.
+var unknownDaemonLines = []string{
+	"2015-03-02T04:00:00.000000Z ib0 opensmd: SUBNET SWEEP complete: 384 nodes 24 switches in 12 ms",
+	"2015-03-02T04:05:00.000000Z ib1 opensmd: SUBNET SWEEP complete: 383 nodes 24 switches in 9 ms",
+	"2015-03-02T04:06:00.000000Z ib0 opensmd: link flap on port 17 state=DOWN",
+}
+
+func TestEachQuarantinedYieldsFullLines(t *testing.T) {
+	long := "2015-03-02T04:00:00.000000Z ib0 opensmd: " + strings.Repeat("x", 200)
+	lines := append([]string{long}, unknownDaemonLines...)
+	_, rep := ParseLinesReport(events.StreamMessages, topology.SchedulerSlurm, lines)
+	if rep.Quarantined != len(lines) {
+		t.Fatalf("quarantined %d of %d", rep.Quarantined, len(lines))
+	}
+	// The display ledger is capped and truncated...
+	if len(rep.Samples) != maxQuarantineSamples {
+		t.Fatalf("samples = %d, want cap %d", len(rep.Samples), maxQuarantineSamples)
+	}
+	if len(rep.Samples[0]) >= len(long) {
+		t.Fatalf("sample not truncated for display")
+	}
+	// ...but the accessor walks every line, untruncated.
+	var got []string
+	rep.EachQuarantined(func(l string) { got = append(got, l) })
+	if !reflect.DeepEqual(got, lines) {
+		t.Fatalf("EachQuarantined = %d lines, want all %d verbatim", len(got), len(lines))
+	}
+}
+
+func TestParseLinesMinedReclaimsQuarantine(t *testing.T) {
+	// Mix parseable internal lines with unknown-daemon lines.
+	known := []string{
+		"2015-03-02T04:01:00.000000Z c0-0c0s0n1 kernel: <4> EDAC MC0: corrected memory error on DIMM (benign burst)",
+		"2015-03-02T04:02:00.000000Z c0-0c0s0n2 kernel: <1> Kernel panic - not syncing: fatal exception",
+	}
+	lines := append(append([]string{}, known...), unknownDaemonLines...)
+
+	baseRecs, baseErrs := ParseLines(events.StreamMessages, topology.SchedulerSlurm, lines)
+	if len(baseErrs) != len(unknownDaemonLines) {
+		t.Fatalf("static parse quarantined %d, want %d", len(baseErrs), len(unknownDaemonLines))
+	}
+
+	// Mine the quarantine stream and load the profile back.
+	m := miner.New(miner.Config{})
+	for _, e := range baseErrs {
+		m.Ingest(e.(*ParseError).Text)
+	}
+	mc := miner.NewMatcher(m.Export(1))
+
+	recs, errs := ParseLinesMined(events.StreamMessages, topology.SchedulerSlurm, lines, mc)
+	if len(errs) != 0 {
+		t.Fatalf("mined parse still quarantines %d lines: %v", len(errs), errs[0])
+	}
+	// Matched lines parse exactly as before — same records, same order.
+	if !reflect.DeepEqual(recs[:len(baseRecs)], baseRecs) {
+		t.Fatalf("mined fallback perturbed primary records")
+	}
+	mined := recs[len(baseRecs):]
+	if len(mined) != len(unknownDaemonLines) {
+		t.Fatalf("reclaimed %d records, want %d", len(mined), len(unknownDaemonLines))
+	}
+	for _, r := range mined {
+		if !strings.HasPrefix(r.Category, "mined_") {
+			t.Errorf("mined record category = %q", r.Category)
+		}
+		if r.Time.IsZero() {
+			t.Errorf("mined record has no timebase")
+		}
+		if r.Stream != events.StreamMessages {
+			t.Errorf("mined record stream = %v", r.Stream)
+		}
+	}
+	// The flap line carries a warning-grade keyword.
+	if mined[2].Severity != events.SevWarning {
+		t.Errorf("flap severity = %v, want warning", mined[2].Severity)
+	}
+
+	// Report accounting: reclaimed lines count as parsed.
+	_, rep := ParseLinesReportMined(events.StreamMessages, topology.SchedulerSlurm, lines, mc)
+	if rep.Quarantined != 0 || rep.Parsed != len(recs) {
+		t.Fatalf("mined report = %+v", rep)
+	}
+}
+
+func TestParseLinesMinedNilClassifier(t *testing.T) {
+	recs, errs := ParseLinesMined(events.StreamMessages, topology.SchedulerSlurm, unknownDaemonLines, nil)
+	baseRecs, baseErrs := ParseLines(events.StreamMessages, topology.SchedulerSlurm, unknownDaemonLines)
+	if !reflect.DeepEqual(recs, baseRecs) || len(errs) != len(baseErrs) {
+		t.Fatalf("nil classifier diverged from ParseLines")
+	}
+}

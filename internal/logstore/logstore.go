@@ -547,6 +547,16 @@ func (r *IngestReport) String() string {
 // holds everything that did parse. The error is reserved for callers
 // passing a path that exists but is not a directory.
 func LoadDirReport(dir string, sched topology.SchedulerType) (*Store, *IngestReport, error) {
+	return LoadDirReportMined(dir, sched, nil)
+}
+
+// LoadDirReportMined is LoadDirReport with a mined-profile fallback
+// classifier (miner.Matcher): quarantined lines a mined template
+// covers come back as synthesised records instead of parse errors.
+// Lines the static formats accept parse exactly as they always have —
+// the fallback only ever sees the quarantine stream. A nil classifier
+// is LoadDirReport exactly.
+func LoadDirReportMined(dir string, sched topology.SchedulerType, mc logparse.MinedClassifier) (*Store, *IngestReport, error) {
 	if fi, err := os.Stat(dir); err == nil && !fi.IsDir() {
 		return nil, nil, fmt.Errorf("logstore: %s is not a directory", dir)
 	}
@@ -568,7 +578,7 @@ func LoadDirReport(dir string, sched topology.SchedulerType) (*Store, *IngestRep
 			continue
 		}
 		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
-		got, srep := logparse.ParseLinesReport(stream, sched, lines)
+		got, srep := logparse.ParseLinesReportMined(stream, sched, lines, mc)
 		recs = append(recs, got...)
 		rep.Streams = append(rep.Streams, srep)
 	}

@@ -1,0 +1,54 @@
+package miner
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMinerIngest measures the steady-state per-line mining cost
+// over a realistic quarantine mix (known daemon shapes with variable
+// fields plus garbled noise). One op = one line.
+func BenchmarkMinerIngest(b *testing.B) {
+	lines := syntheticQuarantine(rand.New(rand.NewSource(7)), 4096)
+	m := New(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Ingest(lines[i%len(lines)])
+	}
+	b.StopTimer()
+	if m.Stats().LinesMined == 0 {
+		b.Fatal("no lines mined")
+	}
+}
+
+// BenchmarkMinerMatch measures profile load-back classification cost.
+func BenchmarkMinerMatch(b *testing.B) {
+	lines := syntheticQuarantine(rand.New(rand.NewSource(7)), 4096)
+	m := New(Config{})
+	for _, l := range lines {
+		m.Ingest(l)
+	}
+	mt := NewMatcher(m.Export(2))
+	if mt.Len() == 0 {
+		b.Fatal("empty matcher")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Match(lines[i%len(lines)])
+	}
+}
+
+func BenchmarkMinerExport(b *testing.B) {
+	m := New(Config{})
+	for i := 0; i < 64; i++ {
+		m.Ingest(fmt.Sprintf("daemon%d: event code %d happened", i%8, i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Export(1)
+	}
+}

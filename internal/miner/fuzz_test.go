@@ -1,0 +1,44 @@
+package miner
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMinerIngest pins the miner's two safety contracts on arbitrary
+// byte input: the tokenizer never panics, and the live template count
+// never exceeds the memory budget.
+func FuzzMinerIngest(f *testing.F) {
+	f.Add([]byte("2015-03-02T04:00:00.000000Z ib0 opensmd: SUBNET SWEEP complete: 384 nodes"))
+	f.Add([]byte("jobid=4711 state=FAILED exit=1\nDIMM3 err\n\x00\xff\xfe"))
+	f.Add([]byte("<*> <#> <...>\n= == a=b=c"))
+	f.Add([]byte(strings.Repeat("x ", 500)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New(Config{MaxTemplates: 32, PromoteCount: 2, BurstCount: 2, BurstWindow: 4})
+		promos := 0
+		m.OnPromote = func(Candidate) { promos++ }
+		for _, line := range strings.Split(string(data), "\n") {
+			m.Ingest(line)
+			if live := m.Stats().TemplatesLive; live > 32 {
+				t.Fatalf("live templates %d exceed budget 32", live)
+			}
+		}
+		s := m.Stats()
+		if s.TemplatesLive > 32 {
+			t.Fatalf("final live templates %d exceed budget", s.TemplatesLive)
+		}
+		if uint64(promos) != s.Promoted {
+			t.Fatalf("callback promotions %d != stats %d", promos, s.Promoted)
+		}
+		// Export and load-back must survive arbitrary content too.
+		p := m.Export(1)
+		data, err := p.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if _, err := DecodeProfile(data); err != nil {
+			t.Fatalf("decode round-trip: %v", err)
+		}
+		NewMatcher(p)
+	})
+}

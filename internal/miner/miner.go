@@ -1,0 +1,520 @@
+// Package miner implements online log-template mining over the lines
+// the static classifier cannot place — the quarantine stream.
+//
+// The PR 4 Aho–Corasick pattern set is exact and fast but blind to any
+// line nobody enumerated: chaos-garbled text, vendor format drift, or
+// daemons outside the profiled ALPS/SEDC/HSS set all land in the
+// quarantine ledger and are forgotten. Following the holistic-log-
+// analysis argument (Sîrbu & Babaoglu) and the awsom-lp style of
+// pattern preprocessing + frequency analysis, the miner turns that
+// discard pile into structure: each line is tokenized, variable-looking
+// tokens are masked deterministically, and the masked token sequence
+// becomes a template whose frequency is tracked online.
+//
+// Two properties anchor the design:
+//
+//   - Determinism/order-insensitivity: masking is a pure per-line
+//     function, so the raw template multiset is a pure function of the
+//     multiset of mined lines — independent of arrival order, batch
+//     cuts, and feeder concurrency. Export applies a deterministic
+//     canonical merge on top, so batch-cut mining and one-shot mining
+//     converge to the same canonical profile (the differential tests
+//     pin this). Only promotion *timing* (the burst path) and eviction
+//     above the memory budget depend on arrival order.
+//
+//   - Bounded memory: the live template set never exceeds
+//     Config.MaxTemplates. When the budget is hit, the coldest
+//     singleton template (count 1, least recently seen) is evicted
+//     first; hot and promoted templates survive.
+//
+// The miner deliberately depends on nothing but the standard library —
+// it consumes strings and produces strings, so logparse can feed it
+// without an import cycle and a mined Profile can bootstrap a pattern
+// set for a cluster the static profiles have never seen.
+package miner
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Config tunes the mining engine. The zero value selects defaults.
+type Config struct {
+	// MaxTemplates bounds the live template set (default 4096). The
+	// miner's memory is O(MaxTemplates · MaxTokens); above the budget,
+	// cold singleton templates are evicted LRU-first.
+	MaxTemplates int
+	// MaxExamples bounds the raw example lines retained per template
+	// (default 3). Examples are kept canonically — the lexicographically
+	// smallest distinct lines — so exports stay order-insensitive.
+	MaxExamples int
+	// PromoteCount promotes a template once its total count reaches this
+	// threshold (default 64). Zero disables the count path.
+	PromoteCount uint64
+	// BurstCount promotes a template early when it recurs this many
+	// times within roughly BurstWindow mined lines (default 16) — the
+	// "novel signature suddenly flooding the quarantine" shape. Zero
+	// disables the burst path.
+	BurstCount uint64
+	// BurstWindow is the burst horizon in mined lines, not wall-clock:
+	// quarantined lines by definition have no parsed timestamp (default
+	// 256). Bucketed accounting keeps the check O(1) per line.
+	BurstWindow uint64
+	// MaxTokens bounds the tokens considered per line (default 24);
+	// longer lines keep their first MaxTokens tokens plus a "<...>"
+	// fold marker.
+	MaxTokens int
+	// MaxLineBytes bounds the bytes considered per line (default 2048).
+	MaxLineBytes int
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxTemplates = 4096
+	DefaultMaxExamples  = 3
+	DefaultPromoteCount = 64
+	DefaultBurstCount   = 16
+	DefaultBurstWindow  = 256
+	DefaultMaxTokens    = 24
+	DefaultMaxLineBytes = 2048
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxTemplates <= 0 {
+		c.MaxTemplates = DefaultMaxTemplates
+	}
+	if c.MaxExamples <= 0 {
+		c.MaxExamples = DefaultMaxExamples
+	}
+	if c.PromoteCount == 0 {
+		c.PromoteCount = DefaultPromoteCount
+	}
+	if c.BurstCount == 0 {
+		c.BurstCount = DefaultBurstCount
+	}
+	if c.BurstWindow == 0 {
+		c.BurstWindow = DefaultBurstWindow
+	}
+	if c.MaxTokens <= 0 {
+		c.MaxTokens = DefaultMaxTokens
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = DefaultMaxLineBytes
+	}
+	return c
+}
+
+// Candidate is a mined template whose frequency or burst profile
+// crossed the promotion threshold — a novel log signature worth an
+// operator's attention, surfaced as a low-confidence detection kind.
+type Candidate struct {
+	// Template is the masked token sequence, space-joined.
+	Template string
+	// Category is the derived classification slug ("mined_..."), the
+	// category a bootstrap profile would assign.
+	Category string
+	// Count is the template's total occurrence count at promotion.
+	Count uint64
+	// Seq is the miner's line sequence number at promotion.
+	Seq uint64
+	// Example is one raw line behind the template.
+	Example string
+	// Burst reports whether the burst path (rather than the total-count
+	// path) triggered the promotion.
+	Burst bool
+}
+
+// Stats counts the miner's activity.
+type Stats struct {
+	// LinesMined is the total number of non-blank lines ingested.
+	LinesMined uint64
+	// TemplatesLive is the current live template count (≤ MaxTemplates).
+	TemplatesLive int
+	// Created counts templates ever created.
+	Created uint64
+	// Evicted counts templates evicted under the memory budget.
+	Evicted uint64
+	// Promoted counts promotions (at most one per live template).
+	Promoted uint64
+}
+
+// template is one live mined template.
+type template struct {
+	key      string
+	tokens   []string
+	count    uint64
+	firstSeq uint64
+	lastSeq  uint64
+	// examples holds the lexicographically smallest distinct raw lines,
+	// sorted — canonical regardless of arrival order.
+	examples []string
+	promoted bool
+	// Bucketed burst accounting: curWin counts hits in epoch winEpoch,
+	// prevWin the epoch before. curWin+prevWin approximates a sliding
+	// window of one to two BurstWindows.
+	winEpoch uint64
+	curWin   uint64
+	prevWin  uint64
+	// coldEl is the template's entry in the cold-singleton LRU list;
+	// nil once count > 1.
+	coldEl *list.Element
+}
+
+// Miner is the streaming template-mining engine. Safe for concurrent
+// use: Ingest, Stats, TemplatesSince and Export serialise on an
+// internal mutex, so multiple ingestion goroutines can share one miner.
+// The OnPromote callback runs with that mutex held — it must not call
+// back into the miner.
+type Miner struct {
+	mu  sync.Mutex
+	cfg Config
+	// OnPromote, when set, is invoked once per template as it crosses a
+	// promotion threshold. Set before the first Ingest.
+	OnPromote func(Candidate)
+
+	templates map[string]*template
+	// cold lists count==1 templates in arrival order (front = coldest),
+	// the eviction queue when the budget is exceeded.
+	cold  *list.List
+	seq   uint64
+	stats Stats
+}
+
+// New constructs a miner. The zero Config selects defaults.
+func New(cfg Config) *Miner {
+	return &Miner{
+		cfg:       cfg.withDefaults(),
+		templates: make(map[string]*template),
+		cold:      list.New(),
+	}
+}
+
+// Config returns the miner's effective (default-filled) configuration.
+func (m *Miner) Config() Config { return m.cfg }
+
+// Ingest mines one raw line. Blank lines are ignored. Never panics on
+// arbitrary byte content, and the live template count never exceeds
+// the MaxTemplates budget.
+func (m *Miner) Ingest(line string) {
+	toks := Tokenize(line, m.cfg.MaxTokens, m.cfg.MaxLineBytes)
+	if len(toks) == 0 {
+		return
+	}
+	key := strings.Join(toks, " ")
+	if len(line) > m.cfg.MaxLineBytes {
+		line = line[:m.cfg.MaxLineBytes]
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	m.stats.LinesMined++
+	t := m.templates[key]
+	if t == nil {
+		if len(m.templates) >= m.cfg.MaxTemplates {
+			m.evictOneLocked()
+		}
+		t = &template{key: key, tokens: toks, firstSeq: m.seq}
+		t.coldEl = m.cold.PushBack(t)
+		m.templates[key] = t
+		m.stats.Created++
+	} else if t.coldEl != nil {
+		m.cold.Remove(t.coldEl)
+		t.coldEl = nil
+	}
+	t.count++
+	t.lastSeq = m.seq
+	t.addExample(line, m.cfg.MaxExamples)
+
+	w := m.cfg.BurstWindow
+	epoch := m.seq / w
+	switch {
+	case t.count == 1 || t.winEpoch == epoch:
+		t.curWin++
+		t.winEpoch = epoch
+	case t.winEpoch+1 == epoch:
+		t.prevWin, t.curWin, t.winEpoch = t.curWin, 1, epoch
+	default:
+		t.prevWin, t.curWin, t.winEpoch = 0, 1, epoch
+	}
+
+	if t.promoted {
+		return
+	}
+	burst := m.cfg.BurstCount > 0 && t.curWin+t.prevWin >= m.cfg.BurstCount
+	if burst || (m.cfg.PromoteCount > 0 && t.count >= m.cfg.PromoteCount) {
+		t.promoted = true
+		m.stats.Promoted++
+		if m.OnPromote != nil {
+			example := ""
+			if len(t.examples) > 0 {
+				example = t.examples[0]
+			}
+			m.OnPromote(Candidate{
+				Template: t.key,
+				Category: categorySlug(t.tokens),
+				Count:    t.count,
+				Seq:      m.seq,
+				Example:  example,
+				Burst:    burst,
+			})
+		}
+	}
+}
+
+// IngestAll mines a batch of lines under one lock acquisition.
+func (m *Miner) IngestAll(lines []string) {
+	for _, l := range lines {
+		m.Ingest(l)
+	}
+}
+
+// evictOneLocked frees one template slot. Cold singletons go first in
+// LRU order; if none exist, the least-frequent (then least-recent)
+// unpromoted template goes; promoted templates are evicted only when
+// nothing else remains.
+func (m *Miner) evictOneLocked() {
+	if el := m.cold.Front(); el != nil {
+		t := el.Value.(*template)
+		m.cold.Remove(el)
+		delete(m.templates, t.key)
+		m.stats.Evicted++
+		return
+	}
+	var victim *template
+	better := func(a, b *template) bool { // a colder than b
+		if a.count != b.count {
+			return a.count < b.count
+		}
+		if a.lastSeq != b.lastSeq {
+			return a.lastSeq < b.lastSeq
+		}
+		return a.key < b.key
+	}
+	for _, t := range m.templates {
+		if t.promoted {
+			continue
+		}
+		if victim == nil || better(t, victim) {
+			victim = t
+		}
+	}
+	if victim == nil { // everything promoted: evict the coldest anyway
+		for _, t := range m.templates {
+			if victim == nil || better(t, victim) {
+				victim = t
+			}
+		}
+	}
+	if victim != nil {
+		delete(m.templates, victim.key)
+		m.stats.Evicted++
+	}
+}
+
+// addExample retains the lexicographically smallest max distinct lines.
+func (t *template) addExample(line string, max int) {
+	i := sort.SearchStrings(t.examples, line)
+	if i < len(t.examples) && t.examples[i] == line {
+		return
+	}
+	if len(t.examples) < max {
+		t.examples = append(t.examples, "")
+		copy(t.examples[i+1:], t.examples[i:])
+		t.examples[i] = line
+	} else if i < max {
+		copy(t.examples[i+1:], t.examples[i:max-1])
+		t.examples[i] = line
+	}
+}
+
+// Stats returns the activity counters.
+func (m *Miner) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.TemplatesLive = len(m.templates)
+	return s
+}
+
+// Seq returns the miner's line sequence watermark — the pagination
+// cursor for TemplatesSince.
+func (m *Miner) Seq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+// TemplateView is one live template's exported state.
+type TemplateView struct {
+	Template string   `json:"template"`
+	Category string   `json:"category"`
+	Count    uint64   `json:"count"`
+	FirstSeq uint64   `json:"firstSeq"`
+	LastSeq  uint64   `json:"lastSeq"`
+	Promoted bool     `json:"promoted"`
+	Examples []string `json:"examples,omitempty"`
+}
+
+// TemplatesSince returns the live templates last seen after the given
+// sequence cursor, ordered by (LastSeq, Template), plus the current
+// sequence watermark. Passing the returned watermark back as since
+// pages incrementally: a template reappears exactly when it has been
+// seen again. limit > 0 caps the slice (oldest first, so pagination
+// never skips).
+func (m *Miner) TemplatesSince(since uint64, limit int) ([]TemplateView, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []TemplateView
+	for _, t := range m.templates {
+		if t.lastSeq <= since {
+			continue
+		}
+		out = append(out, TemplateView{
+			Template: t.key,
+			Category: categorySlug(t.tokens),
+			Count:    t.count,
+			FirstSeq: t.firstSeq,
+			LastSeq:  t.lastSeq,
+			Promoted: t.promoted,
+			Examples: append([]string(nil), t.examples...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LastSeq != out[j].LastSeq {
+			return out[i].LastSeq < out[j].LastSeq
+		}
+		return out[i].Template < out[j].Template
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, m.seq
+}
+
+// Export returns the canonical mined profile: live templates with
+// count ≥ minCount, deterministically merged (near-duplicate templates
+// collapse, differing positions becoming "<*>") and sorted. Below the
+// MaxTemplates budget the result is a pure function of the multiset of
+// mined lines — independent of arrival order, batch cuts and feeder
+// interleaving. minCount 0 means 1 (everything).
+func (m *Miner) Export(minCount uint64) Profile {
+	if minCount == 0 {
+		minCount = 1
+	}
+	m.mu.Lock()
+	raw := make([]ProfileTemplate, 0, len(m.templates))
+	for _, t := range m.templates {
+		if t.count < minCount {
+			continue
+		}
+		raw = append(raw, ProfileTemplate{
+			Template: t.key,
+			Count:    t.count,
+			Examples: append([]string(nil), t.examples...),
+		})
+	}
+	cfg := m.cfg
+	m.mu.Unlock()
+	return canonicalProfile(raw, cfg)
+}
+
+// Tokenize splits a raw line into masked template tokens: whitespace
+// separation, then a deterministic per-token mask — numeric/hex/
+// timestamp-shaped tokens collapse to "<*>", "key=value" keeps the key
+// ("key=<*>"), and embedded digit runs fold to "<#>" ("DIMM3" →
+// "DIMM<#>"). maxTokens/maxBytes ≤ 0 select the defaults. Returns nil
+// for blank lines.
+func Tokenize(line string, maxTokens, maxBytes int) []string {
+	if maxTokens <= 0 {
+		maxTokens = DefaultMaxTokens
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxLineBytes
+	}
+	if len(line) > maxBytes {
+		line = line[:maxBytes]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	if len(fields) > maxTokens {
+		fields = fields[:maxTokens:maxTokens]
+		fields = append(fields, "<...>")
+	}
+	for i, f := range fields {
+		fields[i] = maskToken(f)
+	}
+	return fields
+}
+
+// maskToken applies the per-token mask. Pure and deterministic: the
+// same token always masks the same way, which is what makes the mined
+// template set order-insensitive.
+func maskToken(tok string) string {
+	if eq := strings.IndexByte(tok, '='); eq > 0 && eq < len(tok)-1 && isKey(tok[:eq]) {
+		return tok[:eq+1] + "<*>"
+	}
+	digits, letters := 0, 0
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			letters++
+		}
+	}
+	if digits == 0 {
+		return tok
+	}
+	// Digit-dominated tokens (numbers, hex ids, timestamps, counters)
+	// are variable; letter-dominated tokens keep their letters and fold
+	// only the digit runs.
+	if digits >= letters {
+		return "<*>"
+	}
+	return foldDigits(tok)
+}
+
+// isKey reports whether s looks like a structured-field key: starts
+// with a letter, then letters/digits/underscore/dot/dash.
+func isKey(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i == 0 {
+			if !letter {
+				return false
+			}
+			continue
+		}
+		if !letter && !(c >= '0' && c <= '9') && c != '_' && c != '.' && c != '-' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// foldDigits replaces each maximal digit run with "<#>".
+func foldDigits(tok string) string {
+	var b strings.Builder
+	b.Grow(len(tok) + 8)
+	inRun := false
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c >= '0' && c <= '9' {
+			if !inRun {
+				b.WriteString("<#>")
+				inRun = true
+			}
+			continue
+		}
+		inRun = false
+		b.WriteByte(c)
+	}
+	return b.String()
+}

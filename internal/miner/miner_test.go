@@ -1,0 +1,373 @@
+package miner
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMaskToken(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"hello", "hello"},
+		{"123", "<*>"},
+		{"12.5", "<*>"},
+		{"0x1f3a", "<*>"},
+		{"12:30:05", "<*>"},
+		{"2015-03-02T04:00:00.000000Z", "<*>"},
+		{"DIMM3", "DIMM<#>"},
+		{"mlx5_0", "mlx<#>_<#>"},
+		{"c0-0c1s2n3", "<*>"}, // digit-dominated
+		{"jobid=4711", "jobid=<*>"},
+		{"ExitCode=0", "ExitCode=<*>"},
+		{"state=FAILED", "state=<*>"},
+		{"=oops", "=oops"},
+		{"a=", "a="},
+		{"opensmd:", "opensmd:"},
+	}
+	for _, c := range cases {
+		if got := maskToken(c.in); got != c.want {
+			t.Errorf("maskToken(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	if got := Tokenize("   ", 0, 0); got != nil {
+		t.Fatalf("blank line tokenized to %v", got)
+	}
+	got := Tokenize("err on DIMM3 count 12", 0, 0)
+	want := []string{"err", "on", "DIMM<#>", "count", "<*>"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	// Over-long lines fold their tail.
+	long := "a b c d e f"
+	got = Tokenize(long, 3, 0)
+	want = []string{"a", "b", "c", "<...>"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize(maxTokens=3) = %v, want %v", got, want)
+	}
+}
+
+func TestMinerClustersVariants(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 10; i++ {
+		m.Ingest(fmt.Sprintf("opensmd: SUBNET SWEEP complete: %d nodes in %d ms", 100+i, i))
+	}
+	s := m.Stats()
+	if s.TemplatesLive != 1 || s.LinesMined != 10 {
+		t.Fatalf("stats = %+v, want 1 live template over 10 lines", s)
+	}
+	views, seq := m.TemplatesSince(0, 0)
+	if seq != 10 || len(views) != 1 {
+		t.Fatalf("TemplatesSince = %d views seq %d", len(views), seq)
+	}
+	v := views[0]
+	if v.Template != "opensmd: SUBNET SWEEP complete: <*> nodes in <*> ms" {
+		t.Fatalf("template = %q", v.Template)
+	}
+	if v.Count != 10 || v.FirstSeq != 1 || v.LastSeq != 10 {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Category != "mined_opensmd_subnet_sweep" {
+		t.Fatalf("category = %q", v.Category)
+	}
+	if len(v.Examples) != 3 {
+		t.Fatalf("examples = %v", v.Examples)
+	}
+}
+
+func TestMinerBoundedMemory(t *testing.T) {
+	m := New(Config{MaxTemplates: 8})
+	for i := 0; i < 1000; i++ {
+		m.Ingest(fmt.Sprintf("unique daemon%c says hello", 'a'+rune(i%26)))
+	}
+	s := m.Stats()
+	if s.TemplatesLive > 8 {
+		t.Fatalf("live templates %d exceed budget 8", s.TemplatesLive)
+	}
+	if s.Evicted == 0 {
+		t.Fatalf("expected evictions, stats = %+v", s)
+	}
+}
+
+func TestMinerEvictsColdSingletonsFirst(t *testing.T) {
+	m := New(Config{MaxTemplates: 4})
+	// Two hot templates...
+	for i := 0; i < 5; i++ {
+		m.Ingest("hot alpha event")
+		m.Ingest("hot beta event")
+	}
+	// ...then a stream of singletons cycling through the two free slots.
+	for i := 0; i < 20; i++ {
+		m.Ingest(fmt.Sprintf("cold singleton variant%c", 'a'+rune(i)))
+	}
+	views, _ := m.TemplatesSince(0, 0)
+	found := map[string]bool{}
+	for _, v := range views {
+		found[v.Template] = true
+	}
+	if !found["hot alpha event"] || !found["hot beta event"] {
+		t.Fatalf("hot templates evicted; live set %v", found)
+	}
+}
+
+func TestMinerPromotionByCount(t *testing.T) {
+	var got []Candidate
+	m := New(Config{PromoteCount: 5, BurstCount: 1 << 60})
+	m.OnPromote = func(c Candidate) { got = append(got, c) }
+	for i := 0; i < 12; i++ {
+		m.Ingest(fmt.Sprintf("acfd: link flap on port %d", i))
+	}
+	if len(got) != 1 {
+		t.Fatalf("promotions = %d, want exactly 1", len(got))
+	}
+	c := got[0]
+	if c.Count != 5 || c.Seq != 5 || c.Burst {
+		t.Fatalf("candidate = %+v", c)
+	}
+	if c.Category != "mined_acfd_link_flap" {
+		t.Fatalf("category = %q", c.Category)
+	}
+	if m.Stats().Promoted != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestMinerPromotionByBurst(t *testing.T) {
+	var got []Candidate
+	m := New(Config{PromoteCount: 1 << 60, BurstCount: 4, BurstWindow: 16})
+	m.OnPromote = func(c Candidate) { got = append(got, c) }
+	// Pad the sequence, then a tight burst.
+	for i := 0; i < 10; i++ {
+		m.Ingest(fmt.Sprintf("background chatter %c", 'a'+rune(i)))
+	}
+	for i := 0; i < 4; i++ {
+		m.Ingest("nvsmd: XID pending retirement")
+	}
+	if len(got) != 1 || !got[0].Burst {
+		t.Fatalf("burst promotions = %+v, want exactly 1 burst candidate", got)
+	}
+}
+
+func TestTemplatesSincePagination(t *testing.T) {
+	m := New(Config{})
+	m.Ingest("alpha event one")
+	m.Ingest("beta event two")
+	views, seq := m.TemplatesSince(0, 0)
+	if len(views) != 2 || seq != 2 {
+		t.Fatalf("page 1 = %d views, seq %d", len(views), seq)
+	}
+	// Nothing new: empty page.
+	views, seq2 := m.TemplatesSince(seq, 0)
+	if len(views) != 0 || seq2 != seq {
+		t.Fatalf("idle page = %d views", len(views))
+	}
+	// A re-sighting surfaces just that template.
+	m.Ingest("alpha event one")
+	views, _ = m.TemplatesSince(seq, 0)
+	if len(views) != 1 || views[0].Template != "alpha event one" {
+		t.Fatalf("incremental page = %+v", views)
+	}
+	// Limit caps oldest-first so pagination never skips.
+	m.Ingest("beta event two")
+	views, _ = m.TemplatesSince(0, 1)
+	if len(views) != 1 {
+		t.Fatalf("limited page = %+v", views)
+	}
+}
+
+func TestExportMergesNearDuplicates(t *testing.T) {
+	m := New(Config{})
+	m.Ingest("opensmd: sweep complete alpha")
+	m.Ingest("opensmd: sweep complete beta")
+	m.Ingest("opensmd: sweep complete gamma")
+	p := m.Export(1)
+	if len(p.Templates) != 1 {
+		t.Fatalf("exported %d templates, want merged 1: %+v", len(p.Templates), p.Templates)
+	}
+	tpl := p.Templates[0]
+	if tpl.Template != "opensmd: sweep complete <*>" || tpl.Count != 3 {
+		t.Fatalf("merged template = %+v", tpl)
+	}
+}
+
+func TestExportRespectsMinCount(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 5; i++ {
+		m.Ingest("frequent daemon event")
+	}
+	m.Ingest("one-off oddity line")
+	p := m.Export(2)
+	if len(p.Templates) != 1 || p.Templates[0].Template != "frequent daemon event" {
+		t.Fatalf("Export(2) = %+v", p.Templates)
+	}
+}
+
+func TestMatcherPrefersLiteralOverWildcard(t *testing.T) {
+	p := Profile{Version: ProfileVersion, Templates: []ProfileTemplate{
+		{Template: "daemon: status ok", Category: "mined_exact"},
+		{Template: "daemon: status <*>", Category: "mined_wild"},
+	}}
+	mt := NewMatcher(p)
+	if mt.Len() != 2 {
+		t.Fatalf("Len = %d", mt.Len())
+	}
+	if cat, ok := mt.Match("daemon: status ok"); !ok || cat != "mined_exact" {
+		t.Fatalf("exact match = %q %v", cat, ok)
+	}
+	if cat, ok := mt.Match("daemon: status degraded"); !ok || cat != "mined_wild" {
+		t.Fatalf("wild match = %q %v", cat, ok)
+	}
+	if _, ok := mt.Match("daemon: status"); ok {
+		t.Fatalf("short line matched")
+	}
+	if _, ok := mt.Match("other: status ok"); ok {
+		t.Fatalf("unrelated line matched")
+	}
+}
+
+func TestMatcherRoundTrip(t *testing.T) {
+	m := New(Config{})
+	lines := []string{
+		"opensmd: SUBNET SWEEP complete: 384 nodes in 12 ms",
+		"opensmd: SUBNET SWEEP complete: 380 nodes in 9 ms",
+		"nvsmd: XID 48 on gpu0 count=3",
+	}
+	for _, l := range lines {
+		m.Ingest(l)
+	}
+	data, err := m.Export(1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodeProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMatcher(p)
+	for _, l := range lines {
+		if _, ok := mt.Match(l); !ok {
+			t.Errorf("mined profile does not match its own line %q", l)
+		}
+	}
+	if _, ok := mt.Match("never seen daemon output"); ok {
+		t.Errorf("profile matched foreign line")
+	}
+	// An unseen variant of a mined shape still matches.
+	if cat, ok := mt.Match("opensmd: SUBNET SWEEP complete: 999 nodes in 1 ms"); !ok || cat == "" {
+		t.Errorf("variant line did not match")
+	}
+}
+
+func TestMergeProfiles(t *testing.T) {
+	a := Profile{Version: ProfileVersion, Templates: []ProfileTemplate{
+		{Template: "daemon: event <*>", Category: "mined_daemon_event", Count: 3, Examples: []string{"daemon: event 1"}},
+	}}
+	b := Profile{Version: ProfileVersion, Templates: []ProfileTemplate{
+		{Template: "daemon: event <*>", Category: "mined_daemon_event", Count: 4, Examples: []string{"daemon: event 9"}},
+		{Template: "other: thing", Category: "mined_other_thing", Count: 1},
+	}}
+	p := MergeProfiles(a, b)
+	if len(p.Templates) != 2 {
+		t.Fatalf("merged = %+v", p.Templates)
+	}
+	if p.Templates[0].Count != 7 {
+		t.Fatalf("counts not summed: %+v", p.Templates[0])
+	}
+	if len(p.Templates[0].Examples) != 2 {
+		t.Fatalf("examples not unioned: %+v", p.Templates[0])
+	}
+}
+
+// syntheticQuarantine generates a deterministic pseudo-quarantine
+// corpus: a few unknown daemons with variable fields plus garbled
+// noise — the shapes the static parser rejects.
+func syntheticQuarantine(rng *rand.Rand, n int) []string {
+	states := []string{"UP", "DOWN", "POLLING", "ARMED"}
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			lines = append(lines, fmt.Sprintf(
+				"2015-03-02T0%d:00:0%d.000000Z ib%d opensmd: SUBNET SWEEP complete: %d nodes %d switches in %d ms",
+				rng.Intn(10), rng.Intn(10), rng.Intn(4), 300+rng.Intn(100), 20+rng.Intn(8), rng.Intn(40)))
+		case 3, 4, 5:
+			lines = append(lines, fmt.Sprintf(
+				"2015-03-02T0%d:11:0%d.000000Z ib%d opensmd: link flap on port %d state=%s",
+				rng.Intn(10), rng.Intn(10), rng.Intn(4), rng.Intn(36), states[rng.Intn(len(states))]))
+		case 6, 7:
+			lines = append(lines, fmt.Sprintf(
+				"2015-03-02T0%d:22:0%d.000000Z gpu%d nvsmd: XID %d pending page retirement count=%d",
+				rng.Intn(10), rng.Intn(10), rng.Intn(8), 13+rng.Intn(80), rng.Intn(5)))
+		default:
+			lines = append(lines, fmt.Sprintf("garbled %x noise %x", rng.Uint64(), rng.Uint32()))
+		}
+	}
+	return lines
+}
+
+// TestMinerBatchCutConvergence is the differential test behind the
+// miner's order-insensitivity contract: mining a corpus streamed in
+// shuffled random batch cuts — from concurrent feeders, at several
+// GOMAXPROCS settings — converges to exactly the canonical profile of
+// one-shot sequential mining.
+func TestMinerBatchCutConvergence(t *testing.T) {
+	lines := syntheticQuarantine(rand.New(rand.NewSource(42)), 4000)
+
+	oneShot := New(Config{})
+	for _, l := range lines {
+		oneShot.Ingest(l)
+	}
+	want := oneShot.Export(1)
+	if len(want.Templates) == 0 {
+		t.Fatal("one-shot mining produced no templates")
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for trial := 0; trial < 3; trial++ {
+			rng := rand.New(rand.NewSource(int64(100*procs + trial)))
+			shuffled := append([]string(nil), lines...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			// Cut into random batches.
+			var batches [][]string
+			for start := 0; start < len(shuffled); {
+				end := start + 1 + rng.Intn(97)
+				if end > len(shuffled) {
+					end = len(shuffled)
+				}
+				batches = append(batches, shuffled[start:end])
+				start = end
+			}
+			m := New(Config{})
+			ch := make(chan []string)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for b := range ch {
+						m.IngestAll(b)
+					}
+				}()
+			}
+			for _, b := range batches {
+				ch <- b
+			}
+			close(ch)
+			wg.Wait()
+			got := m.Export(1)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("GOMAXPROCS=%d trial %d: batch-cut profile diverged from one-shot (%d vs %d templates)",
+					procs, trial, len(got.Templates), len(want.Templates))
+			}
+		}
+	}
+}

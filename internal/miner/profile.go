@@ -1,0 +1,400 @@
+package miner
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// ProfileVersion is the mined-profile schema version.
+const ProfileVersion = 1
+
+// Profile is a canonical mined template set — the bootstrap pattern-set
+// skeleton for a system the static profiles have never seen. Profiles
+// are JSON on disk (minectl writes and merges them) and load back into
+// a Matcher that classifies quarantined lines into "mined_..."
+// categories.
+type Profile struct {
+	Version int `json:"version"`
+	// TokenLimit/ByteLimit record the tokenizer bounds the profile was
+	// mined with, so load-back tokenizes identically.
+	TokenLimit int               `json:"tokenLimit,omitempty"`
+	ByteLimit  int               `json:"byteLimit,omitempty"`
+	Templates  []ProfileTemplate `json:"templates"`
+}
+
+// ProfileTemplate is one canonical template.
+type ProfileTemplate struct {
+	// Template is the masked token sequence, space-joined.
+	Template string `json:"template"`
+	// Category is the derived classification slug ("mined_...").
+	Category string `json:"category"`
+	// Count is the occurrences behind the template (summed on merge).
+	Count uint64 `json:"count"`
+	// Examples holds up to profileMaxExamples raw lines (the
+	// lexicographically smallest, so profiles are order-insensitive).
+	Examples []string `json:"examples,omitempty"`
+}
+
+// profileMaxExamples bounds examples per canonical template.
+const profileMaxExamples = 3
+
+// mergeGroupLimit caps the templates considered for pairwise merging
+// within one (length, anchor) group. The merge pass is quadratic per
+// group; groups are keyed by token count plus the first literal token,
+// so real daemons stay well under the cap — only adversarial input
+// (one anchor, thousands of shapes) hits it, and those templates are
+// simply kept unmerged rather than burning O(n²) time.
+const mergeGroupLimit = 256
+
+// Encode marshals the profile as indented JSON.
+func (p Profile) Encode() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// DecodeProfile unmarshals and validates a mined profile.
+func DecodeProfile(data []byte) (Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Profile{}, fmt.Errorf("miner: decode profile: %w", err)
+	}
+	if p.Version != ProfileVersion {
+		return Profile{}, fmt.Errorf("miner: profile version %d (want %d)", p.Version, ProfileVersion)
+	}
+	return p, nil
+}
+
+// MergeProfiles merges mined profiles into one canonical profile:
+// identical templates sum counts, near-duplicates collapse under the
+// same canonical merge Export applies. Tokenizer bounds must agree
+// where set; the first non-zero bound wins.
+func MergeProfiles(ps ...Profile) Profile {
+	cfg := Config{}.withDefaults()
+	var raw []ProfileTemplate
+	for _, p := range ps {
+		if p.TokenLimit > 0 {
+			cfg.MaxTokens = p.TokenLimit
+		}
+		if p.ByteLimit > 0 {
+			cfg.MaxLineBytes = p.ByteLimit
+		}
+		raw = append(raw, p.Templates...)
+	}
+	return canonicalProfile(raw, cfg)
+}
+
+// canonicalProfile builds the canonical profile from raw templates:
+// aggregate identical templates, merge near-duplicates to a fixpoint,
+// derive categories, sort. Deterministic: a pure function of the raw
+// template set (every scan runs in sorted order).
+func canonicalProfile(raw []ProfileTemplate, cfg Config) Profile {
+	agg := make(map[string]*ProfileTemplate, len(raw))
+	for i := range raw {
+		addCanonical(agg, raw[i])
+	}
+
+	// Group by (token count, anchor literal): only plausibly-mergeable
+	// templates face the quadratic pass.
+	groups := make(map[string][]string)
+	for key := range agg {
+		toks := strings.Split(key, " ")
+		groups[groupKey(toks)] = append(groups[groupKey(toks)], key)
+	}
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+
+	for _, g := range groupNames {
+		keys := groups[g]
+		if len(keys) < 2 || len(keys) > mergeGroupLimit {
+			continue
+		}
+		mergeGroup(agg, keys)
+	}
+
+	out := Profile{Version: ProfileVersion, TokenLimit: cfg.MaxTokens, ByteLimit: cfg.MaxLineBytes}
+	for _, t := range agg {
+		t.Category = categorySlug(strings.Split(t.Template, " "))
+		out.Templates = append(out.Templates, *t)
+	}
+	sort.Slice(out.Templates, func(i, j int) bool {
+		return out.Templates[i].Template < out.Templates[j].Template
+	})
+	return out
+}
+
+// mergeGroup collapses near-duplicate templates within one group to a
+// fixpoint. Each pass scans pairs in sorted-key order and applies the
+// first merge found, so the result is deterministic.
+func mergeGroup(agg map[string]*ProfileTemplate, keys []string) {
+	live := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		live[k] = true
+	}
+	for {
+		ordered := make([]string, 0, len(live))
+		for k := range live {
+			if agg[k] != nil {
+				ordered = append(ordered, k)
+			}
+		}
+		sort.Strings(ordered)
+		merged := false
+		for i := 0; i < len(ordered) && !merged; i++ {
+			for j := i + 1; j < len(ordered); j++ {
+				a, b := agg[ordered[i]], agg[ordered[j]]
+				mt, ok := tryMerge(a, b)
+				if !ok {
+					continue
+				}
+				delete(agg, a.Template)
+				delete(agg, b.Template)
+				delete(live, a.Template)
+				delete(live, b.Template)
+				addCanonical(agg, mt)
+				live[mt.Template] = true
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// addCanonical folds t into the aggregate, summing counts and keeping
+// the smallest distinct examples when the template already exists.
+func addCanonical(agg map[string]*ProfileTemplate, t ProfileTemplate) {
+	if ex := agg[t.Template]; ex != nil {
+		ex.Count += t.Count
+		ex.Examples = mergeExamples(ex.Examples, t.Examples)
+		return
+	}
+	cp := t
+	cp.Examples = mergeExamples(nil, t.Examples)
+	agg[t.Template] = &cp
+}
+
+// mergeExamples unions two sorted example sets, keeping the smallest
+// profileMaxExamples distinct lines.
+func mergeExamples(a, b []string) []string {
+	out := append(append([]string(nil), a...), b...)
+	sort.Strings(out)
+	dedup := out[:0]
+	for i, s := range out {
+		if i > 0 && s == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, s)
+	}
+	if len(dedup) > profileMaxExamples {
+		dedup = dedup[:profileMaxExamples]
+	}
+	return dedup
+}
+
+// tryMerge merges two templates when they share a token length and
+// differ in at most a quarter of their positions (minimum one), as long
+// as the merged template keeps at least one fully-literal token —
+// frequency analysis in the awsom-lp style: positions that vary across
+// occurrences are variables.
+func tryMerge(a, b *ProfileTemplate) (ProfileTemplate, bool) {
+	ta := strings.Split(a.Template, " ")
+	tb := strings.Split(b.Template, " ")
+	if len(ta) != len(tb) {
+		return ProfileTemplate{}, false
+	}
+	budget := len(ta) / 4
+	if budget < 1 {
+		budget = 1
+	}
+	diff := 0
+	for i := range ta {
+		if ta[i] != tb[i] {
+			diff++
+			if diff > budget {
+				return ProfileTemplate{}, false
+			}
+		}
+	}
+	if diff == 0 {
+		return ProfileTemplate{}, false
+	}
+	out := make([]string, len(ta))
+	literals := 0
+	for i := range ta {
+		if ta[i] == tb[i] {
+			out[i] = ta[i]
+			if !strings.ContainsAny(ta[i], "<>") {
+				literals++
+			}
+		} else {
+			out[i] = "<*>"
+		}
+	}
+	if literals == 0 {
+		return ProfileTemplate{}, false
+	}
+	return ProfileTemplate{
+		Template: strings.Join(out, " "),
+		Count:    a.Count + b.Count,
+		Examples: mergeExamples(a.Examples, b.Examples),
+	}, true
+}
+
+// groupKey buckets templates for the merge pass: token count plus the
+// first fully-literal token (the anchor — typically the daemon tag).
+func groupKey(toks []string) string {
+	anchor := ""
+	for _, t := range toks {
+		if !strings.ContainsAny(t, "<>") {
+			anchor = t
+			break
+		}
+	}
+	return fmt.Sprintf("%d/%s", len(toks), anchor)
+}
+
+// categorySlug derives the classification slug from a template's
+// leading literal tokens: up to three, slugified, "mined_"-prefixed.
+// Templates with no literal token fall back to a content hash.
+func categorySlug(toks []string) string {
+	var parts []string
+	for _, t := range toks {
+		if strings.ContainsAny(t, "<>") {
+			continue
+		}
+		if s := slugify(t); s != "" {
+			parts = append(parts, s)
+		}
+		if len(parts) == 3 {
+			break
+		}
+	}
+	if len(parts) == 0 {
+		h := fnv.New32a()
+		for _, t := range toks {
+			h.Write([]byte(t))
+			h.Write([]byte{' '})
+		}
+		return fmt.Sprintf("mined_x%08x", h.Sum32())
+	}
+	return "mined_" + strings.Join(parts, "_")
+}
+
+// slugify lowercases and maps non-alphanumerics to underscores,
+// collapsing runs and trimming the ends.
+func slugify(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastUnderscore := true // suppress leading underscore
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+			lastUnderscore = false
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c + ('a' - 'A'))
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// Matcher classifies raw lines against a mined profile — the load-back
+// half of profile bootstrap. It tokenizes with the profile's bounds and
+// walks a token tree where "<*>" template positions match any token;
+// literal edges win over wildcard edges (with backtracking), so the
+// most specific template claims the line. Safe for concurrent use once
+// built.
+type Matcher struct {
+	tokenLimit int
+	byteLimit  int
+	root       *mnode
+	n          int
+}
+
+type mnode struct {
+	children map[string]*mnode
+	wild     *mnode
+	category string
+	terminal bool
+}
+
+// NewMatcher compiles a profile. Templates are inserted in sorted
+// order; on a (theoretically impossible) duplicate terminal the first
+// inserted category wins, keeping compilation deterministic.
+func NewMatcher(p Profile) *Matcher {
+	m := &Matcher{tokenLimit: p.TokenLimit, byteLimit: p.ByteLimit, root: &mnode{}}
+	ts := append([]ProfileTemplate(nil), p.Templates...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Template < ts[j].Template })
+	for _, t := range ts {
+		n := m.root
+		for _, tok := range strings.Split(t.Template, " ") {
+			if tok == "<*>" {
+				if n.wild == nil {
+					n.wild = &mnode{}
+				}
+				n = n.wild
+				continue
+			}
+			if n.children == nil {
+				n.children = make(map[string]*mnode)
+			}
+			c := n.children[tok]
+			if c == nil {
+				c = &mnode{}
+				n.children[tok] = c
+			}
+			n = c
+		}
+		if !n.terminal {
+			n.terminal = true
+			n.category = t.Category
+			m.n++
+		}
+	}
+	return m
+}
+
+// Len returns the compiled template count.
+func (m *Matcher) Len() int { return m.n }
+
+// Match classifies one raw line, returning the mined category and
+// whether any template matched.
+func (m *Matcher) Match(line string) (string, bool) {
+	toks := Tokenize(line, m.tokenLimit, m.byteLimit)
+	if len(toks) == 0 {
+		return "", false
+	}
+	return matchAt(m.root, toks)
+}
+
+func matchAt(n *mnode, toks []string) (string, bool) {
+	if len(toks) == 0 {
+		if n.terminal {
+			return n.category, true
+		}
+		return "", false
+	}
+	if c := n.children[toks[0]]; c != nil {
+		if cat, ok := matchAt(c, toks[1:]); ok {
+			return cat, ok
+		}
+	}
+	if n.wild != nil {
+		return matchAt(n.wild, toks[1:])
+	}
+	return "", false
+}

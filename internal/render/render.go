@@ -12,10 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"hpcfail/internal/core"
 	"hpcfail/internal/logstore"
+	"hpcfail/internal/miner"
 	"hpcfail/internal/report"
 )
 
@@ -179,4 +181,34 @@ func DiagnoseJSON(w io.Writer, res *core.Result) error {
 		}
 	}
 	return nil
+}
+
+// MinedTemplates writes the template-miner report section that
+// cmd/diagnose and cmd/watch append under -mine: one row per live
+// template, hottest first, with promoted candidate signatures starred.
+// It is strictly appended output — everything before it stays
+// byte-identical to a run without mining.
+func MinedTemplates(w io.Writer, st miner.Stats, views []miner.TemplateView) {
+	fmt.Fprintf(w, "\nMined log templates: %d live (%d lines mined, %d promoted, %d evicted)\n",
+		st.TemplatesLive, st.LinesMined, st.Promoted, st.Evicted)
+	if len(views) == 0 {
+		fmt.Fprintln(w, "  nothing quarantined or unclassified — the static profiles covered every line")
+		return
+	}
+	sorted := make([]miner.TemplateView, len(views))
+	copy(sorted, views)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count > sorted[j].Count
+		}
+		return sorted[i].Template < sorted[j].Template
+	})
+	for _, v := range sorted {
+		mark := " "
+		if v.Promoted {
+			mark = "*"
+		}
+		fmt.Fprintf(w, " %s %6d  %-32s %s\n", mark, v.Count, v.Category, v.Template)
+	}
+	fmt.Fprintln(w, "  (* = promoted candidate signature)")
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hpcfail/internal/cname"
+	"hpcfail/internal/miner"
 	"hpcfail/internal/remedy"
 	"hpcfail/internal/render"
 	"hpcfail/internal/wal"
@@ -27,6 +28,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/wal", s.track("wal", s.handleWALStream))
 	mux.HandleFunc("/v1/promote", s.track("promote", s.handlePromote))
 	mux.HandleFunc("/v1/remediations", s.track("remediations", s.handleRemediations))
+	mux.HandleFunc("/v1/templates", s.track("templates", s.handleTemplates))
 	mux.HandleFunc("/healthz", s.track("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.track("metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -411,6 +413,81 @@ func (s *Server) handleRemediations(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// templatesView is the /v1/templates GET payload.
+type templatesView struct {
+	Enabled bool `json:"enabled"`
+	// Seq is the miner's line-sequence watermark; pass it back as
+	// ?since= to page only templates seen after this response.
+	Seq       uint64               `json:"seq"`
+	Stats     miner.Stats          `json:"stats"`
+	Templates []miner.TemplateView `json:"templates"`
+}
+
+// handleTemplates serves the live mined-template table (GET, optional
+// ?since=<seq> pagination cursor and ?limit=<n>), or — with
+// ?format=profile — the canonical bootstrap profile (optionally
+// ?min_count=<n>). Tracked, not guarded: it reads only the miner's own
+// table, never the corpus snapshot.
+func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.miner == nil {
+		writeJSON(w, http.StatusOK, templatesView{Templates: []miner.TemplateView{}})
+		return
+	}
+	v := r.URL.Query()
+	if v.Get("format") == "profile" {
+		minCount := uint64(0)
+		if str := v.Get("min_count"); str != "" {
+			n, err := strconv.ParseUint(str, 10, 64)
+			if err != nil {
+				http.Error(w, "bad query: min_count: want count", http.StatusBadRequest)
+				return
+			}
+			minCount = n
+		}
+		data, err := s.miner.Export(minCount).Encode()
+		if err != nil {
+			http.Error(w, "profile export failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	since := uint64(0)
+	if str := v.Get("since"); str != "" {
+		n, err := strconv.ParseUint(str, 10, 64)
+		if err != nil {
+			http.Error(w, "bad query: since: want sequence number", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	limit := 0
+	if str := v.Get("limit"); str != "" {
+		n, err := strconv.Atoi(str)
+		if err != nil || n < 0 {
+			http.Error(w, "bad query: limit: want non-negative count", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	views, seq := s.miner.TemplatesSince(since, limit)
+	if views == nil {
+		views = []miner.TemplateView{}
+	}
+	writeJSON(w, http.StatusOK, templatesView{
+		Enabled:   true,
+		Seq:       seq,
+		Stats:     s.miner.Stats(),
+		Templates: views,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
 		Status        string  `json:"status"`
@@ -477,6 +554,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"hpcfail_sse_subscribers", "Connected alarm stream subscribers.", float64(s.broker.subscribers())},
 		{"hpcfail_epoch", "Fencing epoch this node writes (or would write) at.", float64(epoch)},
 		{"hpcfail_ingest_staged", "Writes staged for group commit but not yet covered by a fsync.", float64(s.stagedDepth())},
+	}
+	if s.miner != nil {
+		ms := s.miner.Stats()
+		gauges = append(gauges,
+			gauge{"hpcfail_miner_templates_live", "Live mined templates (bounded by the miner budget).", float64(ms.TemplatesLive)},
+			gauge{"hpcfail_miner_templates_evicted", "Templates evicted under the miner memory budget.", float64(ms.Evicted)},
+		)
 	}
 	if walOpen {
 		gauges = append(gauges,

@@ -54,6 +54,10 @@ const (
 	mReplApplied  = "hpcfail_replication_applied_entries_total"
 	mReplStreamed = "hpcfail_replication_streamed_entries_total"
 	mReplFenced   = "hpcfail_replication_fenced_entries_total"
+
+	mMinerLines    = "hpcfail_miner_lines_mined_total"
+	mMinerPromoted = "hpcfail_miner_promotions_total"
+	mCandidates    = "hpcfail_candidates_total"
 )
 
 var counterHelp = map[string]string{
@@ -77,6 +81,10 @@ var counterHelp = map[string]string{
 	mReplApplied:  "Replicated entries folded into this node's corpus.",
 	mReplStreamed: "Entries sent to /v1/wal stream consumers.",
 	mReplFenced:   "Entries rejected because their epoch was deposed.",
+
+	mMinerLines:    "Quarantined or unclassified lines fed to the template miner.",
+	mMinerPromoted: "Mined templates promoted past the frequency or burst threshold.",
+	mCandidates:    "Distinct novel-signature candidates surfaced by the watcher.",
 }
 
 // latencyBuckets are the request-duration histogram upper bounds in

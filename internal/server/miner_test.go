@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/miner"
+)
+
+// opensmdLine is a well-formed internal line from a daemon no static
+// profile knows: the component token is not a cname, so the parser
+// quarantines the whole line and only the miner ever sees it.
+func opensmdLine(i int) string {
+	return fmt.Sprintf("2015-03-03T00:00:%02d.000000Z ib0 opensmd: SUBNET SWEEP complete: %d nodes in %d ms", i%60, 1600+i, 400+7*i)
+}
+
+func ingestLines(t *testing.T, s *Server, lines []string) IngestResult {
+	t.Helper()
+	res, err := s.Ingest([]IngestBatch{{Stream: "console", Lines: lines}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTemplatesDisabledByDefault(t *testing.T) {
+	s := seedServer(t, fixtureClean, Config{})
+	rec := get(t, s.Handler(), "/v1/templates")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("templates = %d", rec.Code)
+	}
+	var v templatesView
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Enabled || len(v.Templates) != 0 {
+		t.Errorf("disabled miner served %+v", v)
+	}
+	if body := get(t, s.Handler(), "/metrics").Body.String(); strings.Contains(body, "hpcfail_miner_templates_live") {
+		t.Error("metrics export miner gauges with mining disabled")
+	}
+}
+
+func TestTemplatesRejectsBadRequests(t *testing.T) {
+	s := seedServer(t, fixtureClean, Config{EnableMiner: true})
+	h := s.Handler()
+	for _, target := range []string{
+		"/v1/templates?since=nope",
+		"/v1/templates?limit=-1",
+		"/v1/templates?format=profile&min_count=x",
+	} {
+		if rec := get(t, h, target); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", target, rec.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/templates", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST templates = %d, want 405", rec.Code)
+	}
+}
+
+func TestMinerFedFromIngestQuarantine(t *testing.T) {
+	s := seedServer(t, fixtureClean, Config{EnableMiner: true})
+	h := s.Handler()
+
+	var lines []string
+	for i := 0; i < 8; i++ {
+		lines = append(lines, opensmdLine(i))
+	}
+	res := ingestLines(t, s, lines)
+	if res.Quarantined != len(lines) {
+		t.Fatalf("quarantined %d of %d unknown-daemon lines", res.Quarantined, len(lines))
+	}
+
+	rec := get(t, h, "/v1/templates")
+	var v ingestTemplates
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Enabled || v.Stats.LinesMined < uint64(len(lines)) {
+		t.Fatalf("templates view = %+v, want ≥%d lines mined", v, len(lines))
+	}
+	found := false
+	for _, tv := range v.Templates {
+		if strings.Contains(tv.Template, "opensmd: SUBNET SWEEP complete:") && tv.Count == uint64(len(lines)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no opensmd sweep template in %+v", v.Templates)
+	}
+
+	// Pagination: everything is older than the returned watermark, so
+	// paging from it yields nothing; paging from zero with a limit
+	// truncates.
+	rec = get(t, h, fmt.Sprintf("/v1/templates?since=%d", v.Seq))
+	var after ingestTemplates
+	if err := json.Unmarshal(rec.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Templates) != 0 {
+		t.Errorf("since=%d returned %d templates, want 0", v.Seq, len(after.Templates))
+	}
+	rec = get(t, h, "/v1/templates?limit=1")
+	var limited ingestTemplates
+	if err := json.Unmarshal(rec.Body.Bytes(), &limited); err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Templates) != 1 {
+		t.Errorf("limit=1 returned %d templates", len(limited.Templates))
+	}
+
+	// Profile export round-trips through the decoder and classifies the
+	// very lines it was mined from.
+	rec = get(t, h, "/v1/templates?format=profile&min_count=2")
+	prof, err := miner.DecodeProfile(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("profile export: %v\n%s", err, rec.Body.String())
+	}
+	m := miner.NewMatcher(prof)
+	if m.Len() == 0 {
+		t.Fatal("exported profile is empty")
+	}
+	if cat, ok := m.Match(opensmdLine(42)); !ok || !strings.HasPrefix(cat, "mined_") {
+		t.Errorf("matcher on fresh sweep line = %q, %v", cat, ok)
+	}
+
+	body := get(t, h, "/metrics").Body.String()
+	for _, want := range []string{
+		"hpcfail_ingest_quarantined_total 8",
+		"hpcfail_miner_lines_mined_total 8",
+		"hpcfail_miner_templates_live",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output lacks %q", want)
+		}
+	}
+}
+
+// ingestTemplates mirrors templatesView for decoding (the production
+// struct marshals fine; this keeps the test honest about JSON names).
+type ingestTemplates struct {
+	Enabled   bool                 `json:"enabled"`
+	Seq       uint64               `json:"seq"`
+	Stats     miner.Stats          `json:"stats"`
+	Templates []miner.TemplateView `json:"templates"`
+}
+
+func TestCandidatePromotionSurfacesOnStreamAndMetrics(t *testing.T) {
+	s := New(Config{
+		EnableMiner: true,
+		Miner:       miner.Config{PromoteCount: 4},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.BeginDrain()
+
+	resp, err := http.Get(ts.URL + "/v1/alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			events <- sc.Text()
+		}
+		close(events)
+	}()
+	waitForLine(t, events, "retry:")
+
+	var lines []string
+	for i := 0; i < 4; i++ {
+		lines = append(lines, opensmdLine(i))
+	}
+	ingestLines(t, s, lines)
+
+	waitForLine(t, events, "event: candidate")
+	waitForLine(t, events, `"signature":"mined_opensmd_subnet_sweep`)
+
+	body := get(t, s.Handler(), "/metrics").Body.String()
+	for _, want := range []string{
+		"hpcfail_miner_promotions_total 1",
+		"hpcfail_candidates_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output lacks %q", want)
+		}
+	}
+	if st := s.watcher.Stats(); st.Candidates != 1 {
+		t.Errorf("watcher candidates = %d, want 1", st.Candidates)
+	}
+}
+
+// TestDiagnoseByteIdenticalWithMiner is the equivalence gate: enabling
+// the miner must not change a single byte of the diagnosis report —
+// mining is a side channel over lines the classifier already rejected.
+func TestDiagnoseByteIdenticalWithMiner(t *testing.T) {
+	for _, fixture := range []string{fixtureClean, fixtureDegraded} {
+		plain := seedServer(t, fixture, Config{})
+		mined := seedServer(t, fixture, Config{EnableMiner: true})
+		for _, target := range []string{"/v1/diagnose", "/v1/diagnose?format=json"} {
+			a := get(t, plain.Handler(), target)
+			b := get(t, mined.Handler(), target)
+			if a.Code != http.StatusOK || b.Code != http.StatusOK {
+				t.Fatalf("%s: %d vs %d", target, a.Code, b.Code)
+			}
+			if a.Body.String() != b.Body.String() {
+				t.Errorf("%s %s: output differs with miner enabled", fixture, target)
+			}
+		}
+	}
+}

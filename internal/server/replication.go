@@ -206,6 +206,7 @@ func (s *Server) foldEntry(e replica.Entry) error {
 	// entry first applied.
 	if !st.marker {
 		s.watcher.FeedAll(all)
+		s.mine(all, sreps)
 	}
 	return nil
 }

@@ -43,6 +43,7 @@ import (
 	"hpcfail/internal/events"
 	"hpcfail/internal/logparse"
 	"hpcfail/internal/logstore"
+	"hpcfail/internal/miner"
 	"hpcfail/internal/remedy"
 	"hpcfail/internal/replica"
 	"hpcfail/internal/topology"
@@ -116,6 +117,18 @@ type Config struct {
 	// SSEHeartbeat is the comment-ping cadence on /v1/alarms and the
 	// heartbeat-frame cadence on /v1/wal (default 15s).
 	SSEHeartbeat time.Duration
+	// EnableMiner turns on online template mining over the quarantine
+	// stream: every quarantined or unclassified ingested line feeds an
+	// internal/miner engine, GET /v1/templates serves the live template
+	// table (and exports a bootstrap profile), miner series appear on
+	// /metrics, and promoted templates surface as "candidate" events on
+	// the alarm stream. Off by default; disabled ingest pays one nil
+	// check. Mining never touches the classification of lines the
+	// static formats accept — /v1/diagnose stays byte-identical.
+	EnableMiner bool
+	// Miner tunes the mining engine (zero value = miner defaults).
+	// Only read when EnableMiner is set.
+	Miner miner.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +170,9 @@ type Server struct {
 	metrics *metrics
 	broker  *broker
 	watcher *core.Watcher
+	// miner is the online template miner (nil when disabled). It owns
+	// its own mutex; ingest feeds it after commit, off every lock here.
+	miner *miner.Miner
 
 	// sem is the admission semaphore; holding a slot means the request
 	// is being served.
@@ -280,6 +296,17 @@ type alarmEvent struct {
 	HasExternal bool      `json:"has_external"`
 }
 
+// candidateEvent is the SSE payload for a promoted mined signature —
+// the low-confidence detection kind. No node, no time: quarantined
+// lines have neither until someone profiles them.
+type candidateEvent struct {
+	Signature string `json:"signature"`
+	Template  string `json:"template"`
+	Count     uint64 `json:"count"`
+	Example   string `json:"example,omitempty"`
+	Burst     bool   `json:"burst,omitempty"`
+}
+
 // New constructs a server with an empty corpus.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
@@ -323,7 +350,56 @@ func New(cfg Config) *Server {
 			s.countRemedyTickets()
 		}
 	}
+	if cfg.EnableMiner {
+		s.watcher.OnCandidate = func(c core.Candidate) {
+			s.metrics.add(mCandidates, 1)
+			s.broker.publish("candidate", candidateEvent{
+				Signature: c.Signature, Template: c.Template, Count: c.Count,
+				Example: c.Example, Burst: c.Burst,
+			})
+		}
+		s.miner = miner.New(cfg.Miner)
+		s.miner.OnPromote = func(c miner.Candidate) {
+			// Promotion fires inside a miner Ingest (miner mutex held);
+			// NoteCandidate takes only the watcher mutex, which is never
+			// held while feeding the miner — no ordering cycle.
+			s.metrics.add(mMinerPromoted, 1)
+			s.watcher.NoteCandidate(core.Candidate{
+				Signature: c.Category, Template: c.Template, Count: c.Count,
+				Example: c.Example, Burst: c.Burst,
+			})
+		}
+	}
 	return s
+}
+
+// Miner exposes the template miner (nil when disabled).
+func (s *Server) Miner() *miner.Miner { return s.miner }
+
+// mine feeds one parsed batch's unmatched material to the miner: the
+// full quarantine stream of each stream report, plus internal lines
+// that parsed but no static pattern classified. No-op (one nil check)
+// when mining is disabled.
+func (s *Server) mine(all []events.Record, sreps []logparse.StreamReport) {
+	if s.miner == nil {
+		return
+	}
+	lines := uint64(0)
+	for i := range sreps {
+		sreps[i].EachQuarantined(func(l string) {
+			s.miner.Ingest(l)
+			lines++
+		})
+	}
+	for i := range all {
+		if all[i].Category == "unclassified" && all[i].Msg != "" {
+			s.miner.Ingest(all[i].Msg)
+			lines++
+		}
+	}
+	if lines > 0 {
+		s.metrics.add(mMinerLines, lines)
+	}
 }
 
 // Remedy exposes the remediation engine (nil when disabled).
@@ -386,6 +462,7 @@ func (s *Server) Seed(store *logstore.Store, rep *logstore.IngestReport) {
 	s.stageMu.Unlock()
 	s.bump()
 	s.watcher.FeedAll(recs)
+	s.mine(recs, rep.Streams)
 }
 
 // Ingest parses and appends one request's batches: records enter the
@@ -426,6 +503,7 @@ func (s *Server) Ingest(batches []IngestBatch) (IngestResult, error) {
 	// interleaving between concurrent ingesters, exactly as it did when
 	// the serialized path fed outside the server lock.
 	s.watcher.FeedAll(all)
+	s.mine(all, sreps)
 	return IngestResult{Accepted: len(all), Quarantined: quarantined, Watermark: st.e.Watermark}, nil
 }
 

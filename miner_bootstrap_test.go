@@ -1,0 +1,154 @@
+package hpcfail
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/topology"
+)
+
+const unknownDaemonCorpus = "testdata/corpus-unknown-daemon"
+
+// loadQuarantined loads the fixture the plain way and returns the load
+// plus the quarantined line count (all of it the un-profiled daemon).
+func loadUnknownDaemon(t *testing.T) (*Store, *IngestReport, int) {
+	t.Helper()
+	store, rep, err := LoadLogsReport(unknownDaemonCorpus, topology.SchedulerSlurm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.TotalQuarantined()
+	if q < 180 {
+		t.Fatalf("fixture quarantined %d lines, want >= 180 (did testdata/gen.go change?)", q)
+	}
+	return store, rep, q
+}
+
+// TestMinerBootstrapsUnknownDaemon is the end-to-end acceptance path:
+// a corpus with an un-profiled daemon yields at least one promoted
+// candidate, and the exported profile — fed back through the mined
+// loader — reclassifies at least 90% of that daemon's lines out of
+// quarantine.
+func TestMinerBootstrapsUnknownDaemon(t *testing.T) {
+	store, rep, quarantined := loadUnknownDaemon(t)
+
+	var promoted []MinedCandidate
+	m := NewMiner(MinerConfig{})
+	m.OnPromote = func(c MinedCandidate) { promoted = append(promoted, c) }
+	for i := range rep.Streams {
+		rep.Streams[i].EachQuarantined(m.Ingest)
+	}
+	for _, r := range store.All() {
+		if r.Category == "unclassified" && r.Msg != "" {
+			m.Ingest(r.Msg)
+		}
+	}
+	if len(promoted) == 0 {
+		t.Fatal("no candidate promoted from the unknown-daemon corpus")
+	}
+	sweep := false
+	for _, c := range promoted {
+		if strings.Contains(c.Template, "SUBNET SWEEP") {
+			sweep = true
+		}
+	}
+	if !sweep {
+		t.Errorf("the frequent sweep template did not promote; got %+v", promoted)
+	}
+
+	// Round-trip the profile through its wire form, as an operator (or
+	// GET /v1/templates?format=profile) would.
+	data, err := m.Export(2).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := DecodeMinedProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMinedMatcher(prof)
+	if mc.Len() == 0 {
+		t.Fatal("exported profile is empty")
+	}
+
+	minedStore, minedRep, err := LoadLogsReportMined(unknownDaemonCorpus, topology.SchedulerSlurm, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reclaimed := 0
+	for _, r := range minedStore.All() {
+		if strings.HasPrefix(r.Category, "mined_") {
+			reclaimed++
+			if r.Time.IsZero() {
+				t.Fatalf("reclaimed record has no timestamp: %+v", r)
+			}
+		}
+	}
+	if frac := float64(reclaimed) / float64(quarantined); frac < 0.9 {
+		t.Errorf("profile reclaimed %d of %d quarantined lines (%.0f%%), want >= 90%%",
+			reclaimed, quarantined, 100*frac)
+	}
+	if got := minedRep.TotalQuarantined(); got != quarantined-reclaimed {
+		t.Errorf("mined load quarantined %d, want %d-%d", got, quarantined, reclaimed)
+	}
+}
+
+// TestMinedLoadKeepsStaticClassificationIdentical is the equivalence
+// gate at the library layer: loading with a mined profile must not
+// change a single primary record — the reclaimed lines are additions,
+// never rewrites. Checked on every committed corpus.
+func TestMinedLoadKeepsStaticClassificationIdentical(t *testing.T) {
+	// Mine one profile from the unknown-daemon corpus and apply it to
+	// every committed fixture.
+	_, rep, _ := loadUnknownDaemon(t)
+	m := NewMiner(MinerConfig{})
+	for i := range rep.Streams {
+		rep.Streams[i].EachQuarantined(m.Ingest)
+	}
+	mc := NewMinedMatcher(m.Export(2))
+
+	for _, dir := range []string{
+		"testdata/corpus-clean",
+		"testdata/corpus-degraded",
+		unknownDaemonCorpus,
+	} {
+		plain, _, err := LoadLogsReport(dir, topology.SchedulerSlurm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mined, _, err := LoadLogsReportMined(dir, topology.SchedulerSlurm, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var statics []Record
+		for _, r := range mined.All() {
+			if !strings.HasPrefix(r.Category, "mined_") {
+				statics = append(statics, r)
+			}
+		}
+		want := plain.All()
+		sortRecords(want)
+		sortRecords(statics)
+		if !reflect.DeepEqual(want, statics) {
+			t.Errorf("%s: static classification changed under the mined loader (%d vs %d records)",
+				dir, len(want), len(statics))
+		}
+	}
+}
+
+// sortRecords orders records deterministically for multiset comparison
+// (the mined loader may interleave reclaimed records between primary
+// ones in store order).
+func sortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if !recs[i].Time.Equal(recs[j].Time) {
+			return recs[i].Time.Before(recs[j].Time)
+		}
+		if recs[i].Category != recs[j].Category {
+			return recs[i].Category < recs[j].Category
+		}
+		return recs[i].Msg < recs[j].Msg
+	})
+}

@@ -8,18 +8,47 @@
 // corpus-clean is a small, failure-bearing S1 window; corpus-degraded
 // is the same window with render-time chaos damage plus two stream
 // files removed, so golden output exercises the quarantine ledger and
-// the degradation notes. Both are deterministic — rerunning this
-// program must reproduce the files byte for byte.
+// the degradation notes. corpus-unknown-daemon is corpus-clean with an
+// un-profiled InfiniBand daemon ("opensmd" on non-cname components)
+// interleaved into console.log — every one of its lines quarantines,
+// which is the template miner's bootstrap scenario. All are
+// deterministic — rerunning this program must reproduce the files byte
+// for byte.
 package main
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"hpcfail"
 )
+
+// unknownDaemonLines renders the un-profiled daemon's day: a frequent
+// subnet-sweep template (past the miner's default promotion count), a
+// recurring link-flap template and an occasional port-state template.
+// Raw text on purpose — no parser in the repo knows this daemon.
+func unknownDaemonLines(start time.Time) []string {
+	var lines []string
+	emit := func(i int, format string, args ...interface{}) {
+		ts := start.Add(time.Duration(i) * 450 * time.Second)
+		lines = append(lines, fmt.Sprintf("%s %s", ts.Format("2006-01-02T15:04:05.000000Z07:00"),
+			fmt.Sprintf(format, args...)))
+	}
+	for i := 0; i < 100; i++ {
+		emit(i, "ib%d opensmd: SUBNET SWEEP complete: %d nodes in %d ms", i%2, 1500+i*3, 300+i*7)
+	}
+	for i := 0; i < 60; i++ {
+		emit(i+30, "ib%d opensmd: link flap on port %d: retrying", i%2, 1+i%36)
+	}
+	for i := 0; i < 20; i++ {
+		emit(i*8, "ib%d opensmd: port %d state change: ACTIVE", i%2, 1+i%36)
+	}
+	return lines
+}
 
 func main() {
 	p, err := hpcfail.SystemProfile("S1")
@@ -59,7 +88,34 @@ func main() {
 			panic(err)
 		}
 	}
-	for _, dir := range []string{clean, degraded} {
+	unknown := filepath.Join("testdata", "corpus-unknown-daemon")
+	if err := os.RemoveAll(unknown); err != nil {
+		panic(err)
+	}
+	if err := hpcfail.WriteLogs(unknown, scn); err != nil {
+		panic(err)
+	}
+	console := filepath.Join(unknown, "console.log")
+	data, err := os.ReadFile(console)
+	if err != nil {
+		panic(err)
+	}
+	daemon := unknownDaemonLines(start)
+	// Stable timestamp-ordered interleave: ISO-8601 prefixes sort as
+	// strings, so a line sort merges the daemon into the console stream.
+	all := append([]string{}, daemon...)
+	for _, l := range strings.Split(string(data), "\n") {
+		if l != "" {
+			all = append(all, l)
+		}
+	}
+	sort.Strings(all)
+	if err := os.WriteFile(console, []byte(strings.Join(all, "\n")+"\n"), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d daemon lines interleaved into console.log\n", unknown, len(daemon))
+
+	for _, dir := range []string{clean, degraded, unknown} {
 		entries, err := os.ReadDir(dir)
 		if err != nil {
 			panic(err)
